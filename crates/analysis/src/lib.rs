@@ -1,0 +1,52 @@
+//! Yield criterion, MSE quality model and Monte-Carlo evaluation engine.
+//!
+//! This crate implements §4 of the paper — the relaxed, quality-aware yield
+//! criterion — and the machinery behind its Fig. 5:
+//!
+//! * [`mse`] — the local mean-square-error quality function of Eq. (6),
+//!   evaluated for any [`MitigationScheme`](faultmit_core::MitigationScheme);
+//! * [`EmpiricalCdf`] — weighted empirical cumulative distribution functions
+//!   over quality samples;
+//! * [`YieldModel`] — the joint probability of Eq. (3)–(5): combining the
+//!   binomial failure-count distribution with per-count quality distributions
+//!   to obtain the yield at a given quality constraint;
+//! * [`MonteCarloEngine`] — the fault-injection campaign that sweeps failure
+//!   counts, draws random fault maps and produces per-scheme MSE CDFs
+//!   (the Fig. 5 series);
+//! * [`report`] — plain-text table helpers used by the figure-regeneration
+//!   binaries.
+//!
+//! # Example
+//!
+//! ```
+//! use faultmit_analysis::{MonteCarloConfig, MonteCarloEngine};
+//! use faultmit_core::Scheme;
+//! use faultmit_memsim::MemoryConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = MonteCarloConfig::new(MemoryConfig::new(256, 32)?, 1e-4)?
+//!     .with_samples_per_count(20)
+//!     .with_max_failures(8);
+//! let engine = MonteCarloEngine::new(config);
+//! let result = engine.run(&Scheme::shuffle32(5)?, 42)?;
+//! // With single-bit segments every fault costs at most 1², so the MSE stays tiny.
+//! assert!(result.cdf.quantile(0.999) <= 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cdf;
+pub mod error;
+pub mod mc_engine;
+pub mod mse;
+pub mod report;
+pub mod yield_model;
+
+pub use cdf::EmpiricalCdf;
+pub use error::AnalysisError;
+pub use mc_engine::{MonteCarloConfig, MonteCarloEngine, SchemeMseResult};
+pub use mse::{memory_mse, row_squared_error, word_squared_error};
+pub use yield_model::{QualityBand, YieldModel};

@@ -1,0 +1,346 @@
+//! The Monte-Carlo fault-injection campaign behind Fig. 5.
+//!
+//! For every failure count `n = 1..=N_max` the engine draws random fault maps
+//! (bit-flip locations distributed uniformly over the array), evaluates the
+//! memory MSE of Eq. (6) under a protection scheme, and weighs each sample by
+//! `Pr(N = n)` so that the aggregated CDF describes the population of
+//! manufactured dies.
+
+use crate::cdf::EmpiricalCdf;
+use crate::error::AnalysisError;
+use crate::mse::memory_mse;
+use crate::yield_model::YieldModel;
+use faultmit_core::MitigationScheme;
+use faultmit_memsim::{FailureCountDistribution, FaultMapSampler, MemoryConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one Monte-Carlo campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarloConfig {
+    memory: MemoryConfig,
+    p_cell: f64,
+    samples_per_count: usize,
+    max_failures: Option<u64>,
+    coverage: f64,
+}
+
+impl MonteCarloConfig {
+    /// Creates a campaign over a memory with the given geometry and cell
+    /// failure probability.
+    ///
+    /// Defaults: 100 fault maps per failure count, failure counts up to the
+    /// 99th percentile of the binomial distribution (the paper's `N_max`
+    /// choice).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::InvalidParameter`] when `p_cell` is outside
+    /// `[0, 1]`.
+    pub fn new(memory: MemoryConfig, p_cell: f64) -> Result<Self, AnalysisError> {
+        if !(0.0..=1.0).contains(&p_cell) || p_cell.is_nan() {
+            return Err(AnalysisError::InvalidParameter {
+                reason: format!("cell failure probability {p_cell} outside [0, 1]"),
+            });
+        }
+        Ok(Self {
+            memory,
+            p_cell,
+            samples_per_count: 100,
+            max_failures: None,
+            coverage: 0.99,
+        })
+    }
+
+    /// The paper's Fig. 5 campaign: 16 KB memory, `P_cell = 5·10⁻⁶`.
+    ///
+    /// # Errors
+    ///
+    /// Never fails; kept fallible for signature uniformity.
+    pub fn paper_fig5() -> Result<Self, AnalysisError> {
+        Self::new(MemoryConfig::paper_16kb(), 5e-6)
+    }
+
+    /// The paper's Fig. 7 campaign memory model: 16 KB memory,
+    /// `P_cell = 10⁻³`.
+    ///
+    /// # Errors
+    ///
+    /// Never fails; kept fallible for signature uniformity.
+    pub fn paper_fig7() -> Result<Self, AnalysisError> {
+        Self::new(MemoryConfig::paper_16kb(), 1e-3)
+    }
+
+    /// Sets the number of random fault maps drawn per failure count
+    /// (the paper uses 500 for the application study).
+    #[must_use]
+    pub fn with_samples_per_count(mut self, samples: usize) -> Self {
+        self.samples_per_count = samples.max(1);
+        self
+    }
+
+    /// Caps the largest failure count that is simulated.
+    #[must_use]
+    pub fn with_max_failures(mut self, max_failures: u64) -> Self {
+        self.max_failures = Some(max_failures);
+        self
+    }
+
+    /// Sets the probability mass that the automatically derived `N_max` must
+    /// cover (default 0.99, the paper's choice).
+    #[must_use]
+    pub fn with_coverage(mut self, coverage: f64) -> Self {
+        self.coverage = coverage.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Memory geometry under study.
+    #[must_use]
+    pub fn memory(&self) -> MemoryConfig {
+        self.memory
+    }
+
+    /// Cell failure probability under study.
+    #[must_use]
+    pub fn p_cell(&self) -> f64 {
+        self.p_cell
+    }
+
+    /// Number of fault maps per failure count.
+    #[must_use]
+    pub fn samples_per_count(&self) -> usize {
+        self.samples_per_count
+    }
+
+    /// The failure-count distribution implied by the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid-probability errors (none occur for a validated
+    /// configuration).
+    pub fn failure_distribution(&self) -> Result<FailureCountDistribution, AnalysisError> {
+        Ok(FailureCountDistribution::for_memory(
+            self.memory,
+            self.p_cell,
+        )?)
+    }
+
+    /// The largest failure count that will be simulated.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from building the failure distribution.
+    pub fn effective_max_failures(&self) -> Result<u64, AnalysisError> {
+        match self.max_failures {
+            Some(n) => Ok(n),
+            None => Ok(self.failure_distribution()?.n_max(self.coverage)),
+        }
+    }
+}
+
+/// The outcome of evaluating one protection scheme in a Monte-Carlo campaign.
+#[derive(Debug, Clone)]
+pub struct SchemeMseResult {
+    /// Human-readable scheme name (as reported by
+    /// [`MitigationScheme::name`]).
+    pub scheme_name: String,
+    /// The weighted MSE CDF over the simulated die population (the Fig. 5
+    /// series for this scheme).
+    pub cdf: EmpiricalCdf,
+    /// The full yield model, for quality-vs-yield queries.
+    pub yield_model: YieldModel,
+    /// Largest simulated failure count.
+    pub max_failures: u64,
+}
+
+impl SchemeMseResult {
+    /// Yield at an MSE constraint (`Pr(MSE ≤ mse_max)`).
+    #[must_use]
+    pub fn yield_at_mse(&self, mse_max: f64) -> f64 {
+        self.yield_model.yield_at_quality(mse_max)
+    }
+
+    /// The MSE that must be tolerated to reach `target_yield`, if reachable.
+    #[must_use]
+    pub fn mse_for_yield(&self, target_yield: f64) -> Option<f64> {
+        self.yield_model
+            .quality_for_yield(target_yield)
+            .map(|band| band.max_quality)
+    }
+}
+
+/// The Monte-Carlo fault-injection engine.
+#[derive(Debug, Clone)]
+pub struct MonteCarloEngine {
+    config: MonteCarloConfig,
+}
+
+impl MonteCarloEngine {
+    /// Creates an engine for the given campaign configuration.
+    #[must_use]
+    pub fn new(config: MonteCarloConfig) -> Self {
+        Self { config }
+    }
+
+    /// The campaign configuration.
+    #[must_use]
+    pub fn config(&self) -> &MonteCarloConfig {
+        &self.config
+    }
+
+    /// Runs the campaign for a single protection scheme.
+    ///
+    /// The `seed` makes the campaign reproducible; the same seed is typically
+    /// reused across schemes so they are evaluated on identical fault maps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and sampling errors.
+    pub fn run<S: MitigationScheme + ?Sized>(
+        &self,
+        scheme: &S,
+        seed: u64,
+    ) -> Result<SchemeMseResult, AnalysisError> {
+        let distribution = self.config.failure_distribution()?;
+        let max_failures = self.config.effective_max_failures()?;
+        let sampler = FaultMapSampler::new(self.config.memory);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut yield_model = YieldModel::new(distribution);
+
+        for n in 1..=max_failures {
+            let mut samples = Vec::with_capacity(self.config.samples_per_count);
+            for _ in 0..self.config.samples_per_count {
+                let map = sampler.sample_with_count(&mut rng, n as usize)?;
+                samples.push(memory_mse(scheme, &map));
+            }
+            yield_model.add_samples(n, samples);
+        }
+
+        Ok(SchemeMseResult {
+            scheme_name: scheme.name(),
+            cdf: yield_model.combined_cdf(),
+            yield_model,
+            max_failures,
+        })
+    }
+
+    /// Runs the campaign for a list of schemes, reusing the same seed so all
+    /// schemes see statistically identical fault populations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error encountered.
+    pub fn run_catalogue<S: MitigationScheme>(
+        &self,
+        schemes: &[S],
+        seed: u64,
+    ) -> Result<Vec<SchemeMseResult>, AnalysisError> {
+        schemes.iter().map(|scheme| self.run(scheme, seed)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultmit_core::Scheme;
+
+    fn small_config() -> MonteCarloConfig {
+        MonteCarloConfig::new(MemoryConfig::new(128, 32).unwrap(), 1e-3)
+            .unwrap()
+            .with_samples_per_count(30)
+            .with_max_failures(10)
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(MonteCarloConfig::new(MemoryConfig::paper_16kb(), -0.1).is_err());
+        assert!(MonteCarloConfig::new(MemoryConfig::paper_16kb(), 1.5).is_err());
+        assert!(MonteCarloConfig::paper_fig5().is_ok());
+        assert!(MonteCarloConfig::paper_fig7().is_ok());
+    }
+
+    #[test]
+    fn effective_max_failures_uses_coverage_or_override() {
+        let auto = MonteCarloConfig::new(MemoryConfig::paper_16kb(), 1e-3).unwrap();
+        let n_auto = auto.effective_max_failures().unwrap();
+        assert!(n_auto > 131, "n_max must exceed the mean failure count");
+        let capped = auto.with_max_failures(20);
+        assert_eq!(capped.effective_max_failures().unwrap(), 20);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_results() {
+        let engine = MonteCarloEngine::new(small_config());
+        let scheme = Scheme::unprotected32();
+        let a = engine.run(&scheme, 7).unwrap();
+        let b = engine.run(&scheme, 7).unwrap();
+        assert_eq!(a.cdf.len(), b.cdf.len());
+        assert!((a.cdf.mean().unwrap() - b.cdf.mean().unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn secded_has_lowest_mse_and_unprotected_the_highest() {
+        let engine = MonteCarloEngine::new(small_config());
+        let unprotected = engine.run(&Scheme::unprotected32(), 3).unwrap();
+        let shuffled = engine.run(&Scheme::shuffle32(5).unwrap(), 3).unwrap();
+        let secded = engine.run(&Scheme::secded32(), 3).unwrap();
+
+        let q = 0.99;
+        let mse_unprotected = unprotected.cdf.quantile(q);
+        let mse_shuffled = shuffled.cdf.quantile(q);
+        let mse_secded = secded.cdf.quantile(q);
+        assert!(
+            mse_shuffled < mse_unprotected / 1e3,
+            "shuffling must cut the MSE by orders of magnitude"
+        );
+        // SECDED corrects everything except the (rare at this fault density)
+        // words with two or more faults, so on average it is far better than
+        // the unprotected memory even though its tail is not necessarily
+        // better than fine-grained shuffling.
+        let _ = mse_secded;
+        assert!(secded.cdf.mean().unwrap() < unprotected.cdf.mean().unwrap() / 5.0);
+        // At the median, SECDED memories are error-free.
+        assert_eq!(secded.cdf.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn shuffle_mse_improves_with_finer_segments() {
+        let engine = MonteCarloEngine::new(small_config());
+        let coarse = engine.run(&Scheme::shuffle32(1).unwrap(), 11).unwrap();
+        let fine = engine.run(&Scheme::shuffle32(5).unwrap(), 11).unwrap();
+        assert!(fine.cdf.quantile(0.99) <= coarse.cdf.quantile(0.99));
+    }
+
+    #[test]
+    fn yield_at_mse_is_monotone() {
+        let engine = MonteCarloEngine::new(small_config());
+        let result = engine.run(&Scheme::pecc32(), 5).unwrap();
+        let mut previous = 0.0;
+        for mse in [0.0, 1.0, 1e3, 1e6, 1e12, 1e19] {
+            let y = result.yield_at_mse(mse);
+            assert!(y >= previous - 1e-12);
+            assert!(y <= 1.0 + 1e-12);
+            previous = y;
+        }
+    }
+
+    #[test]
+    fn mse_for_yield_inverts_yield_at_mse() {
+        let engine = MonteCarloEngine::new(small_config());
+        let result = engine.run(&Scheme::shuffle32(2).unwrap(), 13).unwrap();
+        if let Some(threshold) = result.mse_for_yield(0.95) {
+            assert!(result.yield_at_mse(threshold) >= 0.95);
+        }
+    }
+
+    #[test]
+    fn run_catalogue_preserves_scheme_order_and_names() {
+        let engine = MonteCarloEngine::new(small_config().with_samples_per_count(5));
+        let schemes = [Scheme::unprotected32(), Scheme::pecc32()];
+        let results = engine.run_catalogue(&schemes, 1).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].scheme_name, "no-correction");
+        assert!(results[1].scheme_name.contains("P-ECC"));
+    }
+}

@@ -1,0 +1,231 @@
+//! The local mean-square-error quality function (Eq. (6) of the paper).
+//!
+//! The paper uses the MSE over the error magnitudes of all words in the
+//! memory as a fast, application-agnostic proxy for output quality:
+//!
+//! ```text
+//!   MSE = (1/R) · Σ_i (2^{b_i})²         0 ≤ b_i < W
+//! ```
+//!
+//! where `b_i` is the data-bit position affected by the `i`-th failure after
+//! the protection scheme has done its work (a corrected failure contributes
+//! nothing; an unprotected failure at the MSB contributes `4^{W-1}`).
+//!
+//! The implementation evaluates each faulty row through the scheme's
+//! [`observe`](faultmit_core::MitigationScheme::observe) path with an
+//! all-zeros background so that every bit-flip fault is observable, and sums
+//! `4^b` over the bit positions that differ — identical to Eq. (6) for the
+//! paper's bit-flip injection model.
+
+use faultmit_core::MitigationScheme;
+use faultmit_memsim::FaultMap;
+
+/// Squared error magnitude of one corrupted word: `Σ 4^b` over the bit
+/// positions where `observed` differs from `written`.
+///
+/// # Example
+///
+/// ```
+/// use faultmit_analysis::word_squared_error;
+///
+/// assert_eq!(word_squared_error(0b0000, 0b0001), 1.0);        // bit 0
+/// assert_eq!(word_squared_error(0b0000, 0b1000), 64.0);       // bit 3 → 4^3
+/// assert_eq!(word_squared_error(0b0000, 0b1001), 65.0);       // both
+/// assert_eq!(word_squared_error(42, 42), 0.0);
+/// ```
+#[must_use]
+pub fn word_squared_error(written: u64, observed: u64) -> f64 {
+    let mut diff = written ^ observed;
+    let mut total = 0.0;
+    while diff != 0 {
+        let bit = diff.trailing_zeros();
+        total += 4.0_f64.powi(bit as i32);
+        diff &= diff - 1;
+    }
+    total
+}
+
+/// Squared error contributed by one row of a faulty memory under a protection
+/// scheme, assuming an all-zeros data background (every bit-flip fault is
+/// observable, matching the paper's injection model).
+#[must_use]
+pub fn row_squared_error<S: MitigationScheme + ?Sized>(
+    scheme: &S,
+    faults: &FaultMap,
+    row: usize,
+) -> f64 {
+    let observed = scheme.observe(faults, row, 0);
+    word_squared_error(0, observed.value)
+}
+
+/// The memory-wide MSE of Eq. (6): the mean over all `R` rows of the squared
+/// error magnitude each row exhibits under the given protection scheme.
+///
+/// Rows without faults contribute zero, so only faulty rows are visited.
+#[must_use]
+pub fn memory_mse<S: MitigationScheme + ?Sized>(scheme: &S, faults: &FaultMap) -> f64 {
+    let rows = faults.config().rows() as f64;
+    let total: f64 = faults
+        .faulty_rows()
+        .map(|row| row_squared_error(scheme, faults, row))
+        .sum();
+    total / rows
+}
+
+/// The memory-wide MSE for a specific data image (one value per row), using
+/// the actual written values instead of the all-zeros background. Stuck-at
+/// faults that happen to agree with the stored data then contribute nothing.
+///
+/// # Panics
+///
+/// Panics if `data` has fewer entries than the memory has rows.
+#[must_use]
+pub fn memory_mse_for_data<S: MitigationScheme + ?Sized>(
+    scheme: &S,
+    faults: &FaultMap,
+    data: &[u64],
+) -> f64 {
+    let rows = faults.config().rows();
+    assert!(
+        data.len() >= rows,
+        "data image has {} entries but the memory has {rows} rows",
+        data.len()
+    );
+    let total: f64 = faults
+        .faulty_rows()
+        .map(|row| {
+            let observed = scheme.observe(faults, row, data[row]);
+            word_squared_error(data[row], observed.value)
+        })
+        .sum();
+    total / rows as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultmit_core::Scheme;
+    use faultmit_memsim::{Fault, MemoryConfig};
+
+    fn map(faults: &[Fault]) -> FaultMap {
+        let config = MemoryConfig::new(64, 32).unwrap();
+        FaultMap::from_faults(config, faults.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn word_squared_error_basic_cases() {
+        assert_eq!(word_squared_error(0, 0), 0.0);
+        assert_eq!(word_squared_error(0, 1 << 31), 4.0_f64.powi(31));
+        assert_eq!(
+            word_squared_error(0xFF, 0x0F),
+            4.0_f64.powi(4) + 4.0_f64.powi(5) + 4.0_f64.powi(6) + 4.0_f64.powi(7)
+        );
+    }
+
+    #[test]
+    fn unprotected_mse_matches_equation_6() {
+        // Two failures at bits 31 and 3 in a 64-row memory:
+        // MSE = (4^31 + 4^3) / 64.
+        let faults = map(&[Fault::bit_flip(0, 31), Fault::bit_flip(17, 3)]);
+        let mse = memory_mse(&Scheme::unprotected32(), &faults);
+        let expected = (4.0_f64.powi(31) + 4.0_f64.powi(3)) / 64.0;
+        assert!((mse - expected).abs() < expected * 1e-12);
+    }
+
+    #[test]
+    fn secded_mse_is_zero_for_single_fault_per_word() {
+        let faults = map(&[Fault::bit_flip(0, 31), Fault::bit_flip(17, 3)]);
+        assert_eq!(memory_mse(&Scheme::secded32(), &faults), 0.0);
+    }
+
+    #[test]
+    fn secded_mse_is_nonzero_for_double_fault_words() {
+        let faults = map(&[Fault::bit_flip(4, 30), Fault::bit_flip(4, 2)]);
+        assert!(memory_mse(&Scheme::secded32(), &faults) > 0.0);
+    }
+
+    #[test]
+    fn shuffle_mse_is_bounded_by_segment_size() {
+        // 10 single-fault rows, all at high-significance bits.
+        let faults: Vec<Fault> = (0..10).map(|r| Fault::bit_flip(r, 31 - r)).collect();
+        let faults = map(&faults);
+        for n_fm in 1..=5usize {
+            let scheme = Scheme::shuffle32(n_fm).unwrap();
+            let s = 32usize >> n_fm;
+            let per_fault_bound = 4.0_f64.powi(s as i32 - 1);
+            let mse = memory_mse(&scheme, &faults);
+            assert!(
+                mse <= 10.0 * per_fault_bound / 64.0 + 1e-9,
+                "n_FM {n_fm}: {mse}"
+            );
+        }
+    }
+
+    #[test]
+    fn mse_ordering_matches_fig5_for_msb_faults() {
+        // Faults in the MSB half: unprotected >> P-ECC-corrected == 0,
+        // shuffling small but non-zero.
+        let faults = map(&[Fault::bit_flip(3, 31), Fault::bit_flip(9, 29)]);
+        let unprotected = memory_mse(&Scheme::unprotected32(), &faults);
+        let pecc = memory_mse(&Scheme::pecc32(), &faults);
+        let shuffle1 = memory_mse(&Scheme::shuffle32(1).unwrap(), &faults);
+        assert!(unprotected > shuffle1);
+        assert_eq!(pecc, 0.0);
+        assert!(shuffle1 > 0.0);
+    }
+
+    #[test]
+    fn mse_ordering_matches_fig5_for_lsb_half_faults() {
+        // Faults in the unprotected P-ECC half at bit 15: P-ECC pays 4^15,
+        // bit-shuffling with nFM >= 2 pays at most 4^7.
+        let faults = map(&[Fault::bit_flip(3, 15), Fault::bit_flip(9, 14)]);
+        let pecc = memory_mse(&Scheme::pecc32(), &faults);
+        let shuffle2 = memory_mse(&Scheme::shuffle32(2).unwrap(), &faults);
+        let shuffle5 = memory_mse(&Scheme::shuffle32(5).unwrap(), &faults);
+        assert!(pecc > shuffle2);
+        assert!(shuffle2 > shuffle5);
+    }
+
+    #[test]
+    fn mse_scales_inversely_with_memory_rows() {
+        let small = MemoryConfig::new(16, 32).unwrap();
+        let large = MemoryConfig::new(256, 32).unwrap();
+        let fault = Fault::bit_flip(1, 20);
+        let small_map = FaultMap::from_faults(small, [fault]).unwrap();
+        let large_map = FaultMap::from_faults(large, [fault]).unwrap();
+        let scheme = Scheme::unprotected32();
+        let ratio = memory_mse(&scheme, &small_map) / memory_mse(&scheme, &large_map);
+        assert!((ratio - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn data_dependent_mse_sees_silent_stuck_at_faults() {
+        let config = MemoryConfig::new(16, 32).unwrap();
+        let faults =
+            FaultMap::from_faults(config, [Fault::stuck_at_one(2, 31)]).unwrap();
+        let scheme = Scheme::unprotected32();
+        // Background where bit 31 of row 2 is already set: the stuck-at-one
+        // fault is silent.
+        let mut data = vec![0u64; 16];
+        data[2] = 1 << 31;
+        assert_eq!(memory_mse_for_data(&scheme, &faults, &data), 0.0);
+        // All-zeros background: the same fault costs 4^31 / 16.
+        let zeros = vec![0u64; 16];
+        assert!(memory_mse_for_data(&scheme, &faults, &zeros) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "data image")]
+    fn data_dependent_mse_panics_on_short_image() {
+        let faults = map(&[Fault::bit_flip(0, 0)]);
+        let _ = memory_mse_for_data(&Scheme::unprotected32(), &faults, &[0u64; 3]);
+    }
+
+    #[test]
+    fn empty_fault_map_has_zero_mse() {
+        let faults = map(&[]);
+        for scheme in Scheme::fig5_catalogue() {
+            assert_eq!(memory_mse(&scheme, &faults), 0.0);
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! The quality-aware yield criterion of §4 (Eq. (3)–(5)).
+//!
+//! The traditional yield criterion rejects every die with one or more
+//! failures. The paper relaxes it: a die passes as long as its quality
+//! (here: the local MSE of Eq. (6)) stays below an application-specific
+//! threshold. The yield is then
+//!
+//! ```text
+//!   Pr(Q ≤ q_max) = Σ_n Pr(N = n) · Pr(Q ≤ q_max | N = n)
+//! ```
+//!
+//! [`YieldModel`] combines the binomial failure-count distribution
+//! (Eq. (4)) with per-failure-count quality distributions estimated by
+//! Monte-Carlo fault injection, and answers both directions of the question:
+//! the yield at a given quality constraint, and the quality constraint that
+//! must be tolerated to reach a given yield target.
+
+use crate::cdf::EmpiricalCdf;
+use crate::error::AnalysisError;
+use faultmit_memsim::FailureCountDistribution;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A `(target yield, tolerated quality)` pair, e.g. "99.9999 % of dies have
+/// MSE below 10⁶".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QualityBand {
+    /// The yield target in `[0, 1]`.
+    pub target_yield: f64,
+    /// The smallest quality threshold (lower quality value = better, e.g.
+    /// MSE) that achieves the target yield.
+    pub max_quality: f64,
+}
+
+/// Joint failure-count / quality model implementing Eq. (3)–(5).
+///
+/// Quality values are "lower is better" (the paper uses MSE). Dies with zero
+/// failures are assumed to have perfect quality (value 0).
+#[derive(Debug, Clone)]
+pub struct YieldModel {
+    distribution: FailureCountDistribution,
+    per_count: BTreeMap<u64, EmpiricalCdf>,
+}
+
+impl YieldModel {
+    /// Creates a model for the given failure-count distribution.
+    #[must_use]
+    pub fn new(distribution: FailureCountDistribution) -> Self {
+        Self {
+            distribution,
+            per_count: BTreeMap::new(),
+        }
+    }
+
+    /// The underlying failure-count distribution.
+    #[must_use]
+    pub fn distribution(&self) -> &FailureCountDistribution {
+        &self.distribution
+    }
+
+    /// Adds Monte-Carlo quality samples observed for dies with exactly
+    /// `failures` failures.
+    pub fn add_samples<I>(&mut self, failures: u64, samples: I)
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let cdf = self.per_count.entry(failures).or_default();
+        for sample in samples {
+            cdf.add(sample, 1.0);
+        }
+    }
+
+    /// Failure counts for which quality samples have been recorded.
+    #[must_use]
+    pub fn sampled_counts(&self) -> Vec<u64> {
+        self.per_count.keys().copied().collect()
+    }
+
+    /// `Pr(Q ≤ q_max | N = n)` from the recorded samples (1 for `n = 0`,
+    /// 0 for counts that were never sampled — a conservative assumption).
+    #[must_use]
+    pub fn conditional_pass_probability(&self, failures: u64, q_max: f64) -> f64 {
+        if failures == 0 {
+            return if q_max >= 0.0 { 1.0 } else { 0.0 };
+        }
+        match self.per_count.get(&failures) {
+            Some(cdf) if !cdf.is_empty() => cdf.probability_at_or_below(q_max),
+            _ => 0.0,
+        }
+    }
+
+    /// The yield at quality constraint `q_max`: `Σ_n Pr(N = n) · Pr(Q ≤ q_max | N = n)`
+    /// over `n = 0` and every sampled failure count (Eq. (5)).
+    #[must_use]
+    pub fn yield_at_quality(&self, q_max: f64) -> f64 {
+        let mut total = self.distribution.pmf(0) * self.conditional_pass_probability(0, q_max);
+        for (&n, cdf) in &self.per_count {
+            if cdf.is_empty() {
+                continue;
+            }
+            total += self.distribution.pmf(n) * cdf.probability_at_or_below(q_max);
+        }
+        total.min(1.0)
+    }
+
+    /// The traditional zero-failure yield `Pr(N = 0)` for reference.
+    #[must_use]
+    pub fn zero_failure_yield(&self) -> f64 {
+        self.distribution.pmf(0)
+    }
+
+    /// The smallest quality threshold that achieves `target_yield`, searched
+    /// over the union of all recorded sample values.
+    ///
+    /// Returns `None` when the target cannot be reached even when tolerating
+    /// the worst observed quality (e.g. because unsampled failure counts
+    /// carry too much probability mass).
+    #[must_use]
+    pub fn quality_for_yield(&self, target_yield: f64) -> Option<QualityBand> {
+        if self.yield_at_quality(0.0) >= target_yield {
+            return Some(QualityBand {
+                target_yield,
+                max_quality: 0.0,
+            });
+        }
+        // Candidate thresholds are the observed sample values themselves.
+        let mut thresholds: Vec<f64> = self
+            .per_count
+            .values()
+            .flat_map(|cdf| cdf.samples().map(|(value, _)| value))
+            .filter(|v| v.is_finite())
+            .collect();
+        thresholds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        thresholds.dedup();
+        thresholds
+            .into_iter()
+            .find(|&q| self.yield_at_quality(q) >= target_yield)
+            .map(|max_quality| QualityBand {
+                target_yield,
+                max_quality,
+            })
+    }
+
+    /// The combined, weighted quality CDF over all dies (the Fig. 5 series):
+    /// each sample of failure count `n` enters with weight
+    /// `Pr(N = n) / (#samples at n)`, and the zero-failure mass enters as a
+    /// perfect-quality sample.
+    #[must_use]
+    pub fn combined_cdf(&self) -> EmpiricalCdf {
+        let mut combined = EmpiricalCdf::new();
+        combined.add(0.0, self.distribution.pmf(0));
+        for (&n, cdf) in &self.per_count {
+            if cdf.is_empty() {
+                continue;
+            }
+            let scale = self.distribution.pmf(n) / cdf.total_weight();
+            for (value, weight) in cdf.samples() {
+                combined.add(value, weight * scale);
+            }
+        }
+        combined
+    }
+
+    /// Convenience: quality bands at the yield targets highlighted in the
+    /// paper (90 %, 99 %, 99.99 %, 99.9999 %).
+    #[must_use]
+    pub fn paper_quality_bands(&self) -> Vec<QualityBand> {
+        [0.9, 0.99, 0.9999, 0.999_999]
+            .iter()
+            .filter_map(|&target| self.quality_for_yield(target))
+            .collect()
+    }
+
+    /// Checks that at least one quality sample has been recorded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::EmptyDistribution`] when no samples exist.
+    pub fn ensure_populated(&self) -> Result<(), AnalysisError> {
+        if self.per_count.values().all(EmpiricalCdf::is_empty) {
+            Err(AnalysisError::EmptyDistribution)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn distribution() -> FailureCountDistribution {
+        // Small memory: 1000 cells at P_cell = 1e-3 → mean 1 failure.
+        FailureCountDistribution::new(1000, 1e-3).unwrap()
+    }
+
+    #[test]
+    fn zero_failure_yield_matches_distribution() {
+        let model = YieldModel::new(distribution());
+        assert!((model.zero_failure_yield() - distribution().pmf(0)).abs() < 1e-15);
+        assert!(model.ensure_populated().is_err());
+    }
+
+    #[test]
+    fn conditional_probability_for_zero_failures_is_one() {
+        let model = YieldModel::new(distribution());
+        assert_eq!(model.conditional_pass_probability(0, 0.0), 1.0);
+        assert_eq!(model.conditional_pass_probability(0, 1e9), 1.0);
+        // Unsampled counts are conservatively treated as failing.
+        assert_eq!(model.conditional_pass_probability(3, 1e9), 0.0);
+    }
+
+    #[test]
+    fn yield_at_quality_combines_counts() {
+        let mut model = YieldModel::new(distribution());
+        // Dies with 1 failure: half have MSE 10, half MSE 1000.
+        model.add_samples(1, [10.0, 10.0, 1000.0, 1000.0]);
+        // Dies with 2 failures: all have MSE 1e6.
+        model.add_samples(2, [1e6, 1e6]);
+        assert!(model.ensure_populated().is_ok());
+
+        let p0 = distribution().pmf(0);
+        let p1 = distribution().pmf(1);
+        let p2 = distribution().pmf(2);
+
+        let y = model.yield_at_quality(100.0);
+        assert!((y - (p0 + 0.5 * p1)).abs() < 1e-12);
+        let y = model.yield_at_quality(1e5);
+        assert!((y - (p0 + p1)).abs() < 1e-12);
+        let y = model.yield_at_quality(1e7);
+        assert!((y - (p0 + p1 + p2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn yield_is_monotone_in_quality_threshold() {
+        let mut model = YieldModel::new(distribution());
+        model.add_samples(1, (1..=50).map(|i| i as f64 * 7.0));
+        model.add_samples(2, (1..=50).map(|i| i as f64 * 70.0));
+        let mut previous = 0.0;
+        for q in [0.0, 10.0, 100.0, 1000.0, 10000.0] {
+            let y = model.yield_at_quality(q);
+            assert!(y >= previous);
+            assert!(y <= 1.0);
+            previous = y;
+        }
+    }
+
+    #[test]
+    fn quality_for_yield_finds_smallest_threshold() {
+        let mut model = YieldModel::new(distribution());
+        model.add_samples(1, [1.0, 2.0, 3.0, 4.0]);
+        // Zero-failure mass alone is ~36.8%, so a 30% target needs MSE 0.
+        let band = model.quality_for_yield(0.3).unwrap();
+        assert_eq!(band.max_quality, 0.0);
+        // A 50% target needs to also accept some single-failure dies.
+        let band = model.quality_for_yield(0.5).unwrap();
+        assert!(band.max_quality >= 1.0);
+        assert!(model.yield_at_quality(band.max_quality) >= 0.5);
+        // An unreachable target returns None (dies with ≥2 failures are
+        // unsampled and there are not enough sampled ones).
+        assert!(model.quality_for_yield(0.9999).is_none());
+    }
+
+    #[test]
+    fn combined_cdf_total_weight_tracks_coverage() {
+        let mut model = YieldModel::new(distribution());
+        model.add_samples(1, [5.0; 10]);
+        model.add_samples(2, [50.0; 10]);
+        let combined = model.combined_cdf();
+        let expected_weight =
+            distribution().pmf(0) + distribution().pmf(1) + distribution().pmf(2);
+        assert!((combined.total_weight() - expected_weight).abs() < 1e-9);
+        // Quality 5 or better: zero-failure dies plus all one-failure dies.
+        let p = combined.probability_at_or_below(5.0) * combined.total_weight();
+        assert!((p - (distribution().pmf(0) + distribution().pmf(1))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_quality_bands_are_sorted_by_difficulty() {
+        let mut model = YieldModel::new(FailureCountDistribution::new(1000, 1e-4).unwrap());
+        model.add_samples(1, (1..=100).map(f64::from));
+        let bands = model.paper_quality_bands();
+        assert!(!bands.is_empty());
+        for window in bands.windows(2) {
+            assert!(window[1].target_yield >= window[0].target_yield);
+            assert!(window[1].max_quality >= window[0].max_quality);
+        }
+    }
+}

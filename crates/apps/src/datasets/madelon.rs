@@ -1,0 +1,209 @@
+//! Synthetic Madelon-like dataset.
+//!
+//! Stands in for the NIPS-2003 "Madelon" feature-selection dataset [19] used
+//! by the paper's PCA benchmark. Madelon's structure is: a handful of
+//! *informative* features placed on the vertices of a hypercube (defining a
+//! two-class XOR-like problem), a set of *redundant* features that are linear
+//! combinations of the informative ones, and a large number of useless
+//! *probe* (noise) features. What matters for the PCA benchmark is exactly
+//! this low-rank-signal-plus-noise structure: the explained variance of the
+//! leading components collapses when the stored features are corrupted at
+//! high-significance bit positions.
+
+use super::ClassificationDataset;
+use crate::linalg::Matrix;
+use faultmit_memsim::stats::sample_standard_normal;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Generator for the synthetic Madelon-like dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MadelonDataset {
+    samples: usize,
+    informative: usize,
+    redundant: usize,
+    noise: usize,
+    seed: u64,
+}
+
+impl MadelonDataset {
+    /// Creates a generator with explicit feature structure.
+    #[must_use]
+    pub fn new(samples: usize, informative: usize, redundant: usize, noise: usize, seed: u64) -> Self {
+        Self {
+            samples,
+            informative: informative.max(1),
+            redundant,
+            noise,
+            seed,
+        }
+    }
+
+    /// The original Madelon geometry: 2000 samples, 5 informative features,
+    /// 15 redundant, 480 probes (500 features total).
+    #[must_use]
+    pub fn paper_scale() -> Self {
+        Self::new(2000, 5, 15, 480, 0x4D41_4445)
+    }
+
+    /// Number of samples this generator produces.
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Total feature count (informative + redundant + noise).
+    #[must_use]
+    pub fn feature_count(&self) -> usize {
+        self.informative + self.redundant + self.noise
+    }
+
+    /// Number of informative features.
+    #[must_use]
+    pub fn informative(&self) -> usize {
+        self.informative
+    }
+
+    /// Generates the dataset.
+    #[must_use]
+    pub fn generate(&self) -> ClassificationDataset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let p = self.feature_count();
+        let mut features = Matrix::zeros(self.samples, p);
+        let mut labels = Vec::with_capacity(self.samples);
+
+        // Mixing matrix for redundant features (fixed per dataset).
+        let mixing: Vec<Vec<f64>> = (0..self.redundant)
+            .map(|_| {
+                (0..self.informative)
+                    .map(|_| sample_standard_normal(&mut rng))
+                    .collect()
+            })
+            .collect();
+
+        for row in 0..self.samples {
+            // Informative features: cluster centres at hypercube vertices
+            // (scaled), plus within-cluster noise. The label is an XOR-style
+            // function of the first two vertex coordinates, as in Madelon.
+            let vertex: Vec<bool> = (0..self.informative).map(|_| rng.gen::<bool>()).collect();
+            let informative: Vec<f64> = vertex
+                .iter()
+                .map(|&bit| {
+                    let centre = if bit { 2.0 } else { -2.0 };
+                    centre + 0.7 * sample_standard_normal(&mut rng)
+                })
+                .collect();
+            let label = usize::from(vertex[0] ^ vertex[self.informative.min(2) - 1]);
+
+            for (j, &value) in informative.iter().enumerate() {
+                features.set(row, j, value);
+            }
+            for (r, weights) in mixing.iter().enumerate() {
+                let value: f64 = weights
+                    .iter()
+                    .zip(&informative)
+                    .map(|(w, x)| w * x)
+                    .sum::<f64>()
+                    / (self.informative as f64).sqrt()
+                    + 0.1 * sample_standard_normal(&mut rng);
+                features.set(row, self.informative + r, value);
+            }
+            for n in 0..self.noise {
+                features.set(
+                    row,
+                    self.informative + self.redundant + n,
+                    sample_standard_normal(&mut rng),
+                );
+            }
+            labels.push(label);
+        }
+
+        ClassificationDataset {
+            features,
+            labels,
+            class_names: vec!["class -1".into(), "class +1".into()],
+        }
+    }
+}
+
+impl Default for MadelonDataset {
+    /// A reduced default (200 samples, 5+15+60 features) suitable for
+    /// Monte-Carlo loops while keeping the informative/redundant/probe
+    /// structure.
+    fn default() -> Self {
+        Self::new(200, 5, 15, 60, 0x4D41_4445)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pca::Pca;
+    use crate::preprocessing::Standardizer;
+
+    #[test]
+    fn geometry_matches_configuration() {
+        let ds = MadelonDataset::default().generate();
+        assert_eq!(ds.features.rows(), 200);
+        assert_eq!(ds.features.cols(), 80);
+        assert_eq!(ds.labels.len(), 200);
+        assert_eq!(ds.class_count(), 2);
+        assert_eq!(MadelonDataset::paper_scale().feature_count(), 500);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = MadelonDataset::new(40, 3, 4, 10, 7).generate();
+        let b = MadelonDataset::new(40, 3, 4, 10, 7).generate();
+        let c = MadelonDataset::new(40, 3, 4, 10, 8).generate();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn labels_are_roughly_balanced() {
+        let ds = MadelonDataset::default().generate();
+        let ones = ds.labels.iter().filter(|&&l| l == 1).count();
+        let fraction = ones as f64 / ds.labels.len() as f64;
+        assert!((0.3..=0.7).contains(&fraction), "class balance {fraction}");
+    }
+
+    #[test]
+    fn informative_block_carries_most_variance() {
+        // The benchmark's premise: a few leading components explain a large
+        // share of the variance because redundant features are linear
+        // combinations of the informative ones.
+        let ds = MadelonDataset::default().generate();
+        let scaled = Standardizer::fit(&ds.features)
+            .transform(&ds.features)
+            .unwrap();
+        let mut pca = Pca::new(5).unwrap();
+        pca.fit(&scaled).unwrap();
+        let explained = pca.total_explained_variance().unwrap();
+        // 5 of 80 standardised features (6 %) explain far more than their
+        // share because of the redundant block.
+        assert!(explained > 0.2, "explained variance {explained}");
+        assert!(explained < 0.95);
+    }
+
+    #[test]
+    fn noise_features_have_unit_scale() {
+        let ds = MadelonDataset::new(500, 5, 5, 20, 3).generate();
+        let stds = ds.features.column_stds();
+        for j in 10..30 {
+            assert!((stds[j] - 1.0).abs() < 0.2, "noise feature {j} std {}", stds[j]);
+        }
+    }
+
+    #[test]
+    fn informative_features_are_bimodal_with_wide_spread() {
+        let ds = MadelonDataset::new(500, 5, 0, 0, 11).generate();
+        let stds = ds.features.column_stds();
+        for j in 0..5 {
+            // Cluster centres at ±2 dominate: std is well above the
+            // within-cluster noise of 0.7.
+            assert!(stds[j] > 1.5, "informative feature {j} std {}", stds[j]);
+        }
+    }
+}

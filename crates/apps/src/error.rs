@@ -1,0 +1,128 @@
+//! Error types for the application crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the data-mining benchmarks and their substrates.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AppError {
+    /// Matrix dimensions are incompatible with the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
+    /// A model was asked to predict before being fitted.
+    NotFitted {
+        /// Name of the model.
+        model: String,
+    },
+    /// A hyper-parameter or configuration value is invalid.
+    InvalidParameter {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A numerical routine failed to converge.
+    DidNotConverge {
+        /// Name of the routine.
+        routine: String,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// An underlying memory operation failed.
+    Memory(faultmit_memsim::MemError),
+    /// An underlying bit-shuffling / scheme operation failed.
+    Core(faultmit_core::CoreError),
+    /// An underlying analysis operation failed.
+    Analysis(faultmit_analysis::AnalysisError),
+}
+
+impl fmt::Display for AppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppError::DimensionMismatch { reason } => {
+                write!(f, "dimension mismatch: {reason}")
+            }
+            AppError::NotFitted { model } => {
+                write!(f, "{model} must be fitted before use")
+            }
+            AppError::InvalidParameter { reason } => {
+                write!(f, "invalid parameter: {reason}")
+            }
+            AppError::DidNotConverge {
+                routine,
+                iterations,
+            } => write!(f, "{routine} did not converge after {iterations} iterations"),
+            AppError::Memory(e) => write!(f, "memory error: {e}"),
+            AppError::Core(e) => write!(f, "scheme error: {e}"),
+            AppError::Analysis(e) => write!(f, "analysis error: {e}"),
+        }
+    }
+}
+
+impl Error for AppError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AppError::Memory(e) => Some(e),
+            AppError::Core(e) => Some(e),
+            AppError::Analysis(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<faultmit_memsim::MemError> for AppError {
+    fn from(value: faultmit_memsim::MemError) -> Self {
+        AppError::Memory(value)
+    }
+}
+
+impl From<faultmit_core::CoreError> for AppError {
+    fn from(value: faultmit_core::CoreError) -> Self {
+        AppError::Core(value)
+    }
+}
+
+impl From<faultmit_analysis::AnalysisError> for AppError {
+    fn from(value: faultmit_analysis::AnalysisError) -> Self {
+        AppError::Analysis(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(AppError::NotFitted {
+            model: "PCA".to_owned()
+        }
+        .to_string()
+        .contains("PCA"));
+        assert!(AppError::DidNotConverge {
+            routine: "jacobi".to_owned(),
+            iterations: 100
+        }
+        .to_string()
+        .contains("100"));
+    }
+
+    #[test]
+    fn sources_are_exposed() {
+        let err = AppError::from(faultmit_memsim::MemError::InvalidProbability { value: 7.0 });
+        assert!(Error::source(&err).is_some());
+        let err = AppError::from(faultmit_analysis::AnalysisError::EmptyDistribution);
+        assert!(Error::source(&err).is_some());
+        let err = AppError::DimensionMismatch {
+            reason: "3x2 * 4x4".to_owned(),
+        };
+        assert!(Error::source(&err).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AppError>();
+    }
+}

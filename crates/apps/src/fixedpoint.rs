@@ -1,0 +1,223 @@
+//! Fixed-point quantisation of benchmark data.
+//!
+//! The paper stores the benchmarks' training data as 32-bit 2's-complement
+//! integers in the faulty memory; the error-magnitude analysis (Fig. 4,
+//! Eq. (6)) is phrased in terms of that representation. [`FixedPointFormat`]
+//! converts between `f64` feature values and the signed Q-format words that
+//! are written to (and corrupted by) the memory.
+
+use crate::error::AppError;
+use serde::{Deserialize, Serialize};
+
+/// A signed fixed-point format with `word_bits` total bits, of which
+/// `frac_bits` are fractional (Q notation: `Q(word_bits-frac_bits-1).frac_bits`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FixedPointFormat {
+    word_bits: usize,
+    frac_bits: usize,
+}
+
+impl FixedPointFormat {
+    /// Creates a format with the given total and fractional bit counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AppError::InvalidParameter`] when `word_bits` is not in
+    /// `2..=64` or `frac_bits ≥ word_bits`.
+    pub fn new(word_bits: usize, frac_bits: usize) -> Result<Self, AppError> {
+        if !(2..=64).contains(&word_bits) {
+            return Err(AppError::InvalidParameter {
+                reason: format!("word width must be in 2..=64, got {word_bits}"),
+            });
+        }
+        if frac_bits >= word_bits {
+            return Err(AppError::InvalidParameter {
+                reason: format!(
+                    "fractional bits ({frac_bits}) must be less than the word width ({word_bits})"
+                ),
+            });
+        }
+        Ok(Self {
+            word_bits,
+            frac_bits,
+        })
+    }
+
+    /// The paper's storage format: 32-bit words with 16 fractional bits
+    /// (Q15.16), giving a ±32768 range with ~1.5e-5 resolution — ample for
+    /// standardised features.
+    #[must_use]
+    pub fn q15_16() -> Self {
+        Self {
+            word_bits: 32,
+            frac_bits: 16,
+        }
+    }
+
+    /// Total word width in bits.
+    #[must_use]
+    pub fn word_bits(&self) -> usize {
+        self.word_bits
+    }
+
+    /// Number of fractional bits.
+    #[must_use]
+    pub fn frac_bits(&self) -> usize {
+        self.frac_bits
+    }
+
+    /// Smallest representable increment.
+    #[must_use]
+    pub fn resolution(&self) -> f64 {
+        2.0_f64.powi(-(self.frac_bits as i32))
+    }
+
+    /// Largest representable value.
+    #[must_use]
+    pub fn max_value(&self) -> f64 {
+        let max_raw = (1i64 << (self.word_bits - 1)) - 1;
+        max_raw as f64 * self.resolution()
+    }
+
+    /// Most negative representable value.
+    #[must_use]
+    pub fn min_value(&self) -> f64 {
+        let min_raw = -(1i64 << (self.word_bits - 1));
+        min_raw as f64 * self.resolution()
+    }
+
+    fn word_mask(&self) -> u64 {
+        if self.word_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.word_bits) - 1
+        }
+    }
+
+    /// Quantises a real value to its memory word (2's complement in the low
+    /// `word_bits` bits). Values outside the representable range saturate.
+    #[must_use]
+    pub fn encode(&self, value: f64) -> u64 {
+        let clamped = value.clamp(self.min_value(), self.max_value());
+        let scaled = (clamped / self.resolution()).round() as i64;
+        (scaled as u64) & self.word_mask()
+    }
+
+    /// Reconstructs the real value from a memory word.
+    #[must_use]
+    pub fn decode(&self, word: u64) -> f64 {
+        let word = word & self.word_mask();
+        let sign_bit = 1u64 << (self.word_bits - 1);
+        let signed = if word & sign_bit != 0 {
+            word as i64 - (1i64 << self.word_bits)
+        } else {
+            word as i64
+        };
+        signed as f64 * self.resolution()
+    }
+
+    /// Encodes a slice of values.
+    #[must_use]
+    pub fn encode_all(&self, values: &[f64]) -> Vec<u64> {
+        values.iter().map(|&v| self.encode(v)).collect()
+    }
+
+    /// Decodes a slice of words.
+    #[must_use]
+    pub fn decode_all(&self, words: &[u64]) -> Vec<f64> {
+        words.iter().map(|&w| self.decode(w)).collect()
+    }
+}
+
+impl Default for FixedPointFormat {
+    /// Defaults to the paper's Q15.16 storage format.
+    fn default() -> Self {
+        Self::q15_16()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q15_16_geometry() {
+        let fmt = FixedPointFormat::q15_16();
+        assert_eq!(fmt.word_bits(), 32);
+        assert_eq!(fmt.frac_bits(), 16);
+        assert!((fmt.resolution() - 1.0 / 65536.0).abs() < 1e-15);
+        assert!(fmt.max_value() > 32767.0);
+        assert!(fmt.min_value() < -32767.0);
+    }
+
+    #[test]
+    fn invalid_formats_are_rejected() {
+        assert!(FixedPointFormat::new(1, 0).is_err());
+        assert!(FixedPointFormat::new(65, 0).is_err());
+        assert!(FixedPointFormat::new(16, 16).is_err());
+        assert!(FixedPointFormat::new(16, 15).is_ok());
+    }
+
+    #[test]
+    fn round_trip_is_within_half_lsb() {
+        let fmt = FixedPointFormat::q15_16();
+        for &value in &[0.0, 1.0, -1.0, 3.14159, -2.71828, 1000.5, -999.25, 0.00002] {
+            let decoded = fmt.decode(fmt.encode(value));
+            assert!(
+                (decoded - value).abs() <= fmt.resolution() / 2.0 + 1e-12,
+                "value {value} decoded as {decoded}"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_values_use_twos_complement() {
+        let fmt = FixedPointFormat::q15_16();
+        let word = fmt.encode(-1.0);
+        // -1.0 in Q15.16 is -65536 → 0xFFFF_0000 in 2's complement.
+        assert_eq!(word, 0xFFFF_0000);
+        assert_eq!(fmt.decode(word), -1.0);
+        // The sign bit is the MSB: flipping it produces a huge error, which is
+        // exactly why significance matters.
+        let corrupted = word ^ (1 << 31);
+        assert!((fmt.decode(corrupted) - fmt.decode(word)).abs() > 30_000.0);
+    }
+
+    #[test]
+    fn lsb_corruption_is_negligible() {
+        let fmt = FixedPointFormat::q15_16();
+        let word = fmt.encode(5.25);
+        let corrupted = word ^ 1;
+        assert!((fmt.decode(corrupted) - 5.25).abs() <= fmt.resolution() + 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_values_saturate() {
+        let fmt = FixedPointFormat::new(8, 4).unwrap(); // range ±8
+        assert_eq!(fmt.decode(fmt.encode(100.0)), fmt.max_value());
+        assert_eq!(fmt.decode(fmt.encode(-100.0)), fmt.min_value());
+    }
+
+    #[test]
+    fn bulk_encode_decode() {
+        let fmt = FixedPointFormat::q15_16();
+        let values = vec![0.5, -0.5, 2.0];
+        let words = fmt.encode_all(&values);
+        let decoded = fmt.decode_all(&words);
+        for (a, b) in values.iter().zip(&decoded) {
+            assert!((a - b).abs() < fmt.resolution());
+        }
+    }
+
+    #[test]
+    fn encode_masks_to_word_width() {
+        let fmt = FixedPointFormat::new(16, 8).unwrap();
+        let word = fmt.encode(-3.5);
+        assert_eq!(word >> 16, 0, "encoded word must fit the word width");
+    }
+
+    #[test]
+    fn default_is_q15_16() {
+        assert_eq!(FixedPointFormat::default(), FixedPointFormat::q15_16());
+    }
+}

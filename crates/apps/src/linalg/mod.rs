@@ -1,0 +1,11 @@
+//! Minimal dense linear-algebra substrate for the benchmark algorithms.
+//!
+//! Only what Elasticnet, PCA and KNN need: a row-major dense [`Matrix`] with
+//! basic arithmetic, column statistics, and a Jacobi eigen-decomposition for
+//! symmetric matrices ([`eigen`]).
+
+pub mod eigen;
+pub mod matrix;
+
+pub use eigen::{jacobi_eigen, EigenDecomposition};
+pub use matrix::Matrix;

@@ -1,0 +1,178 @@
+//! Quality metrics used in Table 1 of the paper: R² (regression), explained
+//! variance (dimensionality reduction) and classification score.
+
+use crate::error::AppError;
+
+/// Coefficient of determination R² of a regression.
+///
+/// `R² = 1 − SS_res / SS_tot`. A perfect prediction scores 1.0; predicting the
+/// mean scores 0.0; worse-than-mean predictions are negative.
+///
+/// # Errors
+///
+/// Returns [`AppError::DimensionMismatch`] when the slices differ in length or
+/// are empty.
+///
+/// # Example
+///
+/// ```
+/// use faultmit_apps::metrics::r2_score;
+///
+/// # fn main() -> Result<(), faultmit_apps::AppError> {
+/// let perfect = r2_score(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0])?;
+/// assert!((perfect - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn r2_score(truth: &[f64], predicted: &[f64]) -> Result<f64, AppError> {
+    check_lengths(truth, predicted)?;
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean).powi(2)).sum();
+    let ss_res: f64 = truth
+        .iter()
+        .zip(predicted)
+        .map(|(t, p)| (t - p).powi(2))
+        .sum();
+    if ss_tot <= f64::EPSILON {
+        // Constant target: define R² as 1 when predictions match, 0 otherwise.
+        return Ok(if ss_res <= f64::EPSILON { 1.0 } else { 0.0 });
+    }
+    Ok(1.0 - ss_res / ss_tot)
+}
+
+/// Explained-variance score of a reconstruction: `1 − Var(truth − predicted) / Var(truth)`.
+///
+/// Used as the PCA quality metric: how much of the original data's variance
+/// the retained principal components capture.
+///
+/// # Errors
+///
+/// Returns [`AppError::DimensionMismatch`] when the slices differ in length or
+/// are empty.
+pub fn explained_variance_score(truth: &[f64], predicted: &[f64]) -> Result<f64, AppError> {
+    check_lengths(truth, predicted)?;
+    let n = truth.len() as f64;
+    let residuals: Vec<f64> = truth.iter().zip(predicted).map(|(t, p)| t - p).collect();
+    let res_mean = residuals.iter().sum::<f64>() / n;
+    let res_var = residuals.iter().map(|r| (r - res_mean).powi(2)).sum::<f64>() / n;
+    let truth_mean = truth.iter().sum::<f64>() / n;
+    let truth_var = truth.iter().map(|t| (t - truth_mean).powi(2)).sum::<f64>() / n;
+    if truth_var <= f64::EPSILON {
+        return Ok(if res_var <= f64::EPSILON { 1.0 } else { 0.0 });
+    }
+    Ok(1.0 - res_var / truth_var)
+}
+
+/// Classification accuracy: the fraction of predictions equal to the truth.
+///
+/// # Errors
+///
+/// Returns [`AppError::DimensionMismatch`] when the slices differ in length or
+/// are empty.
+pub fn accuracy_score(truth: &[usize], predicted: &[usize]) -> Result<f64, AppError> {
+    if truth.is_empty() || truth.len() != predicted.len() {
+        return Err(AppError::DimensionMismatch {
+            reason: format!(
+                "accuracy needs equal, non-empty label vectors (got {} and {})",
+                truth.len(),
+                predicted.len()
+            ),
+        });
+    }
+    let correct = truth
+        .iter()
+        .zip(predicted)
+        .filter(|(t, p)| t == p)
+        .count();
+    Ok(correct as f64 / truth.len() as f64)
+}
+
+/// Clamps a quality value to `[0, 1]` and normalises it against a fault-free
+/// baseline, as the Fig. 7 CDFs do (a fault-free run maps to 1.0).
+#[must_use]
+pub fn normalized_quality(quality: f64, baseline: f64) -> f64 {
+    if baseline.abs() <= f64::EPSILON {
+        return 0.0;
+    }
+    (quality / baseline).clamp(0.0, 1.0)
+}
+
+fn check_lengths(truth: &[f64], predicted: &[f64]) -> Result<(), AppError> {
+    if truth.is_empty() || truth.len() != predicted.len() {
+        return Err(AppError::DimensionMismatch {
+            reason: format!(
+                "metric needs equal, non-empty vectors (got {} and {})",
+                truth.len(),
+                predicted.len()
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r2_of_perfect_and_mean_predictions() {
+        let truth = [1.0, 2.0, 3.0, 4.0];
+        assert!((r2_score(&truth, &truth).unwrap() - 1.0).abs() < 1e-12);
+        let mean_pred = [2.5; 4];
+        assert!(r2_score(&truth, &mean_pred).unwrap().abs() < 1e-12);
+        // Predicting badly gives a negative score.
+        let bad = [10.0, -10.0, 10.0, -10.0];
+        assert!(r2_score(&truth, &bad).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn r2_handles_constant_targets() {
+        assert_eq!(r2_score(&[5.0, 5.0], &[5.0, 5.0]).unwrap(), 1.0);
+        assert_eq!(r2_score(&[5.0, 5.0], &[4.0, 6.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn explained_variance_matches_r2_for_unbiased_residuals() {
+        let truth = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let predicted = [1.1, 1.9, 3.1, 3.9, 5.0];
+        let r2 = r2_score(&truth, &predicted).unwrap();
+        let ev = explained_variance_score(&truth, &predicted).unwrap();
+        assert!((r2 - ev).abs() < 0.02);
+        assert!(ev > 0.95);
+    }
+
+    #[test]
+    fn explained_variance_ignores_constant_bias() {
+        // A constant offset leaves the residual variance at zero.
+        let truth = [1.0, 2.0, 3.0];
+        let shifted = [2.0, 3.0, 4.0];
+        assert!((explained_variance_score(&truth, &shifted).unwrap() - 1.0).abs() < 1e-12);
+        // R² penalises the bias.
+        assert!(r2_score(&truth, &shifted).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy_score(&[1, 2, 3], &[1, 2, 3]).unwrap(), 1.0);
+        assert_eq!(accuracy_score(&[1, 2, 3], &[1, 0, 0]).unwrap(), 1.0 / 3.0);
+        assert_eq!(accuracy_score(&[0, 0], &[1, 1]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn metrics_validate_inputs() {
+        assert!(r2_score(&[], &[]).is_err());
+        assert!(r2_score(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(explained_variance_score(&[1.0], &[]).is_err());
+        assert!(accuracy_score(&[], &[]).is_err());
+        assert!(accuracy_score(&[1], &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn normalized_quality_clamps_and_scales() {
+        assert_eq!(normalized_quality(0.8, 0.8), 1.0);
+        assert_eq!(normalized_quality(0.4, 0.8), 0.5);
+        assert_eq!(normalized_quality(-0.3, 0.8), 0.0);
+        assert_eq!(normalized_quality(1.2, 0.8), 1.0);
+        assert_eq!(normalized_quality(0.5, 0.0), 0.0);
+    }
+}

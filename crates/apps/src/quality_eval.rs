@@ -1,0 +1,572 @@
+//! The Fig. 7 harness: application quality under memory faults.
+//!
+//! For each benchmark the evaluation flow follows §5.2 of the paper:
+//!
+//! 1. generate the dataset and split it 0.8 : 0.2 into training and test
+//!    partitions;
+//! 2. quantise the training features to the 32-bit storage format and pass
+//!    them through a faulty memory protected by the scheme under study;
+//! 3. train the algorithm on the (possibly corrupted) training data;
+//! 4. evaluate the quality metric on the *clean* test partition;
+//! 5. normalise against the fault-free baseline, so an uncorrupted run (and
+//!    the H(39,32) SECDED reference) scores 1.0.
+//!
+//! Repeating steps 2–5 over Monte-Carlo fault maps drawn for each failure
+//! count, weighted by `Pr(N = n)`, yields the quality CDFs of Fig. 7.
+
+use crate::datasets::{HarDataset, MadelonDataset, WineQualityDataset};
+use crate::elasticnet::ElasticNet;
+use crate::error::AppError;
+use crate::faulty_storage::FaultyStore;
+use crate::fixedpoint::FixedPointFormat;
+use crate::knn::KnnClassifier;
+use crate::linalg::Matrix;
+use crate::metrics::{explained_variance_score, normalized_quality};
+use crate::pca::Pca;
+use crate::preprocessing::{train_test_split, Standardizer};
+use faultmit_analysis::{EmpiricalCdf, YieldModel};
+use faultmit_core::MitigationScheme;
+use faultmit_memsim::{FailureCountDistribution, FaultMap, FaultMapSampler, MemoryConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// The three application benchmarks of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// Elasticnet regression on the wine-quality dataset (metric: R²).
+    Elasticnet,
+    /// PCA on the Madelon-like dataset (metric: explained variance).
+    Pca,
+    /// KNN classification on the activity-recognition dataset (metric: score).
+    Knn,
+}
+
+impl Benchmark {
+    /// All benchmarks in Table 1 order.
+    pub const ALL: [Benchmark; 3] = [Benchmark::Elasticnet, Benchmark::Pca, Benchmark::Knn];
+
+    /// Human-readable benchmark name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Benchmark::Elasticnet => "Elasticnet",
+            Benchmark::Pca => "PCA",
+            Benchmark::Knn => "KNN",
+        }
+    }
+
+    /// Name of the quality metric, as in Table 1.
+    #[must_use]
+    pub fn metric_name(&self) -> &'static str {
+        match self {
+            Benchmark::Elasticnet => "R2",
+            Benchmark::Pca => "Explained Variance",
+            Benchmark::Knn => "Score",
+        }
+    }
+
+    /// Name of the (synthetic stand-in for the) dataset, as in Table 1.
+    #[must_use]
+    pub fn dataset_name(&self) -> &'static str {
+        match self {
+            Benchmark::Elasticnet => "Wine Quality (synthetic)",
+            Benchmark::Pca => "Madelon (synthetic)",
+            Benchmark::Knn => "Activity Recognition (synthetic)",
+        }
+    }
+}
+
+/// Result of a Fig. 7 Monte-Carlo campaign for one benchmark and scheme.
+#[derive(Debug, Clone)]
+pub struct QualityCdfResult {
+    /// Benchmark evaluated.
+    pub benchmark: Benchmark,
+    /// Protection scheme name.
+    pub scheme_name: String,
+    /// Fault-free quality (denominator of the normalisation).
+    pub baseline_quality: f64,
+    /// Weighted CDF of the normalised quality metric over the die population.
+    pub cdf: EmpiricalCdf,
+    /// Full yield model over the normalised quality (note: quality is
+    /// "higher is better" here, so yield at a *minimum* quality `q` is
+    /// `1 − P(Q ≤ q)` plus the mass exactly at `q`).
+    pub yield_model: YieldModel,
+}
+
+impl QualityCdfResult {
+    /// Fraction of dies whose normalised quality is at least `min_quality`.
+    #[must_use]
+    pub fn yield_at_min_quality(&self, min_quality: f64) -> f64 {
+        if self.cdf.is_empty() {
+            return 0.0;
+        }
+        let below = self.cdf.probability_at_or_below(min_quality - 1e-12);
+        1.0 - below
+    }
+}
+
+/// Builder for [`QualityEvaluator`].
+#[derive(Debug, Clone, Copy)]
+pub struct QualityEvaluatorBuilder {
+    benchmark: Benchmark,
+    samples: usize,
+    memory_rows: usize,
+    dataset_seed: u64,
+    format: FixedPointFormat,
+    pca_components: usize,
+}
+
+impl QualityEvaluatorBuilder {
+    /// Sets the number of dataset samples to generate.
+    #[must_use]
+    pub fn samples(mut self, samples: usize) -> Self {
+        self.samples = samples.max(16);
+        self
+    }
+
+    /// Sets the number of rows of the faulty memory bank.
+    #[must_use]
+    pub fn memory_rows(mut self, rows: usize) -> Self {
+        self.memory_rows = rows.max(16);
+        self
+    }
+
+    /// Sets the dataset generator seed.
+    #[must_use]
+    pub fn dataset_seed(mut self, seed: u64) -> Self {
+        self.dataset_seed = seed;
+        self
+    }
+
+    /// Sets the fixed-point storage format.
+    #[must_use]
+    pub fn format(mut self, format: FixedPointFormat) -> Self {
+        self.format = format;
+        self
+    }
+
+    /// Sets the number of principal components retained by the PCA benchmark.
+    #[must_use]
+    pub fn pca_components(mut self, components: usize) -> Self {
+        self.pca_components = components.max(1);
+        self
+    }
+
+    /// Builds the evaluator (generating the dataset and the clean baseline
+    /// lazily on first use).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AppError::InvalidParameter`] for inconsistent configuration.
+    pub fn build(self) -> Result<QualityEvaluator, AppError> {
+        if self.format.word_bits() != 32 {
+            return Err(AppError::InvalidParameter {
+                reason: "the Fig. 7 evaluation uses 32-bit memory words".to_owned(),
+            });
+        }
+        Ok(QualityEvaluator {
+            benchmark: self.benchmark,
+            samples: self.samples,
+            memory_config: MemoryConfig::new(self.memory_rows, 32)?,
+            dataset_seed: self.dataset_seed,
+            format: self.format,
+            pca_components: self.pca_components,
+        })
+    }
+}
+
+/// Evaluates a benchmark's quality metric under memory faults.
+#[derive(Debug, Clone)]
+pub struct QualityEvaluator {
+    benchmark: Benchmark,
+    samples: usize,
+    memory_config: MemoryConfig,
+    dataset_seed: u64,
+    format: FixedPointFormat,
+    pca_components: usize,
+}
+
+impl QualityEvaluator {
+    /// Starts building an evaluator for the given benchmark with the paper's
+    /// defaults (16 KB memory bank, Q15.16 storage, moderate dataset size).
+    #[must_use]
+    pub fn builder(benchmark: Benchmark) -> QualityEvaluatorBuilder {
+        QualityEvaluatorBuilder {
+            benchmark,
+            samples: 400,
+            memory_rows: MemoryConfig::paper_16kb().rows(),
+            dataset_seed: 0xF16_7,
+            format: FixedPointFormat::q15_16(),
+            pca_components: 5,
+        }
+    }
+
+    /// The benchmark this evaluator runs.
+    #[must_use]
+    pub fn benchmark(&self) -> Benchmark {
+        self.benchmark
+    }
+
+    /// The memory geometry data is stored in.
+    #[must_use]
+    pub fn memory_config(&self) -> MemoryConfig {
+        self.memory_config
+    }
+
+    /// Quality of the benchmark when the memory is fault-free (the
+    /// normalisation baseline).
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset/model errors.
+    pub fn baseline_quality(&self) -> Result<f64, AppError> {
+        let clean = FaultMap::new(self.memory_config);
+        self.quality_with_fault_map(&PassThrough, &clean)
+    }
+
+    /// Raw (un-normalised) quality when the training data passes through a
+    /// memory with the given fault map under the given scheme.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset/model errors.
+    pub fn quality_with_fault_map<S: MitigationScheme>(
+        &self,
+        scheme: &S,
+        faults: &FaultMap,
+    ) -> Result<f64, AppError> {
+        match self.benchmark {
+            Benchmark::Elasticnet => self.run_elasticnet(scheme, faults),
+            Benchmark::Pca => self.run_pca(scheme, faults),
+            Benchmark::Knn => self.run_knn(scheme, faults),
+        }
+    }
+
+    /// Raw quality with `n_faults` random bit-flips injected (one sampled
+    /// fault map).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampling and evaluation errors.
+    pub fn quality_with_faults<S: MitigationScheme>(
+        &self,
+        scheme: &S,
+        n_faults: usize,
+        seed: u64,
+    ) -> Result<f64, AppError> {
+        let sampler = FaultMapSampler::new(self.memory_config);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let faults = sampler.sample_with_count(&mut rng, n_faults)?;
+        self.quality_with_fault_map(scheme, &faults)
+    }
+
+    /// Runs the full Fig. 7 Monte-Carlo campaign for one scheme: failure
+    /// counts `1..=max_failures`, `samples_per_count` fault maps each,
+    /// weighted by the binomial `Pr(N = n)` at the given `p_cell`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampling and evaluation errors.
+    pub fn quality_cdf<S: MitigationScheme>(
+        &self,
+        scheme: &S,
+        p_cell: f64,
+        max_failures: u64,
+        samples_per_count: usize,
+        seed: u64,
+    ) -> Result<QualityCdfResult, AppError> {
+        self.quality_cdf_with_policy(scheme, p_cell, max_failures, samples_per_count, seed, false)
+    }
+
+    /// Like [`QualityEvaluator::quality_cdf`], but optionally discarding fault
+    /// maps that place more than one fault in a single memory word.
+    ///
+    /// The paper's Fig. 7 assumes "the small number of samples with more than
+    /// one error per word are discarded, such that H(39,32) ECC provides
+    /// error-free operation"; pass `discard_multi_fault_words = true` to
+    /// reproduce that protocol.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampling and evaluation errors.
+    pub fn quality_cdf_with_policy<S: MitigationScheme>(
+        &self,
+        scheme: &S,
+        p_cell: f64,
+        max_failures: u64,
+        samples_per_count: usize,
+        seed: u64,
+        discard_multi_fault_words: bool,
+    ) -> Result<QualityCdfResult, AppError> {
+        let baseline = self.baseline_quality()?;
+        let distribution = FailureCountDistribution::for_memory(self.memory_config, p_cell)?;
+        let sampler = FaultMapSampler::new(self.memory_config);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut yield_model = YieldModel::new(distribution);
+
+        // The combined CDF interprets the zero-failure mass as quality 0 in
+        // the MSE convention; for Fig. 7 ("higher is better") we add it at
+        // the normalised optimum of 1.0 instead and weight every sampled
+        // quality value by Pr(N = n) / samples_per_count.
+        let mut cdf = EmpiricalCdf::new();
+        cdf.add(1.0, distribution.pmf(0));
+
+        for n in 1..=max_failures {
+            let weight = distribution.pmf(n) / samples_per_count as f64;
+            let mut samples = Vec::with_capacity(samples_per_count);
+            for _ in 0..samples_per_count {
+                let mut faults = sampler.sample_with_count(&mut rng, n as usize)?;
+                if discard_multi_fault_words {
+                    // Rejection-sample single-fault-per-word maps, with a cap
+                    // so extreme fault densities cannot loop forever.
+                    for _ in 0..1000 {
+                        if faults.max_faults_per_row() <= 1 {
+                            break;
+                        }
+                        faults = sampler.sample_with_count(&mut rng, n as usize)?;
+                    }
+                }
+                let quality = self.quality_with_fault_map(scheme, &faults)?;
+                let normalized = normalized_quality(quality, baseline);
+                cdf.add(normalized, weight);
+                samples.push(normalized);
+            }
+            yield_model.add_samples(n, samples);
+        }
+
+        Ok(QualityCdfResult {
+            benchmark: self.benchmark,
+            scheme_name: scheme.name(),
+            baseline_quality: baseline,
+            cdf,
+            yield_model,
+        })
+    }
+
+    fn corrupt_training_matrix<S: MitigationScheme>(
+        &self,
+        scheme: &S,
+        faults: &FaultMap,
+        matrix: &Matrix,
+    ) -> Result<Matrix, AppError> {
+        let store = FaultyStore::new(scheme, faults, self.format)?;
+        store.round_trip_matrix(matrix)
+    }
+
+    fn run_elasticnet<S: MitigationScheme>(
+        &self,
+        scheme: &S,
+        faults: &FaultMap,
+    ) -> Result<f64, AppError> {
+        let dataset = WineQualityDataset::new(self.samples, self.dataset_seed).generate();
+        let split = train_test_split(&dataset.features, &dataset.targets, 0.8)?;
+        // Standardise with clean statistics, then corrupt the stored training
+        // matrix: what sits in memory is the prepared training set.
+        let scaler = Standardizer::fit(&split.train_x);
+        let clean_train = scaler.transform(&split.train_x)?;
+        let test_x = scaler.transform(&split.test_x)?;
+        let corrupted_train = self.corrupt_training_matrix(scheme, faults, &clean_train)?;
+
+        let mut model = ElasticNet::paper_default()?;
+        model.fit(&corrupted_train, &split.train_y)?;
+        model.score(&test_x, &split.test_y)
+    }
+
+    fn run_pca<S: MitigationScheme>(
+        &self,
+        scheme: &S,
+        faults: &FaultMap,
+    ) -> Result<f64, AppError> {
+        // A reduced Madelon geometry (5 informative + 15 redundant + 20
+        // probes) keeps the informative/redundant/probe structure while the
+        // retained components still explain a meaningful variance share.
+        let dataset = MadelonDataset::new(self.samples, 5, 15, 20, self.dataset_seed).generate();
+        let labels_f: Vec<f64> = dataset.labels.iter().map(|&l| l as f64).collect();
+        let split = train_test_split(&dataset.features, &labels_f, 0.8)?;
+        let scaler = Standardizer::fit(&split.train_x);
+        let clean_train = scaler.transform(&split.train_x)?;
+        let test_x = scaler.transform(&split.test_x)?;
+        let corrupted_train = self.corrupt_training_matrix(scheme, faults, &clean_train)?;
+
+        let mut pca = Pca::new(self.pca_components.min(corrupted_train.cols()))?;
+        pca.fit(&corrupted_train)?;
+        // Explained variance of the clean test data reconstructed through the
+        // (possibly corrupted) principal axes.
+        let projected = pca.transform(&test_x)?;
+        let reconstructed = pca.inverse_transform(&projected)?;
+        explained_variance_score(test_x.as_slice(), reconstructed.as_slice())
+    }
+
+    fn run_knn<S: MitigationScheme>(
+        &self,
+        scheme: &S,
+        faults: &FaultMap,
+    ) -> Result<f64, AppError> {
+        let dataset = HarDataset::new(self.samples, self.dataset_seed).generate();
+        let labels_f: Vec<f64> = dataset.labels.iter().map(|&l| l as f64).collect();
+        let split = train_test_split(&dataset.features, &labels_f, 0.8)?;
+        let scaler = Standardizer::fit(&split.train_x);
+        let clean_train = scaler.transform(&split.train_x)?;
+        let test_x = scaler.transform(&split.test_x)?;
+        let corrupted_train = self.corrupt_training_matrix(scheme, faults, &clean_train)?;
+
+        let train_y: Vec<usize> = split.train_y.iter().map(|&l| l as usize).collect();
+        let test_y: Vec<usize> = split.test_y.iter().map(|&l| l as usize).collect();
+        let mut knn = KnnClassifier::paper_default()?;
+        knn.fit(&corrupted_train, &train_y)?;
+        knn.score(&test_x, &test_y)
+    }
+}
+
+/// A scheme that passes data through untouched — used to compute the
+/// fault-free baseline without special-casing the storage path.
+struct PassThrough;
+
+impl MitigationScheme for PassThrough {
+    fn name(&self) -> String {
+        "fault-free".to_owned()
+    }
+
+    fn word_bits(&self) -> usize {
+        32
+    }
+
+    fn observe(
+        &self,
+        _faults: &FaultMap,
+        _row: usize,
+        written: u64,
+    ) -> faultmit_core::ObservedWord {
+        faultmit_core::ObservedWord::intact(written)
+    }
+
+    fn worst_case_error_magnitude(&self, _bit: usize) -> u64 {
+        0
+    }
+
+    fn extra_bits_per_row(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultmit_core::Scheme;
+    use faultmit_memsim::Fault;
+
+    fn evaluator(benchmark: Benchmark) -> QualityEvaluator {
+        QualityEvaluator::builder(benchmark)
+            .samples(120)
+            .memory_rows(256)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn benchmark_metadata_matches_table1() {
+        assert_eq!(Benchmark::ALL.len(), 3);
+        assert_eq!(Benchmark::Elasticnet.metric_name(), "R2");
+        assert_eq!(Benchmark::Pca.metric_name(), "Explained Variance");
+        assert_eq!(Benchmark::Knn.metric_name(), "Score");
+        assert!(Benchmark::Elasticnet.dataset_name().contains("Wine"));
+        assert!(Benchmark::Pca.dataset_name().contains("Madelon"));
+        assert!(Benchmark::Knn.dataset_name().contains("Activity"));
+    }
+
+    #[test]
+    fn builder_validates_format() {
+        let result = QualityEvaluator::builder(Benchmark::Elasticnet)
+            .format(FixedPointFormat::new(16, 8).unwrap())
+            .build();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn baselines_are_healthy_for_all_benchmarks() {
+        for benchmark in Benchmark::ALL {
+            let quality = evaluator(benchmark).baseline_quality().unwrap();
+            assert!(
+                quality > 0.3 && quality <= 1.0,
+                "{:?} baseline quality = {quality}",
+                benchmark
+            );
+        }
+    }
+
+    #[test]
+    fn fault_free_map_reproduces_baseline_for_any_scheme() {
+        let eval = evaluator(Benchmark::Knn);
+        let clean = FaultMap::new(eval.memory_config());
+        let baseline = eval.baseline_quality().unwrap();
+        let with_scheme = eval
+            .quality_with_fault_map(&Scheme::shuffle32(3).unwrap(), &clean)
+            .unwrap();
+        assert!((baseline - with_scheme).abs() < 0.05);
+    }
+
+    #[test]
+    fn unprotected_quality_degrades_with_msb_faults() {
+        let eval = evaluator(Benchmark::Elasticnet);
+        let baseline = eval.baseline_quality().unwrap();
+        // Saturate the memory with MSB faults: every row's sign bit flips.
+        let config = eval.memory_config();
+        let faults = FaultMap::from_faults(
+            config,
+            (0..config.rows()).map(|r| Fault::bit_flip(r, 31)),
+        )
+        .unwrap();
+        let corrupted = eval
+            .quality_with_fault_map(&Scheme::unprotected32(), &faults)
+            .unwrap();
+        assert!(
+            corrupted < baseline - 0.2,
+            "quality did not degrade: {corrupted} vs baseline {baseline}"
+        );
+    }
+
+    #[test]
+    fn bit_shuffling_preserves_quality_under_the_same_faults() {
+        let eval = evaluator(Benchmark::Elasticnet);
+        let baseline = eval.baseline_quality().unwrap();
+        let config = eval.memory_config();
+        let faults = FaultMap::from_faults(
+            config,
+            (0..config.rows()).map(|r| Fault::bit_flip(r, 31)),
+        )
+        .unwrap();
+        let shuffled = eval
+            .quality_with_fault_map(&Scheme::shuffle32(5).unwrap(), &faults)
+            .unwrap();
+        assert!(
+            (baseline - shuffled).abs() < 0.05,
+            "shuffled quality {shuffled} vs baseline {baseline}"
+        );
+    }
+
+    #[test]
+    fn single_fault_per_word_policy_keeps_secded_at_baseline() {
+        let eval = QualityEvaluator::builder(Benchmark::Elasticnet)
+            .samples(96)
+            .memory_rows(128)
+            .build()
+            .unwrap();
+        let result = eval
+            .quality_cdf_with_policy(&Scheme::secded32(), 1e-3, 6, 3, 23, true)
+            .unwrap();
+        // With at most one fault per word, SECDED is error-free: every
+        // normalised quality sample is 1.0.
+        assert!((result.cdf.min().unwrap() - 1.0).abs() < 1e-9);
+        assert!((result.cdf.quantile(0.01) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quality_with_faults_samples_reproducibly() {
+        let eval = evaluator(Benchmark::Knn);
+        let scheme = Scheme::pecc32();
+        let a = eval.quality_with_faults(&scheme, 10, 3).unwrap();
+        let b = eval.quality_with_faults(&scheme, 10, 3).unwrap();
+        assert_eq!(a, b);
+    }
+}

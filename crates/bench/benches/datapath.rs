@@ -1,0 +1,103 @@
+//! Criterion micro-benchmarks of the protection-scheme datapaths: barrel
+//! shifter rotation, Hamming SECDED encode/decode, P-ECC decode, the
+//! bit-shuffling write/read path and the March BIST. These quantify the
+//! software-simulation cost backing the §5.1 overhead discussion.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use faultmit_core::{rotate_left, rotate_right, SegmentGeometry, ShuffledMemory};
+use faultmit_ecc::{HammingSecded, PriorityEcc, SecdedCode};
+use faultmit_memsim::{Fault, FaultMap, MarchBist, MemoryConfig, SramArray};
+
+fn bench_shifter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shifter");
+    group.bench_function("rotate_right_32", |b| {
+        b.iter(|| rotate_right(black_box(0xDEAD_BEEF), black_box(13), 32))
+    });
+    group.bench_function("rotate_round_trip_32", |b| {
+        b.iter(|| {
+            let stored = rotate_right(black_box(0xDEAD_BEEF), black_box(29), 32);
+            rotate_left(stored, 29, 32)
+        })
+    });
+    group.finish();
+}
+
+fn bench_ecc_codecs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecc");
+    let h39 = HammingSecded::h39_32();
+    let h22 = HammingSecded::h22_16();
+    let pecc = PriorityEcc::paper_32bit().unwrap();
+    let cw39 = h39.encode(0x1234_5678).unwrap();
+    let cw22 = h22.encode(0x5678).unwrap();
+    let cw_pecc = pecc.encode(0x1234_5678).unwrap();
+
+    group.bench_function("h39_32_encode", |b| {
+        b.iter(|| h39.encode(black_box(0x1234_5678)).unwrap())
+    });
+    group.bench_function("h39_32_decode_clean", |b| {
+        b.iter(|| h39.decode(black_box(cw39)).unwrap())
+    });
+    group.bench_function("h39_32_decode_corrupted", |b| {
+        b.iter(|| h39.decode(black_box(cw39 ^ (1 << 17))).unwrap())
+    });
+    group.bench_function("h22_16_decode_clean", |b| {
+        b.iter(|| h22.decode(black_box(cw22)).unwrap())
+    });
+    group.bench_function("pecc_decode_clean", |b| {
+        b.iter(|| pecc.decode(black_box(cw_pecc)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_shuffled_memory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shuffled_memory");
+    let config = MemoryConfig::new(1024, 32).unwrap();
+    let faults = FaultMap::from_faults(
+        config,
+        (0..64).map(|i| Fault::bit_flip(i * 16, (i * 7) % 32)),
+    )
+    .unwrap();
+
+    for n_fm in [1usize, 3, 5] {
+        let geometry = SegmentGeometry::new(32, n_fm).unwrap();
+        let mut memory = ShuffledMemory::from_fault_map(geometry, faults.clone()).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("write_read", format!("nFM={n_fm}")),
+            &n_fm,
+            |b, _| {
+                b.iter(|| {
+                    memory.write(black_box(16), black_box(0xCAFE_BABE)).unwrap();
+                    memory.read(black_box(16)).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_bist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bist");
+    group.sample_size(20);
+    for rows in [256usize, 1024] {
+        let config = MemoryConfig::new(rows, 32).unwrap();
+        let faults =
+            FaultMap::from_faults(config, [Fault::bit_flip(3, 31), Fault::stuck_at_one(rows / 2, 5)])
+                .unwrap();
+        group.bench_with_input(BenchmarkId::new("march_c_minus", rows), &rows, |b, _| {
+            b.iter(|| {
+                let mut array = SramArray::with_faults(config, faults.clone());
+                MarchBist::new().run(&mut array).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_shifter,
+    bench_ecc_codecs,
+    bench_shuffled_memory,
+    bench_bist
+);
+criterion_main!(benches);

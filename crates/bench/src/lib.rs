@@ -1,0 +1,118 @@
+//! Shared helpers for the figure-regeneration binaries and Criterion benches.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md for the experiment index) and prints the corresponding
+//! rows/series; with `--json <path>` the same series is written as a
+//! machine-readable JSON document so EXPERIMENTS.md values can be traced.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Command-line options shared by the figure binaries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Run at the paper's full scale (slower); the default is a reduced but
+    /// shape-preserving configuration.
+    pub full_scale: bool,
+    /// Optional path to write the JSON series to.
+    pub json_path: Option<PathBuf>,
+    /// Positional arguments (e.g. the benchmark selector of `fig7_quality`).
+    pub positional: Vec<String>,
+}
+
+impl RunOptions {
+    /// Parses options from the process arguments (skipping the binary name).
+    #[must_use]
+    pub fn from_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses options from an explicit iterator (used in tests).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut options = Self::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--full" | "--full-scale" => options.full_scale = true,
+                "--json" => {
+                    if let Some(path) = iter.next() {
+                        options.json_path = Some(PathBuf::from(path));
+                    }
+                }
+                _ => options.positional.push(arg),
+            }
+        }
+        options
+    }
+
+    /// Writes `value` as pretty JSON to the configured path, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialisation and I/O errors.
+    pub fn write_json<T: Serialize>(&self, value: &T) -> Result<(), Box<dyn std::error::Error>> {
+        if let Some(path) = &self.json_path {
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)?;
+                }
+            }
+            std::fs::write(path, serde_json::to_string_pretty(value)?)?;
+            println!("wrote JSON series to {}", path.display());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_recognises_flags_and_positionals() {
+        let opts = RunOptions::parse(
+            ["--full", "elasticnet", "--json", "out/series.json"]
+                .iter()
+                .map(|s| (*s).to_owned()),
+        );
+        assert!(opts.full_scale);
+        assert_eq!(opts.positional, vec!["elasticnet".to_owned()]);
+        assert_eq!(opts.json_path, Some(PathBuf::from("out/series.json")));
+    }
+
+    #[test]
+    fn parse_defaults_are_empty() {
+        let opts = RunOptions::parse(std::iter::empty());
+        assert!(!opts.full_scale);
+        assert!(opts.json_path.is_none());
+        assert!(opts.positional.is_empty());
+    }
+
+    #[test]
+    fn missing_json_value_is_ignored() {
+        let opts = RunOptions::parse(["--json".to_owned()]);
+        assert!(opts.json_path.is_none());
+    }
+
+    #[test]
+    fn write_json_without_path_is_a_no_op() {
+        let opts = RunOptions::default();
+        opts.write_json(&vec![1, 2, 3]).unwrap();
+    }
+
+    #[test]
+    fn write_json_creates_parent_directories() {
+        let dir = std::env::temp_dir().join("faultmit-bench-test");
+        let path = dir.join("nested").join("series.json");
+        let opts = RunOptions {
+            json_path: Some(path.clone()),
+            ..RunOptions::default()
+        };
+        opts.write_json(&serde_json::json!({"ok": true})).unwrap();
+        assert!(path.exists());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

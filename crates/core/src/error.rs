@@ -1,0 +1,117 @@
+//! Error types for the bit-shuffling core.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the bit-shuffling scheme.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An invalid segment geometry was requested (e.g. `n_FM` out of range or
+    /// a word width that is not divisible into `2^{n_FM}` segments).
+    InvalidGeometry {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A row address is outside the FM-LUT / memory.
+    RowOutOfRange {
+        /// The requested row.
+        row: usize,
+        /// Number of rows available.
+        rows: usize,
+    },
+    /// A shift index does not fit in the FM-LUT entry width.
+    ShiftIndexOutOfRange {
+        /// The requested shift index `x_FM`.
+        index: usize,
+        /// The number of representable segments `2^{n_FM}`.
+        segments: usize,
+    },
+    /// An underlying memory operation failed.
+    Memory(faultmit_memsim::MemError),
+    /// An underlying ECC operation failed.
+    Ecc(faultmit_ecc::EccError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidGeometry { reason } => {
+                write!(f, "invalid bit-shuffling geometry: {reason}")
+            }
+            CoreError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range for {rows} rows")
+            }
+            CoreError::ShiftIndexOutOfRange { index, segments } => {
+                write!(
+                    f,
+                    "shift index {index} out of range for {segments} segments"
+                )
+            }
+            CoreError::Memory(e) => write!(f, "memory error: {e}"),
+            CoreError::Ecc(e) => write!(f, "ecc error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Memory(e) => Some(e),
+            CoreError::Ecc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<faultmit_memsim::MemError> for CoreError {
+    fn from(value: faultmit_memsim::MemError) -> Self {
+        CoreError::Memory(value)
+    }
+}
+
+impl From<faultmit_ecc::EccError> for CoreError {
+    fn from(value: faultmit_ecc::EccError) -> Self {
+        CoreError::Ecc(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = CoreError::ShiftIndexOutOfRange {
+            index: 40,
+            segments: 32,
+        };
+        assert!(err.to_string().contains("40"));
+        assert!(err.to_string().contains("32"));
+
+        let err = CoreError::InvalidGeometry {
+            reason: "bad".to_owned(),
+        };
+        assert!(err.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn wrapped_errors_expose_their_source() {
+        let mem = faultmit_memsim::MemError::RowOutOfRange { row: 1, rows: 1 };
+        let err = CoreError::from(mem);
+        assert!(Error::source(&err).is_some());
+
+        let ecc = faultmit_ecc::EccError::DataTooWide {
+            value: 0,
+            data_bits: 8,
+        };
+        let err = CoreError::from(ecc);
+        assert!(Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

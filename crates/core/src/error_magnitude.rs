@@ -1,0 +1,167 @@
+//! Closed-form error magnitudes per faulty bit position (the paper's Fig. 4).
+//!
+//! For a word storing a 2's-complement integer, a fault at bit position `b`
+//! produces an error of magnitude `2^b` when the memory is unprotected. With
+//! bit-shuffling at segment size `S`, the least-significant segment is mapped
+//! onto the faulty cell, so the observed error is `2^(b mod S)`, bounded by
+//! `2^(S-1)` regardless of where the physical fault sits.
+
+use crate::segment::SegmentGeometry;
+
+/// Worst-case error magnitude caused by a single fault at bit position
+/// `faulty_bit` when the word is protected by bit-shuffling with the given
+/// geometry.
+///
+/// For an unprotected word use [`unprotected_error_magnitude`].
+///
+/// # Panics
+///
+/// Panics if `faulty_bit` is outside the word.
+///
+/// # Example
+///
+/// ```
+/// use faultmit_core::{worst_case_error_magnitude, SegmentGeometry};
+///
+/// # fn main() -> Result<(), faultmit_core::CoreError> {
+/// let fine = SegmentGeometry::new(32, 5)?;   // S = 1
+/// let coarse = SegmentGeometry::new(32, 1)?; // S = 16
+/// assert_eq!(worst_case_error_magnitude(fine, 31), 1);
+/// assert_eq!(worst_case_error_magnitude(coarse, 31), 1 << 15);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn worst_case_error_magnitude(geometry: SegmentGeometry, faulty_bit: usize) -> u64 {
+    assert!(
+        faulty_bit < geometry.word_bits(),
+        "bit {faulty_bit} outside a {}-bit word",
+        geometry.word_bits()
+    );
+    1u64 << geometry.offset_in_segment(faulty_bit)
+}
+
+/// Error magnitude of a fault at `faulty_bit` in an unprotected word (`2^b`).
+///
+/// # Panics
+///
+/// Panics if `faulty_bit >= word_bits` or `word_bits > 64`.
+#[must_use]
+pub fn unprotected_error_magnitude(word_bits: usize, faulty_bit: usize) -> u64 {
+    assert!(word_bits <= 64, "word width limited to 64 bits");
+    assert!(
+        faulty_bit < word_bits,
+        "bit {faulty_bit} outside a {word_bits}-bit word"
+    );
+    1u64 << faulty_bit
+}
+
+/// The maximum error magnitude over all bit positions for a given geometry —
+/// the `2^(S-1)` bound quoted in §3 of the paper.
+#[must_use]
+pub fn max_error_magnitude(geometry: SegmentGeometry) -> u64 {
+    geometry.max_error_magnitude()
+}
+
+/// One row of the Fig. 4 data: the log2 error magnitude at every faulty bit
+/// position for a given geometry (or `None` for the unprotected case).
+///
+/// Returns a vector of length `word_bits` where entry `b` is
+/// `log2(error magnitude)` for a fault at bit `b`.
+#[must_use]
+pub fn error_magnitude_profile(word_bits: usize, geometry: Option<SegmentGeometry>) -> Vec<u32> {
+    (0..word_bits)
+        .map(|bit| match geometry {
+            Some(g) => worst_case_error_magnitude(g, bit).trailing_zeros(),
+            None => unprotected_error_magnitude(word_bits, bit).trailing_zeros(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unprotected_error_grows_exponentially_with_bit_position() {
+        assert_eq!(unprotected_error_magnitude(32, 0), 1);
+        assert_eq!(unprotected_error_magnitude(32, 10), 1024);
+        assert_eq!(unprotected_error_magnitude(32, 31), 1 << 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn unprotected_error_rejects_out_of_range_bit() {
+        let _ = unprotected_error_magnitude(32, 32);
+    }
+
+    #[test]
+    fn shuffled_error_is_periodic_in_segment_size() {
+        // Fig. 4: with n_FM = 3 (S = 4) the error magnitude cycles 1,2,4,8.
+        let g = SegmentGeometry::new(32, 3).unwrap();
+        for bit in 0..32 {
+            assert_eq!(worst_case_error_magnitude(g, bit), 1u64 << (bit % 4));
+        }
+    }
+
+    #[test]
+    fn finest_granularity_bounds_error_at_one() {
+        let g = SegmentGeometry::new(32, 5).unwrap();
+        for bit in 0..32 {
+            assert_eq!(worst_case_error_magnitude(g, bit), 1);
+        }
+    }
+
+    #[test]
+    fn coarse_granularity_bound_matches_fig4() {
+        // n_FM = 1 → S = 16 → worst case 2^15 at bits 15 and 31.
+        let g = SegmentGeometry::new(32, 1).unwrap();
+        assert_eq!(worst_case_error_magnitude(g, 15), 1 << 15);
+        assert_eq!(worst_case_error_magnitude(g, 31), 1 << 15);
+        assert_eq!(worst_case_error_magnitude(g, 16), 1);
+        assert_eq!(max_error_magnitude(g), 1 << 15);
+    }
+
+    #[test]
+    fn every_geometry_respects_its_bound() {
+        for n_fm in 1..=5 {
+            let g = SegmentGeometry::new(32, n_fm).unwrap();
+            let bound = max_error_magnitude(g);
+            for bit in 0..32 {
+                assert!(worst_case_error_magnitude(g, bit) <= bound);
+            }
+            // The bound is attained at the top of every segment.
+            assert_eq!(
+                worst_case_error_magnitude(g, g.segment_bits() - 1),
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn profiles_reproduce_fig4_series() {
+        // Unprotected: log2 error = bit index.
+        let unprotected = error_magnitude_profile(32, None);
+        assert_eq!(unprotected, (0..32u32).collect::<Vec<_>>());
+
+        // n_FM = 2 (S = 8): log2 error = bit mod 8.
+        let g = SegmentGeometry::new(32, 2).unwrap();
+        let profile = error_magnitude_profile(32, Some(g));
+        assert_eq!(profile.len(), 32);
+        for (bit, &log_err) in profile.iter().enumerate() {
+            assert_eq!(log_err, (bit % 8) as u32);
+        }
+    }
+
+    #[test]
+    fn shuffling_never_exceeds_unprotected_error() {
+        for n_fm in 1..=5 {
+            let g = SegmentGeometry::new(32, n_fm).unwrap();
+            for bit in 0..32 {
+                assert!(
+                    worst_case_error_magnitude(g, bit) <= unprotected_error_magnitude(32, bit)
+                );
+            }
+        }
+    }
+}

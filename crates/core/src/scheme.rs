@@ -1,0 +1,325 @@
+//! The complete bit-shuffling protected memory.
+//!
+//! [`ShuffledMemory`] couples a faulty [`SramArray`] with an [`FmLut`] and the
+//! barrel shifter, implementing the full write/read datapath of the paper's
+//! Fig. 3:
+//!
+//! * **write**: look up `x_FM(r)`, rotate the data word right by
+//!   `T(r) = S · (2^{n_FM} − x_FM(r))`, store;
+//! * **read**: read the (possibly corrupted) stored word, rotate left by
+//!   `T(r)`, return.
+//!
+//! Any error introduced by a faulty cell is thereby confined to the least
+//! significant segment of the restored word.
+
+use crate::error::CoreError;
+use crate::fmlut::FmLut;
+use crate::segment::SegmentGeometry;
+use crate::shifter::{rotate_left, rotate_right};
+use faultmit_memsim::{FaultMap, MarchBist, MemoryConfig, SramArray};
+
+/// A memory protected by the significance-driven bit-shuffling scheme.
+///
+/// # Example
+///
+/// ```
+/// use faultmit_core::{SegmentGeometry, ShuffledMemory};
+/// use faultmit_memsim::{Fault, FaultMap, MemoryConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = MemoryConfig::new(8, 32)?;
+/// let mut faults = FaultMap::new(config);
+/// faults.insert(Fault::bit_flip(1, 28))?;
+///
+/// // Two-bit FM-LUT: four 8-bit segments, worst-case error 2^7.
+/// let geometry = SegmentGeometry::new(32, 2)?;
+/// let mut memory = ShuffledMemory::from_fault_map(geometry, faults)?;
+/// memory.write(1, 0x7FFF_FFFF)?;
+/// assert!(memory.read(1)?.abs_diff(0x7FFF_FFFF) <= 1 << 7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShuffledMemory {
+    geometry: SegmentGeometry,
+    lut: FmLut,
+    array: SramArray,
+}
+
+impl ShuffledMemory {
+    /// Builds a protected memory from a known fault map (as if the BIST had
+    /// already run and programmed the FM-LUT).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidGeometry`] when the fault map's word width
+    /// does not match the geometry.
+    pub fn from_fault_map(
+        geometry: SegmentGeometry,
+        faults: FaultMap,
+    ) -> Result<Self, CoreError> {
+        let lut = FmLut::from_fault_map(geometry, &faults)?;
+        let array = SramArray::with_faults(faults.config(), faults);
+        Ok(Self {
+            geometry,
+            lut,
+            array,
+        })
+    }
+
+    /// Builds a protected memory by taking ownership of a faulty array and
+    /// running the March C- BIST on it to discover the fault locations — the
+    /// paper's power-on self-test flow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidGeometry`] when the array's word width does
+    /// not match the geometry, or propagates BIST access errors.
+    pub fn from_bist(geometry: SegmentGeometry, mut array: SramArray) -> Result<Self, CoreError> {
+        if array.config().word_bits() != geometry.word_bits() {
+            return Err(CoreError::InvalidGeometry {
+                reason: format!(
+                    "array word width {} does not match geometry word width {}",
+                    array.config().word_bits(),
+                    geometry.word_bits()
+                ),
+            });
+        }
+        let report = MarchBist::new().run(&mut array)?;
+        let lut = FmLut::from_bist_report(geometry, &report)?;
+        Ok(Self {
+            geometry,
+            lut,
+            array,
+        })
+    }
+
+    /// Builds a fault-free protected memory with the given number of rows
+    /// (useful for overhead-only experiments).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the geometry cannot form a valid memory
+    /// configuration.
+    pub fn fault_free(geometry: SegmentGeometry, rows: usize) -> Result<Self, CoreError> {
+        let config = MemoryConfig::new(rows, geometry.word_bits())?;
+        Ok(Self {
+            geometry,
+            lut: FmLut::new(geometry, rows),
+            array: SramArray::new(config),
+        })
+    }
+
+    /// Segment geometry in use.
+    #[must_use]
+    pub fn geometry(&self) -> SegmentGeometry {
+        self.geometry
+    }
+
+    /// The FM-LUT programmed for this die.
+    #[must_use]
+    pub fn lut(&self) -> &FmLut {
+        &self.lut
+    }
+
+    /// The underlying (faulty) storage array.
+    #[must_use]
+    pub fn array(&self) -> &SramArray {
+        &self.array
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.array.config().rows()
+    }
+
+    /// Writes `value` to `row`, applying the write-path rotation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the row is out of range or the value does not
+    /// fit the word width.
+    pub fn write(&mut self, row: usize, value: u64) -> Result<(), CoreError> {
+        self.array.config().check_value(value)?;
+        let shift = self.lut.shift_for_row(row)?;
+        let stored = rotate_right(value, shift, self.geometry.word_bits());
+        self.array.write(row, stored)?;
+        Ok(())
+    }
+
+    /// Reads the word at `row`, applying the read-path rotation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the row is out of range.
+    pub fn read(&mut self, row: usize) -> Result<u64, CoreError> {
+        let shift = self.lut.shift_for_row(row)?;
+        let stored = self.array.read(row)?;
+        Ok(rotate_left(stored, shift, self.geometry.word_bits()))
+    }
+
+    /// Reads without updating access counters (for analysis).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the row is out of range.
+    pub fn peek(&self, row: usize) -> Result<u64, CoreError> {
+        let shift = self.lut.shift_for_row(row)?;
+        let stored = self.array.peek(row)?;
+        Ok(rotate_left(stored, shift, self.geometry.word_bits()))
+    }
+
+    /// Worst-case error magnitude guaranteed by the configured segment size
+    /// under the single-fault-per-word assumption (`2^{S-1}`).
+    #[must_use]
+    pub fn max_error_magnitude(&self) -> u64 {
+        self.geometry.max_error_magnitude()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultmit_memsim::Fault;
+
+    fn config() -> MemoryConfig {
+        MemoryConfig::new(32, 32).unwrap()
+    }
+
+    fn map(faults: &[Fault]) -> FaultMap {
+        FaultMap::from_faults(config(), faults.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn fault_free_memory_round_trips() {
+        let geometry = SegmentGeometry::new(32, 5).unwrap();
+        let mut mem = ShuffledMemory::fault_free(geometry, 16).unwrap();
+        for row in 0..16 {
+            mem.write(row, row as u64 * 0x0101_0101).unwrap();
+        }
+        for row in 0..16 {
+            assert_eq!(mem.read(row).unwrap(), row as u64 * 0x0101_0101);
+        }
+    }
+
+    #[test]
+    fn single_bit_segment_confines_error_to_one_lsb() {
+        // With n_FM = 5 a single fault anywhere produces an error of at most 1.
+        for col in [0usize, 5, 16, 30, 31] {
+            let geometry = SegmentGeometry::new(32, 5).unwrap();
+            let mut mem =
+                ShuffledMemory::from_fault_map(geometry, map(&[Fault::bit_flip(7, col)])).unwrap();
+            for &value in &[0u64, 0xFFFF_FFFF, 0xDEAD_BEEF, 0x8000_0000] {
+                mem.write(7, value).unwrap();
+                let read = mem.read(7).unwrap();
+                assert!(
+                    read.abs_diff(value) <= 1,
+                    "col {col}, value {value:#x}: error {}",
+                    read.abs_diff(value)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn error_bound_holds_for_every_segment_size() {
+        for n_fm in 1..=5usize {
+            let geometry = SegmentGeometry::new(32, n_fm).unwrap();
+            let bound = geometry.max_error_magnitude();
+            for col in 0..32usize {
+                let mut mem =
+                    ShuffledMemory::from_fault_map(geometry, map(&[Fault::bit_flip(3, col)]))
+                        .unwrap();
+                for &value in &[0u64, 0xFFFF_FFFF, 0xA5A5_A5A5] {
+                    mem.write(3, value).unwrap();
+                    let read = mem.read(3).unwrap();
+                    assert!(
+                        read.abs_diff(value) <= bound,
+                        "n_FM {n_fm}, col {col}: error {} > bound {bound}",
+                        read.abs_diff(value)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unprotected_rows_are_unaffected_by_other_rows_faults() {
+        let geometry = SegmentGeometry::new(32, 5).unwrap();
+        let mut mem =
+            ShuffledMemory::from_fault_map(geometry, map(&[Fault::bit_flip(0, 31)])).unwrap();
+        mem.write(1, 0x1234_5678).unwrap();
+        assert_eq!(mem.read(1).unwrap(), 0x1234_5678);
+    }
+
+    #[test]
+    fn stuck_at_faults_are_also_mitigated() {
+        let geometry = SegmentGeometry::new(32, 5).unwrap();
+        let mut mem = ShuffledMemory::from_fault_map(
+            geometry,
+            map(&[Fault::stuck_at_zero(2, 29), Fault::stuck_at_one(9, 30)]),
+        )
+        .unwrap();
+        for &value in &[0u64, u32::MAX as u64, 0x7777_7777] {
+            mem.write(2, value).unwrap();
+            assert!(mem.read(2).unwrap().abs_diff(value) <= 1);
+            mem.write(9, value).unwrap();
+            assert!(mem.read(9).unwrap().abs_diff(value) <= 1);
+        }
+    }
+
+    #[test]
+    fn from_bist_matches_from_fault_map() {
+        let faults = map(&[Fault::bit_flip(4, 27), Fault::stuck_at_one(11, 13)]);
+        let geometry = SegmentGeometry::new(32, 4).unwrap();
+        let array = SramArray::with_faults(config(), faults.clone());
+
+        let mut from_bist = ShuffledMemory::from_bist(geometry, array).unwrap();
+        let mut from_map = ShuffledMemory::from_fault_map(geometry, faults).unwrap();
+        assert_eq!(from_bist.lut(), from_map.lut());
+
+        for &value in &[0x0BAD_F00Du64, 0xFFFF_0000] {
+            from_bist.write(4, value).unwrap();
+            from_map.write(4, value).unwrap();
+            assert_eq!(from_bist.read(4).unwrap(), from_map.read(4).unwrap());
+        }
+    }
+
+    #[test]
+    fn from_bist_rejects_mismatched_width() {
+        let geometry = SegmentGeometry::new(32, 2).unwrap();
+        let array = SramArray::new(MemoryConfig::new(8, 16).unwrap());
+        assert!(ShuffledMemory::from_bist(geometry, array).is_err());
+    }
+
+    #[test]
+    fn peek_does_not_change_access_counters() {
+        let geometry = SegmentGeometry::new(32, 5).unwrap();
+        let mut mem =
+            ShuffledMemory::from_fault_map(geometry, map(&[Fault::bit_flip(0, 15)])).unwrap();
+        mem.write(0, 42).unwrap();
+        let peeked = mem.peek(0).unwrap();
+        let read = mem.read(0).unwrap();
+        assert_eq!(peeked, read);
+        assert_eq!(mem.array().read_count(), 1);
+    }
+
+    #[test]
+    fn invalid_accesses_are_rejected() {
+        let geometry = SegmentGeometry::new(32, 5).unwrap();
+        let mut mem = ShuffledMemory::fault_free(geometry, 4).unwrap();
+        assert!(mem.write(4, 0).is_err());
+        assert!(mem.read(4).is_err());
+        assert!(mem.peek(4).is_err());
+        assert!(mem.write(0, 1 << 32).is_err());
+    }
+
+    #[test]
+    fn max_error_magnitude_reports_geometry_bound() {
+        let geometry = SegmentGeometry::new(32, 1).unwrap();
+        let mem = ShuffledMemory::fault_free(geometry, 4).unwrap();
+        assert_eq!(mem.max_error_magnitude(), 1 << 15);
+        assert_eq!(mem.rows(), 4);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests of the bit-shuffling invariants — the heart of the
+//! paper's claim: for any single fault and any stored value, the error
+//! magnitude is bounded by `2^(S-1)`.
+
+use faultmit_core::{
+    rotate_left, rotate_right, FmLut, MitigationScheme, Scheme, SegmentGeometry, ShuffledMemory,
+};
+use faultmit_memsim::{Fault, FaultKind, FaultMap, MemoryConfig};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = FaultKind> {
+    prop_oneof![
+        Just(FaultKind::StuckAtZero),
+        Just(FaultKind::StuckAtOne),
+        Just(FaultKind::BitFlip),
+    ]
+}
+
+proptest! {
+    /// Rotation is a bijection: rotate right then left restores the word for
+    /// any width, shift and value.
+    #[test]
+    fn rotation_round_trips(
+        value in any::<u64>(),
+        shift in 0usize..256,
+        width_pow in 0u32..7,
+    ) {
+        let width = 1usize << width_pow; // 1, 2, 4, ..., 64
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let value = value & mask;
+        let stored = rotate_right(value, shift, width);
+        prop_assert_eq!(rotate_left(stored, shift, width), value);
+        prop_assert_eq!(stored & !mask, 0);
+        prop_assert_eq!(stored.count_ones(), value.count_ones());
+    }
+
+    /// The headline invariant: a single fault anywhere in the word, any fault
+    /// kind, any stored value, any segment size — the observed error is at
+    /// most `2^(S-1)`.
+    #[test]
+    fn single_fault_error_is_bounded_for_all_geometries(
+        value in any::<u32>(),
+        col in 0usize..32,
+        n_fm in 1usize..=5,
+        kind in arb_kind(),
+        row in 0usize..16,
+    ) {
+        let geometry = SegmentGeometry::new(32, n_fm).unwrap();
+        let config = MemoryConfig::new(16, 32).unwrap();
+        let faults = FaultMap::from_faults(config, [Fault::new(row, col, kind)]).unwrap();
+        let mut memory = ShuffledMemory::from_fault_map(geometry, faults).unwrap();
+        memory.write(row, value as u64).unwrap();
+        let read = memory.read(row).unwrap();
+        prop_assert!(
+            read.abs_diff(value as u64) <= geometry.max_error_magnitude(),
+            "error {} exceeds bound {}",
+            read.abs_diff(value as u64),
+            geometry.max_error_magnitude()
+        );
+    }
+
+    /// The stateless analysis model (`Scheme::BitShuffle`) agrees with the
+    /// stateful ShuffledMemory datapath for single-fault rows.
+    #[test]
+    fn scheme_model_matches_hardware_datapath(
+        value in any::<u32>(),
+        col in 0usize..32,
+        n_fm in 1usize..=5,
+    ) {
+        let geometry = SegmentGeometry::new(32, n_fm).unwrap();
+        let config = MemoryConfig::new(8, 32).unwrap();
+        let faults = FaultMap::from_faults(config, [Fault::bit_flip(2, col)]).unwrap();
+        let mut memory = ShuffledMemory::from_fault_map(geometry, faults.clone()).unwrap();
+        memory.write(2, value as u64).unwrap();
+        let hardware = memory.read(2).unwrap();
+        let model = Scheme::BitShuffle(geometry).observe(&faults, 2, value as u64);
+        prop_assert_eq!(hardware, model.value);
+        prop_assert!(model.reliable);
+    }
+
+    /// Bit-shuffling never makes things worse than no protection for
+    /// single-fault rows: the per-bit worst-case error magnitude is bounded by
+    /// the unprotected one for every scheme in the catalogue.
+    #[test]
+    fn worst_case_error_never_exceeds_unprotected(bit in 0usize..32) {
+        let unprotected = Scheme::unprotected32();
+        for scheme in Scheme::fig5_catalogue() {
+            prop_assert!(
+                scheme.worst_case_error_magnitude(bit)
+                    <= unprotected.worst_case_error_magnitude(bit)
+            );
+        }
+    }
+
+    /// The FM-LUT shift choice places the faulty cell inside the least
+    /// significant shifted segment for single-fault rows: the affected data
+    /// bit is always below the segment size.
+    #[test]
+    fn chosen_shift_maps_fault_to_lsb_segment(col in 0usize..32, n_fm in 1usize..=5) {
+        let geometry = SegmentGeometry::new(32, n_fm).unwrap();
+        let x = FmLut::choose_shift(geometry, &[col]);
+        let shift = geometry.shift_amount(x).unwrap();
+        // Data bit stored in the faulty physical column after the write
+        // rotation: (col + shift) mod W must be a low-significance bit.
+        let affected = (col + shift) % 32;
+        prop_assert!(affected < geometry.segment_bits());
+    }
+
+    /// Multi-fault rows: the optimised shift choice is never worse (in summed
+    /// squared error magnitude) than naively aligning to the most significant
+    /// faulty bit.
+    #[test]
+    fn multi_fault_shift_choice_is_optimal_enough(
+        cols in prop::collection::btree_set(0usize..32, 1..5),
+        n_fm in 1usize..=5,
+    ) {
+        let geometry = SegmentGeometry::new(32, n_fm).unwrap();
+        let columns: Vec<usize> = cols.into_iter().collect();
+        let cost = |x: usize| -> u128 {
+            let shift = x * geometry.segment_bits();
+            columns
+                .iter()
+                .map(|&col| {
+                    let bit = (col + 32 - shift) % 32;
+                    (1u128 << bit).pow(2)
+                })
+                .sum()
+        };
+        let chosen = FmLut::choose_shift(geometry, &columns);
+        let naive = geometry.segment_of_bit(*columns.iter().max().unwrap());
+        prop_assert!(cost(chosen) <= cost(naive));
+    }
+}

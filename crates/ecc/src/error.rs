@@ -1,0 +1,115 @@
+//! Error types for the ECC crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by encoders, decoders and protected memories.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EccError {
+    /// A code was requested for an unsupported data width.
+    UnsupportedDataWidth {
+        /// The requested data width in bits.
+        data_bits: usize,
+        /// The maximum supported width.
+        max_bits: usize,
+    },
+    /// A data value does not fit in the code's data width.
+    DataTooWide {
+        /// The offending value.
+        value: u64,
+        /// The code's data width in bits.
+        data_bits: usize,
+    },
+    /// A codeword does not fit in the code's codeword width.
+    CodewordTooWide {
+        /// The offending value.
+        value: u64,
+        /// The code's codeword width in bits.
+        codeword_bits: usize,
+    },
+    /// A P-ECC configuration is invalid (e.g. protected bits exceed the word).
+    InvalidPartition {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// An underlying memory operation failed.
+    Memory(faultmit_memsim::MemError),
+}
+
+impl fmt::Display for EccError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EccError::UnsupportedDataWidth {
+                data_bits,
+                max_bits,
+            } => write!(
+                f,
+                "unsupported data width {data_bits} bits (maximum {max_bits})"
+            ),
+            EccError::DataTooWide { value, data_bits } => {
+                write!(f, "data value {value:#x} does not fit in {data_bits} bits")
+            }
+            EccError::CodewordTooWide {
+                value,
+                codeword_bits,
+            } => write!(
+                f,
+                "codeword {value:#x} does not fit in {codeword_bits} bits"
+            ),
+            EccError::InvalidPartition { reason } => {
+                write!(f, "invalid priority-ECC partition: {reason}")
+            }
+            EccError::Memory(e) => write!(f, "memory error: {e}"),
+        }
+    }
+}
+
+impl Error for EccError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EccError::Memory(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<faultmit_memsim::MemError> for EccError {
+    fn from(value: faultmit_memsim::MemError) -> Self {
+        EccError::Memory(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = EccError::DataTooWide {
+            value: 0x1_0000_0000,
+            data_bits: 32,
+        };
+        assert!(err.to_string().contains("32 bits"));
+
+        let err = EccError::UnsupportedDataWidth {
+            data_bits: 99,
+            max_bits: 57,
+        };
+        assert!(err.to_string().contains("99"));
+    }
+
+    #[test]
+    fn memory_errors_are_wrapped_with_source() {
+        let inner = faultmit_memsim::MemError::RowOutOfRange { row: 3, rows: 2 };
+        let err = EccError::from(inner.clone());
+        assert_eq!(err, EccError::Memory(inner));
+        assert!(Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EccError>();
+    }
+}

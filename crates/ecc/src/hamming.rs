@@ -1,0 +1,386 @@
+//! Extended Hamming (SECDED) codes.
+//!
+//! The code places data bits in the classical Hamming layout (parity bits at
+//! power-of-two positions) and appends one overall-parity bit, yielding a
+//! single-error-correcting, double-error-detecting code. For a `k`-bit data
+//! word the code uses the smallest `r` with `2^r ≥ k + r + 1` check positions
+//! plus the overall parity, i.e. `H(k + r + 1, k)`:
+//!
+//! | data bits | code | used in the paper |
+//! |---|---|---|
+//! | 32 | H(39,32) | full-word SECDED baseline |
+//! | 16 | H(22,16) | P-ECC on the 16 MSBs |
+//! | 8  | H(13,8)  | byte-granular variant |
+//! | 57 | H(64,57) | widest code that fits a 64-bit register |
+
+use crate::code::{DecodeOutcome, Decoded, SecdedCode};
+use crate::error::EccError;
+use serde::{Deserialize, Serialize};
+
+/// Maximum data width supported (the codeword must fit in a `u64`).
+pub const MAX_DATA_BITS: usize = 57;
+
+/// An extended Hamming SECDED code for a fixed data width.
+///
+/// Codewords are laid out with Hamming positions `1..=m` in codeword bits
+/// `0..m` and the overall parity in codeword bit `m`, where `m = k + r`.
+///
+/// # Example
+///
+/// ```
+/// use faultmit_ecc::{HammingSecded, SecdedCode};
+///
+/// # fn main() -> Result<(), faultmit_ecc::EccError> {
+/// let code = HammingSecded::h22_16();
+/// assert_eq!(code.data_bits(), 16);
+/// assert_eq!(code.codeword_bits(), 22);
+/// let cw = code.encode(0xBEEF)?;
+/// assert_eq!(code.decode(cw)?.data, 0xBEEF);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HammingSecded {
+    data_bits: usize,
+    /// Number of Hamming parity bits (excluding the overall parity).
+    hamming_parity_bits: usize,
+}
+
+impl HammingSecded {
+    /// Creates a SECDED code for `data_bits`-bit data words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EccError::UnsupportedDataWidth`] when `data_bits` is zero or
+    /// larger than [`MAX_DATA_BITS`].
+    pub fn new(data_bits: usize) -> Result<Self, EccError> {
+        if data_bits == 0 || data_bits > MAX_DATA_BITS {
+            return Err(EccError::UnsupportedDataWidth {
+                data_bits,
+                max_bits: MAX_DATA_BITS,
+            });
+        }
+        let mut r = 0usize;
+        while (1usize << r) < data_bits + r + 1 {
+            r += 1;
+        }
+        Ok(Self {
+            data_bits,
+            hamming_parity_bits: r,
+        })
+    }
+
+    /// The paper's H(39,32) code protecting a full 32-bit word.
+    #[must_use]
+    pub fn h39_32() -> Self {
+        Self::new(32).expect("32-bit data width is supported")
+    }
+
+    /// The paper's H(22,16) code used by P-ECC on the 16 most significant
+    /// bits.
+    #[must_use]
+    pub fn h22_16() -> Self {
+        Self::new(16).expect("16-bit data width is supported")
+    }
+
+    /// H(13,8): byte-granular SECDED.
+    #[must_use]
+    pub fn h13_8() -> Self {
+        Self::new(8).expect("8-bit data width is supported")
+    }
+
+    /// Number of Hamming positions `m = k + r` (codeword bits excluding the
+    /// overall parity).
+    #[must_use]
+    pub fn hamming_positions(&self) -> usize {
+        self.data_bits + self.hamming_parity_bits
+    }
+
+    fn data_mask(&self) -> u64 {
+        if self.data_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.data_bits) - 1
+        }
+    }
+
+    fn codeword_mask(&self) -> u64 {
+        (1u64 << self.codeword_bits()) - 1
+    }
+
+    /// Scatters data bits into their Hamming positions (1-indexed positions
+    /// that are not powers of two), returning the `m`-bit Hamming register
+    /// without parity values filled in.
+    fn scatter_data(&self, data: u64) -> u64 {
+        let m = self.hamming_positions();
+        let mut register = 0u64;
+        let mut data_index = 0usize;
+        for position in 1..=m {
+            if position.is_power_of_two() {
+                continue;
+            }
+            if (data >> data_index) & 1 == 1 {
+                register |= 1 << (position - 1);
+            }
+            data_index += 1;
+        }
+        register
+    }
+
+    /// Gathers data bits back out of the `m`-bit Hamming register.
+    fn gather_data(&self, register: u64) -> u64 {
+        let m = self.hamming_positions();
+        let mut data = 0u64;
+        let mut data_index = 0usize;
+        for position in 1..=m {
+            if position.is_power_of_two() {
+                continue;
+            }
+            if (register >> (position - 1)) & 1 == 1 {
+                data |= 1 << data_index;
+            }
+            data_index += 1;
+        }
+        data
+    }
+
+    /// Computes the syndrome of the `m`-bit Hamming register: XOR of the
+    /// (1-indexed) positions of all set bits.
+    fn syndrome(&self, register: u64) -> usize {
+        let m = self.hamming_positions();
+        let mut syndrome = 0usize;
+        for position in 1..=m {
+            if (register >> (position - 1)) & 1 == 1 {
+                syndrome ^= position;
+            }
+        }
+        syndrome
+    }
+
+    fn fill_parity(&self, mut register: u64) -> u64 {
+        // With all parity positions currently zero, the syndrome equals the
+        // XOR of the positions of set data bits; writing that value into the
+        // parity positions makes the overall syndrome zero.
+        let syndrome = self.syndrome(register);
+        for j in 0..self.hamming_parity_bits {
+            if (syndrome >> j) & 1 == 1 {
+                register |= 1 << ((1usize << j) - 1);
+            }
+        }
+        register
+    }
+}
+
+impl SecdedCode for HammingSecded {
+    fn data_bits(&self) -> usize {
+        self.data_bits
+    }
+
+    fn parity_bits(&self) -> usize {
+        self.hamming_parity_bits + 1
+    }
+
+    fn encode(&self, data: u64) -> Result<u64, EccError> {
+        if data & !self.data_mask() != 0 {
+            return Err(EccError::DataTooWide {
+                value: data,
+                data_bits: self.data_bits,
+            });
+        }
+        let register = self.fill_parity(self.scatter_data(data));
+        let overall = (register.count_ones() & 1) as u64;
+        Ok(register | (overall << self.hamming_positions()))
+    }
+
+    fn decode(&self, codeword: u64) -> Result<Decoded, EccError> {
+        if codeword & !self.codeword_mask() != 0 {
+            return Err(EccError::CodewordTooWide {
+                value: codeword,
+                codeword_bits: self.codeword_bits(),
+            });
+        }
+        let m = self.hamming_positions();
+        let register = codeword & ((1u64 << m) - 1);
+        let stored_overall = (codeword >> m) & 1;
+        let syndrome = self.syndrome(register);
+        let parity_ok = (register.count_ones() as u64 & 1) == stored_overall;
+
+        if syndrome == 0 && parity_ok {
+            return Ok(Decoded {
+                data: self.gather_data(register),
+                outcome: DecodeOutcome::Clean,
+            });
+        }
+        if !parity_ok {
+            // Odd number of bit errors: assume one and correct it.
+            let corrected = if syndrome == 0 || syndrome > m {
+                // The error hit the overall parity bit itself (or the
+                // syndrome points outside the register, which we treat the
+                // same way): data bits are intact.
+                register
+            } else {
+                register ^ (1 << (syndrome - 1))
+            };
+            return Ok(Decoded {
+                data: self.gather_data(corrected),
+                outcome: DecodeOutcome::CorrectedSingle,
+            });
+        }
+        // Syndrome non-zero but overall parity consistent: an even number of
+        // errors (at least two). Flag it; the data cannot be trusted.
+        Ok(Decoded {
+            data: self.gather_data(register),
+            outcome: DecodeOutcome::DetectedDouble,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_codes_have_expected_geometry() {
+        let h39 = HammingSecded::h39_32();
+        assert_eq!(h39.data_bits(), 32);
+        assert_eq!(h39.parity_bits(), 7);
+        assert_eq!(h39.codeword_bits(), 39);
+
+        let h22 = HammingSecded::h22_16();
+        assert_eq!(h22.data_bits(), 16);
+        assert_eq!(h22.parity_bits(), 6);
+        assert_eq!(h22.codeword_bits(), 22);
+
+        let h13 = HammingSecded::h13_8();
+        assert_eq!(h13.data_bits(), 8);
+        assert_eq!(h13.parity_bits(), 5);
+        assert_eq!(h13.codeword_bits(), 13);
+    }
+
+    #[test]
+    fn unsupported_widths_are_rejected() {
+        assert!(HammingSecded::new(0).is_err());
+        assert!(HammingSecded::new(58).is_err());
+        assert!(HammingSecded::new(57).is_ok());
+        assert_eq!(HammingSecded::new(57).unwrap().codeword_bits(), 64);
+    }
+
+    #[test]
+    fn encode_rejects_oversized_data() {
+        let code = HammingSecded::h22_16();
+        assert!(code.encode(0x1_0000).is_err());
+        assert!(code.encode(0xFFFF).is_ok());
+    }
+
+    #[test]
+    fn decode_rejects_oversized_codeword() {
+        let code = HammingSecded::h22_16();
+        assert!(code.decode(1 << 22).is_err());
+    }
+
+    #[test]
+    fn clean_round_trip_for_representative_values() {
+        let code = HammingSecded::h39_32();
+        for &value in &[
+            0u64,
+            1,
+            0xFFFF_FFFF,
+            0x8000_0000,
+            0xDEAD_BEEF,
+            0x1234_5678,
+            0x5555_5555,
+            0xAAAA_AAAA,
+        ] {
+            let cw = code.encode(value).unwrap();
+            let decoded = code.decode(cw).unwrap();
+            assert_eq!(decoded.data, value);
+            assert_eq!(decoded.outcome, DecodeOutcome::Clean);
+        }
+    }
+
+    #[test]
+    fn every_single_bit_error_is_corrected_h39() {
+        let code = HammingSecded::h39_32();
+        let data = 0xCAFE_BABEu64;
+        let cw = code.encode(data).unwrap();
+        for bit in 0..code.codeword_bits() {
+            let corrupted = cw ^ (1 << bit);
+            let decoded = code.decode(corrupted).unwrap();
+            assert_eq!(decoded.data, data, "failed at bit {bit}");
+            assert_eq!(decoded.outcome, DecodeOutcome::CorrectedSingle);
+        }
+    }
+
+    #[test]
+    fn every_single_bit_error_is_corrected_h22() {
+        let code = HammingSecded::h22_16();
+        let data = 0x1234u64;
+        let cw = code.encode(data).unwrap();
+        for bit in 0..code.codeword_bits() {
+            let decoded = code.decode(cw ^ (1 << bit)).unwrap();
+            assert_eq!(decoded.data, data, "failed at bit {bit}");
+            assert_eq!(decoded.outcome, DecodeOutcome::CorrectedSingle);
+        }
+    }
+
+    #[test]
+    fn every_double_bit_error_is_detected_h22() {
+        let code = HammingSecded::h22_16();
+        let data = 0xA5C3u64;
+        let cw = code.encode(data).unwrap();
+        for first in 0..code.codeword_bits() {
+            for second in (first + 1)..code.codeword_bits() {
+                let corrupted = cw ^ (1 << first) ^ (1 << second);
+                let decoded = code.decode(corrupted).unwrap();
+                assert_eq!(
+                    decoded.outcome,
+                    DecodeOutcome::DetectedDouble,
+                    "missed double error at bits {first},{second}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn double_bit_errors_sampled_h39() {
+        let code = HammingSecded::h39_32();
+        let data = 0x0F0F_F0F0u64;
+        let cw = code.encode(data).unwrap();
+        for first in (0..39).step_by(3) {
+            for second in (first + 1..39).step_by(5) {
+                let decoded = code.decode(cw ^ (1 << first) ^ (1 << second)).unwrap();
+                assert_eq!(decoded.outcome, DecodeOutcome::DetectedDouble);
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_round_trip_for_small_code() {
+        let code = HammingSecded::h13_8();
+        for value in 0u64..256 {
+            let cw = code.encode(value).unwrap();
+            assert_eq!(code.decode(cw).unwrap().data, value);
+            // All single-bit errors corrected.
+            for bit in 0..13 {
+                let decoded = code.decode(cw ^ (1 << bit)).unwrap();
+                assert_eq!(decoded.data, value);
+            }
+        }
+    }
+
+    #[test]
+    fn storage_overhead_matches_paper_ratios() {
+        // H(39,32): 7/32 ≈ 21.9% extra storage; H(22,16): 6/16 = 37.5%.
+        assert!((HammingSecded::h39_32().storage_overhead() - 7.0 / 32.0).abs() < 1e-12);
+        assert!((HammingSecded::h22_16().storage_overhead() - 6.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_data_produces_distinct_codewords() {
+        let code = HammingSecded::h13_8();
+        let mut seen = std::collections::HashSet::new();
+        for value in 0u64..256 {
+            assert!(seen.insert(code.encode(value).unwrap()));
+        }
+    }
+}

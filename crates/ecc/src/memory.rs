@@ -1,0 +1,304 @@
+//! ECC-protected memories: a SECDED codec coupled with a faulty SRAM array
+//! that stores the widened codewords (data columns plus parity columns, as in
+//! the paper's Fig. 1).
+
+use crate::code::{DecodeOutcome, Decoded, SecdedCode};
+use crate::error::EccError;
+use crate::hamming::HammingSecded;
+use crate::pecc::PriorityEcc;
+use faultmit_memsim::{FaultMap, MemoryConfig, SramArray};
+
+/// A memory whose every word is protected by a full-word SECDED code.
+///
+/// Writes encode the data word into a codeword; reads decode the (possibly
+/// corrupted) codeword, correcting single-bit faults and flagging double-bit
+/// faults.
+///
+/// # Example
+///
+/// ```
+/// use faultmit_ecc::EccMemory;
+/// use faultmit_memsim::{Fault, FaultMap, MemoryConfig};
+///
+/// # fn main() -> Result<(), faultmit_ecc::EccError> {
+/// // 39-bit storage rows are required for H(39,32) codewords.
+/// let storage = MemoryConfig::new(16, 39)?;
+/// let mut faults = FaultMap::new(storage);
+/// faults.insert(Fault::bit_flip(3, 35))?;
+///
+/// let mut mem = EccMemory::h39_32(16, faults)?;
+/// mem.write(3, 0xDEAD_BEEF)?;
+/// let decoded = mem.read(3)?;
+/// assert_eq!(decoded.data, 0xDEAD_BEEF); // the single fault is corrected
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EccMemory {
+    code: HammingSecded,
+    array: SramArray,
+}
+
+impl EccMemory {
+    /// Creates an H(39,32)-protected memory with `rows` words and the given
+    /// fault map over the 39-bit storage array.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the fault map geometry does not match the
+    /// 39-bit-wide storage array.
+    pub fn h39_32(rows: usize, faults: FaultMap) -> Result<Self, EccError> {
+        Self::with_code(HammingSecded::h39_32(), rows, faults)
+    }
+
+    /// Creates a protected memory for an arbitrary SECDED code.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the fault map geometry does not match the
+    /// storage geometry implied by the code.
+    pub fn with_code(
+        code: HammingSecded,
+        rows: usize,
+        faults: FaultMap,
+    ) -> Result<Self, EccError> {
+        let storage = MemoryConfig::new(rows, code.codeword_bits())?;
+        let array = SramArray::try_with_faults(storage, faults)?;
+        Ok(Self { code, array })
+    }
+
+    /// The SECDED code in use.
+    #[must_use]
+    pub fn code(&self) -> &HammingSecded {
+        &self.code
+    }
+
+    /// The underlying storage array (codeword-wide).
+    #[must_use]
+    pub fn array(&self) -> &SramArray {
+        &self.array
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.array.config().rows()
+    }
+
+    /// Encodes and stores `data` at `row`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the row is out of range or the data does not fit
+    /// the code's data width.
+    pub fn write(&mut self, row: usize, data: u64) -> Result<(), EccError> {
+        let codeword = self.code.encode(data)?;
+        self.array.write(row, codeword)?;
+        Ok(())
+    }
+
+    /// Reads and decodes the word at `row`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the row is out of range.
+    pub fn read(&mut self, row: usize) -> Result<Decoded, EccError> {
+        let codeword = self.array.read(row)?;
+        self.code.decode(codeword)
+    }
+}
+
+/// A memory protected by priority ECC: only the MSB slice of each word is
+/// covered by a SECDED code.
+#[derive(Debug, Clone)]
+pub struct PeccMemory {
+    pecc: PriorityEcc,
+    array: SramArray,
+}
+
+impl PeccMemory {
+    /// Creates the paper's P-ECC memory (H(22,16) over the 16 MSBs of 32-bit
+    /// words) with `rows` words and the given fault map over the 38-bit
+    /// storage array.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the fault map geometry does not match the 38-bit
+    /// storage array.
+    pub fn paper_32bit(rows: usize, faults: FaultMap) -> Result<Self, EccError> {
+        Self::with_pecc(PriorityEcc::paper_32bit()?, rows, faults)
+    }
+
+    /// Creates a P-ECC memory for an arbitrary partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the fault map geometry does not match the
+    /// storage geometry implied by the partition.
+    pub fn with_pecc(pecc: PriorityEcc, rows: usize, faults: FaultMap) -> Result<Self, EccError> {
+        let storage = MemoryConfig::new(rows, pecc.codeword_bits())?;
+        let array = SramArray::try_with_faults(storage, faults)?;
+        Ok(Self { pecc, array })
+    }
+
+    /// The P-ECC configuration in use.
+    #[must_use]
+    pub fn pecc(&self) -> &PriorityEcc {
+        &self.pecc
+    }
+
+    /// The underlying storage array.
+    #[must_use]
+    pub fn array(&self) -> &SramArray {
+        &self.array
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.array.config().rows()
+    }
+
+    /// Encodes and stores `data` at `row`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the row is out of range or the data does not fit
+    /// the word width.
+    pub fn write(&mut self, row: usize, data: u64) -> Result<(), EccError> {
+        let stored = self.pecc.encode(data)?;
+        self.array.write(row, stored)?;
+        Ok(())
+    }
+
+    /// Reads and decodes the word at `row`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the row is out of range.
+    pub fn read(&mut self, row: usize) -> Result<Decoded, EccError> {
+        let stored = self.array.read(row)?;
+        self.pecc.decode(stored)
+    }
+}
+
+/// Convenience: whether a decode outcome should be counted as an error for
+/// quality-evaluation purposes (the data differs from what was written or is
+/// flagged unreliable).
+#[must_use]
+pub fn outcome_is_suspect(decoded: &Decoded, expected: u64) -> bool {
+    decoded.data != expected || decoded.outcome == DecodeOutcome::DetectedDouble
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultmit_memsim::Fault;
+
+    fn faults_39(faults: &[Fault]) -> FaultMap {
+        let config = MemoryConfig::new(8, 39).unwrap();
+        FaultMap::from_faults(config, faults.iter().copied()).unwrap()
+    }
+
+    fn faults_38(faults: &[Fault]) -> FaultMap {
+        let config = MemoryConfig::new(8, 38).unwrap();
+        FaultMap::from_faults(config, faults.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn ecc_memory_round_trips_without_faults() {
+        let mut mem = EccMemory::h39_32(8, faults_39(&[])).unwrap();
+        for row in 0..8 {
+            mem.write(row, 0x1000_0000 + row as u64).unwrap();
+        }
+        for row in 0..8 {
+            let decoded = mem.read(row).unwrap();
+            assert_eq!(decoded.data, 0x1000_0000 + row as u64);
+            assert_eq!(decoded.outcome, DecodeOutcome::Clean);
+        }
+    }
+
+    #[test]
+    fn ecc_memory_corrects_single_fault_anywhere_in_codeword() {
+        for col in [0usize, 10, 31, 32, 38] {
+            let mut mem = EccMemory::h39_32(8, faults_39(&[Fault::bit_flip(2, col)])).unwrap();
+            mem.write(2, 0xFEED_F00D).unwrap();
+            let decoded = mem.read(2).unwrap();
+            assert_eq!(decoded.data, 0xFEED_F00D, "fault at column {col}");
+            assert_eq!(decoded.outcome, DecodeOutcome::CorrectedSingle);
+        }
+    }
+
+    #[test]
+    fn ecc_memory_detects_double_fault() {
+        let mut mem =
+            EccMemory::h39_32(8, faults_39(&[Fault::bit_flip(1, 4), Fault::bit_flip(1, 20)]))
+                .unwrap();
+        mem.write(1, 0x0BAD_CAFE).unwrap();
+        let decoded = mem.read(1).unwrap();
+        assert_eq!(decoded.outcome, DecodeOutcome::DetectedDouble);
+    }
+
+    #[test]
+    fn ecc_memory_rejects_wrong_fault_map_geometry() {
+        let wrong = FaultMap::new(MemoryConfig::new(8, 32).unwrap());
+        assert!(EccMemory::h39_32(8, wrong).is_err());
+    }
+
+    #[test]
+    fn pecc_memory_corrects_msb_faults_and_passes_lsb_faults() {
+        // Column 37 is inside the H(22,16) codeword region (offset 16..38).
+        let mut mem = PeccMemory::paper_32bit(8, faults_38(&[Fault::bit_flip(0, 37)])).unwrap();
+        mem.write(0, 0x8000_0001).unwrap();
+        assert_eq!(mem.read(0).unwrap().data, 0x8000_0001);
+
+        // Column 3 is an unprotected LSB: the error reaches the output.
+        let mut mem = PeccMemory::paper_32bit(8, faults_38(&[Fault::bit_flip(1, 3)])).unwrap();
+        mem.write(1, 0x8000_0001).unwrap();
+        assert_eq!(mem.read(1).unwrap().data, 0x8000_0001 ^ (1 << 3));
+    }
+
+    #[test]
+    fn pecc_memory_bounds_lsb_error_magnitude() {
+        let mut worst_error = 0i64;
+        for col in 0..16 {
+            let mut mem =
+                PeccMemory::paper_32bit(8, faults_38(&[Fault::bit_flip(0, col)])).unwrap();
+            mem.write(0, 0).unwrap();
+            let read = mem.read(0).unwrap().data as i64;
+            worst_error = worst_error.max(read.abs());
+        }
+        assert_eq!(worst_error, 1 << 15);
+    }
+
+    #[test]
+    fn pecc_memory_rejects_wrong_fault_map_geometry() {
+        let wrong = FaultMap::new(MemoryConfig::new(8, 39).unwrap());
+        assert!(PeccMemory::paper_32bit(8, wrong).is_err());
+    }
+
+    #[test]
+    fn outcome_is_suspect_flags_mismatches_and_double_errors() {
+        let clean = Decoded {
+            data: 5,
+            outcome: DecodeOutcome::Clean,
+        };
+        assert!(!outcome_is_suspect(&clean, 5));
+        assert!(outcome_is_suspect(&clean, 6));
+        let double = Decoded {
+            data: 5,
+            outcome: DecodeOutcome::DetectedDouble,
+        };
+        assert!(outcome_is_suspect(&double, 5));
+    }
+
+    #[test]
+    fn access_counts_flow_through_to_array() {
+        let mut mem = EccMemory::h39_32(8, faults_39(&[])).unwrap();
+        mem.write(0, 1).unwrap();
+        let _ = mem.read(0).unwrap();
+        assert_eq!(mem.array().write_count(), 1);
+        assert_eq!(mem.array().read_count(), 1);
+        assert_eq!(mem.rows(), 8);
+    }
+}

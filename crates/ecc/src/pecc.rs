@@ -1,0 +1,299 @@
+//! Priority-based ECC (P-ECC).
+//!
+//! P-ECC [4, 12] reduces ECC overhead by protecting only the bits that matter
+//! most for output quality: the most significant `P` bits of each `W`-bit
+//! word are encoded with a small SECDED code, while the remaining low-order
+//! bits are stored unprotected. The paper uses an H(22,16) code over the 16
+//! MSBs of each 32-bit word as its P-ECC baseline.
+
+use crate::code::{Decoded, SecdedCode};
+use crate::error::EccError;
+use crate::hamming::HammingSecded;
+use serde::{Deserialize, Serialize};
+
+/// Priority ECC: a SECDED code over the MSBs, raw storage for the LSBs.
+///
+/// The stored (widened) word is laid out with the unprotected LSBs in the low
+/// bit positions and the MSB codeword above them:
+///
+/// ```text
+///   bit 0 .. W-P-1        : unprotected low-order data bits
+///   bit W-P .. W-P+n-1    : H(n, P) codeword of the P high-order data bits
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use faultmit_ecc::{PriorityEcc, SecdedCode, DecodeOutcome};
+///
+/// # fn main() -> Result<(), faultmit_ecc::EccError> {
+/// // The paper's configuration: H(22,16) over the 16 MSBs of a 32-bit word.
+/// let pecc = PriorityEcc::paper_32bit()?;
+/// assert_eq!(pecc.codeword_bits(), 38);
+///
+/// let stored = pecc.encode(0xDEAD_BEEF)?;
+/// // A fault in the protected MSB region is corrected...
+/// let decoded = pecc.decode(stored ^ (1 << 30))?;
+/// assert_eq!(decoded.data, 0xDEAD_BEEF);
+/// // ...but a fault in the unprotected LSB region passes through.
+/// let decoded = pecc.decode(stored ^ 1)?;
+/// assert_eq!(decoded.data, 0xDEAD_BEEE);
+/// assert_eq!(decoded.outcome, DecodeOutcome::Clean);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PriorityEcc {
+    word_bits: usize,
+    protected_bits: usize,
+    code: HammingSecded,
+}
+
+impl PriorityEcc {
+    /// Creates a P-ECC configuration protecting the `protected_bits` most
+    /// significant bits of a `word_bits`-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EccError::InvalidPartition`] when the partition is empty or
+    /// exceeds the word, or [`EccError::UnsupportedDataWidth`] when the
+    /// protected slice is too wide for a SECDED code.
+    pub fn new(word_bits: usize, protected_bits: usize) -> Result<Self, EccError> {
+        if word_bits == 0 || word_bits > 64 {
+            return Err(EccError::InvalidPartition {
+                reason: format!("word width must be in 1..=64, got {word_bits}"),
+            });
+        }
+        if protected_bits == 0 || protected_bits > word_bits {
+            return Err(EccError::InvalidPartition {
+                reason: format!(
+                    "protected bits must be in 1..={word_bits}, got {protected_bits}"
+                ),
+            });
+        }
+        let code = HammingSecded::new(protected_bits)?;
+        let total = (word_bits - protected_bits) + code.codeword_bits();
+        if total > 64 {
+            return Err(EccError::InvalidPartition {
+                reason: format!("stored word would need {total} bits (maximum 64)"),
+            });
+        }
+        Ok(Self {
+            word_bits,
+            protected_bits,
+            code,
+        })
+    }
+
+    /// The paper's P-ECC baseline: H(22,16) over the 16 MSBs of a 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Never fails; the `Result` keeps the constructor signature uniform.
+    pub fn paper_32bit() -> Result<Self, EccError> {
+        Self::new(32, 16)
+    }
+
+    /// Width of the original data word `W`.
+    #[must_use]
+    pub fn word_bits(&self) -> usize {
+        self.word_bits
+    }
+
+    /// Number of protected (most significant) data bits `P`.
+    #[must_use]
+    pub fn protected_bits(&self) -> usize {
+        self.protected_bits
+    }
+
+    /// Number of unprotected (least significant) data bits `W − P`.
+    #[must_use]
+    pub fn unprotected_bits(&self) -> usize {
+        self.word_bits - self.protected_bits
+    }
+
+    /// The inner SECDED code protecting the MSB slice.
+    #[must_use]
+    pub fn inner_code(&self) -> &HammingSecded {
+        &self.code
+    }
+
+    /// Bit position (within the stored word) where the MSB codeword starts.
+    #[must_use]
+    pub fn codeword_offset(&self) -> usize {
+        self.unprotected_bits()
+    }
+
+    fn word_mask(&self) -> u64 {
+        if self.word_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.word_bits) - 1
+        }
+    }
+
+    fn lsb_mask(&self) -> u64 {
+        let bits = self.unprotected_bits();
+        if bits == 0 {
+            0
+        } else {
+            (1u64 << bits) - 1
+        }
+    }
+}
+
+impl SecdedCode for PriorityEcc {
+    fn data_bits(&self) -> usize {
+        self.word_bits
+    }
+
+    fn parity_bits(&self) -> usize {
+        self.code.parity_bits()
+    }
+
+    fn encode(&self, data: u64) -> Result<u64, EccError> {
+        if data & !self.word_mask() != 0 {
+            return Err(EccError::DataTooWide {
+                value: data,
+                data_bits: self.word_bits,
+            });
+        }
+        let lsbs = data & self.lsb_mask();
+        let msbs = data >> self.unprotected_bits();
+        let codeword = self.code.encode(msbs)?;
+        Ok(lsbs | (codeword << self.codeword_offset()))
+    }
+
+    fn decode(&self, stored: u64) -> Result<Decoded, EccError> {
+        let total_bits = self.codeword_bits();
+        let stored_mask = if total_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << total_bits) - 1
+        };
+        if stored & !stored_mask != 0 {
+            return Err(EccError::CodewordTooWide {
+                value: stored,
+                codeword_bits: total_bits,
+            });
+        }
+        let lsbs = stored & self.lsb_mask();
+        let codeword = stored >> self.codeword_offset();
+        let decoded_msbs = self.code.decode(codeword)?;
+        Ok(Decoded {
+            data: lsbs | (decoded_msbs.data << self.unprotected_bits()),
+            outcome: decoded_msbs.outcome,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::DecodeOutcome;
+
+    #[test]
+    fn paper_configuration_geometry() {
+        let pecc = PriorityEcc::paper_32bit().unwrap();
+        assert_eq!(pecc.word_bits(), 32);
+        assert_eq!(pecc.protected_bits(), 16);
+        assert_eq!(pecc.unprotected_bits(), 16);
+        assert_eq!(pecc.parity_bits(), 6);
+        // 16 raw LSBs + 22-bit H(22,16) codeword = 38 stored bits.
+        assert_eq!(pecc.codeword_bits(), 38);
+        assert_eq!(pecc.inner_code().codeword_bits(), 22);
+    }
+
+    #[test]
+    fn invalid_partitions_are_rejected() {
+        assert!(PriorityEcc::new(0, 0).is_err());
+        assert!(PriorityEcc::new(32, 0).is_err());
+        assert!(PriorityEcc::new(32, 33).is_err());
+        assert!(PriorityEcc::new(65, 16).is_err());
+        // 64-bit word fully protected needs a 72-bit codeword: too wide.
+        assert!(PriorityEcc::new(64, 58).is_err());
+        // 32 unprotected + 39-bit H(39,32) codeword = 71 stored bits: too wide.
+        assert!(PriorityEcc::new(64, 32).is_err());
+        // 32 unprotected + 22-bit H(22,16) codeword = 54 stored bits: fits.
+        assert!(PriorityEcc::new(48, 16).is_ok());
+    }
+
+    #[test]
+    fn clean_round_trip() {
+        let pecc = PriorityEcc::paper_32bit().unwrap();
+        for &value in &[0u64, 0xFFFF_FFFF, 0xDEAD_BEEF, 0x0000_FFFF, 0xFFFF_0000] {
+            let stored = pecc.encode(value).unwrap();
+            let decoded = pecc.decode(stored).unwrap();
+            assert_eq!(decoded.data, value);
+            assert_eq!(decoded.outcome, DecodeOutcome::Clean);
+        }
+    }
+
+    #[test]
+    fn encode_rejects_oversized_data() {
+        let pecc = PriorityEcc::paper_32bit().unwrap();
+        assert!(pecc.encode(0x1_0000_0000).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_oversized_stored_word() {
+        let pecc = PriorityEcc::paper_32bit().unwrap();
+        assert!(pecc.decode(1 << 38).is_err());
+    }
+
+    #[test]
+    fn errors_in_protected_region_are_corrected() {
+        let pecc = PriorityEcc::paper_32bit().unwrap();
+        let value = 0x1234_5678u64;
+        let stored = pecc.encode(value).unwrap();
+        for bit in pecc.codeword_offset()..pecc.codeword_bits() {
+            let decoded = pecc.decode(stored ^ (1 << bit)).unwrap();
+            assert_eq!(decoded.data, value, "bit {bit} not corrected");
+            assert_eq!(decoded.outcome, DecodeOutcome::CorrectedSingle);
+        }
+    }
+
+    #[test]
+    fn errors_in_unprotected_region_pass_through() {
+        let pecc = PriorityEcc::paper_32bit().unwrap();
+        let value = 0xFFFF_0000u64;
+        let stored = pecc.encode(value).unwrap();
+        for bit in 0..pecc.unprotected_bits() {
+            let decoded = pecc.decode(stored ^ (1 << bit)).unwrap();
+            assert_eq!(decoded.data, value ^ (1 << bit));
+            // The decoder does not even notice the LSB corruption.
+            assert_eq!(decoded.outcome, DecodeOutcome::Clean);
+        }
+    }
+
+    #[test]
+    fn lsb_error_magnitude_is_bounded_by_unprotected_width() {
+        let pecc = PriorityEcc::paper_32bit().unwrap();
+        let value = 0x0000_8000u64;
+        let stored = pecc.encode(value).unwrap();
+        // Worst unprotected fault flips bit 15: error magnitude 2^15.
+        let decoded = pecc.decode(stored ^ (1 << 15)).unwrap();
+        let error = decoded.data as i64 - value as i64;
+        assert!(error.unsigned_abs() <= 1 << 15);
+    }
+
+    #[test]
+    fn double_error_in_protected_region_is_detected() {
+        let pecc = PriorityEcc::paper_32bit().unwrap();
+        let stored = pecc.encode(0xABCD_EF01).unwrap();
+        let corrupted = stored ^ (1 << 20) ^ (1 << 30);
+        let decoded = pecc.decode(corrupted).unwrap();
+        assert_eq!(decoded.outcome, DecodeOutcome::DetectedDouble);
+    }
+
+    #[test]
+    fn fully_protected_word_degenerates_to_plain_secded() {
+        let pecc = PriorityEcc::new(16, 16).unwrap();
+        assert_eq!(pecc.unprotected_bits(), 0);
+        assert_eq!(pecc.codeword_bits(), 22);
+        let stored = pecc.encode(0xBEEF).unwrap();
+        for bit in 0..22 {
+            assert_eq!(pecc.decode(stored ^ (1 << bit)).unwrap().data, 0xBEEF);
+        }
+    }
+}

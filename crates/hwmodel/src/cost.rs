@@ -1,0 +1,149 @@
+//! Read-path cost triples (energy, delay, area).
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+
+/// Cost of one read access through a protection block, plus the block's area.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReadPathCost {
+    /// Energy per read access (fJ) attributable to the protection overhead.
+    pub energy_fj: f64,
+    /// Additional read latency (ps) on the critical path.
+    pub delay_ps: f64,
+    /// Silicon area (µm²) of the extra columns and logic.
+    pub area_um2: f64,
+}
+
+impl ReadPathCost {
+    /// A zero-cost (unprotected) read path.
+    #[must_use]
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Creates a cost triple.
+    #[must_use]
+    pub fn new(energy_fj: f64, delay_ps: f64, area_um2: f64) -> Self {
+        Self {
+            energy_fj,
+            delay_ps,
+            area_um2,
+        }
+    }
+
+    /// Component-wise ratio of `self` to `baseline`, as used by Fig. 6
+    /// ("relative to the overhead required by the H(39,32) SECDED ECC").
+    ///
+    /// Components whose baseline is zero yield `f64::NAN`.
+    #[must_use]
+    pub fn relative_to(&self, baseline: &ReadPathCost) -> RelativeCost {
+        RelativeCost {
+            energy: self.energy_fj / baseline.energy_fj,
+            delay: self.delay_ps / baseline.delay_ps,
+            area: self.area_um2 / baseline.area_um2,
+        }
+    }
+
+    /// `true` when every component of `self` is at most the corresponding
+    /// component of `other`.
+    #[must_use]
+    pub fn dominates(&self, other: &ReadPathCost) -> bool {
+        self.energy_fj <= other.energy_fj
+            && self.delay_ps <= other.delay_ps
+            && self.area_um2 <= other.area_um2
+    }
+}
+
+impl Add for ReadPathCost {
+    type Output = ReadPathCost;
+
+    fn add(self, rhs: ReadPathCost) -> ReadPathCost {
+        ReadPathCost {
+            energy_fj: self.energy_fj + rhs.energy_fj,
+            // Delays on the same critical path accumulate; parallel paths
+            // should be combined by the caller with `max` instead.
+            delay_ps: self.delay_ps + rhs.delay_ps,
+            area_um2: self.area_um2 + rhs.area_um2,
+        }
+    }
+}
+
+impl AddAssign for ReadPathCost {
+    fn add_assign(&mut self, rhs: ReadPathCost) {
+        *self = *self + rhs;
+    }
+}
+
+/// Cost relative to a baseline, component-wise (1.0 = equal to baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RelativeCost {
+    /// Relative read energy.
+    pub energy: f64,
+    /// Relative read delay.
+    pub delay: f64,
+    /// Relative area.
+    pub area: f64,
+}
+
+impl RelativeCost {
+    /// The savings (1 − relative value) for each component, as the paper
+    /// quotes them ("83% in read power, 77% in read access time, 89% in
+    /// area").
+    #[must_use]
+    pub fn savings(&self) -> RelativeCost {
+        RelativeCost {
+            energy: 1.0 - self.energy,
+            delay: 1.0 - self.delay,
+            area: 1.0 - self.area,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_cost_is_all_zero() {
+        let c = ReadPathCost::zero();
+        assert_eq!(c.energy_fj, 0.0);
+        assert_eq!(c.delay_ps, 0.0);
+        assert_eq!(c.area_um2, 0.0);
+    }
+
+    #[test]
+    fn addition_is_component_wise() {
+        let a = ReadPathCost::new(1.0, 2.0, 3.0);
+        let b = ReadPathCost::new(10.0, 20.0, 30.0);
+        let sum = a + b;
+        assert_eq!(sum, ReadPathCost::new(11.0, 22.0, 33.0));
+        let mut acc = a;
+        acc += b;
+        assert_eq!(acc, sum);
+    }
+
+    #[test]
+    fn relative_and_savings() {
+        let baseline = ReadPathCost::new(100.0, 50.0, 200.0);
+        let cheap = ReadPathCost::new(17.0, 11.5, 22.0);
+        let rel = cheap.relative_to(&baseline);
+        assert!((rel.energy - 0.17).abs() < 1e-12);
+        assert!((rel.delay - 0.23).abs() < 1e-12);
+        assert!((rel.area - 0.11).abs() < 1e-12);
+        let savings = rel.savings();
+        assert!((savings.energy - 0.83).abs() < 1e-12);
+        assert!((savings.delay - 0.77).abs() < 1e-12);
+        assert!((savings.area - 0.89).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominance_requires_all_components() {
+        let small = ReadPathCost::new(1.0, 1.0, 1.0);
+        let large = ReadPathCost::new(2.0, 2.0, 2.0);
+        let mixed = ReadPathCost::new(0.5, 3.0, 1.0);
+        assert!(small.dominates(&large));
+        assert!(!large.dominates(&small));
+        assert!(!mixed.dominates(&small));
+        assert!(small.dominates(&small));
+    }
+}

@@ -1,0 +1,155 @@
+//! Alternative FM-LUT realisations and the write-path cost they imply.
+//!
+//! The paper's Fig. 6 charges the FM-LUT as extra bit columns inside the SRAM
+//! array ("the most straightforward realization"), and notes that "the LUT
+//! could be realized with, for example, a content-addressable memory (CAM) or
+//! register file, to provide much less overhead, especially in terms of write
+//! latency, which in the case of bit-shuffling, requires a read prior to a
+//! write" (§5.1). This module models those three options so the write-path
+//! trade-off can be explored.
+
+use crate::cost::ReadPathCost;
+use crate::technology::Technology;
+use serde::{Deserialize, Serialize};
+
+/// How the per-row shift indices `x_FM(r)` are stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LutImplementation {
+    /// `n_FM` extra bit columns inside the SRAM array (the paper's default).
+    /// Cheapest storage, but looking up `x_FM(r)` before a write costs a full
+    /// array access.
+    ArrayColumns,
+    /// A dedicated register file with one `n_FM`-bit entry per row. Fast
+    /// access, but flip-flop storage is several times larger than an SRAM
+    /// cell.
+    RegisterFile,
+    /// A content-addressable memory holding one entry per *faulty* row only
+    /// (address tag + shift index). Smallest storage when faults are sparse;
+    /// the search is fast but every lookup activates all match lines.
+    Cam {
+        /// Number of entries provisioned (≥ the expected number of faulty
+        /// rows the die must tolerate).
+        entries: usize,
+    },
+}
+
+impl LutImplementation {
+    /// Short label used in tables.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            LutImplementation::ArrayColumns => "array columns".to_owned(),
+            LutImplementation::RegisterFile => "register file".to_owned(),
+            LutImplementation::Cam { entries } => format!("CAM ({entries} entries)"),
+        }
+    }
+
+    /// Cost of one LUT lookup plus the LUT's storage area, for a memory with
+    /// `rows` rows, an `n_fm`-bit entry, and `address_bits` row-address bits.
+    #[must_use]
+    pub fn lookup_cost(
+        &self,
+        technology: &Technology,
+        rows: usize,
+        n_fm: usize,
+        address_bits: usize,
+    ) -> ReadPathCost {
+        match *self {
+            LutImplementation::ArrayColumns => ReadPathCost {
+                // Reading the LUT columns is folded into the normal array
+                // access; doing it *before* a write costs one extra access of
+                // the n_FM columns.
+                energy_fj: n_fm as f64 * technology.sram_column_read_energy_fj,
+                delay_ps: ARRAY_ACCESS_DELAY_PS,
+                area_um2: n_fm as f64 * rows as f64 * technology.sram_cell_area_um2,
+            },
+            LutImplementation::RegisterFile => ReadPathCost {
+                energy_fj: n_fm as f64 * technology.mux2_energy_fj * 2.0,
+                // Address decode + mux tree through the register file.
+                delay_ps: (address_bits as f64 / 2.0) * technology.mux2_delay_ps,
+                area_um2: n_fm as f64
+                    * rows as f64
+                    * technology.sram_cell_area_um2
+                    * REGISTER_FILE_AREA_FACTOR,
+            },
+            LutImplementation::Cam { entries } => {
+                let entry_bits = address_bits + n_fm;
+                ReadPathCost {
+                    // Every lookup drives all match lines: energy grows with
+                    // the number of entries.
+                    energy_fj: entries as f64 * address_bits as f64 * technology.and2_energy_fj,
+                    delay_ps: 2.0 * technology.and2_delay_ps + technology.mux2_delay_ps,
+                    area_um2: entries as f64
+                        * entry_bits as f64
+                        * technology.sram_cell_area_um2
+                        * CAM_CELL_AREA_FACTOR,
+                }
+            }
+        }
+    }
+}
+
+/// Latency of a full SRAM array access (decode + word-line + sense), used for
+/// the read-before-write penalty of the array-column LUT. Representative of a
+/// small 28 nm macro.
+pub const ARRAY_ACCESS_DELAY_PS: f64 = 350.0;
+/// Area of a flip-flop-based register-file bit relative to a 6T SRAM cell.
+pub const REGISTER_FILE_AREA_FACTOR: f64 = 4.0;
+/// Area of a CAM cell (storage + comparator) relative to a 6T SRAM cell.
+pub const CAM_CELL_AREA_FACTOR: f64 = 2.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::generic_28nm()
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        assert_eq!(LutImplementation::ArrayColumns.label(), "array columns");
+        assert_eq!(LutImplementation::RegisterFile.label(), "register file");
+        assert!(LutImplementation::Cam { entries: 32 }.label().contains("32"));
+    }
+
+    #[test]
+    fn register_file_and_cam_are_faster_than_array_columns() {
+        // The paper's point: the array-column LUT costs a read before every
+        // write; the alternatives avoid that serialised array access.
+        let rows = 4096;
+        let columns = LutImplementation::ArrayColumns.lookup_cost(&tech(), rows, 5, 12);
+        let regfile = LutImplementation::RegisterFile.lookup_cost(&tech(), rows, 5, 12);
+        let cam = LutImplementation::Cam { entries: 64 }.lookup_cost(&tech(), rows, 5, 12);
+        assert!(regfile.delay_ps < columns.delay_ps);
+        assert!(cam.delay_ps < columns.delay_ps);
+    }
+
+    #[test]
+    fn cam_storage_is_smallest_when_faults_are_sparse() {
+        let rows = 4096;
+        let columns = LutImplementation::ArrayColumns.lookup_cost(&tech(), rows, 5, 12);
+        let regfile = LutImplementation::RegisterFile.lookup_cost(&tech(), rows, 5, 12);
+        // A CAM provisioned for 64 faulty rows out of 4096.
+        let cam = LutImplementation::Cam { entries: 64 }.lookup_cost(&tech(), rows, 5, 12);
+        assert!(cam.area_um2 < columns.area_um2);
+        assert!(cam.area_um2 < regfile.area_um2);
+        // The register file pays an area premium over plain columns.
+        assert!(regfile.area_um2 > columns.area_um2);
+    }
+
+    #[test]
+    fn cam_energy_grows_with_entry_count() {
+        let small = LutImplementation::Cam { entries: 16 }.lookup_cost(&tech(), 4096, 3, 12);
+        let large = LutImplementation::Cam { entries: 256 }.lookup_cost(&tech(), 4096, 3, 12);
+        assert!(large.energy_fj > small.energy_fj);
+    }
+
+    #[test]
+    fn lookup_cost_scales_with_n_fm_for_storage_based_luts() {
+        let narrow = LutImplementation::ArrayColumns.lookup_cost(&tech(), 1024, 1, 10);
+        let wide = LutImplementation::ArrayColumns.lookup_cost(&tech(), 1024, 5, 10);
+        assert!(wide.area_um2 > narrow.area_um2);
+        assert!(wide.energy_fj > narrow.energy_fj);
+    }
+}

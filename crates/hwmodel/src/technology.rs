@@ -1,0 +1,135 @@
+//! Per-primitive delay / energy / area constants for a generic 28 nm node.
+
+use serde::{Deserialize, Serialize};
+
+/// Technology constants used by the cost model.
+///
+/// The defaults are representative values for a 28 nm FD-SOI standard-cell
+/// library and high-density SRAM macro; they are not calibrated to any
+/// proprietary PDK. Because Fig. 6 reports *relative* overheads, only the
+/// ratios between these constants matter for reproducing the paper's shape.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    /// Propagation delay of a 2-input XOR gate (ps).
+    pub xor2_delay_ps: f64,
+    /// Propagation delay of a 2-input AND/NAND gate (ps).
+    pub and2_delay_ps: f64,
+    /// Propagation delay of a 2-to-1 multiplexer (ps).
+    pub mux2_delay_ps: f64,
+    /// Switching energy of a 2-input XOR gate per access (fJ, including the
+    /// expected activity factor of the read path).
+    pub xor2_energy_fj: f64,
+    /// Switching energy of a 2-input AND/NAND gate per access (fJ).
+    pub and2_energy_fj: f64,
+    /// Switching energy of a 2-to-1 multiplexer per access (fJ).
+    pub mux2_energy_fj: f64,
+    /// Area of a 2-input XOR gate (µm²).
+    pub xor2_area_um2: f64,
+    /// Area of a 2-input AND/NAND gate (µm²).
+    pub and2_area_um2: f64,
+    /// Area of a 2-to-1 multiplexer (µm²).
+    pub mux2_area_um2: f64,
+    /// Area of one 6T SRAM bit-cell (µm²).
+    pub sram_cell_area_um2: f64,
+    /// Read energy of one SRAM column per row access (fJ), covering bit-line
+    /// precharge and sensing.
+    pub sram_column_read_energy_fj: f64,
+    /// Additional access time contributed by widening the row by one column
+    /// (ps). Small: extra columns mainly cost energy and area, not delay.
+    pub sram_column_delay_ps: f64,
+}
+
+impl Technology {
+    /// Representative constants for a generic 28 nm node.
+    #[must_use]
+    pub fn generic_28nm() -> Self {
+        Self {
+            xor2_delay_ps: 18.0,
+            and2_delay_ps: 12.0,
+            mux2_delay_ps: 16.0,
+            xor2_energy_fj: 0.55,
+            and2_energy_fj: 0.30,
+            mux2_energy_fj: 0.45,
+            xor2_area_um2: 0.55,
+            and2_area_um2: 0.35,
+            mux2_area_um2: 0.45,
+            sram_cell_area_um2: 0.12,
+            sram_column_read_energy_fj: 9.0,
+            sram_column_delay_ps: 1.5,
+        }
+    }
+
+    /// A scaled profile for exploring other nodes: all delays, energies and
+    /// areas are multiplied by the given factors.
+    #[must_use]
+    pub fn scaled(&self, delay: f64, energy: f64, area: f64) -> Self {
+        Self {
+            xor2_delay_ps: self.xor2_delay_ps * delay,
+            and2_delay_ps: self.and2_delay_ps * delay,
+            mux2_delay_ps: self.mux2_delay_ps * delay,
+            xor2_energy_fj: self.xor2_energy_fj * energy,
+            and2_energy_fj: self.and2_energy_fj * energy,
+            mux2_energy_fj: self.mux2_energy_fj * energy,
+            xor2_area_um2: self.xor2_area_um2 * area,
+            and2_area_um2: self.and2_area_um2 * area,
+            mux2_area_um2: self.mux2_area_um2 * area,
+            sram_cell_area_um2: self.sram_cell_area_um2 * area,
+            sram_column_read_energy_fj: self.sram_column_read_energy_fj * energy,
+            sram_column_delay_ps: self.sram_column_delay_ps * delay,
+        }
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Self::generic_28nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_generic_28nm() {
+        assert_eq!(Technology::default(), Technology::generic_28nm());
+    }
+
+    #[test]
+    fn all_constants_are_positive() {
+        let t = Technology::generic_28nm();
+        for v in [
+            t.xor2_delay_ps,
+            t.and2_delay_ps,
+            t.mux2_delay_ps,
+            t.xor2_energy_fj,
+            t.and2_energy_fj,
+            t.mux2_energy_fj,
+            t.xor2_area_um2,
+            t.and2_area_um2,
+            t.mux2_area_um2,
+            t.sram_cell_area_um2,
+            t.sram_column_read_energy_fj,
+            t.sram_column_delay_ps,
+        ] {
+            assert!(v > 0.0);
+        }
+    }
+
+    #[test]
+    fn scaling_multiplies_each_axis_independently() {
+        let base = Technology::generic_28nm();
+        let scaled = base.scaled(2.0, 3.0, 4.0);
+        assert!((scaled.xor2_delay_ps - base.xor2_delay_ps * 2.0).abs() < 1e-12);
+        assert!((scaled.mux2_energy_fj - base.mux2_energy_fj * 3.0).abs() < 1e-12);
+        assert!((scaled.sram_cell_area_um2 - base.sram_cell_area_um2 * 4.0).abs() < 1e-12);
+        assert!((scaled.sram_column_read_energy_fj - base.sram_column_read_energy_fj * 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gate_delays_have_plausible_ordering() {
+        let t = Technology::generic_28nm();
+        // XOR gates are slower than simple AND gates in any CMOS library.
+        assert!(t.xor2_delay_ps > t.and2_delay_ps);
+    }
+}

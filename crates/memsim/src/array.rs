@@ -1,0 +1,364 @@
+//! Functional `R × W` SRAM array with persistent bit-cell faults.
+
+use crate::config::MemoryConfig;
+use crate::error::MemError;
+use crate::fault::{FaultKind, FaultMap};
+use serde::{Deserialize, Serialize};
+
+/// Functional model of a word-organised SRAM array.
+///
+/// Data is stored exactly as written; faults are applied on *read*, modelling
+/// bit-cells that cannot reliably hold or deliver their content. This mirrors
+/// the paper's functional 16 KB memory model used for fault injection during
+/// the application-quality study (§5.2).
+///
+/// # Example
+///
+/// ```
+/// use faultmit_memsim::{Fault, FaultMap, MemoryConfig, SramArray};
+///
+/// # fn main() -> Result<(), faultmit_memsim::MemError> {
+/// let config = MemoryConfig::new(8, 32)?;
+/// let mut faults = FaultMap::new(config);
+/// faults.insert(Fault::bit_flip(2, 31))?;
+///
+/// let mut mem = SramArray::with_faults(config, faults);
+/// mem.write(2, 0x0000_1234)?;
+/// // The MSB cell of row 2 flips on read: huge error magnitude.
+/// assert_eq!(mem.read(2)?, 0x8000_1234);
+/// // Fault-free rows are unaffected.
+/// mem.write(3, 0x0000_1234)?;
+/// assert_eq!(mem.read(3)?, 0x0000_1234);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SramArray {
+    config: MemoryConfig,
+    words: Vec<u64>,
+    faults: FaultMap,
+    reads: u64,
+    writes: u64,
+}
+
+impl SramArray {
+    /// Creates a fault-free array with all cells initialised to zero.
+    #[must_use]
+    pub fn new(config: MemoryConfig) -> Self {
+        Self::with_faults(config, FaultMap::new(config))
+    }
+
+    /// Creates an array with the given fault map.
+    ///
+    /// The fault map's geometry is trusted to match `config`; use
+    /// [`SramArray::try_with_faults`] for untrusted maps.
+    #[must_use]
+    pub fn with_faults(config: MemoryConfig, faults: FaultMap) -> Self {
+        Self {
+            config,
+            words: vec![0; config.rows()],
+            faults,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Creates an array with the given fault map, checking geometries match.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::GeometryMismatch`] when the fault map was built for
+    /// a different geometry.
+    pub fn try_with_faults(config: MemoryConfig, faults: FaultMap) -> Result<Self, MemError> {
+        if faults.config() != config {
+            return Err(MemError::GeometryMismatch {
+                reason: format!(
+                    "fault map is for {}x{} but array is {}x{}",
+                    faults.config().rows(),
+                    faults.config().word_bits(),
+                    config.rows(),
+                    config.word_bits()
+                ),
+            });
+        }
+        Ok(Self::with_faults(config, faults))
+    }
+
+    /// Geometry of the array.
+    #[must_use]
+    pub fn config(&self) -> MemoryConfig {
+        self.config
+    }
+
+    /// The fault map of this die.
+    #[must_use]
+    pub fn faults(&self) -> &FaultMap {
+        &self.faults
+    }
+
+    /// Replaces the fault map (e.g. when scaling V_DD exposes more faults).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::GeometryMismatch`] when the new map was built for a
+    /// different geometry.
+    pub fn set_faults(&mut self, faults: FaultMap) -> Result<(), MemError> {
+        if faults.config() != self.config {
+            return Err(MemError::GeometryMismatch {
+                reason: "fault map geometry differs from array geometry".to_owned(),
+            });
+        }
+        self.faults = faults;
+        Ok(())
+    }
+
+    /// Writes `value` to `row`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::RowOutOfRange`] or [`MemError::ValueTooWide`].
+    pub fn write(&mut self, row: usize, value: u64) -> Result<(), MemError> {
+        self.config.check_row(row)?;
+        self.config.check_value(value)?;
+        self.words[row] = value;
+        self.writes += 1;
+        Ok(())
+    }
+
+    /// Reads the word at `row`, applying any cell faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::RowOutOfRange`].
+    pub fn read(&mut self, row: usize) -> Result<u64, MemError> {
+        self.config.check_row(row)?;
+        self.reads += 1;
+        Ok(self.observe(row))
+    }
+
+    /// Reads the word at `row` without counting the access (for analysis).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::RowOutOfRange`].
+    pub fn peek(&self, row: usize) -> Result<u64, MemError> {
+        self.config.check_row(row)?;
+        Ok(self.observe(row))
+    }
+
+    /// The value most recently written to `row`, bypassing faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::RowOutOfRange`].
+    pub fn stored(&self, row: usize) -> Result<u64, MemError> {
+        self.config.check_row(row)?;
+        Ok(self.words[row])
+    }
+
+    /// Number of reads performed so far.
+    #[must_use]
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of writes performed so far.
+    #[must_use]
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Clears all stored data (faults are retained — they are physical).
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Bit-error word for `row`: a mask of the bit positions whose read value
+    /// currently differs from the stored value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::RowOutOfRange`].
+    pub fn error_mask(&self, row: usize) -> Result<u64, MemError> {
+        self.config.check_row(row)?;
+        Ok(self.observe(row) ^ self.words[row])
+    }
+
+    fn observe(&self, row: usize) -> u64 {
+        let stored = self.words[row];
+        if !self.faults.row_has_fault(row) {
+            return stored;
+        }
+        let mut observed = stored;
+        for col in self.faults.faulty_columns(row) {
+            // The per-row fault list only contains valid columns.
+            let kind = self
+                .faults
+                .fault_at(row, col)
+                .expect("column reported faulty must have a fault");
+            let stored_bit = (stored >> col) & 1 == 1;
+            let read_bit = kind.apply(stored_bit);
+            if read_bit {
+                observed |= 1 << col;
+            } else {
+                observed &= !(1 << col);
+            }
+        }
+        observed & self.config.word_mask()
+    }
+}
+
+/// Applies a fault of the given kind to bit `col` of `value`, returning the
+/// corrupted word.
+///
+/// This is a convenience used by analyses that corrupt words without
+/// materialising a full [`SramArray`].
+#[must_use]
+pub fn corrupt_word(value: u64, col: usize, kind: FaultKind) -> u64 {
+    let stored_bit = (value >> col) & 1 == 1;
+    let read_bit = kind.apply(stored_bit);
+    if read_bit {
+        value | (1 << col)
+    } else {
+        value & !(1 << col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::Fault;
+
+    fn small_config() -> MemoryConfig {
+        MemoryConfig::new(4, 16).unwrap()
+    }
+
+    #[test]
+    fn fault_free_array_reads_back_written_data() {
+        let mut mem = SramArray::new(small_config());
+        for row in 0..4 {
+            mem.write(row, (row as u64) * 3 + 1).unwrap();
+        }
+        for row in 0..4 {
+            assert_eq!(mem.read(row).unwrap(), (row as u64) * 3 + 1);
+        }
+        assert_eq!(mem.read_count(), 4);
+        assert_eq!(mem.write_count(), 4);
+    }
+
+    #[test]
+    fn stuck_at_faults_force_bits() {
+        let config = small_config();
+        let mut faults = FaultMap::new(config);
+        faults.insert(Fault::stuck_at_one(0, 3)).unwrap();
+        faults.insert(Fault::stuck_at_zero(1, 0)).unwrap();
+        let mut mem = SramArray::with_faults(config, faults);
+
+        mem.write(0, 0).unwrap();
+        assert_eq!(mem.read(0).unwrap(), 0b1000);
+
+        mem.write(1, 0b1).unwrap();
+        assert_eq!(mem.read(1).unwrap(), 0);
+    }
+
+    #[test]
+    fn bit_flip_faults_always_corrupt() {
+        let config = small_config();
+        let mut faults = FaultMap::new(config);
+        faults.insert(Fault::bit_flip(2, 15)).unwrap();
+        let mut mem = SramArray::with_faults(config, faults);
+
+        mem.write(2, 0).unwrap();
+        assert_eq!(mem.read(2).unwrap(), 1 << 15);
+        mem.write(2, 1 << 15).unwrap();
+        assert_eq!(mem.read(2).unwrap(), 0);
+    }
+
+    #[test]
+    fn stuck_at_faults_may_be_silent() {
+        // A stuck-at-one cell storing a 1 causes no observable error.
+        let config = small_config();
+        let mut faults = FaultMap::new(config);
+        faults.insert(Fault::stuck_at_one(0, 7)).unwrap();
+        let mut mem = SramArray::with_faults(config, faults);
+        mem.write(0, 1 << 7).unwrap();
+        assert_eq!(mem.read(0).unwrap(), 1 << 7);
+        assert_eq!(mem.error_mask(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn error_mask_reports_corrupted_positions() {
+        let config = small_config();
+        let mut faults = FaultMap::new(config);
+        faults.insert(Fault::bit_flip(3, 2)).unwrap();
+        faults.insert(Fault::bit_flip(3, 9)).unwrap();
+        let mut mem = SramArray::with_faults(config, faults);
+        mem.write(3, 0).unwrap();
+        assert_eq!(mem.error_mask(3).unwrap(), (1 << 2) | (1 << 9));
+    }
+
+    #[test]
+    fn stored_bypasses_faults_and_peek_does_not_count() {
+        let config = small_config();
+        let mut faults = FaultMap::new(config);
+        faults.insert(Fault::stuck_at_zero(0, 4)).unwrap();
+        let mut mem = SramArray::with_faults(config, faults);
+        mem.write(0, 0xFF).unwrap();
+        assert_eq!(mem.stored(0).unwrap(), 0xFF);
+        assert_eq!(mem.peek(0).unwrap(), 0xFF & !(1 << 4));
+        assert_eq!(mem.read_count(), 0);
+    }
+
+    #[test]
+    fn out_of_range_accesses_are_rejected() {
+        let mut mem = SramArray::new(small_config());
+        assert!(mem.write(4, 0).is_err());
+        assert!(mem.read(4).is_err());
+        assert!(mem.peek(4).is_err());
+        assert!(mem.stored(4).is_err());
+        assert!(mem.error_mask(4).is_err());
+        assert!(mem.write(0, 0x1_0000).is_err());
+    }
+
+    #[test]
+    fn geometry_mismatch_is_detected() {
+        let config_a = MemoryConfig::new(4, 16).unwrap();
+        let config_b = MemoryConfig::new(8, 16).unwrap();
+        let map_b = FaultMap::new(config_b);
+        assert!(SramArray::try_with_faults(config_a, map_b.clone()).is_err());
+        let mut mem = SramArray::new(config_a);
+        assert!(mem.set_faults(map_b).is_err());
+    }
+
+    #[test]
+    fn clear_resets_data_but_keeps_faults() {
+        let config = small_config();
+        let mut faults = FaultMap::new(config);
+        faults.insert(Fault::stuck_at_one(1, 1)).unwrap();
+        let mut mem = SramArray::with_faults(config, faults);
+        mem.write(1, 0xABC).unwrap();
+        mem.clear();
+        assert_eq!(mem.stored(1).unwrap(), 0);
+        // Fault still present after clear.
+        assert_eq!(mem.peek(1).unwrap(), 0b10);
+    }
+
+    #[test]
+    fn corrupt_word_helper_matches_array_behaviour() {
+        for kind in FaultKind::ALL {
+            for col in [0usize, 7, 15] {
+                for value in [0u64, 0xFFFF, 0x5A5A] {
+                    let config = small_config();
+                    let mut faults = FaultMap::new(config);
+                    faults.insert(Fault::new(0, col, kind)).unwrap();
+                    let mut mem = SramArray::with_faults(config, faults);
+                    mem.write(0, value & config.word_mask()).unwrap();
+                    assert_eq!(
+                        mem.read(0).unwrap(),
+                        corrupt_word(value & config.word_mask(), col, kind)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Memory built-in self test (BIST).
+//!
+//! The bit-shuffling scheme needs to know, for every row, where the faulty
+//! cells sit so that the FM-LUT can be programmed (§3 of the paper: "the
+//! location of the faulty cell in each row/word is detected during BIST").
+//! The paper suggests running the BIST either at post-fabrication test or at
+//! every power-on so that ageing-induced faults are also captured.
+//!
+//! [`MarchBist`] implements the classic March C- algorithm:
+//!
+//! ```text
+//! ⇕(w0); ⇑(r0, w1); ⇑(r1, w0); ⇓(r0, w1); ⇓(r1, w0); ⇕(r0)
+//! ```
+//!
+//! executed at word granularity (each element reads/writes whole words with
+//! all-zeros / all-ones backgrounds), which detects stuck-at and
+//! inversion-type cell defects — exactly the fault kinds modelled by
+//! [`FaultKind`](crate::fault::FaultKind).
+
+use crate::array::SramArray;
+use crate::config::MemoryConfig;
+use crate::error::MemError;
+use serde::{Deserialize, Serialize};
+
+/// Faulty bit positions detected in one row.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RowFaultReport {
+    /// Row (word address).
+    pub row: usize,
+    /// Detected faulty bit positions, sorted ascending (LSB first).
+    pub faulty_columns: Vec<usize>,
+}
+
+impl RowFaultReport {
+    /// Number of faulty cells detected in this row.
+    #[must_use]
+    pub fn fault_count(&self) -> usize {
+        self.faulty_columns.len()
+    }
+
+    /// Highest faulty bit position, if any.
+    #[must_use]
+    pub fn highest_faulty_column(&self) -> Option<usize> {
+        self.faulty_columns.last().copied()
+    }
+}
+
+/// Result of a BIST run over a whole array.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BistReport {
+    config: MemoryConfig,
+    rows: Vec<RowFaultReport>,
+    total_reads: u64,
+    total_writes: u64,
+}
+
+impl BistReport {
+    /// Geometry of the tested array.
+    #[must_use]
+    pub fn config(&self) -> MemoryConfig {
+        self.config
+    }
+
+    /// Reports for rows that contain at least one detected fault, in
+    /// ascending row order.
+    #[must_use]
+    pub fn faulty_rows(&self) -> &[RowFaultReport] {
+        &self.rows
+    }
+
+    /// Total number of faulty cells detected.
+    #[must_use]
+    pub fn fault_count(&self) -> usize {
+        self.rows.iter().map(RowFaultReport::fault_count).sum()
+    }
+
+    /// Number of rows with at least one detected fault.
+    #[must_use]
+    pub fn faulty_row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no fault was detected.
+    #[must_use]
+    pub fn is_fault_free(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Detected faulty columns of a specific row (empty if the row is clean).
+    #[must_use]
+    pub fn faulty_columns(&self, row: usize) -> &[usize] {
+        match self.rows.binary_search_by_key(&row, |r| r.row) {
+            Ok(index) => &self.rows[index].faulty_columns,
+            Err(_) => &[],
+        }
+    }
+
+    /// Number of word reads issued by the test.
+    #[must_use]
+    pub fn total_reads(&self) -> u64 {
+        self.total_reads
+    }
+
+    /// Number of word writes issued by the test.
+    #[must_use]
+    pub fn total_writes(&self) -> u64 {
+        self.total_writes
+    }
+}
+
+/// March C- built-in self test executed at word granularity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MarchBist {
+    /// Run the final verification element (⇕(r0)) — enabled by default.
+    pub run_final_read: bool,
+}
+
+impl MarchBist {
+    /// Creates a BIST with the full March C- sequence.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            run_final_read: true,
+        }
+    }
+
+    /// Runs the test over `array`, restoring the array contents to zero
+    /// afterwards (the test is destructive, as in real hardware where BIST
+    /// runs before the memory holds live data).
+    ///
+    /// # Errors
+    ///
+    /// Propagates array access errors; none occur for a well-formed array.
+    pub fn run(&self, array: &mut SramArray) -> Result<BistReport, MemError> {
+        let config = array.config();
+        let rows = config.rows();
+        let mask = config.word_mask();
+        let reads_before = array.read_count();
+        let writes_before = array.write_count();
+
+        // Per-row accumulated set of faulty columns (bitmask).
+        let mut faulty_bits = vec![0u64; rows];
+
+        // ⇕(w0): write all-zero background.
+        for row in 0..rows {
+            array.write(row, 0)?;
+        }
+        // ⇑(r0, w1): ascending, expect 0, write 1.
+        for row in 0..rows {
+            let observed = array.read(row)?;
+            faulty_bits[row] |= observed ^ 0;
+            array.write(row, mask)?;
+        }
+        // ⇑(r1, w0): ascending, expect 1, write 0.
+        for row in 0..rows {
+            let observed = array.read(row)?;
+            faulty_bits[row] |= observed ^ mask;
+            array.write(row, 0)?;
+        }
+        // ⇓(r0, w1): descending, expect 0, write 1.
+        for row in (0..rows).rev() {
+            let observed = array.read(row)?;
+            faulty_bits[row] |= observed ^ 0;
+            array.write(row, mask)?;
+        }
+        // ⇓(r1, w0): descending, expect 1, write 0.
+        for row in (0..rows).rev() {
+            let observed = array.read(row)?;
+            faulty_bits[row] |= observed ^ mask;
+            array.write(row, 0)?;
+        }
+        // ⇕(r0): final verification.
+        if self.run_final_read {
+            for row in 0..rows {
+                let observed = array.read(row)?;
+                faulty_bits[row] |= observed ^ 0;
+            }
+        }
+
+        let mut reports = Vec::new();
+        for (row, bits) in faulty_bits.iter().enumerate() {
+            if *bits != 0 {
+                let faulty_columns = (0..config.word_bits())
+                    .filter(|&col| (bits >> col) & 1 == 1)
+                    .collect();
+                reports.push(RowFaultReport {
+                    row,
+                    faulty_columns,
+                });
+            }
+        }
+
+        Ok(BistReport {
+            config,
+            rows: reports,
+            total_reads: array.read_count() - reads_before,
+            total_writes: array.write_count() - writes_before,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{Fault, FaultMap};
+
+    fn array_with(faults: &[Fault]) -> SramArray {
+        let config = MemoryConfig::new(16, 32).unwrap();
+        let map = FaultMap::from_faults(config, faults.iter().copied()).unwrap();
+        SramArray::with_faults(config, map)
+    }
+
+    #[test]
+    fn clean_memory_reports_no_faults() {
+        let mut array = array_with(&[]);
+        let report = MarchBist::new().run(&mut array).unwrap();
+        assert!(report.is_fault_free());
+        assert_eq!(report.fault_count(), 0);
+        assert_eq!(report.faulty_row_count(), 0);
+    }
+
+    #[test]
+    fn detects_stuck_at_zero_and_one() {
+        let mut array = array_with(&[Fault::stuck_at_zero(3, 7), Fault::stuck_at_one(9, 0)]);
+        let report = MarchBist::new().run(&mut array).unwrap();
+        assert_eq!(report.fault_count(), 2);
+        assert_eq!(report.faulty_columns(3), &[7]);
+        assert_eq!(report.faulty_columns(9), &[0]);
+        assert_eq!(report.faulty_columns(0), &[] as &[usize]);
+    }
+
+    #[test]
+    fn detects_bit_flip_faults() {
+        let mut array = array_with(&[Fault::bit_flip(5, 31)]);
+        let report = MarchBist::new().run(&mut array).unwrap();
+        assert_eq!(report.fault_count(), 1);
+        assert_eq!(report.faulty_columns(5), &[31]);
+    }
+
+    #[test]
+    fn detects_multiple_faults_in_one_row() {
+        let mut array = array_with(&[
+            Fault::stuck_at_one(2, 1),
+            Fault::stuck_at_zero(2, 16),
+            Fault::bit_flip(2, 30),
+        ]);
+        let report = MarchBist::new().run(&mut array).unwrap();
+        assert_eq!(report.faulty_row_count(), 1);
+        assert_eq!(report.faulty_columns(2), &[1, 16, 30]);
+        assert_eq!(report.faulty_rows()[0].highest_faulty_column(), Some(30));
+    }
+
+    #[test]
+    fn report_matches_injected_fault_map_exactly() {
+        let faults = [
+            Fault::stuck_at_zero(0, 0),
+            Fault::stuck_at_one(0, 31),
+            Fault::bit_flip(7, 15),
+            Fault::stuck_at_one(15, 8),
+        ];
+        let mut array = array_with(&faults);
+        let injected = array.faults().clone();
+        let report = MarchBist::new().run(&mut array).unwrap();
+        assert_eq!(report.fault_count(), injected.fault_count());
+        for fault in injected.iter() {
+            assert!(
+                report.faulty_columns(fault.row).contains(&fault.col),
+                "BIST missed fault at ({}, {})",
+                fault.row,
+                fault.col
+            );
+        }
+    }
+
+    #[test]
+    fn array_is_left_cleared() {
+        let mut array = array_with(&[Fault::stuck_at_one(1, 1)]);
+        let _ = MarchBist::new().run(&mut array).unwrap();
+        for row in 0..array.config().rows() {
+            assert_eq!(array.stored(row).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn access_counts_match_march_c_minus_complexity() {
+        // March C- issues 5 reads (6 with the final element) and 5 writes per
+        // word... precisely: w0, (r0,w1), (r1,w0), (r0,w1), (r1,w0), r0 =
+        // 5 reads + 5 writes per row with the final element enabled.
+        let mut array = array_with(&[]);
+        let rows = array.config().rows() as u64;
+        let report = MarchBist::new().run(&mut array).unwrap();
+        assert_eq!(report.total_reads(), 5 * rows);
+        assert_eq!(report.total_writes(), 5 * rows);
+
+        let mut array = array_with(&[]);
+        let shorter = MarchBist {
+            run_final_read: false,
+        };
+        let report = shorter.run(&mut array).unwrap();
+        assert_eq!(report.total_reads(), 4 * rows);
+    }
+
+    #[test]
+    fn report_rows_are_sorted_by_row_index() {
+        let mut array = array_with(&[
+            Fault::bit_flip(12, 0),
+            Fault::bit_flip(3, 0),
+            Fault::bit_flip(8, 0),
+        ]);
+        let report = MarchBist::new().run(&mut array).unwrap();
+        let rows: Vec<usize> = report.faulty_rows().iter().map(|r| r.row).collect();
+        assert_eq!(rows, vec![3, 8, 12]);
+    }
+}

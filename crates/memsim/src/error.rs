@@ -1,0 +1,116 @@
+//! Error types for the memory simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the functional memory model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MemError {
+    /// A geometry parameter is invalid (zero rows, unsupported word width, ...).
+    InvalidGeometry {
+        /// Human-readable description of the offending parameter.
+        reason: String,
+    },
+    /// A row address is outside the array.
+    RowOutOfRange {
+        /// The requested row.
+        row: usize,
+        /// The number of rows in the array.
+        rows: usize,
+    },
+    /// A column (bit position) is outside the word.
+    ColumnOutOfRange {
+        /// The requested column.
+        col: usize,
+        /// The word width in bits.
+        word_bits: usize,
+    },
+    /// A data value does not fit in the configured word width.
+    ValueTooWide {
+        /// The value that was written.
+        value: u64,
+        /// The word width in bits.
+        word_bits: usize,
+    },
+    /// A fault map was built for a different geometry than the array it is
+    /// attached to.
+    GeometryMismatch {
+        /// Description of the mismatch.
+        reason: String,
+    },
+    /// A probability parameter is outside `[0, 1]` or otherwise unusable.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+    },
+    /// A model parameter is invalid (non-positive sigma, reversed voltage
+    /// range, ...).
+    InvalidParameter {
+        /// Human-readable description of the offending parameter.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::InvalidGeometry { reason } => {
+                write!(f, "invalid memory geometry: {reason}")
+            }
+            MemError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range for array with {rows} rows")
+            }
+            MemError::ColumnOutOfRange { col, word_bits } => {
+                write!(f, "column {col} out of range for {word_bits}-bit words")
+            }
+            MemError::ValueTooWide { value, word_bits } => {
+                write!(f, "value {value:#x} does not fit in a {word_bits}-bit word")
+            }
+            MemError::GeometryMismatch { reason } => {
+                write!(f, "memory geometry mismatch: {reason}")
+            }
+            MemError::InvalidProbability { value } => {
+                write!(f, "invalid probability {value}")
+            }
+            MemError::InvalidParameter { reason } => {
+                write!(f, "invalid model parameter: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = MemError::RowOutOfRange { row: 9, rows: 4 };
+        assert!(err.to_string().contains("row 9"));
+        assert!(err.to_string().contains("4 rows"));
+
+        let err = MemError::ValueTooWide {
+            value: 0x1_0000_0000,
+            word_bits: 32,
+        };
+        assert!(err.to_string().contains("32-bit"));
+
+        let err = MemError::InvalidProbability { value: 1.5 };
+        assert!(err.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MemError>();
+    }
+
+    #[test]
+    fn errors_implement_std_error() {
+        let err: Box<dyn Error> = Box::new(MemError::InvalidProbability { value: -0.1 });
+        assert!(err.source().is_none());
+    }
+}

@@ -1,0 +1,357 @@
+//! Analytical bit-cell failure probability model `P_cell(V_DD)`.
+//!
+//! The paper obtains `P_cell` from SPICE-level simulations of a 28 nm 6T SRAM
+//! cell combined with hypersphere importance sampling (its Fig. 2). That flow
+//! needs proprietary device models, so this crate substitutes an analytical
+//! Gaussian static-noise-margin (SNM) model:
+//!
+//! * each cell's read/write margin is normally distributed around a nominal
+//!   margin that shrinks linearly as the supply voltage is scaled down;
+//! * a cell fails when its margin falls below zero, so
+//!   `P_cell(V_DD) = Φ(−z(V_DD))` with `z(V_DD) = slope · V_DD + offset`.
+//!
+//! The default calibration reproduces the Fig. 2 curve shape: `P_cell` rises
+//! from ≈1e-9 at the nominal 1.0 V to ≈1e-2 at 0.6 V, and the yield
+//! `(1 − P_cell)^M` of a 16 KB array collapses to ≈0 around 0.73 V.
+//!
+//! The model also captures the *fault inclusion property* [14]: a cell that
+//! fails at a given `V_DD` fails at every lower `V_DD`, because its (fixed)
+//! margin deviation is compared against a threshold that only grows as the
+//! voltage drops. See [`crate::voltage::VoltageScaledDie`].
+
+use crate::error::MemError;
+use crate::stats::{normal_cdf, normal_quantile};
+use serde::{Deserialize, Serialize};
+
+/// Default nominal supply voltage (V) of the modelled 28 nm node.
+pub const NOMINAL_VDD: f64 = 1.0;
+
+/// Analytical cell-failure-probability model (Gaussian noise-margin model).
+///
+/// # Example
+///
+/// ```
+/// use faultmit_memsim::CellFailureModel;
+///
+/// let model = CellFailureModel::default_28nm();
+/// let nominal = model.p_cell(1.0);
+/// let scaled = model.p_cell(0.7);
+/// assert!(nominal < 1e-8);
+/// assert!(scaled > nominal * 1e3, "voltage scaling raises P_cell sharply");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellFailureModel {
+    /// Margin z-score slope per volt: how fast the margin (in σ units) grows
+    /// with the supply voltage.
+    z_slope_per_volt: f64,
+    /// Margin z-score offset at 0 V.
+    z_offset: f64,
+    /// Lowest voltage the model is calibrated for.
+    vdd_min: f64,
+    /// Highest voltage the model is calibrated for.
+    vdd_max: f64,
+}
+
+impl CellFailureModel {
+    /// Default calibration for the paper's 28 nm FD-SOI node.
+    ///
+    /// Anchored at `P_cell(1.0 V) ≈ 1e-9` and `P_cell(0.6 V) ≈ 1e-2`.
+    #[must_use]
+    pub fn default_28nm() -> Self {
+        FailureModelBuilder::new()
+            .anchor(1.0, 1e-9)
+            .anchor(0.6, 1e-2)
+            .voltage_range(0.5, 1.1)
+            .build()
+            .expect("default calibration anchors are valid")
+    }
+
+    /// Cell failure probability at the given supply voltage.
+    ///
+    /// The voltage is clamped to the calibrated range so extrapolation stays
+    /// monotone and bounded.
+    #[must_use]
+    pub fn p_cell(&self, vdd: f64) -> f64 {
+        let v = vdd.clamp(self.vdd_min, self.vdd_max);
+        normal_cdf(-self.margin_z(v))
+    }
+
+    /// Margin z-score at a given supply voltage: the number of standard
+    /// deviations by which the nominal margin exceeds the failure boundary.
+    #[must_use]
+    pub fn margin_z(&self, vdd: f64) -> f64 {
+        self.z_slope_per_volt * vdd + self.z_offset
+    }
+
+    /// Expected number of faulty cells in a memory of `total_cells` bit-cells.
+    #[must_use]
+    pub fn expected_failures(&self, vdd: f64, total_cells: usize) -> f64 {
+        self.p_cell(vdd) * total_cells as f64
+    }
+
+    /// Classical zero-failure yield `Y = (1 − P_cell)^M` of a memory with
+    /// `total_cells` cells (the paper's traditional yield criterion, §2).
+    #[must_use]
+    pub fn zero_failure_yield(&self, vdd: f64, total_cells: usize) -> f64 {
+        let p = self.p_cell(vdd);
+        // Computed in log space: M·ln(1-p) stays accurate for tiny p.
+        (total_cells as f64 * (-p).ln_1p()).exp()
+    }
+
+    /// The voltage at which a per-cell failure probability `p` is reached.
+    ///
+    /// Inverse of [`CellFailureModel::p_cell`]; useful for finding the minimum
+    /// operating voltage for a yield target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidProbability`] if `p` is not in `(0, 1)`.
+    pub fn vdd_for_p_cell(&self, p: f64) -> Result<f64, MemError> {
+        if !(p > 0.0 && p < 1.0) {
+            return Err(MemError::InvalidProbability { value: p });
+        }
+        let z = -normal_quantile(p);
+        Ok((z - self.z_offset) / self.z_slope_per_volt)
+    }
+
+    /// Calibrated voltage range `(min, max)`.
+    #[must_use]
+    pub fn voltage_range(&self) -> (f64, f64) {
+        (self.vdd_min, self.vdd_max)
+    }
+}
+
+impl Default for CellFailureModel {
+    fn default() -> Self {
+        Self::default_28nm()
+    }
+}
+
+/// Builder for [`CellFailureModel`] calibrated from two `(V_DD, P_cell)`
+/// anchor points.
+///
+/// # Example
+///
+/// ```
+/// use faultmit_memsim::FailureModelBuilder;
+///
+/// # fn main() -> Result<(), faultmit_memsim::MemError> {
+/// let model = FailureModelBuilder::new()
+///     .anchor(1.0, 1e-8)
+///     .anchor(0.65, 5e-3)
+///     .build()?;
+/// assert!(model.p_cell(0.65) > model.p_cell(1.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FailureModelBuilder {
+    anchors: Vec<(f64, f64)>,
+    vdd_min: Option<f64>,
+    vdd_max: Option<f64>,
+}
+
+impl FailureModelBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a calibration anchor: at voltage `vdd` the cell failure
+    /// probability is `p_cell`. Exactly two anchors are required.
+    #[must_use]
+    pub fn anchor(mut self, vdd: f64, p_cell: f64) -> Self {
+        self.anchors.push((vdd, p_cell));
+        self
+    }
+
+    /// Sets the voltage range the model may be evaluated over.
+    ///
+    /// Defaults to the span of the anchors.
+    #[must_use]
+    pub fn voltage_range(mut self, vdd_min: f64, vdd_max: f64) -> Self {
+        self.vdd_min = Some(vdd_min);
+        self.vdd_max = Some(vdd_max);
+        self
+    }
+
+    /// Builds the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidParameter`] unless exactly two anchors with
+    /// distinct voltages and probabilities in `(0, 1)` were provided and the
+    /// failure probability decreases with voltage.
+    pub fn build(self) -> Result<CellFailureModel, MemError> {
+        if self.anchors.len() != 2 {
+            return Err(MemError::InvalidParameter {
+                reason: format!(
+                    "exactly two calibration anchors are required, got {}",
+                    self.anchors.len()
+                ),
+            });
+        }
+        let (mut v_low, mut p_low) = self.anchors[0];
+        let (mut v_high, mut p_high) = self.anchors[1];
+        if v_low > v_high {
+            std::mem::swap(&mut v_low, &mut v_high);
+            std::mem::swap(&mut p_low, &mut p_high);
+        }
+        if (v_high - v_low).abs() < 1e-9 {
+            return Err(MemError::InvalidParameter {
+                reason: "calibration anchors must have distinct voltages".to_owned(),
+            });
+        }
+        for &(_, p) in &self.anchors {
+            if !(p > 0.0 && p < 1.0) {
+                return Err(MemError::InvalidProbability { value: p });
+            }
+        }
+        if p_low <= p_high {
+            return Err(MemError::InvalidParameter {
+                reason: "failure probability must decrease as voltage increases".to_owned(),
+            });
+        }
+        // P_cell = Φ(−z) so z = −Φ⁻¹(P_cell); fit z(V) = slope·V + offset.
+        let z_at_low = -normal_quantile(p_low);
+        let z_at_high = -normal_quantile(p_high);
+        let slope = (z_at_high - z_at_low) / (v_high - v_low);
+        let offset = z_at_low - slope * v_low;
+        let vdd_min = self.vdd_min.unwrap_or(v_low);
+        let vdd_max = self.vdd_max.unwrap_or(v_high);
+        if vdd_min >= vdd_max {
+            return Err(MemError::InvalidParameter {
+                reason: format!("voltage range [{vdd_min}, {vdd_max}] is empty"),
+            });
+        }
+        Ok(CellFailureModel {
+            z_slope_per_volt: slope,
+            z_offset: offset,
+            vdd_min,
+            vdd_max,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemoryConfig;
+
+    #[test]
+    fn default_model_matches_anchor_points() {
+        let model = CellFailureModel::default_28nm();
+        assert!((model.p_cell(1.0).log10() - (-9.0)).abs() < 0.3);
+        assert!((model.p_cell(0.6).log10() - (-2.0)).abs() < 0.3);
+    }
+
+    #[test]
+    fn p_cell_is_monotonically_decreasing_in_vdd() {
+        let model = CellFailureModel::default_28nm();
+        let mut previous = f64::INFINITY;
+        let mut v = 0.55;
+        while v <= 1.05 {
+            let p = model.p_cell(v);
+            assert!(p <= previous, "P_cell must not increase with V_DD");
+            assert!((0.0..=1.0).contains(&p));
+            previous = p;
+            v += 0.01;
+        }
+    }
+
+    #[test]
+    fn yield_collapses_for_16kb_memory_near_0_73v() {
+        // Fig. 2: "the yield approaches zero for a 16KB memory operating at 0.73V".
+        let model = CellFailureModel::default_28nm();
+        let cells = MemoryConfig::paper_16kb().total_cells();
+        let yield_at_nominal = model.zero_failure_yield(1.0, cells);
+        let yield_at_073 = model.zero_failure_yield(0.73, cells);
+        assert!(yield_at_nominal > 0.99, "nominal yield = {yield_at_nominal}");
+        assert!(yield_at_073 < 0.01, "yield at 0.73V = {yield_at_073}");
+    }
+
+    #[test]
+    fn expected_failures_scales_with_memory_size() {
+        let model = CellFailureModel::default_28nm();
+        let small = model.expected_failures(0.7, 1024);
+        let large = model.expected_failures(0.7, 131_072);
+        assert!((large / small - 128.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vdd_for_p_cell_inverts_p_cell() {
+        let model = CellFailureModel::default_28nm();
+        for &p in &[1e-8, 1e-6, 1e-4, 1e-3, 1e-2] {
+            let vdd = model.vdd_for_p_cell(p).unwrap();
+            let recovered = model.p_cell(vdd);
+            assert!(
+                (recovered.log10() - p.log10()).abs() < 0.05,
+                "p = {p}, recovered = {recovered}"
+            );
+        }
+        assert!(model.vdd_for_p_cell(0.0).is_err());
+        assert!(model.vdd_for_p_cell(1.0).is_err());
+    }
+
+    #[test]
+    fn p_cell_clamps_outside_calibrated_range() {
+        let model = CellFailureModel::default_28nm();
+        let (lo, hi) = model.voltage_range();
+        assert_eq!(model.p_cell(lo - 1.0), model.p_cell(lo));
+        assert_eq!(model.p_cell(hi + 1.0), model.p_cell(hi));
+    }
+
+    #[test]
+    fn builder_rejects_bad_inputs() {
+        assert!(FailureModelBuilder::new().build().is_err());
+        assert!(FailureModelBuilder::new()
+            .anchor(1.0, 1e-9)
+            .build()
+            .is_err());
+        assert!(FailureModelBuilder::new()
+            .anchor(1.0, 1e-9)
+            .anchor(1.0, 1e-2)
+            .build()
+            .is_err());
+        // Non-monotone anchors (higher voltage, higher probability).
+        assert!(FailureModelBuilder::new()
+            .anchor(0.6, 1e-9)
+            .anchor(1.0, 1e-2)
+            .build()
+            .is_err());
+        // Probability outside (0,1).
+        assert!(FailureModelBuilder::new()
+            .anchor(0.6, 0.0)
+            .anchor(1.0, 1e-2)
+            .build()
+            .is_err());
+        // Invalid explicit voltage range.
+        assert!(FailureModelBuilder::new()
+            .anchor(1.0, 1e-9)
+            .anchor(0.6, 1e-2)
+            .voltage_range(1.0, 0.5)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn custom_calibration_passes_through_anchors() {
+        let model = FailureModelBuilder::new()
+            .anchor(0.9, 1e-6)
+            .anchor(0.7, 1e-3)
+            .build()
+            .unwrap();
+        assert!((model.p_cell(0.9).log10() + 6.0).abs() < 0.1);
+        assert!((model.p_cell(0.7).log10() + 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn zero_failure_yield_is_probability() {
+        let model = CellFailureModel::default_28nm();
+        for &v in &[0.6, 0.7, 0.8, 0.9, 1.0] {
+            let y = model.zero_failure_yield(v, 131_072);
+            assert!((0.0..=1.0).contains(&y));
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! Fault descriptions and per-die fault maps.
+//!
+//! A *fault* is a persistent defect of a single bit-cell caused by parametric
+//! variation (possibly exposed by voltage scaling). Once a die has been
+//! manufactured the number and location of its faults is fixed, which is why
+//! the bit-shuffling scheme can record them once (via BIST) and compensate on
+//! every subsequent access.
+
+use crate::config::MemoryConfig;
+use crate::error::MemError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Behaviour of a faulty bit-cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The cell always reads `0` regardless of the stored value.
+    StuckAtZero,
+    /// The cell always reads `1` regardless of the stored value.
+    StuckAtOne,
+    /// The cell returns the complement of the stored value (models a cell
+    /// whose read path flips the content, e.g. a destructive read upset).
+    BitFlip,
+}
+
+impl FaultKind {
+    /// All fault kinds, useful for exhaustive testing.
+    pub const ALL: [FaultKind; 3] = [
+        FaultKind::StuckAtZero,
+        FaultKind::StuckAtOne,
+        FaultKind::BitFlip,
+    ];
+
+    /// Applies the fault to a single stored bit, returning the bit observed
+    /// by a read.
+    #[must_use]
+    pub fn apply(self, stored: bool) -> bool {
+        match self {
+            FaultKind::StuckAtZero => false,
+            FaultKind::StuckAtOne => true,
+            FaultKind::BitFlip => !stored,
+        }
+    }
+
+    /// Whether a read of a cell storing `stored` would observe an error.
+    #[must_use]
+    pub fn corrupts(self, stored: bool) -> bool {
+        self.apply(stored) != stored
+    }
+}
+
+/// A single faulty bit-cell: its location and behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fault {
+    /// Row (word address) of the faulty cell.
+    pub row: usize,
+    /// Column (bit position within the word, 0 = LSB) of the faulty cell.
+    pub col: usize,
+    /// Behaviour of the faulty cell.
+    pub kind: FaultKind,
+}
+
+impl Fault {
+    /// Creates a fault at `(row, col)` with the given behaviour.
+    #[must_use]
+    pub fn new(row: usize, col: usize, kind: FaultKind) -> Self {
+        Self { row, col, kind }
+    }
+
+    /// Convenience constructor for a stuck-at-zero fault.
+    #[must_use]
+    pub fn stuck_at_zero(row: usize, col: usize) -> Self {
+        Self::new(row, col, FaultKind::StuckAtZero)
+    }
+
+    /// Convenience constructor for a stuck-at-one fault.
+    #[must_use]
+    pub fn stuck_at_one(row: usize, col: usize) -> Self {
+        Self::new(row, col, FaultKind::StuckAtOne)
+    }
+
+    /// Convenience constructor for a bit-flip fault.
+    #[must_use]
+    pub fn bit_flip(row: usize, col: usize) -> Self {
+        Self::new(row, col, FaultKind::BitFlip)
+    }
+}
+
+/// The set of faulty bit-cells of one manufactured die.
+///
+/// At most one fault is recorded per cell; inserting a second fault at the
+/// same `(row, col)` replaces the previous one (the physical cell has exactly
+/// one behaviour).
+///
+/// # Example
+///
+/// ```
+/// use faultmit_memsim::{Fault, FaultKind, FaultMap, MemoryConfig};
+///
+/// # fn main() -> Result<(), faultmit_memsim::MemError> {
+/// let config = MemoryConfig::new(16, 32)?;
+/// let mut map = FaultMap::new(config);
+/// map.insert(Fault::bit_flip(3, 31))?;
+/// map.insert(Fault::stuck_at_one(7, 0))?;
+///
+/// assert_eq!(map.fault_count(), 2);
+/// assert_eq!(map.faulty_columns(3), vec![31]);
+/// assert!(map.row_has_fault(7));
+/// assert!(!map.row_has_fault(0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultMap {
+    config: MemoryConfig,
+    /// Faults indexed by row, then column (BTreeMap keeps deterministic order).
+    by_row: BTreeMap<usize, BTreeMap<usize, FaultKind>>,
+    count: usize,
+}
+
+impl FaultMap {
+    /// Creates an empty fault map for the given geometry.
+    #[must_use]
+    pub fn new(config: MemoryConfig) -> Self {
+        Self {
+            config,
+            by_row: BTreeMap::new(),
+            count: 0,
+        }
+    }
+
+    /// Geometry this fault map was built for.
+    #[must_use]
+    pub fn config(&self) -> MemoryConfig {
+        self.config
+    }
+
+    /// Inserts (or replaces) a fault.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::RowOutOfRange`] or [`MemError::ColumnOutOfRange`]
+    /// if the location is outside the array.
+    pub fn insert(&mut self, fault: Fault) -> Result<(), MemError> {
+        self.config.check_row(fault.row)?;
+        self.config.check_col(fault.col)?;
+        let previous = self
+            .by_row
+            .entry(fault.row)
+            .or_default()
+            .insert(fault.col, fault.kind);
+        if previous.is_none() {
+            self.count += 1;
+        }
+        Ok(())
+    }
+
+    /// Removes the fault at `(row, col)`, returning its kind if present.
+    pub fn remove(&mut self, row: usize, col: usize) -> Option<FaultKind> {
+        let row_map = self.by_row.get_mut(&row)?;
+        let removed = row_map.remove(&col);
+        if removed.is_some() {
+            self.count -= 1;
+            if row_map.is_empty() {
+                self.by_row.remove(&row);
+            }
+        }
+        removed
+    }
+
+    /// Total number of faulty cells (`N_failures` in the paper).
+    #[must_use]
+    pub fn fault_count(&self) -> usize {
+        self.count
+    }
+
+    /// `true` when the die has no faulty cell.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The fault affecting cell `(row, col)`, if any.
+    #[must_use]
+    pub fn fault_at(&self, row: usize, col: usize) -> Option<FaultKind> {
+        self.by_row.get(&row).and_then(|m| m.get(&col)).copied()
+    }
+
+    /// `true` when the given row contains at least one faulty cell.
+    #[must_use]
+    pub fn row_has_fault(&self, row: usize) -> bool {
+        self.by_row.contains_key(&row)
+    }
+
+    /// Number of rows that contain at least one faulty cell.
+    #[must_use]
+    pub fn faulty_row_count(&self) -> usize {
+        self.by_row.len()
+    }
+
+    /// Faulty bit positions of `row`, sorted ascending (LSB first).
+    #[must_use]
+    pub fn faulty_columns(&self, row: usize) -> Vec<usize> {
+        self.by_row
+            .get(&row)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Highest faulty bit position of `row`, if any.
+    ///
+    /// This is the quantity that determines the worst-case error magnitude of
+    /// an unprotected word (`2^b` for bit position `b`).
+    #[must_use]
+    pub fn highest_faulty_column(&self, row: usize) -> Option<usize> {
+        self.by_row
+            .get(&row)
+            .and_then(|m| m.keys().next_back().copied())
+    }
+
+    /// Iterates over all faults in deterministic (row, column) order.
+    pub fn iter(&self) -> impl Iterator<Item = Fault> + '_ {
+        self.by_row.iter().flat_map(|(&row, cols)| {
+            cols.iter().map(move |(&col, &kind)| Fault { row, col, kind })
+        })
+    }
+
+    /// Iterates over rows that contain faults, in ascending row order.
+    pub fn faulty_rows(&self) -> impl Iterator<Item = usize> + '_ {
+        self.by_row.keys().copied()
+    }
+
+    /// Number of faults per row as a dense vector of length `rows()`.
+    #[must_use]
+    pub fn faults_per_row(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.config.rows()];
+        for (&row, cols) in &self.by_row {
+            counts[row] = cols.len();
+        }
+        counts
+    }
+
+    /// Maximum number of faults found in any single row.
+    #[must_use]
+    pub fn max_faults_per_row(&self) -> usize {
+        self.by_row.values().map(BTreeMap::len).max().unwrap_or(0)
+    }
+
+    /// Builds a fault map from an iterator of faults.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first out-of-range location encountered.
+    pub fn from_faults<I>(config: MemoryConfig, faults: I) -> Result<Self, MemError>
+    where
+        I: IntoIterator<Item = Fault>,
+    {
+        let mut map = Self::new(config);
+        for fault in faults {
+            map.insert(fault)?;
+        }
+        Ok(map)
+    }
+}
+
+impl Extend<Fault> for FaultMap {
+    /// Extends the map, silently skipping out-of-range faults.
+    ///
+    /// Use [`FaultMap::insert`] directly when out-of-range locations should be
+    /// treated as errors.
+    fn extend<I: IntoIterator<Item = Fault>>(&mut self, iter: I) {
+        for fault in iter {
+            let _ = self.insert(fault);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> MemoryConfig {
+        MemoryConfig::new(8, 32).unwrap()
+    }
+
+    #[test]
+    fn fault_kind_apply_matches_semantics() {
+        assert!(!FaultKind::StuckAtZero.apply(true));
+        assert!(!FaultKind::StuckAtZero.apply(false));
+        assert!(FaultKind::StuckAtOne.apply(true));
+        assert!(FaultKind::StuckAtOne.apply(false));
+        assert!(!FaultKind::BitFlip.apply(true));
+        assert!(FaultKind::BitFlip.apply(false));
+    }
+
+    #[test]
+    fn fault_kind_corrupts_only_when_observable() {
+        // A stuck-at-zero cell storing 0 is not observably corrupt.
+        assert!(!FaultKind::StuckAtZero.corrupts(false));
+        assert!(FaultKind::StuckAtZero.corrupts(true));
+        assert!(FaultKind::StuckAtOne.corrupts(false));
+        assert!(!FaultKind::StuckAtOne.corrupts(true));
+        // A flipping cell always corrupts.
+        assert!(FaultKind::BitFlip.corrupts(false));
+        assert!(FaultKind::BitFlip.corrupts(true));
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let mut map = FaultMap::new(config());
+        map.insert(Fault::stuck_at_one(2, 5)).unwrap();
+        map.insert(Fault::bit_flip(2, 31)).unwrap();
+        map.insert(Fault::stuck_at_zero(7, 0)).unwrap();
+
+        assert_eq!(map.fault_count(), 3);
+        assert_eq!(map.faulty_row_count(), 2);
+        assert_eq!(map.fault_at(2, 5), Some(FaultKind::StuckAtOne));
+        assert_eq!(map.fault_at(2, 6), None);
+        assert_eq!(map.faulty_columns(2), vec![5, 31]);
+        assert_eq!(map.highest_faulty_column(2), Some(31));
+        assert_eq!(map.highest_faulty_column(0), None);
+    }
+
+    #[test]
+    fn inserting_same_cell_twice_replaces() {
+        let mut map = FaultMap::new(config());
+        map.insert(Fault::stuck_at_one(1, 1)).unwrap();
+        map.insert(Fault::stuck_at_zero(1, 1)).unwrap();
+        assert_eq!(map.fault_count(), 1);
+        assert_eq!(map.fault_at(1, 1), Some(FaultKind::StuckAtZero));
+    }
+
+    #[test]
+    fn remove_clears_empty_rows() {
+        let mut map = FaultMap::new(config());
+        map.insert(Fault::bit_flip(3, 4)).unwrap();
+        assert_eq!(map.remove(3, 4), Some(FaultKind::BitFlip));
+        assert_eq!(map.remove(3, 4), None);
+        assert!(map.is_empty());
+        assert!(!map.row_has_fault(3));
+    }
+
+    #[test]
+    fn out_of_range_insert_is_rejected() {
+        let mut map = FaultMap::new(config());
+        assert!(map.insert(Fault::bit_flip(8, 0)).is_err());
+        assert!(map.insert(Fault::bit_flip(0, 32)).is_err());
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_deterministic_and_sorted() {
+        let mut map = FaultMap::new(config());
+        map.insert(Fault::bit_flip(5, 1)).unwrap();
+        map.insert(Fault::bit_flip(1, 30)).unwrap();
+        map.insert(Fault::bit_flip(1, 2)).unwrap();
+
+        let collected: Vec<(usize, usize)> = map.iter().map(|f| (f.row, f.col)).collect();
+        assert_eq!(collected, vec![(1, 2), (1, 30), (5, 1)]);
+    }
+
+    #[test]
+    fn faults_per_row_is_dense() {
+        let mut map = FaultMap::new(config());
+        map.insert(Fault::bit_flip(1, 2)).unwrap();
+        map.insert(Fault::bit_flip(1, 3)).unwrap();
+        map.insert(Fault::bit_flip(6, 0)).unwrap();
+        let per_row = map.faults_per_row();
+        assert_eq!(per_row.len(), 8);
+        assert_eq!(per_row[1], 2);
+        assert_eq!(per_row[6], 1);
+        assert_eq!(per_row.iter().sum::<usize>(), 3);
+        assert_eq!(map.max_faults_per_row(), 2);
+    }
+
+    #[test]
+    fn from_faults_builds_equivalent_map() {
+        let faults = vec![Fault::bit_flip(0, 0), Fault::stuck_at_one(4, 9)];
+        let map = FaultMap::from_faults(config(), faults.clone()).unwrap();
+        assert_eq!(map.fault_count(), 2);
+        let rebuilt: Vec<Fault> = map.iter().collect();
+        assert_eq!(rebuilt.len(), 2);
+        assert!(rebuilt.contains(&faults[0]));
+        assert!(rebuilt.contains(&faults[1]));
+    }
+}

@@ -1,0 +1,58 @@
+//! Functional model of an unreliable SRAM data memory.
+//!
+//! This crate provides the memory substrate used by the DAC'15 bit-shuffling
+//! reproduction:
+//!
+//! * [`SramArray`] — an `R × W` functional SRAM model with word-granular
+//!   access and persistent, variation-induced bit-cell faults applied on read.
+//! * [`FaultMap`] / [`Fault`] — the set of faulty bit-cells of one
+//!   manufactured die (location + behaviour).
+//! * [`CellFailureModel`] — an analytical Gaussian noise-margin model of the
+//!   bit-cell failure probability `P_cell(V_DD)` replacing the paper's
+//!   SPICE/importance-sampling flow (Fig. 2).
+//! * [`DieSampler`] and [`montecarlo`] — Monte-Carlo generation of dies and
+//!   fault maps following the binomial failure-count distribution of Eq. (4).
+//! * [`MarchBist`] — a March C- built-in self test that locates faulty cells,
+//!   producing the per-row report that seeds the bit-shuffling FM-LUT.
+//!
+//! # Example
+//!
+//! ```
+//! use faultmit_memsim::{MemoryConfig, SramArray, Fault, FaultKind, FaultMap};
+//!
+//! # fn main() -> Result<(), faultmit_memsim::MemError> {
+//! let config = MemoryConfig::new(4, 32)?;
+//! let mut faults = FaultMap::new(config);
+//! faults.insert(Fault::new(0, 31, FaultKind::StuckAtOne))?;
+//!
+//! let mut array = SramArray::with_faults(config, faults);
+//! array.write(0, 0)?;
+//! // The stuck-at-one cell corrupts the MSB of row 0.
+//! assert_eq!(array.read(0)?, 1 << 31);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod array;
+pub mod bist;
+pub mod config;
+pub mod error;
+pub mod failure_model;
+pub mod fault;
+pub mod montecarlo;
+pub mod redundancy;
+pub mod stats;
+pub mod voltage;
+
+pub use array::{corrupt_word, SramArray};
+pub use bist::{BistReport, MarchBist, RowFaultReport};
+pub use config::MemoryConfig;
+pub use error::MemError;
+pub use failure_model::{CellFailureModel, FailureModelBuilder};
+pub use fault::{Fault, FaultKind, FaultMap};
+pub use montecarlo::{DieSampler, FailureCountDistribution, FaultMapSampler};
+pub use redundancy::{repair_yield, spares_for_full_repair, RowRepair};
+pub use voltage::{VddSweep, VoltageScaledDie};

@@ -1,0 +1,66 @@
+//! # faultmit — significance-driven fault mitigation for unreliable memories
+//!
+//! A from-scratch Rust reproduction of Ganapathy, Karakonstantis, Teman &
+//! Burg, *Mitigating the Impact of Faults in Unreliable Memories for
+//! Error-Resilient Applications*, DAC 2015.
+//!
+//! Instead of correcting memory faults with ECC, the proposed **bit-shuffling
+//! scheme** rotates every stored word so that the least significant bits land
+//! on the faulty bit-cells found by BIST, bounding the error magnitude at
+//! `2^(S−1)` for segment size `S = W / 2^{n_FM}` at a fraction of the ECC
+//! read-power, delay and area overhead.
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`memsim`] | SRAM functional model, fault maps, `P_cell(V_DD)` model, BIST, Monte-Carlo die sampling |
+//! | [`ecc`] | Hamming SECDED (H(39,32), H(22,16)) and priority-ECC baselines |
+//! | [`core`] | segment geometry, FM-LUT, barrel shifter, [`ShuffledMemory`], the [`Scheme`] catalogue |
+//! | [`analysis`] | MSE quality model (Eq. 6), yield criterion (Eq. 3–5), Monte-Carlo engine, CDFs |
+//! | [`hwmodel`] | analytical 28 nm read-power / delay / area overhead model (Fig. 6) |
+//! | [`apps`] | Elasticnet, PCA, KNN benchmarks with synthetic datasets and the Fig. 7 harness |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use faultmit::core::{SegmentGeometry, ShuffledMemory};
+//! use faultmit::memsim::{Fault, FaultMap, MemoryConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A small memory with a broken MSB cell in row 0.
+//! let config = MemoryConfig::new(64, 32)?;
+//! let mut faults = FaultMap::new(config);
+//! faults.insert(Fault::bit_flip(0, 31))?;
+//!
+//! // Protect it with single-bit-segment bit-shuffling.
+//! let mut memory = ShuffledMemory::from_fault_map(SegmentGeometry::new(32, 5)?, faults)?;
+//! memory.write(0, 1_000_000)?;
+//! assert!(memory.read(0)?.abs_diff(1_000_000) <= 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use faultmit_analysis as analysis;
+pub use faultmit_apps as apps;
+pub use faultmit_core as core;
+pub use faultmit_ecc as ecc;
+pub use faultmit_hwmodel as hwmodel;
+pub use faultmit_memsim as memsim;
+
+pub use faultmit_core::{MitigationScheme, Scheme, SegmentGeometry, ShuffledMemory};
+pub use faultmit_memsim::{Fault, FaultKind, FaultMap, MemoryConfig, SramArray};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn re_exports_are_wired() {
+        let scheme = crate::Scheme::secded32();
+        assert_eq!(crate::core::MitigationScheme::word_bits(&scheme), 32);
+        let config = crate::MemoryConfig::paper_16kb();
+        assert_eq!(config.total_cells(), 131_072);
+    }
+}

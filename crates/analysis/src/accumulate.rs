@@ -1,0 +1,161 @@
+//! Pipeline accumulators turning paired samples into per-scheme yield models.
+//!
+//! These types are the analysis-side half of the parallel fault-injection
+//! pipeline: [`faultmit_sim::Campaign`] streams [`PairedSample`] records
+//! (one metric per scheme, same die) into a chunk-local
+//! [`CatalogueAccumulator`]; chunk accumulators merge in chunk order, and
+//! [`CatalogueAccumulator::into_yield_models`] converts the reduction into
+//! the [`YieldModel`]s behind Fig. 5.
+
+use crate::cdf::EmpiricalCdf;
+use crate::yield_model::YieldModel;
+use faultmit_memsim::FailureCountDistribution;
+use faultmit_sim::{Accumulator, PairedSample};
+use std::collections::BTreeMap;
+
+/// Per-scheme, per-failure-count quality CDFs accumulated from paired
+/// samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CatalogueAccumulator {
+    per_scheme: Vec<BTreeMap<u64, EmpiricalCdf>>,
+}
+
+impl CatalogueAccumulator {
+    /// Creates an accumulator for a catalogue of `scheme_count` schemes.
+    #[must_use]
+    pub fn new(scheme_count: usize) -> Self {
+        Self {
+            per_scheme: vec![BTreeMap::new(); scheme_count],
+        }
+    }
+
+    /// Number of schemes tracked.
+    #[must_use]
+    pub fn scheme_count(&self) -> usize {
+        self.per_scheme.len()
+    }
+
+    /// Total number of recorded samples of the first scheme (all schemes see
+    /// the same count).
+    #[must_use]
+    pub fn samples_recorded(&self) -> usize {
+        self.per_scheme
+            .first()
+            .map(|counts| counts.values().map(EmpiricalCdf::len).sum())
+            .unwrap_or(0)
+    }
+
+    /// Converts the accumulated statistics into one [`YieldModel`] per
+    /// scheme, in catalogue order.
+    #[must_use]
+    pub fn into_yield_models(self, distribution: FailureCountDistribution) -> Vec<YieldModel> {
+        self.per_scheme
+            .into_iter()
+            .map(|per_count| YieldModel::from_per_count(distribution, per_count))
+            .collect()
+    }
+}
+
+impl Accumulator for CatalogueAccumulator {
+    fn record(&mut self, sample: &PairedSample) {
+        assert_eq!(
+            sample.metrics.len(),
+            self.per_scheme.len(),
+            "paired sample metric count does not match the scheme catalogue"
+        );
+        for (scheme, &metric) in self.per_scheme.iter_mut().zip(&sample.metrics) {
+            // Use the pipeline-provided statistical weight directly, so there
+            // is exactly one weighting formula in the system. Downstream
+            // consumers (combined_cdf, the Fig. 7 CDF assembly) renormalise
+            // per failure count, so conditional probabilities are unchanged.
+            scheme
+                .entry(sample.n_faults)
+                .or_default()
+                .add(metric, sample.weight);
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        if self.per_scheme.is_empty() {
+            self.per_scheme = other.per_scheme;
+            return;
+        }
+        assert_eq!(
+            self.per_scheme.len(),
+            other.per_scheme.len(),
+            "merging accumulators of different catalogue sizes"
+        );
+        for (mine, theirs) in self.per_scheme.iter_mut().zip(other.per_scheme) {
+            for (failures, cdf) in theirs {
+                mine.entry(failures).or_default().absorb(cdf);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(index: u64, n_faults: u64, metrics: &[f64]) -> PairedSample {
+        PairedSample {
+            sample_index: index,
+            n_faults,
+            weight: 0.1,
+            metrics: metrics.to_vec(),
+        }
+    }
+
+    fn distribution() -> FailureCountDistribution {
+        FailureCountDistribution::new(1000, 1e-3).unwrap()
+    }
+
+    #[test]
+    fn records_split_by_scheme_and_count() {
+        let mut acc = CatalogueAccumulator::new(2);
+        acc.record(&sample(0, 1, &[10.0, 1.0]));
+        acc.record(&sample(1, 1, &[20.0, 2.0]));
+        acc.record(&sample(2, 3, &[30.0, 3.0]));
+        assert_eq!(acc.scheme_count(), 2);
+        assert_eq!(acc.samples_recorded(), 3);
+
+        let models = acc.into_yield_models(distribution());
+        assert_eq!(models.len(), 2);
+        assert_eq!(models[0].sampled_counts(), vec![1, 3]);
+        // Scheme 0 saw MSE 10/20 at one failure; scheme 1 saw 1/2.
+        assert!(models[0].conditional_pass_probability(1, 15.0) > 0.49);
+        assert!(models[1].conditional_pass_probability(1, 15.0) > 0.99);
+    }
+
+    #[test]
+    fn merge_preserves_sample_order() {
+        let mut left = CatalogueAccumulator::new(1);
+        left.record(&sample(0, 2, &[1.0]));
+        let mut right = CatalogueAccumulator::new(1);
+        right.record(&sample(1, 2, &[2.0]));
+        right.record(&sample(2, 5, &[3.0]));
+        left.merge(right);
+
+        let mut serial = CatalogueAccumulator::new(1);
+        serial.record(&sample(0, 2, &[1.0]));
+        serial.record(&sample(1, 2, &[2.0]));
+        serial.record(&sample(2, 5, &[3.0]));
+        assert_eq!(left, serial);
+    }
+
+    #[test]
+    fn merge_into_default_adopts_the_other_side() {
+        let mut base = CatalogueAccumulator::default();
+        let mut other = CatalogueAccumulator::new(3);
+        other.record(&sample(0, 1, &[1.0, 2.0, 3.0]));
+        base.merge(other.clone());
+        assert_eq!(base, other);
+    }
+
+    #[test]
+    #[should_panic(expected = "metric count")]
+    fn mismatched_metric_count_is_rejected() {
+        let mut acc = CatalogueAccumulator::new(2);
+        acc.record(&sample(0, 1, &[1.0]));
+    }
+}

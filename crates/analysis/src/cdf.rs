@@ -2,12 +2,83 @@
 //!
 //! Fig. 5 and Fig. 7 of the paper plot CDFs of a quality metric over
 //! Monte-Carlo memory samples, where each sample's weight is the probability
-//! of its failure count (`Pr(N = n)`, Eq. (4)). [`EmpiricalCdf`] accumulates
-//! `(value, weight)` pairs and answers `P(X ≤ x)`, quantile and support
-//! queries.
+//! of its failure count (`Pr(N = n)`, Eq. (4)).
+//!
+//! The storage layer is [`CdfSketch`] — a mergeable accumulator of
+//! `(value, weight)` observations designed for the parallel pipeline's
+//! chunk-order reduction: worker threads build chunk-local sketches and
+//! [`CdfSketch::absorb`] concatenates them without re-ordering, so the merged
+//! sketch is bit-identical to a serial accumulation. [`EmpiricalCdf`] wraps a
+//! sketch with the query API (`P(X ≤ x)`, quantiles, support, grids).
 
 use crate::error::AnalysisError;
-use serde::{Deserialize, Serialize};
+
+/// A mergeable sketch of weighted observations — the accumulator under
+/// [`EmpiricalCdf`].
+///
+/// Observations are stored in insertion order; [`CdfSketch::absorb`] appends
+/// another sketch's observations wholesale. Since the parallel pipeline
+/// merges chunk sketches in chunk order, the observation sequence (and the
+/// floating-point total weight, which is order-sensitive) never depends on
+/// the worker count.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CdfSketch {
+    samples: Vec<(f64, f64)>,
+    total_weight: f64,
+}
+
+impl CdfSketch {
+    /// Creates an empty sketch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation with the given non-negative weight.
+    ///
+    /// Observations with zero weight or non-finite values are ignored.
+    pub fn push(&mut self, value: f64, weight: f64) {
+        if !value.is_finite() || !weight.is_finite() || weight <= 0.0 {
+            return;
+        }
+        self.samples.push((value, weight));
+        self.total_weight += weight;
+    }
+
+    /// Appends every observation of `other`, preserving both orders.
+    pub fn absorb(&mut self, other: Self) {
+        for (value, weight) in other.samples {
+            // Re-accumulate the weight so the running sum matches a serial
+            // accumulation exactly.
+            self.total_weight += weight;
+            self.samples.push((value, weight));
+        }
+    }
+
+    /// Number of stored observations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no observation has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total accumulated weight.
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// The stored `(value, weight)` observations in insertion order.
+    #[must_use]
+    pub fn observations(&self) -> &[(f64, f64)] {
+        &self.samples
+    }
+}
 
 /// A weighted empirical CDF.
 ///
@@ -26,12 +97,9 @@ use serde::{Deserialize, Serialize};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EmpiricalCdf {
-    /// Samples as `(value, weight)`, kept sorted lazily.
-    samples: Vec<(f64, f64)>,
-    total_weight: f64,
-    sorted: bool,
+    sketch: CdfSketch,
 }
 
 impl EmpiricalCdf {
@@ -54,55 +122,65 @@ impl EmpiricalCdf {
         cdf
     }
 
+    /// Wraps an accumulated sketch.
+    #[must_use]
+    pub fn from_sketch(sketch: CdfSketch) -> Self {
+        Self { sketch }
+    }
+
+    /// The underlying mergeable sketch.
+    #[must_use]
+    pub fn sketch(&self) -> &CdfSketch {
+        &self.sketch
+    }
+
     /// Adds one observation with the given non-negative weight.
     ///
     /// Observations with zero weight or non-finite values are ignored.
     pub fn add(&mut self, value: f64, weight: f64) {
-        if !value.is_finite() || !(weight > 0.0) {
-            return;
-        }
-        self.samples.push((value, weight));
-        self.total_weight += weight;
-        self.sorted = false;
+        self.sketch.push(value, weight);
     }
 
-    /// Merges all samples of `other` into `self`.
+    /// Merges all samples of `other` into `self` (borrowing shim over
+    /// [`EmpiricalCdf::absorb`]).
     pub fn merge(&mut self, other: &EmpiricalCdf) {
-        for &(value, weight) in &other.samples {
-            self.add(value, weight);
-        }
+        self.absorb(other.clone());
+    }
+
+    /// Consumes `other`, appending its observations in order — the cheap
+    /// parallel-reduction path.
+    pub fn absorb(&mut self, other: EmpiricalCdf) {
+        self.sketch.absorb(other.sketch);
     }
 
     /// Number of stored observations.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.sketch.len()
     }
 
     /// `true` when no observation has been added.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.sketch.is_empty()
     }
 
     /// Total accumulated weight.
     #[must_use]
     pub fn total_weight(&self) -> f64 {
-        self.total_weight
+        self.sketch.total_weight()
     }
 
     /// Iterates over the stored `(value, weight)` observations in insertion
     /// order.
     pub fn samples(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
-        self.samples.iter().copied()
+        self.sketch.observations().iter().copied()
     }
 
-    fn ensure_sorted(&mut self) {
-        if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("values are finite"));
-            self.sorted = true;
-        }
+    fn sorted_observations(&self) -> Vec<(f64, f64)> {
+        let mut sorted = self.sketch.observations().to_vec();
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("values are finite"));
+        sorted
     }
 
     /// `P(X ≤ x)` — the fraction of (weighted) observations at or below `x`.
@@ -110,16 +188,17 @@ impl EmpiricalCdf {
     /// Returns 0 for an empty CDF.
     #[must_use]
     pub fn probability_at_or_below(&self, x: f64) -> f64 {
-        if self.samples.is_empty() || self.total_weight <= 0.0 {
+        if self.sketch.is_empty() || self.sketch.total_weight() <= 0.0 {
             return 0.0;
         }
         let mass: f64 = self
-            .samples
+            .sketch
+            .observations()
             .iter()
             .filter(|(value, _)| *value <= x)
             .map(|(_, weight)| weight)
             .sum();
-        mass / self.total_weight
+        mass / self.sketch.total_weight()
     }
 
     /// The smallest observed value `x` such that `P(X ≤ x) ≥ p`.
@@ -142,20 +221,19 @@ impl EmpiricalCdf {
     ///
     /// Returns [`AnalysisError::EmptyDistribution`] when no sample was added.
     pub fn try_quantile(&self, p: f64) -> Result<f64, AnalysisError> {
-        if self.samples.is_empty() {
+        if self.sketch.is_empty() {
             return Err(AnalysisError::EmptyDistribution);
         }
-        let mut sorted = self.clone();
-        sorted.ensure_sorted();
-        let target = p.clamp(0.0, 1.0) * sorted.total_weight;
+        let sorted = self.sorted_observations();
+        let target = p.clamp(0.0, 1.0) * self.sketch.total_weight();
         let mut cumulative = 0.0;
-        for &(value, weight) in &sorted.samples {
+        for &(value, weight) in &sorted {
             cumulative += weight;
             if cumulative >= target {
                 return Ok(value);
             }
         }
-        Ok(sorted.samples.last().expect("non-empty").0)
+        Ok(sorted.last().expect("non-empty").0)
     }
 
     /// Minimum observed value.
@@ -164,7 +242,8 @@ impl EmpiricalCdf {
     ///
     /// Returns [`AnalysisError::EmptyDistribution`] when no sample was added.
     pub fn min(&self) -> Result<f64, AnalysisError> {
-        self.samples
+        self.sketch
+            .observations()
             .iter()
             .map(|&(v, _)| v)
             .min_by(|a, b| a.partial_cmp(b).expect("finite"))
@@ -177,7 +256,8 @@ impl EmpiricalCdf {
     ///
     /// Returns [`AnalysisError::EmptyDistribution`] when no sample was added.
     pub fn max(&self) -> Result<f64, AnalysisError> {
-        self.samples
+        self.sketch
+            .observations()
             .iter()
             .map(|&(v, _)| v)
             .max_by(|a, b| a.partial_cmp(b).expect("finite"))
@@ -190,15 +270,16 @@ impl EmpiricalCdf {
     ///
     /// Returns [`AnalysisError::EmptyDistribution`] when no sample was added.
     pub fn mean(&self) -> Result<f64, AnalysisError> {
-        if self.samples.is_empty() || self.total_weight <= 0.0 {
+        if self.sketch.is_empty() || self.sketch.total_weight() <= 0.0 {
             return Err(AnalysisError::EmptyDistribution);
         }
         Ok(self
-            .samples
+            .sketch
+            .observations()
             .iter()
             .map(|&(v, w)| v * w)
             .sum::<f64>()
-            / self.total_weight)
+            / self.sketch.total_weight())
     }
 
     /// Evaluates the CDF at a grid of points, returning `(x, P(X ≤ x))`
@@ -313,6 +394,52 @@ mod tests {
         assert!((a.total_weight() - 6.0).abs() < 1e-12);
         let collected: EmpiricalCdf = [1.0, 2.0, 3.0].into_iter().collect();
         assert_eq!(collected.len(), 3);
+    }
+
+    #[test]
+    fn sketch_absorb_matches_serial_accumulation() {
+        // Weights whose sum is order-sensitive in floating point.
+        let weights = [1e-3, 1e16, 1.0, 1e-7, 3.5, 1e12];
+        let mut serial = CdfSketch::new();
+        for (i, &w) in weights.iter().enumerate() {
+            serial.push(i as f64, w);
+        }
+        let mut left = CdfSketch::new();
+        left.push(0.0, weights[0]);
+        left.push(1.0, weights[1]);
+        let mut mid = CdfSketch::new();
+        mid.push(2.0, weights[2]);
+        mid.push(3.0, weights[3]);
+        let mut right = CdfSketch::new();
+        right.push(4.0, weights[4]);
+        right.push(5.0, weights[5]);
+        left.absorb(mid);
+        left.absorb(right);
+        assert_eq!(left, serial);
+        assert_eq!(
+            left.total_weight().to_bits(),
+            serial.total_weight().to_bits()
+        );
+    }
+
+    #[test]
+    fn absorb_is_a_cheap_merge() {
+        let mut a = EmpiricalCdf::from_samples([1.0, 2.0]);
+        a.absorb(EmpiricalCdf::from_samples([3.0]));
+        a.absorb(EmpiricalCdf::new());
+        assert_eq!(a.len(), 3);
+        let values: Vec<f64> = a.samples().map(|(v, _)| v).collect();
+        assert_eq!(values, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn from_sketch_round_trips() {
+        let mut sketch = CdfSketch::new();
+        sketch.push(2.0, 1.0);
+        sketch.push(4.0, 3.0);
+        let cdf = EmpiricalCdf::from_sketch(sketch.clone());
+        assert_eq!(cdf.sketch(), &sketch);
+        assert_eq!(cdf.quantile(1.0), 4.0);
     }
 
     #[test]

@@ -76,7 +76,9 @@ mod tests {
             reason: "x".to_owned(),
         });
         assert!(Error::source(&err).is_some());
-        assert!(AnalysisError::EmptyDistribution.to_string().contains("no samples"));
+        assert!(AnalysisError::EmptyDistribution
+            .to_string()
+            .contains("no samples"));
     }
 
     #[test]

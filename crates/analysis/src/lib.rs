@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod accumulate;
 pub mod cdf;
 pub mod error;
 pub mod mc_engine;
@@ -45,7 +46,8 @@ pub mod mse;
 pub mod report;
 pub mod yield_model;
 
-pub use cdf::EmpiricalCdf;
+pub use accumulate::CatalogueAccumulator;
+pub use cdf::{CdfSketch, EmpiricalCdf};
 pub use error::AnalysisError;
 pub use mc_engine::{MonteCarloConfig, MonteCarloEngine, SchemeMseResult};
 pub use mse::{memory_mse, row_squared_error, word_squared_error};

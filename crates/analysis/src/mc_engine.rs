@@ -1,29 +1,35 @@
 //! The Monte-Carlo fault-injection campaign behind Fig. 5.
 //!
-//! For every failure count `n = 1..=N_max` the engine draws random fault maps
-//! (bit-flip locations distributed uniformly over the array), evaluates the
-//! memory MSE of Eq. (6) under a protection scheme, and weighs each sample by
-//! `Pr(N = n)` so that the aggregated CDF describes the population of
-//! manufactured dies.
+//! Since the pipeline refactor this module is a thin, MSE-specialised facade
+//! over [`faultmit_sim::Campaign`]: for every failure count `n = 1..=N_max`
+//! the pipeline draws random fault maps (bit-flip locations distributed
+//! uniformly over the array), evaluates the memory MSE of Eq. (6) under
+//! **every** protection scheme on the *same* die (paired comparison), and
+//! weighs each sample by `Pr(N = n)` so that the aggregated CDF describes
+//! the population of manufactured dies.
+//!
+//! Campaigns are deterministic in the campaign seed and bit-identical at any
+//! worker count — see the `determinism` integration test.
 
+use crate::accumulate::CatalogueAccumulator;
 use crate::cdf::EmpiricalCdf;
 use crate::error::AnalysisError;
 use crate::mse::memory_mse;
 use crate::yield_model::YieldModel;
 use faultmit_core::MitigationScheme;
-use faultmit_memsim::{FailureCountDistribution, FaultMapSampler, MemoryConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use faultmit_memsim::{FailureCountDistribution, MemoryConfig};
+use faultmit_sim::{Campaign, CampaignConfig, Parallelism, SimError};
 
 /// Configuration of one Monte-Carlo campaign.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MonteCarloConfig {
     memory: MemoryConfig,
     p_cell: f64,
     samples_per_count: usize,
     max_failures: Option<u64>,
     coverage: f64,
+    parallelism: Parallelism,
+    chunk_size: usize,
 }
 
 impl MonteCarloConfig {
@@ -32,7 +38,7 @@ impl MonteCarloConfig {
     ///
     /// Defaults: 100 fault maps per failure count, failure counts up to the
     /// 99th percentile of the binomial distribution (the paper's `N_max`
-    /// choice).
+    /// choice), one pipeline worker per CPU.
     ///
     /// # Errors
     ///
@@ -50,6 +56,8 @@ impl MonteCarloConfig {
             samples_per_count: 100,
             max_failures: None,
             coverage: 0.99,
+            parallelism: Parallelism::default(),
+            chunk_size: 32,
         })
     }
 
@@ -95,6 +103,22 @@ impl MonteCarloConfig {
         self
     }
 
+    /// Sets the pipeline worker policy (serial, fixed thread count, or one
+    /// worker per CPU). Results are identical for every setting.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Sets the pipeline chunk size (scheduling granularity; does not affect
+    /// results).
+    #[must_use]
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size.max(1);
+        self
+    }
+
     /// Memory geometry under study.
     #[must_use]
     pub fn memory(&self) -> MemoryConfig {
@@ -111,6 +135,12 @@ impl MonteCarloConfig {
     #[must_use]
     pub fn samples_per_count(&self) -> usize {
         self.samples_per_count
+    }
+
+    /// The configured pipeline worker policy.
+    #[must_use]
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// The failure-count distribution implied by the configuration.
@@ -136,6 +166,31 @@ impl MonteCarloConfig {
             Some(n) => Ok(n),
             None => Ok(self.failure_distribution()?.n_max(self.coverage)),
         }
+    }
+
+    /// The equivalent pipeline configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation errors.
+    pub fn to_campaign_config(&self) -> Result<CampaignConfig, AnalysisError> {
+        let mut config = CampaignConfig::new(self.memory, self.p_cell)
+            .map_err(sim_to_analysis_error)?
+            .with_samples_per_count(self.samples_per_count)
+            .with_coverage(self.coverage)
+            .with_chunk_size(self.chunk_size)
+            .with_parallelism(self.parallelism);
+        if let Some(max) = self.max_failures {
+            config = config.with_max_failures(max);
+        }
+        Ok(config)
+    }
+}
+
+fn sim_to_analysis_error(error: SimError) -> AnalysisError {
+    match error {
+        SimError::InvalidParameter { reason } => AnalysisError::InvalidParameter { reason },
+        SimError::Memory(e) => AnalysisError::Memory(e),
     }
 }
 
@@ -170,7 +225,8 @@ impl SchemeMseResult {
     }
 }
 
-/// The Monte-Carlo fault-injection engine.
+/// The Monte-Carlo fault-injection engine — an MSE-specialised facade over
+/// the parallel pipeline.
 #[derive(Debug, Clone)]
 pub struct MonteCarloEngine {
     config: MonteCarloConfig,
@@ -189,54 +245,61 @@ impl MonteCarloEngine {
         &self.config
     }
 
-    /// Runs the campaign for a single protection scheme.
+    /// Runs the campaign for a single protection scheme (thin shim over
+    /// [`MonteCarloEngine::run_catalogue`] with a one-element catalogue).
     ///
-    /// The `seed` makes the campaign reproducible; the same seed is typically
-    /// reused across schemes so they are evaluated on identical fault maps.
+    /// The `seed` makes the campaign reproducible; reusing the same seed
+    /// across calls evaluates every scheme on identical fault maps.
     ///
     /// # Errors
     ///
     /// Propagates configuration and sampling errors.
-    pub fn run<S: MitigationScheme + ?Sized>(
+    pub fn run<S: MitigationScheme + Sync + ?Sized>(
         &self,
         scheme: &S,
         seed: u64,
     ) -> Result<SchemeMseResult, AnalysisError> {
-        let distribution = self.config.failure_distribution()?;
-        let max_failures = self.config.effective_max_failures()?;
-        let sampler = FaultMapSampler::new(self.config.memory);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut yield_model = YieldModel::new(distribution);
-
-        for n in 1..=max_failures {
-            let mut samples = Vec::with_capacity(self.config.samples_per_count);
-            for _ in 0..self.config.samples_per_count {
-                let map = sampler.sample_with_count(&mut rng, n as usize)?;
-                samples.push(memory_mse(scheme, &map));
-            }
-            yield_model.add_samples(n, samples);
-        }
-
-        Ok(SchemeMseResult {
-            scheme_name: scheme.name(),
-            cdf: yield_model.combined_cdf(),
-            yield_model,
-            max_failures,
-        })
+        let mut results = self.run_catalogue(&[scheme], seed)?;
+        Ok(results.remove(0))
     }
 
-    /// Runs the campaign for a list of schemes, reusing the same seed so all
-    /// schemes see statistically identical fault populations.
+    /// Runs one paired campaign over the whole scheme catalogue: every
+    /// scheme is evaluated against the **same** fault map of every sampled
+    /// die, so per-die comparisons are exact rather than only statistically
+    /// matched.
     ///
     /// # Errors
     ///
     /// Propagates the first error encountered.
-    pub fn run_catalogue<S: MitigationScheme>(
+    pub fn run_catalogue<S: MitigationScheme + Sync>(
         &self,
         schemes: &[S],
         seed: u64,
     ) -> Result<Vec<SchemeMseResult>, AnalysisError> {
-        schemes.iter().map(|scheme| self.run(scheme, seed)).collect()
+        let distribution = self.config.failure_distribution()?;
+        let max_failures = self.config.effective_max_failures()?;
+        let campaign = Campaign::new(self.config.to_campaign_config()?);
+
+        let accumulator = campaign
+            .run(
+                schemes,
+                seed,
+                |scheme, map| memory_mse(scheme, map),
+                || CatalogueAccumulator::new(schemes.len()),
+            )
+            .map_err(sim_to_analysis_error)?;
+
+        Ok(accumulator
+            .into_yield_models(distribution)
+            .into_iter()
+            .zip(schemes)
+            .map(|(yield_model, scheme)| SchemeMseResult {
+                scheme_name: scheme.name(),
+                cdf: yield_model.combined_cdf(),
+                yield_model,
+                max_failures,
+            })
+            .collect())
     }
 }
 
@@ -280,16 +343,35 @@ mod tests {
     }
 
     #[test]
+    fn single_run_matches_catalogue_entry() {
+        // A scheme evaluated alone and as part of a catalogue sees the same
+        // dies (shared seed → shared fault maps), so the CDFs are identical.
+        let engine = MonteCarloEngine::new(small_config());
+        let alone = engine.run(&Scheme::pecc32(), 21).unwrap();
+        let catalogue = engine
+            .run_catalogue(&[Scheme::unprotected32(), Scheme::pecc32()], 21)
+            .unwrap();
+        assert_eq!(alone.cdf, catalogue[1].cdf);
+    }
+
+    #[test]
     fn secded_has_lowest_mse_and_unprotected_the_highest() {
         let engine = MonteCarloEngine::new(small_config());
-        let unprotected = engine.run(&Scheme::unprotected32(), 3).unwrap();
-        let shuffled = engine.run(&Scheme::shuffle32(5).unwrap(), 3).unwrap();
-        let secded = engine.run(&Scheme::secded32(), 3).unwrap();
+        let results = engine
+            .run_catalogue(
+                &[
+                    Scheme::unprotected32(),
+                    Scheme::shuffle32(5).unwrap(),
+                    Scheme::secded32(),
+                ],
+                3,
+            )
+            .unwrap();
+        let (unprotected, shuffled, secded) = (&results[0], &results[1], &results[2]);
 
         let q = 0.99;
         let mse_unprotected = unprotected.cdf.quantile(q);
         let mse_shuffled = shuffled.cdf.quantile(q);
-        let mse_secded = secded.cdf.quantile(q);
         assert!(
             mse_shuffled < mse_unprotected / 1e3,
             "shuffling must cut the MSE by orders of magnitude"
@@ -298,7 +380,6 @@ mod tests {
         // words with two or more faults, so on average it is far better than
         // the unprotected memory even though its tail is not necessarily
         // better than fine-grained shuffling.
-        let _ = mse_secded;
         assert!(secded.cdf.mean().unwrap() < unprotected.cdf.mean().unwrap() / 5.0);
         // At the median, SECDED memories are error-free.
         assert_eq!(secded.cdf.quantile(0.5), 0.0);
@@ -307,9 +388,51 @@ mod tests {
     #[test]
     fn shuffle_mse_improves_with_finer_segments() {
         let engine = MonteCarloEngine::new(small_config());
-        let coarse = engine.run(&Scheme::shuffle32(1).unwrap(), 11).unwrap();
-        let fine = engine.run(&Scheme::shuffle32(5).unwrap(), 11).unwrap();
-        assert!(fine.cdf.quantile(0.99) <= coarse.cdf.quantile(0.99));
+        let results = engine
+            .run_catalogue(
+                &[Scheme::shuffle32(1).unwrap(), Scheme::shuffle32(5).unwrap()],
+                11,
+            )
+            .unwrap();
+        assert!(results[1].cdf.quantile(0.99) <= results[0].cdf.quantile(0.99));
+    }
+
+    #[test]
+    fn paired_comparison_holds_per_die_not_just_in_distribution() {
+        // On every single die, finest-grain shuffling can never lose to no
+        // protection — an exact paired comparison, impossible with
+        // per-scheme resampling.
+        let engine = MonteCarloEngine::new(small_config());
+        let results = engine
+            .run_catalogue(
+                &[Scheme::unprotected32(), Scheme::shuffle32(5).unwrap()],
+                17,
+            )
+            .unwrap();
+        // Both schemes share every die, so their per-count sample sequences
+        // line up one-to-one.
+        for (n, unprotected_cdf) in results[0].yield_model.per_count_cdfs() {
+            let shuffle_cdf = &results[1].yield_model.per_count_cdfs()[n];
+            for ((mse_u, _), (mse_s, _)) in unprotected_cdf.samples().zip(shuffle_cdf.samples()) {
+                assert!(
+                    mse_s <= mse_u + 1e-12,
+                    "n = {n}: shuffle {mse_s} > unprotected {mse_u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_engines_agree_exactly() {
+        let serial = MonteCarloEngine::new(small_config().with_parallelism(Parallelism::Serial));
+        let parallel =
+            MonteCarloEngine::new(small_config().with_parallelism(Parallelism::threads(4)));
+        let schemes = [Scheme::unprotected32(), Scheme::pecc32()];
+        let a = serial.run_catalogue(&schemes, 5).unwrap();
+        let b = parallel.run_catalogue(&schemes, 5).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.cdf, y.cdf);
+        }
     }
 
     #[test]

@@ -201,8 +201,7 @@ mod tests {
     #[test]
     fn data_dependent_mse_sees_silent_stuck_at_faults() {
         let config = MemoryConfig::new(16, 32).unwrap();
-        let faults =
-            FaultMap::from_faults(config, [Fault::stuck_at_one(2, 31)]).unwrap();
+        let faults = FaultMap::from_faults(config, [Fault::stuck_at_one(2, 31)]).unwrap();
         let scheme = Scheme::unprotected32();
         // Background where bit 31 of row 2 is already set: the stuck-at-one
         // fault is silent.

@@ -18,12 +18,11 @@
 use crate::cdf::EmpiricalCdf;
 use crate::error::AnalysisError;
 use faultmit_memsim::FailureCountDistribution;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A `(target yield, tolerated quality)` pair, e.g. "99.9999 % of dies have
 /// MSE below 10⁶".
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QualityBand {
     /// The yield target in `[0, 1]`.
     pub target_yield: f64,
@@ -58,6 +57,19 @@ impl YieldModel {
         &self.distribution
     }
 
+    /// Builds a model directly from per-failure-count quality CDFs — the
+    /// parallel pipeline's reduction output.
+    #[must_use]
+    pub fn from_per_count(
+        distribution: FailureCountDistribution,
+        per_count: BTreeMap<u64, EmpiricalCdf>,
+    ) -> Self {
+        Self {
+            distribution,
+            per_count,
+        }
+    }
+
     /// Adds Monte-Carlo quality samples observed for dies with exactly
     /// `failures` failures.
     pub fn add_samples<I>(&mut self, failures: u64, samples: I)
@@ -70,10 +82,28 @@ impl YieldModel {
         }
     }
 
+    /// Absorbs the per-count quality CDF of another model built over the same
+    /// failure-count distribution (order-preserving parallel reduction).
+    pub fn merge(&mut self, other: YieldModel) {
+        debug_assert_eq!(
+            self.distribution, other.distribution,
+            "merging yield models over different die populations"
+        );
+        for (failures, cdf) in other.per_count {
+            self.per_count.entry(failures).or_default().absorb(cdf);
+        }
+    }
+
     /// Failure counts for which quality samples have been recorded.
     #[must_use]
     pub fn sampled_counts(&self) -> Vec<u64> {
         self.per_count.keys().copied().collect()
+    }
+
+    /// The per-failure-count quality CDFs (pipeline accumulation output).
+    #[must_use]
+    pub fn per_count_cdfs(&self) -> &BTreeMap<u64, EmpiricalCdf> {
+        &self.per_count
     }
 
     /// `Pr(Q ≤ q_max | N = n)` from the recorded samples (1 for `n = 0`,
@@ -267,8 +297,7 @@ mod tests {
         model.add_samples(1, [5.0; 10]);
         model.add_samples(2, [50.0; 10]);
         let combined = model.combined_cdf();
-        let expected_weight =
-            distribution().pmf(0) + distribution().pmf(1) + distribution().pmf(2);
+        let expected_weight = distribution().pmf(0) + distribution().pmf(1) + distribution().pmf(2);
         assert!((combined.total_weight() - expected_weight).abs() < 1e-9);
         // Quality 5 or better: zero-failure dies plus all one-failure dies.
         let p = combined.probability_at_or_below(5.0) * combined.total_weight();

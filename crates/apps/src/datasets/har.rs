@@ -14,10 +14,9 @@ use crate::linalg::Matrix;
 use faultmit_memsim::stats::sample_standard_normal;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 /// Generator for the synthetic activity-recognition dataset.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HarDataset {
     samples: usize,
     seed: u64,

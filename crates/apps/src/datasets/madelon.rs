@@ -15,10 +15,9 @@ use crate::linalg::Matrix;
 use faultmit_memsim::stats::sample_standard_normal;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Generator for the synthetic Madelon-like dataset.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MadelonDataset {
     samples: usize,
     informative: usize,
@@ -30,7 +29,13 @@ pub struct MadelonDataset {
 impl MadelonDataset {
     /// Creates a generator with explicit feature structure.
     #[must_use]
-    pub fn new(samples: usize, informative: usize, redundant: usize, noise: usize, seed: u64) -> Self {
+    pub fn new(
+        samples: usize,
+        informative: usize,
+        redundant: usize,
+        noise: usize,
+        seed: u64,
+    ) -> Self {
         Self {
             samples,
             informative: informative.max(1),
@@ -191,8 +196,8 @@ mod tests {
     fn noise_features_have_unit_scale() {
         let ds = MadelonDataset::new(500, 5, 5, 20, 3).generate();
         let stds = ds.features.column_stds();
-        for j in 10..30 {
-            assert!((stds[j] - 1.0).abs() < 0.2, "noise feature {j} std {}", stds[j]);
+        for (j, &std) in stds.iter().enumerate().take(30).skip(10) {
+            assert!((std - 1.0).abs() < 0.2, "noise feature {j} std {std}");
         }
     }
 
@@ -200,10 +205,10 @@ mod tests {
     fn informative_features_are_bimodal_with_wide_spread() {
         let ds = MadelonDataset::new(500, 5, 0, 0, 11).generate();
         let stds = ds.features.column_stds();
-        for j in 0..5 {
+        for (j, &std) in stds.iter().enumerate().take(5) {
             // Cluster centres at ±2 dominate: std is well above the
             // within-cluster noise of 0.7.
-            assert!(stds[j] > 1.5, "informative feature {j} std {}", stds[j]);
+            assert!(std > 1.5, "informative feature {j} std {std}");
         }
     }
 }

@@ -17,10 +17,9 @@ pub use madelon::MadelonDataset;
 pub use wine::WineQualityDataset;
 
 use crate::linalg::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// A dataset with continuous targets (regression).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegressionDataset {
     /// Feature matrix: one row per sample.
     pub features: Matrix,
@@ -45,7 +44,7 @@ impl RegressionDataset {
 }
 
 /// A dataset with discrete class labels (classification).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClassificationDataset {
     /// Feature matrix: one row per sample.
     pub features: Matrix,

@@ -13,10 +13,9 @@ use crate::linalg::Matrix;
 use faultmit_memsim::stats::sample_standard_normal;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 /// Generator for the synthetic wine-quality dataset.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WineQualityDataset {
     samples: usize,
     seed: u64,
@@ -80,8 +79,8 @@ impl WineQualityDataset {
             for (j, z_j) in z.iter_mut().enumerate() {
                 let own = sample_standard_normal(&mut rng);
                 let mix = match j {
-                    3 | 10 => 0.5,       // residual sugar, alcohol follow ripeness
-                    0 | 1 => -0.3,       // acidity anti-correlates
+                    3 | 10 => 0.5, // residual sugar, alcohol follow ripeness
+                    0 | 1 => -0.3, // acidity anti-correlates
                     _ => 0.1,
                 };
                 *z_j = mix * shared + (1.0 - mix.abs()) * own;
@@ -157,7 +156,9 @@ mod tests {
         let stds = ds.features.column_stds();
         for j in 0..11 {
             assert!(
-                (means[j] - FEATURE_MEANS[j]).abs() < 3.0 * FEATURE_STDS[j] / (2000f64).sqrt() * 4.0 + 0.05 * FEATURE_MEANS[j].abs(),
+                (means[j] - FEATURE_MEANS[j]).abs()
+                    < 3.0 * FEATURE_STDS[j] / (2000f64).sqrt() * 4.0
+                        + 0.05 * FEATURE_MEANS[j].abs(),
                 "feature {j}: mean {} vs expected {}",
                 means[j],
                 FEATURE_MEANS[j]
@@ -174,7 +175,8 @@ mod tests {
         }
         // The targets are not constant.
         let mean = ds.targets.iter().sum::<f64>() / ds.targets.len() as f64;
-        let var = ds.targets.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / ds.targets.len() as f64;
+        let var =
+            ds.targets.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / ds.targets.len() as f64;
         assert!(var > 0.05, "target variance {var}");
     }
 

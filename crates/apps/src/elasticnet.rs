@@ -13,7 +13,6 @@
 use crate::error::AppError;
 use crate::linalg::Matrix;
 use crate::metrics::r2_score;
-use serde::{Deserialize, Serialize};
 
 /// Elastic-net linear regression trained by coordinate descent.
 ///
@@ -33,7 +32,7 @@ use serde::{Deserialize, Serialize};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ElasticNet {
     alpha: f64,
     l1_ratio: f64,
@@ -129,8 +128,8 @@ impl ElasticNet {
         // Centred copies keep the intercept out of the penalty.
         let mut xc = x.clone();
         for r in 0..n {
-            for c in 0..p {
-                xc.set(r, c, x.get(r, c) - x_means[c]);
+            for (c, &mean) in x_means.iter().enumerate() {
+                xc.set(r, c, x.get(r, c) - mean);
             }
         }
         let yc: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
@@ -155,14 +154,14 @@ impl ElasticNet {
                 let old = weights[j];
                 // rho = (1/n)·Σ x_ij·(residual_i + x_ij·w_j)
                 let mut rho = 0.0;
-                for i in 0..n {
-                    rho += xc.get(i, j) * (residual[i] + xc.get(i, j) * old);
+                for (i, &res) in residual.iter().enumerate() {
+                    rho += xc.get(i, j) * (res + xc.get(i, j) * old);
                 }
                 rho /= n_f;
                 let new = soft_threshold(rho, l1) / (col_sq[j] + l2);
                 if (new - old).abs() > 0.0 {
-                    for i in 0..n {
-                        residual[i] += xc.get(i, j) * (old - new);
+                    for (i, res) in residual.iter_mut().enumerate() {
+                        *res += xc.get(i, j) * (old - new);
                     }
                 }
                 weights[j] = new;
@@ -173,8 +172,12 @@ impl ElasticNet {
             }
         }
 
-        self.intercept =
-            y_mean - weights.iter().zip(&x_means).map(|(w, m)| w * m).sum::<f64>();
+        self.intercept = y_mean
+            - weights
+                .iter()
+                .zip(&x_means)
+                .map(|(w, m)| w * m)
+                .sum::<f64>();
         self.weights = Some(weights);
         Ok(())
     }

@@ -52,7 +52,10 @@ impl fmt::Display for AppError {
             AppError::DidNotConverge {
                 routine,
                 iterations,
-            } => write!(f, "{routine} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{routine} did not converge after {iterations} iterations"
+            ),
             AppError::Memory(e) => write!(f, "memory error: {e}"),
             AppError::Core(e) => write!(f, "scheme error: {e}"),
             AppError::Analysis(e) => write!(f, "analysis error: {e}"),
@@ -86,6 +89,26 @@ impl From<faultmit_core::CoreError> for AppError {
 impl From<faultmit_analysis::AnalysisError> for AppError {
     fn from(value: faultmit_analysis::AnalysisError) -> Self {
         AppError::Analysis(value)
+    }
+}
+
+impl From<faultmit_sim::SimError> for AppError {
+    fn from(value: faultmit_sim::SimError) -> Self {
+        match value {
+            faultmit_sim::SimError::InvalidParameter { reason } => {
+                AppError::InvalidParameter { reason }
+            }
+            faultmit_sim::SimError::Memory(e) => AppError::Memory(e),
+        }
+    }
+}
+
+impl From<faultmit_sim::RunError<AppError>> for AppError {
+    fn from(value: faultmit_sim::RunError<AppError>) -> Self {
+        match value {
+            faultmit_sim::RunError::Sim(e) => e.into(),
+            faultmit_sim::RunError::Eval(e) => e,
+        }
     }
 }
 

@@ -137,7 +137,10 @@ mod tests {
         let store = FaultyStore::new(&scheme, &faults, FixedPointFormat::q15_16()).unwrap();
         // Word index 3 maps to row 3.
         let corrupted = store.round_trip_value(3, 1.0);
-        assert!((corrupted - 1.0).abs() > 10_000.0, "corrupted = {corrupted}");
+        assert!(
+            (corrupted - 1.0).abs() > 10_000.0,
+            "corrupted = {corrupted}"
+        );
         // Any other index is untouched.
         assert!((store.round_trip_value(4, 1.0) - 1.0).abs() < 1e-4);
     }

@@ -9,7 +9,6 @@
 use crate::error::AppError;
 use crate::linalg::Matrix;
 use crate::metrics::accuracy_score;
-use serde::{Deserialize, Serialize};
 
 /// Brute-force KNN classifier with Euclidean distance and majority voting.
 ///
@@ -30,7 +29,7 @@ use serde::{Deserialize, Serialize};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KnnClassifier {
     k: usize,
     train_x: Option<Matrix>,
@@ -85,7 +84,11 @@ impl KnnClassifier {
         }
         if x.rows() < self.k {
             return Err(AppError::DimensionMismatch {
-                reason: format!("need at least k = {} training samples, got {}", self.k, x.rows()),
+                reason: format!(
+                    "need at least k = {} training samples, got {}",
+                    self.k,
+                    x.rows()
+                ),
             });
         }
         self.train_x = Some(x.clone());
@@ -142,8 +145,8 @@ impl KnnClassifier {
         let mut distances: Vec<(f64, usize)> = (0..train_x.rows())
             .map(|i| {
                 let mut d = 0.0;
-                for c in 0..train_x.cols() {
-                    let diff = train_x.get(i, c) - query[c];
+                for (c, &q) in query.iter().enumerate().take(train_x.cols()) {
+                    let diff = train_x.get(i, c) - q;
                     d += diff * diff;
                 }
                 (d, train_y[i])
@@ -153,7 +156,8 @@ impl KnnClassifier {
 
         // Majority vote over the k nearest; ties break towards the smaller
         // label for determinism.
-        let mut counts: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+        let mut counts: std::collections::BTreeMap<usize, usize> =
+            std::collections::BTreeMap::new();
         for &(_, label) in distances.iter().take(self.k) {
             *counts.entry(label).or_insert(0) += 1;
         }

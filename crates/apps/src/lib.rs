@@ -27,7 +27,7 @@
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let evaluator = QualityEvaluator::builder(Benchmark::Elasticnet)
-//!     .samples(64)
+//!     .samples(128)
 //!     .memory_rows(512)
 //!     .build()?;
 //! // Quality of the benchmark with a fault-free memory (normalised to 1.0).

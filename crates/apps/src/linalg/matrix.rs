@@ -1,7 +1,6 @@
 //! Row-major dense matrix of `f64` values.
 
 use crate::error::AppError;
-use serde::{Deserialize, Serialize};
 
 /// A row-major dense matrix.
 ///
@@ -18,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -214,11 +213,7 @@ impl Matrix {
             });
         }
         Ok((0..self.rows)
-            .map(|r| {
-                (0..self.cols)
-                    .map(|c| self.get(r, c) * v[c])
-                    .sum::<f64>()
-            })
+            .map(|r| (0..self.cols).map(|c| self.get(r, c) * v[c]).sum::<f64>())
             .collect())
     }
 
@@ -315,11 +310,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Matrix {
-        Matrix::from_rows(&[
-            vec![1.0, 2.0, 3.0],
-            vec![4.0, 5.0, 6.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap()
     }
 
     #[test]
@@ -422,7 +413,9 @@ mod tests {
         let sub = m.select_rows(&[1]);
         assert_eq!(sub.rows(), 1);
         assert_eq!(sub.row(0), vec![4.0, 5.0, 6.0]);
-        let norm = Matrix::from_rows(&[vec![3.0, 4.0]]).unwrap().frobenius_norm();
+        let norm = Matrix::from_rows(&[vec![3.0, 4.0]])
+            .unwrap()
+            .frobenius_norm();
         assert!((norm - 5.0).abs() < 1e-12);
     }
 

@@ -54,7 +54,11 @@ pub fn explained_variance_score(truth: &[f64], predicted: &[f64]) -> Result<f64,
     let n = truth.len() as f64;
     let residuals: Vec<f64> = truth.iter().zip(predicted).map(|(t, p)| t - p).collect();
     let res_mean = residuals.iter().sum::<f64>() / n;
-    let res_var = residuals.iter().map(|r| (r - res_mean).powi(2)).sum::<f64>() / n;
+    let res_var = residuals
+        .iter()
+        .map(|r| (r - res_mean).powi(2))
+        .sum::<f64>()
+        / n;
     let truth_mean = truth.iter().sum::<f64>() / n;
     let truth_var = truth.iter().map(|t| (t - truth_mean).powi(2)).sum::<f64>() / n;
     if truth_var <= f64::EPSILON {
@@ -79,11 +83,7 @@ pub fn accuracy_score(truth: &[usize], predicted: &[usize]) -> Result<f64, AppEr
             ),
         });
     }
-    let correct = truth
-        .iter()
-        .zip(predicted)
-        .filter(|(t, p)| t == p)
-        .count();
+    let correct = truth.iter().zip(predicted).filter(|(t, p)| t == p).count();
     Ok(correct as f64 / truth.len() as f64)
 }
 

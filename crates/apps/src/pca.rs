@@ -6,7 +6,6 @@
 
 use crate::error::AppError;
 use crate::linalg::{jacobi_eigen, Matrix};
-use serde::{Deserialize, Serialize};
 
 /// PCA fitted via the eigen-decomposition of the covariance matrix.
 ///
@@ -26,7 +25,7 @@ use serde::{Deserialize, Serialize};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Pca {
     components: usize,
     max_sweeps: usize,
@@ -119,10 +118,7 @@ impl Pca {
         if self.total_variance <= f64::EPSILON {
             return Ok(vec![0.0; variances.len()]);
         }
-        Ok(variances
-            .iter()
-            .map(|v| v / self.total_variance)
-            .collect())
+        Ok(variances.iter().map(|v| v / self.total_variance).collect())
     }
 
     /// Total fraction of variance explained by all retained components — the
@@ -154,8 +150,8 @@ impl Pca {
         }
         let mut centred = x.clone();
         for r in 0..x.rows() {
-            for c in 0..x.cols() {
-                centred.set(r, c, x.get(r, c) - means[c]);
+            for (c, &mean) in means.iter().enumerate().take(x.cols()) {
+                centred.set(r, c, x.get(r, c) - mean);
             }
         }
         centred.matmul(&axes.transpose())
@@ -180,8 +176,8 @@ impl Pca {
         }
         let mut reconstructed = projected.matmul(axes)?;
         for r in 0..reconstructed.rows() {
-            for c in 0..reconstructed.cols() {
-                let value = reconstructed.get(r, c) + means[c];
+            for (c, &mean) in means.iter().enumerate().take(reconstructed.cols()) {
+                let value = reconstructed.get(r, c) + mean;
                 reconstructed.set(r, c, value);
             }
         }
@@ -207,7 +203,11 @@ mod tests {
         let mut rows = Vec::new();
         for i in 0..50 {
             let t = i as f64 / 5.0;
-            rows.push(vec![t, 2.0 * t + 0.01 * (i % 3) as f64, -t + 0.02 * (i % 5) as f64]);
+            rows.push(vec![
+                t,
+                2.0 * t + 0.01 * (i % 3) as f64,
+                -t + 0.02 * (i % 5) as f64,
+            ]);
         }
         Matrix::from_rows(&rows).unwrap()
     }

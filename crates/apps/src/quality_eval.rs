@@ -24,15 +24,15 @@ use crate::linalg::Matrix;
 use crate::metrics::{explained_variance_score, normalized_quality};
 use crate::pca::Pca;
 use crate::preprocessing::{train_test_split, Standardizer};
-use faultmit_analysis::{EmpiricalCdf, YieldModel};
+use faultmit_analysis::{CatalogueAccumulator, EmpiricalCdf, YieldModel};
 use faultmit_core::MitigationScheme;
 use faultmit_memsim::{FailureCountDistribution, FaultMap, FaultMapSampler, MemoryConfig};
+use faultmit_sim::{Campaign, CampaignConfig, MapPolicy, Parallelism};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 /// The three application benchmarks of Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Benchmark {
     /// Elasticnet regression on the wine-quality dataset (metric: R²).
     Elasticnet,
@@ -115,6 +115,7 @@ pub struct QualityEvaluatorBuilder {
     dataset_seed: u64,
     format: FixedPointFormat,
     pca_components: usize,
+    parallelism: Parallelism,
 }
 
 impl QualityEvaluatorBuilder {
@@ -153,6 +154,14 @@ impl QualityEvaluatorBuilder {
         self
     }
 
+    /// Sets the pipeline worker policy used by the Monte-Carlo campaigns
+    /// (results are identical for every setting).
+    #[must_use]
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
     /// Builds the evaluator (generating the dataset and the clean baseline
     /// lazily on first use).
     ///
@@ -172,6 +181,7 @@ impl QualityEvaluatorBuilder {
             dataset_seed: self.dataset_seed,
             format: self.format,
             pca_components: self.pca_components,
+            parallelism: self.parallelism,
         })
     }
 }
@@ -185,6 +195,7 @@ pub struct QualityEvaluator {
     dataset_seed: u64,
     format: FixedPointFormat,
     pca_components: usize,
+    parallelism: Parallelism,
 }
 
 impl QualityEvaluator {
@@ -196,9 +207,10 @@ impl QualityEvaluator {
             benchmark,
             samples: 400,
             memory_rows: MemoryConfig::paper_16kb().rows(),
-            dataset_seed: 0xF16_7,
+            dataset_seed: 0xF167,
             format: FixedPointFormat::q15_16(),
             pca_components: 5,
+            parallelism: Parallelism::default(),
         }
     }
 
@@ -268,7 +280,7 @@ impl QualityEvaluator {
     /// # Errors
     ///
     /// Propagates sampling and evaluation errors.
-    pub fn quality_cdf<S: MitigationScheme>(
+    pub fn quality_cdf<S: MitigationScheme + Sync>(
         &self,
         scheme: &S,
         p_cell: f64,
@@ -280,17 +292,14 @@ impl QualityEvaluator {
     }
 
     /// Like [`QualityEvaluator::quality_cdf`], but optionally discarding fault
-    /// maps that place more than one fault in a single memory word.
-    ///
-    /// The paper's Fig. 7 assumes "the small number of samples with more than
-    /// one error per word are discarded, such that H(39,32) ECC provides
-    /// error-free operation"; pass `discard_multi_fault_words = true` to
-    /// reproduce that protocol.
+    /// maps that place more than one fault in a single memory word — a thin
+    /// shim over [`QualityEvaluator::quality_cdfs_paired`] with a one-element
+    /// catalogue.
     ///
     /// # Errors
     ///
     /// Propagates sampling and evaluation errors.
-    pub fn quality_cdf_with_policy<S: MitigationScheme>(
+    pub fn quality_cdf_with_policy<S: MitigationScheme + Sync>(
         &self,
         scheme: &S,
         p_cell: f64,
@@ -299,49 +308,100 @@ impl QualityEvaluator {
         seed: u64,
         discard_multi_fault_words: bool,
     ) -> Result<QualityCdfResult, AppError> {
+        let mut results = self.quality_cdfs_paired(
+            &[scheme],
+            p_cell,
+            max_failures,
+            samples_per_count,
+            seed,
+            discard_multi_fault_words,
+        )?;
+        Ok(results.remove(0))
+    }
+
+    /// Runs one paired Fig. 7 campaign over a whole scheme catalogue through
+    /// the parallel fault-injection pipeline: every scheme trains on data
+    /// corrupted by the **same** fault map of every sampled die, so scheme
+    /// comparisons are exact per die, and dies are evaluated concurrently on
+    /// worker threads (bit-identical at any worker count).
+    ///
+    /// The paper's Fig. 7 protocol assumes "the small number of samples with
+    /// more than one error per word are discarded, such that H(39,32) ECC
+    /// provides error-free operation"; pass `discard_multi_fault_words =
+    /// true` to reproduce that protocol.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampling and evaluation errors.
+    pub fn quality_cdfs_paired<S: MitigationScheme + Sync>(
+        &self,
+        schemes: &[S],
+        p_cell: f64,
+        max_failures: u64,
+        samples_per_count: usize,
+        seed: u64,
+        discard_multi_fault_words: bool,
+    ) -> Result<Vec<QualityCdfResult>, AppError> {
         let baseline = self.baseline_quality()?;
         let distribution = FailureCountDistribution::for_memory(self.memory_config, p_cell)?;
-        let sampler = FaultMapSampler::new(self.memory_config);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut yield_model = YieldModel::new(distribution);
 
-        // The combined CDF interprets the zero-failure mass as quality 0 in
-        // the MSE convention; for Fig. 7 ("higher is better") we add it at
-        // the normalised optimum of 1.0 instead and weight every sampled
-        // quality value by Pr(N = n) / samples_per_count.
-        let mut cdf = EmpiricalCdf::new();
-        cdf.add(1.0, distribution.pmf(0));
+        let map_policy = if discard_multi_fault_words {
+            // Bounded redraws so extreme fault densities cannot loop forever.
+            MapPolicy::SingleFaultPerRow { max_redraws: 1000 }
+        } else {
+            MapPolicy::Unrestricted
+        };
+        let config = CampaignConfig::new(self.memory_config, p_cell)?
+            .with_samples_per_count(samples_per_count)
+            .with_max_failures(max_failures)
+            .with_map_policy(map_policy)
+            .with_parallelism(self.parallelism)
+            // Application training runs are expensive; keep chunks small so
+            // worker threads stay balanced.
+            .with_chunk_size(4);
 
-        for n in 1..=max_failures {
-            let weight = distribution.pmf(n) / samples_per_count as f64;
-            let mut samples = Vec::with_capacity(samples_per_count);
-            for _ in 0..samples_per_count {
-                let mut faults = sampler.sample_with_count(&mut rng, n as usize)?;
-                if discard_multi_fault_words {
-                    // Rejection-sample single-fault-per-word maps, with a cap
-                    // so extreme fault densities cannot loop forever.
-                    for _ in 0..1000 {
-                        if faults.max_faults_per_row() <= 1 {
-                            break;
-                        }
-                        faults = sampler.sample_with_count(&mut rng, n as usize)?;
+        let accumulator = Campaign::new(config)
+            .try_run(
+                schemes,
+                seed,
+                |scheme, faults| {
+                    let quality = self.quality_with_fault_map(scheme, faults)?;
+                    Ok::<f64, AppError>(normalized_quality(quality, baseline))
+                },
+                || CatalogueAccumulator::new(schemes.len()),
+            )
+            .map_err(AppError::from)?;
+
+        Ok(accumulator
+            .into_yield_models(distribution)
+            .into_iter()
+            .zip(schemes)
+            .map(|(yield_model, scheme)| {
+                // The combined CDF interprets the zero-failure mass as
+                // quality 0 in the MSE convention; for Fig. 7 ("higher is
+                // better") we add it at the normalised optimum of 1.0
+                // instead and weight every sampled quality value by
+                // Pr(N = n) / samples at n.
+                let mut cdf = EmpiricalCdf::new();
+                cdf.add(1.0, distribution.pmf(0));
+                for (&n, count_cdf) in yield_model.per_count_cdfs() {
+                    if count_cdf.is_empty() {
+                        continue;
+                    }
+                    let weight = distribution.pmf(n) / count_cdf.total_weight();
+                    for (value, sample_weight) in count_cdf.samples() {
+                        cdf.add(value, sample_weight * weight);
                     }
                 }
-                let quality = self.quality_with_fault_map(scheme, &faults)?;
-                let normalized = normalized_quality(quality, baseline);
-                cdf.add(normalized, weight);
-                samples.push(normalized);
-            }
-            yield_model.add_samples(n, samples);
-        }
-
-        Ok(QualityCdfResult {
-            benchmark: self.benchmark,
-            scheme_name: scheme.name(),
-            baseline_quality: baseline,
-            cdf,
-            yield_model,
-        })
+                QualityCdfResult {
+                    benchmark: self.benchmark,
+                    scheme_name: scheme.name(),
+                    baseline_quality: baseline,
+                    cdf,
+                    yield_model,
+                }
+            })
+            .collect())
     }
 
     fn corrupt_training_matrix<S: MitigationScheme>(
@@ -373,11 +433,7 @@ impl QualityEvaluator {
         model.score(&test_x, &split.test_y)
     }
 
-    fn run_pca<S: MitigationScheme>(
-        &self,
-        scheme: &S,
-        faults: &FaultMap,
-    ) -> Result<f64, AppError> {
+    fn run_pca<S: MitigationScheme>(&self, scheme: &S, faults: &FaultMap) -> Result<f64, AppError> {
         // A reduced Madelon geometry (5 informative + 15 redundant + 20
         // probes) keeps the informative/redundant/probe structure while the
         // retained components still explain a meaningful variance share.
@@ -398,11 +454,7 @@ impl QualityEvaluator {
         explained_variance_score(test_x.as_slice(), reconstructed.as_slice())
     }
 
-    fn run_knn<S: MitigationScheme>(
-        &self,
-        scheme: &S,
-        faults: &FaultMap,
-    ) -> Result<f64, AppError> {
+    fn run_knn<S: MitigationScheme>(&self, scheme: &S, faults: &FaultMap) -> Result<f64, AppError> {
         let dataset = HarDataset::new(self.samples, self.dataset_seed).generate();
         let labels_f: Vec<f64> = dataset.labels.iter().map(|&l| l as f64).collect();
         let split = train_test_split(&dataset.features, &labels_f, 0.8)?;
@@ -512,11 +564,9 @@ mod tests {
         let baseline = eval.baseline_quality().unwrap();
         // Saturate the memory with MSB faults: every row's sign bit flips.
         let config = eval.memory_config();
-        let faults = FaultMap::from_faults(
-            config,
-            (0..config.rows()).map(|r| Fault::bit_flip(r, 31)),
-        )
-        .unwrap();
+        let faults =
+            FaultMap::from_faults(config, (0..config.rows()).map(|r| Fault::bit_flip(r, 31)))
+                .unwrap();
         let corrupted = eval
             .quality_with_fault_map(&Scheme::unprotected32(), &faults)
             .unwrap();
@@ -531,11 +581,9 @@ mod tests {
         let eval = evaluator(Benchmark::Elasticnet);
         let baseline = eval.baseline_quality().unwrap();
         let config = eval.memory_config();
-        let faults = FaultMap::from_faults(
-            config,
-            (0..config.rows()).map(|r| Fault::bit_flip(r, 31)),
-        )
-        .unwrap();
+        let faults =
+            FaultMap::from_faults(config, (0..config.rows()).map(|r| Fault::bit_flip(r, 31)))
+                .unwrap();
         let shuffled = eval
             .quality_with_fault_map(&Scheme::shuffle32(5).unwrap(), &faults)
             .unwrap();

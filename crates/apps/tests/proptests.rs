@@ -1,128 +1,155 @@
-//! Property-based tests of the application substrates: fixed-point
+//! Randomized property tests of the application substrates: fixed-point
 //! quantisation, linear algebra and metrics.
+//!
+//! The offline build has no `proptest`, so each property is exercised over a
+//! seeded random sweep.
 
 use faultmit_apps::linalg::{jacobi_eigen, Matrix};
 use faultmit_apps::metrics::{accuracy_score, explained_variance_score, r2_score};
 use faultmit_apps::preprocessing::Standardizer;
 use faultmit_apps::FixedPointFormat;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    /// Fixed-point round trips are accurate to half an LSB inside the
-    /// representable range.
-    #[test]
-    fn fixed_point_round_trip_within_half_lsb(value in -30_000.0f64..30_000.0) {
-        let fmt = FixedPointFormat::q15_16();
+const CASES: usize = 256;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Fixed-point round trips are accurate to half an LSB inside the
+/// representable range.
+#[test]
+fn fixed_point_round_trip_within_half_lsb() {
+    let mut rng = rng(401);
+    let fmt = FixedPointFormat::q15_16();
+    for _ in 0..CASES {
+        let value = rng.gen_range(-30_000.0f64..30_000.0);
         let decoded = fmt.decode(fmt.encode(value));
-        prop_assert!((decoded - value).abs() <= fmt.resolution() / 2.0 + 1e-12);
+        assert!((decoded - value).abs() <= fmt.resolution() / 2.0 + 1e-12);
     }
+}
 
-    /// Out-of-range values saturate instead of wrapping around.
-    #[test]
-    fn fixed_point_saturates(value in prop::num::f64::NORMAL) {
-        let fmt = FixedPointFormat::q15_16();
+/// Out-of-range values saturate instead of wrapping around.
+#[test]
+fn fixed_point_saturates() {
+    let mut rng = rng(402);
+    let fmt = FixedPointFormat::q15_16();
+    for _ in 0..CASES {
+        // Mix in-range magnitudes with far-out-of-range ones.
+        let magnitude = 10f64.powf(rng.gen_range(-3.0f64..12.0));
+        let value = if rng.gen::<bool>() {
+            magnitude
+        } else {
+            -magnitude
+        };
         let decoded = fmt.decode(fmt.encode(value));
-        prop_assert!(decoded <= fmt.max_value() + 1e-9);
-        prop_assert!(decoded >= fmt.min_value() - 1e-9);
+        assert!(decoded <= fmt.max_value() + 1e-9);
+        assert!(decoded >= fmt.min_value() - 1e-9);
         // The sign is preserved for values of non-trivial magnitude.
         if value.abs() > fmt.resolution() {
-            prop_assert_eq!(decoded.signum(), value.signum());
+            assert_eq!(decoded.signum(), value.signum());
         }
     }
+}
 
-    /// Flipping the MSB of the stored word always produces a large error —
-    /// the significance asymmetry that motivates bit shuffling.
-    #[test]
-    fn msb_flips_dominate_lsb_flips(value in -20_000.0f64..20_000.0) {
-        let fmt = FixedPointFormat::q15_16();
+/// Flipping the MSB of the stored word always produces a large error —
+/// the significance asymmetry that motivates bit shuffling.
+#[test]
+fn msb_flips_dominate_lsb_flips() {
+    let mut rng = rng(403);
+    let fmt = FixedPointFormat::q15_16();
+    for _ in 0..CASES {
+        let value = rng.gen_range(-20_000.0f64..20_000.0);
         let word = fmt.encode(value);
         let msb_error = (fmt.decode(word ^ (1 << 31)) - fmt.decode(word)).abs();
         let lsb_error = (fmt.decode(word ^ 1) - fmt.decode(word)).abs();
-        prop_assert!(msb_error > 30_000.0);
-        prop_assert!(lsb_error <= fmt.resolution() + 1e-12);
+        assert!(msb_error > 30_000.0);
+        assert!(lsb_error <= fmt.resolution() + 1e-12);
     }
+}
 
-    /// Transposition is an involution and preserves the Frobenius norm.
-    #[test]
-    fn transpose_is_an_involution(
-        rows in 1usize..6,
-        cols in 1usize..6,
-        seed in any::<u64>(),
-    ) {
+/// Transposition is an involution and preserves the Frobenius norm.
+#[test]
+fn transpose_is_an_involution() {
+    let mut rng = rng(404);
+    for _ in 0..64 {
+        let rows = rng.gen_range(1usize..6);
+        let cols = rng.gen_range(1usize..6);
         let data: Vec<f64> = (0..rows * cols)
-            .map(|i| ((seed.wrapping_add(i as u64).wrapping_mul(2654435761)) % 1000) as f64 / 100.0)
+            .map(|_| rng.gen_range(-10.0f64..10.0))
             .collect();
         let m = Matrix::from_vec(rows, cols, data).unwrap();
         let t = m.transpose();
-        prop_assert!(t.transpose().approx_eq(&m, 0.0));
-        prop_assert!((t.frobenius_norm() - m.frobenius_norm()).abs() < 1e-9);
+        assert!(t.transpose().approx_eq(&m, 0.0));
+        assert!((t.frobenius_norm() - m.frobenius_norm()).abs() < 1e-9);
     }
+}
 
-    /// The covariance matrix is symmetric positive semi-definite: the Jacobi
-    /// eigenvalues are all non-negative (up to rounding).
-    #[test]
-    fn covariance_is_positive_semidefinite(
-        rows in 3usize..10,
-        cols in 2usize..5,
-        seed in any::<u32>(),
-    ) {
+/// The covariance matrix is symmetric positive semi-definite: the Jacobi
+/// eigenvalues are all non-negative (up to rounding).
+#[test]
+fn covariance_is_positive_semidefinite() {
+    let mut rng = rng(405);
+    for _ in 0..64 {
+        let rows = rng.gen_range(3usize..10);
+        let cols = rng.gen_range(2usize..5);
         let data: Vec<f64> = (0..rows * cols)
-            .map(|i| {
-                let x = seed.wrapping_add(i as u32).wrapping_mul(747796405);
-                (x % 997) as f64 / 100.0
-            })
+            .map(|_| rng.gen_range(0.0f64..10.0))
             .collect();
         let m = Matrix::from_vec(rows, cols, data).unwrap();
         let cov = m.covariance().unwrap();
         let eigen = jacobi_eigen(&cov, 200).unwrap();
         for &value in &eigen.values {
-            prop_assert!(value >= -1e-8, "negative eigenvalue {value}");
+            assert!(value >= -1e-8, "negative eigenvalue {value}");
         }
     }
+}
 
-    /// R² of a perfect prediction is 1; accuracy of identical labels is 1.
-    #[test]
-    fn perfect_predictions_score_one(values in prop::collection::vec(-100.0f64..100.0, 2..20)) {
-        prop_assert!((r2_score(&values, &values).unwrap() - 1.0).abs() < 1e-9);
-        prop_assert!(
-            (explained_variance_score(&values, &values).unwrap() - 1.0).abs() < 1e-9
-        );
+/// R² of a perfect prediction is 1; accuracy of identical labels is 1.
+#[test]
+fn perfect_predictions_score_one() {
+    let mut rng = rng(406);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2usize..20);
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_range(-100.0f64..100.0)).collect();
+        assert!((r2_score(&values, &values).unwrap() - 1.0).abs() < 1e-9);
+        assert!((explained_variance_score(&values, &values).unwrap() - 1.0).abs() < 1e-9);
         let labels: Vec<usize> = values.iter().map(|v| (v.abs() as usize) % 5).collect();
-        prop_assert_eq!(accuracy_score(&labels, &labels).unwrap(), 1.0);
+        assert_eq!(accuracy_score(&labels, &labels).unwrap(), 1.0);
     }
+}
 
-    /// R² never exceeds 1 for any prediction.
-    #[test]
-    fn r2_is_at_most_one(
-        truth in prop::collection::vec(-100.0f64..100.0, 3..15),
-        noise in prop::collection::vec(-50.0f64..50.0, 15),
-    ) {
+/// R² never exceeds 1 for any prediction.
+#[test]
+fn r2_is_at_most_one() {
+    let mut rng = rng(407);
+    for _ in 0..CASES {
+        let n = rng.gen_range(3usize..15);
+        let truth: Vec<f64> = (0..n).map(|_| rng.gen_range(-100.0f64..100.0)).collect();
         let predicted: Vec<f64> = truth
             .iter()
-            .zip(&noise)
-            .map(|(t, n)| t + n)
+            .map(|t| t + rng.gen_range(-50.0f64..50.0))
             .collect();
         let r2 = r2_score(&truth, &predicted).unwrap();
-        prop_assert!(r2 <= 1.0 + 1e-12);
+        assert!(r2 <= 1.0 + 1e-12);
     }
+}
 
-    /// Standardised data has zero column means for any input.
-    #[test]
-    fn standardizer_centres_every_column(
-        rows in 2usize..10,
-        cols in 1usize..5,
-        seed in any::<u32>(),
-    ) {
+/// Standardised data has zero column means for any input.
+#[test]
+fn standardizer_centres_every_column() {
+    let mut rng = rng(408);
+    for _ in 0..CASES {
+        let rows = rng.gen_range(2usize..10);
+        let cols = rng.gen_range(1usize..5);
         let data: Vec<f64> = (0..rows * cols)
-            .map(|i| {
-                let x = seed.wrapping_add(i as u32).wrapping_mul(2891336453);
-                (x % 10_007) as f64 / 50.0 - 100.0
-            })
+            .map(|_| rng.gen_range(-100.0f64..100.0))
             .collect();
         let m = Matrix::from_vec(rows, cols, data).unwrap();
         let scaled = Standardizer::fit(&m).transform(&m).unwrap();
         for mean in scaled.column_means() {
-            prop_assert!(mean.abs() < 1e-9, "column mean {mean}");
+            assert!(mean.abs() < 1e-9, "column mean {mean}");
         }
     }
 }

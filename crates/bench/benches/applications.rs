@@ -20,7 +20,9 @@ fn bench_model_training(c: &mut Criterion) {
     group.bench_function("elasticnet_fit_300x11", |b| {
         b.iter(|| {
             let mut model = ElasticNet::paper_default().unwrap();
-            model.fit(black_box(&wine_x), black_box(&wine_split.train_y)).unwrap();
+            model
+                .fit(black_box(&wine_x), black_box(&wine_split.train_y))
+                .unwrap();
             model
         })
     });
@@ -42,7 +44,8 @@ fn bench_model_training(c: &mut Criterion) {
     group.bench_function("knn_fit_predict_400x5", |b| {
         b.iter(|| {
             let mut knn = KnnClassifier::paper_default().unwrap();
-            knn.fit(black_box(&har.features), black_box(&labels)).unwrap();
+            knn.fit(black_box(&har.features), black_box(&labels))
+                .unwrap();
             knn.predict(&har.features).unwrap()
         })
     });

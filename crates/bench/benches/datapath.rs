@@ -80,9 +80,11 @@ fn bench_bist(c: &mut Criterion) {
     group.sample_size(20);
     for rows in [256usize, 1024] {
         let config = MemoryConfig::new(rows, 32).unwrap();
-        let faults =
-            FaultMap::from_faults(config, [Fault::bit_flip(3, 31), Fault::stuck_at_one(rows / 2, 5)])
-                .unwrap();
+        let faults = FaultMap::from_faults(
+            config,
+            [Fault::bit_flip(3, 31), Fault::stuck_at_one(rows / 2, 5)],
+        )
+        .unwrap();
         group.bench_with_input(BenchmarkId::new("march_c_minus", rows), &rows, |b, _| {
             b.iter(|| {
                 let mut array = SramArray::with_faults(config, faults.clone());

@@ -56,7 +56,11 @@ fn bench_small_campaign(c: &mut Criterion) {
         .with_max_failures(6);
     let engine = MonteCarloEngine::new(config);
     group.bench_function("fig5_reduced_single_scheme", |b| {
-        b.iter(|| engine.run(&Scheme::shuffle32(2).unwrap(), black_box(7)).unwrap())
+        b.iter(|| {
+            engine
+                .run(&Scheme::shuffle32(2).unwrap(), black_box(7))
+                .unwrap()
+        })
     });
     group.finish();
 }

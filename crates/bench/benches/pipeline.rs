@@ -1,0 +1,87 @@
+//! Criterion benchmark of the parallel fault-injection pipeline: serial vs.
+//! multi-worker campaign throughput (samples/sec) at a reduced Fig. 5
+//! operating point (16 KB memory, `P_cell = 5·10⁻⁶` — the paper's memory
+//! model with a trimmed Monte-Carlo budget so one iteration stays cheap).
+//!
+//! On a multi-core host the `workers/N` series should scale towards N× the
+//! serial throughput; on a single-core host the parallel path only measures
+//! the (small) orchestration overhead. Either way the results are
+//! bit-identical across all worker counts — that invariant is pinned by the
+//! `determinism` integration test, while this bench tracks the speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use faultmit_analysis::{MonteCarloConfig, MonteCarloEngine};
+use faultmit_core::Scheme;
+use faultmit_memsim::MemoryConfig;
+use faultmit_sim::Parallelism;
+
+/// Reduced Fig. 5 operating point: same geometry and failure counts that
+/// dominate the paper's campaign, small enough per-iteration budget for a
+/// stable benchmark.
+fn operating_point(parallelism: Parallelism) -> MonteCarloEngine {
+    let config = MonteCarloConfig::new(MemoryConfig::paper_16kb(), 5e-6)
+        .expect("valid paper P_cell")
+        .with_samples_per_count(10)
+        .with_max_failures(12)
+        .with_parallelism(parallelism);
+    MonteCarloEngine::new(config)
+}
+
+fn bench_campaign_throughput(c: &mut Criterion) {
+    let schemes = Scheme::fig5_catalogue();
+    let samples_per_run = 12u64 * 10;
+
+    let mut group = c.benchmark_group("pipeline_fig5");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(samples_per_run));
+
+    group.bench_function("serial", |b| {
+        let engine = operating_point(Parallelism::Serial);
+        b.iter(|| engine.run_catalogue(&schemes, 0xF165).unwrap())
+    });
+
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    for workers in [2usize, 4, cpus] {
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &workers| {
+                let engine = operating_point(Parallelism::threads(workers));
+                b.iter(|| engine.run_catalogue(&schemes, 0xF165).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_single_scheme_vs_paired(c: &mut Criterion) {
+    // The paired catalogue pass amortises die sampling over all schemes;
+    // this quantifies the win over running the catalogue scheme-by-scheme.
+    let schemes = Scheme::fig5_catalogue();
+    let engine = operating_point(Parallelism::Serial);
+
+    let mut group = c.benchmark_group("paired_vs_sequential");
+    group.sample_size(10);
+
+    group.bench_function("paired_catalogue", |b| {
+        b.iter(|| engine.run_catalogue(&schemes, 7).unwrap())
+    });
+    group.bench_function("scheme_by_scheme", |b| {
+        b.iter(|| {
+            schemes
+                .iter()
+                .map(|scheme| engine.run(scheme, 7).unwrap())
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_campaign_throughput,
+    bench_single_scheme_vs_paired
+);
+criterion_main!(benches);

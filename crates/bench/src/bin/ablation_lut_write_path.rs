@@ -12,19 +12,28 @@
 //! ```
 
 use faultmit_analysis::report::Table;
+use faultmit_bench::json::{JsonValue, ToJson};
 use faultmit_bench::RunOptions;
 use faultmit_hwmodel::{LutImplementation, OverheadModel, ProtectionBlock};
-use faultmit_memsim::{repair_yield, DieSampler, MemoryConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::Serialize;
+use faultmit_memsim::{repair_yield, DieSampler, MemoryConfig, StreamSeeder};
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct WritePathRow {
     scheme: String,
     lut: String,
     energy_fj: f64,
     delay_ps: f64,
+}
+
+impl ToJson for WritePathRow {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("scheme", self.scheme.to_json()),
+            ("lut", self.lut.to_json()),
+            ("energy_fj", self.energy_fj.to_json()),
+            ("delay_ps", self.delay_ps.to_json()),
+        ])
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -62,7 +71,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 continue;
             }
             let cost = model.write_path_cost(block, lut);
-            let lut_label = if is_shuffle { lut.label() } else { "-".to_owned() };
+            let lut_label = if is_shuffle {
+                lut.label()
+            } else {
+                "-".to_owned()
+            };
             table.add_row(vec![
                 block.label(),
                 lut_label.clone(),
@@ -88,8 +101,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = MemoryConfig::new(1024, 32)?;
     for &p_cell in &[1e-5, 1e-4, 1e-3, 5e-3] {
         let sampler = DieSampler::new(config, p_cell)?;
-        let mut rng = StdRng::seed_from_u64(0x5BA9);
-        let dies = sampler.sample_dies(&mut rng, 200)?;
+        // Pipeline-style sampling: each die owns an index-derived RNG
+        // stream, so the population is independent of iteration order.
+        let seeder = StreamSeeder::new(0x5BA9);
+        let dies = (0..200)
+            .map(|i| sampler.sample_die(&mut seeder.rng_for_sample(i)))
+            .collect::<Result<Vec<_>, _>>()?;
         let spares = (0..=1024)
             .find(|&s| repair_yield(&dies, s) >= 0.95)
             .unwrap_or(1024);

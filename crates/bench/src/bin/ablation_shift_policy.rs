@@ -3,7 +3,9 @@
 //! The paper defines the shift for a single faulty cell per word (Eq. (2)).
 //! At low supply voltages rows with two or more faulty cells become common,
 //! and the FM-LUT must then pick one shift that cannot protect every fault.
-//! This ablation compares two policies on Monte-Carlo fault maps:
+//! This ablation compares two policies as a **paired** `sim::Campaign` —
+//! both policies score the *same* Monte-Carlo fault maps, fanned out over
+//! worker threads:
 //!
 //! * **naive** — align the least significant segment with the *most
 //!   significant* faulty cell (the direct generalisation of Eq. (2));
@@ -12,18 +14,20 @@
 //!   magnitude.
 //!
 //! ```text
-//! cargo run --release -p faultmit-bench --bin ablation_shift_policy
+//! cargo run --release -p faultmit-bench --bin ablation_shift_policy [-- --threads 4]
 //! ```
 
+use faultmit_analysis::memory_mse;
 use faultmit_analysis::report::{format_sci, Table};
+use faultmit_bench::json::{JsonValue, ToJson};
 use faultmit_bench::RunOptions;
-use faultmit_core::{FmLut, SegmentGeometry};
-use faultmit_memsim::{FaultMapSampler, MemoryConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::Serialize;
+use faultmit_core::{
+    rotate_left, rotate_right, MitigationScheme, ObservedWord, Scheme, SegmentGeometry,
+};
+use faultmit_memsim::{corrupt_word, FaultMap, MemoryConfig};
+use faultmit_sim::{Campaign, CampaignConfig, CollectRecords};
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct AblationRow {
     n_fm: usize,
     faults_per_map: usize,
@@ -32,24 +36,72 @@ struct AblationRow {
     improvement_factor: f64,
 }
 
-/// Squared error magnitude of one row under a given shift index.
-fn row_cost(geometry: SegmentGeometry, columns: &[usize], x_fm: usize) -> f64 {
-    let shift = x_fm * geometry.segment_bits();
-    columns
-        .iter()
-        .map(|&col| {
-            let bit = (col + geometry.word_bits() - shift) % geometry.word_bits();
-            4.0_f64.powi(bit as i32)
-        })
-        .sum()
+impl ToJson for AblationRow {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("n_fm", self.n_fm.to_json()),
+            ("faults_per_map", self.faults_per_map.to_json()),
+            ("mse_naive", self.mse_naive.to_json()),
+            ("mse_optimal", self.mse_optimal.to_json()),
+            ("improvement_factor", self.improvement_factor.to_json()),
+        ])
+    }
+}
+
+/// Bit-shuffling with the naive multi-fault policy: align the least
+/// significant segment to the most significant faulty cell.
+#[derive(Debug, Clone, Copy)]
+struct NaiveShuffle(SegmentGeometry);
+
+impl MitigationScheme for NaiveShuffle {
+    fn name(&self) -> String {
+        format!("naive bit-shuffle nFM={}", self.0.n_fm())
+    }
+
+    fn word_bits(&self) -> usize {
+        self.0.word_bits()
+    }
+
+    fn observe(&self, faults: &FaultMap, row: usize, written: u64) -> ObservedWord {
+        let columns = faults.faulty_columns(row);
+        let Some(&msb_fault) = columns.last() else {
+            return ObservedWord::intact(written);
+        };
+        let x_fm = self.0.segment_of_bit(msb_fault);
+        let shift = self
+            .0
+            .shift_amount(x_fm)
+            .expect("segment index is in range");
+        let mut stored = rotate_right(written, shift, self.0.word_bits());
+        for col in columns {
+            if let Some(kind) = faults.fault_at(row, col) {
+                stored = corrupt_word(stored, col, kind);
+            }
+        }
+        ObservedWord {
+            value: rotate_left(stored, shift, self.0.word_bits()),
+            reliable: true,
+        }
+    }
+
+    fn worst_case_error_magnitude(&self, _bit: usize) -> u64 {
+        self.0.max_error_magnitude()
+    }
+
+    fn extra_bits_per_row(&self) -> usize {
+        self.0.n_fm()
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let options = RunOptions::from_args();
-    let (maps_per_point, rows) = if options.full_scale { (400, 4096) } else { (60, 512) };
+    let (maps_per_point, rows) = if options.full_scale {
+        (400, 4096)
+    } else {
+        (60, 512)
+    };
 
     let config = MemoryConfig::new(rows, 32)?;
-    let sampler = FaultMapSampler::new(config);
 
     let mut table = Table::new(
         "Ablation — multi-fault shift policy (memory MSE, lower is better)",
@@ -67,22 +119,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let geometry = SegmentGeometry::new(32, n_fm)?;
         // Fault densities high enough that multi-fault rows actually occur.
         for &faults_per_map in &[rows / 8, rows / 2, rows] {
-            let mut rng = StdRng::seed_from_u64(0xAB1A);
-            let mut naive_total = 0.0;
-            let mut optimal_total = 0.0;
-            for _ in 0..maps_per_point {
-                let map = sampler.sample_with_count(&mut rng, faults_per_map)?;
-                for row in map.faulty_rows() {
-                    let columns = map.faulty_columns(row);
-                    let naive_x = geometry.segment_of_bit(*columns.last().expect("faulty row"));
-                    let optimal_x = FmLut::choose_shift(geometry, &columns);
-                    naive_total += row_cost(geometry, &columns, naive_x);
-                    optimal_total += row_cost(geometry, &columns, optimal_x);
-                }
-            }
-            let scale = (maps_per_point * rows) as f64;
-            let mse_naive = naive_total / scale;
-            let mse_optimal = optimal_total / scale;
+            // Paired pipeline pass: both policies score identical dies.
+            let naive = NaiveShuffle(geometry);
+            let optimal = Scheme::BitShuffle(geometry);
+            let schemes: [&(dyn MitigationScheme + Sync); 2] = [&naive, &optimal];
+            let campaign = Campaign::new(
+                CampaignConfig::new(config, 1e-3)?
+                    .with_samples_per_count(maps_per_point)
+                    .with_exact_failures(faults_per_map as u64)
+                    .with_parallelism(options.parallelism()),
+            );
+            let records = campaign.run(&schemes, 0xAB1A, memory_mse, CollectRecords::new)?;
+
+            let count = records.records.len().max(1) as f64;
+            let mse_naive = records.records.iter().map(|r| r.metrics[0]).sum::<f64>() / count;
+            let mse_optimal = records.records.iter().map(|r| r.metrics[1]).sum::<f64>() / count;
+            // Paired invariant: the optimal policy includes the naive shift
+            // in its search space, so it can never lose on any single die.
+            debug_assert!(records
+                .records
+                .iter()
+                .all(|r| r.metrics[1] <= r.metrics[0] + 1e-9));
+
             table.add_row(vec![
                 n_fm.to_string(),
                 faults_per_map.to_string(),

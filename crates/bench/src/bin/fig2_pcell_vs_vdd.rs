@@ -6,16 +6,33 @@
 //! ```
 
 use faultmit_analysis::report::{format_percent, format_sci, Table};
+use faultmit_bench::json::{JsonValue, ToJson};
 use faultmit_bench::RunOptions;
 use faultmit_memsim::{CellFailureModel, MemoryConfig, VddSweep};
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct Fig2Point {
     vdd: f64,
     p_cell: f64,
     expected_failures_16kb: f64,
     zero_failure_yield_16kb: f64,
+}
+
+impl ToJson for Fig2Point {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("vdd", self.vdd.to_json()),
+            ("p_cell", self.p_cell.to_json()),
+            (
+                "expected_failures_16kb",
+                self.expected_failures_16kb.to_json(),
+            ),
+            (
+                "zero_failure_yield_16kb",
+                self.zero_failure_yield_16kb.to_json(),
+            ),
+        ])
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -6,18 +6,27 @@
 //! ```
 
 use faultmit_analysis::report::Table;
+use faultmit_bench::json::{JsonValue, ToJson};
 use faultmit_bench::RunOptions;
 use faultmit_core::error_magnitude::error_magnitude_profile;
 use faultmit_core::SegmentGeometry;
-use serde::Serialize;
 use std::collections::BTreeMap;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct Fig4Series {
     /// Series label ("no-correction" or "nFM=k").
     label: String,
     /// log2(error magnitude) per faulty bit position 0..31.
     log2_error_by_bit: Vec<u32>,
+}
+
+impl ToJson for Fig4Series {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("label", self.label.to_json()),
+            ("log2_error_by_bit", self.log2_error_by_bit.to_json()),
+        ])
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

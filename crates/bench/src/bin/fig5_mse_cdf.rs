@@ -1,8 +1,11 @@
 //! Fig. 5 — CDF of the memory MSE for a 16 kB memory with P_cell = 5·10⁻⁶,
 //! under no protection, bit-shuffling with n_FM = 1..5, and H(22,16) P-ECC.
 //!
-//! The default configuration uses a reduced Monte-Carlo budget; pass `--full`
-//! for a paper-scale campaign (much slower).
+//! The whole catalogue runs through one paired `sim::Campaign` pass: every
+//! scheme is scored on identical dies, fanned out over worker threads
+//! (`--threads N`; the default uses every CPU, results are identical either
+//! way). The default configuration uses a reduced Monte-Carlo budget; pass
+//! `--full` for a paper-scale campaign (much slower).
 //!
 //! ```text
 //! cargo run --release -p faultmit-bench --bin fig5_mse_cdf [-- --full --json results/fig5.json]
@@ -10,11 +13,11 @@
 
 use faultmit_analysis::report::{format_percent, format_sci, Table};
 use faultmit_analysis::{MonteCarloConfig, MonteCarloEngine};
+use faultmit_bench::json::{JsonValue, ToJson};
 use faultmit_bench::RunOptions;
 use faultmit_core::Scheme;
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct Fig5Series {
     scheme: String,
     /// `(mse, P(MSE <= mse))` points of the CDF on a log grid.
@@ -24,6 +27,20 @@ struct Fig5Series {
     mse_at_six_nines_yield: Option<f64>,
     /// Yield at the paper's example constraint MSE < 10⁶.
     yield_at_mse_1e6: f64,
+}
+
+impl ToJson for Fig5Series {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("scheme", self.scheme.to_json()),
+            ("cdf", self.cdf.to_json()),
+            (
+                "mse_at_six_nines_yield",
+                self.mse_at_six_nines_yield.to_json(),
+            ),
+            ("yield_at_mse_1e6", self.yield_at_mse_1e6.to_json()),
+        ])
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -39,7 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let config = MonteCarloConfig::paper_fig5()?
         .with_samples_per_count(samples_per_count)
-        .with_max_failures(max_failures);
+        .with_max_failures(max_failures)
+        .with_parallelism(options.parallelism());
     let engine = MonteCarloEngine::new(config);
 
     println!(
@@ -106,7 +124,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .find(|r| r.scheme_name == "bit-shuffle nFM=1")
         .expect("catalogue contains nFM=1");
-    if let (Some(u), Some(s)) = (unprotected.mse_for_yield(0.99), shuffle1.mse_for_yield(0.99)) {
+    if let (Some(u), Some(s)) = (
+        unprotected.mse_for_yield(0.99),
+        shuffle1.mse_for_yield(0.99),
+    ) {
         println!(
             "MSE reduction at 99% yield, nFM=1 vs no-correction: {:.0}x (paper: >= 30x)",
             u / s.max(f64::MIN_POSITIVE)

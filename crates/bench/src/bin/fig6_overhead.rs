@@ -7,11 +7,11 @@
 //! ```
 
 use faultmit_analysis::report::Table;
+use faultmit_bench::json::{JsonValue, ToJson};
 use faultmit_bench::RunOptions;
 use faultmit_hwmodel::{OverheadModel, ProtectionBlock};
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct Fig6Entry {
     scheme: String,
     relative_read_power: f64,
@@ -20,6 +20,20 @@ struct Fig6Entry {
     absolute_energy_fj: f64,
     absolute_delay_ps: f64,
     absolute_area_um2: f64,
+}
+
+impl ToJson for Fig6Entry {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("scheme", self.scheme.to_json()),
+            ("relative_read_power", self.relative_read_power.to_json()),
+            ("relative_read_delay", self.relative_read_delay.to_json()),
+            ("relative_area", self.relative_area.to_json()),
+            ("absolute_energy_fj", self.absolute_energy_fj.to_json()),
+            ("absolute_delay_ps", self.absolute_delay_ps.to_json()),
+            ("absolute_area_um2", self.absolute_area_um2.to_json()),
+        ])
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

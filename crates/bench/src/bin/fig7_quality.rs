@@ -12,11 +12,11 @@
 
 use faultmit_analysis::report::{format_percent, Table};
 use faultmit_apps::{Benchmark, QualityEvaluator};
+use faultmit_bench::json::{JsonValue, ToJson};
 use faultmit_bench::RunOptions;
-use faultmit_core::{MitigationScheme, Scheme};
-use serde::Serialize;
+use faultmit_core::Scheme;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct Fig7Series {
     benchmark: String,
     scheme: String,
@@ -26,6 +26,19 @@ struct Fig7Series {
     /// Fraction of dies achieving at least 95 % / 99 % of the baseline.
     yield_at_95pct: f64,
     yield_at_99pct: f64,
+}
+
+impl ToJson for Fig7Series {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("benchmark", self.benchmark.to_json()),
+            ("scheme", self.scheme.to_json()),
+            ("baseline_quality", self.baseline_quality.to_json()),
+            ("cdf", self.cdf.to_json()),
+            ("yield_at_95pct", self.yield_at_95pct.to_json()),
+            ("yield_at_99pct", self.yield_at_99pct.to_json()),
+        ])
+    }
 }
 
 fn selected_benchmarks(options: &RunOptions) -> Vec<Benchmark> {
@@ -81,6 +94,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let evaluator = QualityEvaluator::builder(benchmark)
             .samples(samples)
             .memory_rows(memory_rows)
+            .parallelism(options.parallelism())
             .build()?;
         let baseline = evaluator.baseline_quality()?;
         println!(
@@ -106,23 +120,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ],
         );
 
-        for scheme in &schemes {
-            // Following the paper's protocol, fault maps that place more than
-            // one fault in a single word are discarded so the H(39,32) SECDED
-            // reference is error-free.
-            let result = evaluator.quality_cdf_with_policy(
-                scheme,
-                p_cell,
-                max_failures,
-                samples_per_count,
-                0xF167,
-                true,
-            )?;
+        // One paired pipeline pass: every scheme trains on the same dies
+        // (fault maps that place more than one fault in a single word are
+        // discarded, following the paper's protocol, so the H(39,32) SECDED
+        // reference is error-free), and dies fan out over worker threads.
+        let results = evaluator.quality_cdfs_paired(
+            &schemes,
+            p_cell,
+            max_failures,
+            samples_per_count,
+            0xF167,
+            true,
+        )?;
+        for result in results {
             let median = result.cdf.quantile(0.5);
             let p01 = result.cdf.quantile(0.01);
             let yield95 = result.yield_at_min_quality(0.95);
             table.add_row(vec![
-                scheme.name(),
+                result.scheme_name.clone(),
                 format!("{median:.4}"),
                 format!("{p01:.4}"),
                 format_percent(yield95),
@@ -131,7 +146,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let grid: Vec<f64> = (0..=50).map(|i| i as f64 / 50.0).collect();
             all_series.push(Fig7Series {
                 benchmark: benchmark.name().to_owned(),
-                scheme: scheme.name(),
+                scheme: result.scheme_name.clone(),
                 baseline_quality: result.baseline_quality,
                 cdf: result.cdf.evaluate_at(&grid),
                 yield_at_95pct: yield95,

@@ -8,16 +8,28 @@
 
 use faultmit_analysis::report::Table;
 use faultmit_apps::{Benchmark, QualityEvaluator};
+use faultmit_bench::json::{JsonValue, ToJson};
 use faultmit_bench::RunOptions;
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct Table1Row {
     class: String,
     algorithm: String,
     dataset: String,
     metric: String,
     fault_free_quality: f64,
+}
+
+impl ToJson for Table1Row {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("class", self.class.to_json()),
+            ("algorithm", self.algorithm.to_json()),
+            ("dataset", self.dataset.to_json()),
+            ("metric", self.metric.to_json()),
+            ("fault_free_quality", self.fault_free_quality.to_json()),
+        ])
+    }
 }
 
 fn class_of(benchmark: Benchmark) -> &'static str {

@@ -1,0 +1,259 @@
+//! A small JSON document model and emitter.
+//!
+//! The offline build has no `serde_json`, so the figure binaries build their
+//! machine-readable series through this module instead: construct a
+//! [`JsonValue`] (usually via [`ToJson`]) and render it with
+//! [`JsonValue::to_pretty_string`]. The emitter covers exactly what the
+//! EXPERIMENTS flow needs — objects, arrays, strings, finite and non-finite
+//! numbers, booleans and nulls — with standard JSON escaping.
+
+/// A JSON document node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number. Non-finite values render as `null` (JSON has no NaN/Inf).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Builds an object from `(key, value)` pairs.
+    #[must_use]
+    pub fn object<I>(fields: I) -> Self
+    where
+        I: IntoIterator<Item = (&'static str, JsonValue)>,
+    {
+        JsonValue::Object(
+            fields
+                .into_iter()
+                .map(|(key, value)| (key.to_owned(), value))
+                .collect(),
+        )
+    }
+
+    /// Builds an array by converting each element.
+    #[must_use]
+    pub fn array<T: ToJson, I: IntoIterator<Item = T>>(items: I) -> Self {
+        JsonValue::Array(items.into_iter().map(|item| item.to_json()).collect())
+    }
+
+    /// Renders the document with two-space indentation.
+    #[must_use]
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(value) => out.push_str(if *value { "true" } else { "false" }),
+            JsonValue::Number(value) => {
+                if value.is_finite() {
+                    if *value == value.trunc() && value.abs() < 1e15 {
+                        // Integral values print without a fraction, like serde_json.
+                        out.push_str(&format!("{}", *value as i64));
+                    } else {
+                        out.push_str(&format!("{value}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::String(value) => write_escaped(out, value),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into the JSON document model.
+pub trait ToJson {
+    /// Converts `self` into a JSON node.
+    fn to_json(&self) -> JsonValue;
+}
+
+impl ToJson for JsonValue {
+    fn to_json(&self) -> JsonValue {
+        self.clone()
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Number(*self)
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::String(self.to_owned())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::String(self.clone())
+    }
+}
+
+macro_rules! int_to_json {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> JsonValue {
+                JsonValue::Number(*self as f64)
+            }
+        }
+    )*};
+}
+
+int_to_json!(i32, i64, u32, u64, usize);
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> JsonValue {
+        match self {
+            Some(value) => value.to_json(),
+            None => JsonValue::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> JsonValue {
+        (**self).to_json()
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(JsonValue::Null.to_pretty_string(), "null");
+        assert_eq!(true.to_json().to_pretty_string(), "true");
+        assert_eq!(3.0f64.to_json().to_pretty_string(), "3");
+        assert_eq!(3.5f64.to_json().to_pretty_string(), "3.5");
+        assert_eq!(f64::NAN.to_json().to_pretty_string(), "null");
+        assert_eq!(42usize.to_json().to_pretty_string(), "42");
+        assert_eq!("hi".to_json().to_pretty_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let rendered = "a\"b\\c\nd".to_json().to_pretty_string();
+        assert_eq!(rendered, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn arrays_and_objects_nest() {
+        let doc = JsonValue::object([
+            ("name", "fig5".to_json()),
+            ("cdf", vec![(1.0, 0.5), (2.0, 1.0)].to_json()),
+            ("missing", Option::<f64>::None.to_json()),
+        ]);
+        let rendered = doc.to_pretty_string();
+        assert!(rendered.contains("\"name\": \"fig5\""));
+        assert!(rendered.contains("\"missing\": null"));
+        // Round-trip sanity: balanced brackets, nested array present.
+        assert_eq!(rendered.matches('[').count(), rendered.matches(']').count());
+        assert!(rendered.contains("0.5"));
+    }
+
+    #[test]
+    fn empty_containers_render_compact() {
+        assert_eq!(JsonValue::Array(vec![]).to_pretty_string(), "[]");
+        assert_eq!(JsonValue::Object(vec![]).to_pretty_string(), "{}");
+    }
+}

@@ -131,10 +131,7 @@ mod tests {
                 assert!(worst_case_error_magnitude(g, bit) <= bound);
             }
             // The bound is attained at the top of every segment.
-            assert_eq!(
-                worst_case_error_magnitude(g, g.segment_bits() - 1),
-                bound
-            );
+            assert_eq!(worst_case_error_magnitude(g, g.segment_bits() - 1), bound);
         }
     }
 
@@ -158,9 +155,7 @@ mod tests {
         for n_fm in 1..=5 {
             let g = SegmentGeometry::new(32, n_fm).unwrap();
             for bit in 0..32 {
-                assert!(
-                    worst_case_error_magnitude(g, bit) <= unprotected_error_magnitude(32, bit)
-                );
+                assert!(worst_case_error_magnitude(g, bit) <= unprotected_error_magnitude(32, bit));
             }
         }
     }

@@ -16,7 +16,6 @@
 use crate::error::CoreError;
 use crate::segment::SegmentGeometry;
 use faultmit_memsim::{BistReport, FaultMap};
-use serde::{Deserialize, Serialize};
 
 /// Per-row shift indices of the bit-shuffling scheme.
 ///
@@ -38,7 +37,7 @@ use serde::{Deserialize, Serialize};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FmLut {
     geometry: SegmentGeometry,
     entries: Vec<usize>,
@@ -102,8 +101,7 @@ impl FmLut {
         }
         let mut lut = Self::new(geometry, report.config().rows());
         for row_report in report.faulty_rows() {
-            lut.entries[row_report.row] =
-                Self::choose_shift(geometry, &row_report.faulty_columns);
+            lut.entries[row_report.row] = Self::choose_shift(geometry, &row_report.faulty_columns);
         }
         Ok(lut)
     }
@@ -303,10 +301,13 @@ mod tests {
         // Check the resulting worst-case data bit affected is small.
         let worst_bit = [31usize, 0]
             .iter()
-            .map(|&col| (col + 32 - (x * 1)) % 32)
+            .map(|&col| (col + 32 - x) % 32)
             .max()
             .unwrap();
-        assert!(worst_bit <= 1, "worst affected data bit = {worst_bit}, shift = {shift}");
+        assert!(
+            worst_bit <= 1,
+            "worst affected data bit = {worst_bit}, shift = {shift}"
+        );
     }
 
     #[test]

@@ -20,11 +20,10 @@ use crate::segment::SegmentGeometry;
 use crate::shifter::{rotate_left, rotate_right};
 use faultmit_ecc::{HammingSecded, SecdedCode};
 use faultmit_memsim::{corrupt_word, FaultMap};
-use serde::{Deserialize, Serialize};
 
 /// The word an application observes after a faulty read, plus whether the
 /// protection scheme still vouches for it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ObservedWord {
     /// The data value delivered to the application.
     pub value: u64,
@@ -86,8 +85,30 @@ pub trait MitigationScheme {
     fn extra_bits_per_row(&self) -> usize;
 }
 
+impl<T: MitigationScheme + ?Sized> MitigationScheme for &T {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn word_bits(&self) -> usize {
+        (**self).word_bits()
+    }
+
+    fn observe(&self, faults: &FaultMap, row: usize, written: u64) -> ObservedWord {
+        (**self).observe(faults, row, written)
+    }
+
+    fn worst_case_error_magnitude(&self, bit: usize) -> u64 {
+        (**self).worst_case_error_magnitude(bit)
+    }
+
+    fn extra_bits_per_row(&self) -> usize {
+        (**self).extra_bits_per_row()
+    }
+}
+
 /// The catalogue of protection schemes evaluated in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scheme {
     /// No protection at all: every fault reaches the application.
     Unprotected {
@@ -250,8 +271,7 @@ impl MitigationScheme for Scheme {
                 let msb_mask = if *word_bits == 64 && unprotected_bits == 0 {
                     u64::MAX
                 } else {
-                    (((1u64 << protected_bits) - 1) << unprotected_bits)
-                        & ((1u64 << word_bits) - 1)
+                    (((1u64 << protected_bits) - 1) << unprotected_bits) & ((1u64 << word_bits) - 1)
                 };
                 let msb_errors = ((corrupted ^ written) & msb_mask).count_ones();
                 if msb_errors <= 1 {
@@ -431,7 +451,9 @@ mod tests {
     fn bit_shuffle_bounds_error_for_any_single_fault() {
         for n_fm in 1..=5usize {
             let scheme = Scheme::shuffle32(n_fm).unwrap();
-            let bound = SegmentGeometry::new(32, n_fm).unwrap().max_error_magnitude();
+            let bound = SegmentGeometry::new(32, n_fm)
+                .unwrap()
+                .max_error_magnitude();
             for col in 0..32usize {
                 let faults = map(&[Fault::bit_flip(3, col)]);
                 for &written in &[0u64, 0xFFFF_FFFF, 0x8765_4321] {

@@ -54,10 +54,7 @@ impl ShuffledMemory {
     ///
     /// Returns [`CoreError::InvalidGeometry`] when the fault map's word width
     /// does not match the geometry.
-    pub fn from_fault_map(
-        geometry: SegmentGeometry,
-        faults: FaultMap,
-    ) -> Result<Self, CoreError> {
+    pub fn from_fault_map(geometry: SegmentGeometry, faults: FaultMap) -> Result<Self, CoreError> {
         let lut = FmLut::from_fault_map(geometry, &faults)?;
         let array = SramArray::with_faults(faults.config(), faults);
         Ok(Self {

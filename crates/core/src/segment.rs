@@ -7,7 +7,6 @@
 //! LUT and a more expensive shifter.
 
 use crate::error::CoreError;
-use serde::{Deserialize, Serialize};
 
 /// Segment geometry: word width `W`, FM-LUT entry width `n_FM`, segment size
 /// `S = W / 2^{n_FM}`.
@@ -25,7 +24,7 @@ use serde::{Deserialize, Serialize};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SegmentGeometry {
     word_bits: usize,
     n_fm: usize,
@@ -44,15 +43,15 @@ impl SegmentGeometry {
     pub fn new(word_bits: usize, n_fm: usize) -> Result<Self, CoreError> {
         if word_bits == 0 || word_bits > 64 || !word_bits.is_power_of_two() {
             return Err(CoreError::InvalidGeometry {
-                reason: format!(
-                    "word width must be a power of two in 1..=64, got {word_bits}"
-                ),
+                reason: format!("word width must be a power of two in 1..=64, got {word_bits}"),
             });
         }
         let log2_w = word_bits.trailing_zeros() as usize;
         if n_fm == 0 || n_fm > log2_w {
             return Err(CoreError::InvalidGeometry {
-                reason: format!("n_FM must be in 1..={log2_w} for {word_bits}-bit words, got {n_fm}"),
+                reason: format!(
+                    "n_FM must be in 1..={log2_w} for {word_bits}-bit words, got {n_fm}"
+                ),
             });
         }
         Ok(Self { word_bits, n_fm })
@@ -179,10 +178,22 @@ mod tests {
 
     #[test]
     fn max_error_magnitude_is_2_to_s_minus_1() {
-        assert_eq!(SegmentGeometry::new(32, 5).unwrap().max_error_magnitude(), 1);
-        assert_eq!(SegmentGeometry::new(32, 4).unwrap().max_error_magnitude(), 2);
-        assert_eq!(SegmentGeometry::new(32, 1).unwrap().max_error_magnitude(), 1 << 15);
-        assert_eq!(SegmentGeometry::new(64, 1).unwrap().max_error_magnitude(), 1 << 31);
+        assert_eq!(
+            SegmentGeometry::new(32, 5).unwrap().max_error_magnitude(),
+            1
+        );
+        assert_eq!(
+            SegmentGeometry::new(32, 4).unwrap().max_error_magnitude(),
+            2
+        );
+        assert_eq!(
+            SegmentGeometry::new(32, 1).unwrap().max_error_magnitude(),
+            1 << 15
+        );
+        assert_eq!(
+            SegmentGeometry::new(64, 1).unwrap().max_error_magnitude(),
+            1 << 31
+        );
     }
 
     #[test]
@@ -240,7 +251,10 @@ mod tests {
 
     #[test]
     fn word_mask_covers_word() {
-        assert_eq!(SegmentGeometry::new(32, 1).unwrap().word_mask(), 0xFFFF_FFFF);
+        assert_eq!(
+            SegmentGeometry::new(32, 1).unwrap().word_mask(),
+            0xFFFF_FFFF
+        );
         assert_eq!(SegmentGeometry::new(64, 1).unwrap().word_mask(), u64::MAX);
     }
 

@@ -118,7 +118,11 @@ mod tests {
     #[test]
     fn rotation_round_trips_for_all_widths() {
         for width in [1usize, 2, 4, 8, 16, 32, 64] {
-            let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                (1 << width) - 1
+            };
             let value = 0xA5A5_5A5A_DEAD_BEEFu64 & mask;
             for shift in 0..width {
                 let stored = rotate_right(value, shift, width);

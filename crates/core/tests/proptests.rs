@@ -1,119 +1,148 @@
-//! Property-based tests of the bit-shuffling invariants — the heart of the
-//! paper's claim: for any single fault and any stored value, the error
+//! Randomized property tests of the bit-shuffling invariants — the heart of
+//! the paper's claim: for any single fault and any stored value, the error
 //! magnitude is bounded by `2^(S-1)`.
+//!
+//! The offline build has no `proptest`, so each property is exercised over a
+//! seeded random sweep.
 
 use faultmit_core::{
     rotate_left, rotate_right, FmLut, MitigationScheme, Scheme, SegmentGeometry, ShuffledMemory,
 };
 use faultmit_memsim::{Fault, FaultKind, FaultMap, MemoryConfig};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
 
-fn arb_kind() -> impl Strategy<Value = FaultKind> {
-    prop_oneof![
-        Just(FaultKind::StuckAtZero),
-        Just(FaultKind::StuckAtOne),
-        Just(FaultKind::BitFlip),
-    ]
+const CASES: usize = 256;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
 }
 
-proptest! {
-    /// Rotation is a bijection: rotate right then left restores the word for
-    /// any width, shift and value.
-    #[test]
-    fn rotation_round_trips(
-        value in any::<u64>(),
-        shift in 0usize..256,
-        width_pow in 0u32..7,
-    ) {
-        let width = 1usize << width_pow; // 1, 2, 4, ..., 64
-        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
-        let value = value & mask;
-        let stored = rotate_right(value, shift, width);
-        prop_assert_eq!(rotate_left(stored, shift, width), value);
-        prop_assert_eq!(stored & !mask, 0);
-        prop_assert_eq!(stored.count_ones(), value.count_ones());
+fn random_kind(rng: &mut StdRng) -> FaultKind {
+    match rng.gen_range(0..3) {
+        0 => FaultKind::StuckAtZero,
+        1 => FaultKind::StuckAtOne,
+        _ => FaultKind::BitFlip,
     }
+}
 
-    /// The headline invariant: a single fault anywhere in the word, any fault
-    /// kind, any stored value, any segment size — the observed error is at
-    /// most `2^(S-1)`.
-    #[test]
-    fn single_fault_error_is_bounded_for_all_geometries(
-        value in any::<u32>(),
-        col in 0usize..32,
-        n_fm in 1usize..=5,
-        kind in arb_kind(),
-        row in 0usize..16,
-    ) {
+/// Rotation is a bijection: rotate right then left restores the word for
+/// any width, shift and value.
+#[test]
+fn rotation_round_trips() {
+    let mut rng = rng(201);
+    for _ in 0..CASES {
+        let width = 1usize << rng.gen_range(0u32..7); // 1, 2, 4, ..., 64
+        let shift = rng.gen_range(0usize..256);
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        let value = rng.gen::<u64>() & mask;
+        let stored = rotate_right(value, shift, width);
+        assert_eq!(rotate_left(stored, shift, width), value);
+        assert_eq!(stored & !mask, 0);
+        assert_eq!(stored.count_ones(), value.count_ones());
+    }
+}
+
+/// The headline invariant: a single fault anywhere in the word, any fault
+/// kind, any stored value, any segment size — the observed error is at
+/// most `2^(S-1)`.
+#[test]
+fn single_fault_error_is_bounded_for_all_geometries() {
+    let mut rng = rng(202);
+    for _ in 0..CASES {
+        let value = rng.gen::<u32>() as u64;
+        let col = rng.gen_range(0usize..32);
+        let n_fm = rng.gen_range(1usize..=5);
+        let kind = random_kind(&mut rng);
+        let row = rng.gen_range(0usize..16);
+
         let geometry = SegmentGeometry::new(32, n_fm).unwrap();
         let config = MemoryConfig::new(16, 32).unwrap();
         let faults = FaultMap::from_faults(config, [Fault::new(row, col, kind)]).unwrap();
         let mut memory = ShuffledMemory::from_fault_map(geometry, faults).unwrap();
-        memory.write(row, value as u64).unwrap();
+        memory.write(row, value).unwrap();
         let read = memory.read(row).unwrap();
-        prop_assert!(
-            read.abs_diff(value as u64) <= geometry.max_error_magnitude(),
+        assert!(
+            read.abs_diff(value) <= geometry.max_error_magnitude(),
             "error {} exceeds bound {}",
-            read.abs_diff(value as u64),
+            read.abs_diff(value),
             geometry.max_error_magnitude()
         );
     }
+}
 
-    /// The stateless analysis model (`Scheme::BitShuffle`) agrees with the
-    /// stateful ShuffledMemory datapath for single-fault rows.
-    #[test]
-    fn scheme_model_matches_hardware_datapath(
-        value in any::<u32>(),
-        col in 0usize..32,
-        n_fm in 1usize..=5,
-    ) {
+/// The stateless analysis model (`Scheme::BitShuffle`) agrees with the
+/// stateful ShuffledMemory datapath for single-fault rows.
+#[test]
+fn scheme_model_matches_hardware_datapath() {
+    let mut rng = rng(203);
+    for _ in 0..CASES {
+        let value = rng.gen::<u32>() as u64;
+        let col = rng.gen_range(0usize..32);
+        let n_fm = rng.gen_range(1usize..=5);
+
         let geometry = SegmentGeometry::new(32, n_fm).unwrap();
         let config = MemoryConfig::new(8, 32).unwrap();
         let faults = FaultMap::from_faults(config, [Fault::bit_flip(2, col)]).unwrap();
         let mut memory = ShuffledMemory::from_fault_map(geometry, faults.clone()).unwrap();
-        memory.write(2, value as u64).unwrap();
+        memory.write(2, value).unwrap();
         let hardware = memory.read(2).unwrap();
-        let model = Scheme::BitShuffle(geometry).observe(&faults, 2, value as u64);
-        prop_assert_eq!(hardware, model.value);
-        prop_assert!(model.reliable);
+        let model = Scheme::BitShuffle(geometry).observe(&faults, 2, value);
+        assert_eq!(hardware, model.value);
+        assert!(model.reliable);
     }
+}
 
-    /// Bit-shuffling never makes things worse than no protection for
-    /// single-fault rows: the per-bit worst-case error magnitude is bounded by
-    /// the unprotected one for every scheme in the catalogue.
-    #[test]
-    fn worst_case_error_never_exceeds_unprotected(bit in 0usize..32) {
-        let unprotected = Scheme::unprotected32();
+/// Bit-shuffling never makes things worse than no protection for
+/// single-fault rows: the per-bit worst-case error magnitude is bounded by
+/// the unprotected one for every scheme in the catalogue.
+#[test]
+fn worst_case_error_never_exceeds_unprotected() {
+    let unprotected = Scheme::unprotected32();
+    for bit in 0usize..32 {
         for scheme in Scheme::fig5_catalogue() {
-            prop_assert!(
+            assert!(
                 scheme.worst_case_error_magnitude(bit)
                     <= unprotected.worst_case_error_magnitude(bit)
             );
         }
     }
+}
 
-    /// The FM-LUT shift choice places the faulty cell inside the least
-    /// significant shifted segment for single-fault rows: the affected data
-    /// bit is always below the segment size.
-    #[test]
-    fn chosen_shift_maps_fault_to_lsb_segment(col in 0usize..32, n_fm in 1usize..=5) {
-        let geometry = SegmentGeometry::new(32, n_fm).unwrap();
-        let x = FmLut::choose_shift(geometry, &[col]);
-        let shift = geometry.shift_amount(x).unwrap();
-        // Data bit stored in the faulty physical column after the write
-        // rotation: (col + shift) mod W must be a low-significance bit.
-        let affected = (col + shift) % 32;
-        prop_assert!(affected < geometry.segment_bits());
+/// The FM-LUT shift choice places the faulty cell inside the least
+/// significant shifted segment for single-fault rows: the affected data
+/// bit is always below the segment size.
+#[test]
+fn chosen_shift_maps_fault_to_lsb_segment() {
+    for col in 0usize..32 {
+        for n_fm in 1usize..=5 {
+            let geometry = SegmentGeometry::new(32, n_fm).unwrap();
+            let x = FmLut::choose_shift(geometry, &[col]);
+            let shift = geometry.shift_amount(x).unwrap();
+            // Data bit stored in the faulty physical column after the write
+            // rotation: (col + shift) mod W must be a low-significance bit.
+            let affected = (col + shift) % 32;
+            assert!(affected < geometry.segment_bits());
+        }
     }
+}
 
-    /// Multi-fault rows: the optimised shift choice is never worse (in summed
-    /// squared error magnitude) than naively aligning to the most significant
-    /// faulty bit.
-    #[test]
-    fn multi_fault_shift_choice_is_optimal_enough(
-        cols in prop::collection::btree_set(0usize..32, 1..5),
-        n_fm in 1usize..=5,
-    ) {
+/// Multi-fault rows: the optimised shift choice is never worse (in summed
+/// squared error magnitude) than naively aligning to the most significant
+/// faulty bit.
+#[test]
+fn multi_fault_shift_choice_is_optimal_enough() {
+    let mut rng = rng(204);
+    for _ in 0..CASES {
+        let n_fm = rng.gen_range(1usize..=5);
+        let n_cols = rng.gen_range(1usize..5);
+        let cols: BTreeSet<usize> = (0..n_cols).map(|_| rng.gen_range(0usize..32)).collect();
+
         let geometry = SegmentGeometry::new(32, n_fm).unwrap();
         let columns: Vec<usize> = cols.into_iter().collect();
         let cost = |x: usize| -> u128 {
@@ -128,6 +157,6 @@ proptest! {
         };
         let chosen = FmLut::choose_shift(geometry, &columns);
         let naive = geometry.segment_of_bit(*columns.iter().max().unwrap());
-        prop_assert!(cost(chosen) <= cost(naive));
+        assert!(cost(chosen) <= cost(naive));
     }
 }

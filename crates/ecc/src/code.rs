@@ -1,10 +1,9 @@
 //! The SECDED codec interface shared by plain Hamming ECC and P-ECC.
 
 use crate::error::EccError;
-use serde::{Deserialize, Serialize};
 
 /// Outcome of decoding one codeword.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DecodeOutcome {
     /// The codeword was consistent; no error was observed.
     Clean,
@@ -23,7 +22,7 @@ impl DecodeOutcome {
 }
 
 /// A decoded word together with the decoder's verdict.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Decoded {
     /// The recovered data word.
     pub data: u64,

@@ -15,7 +15,6 @@
 
 use crate::code::{DecodeOutcome, Decoded, SecdedCode};
 use crate::error::EccError;
-use serde::{Deserialize, Serialize};
 
 /// Maximum data width supported (the codeword must fit in a `u64`).
 pub const MAX_DATA_BITS: usize = 57;
@@ -39,7 +38,7 @@ pub const MAX_DATA_BITS: usize = 57;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HammingSecded {
     data_bits: usize,
     /// Number of Hamming parity bits (excluding the overall parity).

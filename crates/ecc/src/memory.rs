@@ -57,11 +57,7 @@ impl EccMemory {
     ///
     /// Returns an error when the fault map geometry does not match the
     /// storage geometry implied by the code.
-    pub fn with_code(
-        code: HammingSecded,
-        rows: usize,
-        faults: FaultMap,
-    ) -> Result<Self, EccError> {
+    pub fn with_code(code: HammingSecded, rows: usize, faults: FaultMap) -> Result<Self, EccError> {
         let storage = MemoryConfig::new(rows, code.codeword_bits())?;
         let array = SramArray::try_with_faults(storage, faults)?;
         Ok(Self { code, array })
@@ -231,9 +227,11 @@ mod tests {
 
     #[test]
     fn ecc_memory_detects_double_fault() {
-        let mut mem =
-            EccMemory::h39_32(8, faults_39(&[Fault::bit_flip(1, 4), Fault::bit_flip(1, 20)]))
-                .unwrap();
+        let mut mem = EccMemory::h39_32(
+            8,
+            faults_39(&[Fault::bit_flip(1, 4), Fault::bit_flip(1, 20)]),
+        )
+        .unwrap();
         mem.write(1, 0x0BAD_CAFE).unwrap();
         let decoded = mem.read(1).unwrap();
         assert_eq!(decoded.outcome, DecodeOutcome::DetectedDouble);

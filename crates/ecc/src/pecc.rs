@@ -9,7 +9,6 @@
 use crate::code::{Decoded, SecdedCode};
 use crate::error::EccError;
 use crate::hamming::HammingSecded;
-use serde::{Deserialize, Serialize};
 
 /// Priority ECC: a SECDED code over the MSBs, raw storage for the LSBs.
 ///
@@ -42,7 +41,7 @@ use serde::{Deserialize, Serialize};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PriorityEcc {
     word_bits: usize,
     protected_bits: usize,
@@ -66,9 +65,7 @@ impl PriorityEcc {
         }
         if protected_bits == 0 || protected_bits > word_bits {
             return Err(EccError::InvalidPartition {
-                reason: format!(
-                    "protected bits must be in 1..={word_bits}, got {protected_bits}"
-                ),
+                reason: format!("protected bits must be in 1..={word_bits}, got {protected_bits}"),
             });
         }
         let code = HammingSecded::new(protected_bits)?;

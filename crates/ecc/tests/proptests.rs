@@ -1,82 +1,125 @@
-//! Property-based tests of the SECDED and P-ECC codecs.
+//! Randomized property tests of the SECDED and P-ECC codecs.
+//!
+//! The offline build has no `proptest`, so each property is exercised over a
+//! seeded random sweep (plus exhaustive bit positions where cheap).
 
 use faultmit_ecc::{DecodeOutcome, HammingSecded, PriorityEcc, SecdedCode};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    /// Every 32-bit word round-trips through H(39,32).
-    #[test]
-    fn h39_round_trips(data in any::<u32>()) {
-        let code = HammingSecded::h39_32();
-        let decoded = code.decode(code.encode(data as u64).unwrap()).unwrap();
-        prop_assert_eq!(decoded.data, data as u64);
-        prop_assert_eq!(decoded.outcome, DecodeOutcome::Clean);
+const CASES: usize = 256;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Every 32-bit word round-trips through H(39,32).
+#[test]
+fn h39_round_trips() {
+    let mut rng = rng(301);
+    let code = HammingSecded::h39_32();
+    for _ in 0..CASES {
+        let data = rng.gen::<u32>() as u64;
+        let decoded = code.decode(code.encode(data).unwrap()).unwrap();
+        assert_eq!(decoded.data, data);
+        assert_eq!(decoded.outcome, DecodeOutcome::Clean);
     }
+}
 
-    /// Any single-bit error in any codeword is corrected by H(39,32).
-    #[test]
-    fn h39_corrects_any_single_error(data in any::<u32>(), bit in 0usize..39) {
-        let code = HammingSecded::h39_32();
-        let codeword = code.encode(data as u64).unwrap();
-        let decoded = code.decode(codeword ^ (1 << bit)).unwrap();
-        prop_assert_eq!(decoded.data, data as u64);
-        prop_assert_eq!(decoded.outcome, DecodeOutcome::CorrectedSingle);
+/// Any single-bit error in any codeword position is corrected by H(39,32).
+#[test]
+fn h39_corrects_any_single_error() {
+    let mut rng = rng(302);
+    let code = HammingSecded::h39_32();
+    for _ in 0..32 {
+        let data = rng.gen::<u32>() as u64;
+        let codeword = code.encode(data).unwrap();
+        for bit in 0..39 {
+            let decoded = code.decode(codeword ^ (1 << bit)).unwrap();
+            assert_eq!(decoded.data, data, "fault at bit {bit}");
+            assert_eq!(decoded.outcome, DecodeOutcome::CorrectedSingle);
+        }
     }
+}
 
-    /// Any double-bit error in any codeword is detected (never silently
-    /// mis-corrected) by H(39,32).
-    #[test]
-    fn h39_detects_any_double_error(
-        data in any::<u32>(),
-        first in 0usize..39,
-        second in 0usize..39,
-    ) {
-        prop_assume!(first != second);
-        let code = HammingSecded::h39_32();
-        let codeword = code.encode(data as u64).unwrap();
+/// Any double-bit error in any codeword is detected (never silently
+/// mis-corrected) by H(39,32).
+#[test]
+fn h39_detects_any_double_error() {
+    let mut rng = rng(303);
+    let code = HammingSecded::h39_32();
+    for _ in 0..CASES {
+        let data = rng.gen::<u32>() as u64;
+        let first = rng.gen_range(0usize..39);
+        let second = rng.gen_range(0usize..39);
+        if first == second {
+            continue;
+        }
+        let codeword = code.encode(data).unwrap();
         let corrupted = codeword ^ (1 << first) ^ (1 << second);
         let decoded = code.decode(corrupted).unwrap();
-        prop_assert_eq!(decoded.outcome, DecodeOutcome::DetectedDouble);
+        assert_eq!(
+            decoded.outcome,
+            DecodeOutcome::DetectedDouble,
+            "faults at bits {first} and {second}"
+        );
     }
+}
 
-    /// The same two guarantees hold for the H(22,16) code used by P-ECC.
-    #[test]
-    fn h22_single_corrected_double_detected(
-        data in any::<u16>(),
-        first in 0usize..22,
-        second in 0usize..22,
-    ) {
-        let code = HammingSecded::h22_16();
-        let codeword = code.encode(data as u64).unwrap();
+/// The same two guarantees hold for the H(22,16) code used by P-ECC.
+#[test]
+fn h22_single_corrected_double_detected() {
+    let mut rng = rng(304);
+    let code = HammingSecded::h22_16();
+    for _ in 0..CASES {
+        let data = rng.gen::<u32>() as u64 & 0xFFFF;
+        let first = rng.gen_range(0usize..22);
+        let second = rng.gen_range(0usize..22);
+        let codeword = code.encode(data).unwrap();
         let single = code.decode(codeword ^ (1 << first)).unwrap();
-        prop_assert_eq!(single.data, data as u64);
+        assert_eq!(single.data, data);
         if first != second {
-            let double = code.decode(codeword ^ (1 << first) ^ (1 << second)).unwrap();
-            prop_assert_eq!(double.outcome, DecodeOutcome::DetectedDouble);
+            let double = code
+                .decode(codeword ^ (1 << first) ^ (1 << second))
+                .unwrap();
+            assert_eq!(double.outcome, DecodeOutcome::DetectedDouble);
         }
     }
+}
 
-    /// P-ECC: any single fault in the stored word either leaves the data
-    /// intact (protected MSB region) or produces an error bounded by the
-    /// unprotected LSB width.
-    #[test]
-    fn pecc_error_is_bounded_by_partition(data in any::<u32>(), bit in 0usize..38) {
-        let pecc = PriorityEcc::paper_32bit().unwrap();
-        let stored = pecc.encode(data as u64).unwrap();
-        let decoded = pecc.decode(stored ^ (1 << bit)).unwrap();
-        let error = (decoded.data as i64 - data as i64).unsigned_abs();
-        if bit >= pecc.codeword_offset() {
-            prop_assert_eq!(decoded.data, data as u64, "protected fault at bit {}", bit);
-        } else {
-            prop_assert!(error <= 1 << 15, "LSB fault error {} too large", error);
+/// P-ECC: any single fault in the stored word either leaves the data
+/// intact (protected MSB region) or produces an error bounded by the
+/// unprotected LSB width.
+#[test]
+fn pecc_error_is_bounded_by_partition() {
+    let mut rng = rng(305);
+    let pecc = PriorityEcc::paper_32bit().unwrap();
+    for _ in 0..32 {
+        let data = rng.gen::<u32>() as u64;
+        let stored = pecc.encode(data).unwrap();
+        for bit in 0..38 {
+            let decoded = pecc.decode(stored ^ (1 << bit)).unwrap();
+            let error = (decoded.data as i64 - data as i64).unsigned_abs();
+            if bit >= pecc.codeword_offset() {
+                assert_eq!(decoded.data, data, "protected fault at bit {bit}");
+            } else {
+                assert!(error <= 1 << 15, "LSB fault error {error} too large");
+            }
         }
     }
+}
 
-    /// Codewords of distinct data words are distinct (the code is injective).
-    #[test]
-    fn encoding_is_injective(a in any::<u16>(), b in any::<u16>()) {
-        prop_assume!(a != b);
-        let code = HammingSecded::h22_16();
-        prop_assert_ne!(code.encode(a as u64).unwrap(), code.encode(b as u64).unwrap());
+/// Codewords of distinct data words are distinct (the code is injective).
+#[test]
+fn encoding_is_injective() {
+    let mut rng = rng(306);
+    let code = HammingSecded::h22_16();
+    for _ in 0..CASES {
+        let a = rng.gen::<u32>() as u64 & 0xFFFF;
+        let b = rng.gen::<u32>() as u64 & 0xFFFF;
+        if a == b {
+            continue;
+        }
+        assert_ne!(code.encode(a).unwrap(), code.encode(b).unwrap());
     }
 }

@@ -9,10 +9,8 @@
 //! | H(n,p) P-ECC decoder | the same structure over the `p` protected MSBs | `n − p` parity columns |
 //! | bit-shuffling (`n_FM`) | `n_FM` barrel-shifter mux stages over `W` bits | `n_FM` FM-LUT columns |
 
-use serde::{Deserialize, Serialize};
-
 /// Gate-count and depth summary of a combinational block.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LogicBudget {
     /// Number of 2-input XOR gates.
     pub xor2: usize,

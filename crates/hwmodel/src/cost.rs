@@ -1,10 +1,9 @@
 //! Read-path cost triples (energy, delay, area).
 
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign};
 
 /// Cost of one read access through a protection block, plus the block's area.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ReadPathCost {
     /// Energy per read access (fJ) attributable to the protection overhead.
     pub energy_fj: f64,
@@ -75,7 +74,7 @@ impl AddAssign for ReadPathCost {
 }
 
 /// Cost relative to a baseline, component-wise (1.0 = equal to baseline).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RelativeCost {
     /// Relative read energy.
     pub energy: f64,

@@ -10,10 +10,9 @@
 
 use crate::cost::ReadPathCost;
 use crate::technology::Technology;
-use serde::{Deserialize, Serialize};
 
 /// How the per-row shift indices `x_FM(r)` are stored.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LutImplementation {
     /// `n_FM` extra bit columns inside the SRAM array (the paper's default).
     /// Cheapest storage, but looking up `x_FM(r)` before a write costs a full
@@ -110,7 +109,9 @@ mod tests {
     fn labels_are_distinct() {
         assert_eq!(LutImplementation::ArrayColumns.label(), "array columns");
         assert_eq!(LutImplementation::RegisterFile.label(), "register file");
-        assert!(LutImplementation::Cam { entries: 32 }.label().contains("32"));
+        assert!(LutImplementation::Cam { entries: 32 }
+            .label()
+            .contains("32"));
     }
 
     #[test]

@@ -4,10 +4,9 @@ use crate::components::{secded_decoder, secded_encoder, shuffle_read_path, Logic
 use crate::cost::{ReadPathCost, RelativeCost};
 use crate::lut::LutImplementation;
 use crate::technology::Technology;
-use serde::{Deserialize, Serialize};
 
 /// The protection blocks compared in Fig. 6.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProtectionBlock {
     /// No protection: zero overhead (reference point, not plotted in Fig. 6).
     Unprotected,
@@ -47,7 +46,7 @@ impl ProtectionBlock {
 
 /// One row of the Fig. 6 comparison: a block's absolute cost and its cost
 /// relative to the SECDED baseline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig6Row {
     /// Which block this row describes.
     pub block: ProtectionBlock,
@@ -60,7 +59,7 @@ pub struct Fig6Row {
 }
 
 /// Analytical read-path overhead model for a word-organised memory.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OverheadModel {
     technology: Technology,
     rows: usize,
@@ -196,12 +195,8 @@ impl OverheadModel {
                 self.logic_cost(&secded_encoder(protected, secded_parity_bits(protected)))
             }
             ProtectionBlock::BitShuffle { n_fm } => {
-                let lookup = lut_implementation.lookup_cost(
-                    &self.technology,
-                    self.rows,
-                    n_fm,
-                    address_bits,
-                );
+                let lookup =
+                    lut_implementation.lookup_cost(&self.technology, self.rows, n_fm, address_bits);
                 // The rotation itself mirrors the read path; the LUT storage
                 // area is already charged on the read path, so only count the
                 // lookup energy/delay here.
@@ -295,8 +290,14 @@ mod tests {
         let model = OverheadModel::paper_16kb();
         assert_eq!(model.extra_columns(ProtectionBlock::Secded), 7);
         assert_eq!(model.extra_columns(ProtectionBlock::PriorityEcc), 6);
-        assert_eq!(model.extra_columns(ProtectionBlock::BitShuffle { n_fm: 1 }), 1);
-        assert_eq!(model.extra_columns(ProtectionBlock::BitShuffle { n_fm: 5 }), 5);
+        assert_eq!(
+            model.extra_columns(ProtectionBlock::BitShuffle { n_fm: 1 }),
+            1
+        );
+        assert_eq!(
+            model.extra_columns(ProtectionBlock::BitShuffle { n_fm: 5 }),
+            5
+        );
     }
 
     #[test]
@@ -308,7 +309,10 @@ mod tests {
         let secded = model.read_path_cost(ProtectionBlock::Secded);
         for n_fm in 1..=5 {
             let cost = model.read_path_cost(ProtectionBlock::BitShuffle { n_fm });
-            assert!(cost.dominates(&secded), "nFM={n_fm} does not dominate SECDED");
+            assert!(
+                cost.dominates(&secded),
+                "nFM={n_fm} does not dominate SECDED"
+            );
         }
     }
 
@@ -393,13 +397,18 @@ mod tests {
     fn unprotected_write_path_is_free_and_ecc_writes_cost_the_encoder() {
         let model = OverheadModel::paper_16kb();
         assert_eq!(
-            model.write_path_cost(ProtectionBlock::Unprotected, LutImplementation::ArrayColumns),
+            model.write_path_cost(
+                ProtectionBlock::Unprotected,
+                LutImplementation::ArrayColumns
+            ),
             ReadPathCost::zero()
         );
         let secded =
             model.write_path_cost(ProtectionBlock::Secded, LutImplementation::ArrayColumns);
-        let pecc =
-            model.write_path_cost(ProtectionBlock::PriorityEcc, LutImplementation::ArrayColumns);
+        let pecc = model.write_path_cost(
+            ProtectionBlock::PriorityEcc,
+            LutImplementation::ArrayColumns,
+        );
         assert!(secded.energy_fj > pecc.energy_fj);
         assert!(secded.delay_ps >= pecc.delay_ps);
     }

@@ -1,14 +1,12 @@
 //! Per-primitive delay / energy / area constants for a generic 28 nm node.
 
-use serde::{Deserialize, Serialize};
-
 /// Technology constants used by the cost model.
 ///
 /// The defaults are representative values for a 28 nm FD-SOI standard-cell
 /// library and high-density SRAM macro; they are not calibrated to any
 /// proprietary PDK. Because Fig. 6 reports *relative* overheads, only the
 /// ratios between these constants matter for reproducing the paper's shape.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Technology {
     /// Propagation delay of a 2-input XOR gate (ps).
     pub xor2_delay_ps: f64,
@@ -123,7 +121,10 @@ mod tests {
         assert!((scaled.xor2_delay_ps - base.xor2_delay_ps * 2.0).abs() < 1e-12);
         assert!((scaled.mux2_energy_fj - base.mux2_energy_fj * 3.0).abs() < 1e-12);
         assert!((scaled.sram_cell_area_um2 - base.sram_cell_area_um2 * 4.0).abs() < 1e-12);
-        assert!((scaled.sram_column_read_energy_fj - base.sram_column_read_energy_fj * 3.0).abs() < 1e-12);
+        assert!(
+            (scaled.sram_column_read_energy_fj - base.sram_column_read_energy_fj * 3.0).abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -3,7 +3,6 @@
 use crate::config::MemoryConfig;
 use crate::error::MemError;
 use crate::fault::{FaultKind, FaultMap};
-use serde::{Deserialize, Serialize};
 
 /// Functional model of a word-organised SRAM array.
 ///
@@ -32,7 +31,7 @@ use serde::{Deserialize, Serialize};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SramArray {
     config: MemoryConfig,
     words: Vec<u64>,

@@ -20,10 +20,9 @@
 use crate::array::SramArray;
 use crate::config::MemoryConfig;
 use crate::error::MemError;
-use serde::{Deserialize, Serialize};
 
 /// Faulty bit positions detected in one row.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RowFaultReport {
     /// Row (word address).
     pub row: usize,
@@ -46,7 +45,7 @@ impl RowFaultReport {
 }
 
 /// Result of a BIST run over a whole array.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BistReport {
     config: MemoryConfig,
     rows: Vec<RowFaultReport>,
@@ -109,7 +108,7 @@ impl BistReport {
 }
 
 /// March C- built-in self test executed at word granularity.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MarchBist {
     /// Run the final verification element (⇕(r0)) — enabled by default.
     pub run_final_read: bool,
@@ -146,21 +145,21 @@ impl MarchBist {
             array.write(row, 0)?;
         }
         // ⇑(r0, w1): ascending, expect 0, write 1.
-        for row in 0..rows {
+        for (row, bits) in faulty_bits.iter_mut().enumerate() {
             let observed = array.read(row)?;
-            faulty_bits[row] |= observed ^ 0;
+            *bits |= observed;
             array.write(row, mask)?;
         }
         // ⇑(r1, w0): ascending, expect 1, write 0.
-        for row in 0..rows {
+        for (row, bits) in faulty_bits.iter_mut().enumerate() {
             let observed = array.read(row)?;
-            faulty_bits[row] |= observed ^ mask;
+            *bits |= observed ^ mask;
             array.write(row, 0)?;
         }
         // ⇓(r0, w1): descending, expect 0, write 1.
         for row in (0..rows).rev() {
             let observed = array.read(row)?;
-            faulty_bits[row] |= observed ^ 0;
+            faulty_bits[row] |= observed;
             array.write(row, mask)?;
         }
         // ⇓(r1, w0): descending, expect 1, write 0.
@@ -171,9 +170,9 @@ impl MarchBist {
         }
         // ⇕(r0): final verification.
         if self.run_final_read {
-            for row in 0..rows {
+            for (row, bits) in faulty_bits.iter_mut().enumerate() {
                 let observed = array.read(row)?;
-                faulty_bits[row] |= observed ^ 0;
+                *bits |= observed;
             }
         }
 

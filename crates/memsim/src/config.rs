@@ -1,7 +1,6 @@
 //! Memory geometry configuration.
 
 use crate::error::MemError;
-use serde::{Deserialize, Serialize};
 
 /// Maximum supported word width in bits.
 ///
@@ -26,7 +25,7 @@ pub const MAX_WORD_BITS: usize = 64;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemoryConfig {
     rows: usize,
     word_bits: usize,
@@ -60,13 +59,13 @@ impl MemoryConfig {
     /// Returns [`MemError::InvalidGeometry`] if the capacity is not an exact
     /// multiple of the word size or any derived parameter is invalid.
     pub fn from_capacity(capacity_bytes: usize, word_bits: usize) -> Result<Self, MemError> {
-        if word_bits == 0 || word_bits % 8 != 0 {
+        if word_bits == 0 || !word_bits.is_multiple_of(8) {
             return Err(MemError::InvalidGeometry {
                 reason: format!("word width {word_bits} must be a positive multiple of 8"),
             });
         }
         let word_bytes = word_bits / 8;
-        if capacity_bytes == 0 || capacity_bytes % word_bytes != 0 {
+        if capacity_bytes == 0 || !capacity_bytes.is_multiple_of(word_bytes) {
             return Err(MemError::InvalidGeometry {
                 reason: format!(
                     "capacity {capacity_bytes} B is not a multiple of the {word_bytes} B word size"

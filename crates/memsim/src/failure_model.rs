@@ -21,7 +21,6 @@
 
 use crate::error::MemError;
 use crate::stats::{normal_cdf, normal_quantile};
-use serde::{Deserialize, Serialize};
 
 /// Default nominal supply voltage (V) of the modelled 28 nm node.
 pub const NOMINAL_VDD: f64 = 1.0;
@@ -39,7 +38,7 @@ pub const NOMINAL_VDD: f64 = 1.0;
 /// assert!(nominal < 1e-8);
 /// assert!(scaled > nominal * 1e3, "voltage scaling raises P_cell sharply");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CellFailureModel {
     /// Margin z-score slope per volt: how fast the margin (in σ units) grows
     /// with the supply voltage.
@@ -267,7 +266,10 @@ mod tests {
         let cells = MemoryConfig::paper_16kb().total_cells();
         let yield_at_nominal = model.zero_failure_yield(1.0, cells);
         let yield_at_073 = model.zero_failure_yield(0.73, cells);
-        assert!(yield_at_nominal > 0.99, "nominal yield = {yield_at_nominal}");
+        assert!(
+            yield_at_nominal > 0.99,
+            "nominal yield = {yield_at_nominal}"
+        );
         assert!(yield_at_073 < 0.01, "yield at 0.73V = {yield_at_073}");
     }
 

@@ -8,11 +8,10 @@
 
 use crate::config::MemoryConfig;
 use crate::error::MemError;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Behaviour of a faulty bit-cell.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultKind {
     /// The cell always reads `0` regardless of the stored value.
     StuckAtZero,
@@ -50,7 +49,7 @@ impl FaultKind {
 }
 
 /// A single faulty bit-cell: its location and behaviour.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Fault {
     /// Row (word address) of the faulty cell.
     pub row: usize,
@@ -110,7 +109,7 @@ impl Fault {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultMap {
     config: MemoryConfig,
     /// Faults indexed by row, then column (BTreeMap keeps deterministic order).
@@ -221,7 +220,8 @@ impl FaultMap {
     /// Iterates over all faults in deterministic (row, column) order.
     pub fn iter(&self) -> impl Iterator<Item = Fault> + '_ {
         self.by_row.iter().flat_map(|(&row, cols)| {
-            cols.iter().map(move |(&col, &kind)| Fault { row, col, kind })
+            cols.iter()
+                .map(move |(&col, &kind)| Fault { row, col, kind })
         })
     }
 

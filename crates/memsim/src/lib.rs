@@ -12,6 +12,11 @@
 //!   SPICE/importance-sampling flow (Fig. 2).
 //! * [`DieSampler`] and [`montecarlo`] — Monte-Carlo generation of dies and
 //!   fault maps following the binomial failure-count distribution of Eq. (4).
+//! * [`StreamSeeder`] / [`DieBatch`] — deterministic stream-splitting of a
+//!   campaign seed into per-sample RNGs and batched die generation, the
+//!   sampling substrate of the parallel fault-injection pipeline
+//!   (`faultmit-sim`): fault maps depend only on `(campaign seed, sample
+//!   index)`, never on which worker thread draws them.
 //! * [`MarchBist`] — a March C- built-in self test that locates faulty cells,
 //!   producing the per-row report that seeds the bit-shuffling FM-LUT.
 //!
@@ -44,6 +49,7 @@ pub mod failure_model;
 pub mod fault;
 pub mod montecarlo;
 pub mod redundancy;
+pub mod seeder;
 pub mod stats;
 pub mod voltage;
 
@@ -55,4 +61,5 @@ pub use failure_model::{CellFailureModel, FailureModelBuilder};
 pub use fault::{Fault, FaultKind, FaultMap};
 pub use montecarlo::{DieSampler, FailureCountDistribution, FaultMapSampler};
 pub use redundancy::{repair_yield, spares_for_full_repair, RowRepair};
+pub use seeder::{DieBatch, PlannedSample, StreamSeeder};
 pub use voltage::{VddSweep, VoltageScaledDie};

@@ -20,11 +20,10 @@ use crate::fault::{Fault, FaultKind, FaultMap};
 use crate::stats::{binomial_pmf, sample_binomial};
 use rand::seq::index::sample as sample_indices;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Binomial distribution of the failure count `N` of a memory sample
 /// (Eq. (4): `Pr(N = n) = C(M, n) · P_cell^n · (1 − P_cell)^(M−n)`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FailureCountDistribution {
     total_cells: u64,
     p_cell: f64,
@@ -79,7 +78,10 @@ impl FailureCountDistribution {
     /// `Pr(N ≤ n)`.
     #[must_use]
     pub fn cdf(&self, n: u64) -> f64 {
-        (0..=n.min(self.total_cells)).map(|k| self.pmf(k)).sum::<f64>().min(1.0)
+        (0..=n.min(self.total_cells))
+            .map(|k| self.pmf(k))
+            .sum::<f64>()
+            .min(1.0)
     }
 
     /// Expected failure count `M · P_cell`.
@@ -121,14 +123,14 @@ impl FailureCountDistribution {
 }
 
 /// Uniform sampler of fault maps with an exact number of faulty cells.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultMapSampler {
     config: MemoryConfig,
     kind_policy: FaultKindPolicy,
 }
 
 /// How the behaviour of each sampled faulty cell is chosen.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKindPolicy {
     /// Every faulty cell flips its content (the paper's random bit-flip
     /// injection — an error is always observed regardless of the data).
@@ -229,7 +231,7 @@ impl FaultMapSampler {
 
 /// Samples complete dies: a fault map whose failure count follows the
 /// binomial distribution implied by a failure model or explicit `P_cell`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DieSampler {
     sampler: FaultMapSampler,
     p_cell: f64,
@@ -374,8 +376,14 @@ mod tests {
         let sampler = FaultMapSampler::with_policy(config(), FaultKindPolicy::RandomStuckAt);
         let mut rng = StdRng::seed_from_u64(4);
         let map = sampler.sample_with_count(&mut rng, 200).unwrap();
-        let zeros = map.iter().filter(|f| f.kind == FaultKind::StuckAtZero).count();
-        let ones = map.iter().filter(|f| f.kind == FaultKind::StuckAtOne).count();
+        let zeros = map
+            .iter()
+            .filter(|f| f.kind == FaultKind::StuckAtZero)
+            .count();
+        let ones = map
+            .iter()
+            .filter(|f| f.kind == FaultKind::StuckAtOne)
+            .count();
         assert_eq!(zeros + ones, 200);
         assert!(zeros > 50 && ones > 50, "zeros={zeros}, ones={ones}");
     }
@@ -404,8 +412,7 @@ mod tests {
         let sampler = DieSampler::new(config(), 0.01).unwrap();
         let mut rng = StdRng::seed_from_u64(7);
         let dies = sampler.sample_dies(&mut rng, 400).unwrap();
-        let mean =
-            dies.iter().map(|d| d.fault_count() as f64).sum::<f64>() / dies.len() as f64;
+        let mean = dies.iter().map(|d| d.fault_count() as f64).sum::<f64>() / dies.len() as f64;
         let expected = sampler.failure_distribution().mean();
         assert!(
             (mean - expected).abs() < expected * 0.2 + 1.0,

@@ -13,11 +13,10 @@
 use crate::config::MemoryConfig;
 use crate::error::MemError;
 use crate::fault::{Fault, FaultMap};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A row-redundancy repair plan for one die.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RowRepair {
     config: MemoryConfig,
     spare_rows: usize,

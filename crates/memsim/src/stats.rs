@@ -22,10 +22,10 @@ pub fn ln_gamma(x: f64) -> f64 {
     assert!(x > 0.0, "ln_gamma requires a positive argument, got {x}");
     // Lanczos coefficients for g = 7, n = 9.
     const COEFFS: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
@@ -268,7 +268,12 @@ mod tests {
     #[test]
     fn ln_gamma_matches_factorials() {
         // ln(Γ(n)) = ln((n-1)!)
-        let cases = [(1.0, 0.0), (2.0, 0.0), (5.0, 24.0f64.ln()), (11.0, 3_628_800.0f64.ln())];
+        let cases = [
+            (1.0, 0.0),
+            (2.0, 0.0),
+            (5.0, 24.0f64.ln()),
+            (11.0, 3_628_800.0f64.ln()),
+        ];
         for (x, expected) in cases {
             assert!((ln_gamma(x) - expected).abs() < 1e-9, "ln_gamma({x})");
         }
@@ -336,10 +341,16 @@ mod tests {
     #[test]
     fn box_muller_samples_have_plausible_moments() {
         let mut rng = StdRng::seed_from_u64(7);
-        let samples: Vec<f64> = (0..20_000).map(|_| sample_standard_normal(&mut rng)).collect();
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| sample_standard_normal(&mut rng))
+            .collect();
         let summary = summarize(&samples).unwrap();
         assert!(summary.mean.abs() < 0.03, "mean = {}", summary.mean);
-        assert!((summary.variance - 1.0).abs() < 0.05, "var = {}", summary.variance);
+        assert!(
+            (summary.variance - 1.0).abs() < 0.05,
+            "var = {}",
+            summary.variance
+        );
     }
 
     #[test]
@@ -347,7 +358,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let n = 100;
         let p = 0.2;
-        let draws: Vec<f64> = (0..5000).map(|_| sample_binomial(&mut rng, n, p) as f64).collect();
+        let draws: Vec<f64> = (0..5000)
+            .map(|_| sample_binomial(&mut rng, n, p) as f64)
+            .collect();
         let summary = summarize(&draws).unwrap();
         assert!((summary.mean - 20.0).abs() < 0.6, "mean = {}", summary.mean);
     }
@@ -357,9 +370,15 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(13);
         let n = 131_072;
         let p = 1e-3;
-        let draws: Vec<f64> = (0..2000).map(|_| sample_binomial(&mut rng, n, p) as f64).collect();
+        let draws: Vec<f64> = (0..2000)
+            .map(|_| sample_binomial(&mut rng, n, p) as f64)
+            .collect();
         let summary = summarize(&draws).unwrap();
-        assert!((summary.mean - 131.07).abs() < 2.5, "mean = {}", summary.mean);
+        assert!(
+            (summary.mean - 131.07).abs() < 2.5,
+            "mean = {}",
+            summary.mean
+        );
     }
 
     #[test]

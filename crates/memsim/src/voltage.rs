@@ -13,7 +13,6 @@ use crate::failure_model::CellFailureModel;
 use crate::fault::{Fault, FaultKind, FaultMap};
 use crate::stats::sample_standard_normal;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A manufactured die with per-cell variation, from which voltage-dependent
 /// fault maps can be derived.
@@ -43,7 +42,7 @@ use serde::{Deserialize, Serialize};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VoltageScaledDie {
     config: MemoryConfig,
     model: CellFailureModel,
@@ -142,7 +141,7 @@ impl VoltageScaledDie {
 
 /// An inclusive sweep over supply voltages, used by the Fig. 2 reproduction
 /// and the voltage-scaling example.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VddSweep {
     start: f64,
     stop: f64,

@@ -1,95 +1,127 @@
-//! Property-based tests of the memory simulator invariants.
+//! Randomized property tests of the memory simulator invariants.
+//!
+//! The offline build has no `proptest`, so each property is exercised over a
+//! seeded random sweep: deterministic, reproducible, and wide enough to
+//! catch the same classes of bugs.
 
 use faultmit_memsim::stats::{binomial_pmf, normal_cdf};
 use faultmit_memsim::{
     corrupt_word, Fault, FaultKind, FaultMap, MarchBist, MemoryConfig, SramArray,
 };
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_fault_kind() -> impl Strategy<Value = FaultKind> {
-    prop_oneof![
-        Just(FaultKind::StuckAtZero),
-        Just(FaultKind::StuckAtOne),
-        Just(FaultKind::BitFlip),
-    ]
+const CASES: usize = 256;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
 }
 
-fn arb_faults(rows: usize, cols: usize, max: usize) -> impl Strategy<Value = Vec<Fault>> {
-    prop::collection::vec(
-        (0..rows, 0..cols, arb_fault_kind()).prop_map(|(r, c, k)| Fault::new(r, c, k)),
-        0..max,
-    )
+fn random_kind(rng: &mut StdRng) -> FaultKind {
+    match rng.gen_range(0..3) {
+        0 => FaultKind::StuckAtZero,
+        1 => FaultKind::StuckAtOne,
+        _ => FaultKind::BitFlip,
+    }
 }
 
-proptest! {
-    /// Applying the same fault twice is idempotent for stuck-at faults and an
-    /// involution for flip faults.
-    #[test]
-    fn corrupt_word_fault_semantics(value in any::<u64>(), col in 0usize..64) {
-        let v = value;
+fn random_faults(rng: &mut StdRng, rows: usize, cols: usize, max: usize) -> Vec<Fault> {
+    let count = rng.gen_range(0..max);
+    (0..count)
+        .map(|_| {
+            Fault::new(
+                rng.gen_range(0..rows),
+                rng.gen_range(0..cols),
+                random_kind(rng),
+            )
+        })
+        .collect()
+}
+
+/// Applying the same fault twice is idempotent for stuck-at faults and an
+/// involution for flip faults.
+#[test]
+fn corrupt_word_fault_semantics() {
+    let mut rng = rng(101);
+    for _ in 0..CASES {
+        let v: u64 = rng.gen();
+        let col = rng.gen_range(0usize..64);
+
         let stuck0 = corrupt_word(v, col, FaultKind::StuckAtZero);
-        prop_assert_eq!(corrupt_word(stuck0, col, FaultKind::StuckAtZero), stuck0);
-        prop_assert_eq!((stuck0 >> col) & 1, 0);
+        assert_eq!(corrupt_word(stuck0, col, FaultKind::StuckAtZero), stuck0);
+        assert_eq!((stuck0 >> col) & 1, 0);
 
         let stuck1 = corrupt_word(v, col, FaultKind::StuckAtOne);
-        prop_assert_eq!(corrupt_word(stuck1, col, FaultKind::StuckAtOne), stuck1);
-        prop_assert_eq!((stuck1 >> col) & 1, 1);
+        assert_eq!(corrupt_word(stuck1, col, FaultKind::StuckAtOne), stuck1);
+        assert_eq!((stuck1 >> col) & 1, 1);
 
         let flipped = corrupt_word(v, col, FaultKind::BitFlip);
-        prop_assert_eq!(corrupt_word(flipped, col, FaultKind::BitFlip), v);
-        prop_assert_eq!(flipped ^ v, 1u64 << col);
+        assert_eq!(corrupt_word(flipped, col, FaultKind::BitFlip), v);
+        assert_eq!(flipped ^ v, 1u64 << col);
     }
+}
 
-    /// A read can only differ from the stored value at faulty columns, and
-    /// fault-free rows always read back exactly what was written.
-    #[test]
-    fn reads_differ_only_at_faulty_columns(
-        faults in arb_faults(16, 32, 12),
-        values in prop::collection::vec(any::<u32>(), 16),
-    ) {
+/// A read can only differ from the stored value at faulty columns, and
+/// fault-free rows always read back exactly what was written.
+#[test]
+fn reads_differ_only_at_faulty_columns() {
+    let mut rng = rng(102);
+    for _ in 0..CASES {
+        let faults = random_faults(&mut rng, 16, 32, 12);
         let config = MemoryConfig::new(16, 32).unwrap();
         let map = FaultMap::from_faults(config, faults).unwrap();
         let mut array = SramArray::with_faults(config, map.clone());
-        for (row, &value) in values.iter().enumerate() {
-            array.write(row, value as u64).unwrap();
+        for row in 0..16 {
+            let value: u64 = rng.gen::<u32>() as u64;
+            array.write(row, value).unwrap();
             let observed = array.read(row).unwrap();
-            let mut diff = observed ^ (value as u64);
+            let mut diff = observed ^ value;
             while diff != 0 {
                 let bit = diff.trailing_zeros() as usize;
-                prop_assert!(map.fault_at(row, bit).is_some(),
-                    "row {row} bit {bit} differs but has no fault");
+                assert!(
+                    map.fault_at(row, bit).is_some(),
+                    "row {row} bit {bit} differs but has no fault"
+                );
                 diff &= diff - 1;
             }
             if !map.row_has_fault(row) {
-                prop_assert_eq!(observed, value as u64);
+                assert_eq!(observed, value);
             }
         }
     }
+}
 
-    /// The March C- BIST finds exactly the injected fault locations.
-    #[test]
-    fn bist_finds_every_injected_fault(faults in arb_faults(32, 32, 20)) {
+/// The March C- BIST finds exactly the injected fault locations.
+#[test]
+fn bist_finds_every_injected_fault() {
+    let mut rng = rng(103);
+    for _ in 0..64 {
+        let faults = random_faults(&mut rng, 32, 32, 20);
         let config = MemoryConfig::new(32, 32).unwrap();
         let map = FaultMap::from_faults(config, faults).unwrap();
         let mut array = SramArray::with_faults(config, map.clone());
         let report = MarchBist::new().run(&mut array).unwrap();
-        prop_assert_eq!(report.fault_count(), map.fault_count());
+        assert_eq!(report.fault_count(), map.fault_count());
         for fault in map.iter() {
-            prop_assert!(report.faulty_columns(fault.row).contains(&fault.col));
+            assert!(report.faulty_columns(fault.row).contains(&fault.col));
         }
     }
+}
 
-    /// Fault-map bookkeeping: the count always equals the number of iterated
-    /// faults, and removal undoes insertion.
-    #[test]
-    fn fault_map_count_is_consistent(faults in arb_faults(64, 32, 40)) {
+/// Fault-map bookkeeping: the count always equals the number of iterated
+/// faults, and removal undoes insertion.
+#[test]
+fn fault_map_count_is_consistent() {
+    let mut rng = rng(104);
+    for _ in 0..CASES {
+        let faults = random_faults(&mut rng, 64, 32, 40);
         let config = MemoryConfig::new(64, 32).unwrap();
         let mut map = FaultMap::new(config);
         for fault in &faults {
             map.insert(*fault).unwrap();
         }
-        prop_assert_eq!(map.fault_count(), map.iter().count());
-        prop_assert_eq!(
+        assert_eq!(map.fault_count(), map.iter().count());
+        assert_eq!(
             map.fault_count(),
             map.faults_per_row().iter().sum::<usize>()
         );
@@ -98,21 +130,35 @@ proptest! {
         for fault in all {
             map.remove(fault.row, fault.col);
         }
-        prop_assert!(map.is_empty());
+        assert!(map.is_empty());
     }
+}
 
-    /// The binomial pmf is a valid probability for arbitrary parameters.
-    #[test]
-    fn binomial_pmf_is_a_probability(n in 1u64..10_000, k in 0u64..10_000, p in 0.0f64..=1.0) {
+/// The binomial pmf is a valid probability for arbitrary parameters.
+#[test]
+fn binomial_pmf_is_a_probability() {
+    let mut rng = rng(105);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1u64..10_000);
+        let k = rng.gen_range(0u64..10_000);
+        let p: f64 = rng.gen();
         let value = binomial_pmf(n, k, p);
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&value));
+        assert!(
+            (0.0..=1.0 + 1e-12).contains(&value),
+            "pmf({n}, {k}, {p}) = {value}"
+        );
     }
+}
 
-    /// The normal CDF is monotone and bounded.
-    #[test]
-    fn normal_cdf_is_monotone(a in -8.0f64..8.0, b in -8.0f64..8.0) {
+/// The normal CDF is monotone and bounded.
+#[test]
+fn normal_cdf_is_monotone() {
+    let mut rng = rng(106);
+    for _ in 0..CASES {
+        let a = rng.gen_range(-8.0f64..8.0);
+        let b = rng.gen_range(-8.0f64..8.0);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(normal_cdf(lo) <= normal_cdf(hi) + 1e-12);
-        prop_assert!((0.0..=1.0).contains(&normal_cdf(a)));
+        assert!(normal_cdf(lo) <= normal_cdf(hi) + 1e-12);
+        assert!((0.0..=1.0).contains(&normal_cdf(a)));
     }
 }

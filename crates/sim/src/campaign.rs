@@ -1,0 +1,541 @@
+//! The campaign orchestrator: one engine from die sampling to metric CDFs.
+//!
+//! A [`Campaign`] drives the paper's Monte-Carlo protocol (§4/§5.2): for
+//! every failure count `n = 1..=N_max` it draws `samples_per_count` fault
+//! maps and evaluates **every scheme of the catalogue on the same die**
+//! (paired comparison), weighting each sample by `Pr(N = n) /
+//! samples_per_count` so the union describes the manufactured-die
+//! population.
+//!
+//! The work is split into fixed-size chunks that worker threads claim
+//! dynamically. Each sample derives its RNG from the campaign seed and its
+//! global index ([`StreamSeeder`]), and chunk results merge in chunk order,
+//! so a campaign is **bit-identical at any worker count** — the property the
+//! serial-vs-parallel regression tests pin down.
+
+use crate::accumulate::{Accumulator, PairedSample};
+use crate::error::{RunError, SimError};
+use crate::executor::{run_chunked, Parallelism};
+use faultmit_core::MitigationScheme;
+use faultmit_memsim::{
+    DieBatch, FailureCountDistribution, FaultMap, FaultMapSampler, MemoryConfig, PlannedSample,
+    StreamSeeder,
+};
+use std::convert::Infallible;
+
+/// How sampled fault maps are filtered before evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MapPolicy {
+    /// Keep every sampled map (the Fig. 5 protocol).
+    #[default]
+    Unrestricted,
+    /// Redraw (up to the given bound) maps that place more than one fault in
+    /// a single row — the Fig. 7 protocol under which SECDED is error-free.
+    SingleFaultPerRow {
+        /// Maximum redraws per sample before giving up and keeping the map.
+        max_redraws: usize,
+    },
+}
+
+/// Configuration of a fault-injection campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignConfig {
+    memory: MemoryConfig,
+    p_cell: f64,
+    samples_per_count: usize,
+    max_failures: Option<u64>,
+    exact_failures: Option<u64>,
+    coverage: f64,
+    chunk_size: usize,
+    parallelism: Parallelism,
+    map_policy: MapPolicy,
+}
+
+impl CampaignConfig {
+    /// Creates a campaign over a memory with the given geometry and cell
+    /// failure probability.
+    ///
+    /// Defaults: 100 fault maps per failure count, failure counts up to the
+    /// 99th percentile of the binomial distribution, unrestricted maps,
+    /// chunked in blocks of 32 samples, one worker per CPU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] when `p_cell` is outside
+    /// `[0, 1]`.
+    pub fn new(memory: MemoryConfig, p_cell: f64) -> Result<Self, SimError> {
+        if !(0.0..=1.0).contains(&p_cell) || p_cell.is_nan() {
+            return Err(SimError::InvalidParameter {
+                reason: format!("cell failure probability {p_cell} outside [0, 1]"),
+            });
+        }
+        Ok(Self {
+            memory,
+            p_cell,
+            samples_per_count: 100,
+            max_failures: None,
+            exact_failures: None,
+            coverage: 0.99,
+            chunk_size: 32,
+            parallelism: Parallelism::default(),
+            map_policy: MapPolicy::default(),
+        })
+    }
+
+    /// Sets the number of fault maps drawn per failure count.
+    #[must_use]
+    pub fn with_samples_per_count(mut self, samples: usize) -> Self {
+        self.samples_per_count = samples.max(1);
+        self
+    }
+
+    /// Caps the largest simulated failure count.
+    #[must_use]
+    pub fn with_max_failures(mut self, max_failures: u64) -> Self {
+        self.max_failures = Some(max_failures);
+        self
+    }
+
+    /// Simulates a single fixed failure count instead of the binomial sweep
+    /// (used by ablations that operate at explicit fault densities). Every
+    /// sample then carries weight `1 / samples_per_count`.
+    #[must_use]
+    pub fn with_exact_failures(mut self, failures: u64) -> Self {
+        self.exact_failures = Some(failures);
+        self
+    }
+
+    /// Sets the probability mass the automatically derived `N_max` covers
+    /// (default 0.99, the paper's choice).
+    #[must_use]
+    pub fn with_coverage(mut self, coverage: f64) -> Self {
+        self.coverage = coverage.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the number of samples per work chunk.
+    ///
+    /// The chunk size trades scheduling overhead against load balance; it
+    /// does **not** affect results (chunks merge in order).
+    #[must_use]
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size.max(1);
+        self
+    }
+
+    /// Sets the worker-thread policy.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Sets the fault-map filtering policy.
+    #[must_use]
+    pub fn with_map_policy(mut self, map_policy: MapPolicy) -> Self {
+        self.map_policy = map_policy;
+        self
+    }
+
+    /// Memory geometry under study.
+    #[must_use]
+    pub fn memory(&self) -> MemoryConfig {
+        self.memory
+    }
+
+    /// Cell failure probability under study.
+    #[must_use]
+    pub fn p_cell(&self) -> f64 {
+        self.p_cell
+    }
+
+    /// Number of fault maps per failure count.
+    #[must_use]
+    pub fn samples_per_count(&self) -> usize {
+        self.samples_per_count
+    }
+
+    /// The configured worker-thread policy.
+    #[must_use]
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// The configured fault-map policy.
+    #[must_use]
+    pub fn map_policy(&self) -> MapPolicy {
+        self.map_policy
+    }
+
+    /// The failure-count distribution implied by the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid-probability errors (none occur for a validated
+    /// configuration).
+    pub fn failure_distribution(&self) -> Result<FailureCountDistribution, SimError> {
+        Ok(FailureCountDistribution::for_memory(
+            self.memory,
+            self.p_cell,
+        )?)
+    }
+
+    /// The largest failure count that will be simulated.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from building the failure distribution.
+    pub fn effective_max_failures(&self) -> Result<u64, SimError> {
+        match self.max_failures {
+            Some(n) => Ok(n),
+            None => Ok(self.failure_distribution()?.n_max(self.coverage)),
+        }
+    }
+}
+
+/// The parallel fault-injection campaign engine.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    config: CampaignConfig,
+}
+
+impl Campaign {
+    /// Creates an engine for the given configuration.
+    #[must_use]
+    pub fn new(config: CampaignConfig) -> Self {
+        Self { config }
+    }
+
+    /// The campaign configuration.
+    #[must_use]
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Runs the campaign with an infallible per-sample metric.
+    ///
+    /// `evaluate(scheme, fault_map)` is called once per `(scheme, die)` pair
+    /// — every scheme sees the identical die. `make_accumulator` creates one
+    /// chunk-local accumulator per work chunk; chunk results merge in chunk
+    /// order into the returned accumulator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and sampling errors.
+    pub fn run<S, F, A>(
+        &self,
+        schemes: &[S],
+        seed: u64,
+        evaluate: F,
+        make_accumulator: impl Fn() -> A + Sync,
+    ) -> Result<A, SimError>
+    where
+        S: MitigationScheme + Sync,
+        F: Fn(&S, &FaultMap) -> f64 + Sync,
+        A: Accumulator,
+    {
+        self.try_run(
+            schemes,
+            seed,
+            |scheme, map| Ok::<f64, Infallible>(evaluate(scheme, map)),
+            make_accumulator,
+        )
+        .map_err(|error| match error {
+            RunError::Sim(e) => e,
+            RunError::Eval(infallible) => match infallible {},
+        })
+    }
+
+    /// Runs the campaign with a fallible per-sample metric (e.g. the
+    /// application-quality evaluator, which can fail on degenerate data).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Sim`] for pipeline errors and [`RunError::Eval`]
+    /// with the first evaluator error in deterministic (chunk-order)
+    /// position.
+    pub fn try_run<S, F, A, E>(
+        &self,
+        schemes: &[S],
+        seed: u64,
+        evaluate: F,
+        make_accumulator: impl Fn() -> A + Sync,
+    ) -> Result<A, RunError<E>>
+    where
+        S: MitigationScheme + Sync,
+        F: Fn(&S, &FaultMap) -> Result<f64, E> + Sync,
+        A: Accumulator,
+        E: Send,
+    {
+        let distribution = self.config.failure_distribution()?;
+        let samples_per_count = self.config.samples_per_count;
+        let (plan, weights) = match self.config.exact_failures {
+            Some(n) => {
+                let plan: Vec<PlannedSample> = (0..samples_per_count as u64)
+                    .map(|k| PlannedSample {
+                        index: k,
+                        n_faults: n,
+                    })
+                    .collect();
+                let mut weights = vec![0.0; n as usize + 1];
+                weights[n as usize] = 1.0 / samples_per_count as f64;
+                (plan, weights)
+            }
+            None => {
+                let max_failures = self.config.effective_max_failures()?;
+                let plan = build_plan(max_failures, samples_per_count);
+                let weights = (0..=max_failures)
+                    .map(|n| distribution.pmf(n) / samples_per_count as f64)
+                    .collect();
+                (plan, weights)
+            }
+        };
+
+        let sampler = FaultMapSampler::new(self.config.memory);
+        let seeder = StreamSeeder::new(seed);
+        let chunk_size = self.config.chunk_size;
+        let chunk_count = plan.len().div_ceil(chunk_size);
+        let workers = self.config.parallelism.worker_count();
+        let map_policy = self.config.map_policy;
+
+        let chunk_results: Vec<Result<A, RunError<E>>> =
+            run_chunked(chunk_count, workers, |chunk_index| {
+                let start = chunk_index * chunk_size;
+                let end = (start + chunk_size).min(plan.len());
+                let batch = match map_policy {
+                    MapPolicy::Unrestricted => {
+                        DieBatch::generate(&sampler, &seeder, &plan[start..end])
+                    }
+                    MapPolicy::SingleFaultPerRow { max_redraws } => {
+                        DieBatch::generate_single_fault_per_row(
+                            &sampler,
+                            &seeder,
+                            &plan[start..end],
+                            max_redraws,
+                        )
+                    }
+                }
+                .map_err(|e| RunError::Sim(SimError::from(e)))?;
+
+                let mut accumulator = make_accumulator();
+                for (planned, map) in batch.iter() {
+                    let metrics = schemes
+                        .iter()
+                        .map(|scheme| evaluate(scheme, map))
+                        .collect::<Result<Vec<f64>, E>>()
+                        .map_err(RunError::Eval)?;
+                    accumulator.record(&PairedSample {
+                        sample_index: planned.index,
+                        n_faults: planned.n_faults,
+                        weight: weights[planned.n_faults as usize],
+                        metrics,
+                    });
+                }
+                Ok(accumulator)
+            });
+
+        let mut merged = make_accumulator();
+        for result in chunk_results {
+            merged.merge(result?);
+        }
+        Ok(merged)
+    }
+}
+
+/// The campaign's work list: `samples_per_count` samples for every failure
+/// count `1..=max_failures`, with globally unique, dense sample indices.
+fn build_plan(max_failures: u64, samples_per_count: usize) -> Vec<PlannedSample> {
+    let mut plan = Vec::with_capacity(max_failures as usize * samples_per_count);
+    for n in 1..=max_failures {
+        for k in 0..samples_per_count as u64 {
+            plan.push(PlannedSample {
+                index: (n - 1) * samples_per_count as u64 + k,
+                n_faults: n,
+            });
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accumulate::CollectRecords;
+    use faultmit_core::Scheme;
+
+    fn config() -> CampaignConfig {
+        CampaignConfig::new(MemoryConfig::new(128, 32).unwrap(), 1e-3)
+            .unwrap()
+            .with_samples_per_count(10)
+            .with_max_failures(6)
+            .with_chunk_size(4)
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(CampaignConfig::new(MemoryConfig::new(16, 32).unwrap(), -0.1).is_err());
+        assert!(CampaignConfig::new(MemoryConfig::new(16, 32).unwrap(), 1.5).is_err());
+        assert!(CampaignConfig::new(MemoryConfig::new(16, 32).unwrap(), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn plan_indices_are_dense_and_unique() {
+        let plan = build_plan(5, 7);
+        assert_eq!(plan.len(), 35);
+        for (i, sample) in plan.iter().enumerate() {
+            assert_eq!(sample.index, i as u64);
+            assert_eq!(sample.n_faults, 1 + i as u64 / 7);
+        }
+    }
+
+    #[test]
+    fn paired_metrics_line_up_with_schemes() {
+        let campaign = Campaign::new(config());
+        let schemes = [Scheme::unprotected32(), Scheme::secded32()];
+        let result = campaign
+            .run(
+                &schemes,
+                1,
+                |scheme, map| map.fault_count() as f64 + scheme.extra_bits_per_row() as f64,
+                CollectRecords::new,
+            )
+            .unwrap();
+        assert_eq!(result.records.len(), 60);
+        for record in &result.records {
+            assert_eq!(record.metrics.len(), 2);
+            // Same die for both schemes: the metrics differ exactly by the
+            // extra-bits term, proving the map is shared.
+            assert_eq!(record.metrics[1] - record.metrics[0], 7.0);
+            assert_eq!(record.metrics[0], record.n_faults as f64);
+        }
+    }
+
+    #[test]
+    fn records_arrive_in_global_sample_order() {
+        let campaign = Campaign::new(config().with_parallelism(Parallelism::threads(4)));
+        let result = campaign
+            .run(
+                &[Scheme::unprotected32()],
+                2,
+                |_, map| map.fault_count() as f64,
+                CollectRecords::new,
+            )
+            .unwrap();
+        let indices: Vec<u64> = result.records.iter().map(|r| r.sample_index).collect();
+        assert_eq!(indices, (0..60).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_runs_are_bit_identical() {
+        let serial = Campaign::new(config().with_parallelism(Parallelism::Serial));
+        let parallel = Campaign::new(config().with_parallelism(Parallelism::threads(8)));
+        let schemes = [Scheme::unprotected32(), Scheme::shuffle32(3).unwrap()];
+        let evaluate =
+            |scheme: &Scheme, map: &FaultMap| map.fault_count() as f64 * scheme.word_bits() as f64;
+        let a = serial
+            .run(&schemes, 7, evaluate, CollectRecords::new)
+            .unwrap();
+        let b = parallel
+            .run(&schemes, 7, evaluate, CollectRecords::new)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chunk_size_does_not_change_results() {
+        let schemes = [Scheme::unprotected32()];
+        let evaluate = |_: &Scheme, map: &FaultMap| map.fault_count() as f64;
+        let small = Campaign::new(config().with_chunk_size(1))
+            .run(&schemes, 3, evaluate, CollectRecords::new)
+            .unwrap();
+        let large = Campaign::new(config().with_chunk_size(1000))
+            .run(&schemes, 3, evaluate, CollectRecords::new)
+            .unwrap();
+        assert_eq!(small, large);
+    }
+
+    #[test]
+    fn weights_follow_the_binomial_pmf() {
+        let campaign = Campaign::new(config());
+        let distribution = campaign.config().failure_distribution().unwrap();
+        let result = campaign
+            .run(
+                &[Scheme::unprotected32()],
+                5,
+                |_, _| 0.0,
+                CollectRecords::new,
+            )
+            .unwrap();
+        for record in &result.records {
+            let expected = distribution.pmf(record.n_faults) / 10.0;
+            assert!((record.weight - expected).abs() <= 1e-18 + expected * 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_fault_per_row_policy_is_applied() {
+        let campaign = Campaign::new(
+            config().with_map_policy(MapPolicy::SingleFaultPerRow { max_redraws: 1000 }),
+        );
+        let result = campaign
+            .run(
+                &[Scheme::secded32()],
+                11,
+                |scheme, map| {
+                    // Under the policy SECDED corrects every die.
+                    faultmit_core::MitigationScheme::observe(scheme, map, 0, 0).value as f64
+                },
+                CollectRecords::new,
+            )
+            .unwrap();
+        assert!(!result.records.is_empty());
+    }
+
+    #[test]
+    fn exact_failure_count_mode_samples_one_count() {
+        let campaign = Campaign::new(config().with_exact_failures(5));
+        let result = campaign
+            .run(
+                &[Scheme::unprotected32()],
+                9,
+                |_, map| map.fault_count() as f64,
+                CollectRecords::new,
+            )
+            .unwrap();
+        assert_eq!(result.records.len(), 10);
+        for record in &result.records {
+            assert_eq!(record.n_faults, 5);
+            assert_eq!(record.metrics[0], 5.0);
+            assert!((record.weight - 0.1).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn evaluator_errors_surface_deterministically() {
+        let campaign = Campaign::new(config().with_parallelism(Parallelism::threads(4)));
+        let result = campaign.try_run(
+            &[Scheme::unprotected32()],
+            1,
+            |_, map| {
+                if map.fault_count() >= 3 {
+                    Err("too many faults")
+                } else {
+                    Ok(0.0)
+                }
+            },
+            CollectRecords::new,
+        );
+        assert_eq!(result.unwrap_err(), RunError::Eval("too many faults"));
+    }
+
+    #[test]
+    fn effective_max_failures_uses_coverage_or_override() {
+        let auto = CampaignConfig::new(MemoryConfig::new(4096, 32).unwrap(), 1e-3).unwrap();
+        let n_auto = auto.effective_max_failures().unwrap();
+        assert!(n_auto > 131, "n_max must exceed the mean failure count");
+        assert_eq!(
+            auto.with_max_failures(20).effective_max_failures().unwrap(),
+            20
+        );
+    }
+}

@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let faults = FaultMap::from_faults(
         config,
         [
-            Fault::bit_flip(3, 31),     // sign bit of row 3
+            Fault::bit_flip(3, 31), // sign bit of row 3
             Fault::stuck_at_one(17, 28),
             Fault::stuck_at_zero(200, 2),
         ],
@@ -60,7 +60,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    the same fault map.
     println!("\nmemory MSE by protection scheme (same die):");
     for scheme in Scheme::fig5_catalogue() {
-        println!("  {:<24} {:>14.3e}", scheme.name(), memory_mse(&scheme, &faults));
+        println!(
+            "  {:<24} {:>14.3e}",
+            scheme.name(),
+            memory_mse(&scheme, &faults)
+        );
     }
 
     Ok(())

@@ -14,7 +14,9 @@
 use faultmit::analysis::memory_mse;
 use faultmit::analysis::report::{format_sci, Table};
 use faultmit::core::Scheme;
-use faultmit::memsim::{CellFailureModel, FailureModelBuilder, MemoryConfig, VddSweep, VoltageScaledDie};
+use faultmit::memsim::{
+    CellFailureModel, FailureModelBuilder, MemoryConfig, VddSweep, VoltageScaledDie,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

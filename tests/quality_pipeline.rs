@@ -63,7 +63,9 @@ fn shuffling_beats_no_protection_under_heavy_msb_corruption() {
         // protection.
         let faults = FaultMap::from_faults(
             config,
-            (0..config.rows()).step_by(4).map(|r| Fault::bit_flip(r, 31)),
+            (0..config.rows())
+                .step_by(4)
+                .map(|r| Fault::bit_flip(r, 31)),
         )
         .unwrap();
 

@@ -1,0 +1,391 @@
+//! A minimal, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this vendored crate
+//! provides the (small) subset of the `rand 0.8` API the workspace uses:
+//!
+//! * [`RngCore`] / [`Rng`] / [`SeedableRng`] traits;
+//! * [`rngs::StdRng`] — a seedable xoshiro256++ generator (NOT the upstream
+//!   ChaCha-based `StdRng`; sequences differ from the real crate, but every
+//!   consumer in this workspace only relies on determinism and statistical
+//!   quality, never on exact upstream streams);
+//! * [`seq::index::sample`] — distinct-index sampling without replacement.
+//!
+//! The generator passes the workspace's statistical test-suite (binomial
+//! sampling, Box-Muller normals, uniform fault placement) and is fully
+//! deterministic for a given seed, which the parallel fault-injection
+//! pipeline depends on.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// The core of a random number generator: a stream of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from an RNG (the subset of
+/// `Standard`-distributed types the workspace uses).
+pub trait UniformSample: Sized {
+    /// Draws one value.
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl UniformSample for bool {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl UniformSample for f64 {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl UniformSample for f32 {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl UniformSample for u64 {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl UniformSample for u32 {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl UniformSample for u8 {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] accepts.
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Draws a u64 uniformly from `[0, bound)` without modulo bias.
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    assert!(bound > 0, "cannot sample from an empty range");
+    // Rejection sampling on the top zone that divides evenly.
+    let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let offset = uniform_u64_below(rng, span);
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from an empty range");
+                let span = (end as i128 - start as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let offset = uniform_u64_below(rng, span + 1);
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(i32, i64, u32, u64, usize, isize);
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        self.start + f64::sample_from(rng) * (self.end - self.start)
+    }
+}
+
+/// User-facing random value methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a uniformly distributed value of type `T`.
+    fn gen<T: UniformSample>(&mut self) -> T {
+        T::sample_from(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample_from(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generators that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Creates a generator seeded from another generator.
+    fn from_rng<R: RngCore>(rng: &mut R) -> Result<Self, core::convert::Infallible> {
+        Ok(Self::seed_from_u64(rng.next_u64()))
+    }
+}
+
+/// SplitMix64 — used for seed expansion and stream splitting.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    ///
+    /// Deterministic for a given seed; distinct seeds produce independent
+    /// streams (seed expansion through SplitMix64).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // xoshiro must not start from the all-zero state.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    /// Index sampling.
+    pub mod index {
+        use crate::{Rng, RngCore};
+        use std::collections::HashSet;
+
+        /// A set of distinct indices sampled from `0..length`.
+        #[derive(Debug, Clone)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// Iterates over the sampled indices.
+            pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+                self.0.iter().copied()
+            }
+
+            /// Number of sampled indices.
+            #[must_use]
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// `true` when no index was sampled.
+            #[must_use]
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+
+            /// Converts into a plain vector.
+            #[must_use]
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Samples `amount` distinct indices uniformly from `0..length`
+        /// (Floyd's algorithm).
+        ///
+        /// # Panics
+        ///
+        /// Panics when `amount > length`.
+        pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(
+                amount <= length,
+                "cannot sample {amount} distinct indices from 0..{length}"
+            );
+            let mut chosen = HashSet::with_capacity(amount);
+            let mut out = Vec::with_capacity(amount);
+            for j in length - amount..length {
+                let t = rng.gen_range(0..=j);
+                if chosen.insert(t) {
+                    out.push(t);
+                } else {
+                    chosen.insert(j);
+                    out.push(j);
+                }
+            }
+            IndexVec(out)
+        }
+    }
+}
+
+pub use rngs::StdRng as DefaultRng;
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::index::sample;
+    use super::{Rng, SeedableRng};
+    use std::collections::HashSet;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn f64_samples_are_in_unit_interval_and_well_spread() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        let n = 10_000;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(0..3);
+            assert!((0..3).contains(&v));
+            let u = rng.gen_range(10usize..=20);
+            assert!((10..=20).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn index_sample_returns_distinct_indices() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &(length, amount) in &[(10usize, 10usize), (131_072, 150), (16, 0), (1, 1)] {
+            let indices = sample(&mut rng, length, amount);
+            assert_eq!(indices.len(), amount);
+            let set: HashSet<usize> = indices.iter().collect();
+            assert_eq!(set.len(), amount, "duplicates for ({length}, {amount})");
+            assert!(indices.iter().all(|i| i < length));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct indices")]
+    fn index_sample_rejects_oversized_amount() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = sample(&mut rng, 4, 5);
+    }
+
+    #[test]
+    fn index_sample_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 16];
+        for _ in 0..4000 {
+            for i in sample(&mut rng, 16, 4) {
+                counts[i] += 1;
+            }
+        }
+        // Each index should be picked ~1000 times (4000 draws × 4/16).
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((700..1300).contains(&c), "index {i} picked {c} times");
+        }
+    }
+}

@@ -17,14 +17,18 @@ use crate::error::AnalysisError;
 use crate::mse::memory_mse;
 use crate::yield_model::YieldModel;
 use faultmit_core::MitigationScheme;
-use faultmit_memsim::{FailureCountDistribution, MemoryConfig};
+use faultmit_memsim::{
+    FailureCountDistribution, FaultBackend, MemoryConfig, OperatingPoint, SramVddBackend,
+};
 use faultmit_sim::{Campaign, CampaignConfig, Parallelism, SimError};
 
-/// Configuration of one Monte-Carlo campaign.
+/// Configuration of one Monte-Carlo campaign, generic over the
+/// fault-generating [`FaultBackend`] (default: the paper's SRAM
+/// voltage-scaling model, keeping the legacy `(memory, p_cell)` call sites
+/// bit-identical).
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct MonteCarloConfig {
-    memory: MemoryConfig,
-    p_cell: f64,
+pub struct MonteCarloConfig<B: FaultBackend = SramVddBackend> {
+    backend: B,
     samples_per_count: usize,
     max_failures: Option<u64>,
     coverage: f64,
@@ -32,9 +36,11 @@ pub struct MonteCarloConfig {
     chunk_size: usize,
 }
 
-impl MonteCarloConfig {
-    /// Creates a campaign over a memory with the given geometry and cell
-    /// failure probability.
+impl MonteCarloConfig<SramVddBackend> {
+    /// Creates an SRAM campaign over a memory with the given geometry and
+    /// cell failure probability — equivalent to
+    /// [`MonteCarloConfig::for_backend`] with
+    /// [`SramVddBackend::with_p_cell`].
     ///
     /// Defaults: 100 fault maps per failure count, failure counts up to the
     /// 99th percentile of the binomial distribution (the paper's `N_max`
@@ -50,15 +56,9 @@ impl MonteCarloConfig {
                 reason: format!("cell failure probability {p_cell} outside [0, 1]"),
             });
         }
-        Ok(Self {
-            memory,
-            p_cell,
-            samples_per_count: 100,
-            max_failures: None,
-            coverage: 0.99,
-            parallelism: Parallelism::default(),
-            chunk_size: 32,
-        })
+        Ok(Self::for_backend(
+            SramVddBackend::with_p_cell(memory, p_cell).map_err(AnalysisError::from)?,
+        ))
     }
 
     /// The paper's Fig. 5 campaign: 16 KB memory, `P_cell = 5·10⁻⁶`.
@@ -78,6 +78,22 @@ impl MonteCarloConfig {
     /// Never fails; kept fallible for signature uniformity.
     pub fn paper_fig7() -> Result<Self, AnalysisError> {
         Self::new(MemoryConfig::paper_16kb(), 1e-3)
+    }
+}
+
+impl<B: FaultBackend> MonteCarloConfig<B> {
+    /// Creates a campaign drawing dies from the given backend, with the
+    /// same defaults as [`MonteCarloConfig::new`].
+    #[must_use]
+    pub fn for_backend(backend: B) -> Self {
+        Self {
+            backend,
+            samples_per_count: 100,
+            max_failures: None,
+            coverage: 0.99,
+            parallelism: Parallelism::default(),
+            chunk_size: 32,
+        }
     }
 
     /// Sets the number of random fault maps drawn per failure count
@@ -119,16 +135,30 @@ impl MonteCarloConfig {
         self
     }
 
+    /// The fault-generating backend under study.
+    #[must_use]
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// The backend's operating point (the technology knob this campaign is
+    /// evaluated at — `V_DD` for SRAM, refresh interval + temperature for
+    /// DRAM, level spacing + drift time for MLC NVM).
+    #[must_use]
+    pub fn operating_point(&self) -> OperatingPoint {
+        self.backend.operating_point()
+    }
+
     /// Memory geometry under study.
     #[must_use]
     pub fn memory(&self) -> MemoryConfig {
-        self.memory
+        self.backend.config()
     }
 
-    /// Cell failure probability under study.
+    /// Marginal cell failure probability at the backend's operating point.
     #[must_use]
     pub fn p_cell(&self) -> f64 {
-        self.p_cell
+        self.backend.p_cell()
     }
 
     /// Number of fault maps per failure count.
@@ -150,10 +180,7 @@ impl MonteCarloConfig {
     /// Propagates invalid-probability errors (none occur for a validated
     /// configuration).
     pub fn failure_distribution(&self) -> Result<FailureCountDistribution, AnalysisError> {
-        Ok(FailureCountDistribution::for_memory(
-            self.memory,
-            self.p_cell,
-        )?)
+        Ok(self.backend.failure_distribution()?)
     }
 
     /// The largest failure count that will be simulated.
@@ -173,8 +200,11 @@ impl MonteCarloConfig {
     /// # Errors
     ///
     /// Propagates parameter validation errors.
-    pub fn to_campaign_config(&self) -> Result<CampaignConfig, AnalysisError> {
-        let mut config = CampaignConfig::new(self.memory, self.p_cell)
+    pub fn to_campaign_config(&self) -> Result<CampaignConfig<B>, AnalysisError>
+    where
+        B: Clone,
+    {
+        let mut config = CampaignConfig::for_backend(self.backend.clone())
             .map_err(sim_to_analysis_error)?
             .with_samples_per_count(self.samples_per_count)
             .with_coverage(self.coverage)
@@ -226,22 +256,22 @@ impl SchemeMseResult {
 }
 
 /// The Monte-Carlo fault-injection engine — an MSE-specialised facade over
-/// the parallel pipeline.
+/// the parallel pipeline, generic over the fault-generating backend.
 #[derive(Debug, Clone)]
-pub struct MonteCarloEngine {
-    config: MonteCarloConfig,
+pub struct MonteCarloEngine<B: FaultBackend = SramVddBackend> {
+    config: MonteCarloConfig<B>,
 }
 
-impl MonteCarloEngine {
+impl<B: FaultBackend + Clone> MonteCarloEngine<B> {
     /// Creates an engine for the given campaign configuration.
     #[must_use]
-    pub fn new(config: MonteCarloConfig) -> Self {
+    pub fn new(config: MonteCarloConfig<B>) -> Self {
         Self { config }
     }
 
     /// The campaign configuration.
     #[must_use]
-    pub fn config(&self) -> &MonteCarloConfig {
+    pub fn config(&self) -> &MonteCarloConfig<B> {
         &self.config
     }
 
@@ -454,6 +484,53 @@ mod tests {
         let result = engine.run(&Scheme::shuffle32(2).unwrap(), 13).unwrap();
         if let Some(threshold) = result.mse_for_yield(0.95) {
             assert!(result.yield_at_mse(threshold) >= 0.95);
+        }
+    }
+
+    #[test]
+    fn engine_runs_on_every_backend_and_reports_its_operating_point() {
+        use faultmit_memsim::{Backend, BackendKind};
+        let memory = MemoryConfig::new(128, 32).unwrap();
+        let schemes = [Scheme::unprotected32(), Scheme::shuffle32(3).unwrap()];
+        for kind in BackendKind::ALL {
+            let backend = Backend::at_p_cell(kind, memory, 1e-3).unwrap();
+            let op = backend.operating_point();
+            let config = MonteCarloConfig::for_backend(backend)
+                .with_samples_per_count(10)
+                .with_max_failures(6);
+            assert_eq!(config.operating_point(), op);
+            let engine = MonteCarloEngine::new(config);
+            let results = engine.run_catalogue(&schemes, 29).unwrap();
+            assert_eq!(results.len(), 2, "{kind}");
+            // Shuffling never loses to no protection, whatever the backend's
+            // spatial law.
+            assert!(
+                results[1].cdf.quantile(0.99) <= results[0].cdf.quantile(0.99),
+                "{kind}: shuffle q99 exceeds unprotected q99"
+            );
+        }
+    }
+
+    #[test]
+    fn sram_backend_engine_matches_the_legacy_constructor_bit_for_bit() {
+        use faultmit_memsim::SramVddBackend;
+        let memory = MemoryConfig::new(128, 32).unwrap();
+        let legacy = MonteCarloEngine::new(
+            MonteCarloConfig::new(memory, 1e-3)
+                .unwrap()
+                .with_samples_per_count(15)
+                .with_max_failures(8),
+        );
+        let explicit = MonteCarloEngine::new(
+            MonteCarloConfig::for_backend(SramVddBackend::with_p_cell(memory, 1e-3).unwrap())
+                .with_samples_per_count(15)
+                .with_max_failures(8),
+        );
+        let schemes = [Scheme::unprotected32(), Scheme::secded32()];
+        let a = legacy.run_catalogue(&schemes, 41).unwrap();
+        let b = explicit.run_catalogue(&schemes, 41).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.cdf, y.cdf);
         }
     }
 

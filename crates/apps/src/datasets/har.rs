@@ -1,6 +1,6 @@
 //! Synthetic human-activity-recognition (HAR) dataset.
 //!
-//! Stands in for the wearable-accelerometer dataset of Casale et al. [20]
+//! Stands in for the wearable-accelerometer dataset of Casale et al. \[20\]
 //! used by the paper's KNN benchmark: windows of tri-axial accelerometer
 //! readings summarised into per-window features, labelled with the activity
 //! being performed. The generator produces per-activity signatures (mean
@@ -58,7 +58,7 @@ impl HarDataset {
     }
 
     /// A paper-scale dataset (about 1900 windows, comparable to one subject's
-    /// recording in [20]).
+    /// recording in \[20\]).
     #[must_use]
     pub fn paper_scale() -> Self {
         Self::new(1900, 0x4841_5221)

@@ -1,6 +1,6 @@
 //! Synthetic Madelon-like dataset.
 //!
-//! Stands in for the NIPS-2003 "Madelon" feature-selection dataset [19] used
+//! Stands in for the NIPS-2003 "Madelon" feature-selection dataset \[19\] used
 //! by the paper's PCA benchmark. Madelon's structure is: a handful of
 //! *informative* features placed on the vertices of a hypercube (defining a
 //! two-class XOR-like problem), a set of *redundant* features that are linear

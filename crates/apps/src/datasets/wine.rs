@@ -1,6 +1,6 @@
 //! Synthetic wine-quality regression dataset.
 //!
-//! Stands in for the UCI "Wine Quality" dataset [18] used by the paper's
+//! Stands in for the UCI "Wine Quality" dataset \[18\] used by the paper's
 //! Elasticnet benchmark: 11 physico-chemical features per sample and a
 //! quality score in the 3–8 range. The generator reproduces the original's
 //! feature scales and a plausible linear-plus-interaction relationship

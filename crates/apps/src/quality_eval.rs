@@ -26,7 +26,7 @@ use crate::pca::Pca;
 use crate::preprocessing::{train_test_split, Standardizer};
 use faultmit_analysis::{CatalogueAccumulator, EmpiricalCdf, YieldModel};
 use faultmit_core::MitigationScheme;
-use faultmit_memsim::{FailureCountDistribution, FaultMap, FaultMapSampler, MemoryConfig};
+use faultmit_memsim::{FaultBackend, FaultMap, FaultMapSampler, MemoryConfig, SramVddBackend};
 use faultmit_sim::{Campaign, CampaignConfig, MapPolicy, Parallelism};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -342,8 +342,58 @@ impl QualityEvaluator {
         seed: u64,
         discard_multi_fault_words: bool,
     ) -> Result<Vec<QualityCdfResult>, AppError> {
+        let backend = SramVddBackend::with_p_cell(self.memory_config, p_cell)?;
+        self.quality_cdfs_paired_on(
+            schemes,
+            &backend,
+            max_failures,
+            samples_per_count,
+            seed,
+            discard_multi_fault_words,
+        )
+    }
+
+    /// The backend axis of the Fig. 7 harness: runs the paired campaign
+    /// against an arbitrary [`FaultBackend`], so per-technology quality
+    /// CDFs (SRAM voltage scaling, DRAM retention, MLC NVM, or custom
+    /// models) come out of the identical protocol. The backend must be
+    /// built for this evaluator's memory geometry.
+    ///
+    /// Note that `discard_multi_fault_words` is a best-effort bounded
+    /// redraw: backends whose spatial law clusters faults (DRAM retention)
+    /// exhaust the budget at higher fault counts, so multi-fault words
+    /// survive and the SECDED reference is **not** error-free there — that
+    /// degradation is precisely the technology effect the backend axis
+    /// exists to expose.
+    ///
+    /// [`QualityEvaluator::quality_cdfs_paired`] is the SRAM shim over this
+    /// method and remains bit-identical to the historical results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AppError::InvalidParameter`] on a geometry mismatch, and
+    /// propagates sampling and evaluation errors.
+    pub fn quality_cdfs_paired_on<S: MitigationScheme + Sync, B: FaultBackend + Clone>(
+        &self,
+        schemes: &[S],
+        backend: &B,
+        max_failures: u64,
+        samples_per_count: usize,
+        seed: u64,
+        discard_multi_fault_words: bool,
+    ) -> Result<Vec<QualityCdfResult>, AppError> {
+        if backend.config() != self.memory_config {
+            return Err(AppError::InvalidParameter {
+                reason: format!(
+                    "backend '{}' is built for {:?}, evaluator for {:?}",
+                    backend.name(),
+                    backend.config(),
+                    self.memory_config
+                ),
+            });
+        }
         let baseline = self.baseline_quality()?;
-        let distribution = FailureCountDistribution::for_memory(self.memory_config, p_cell)?;
+        let distribution = backend.failure_distribution()?;
 
         let map_policy = if discard_multi_fault_words {
             // Bounded redraws so extreme fault densities cannot loop forever.
@@ -351,7 +401,7 @@ impl QualityEvaluator {
         } else {
             MapPolicy::Unrestricted
         };
-        let config = CampaignConfig::new(self.memory_config, p_cell)?
+        let config = CampaignConfig::for_backend(backend.clone())?
             .with_samples_per_count(samples_per_count)
             .with_max_failures(max_failures)
             .with_map_policy(map_policy)
@@ -607,6 +657,48 @@ mod tests {
         // normalised quality sample is 1.0.
         assert!((result.cdf.min().unwrap() - 1.0).abs() < 1e-9);
         assert!((result.cdf.quantile(0.01) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backend_axis_matches_the_sram_shim_and_covers_all_technologies() {
+        use faultmit_memsim::{Backend, BackendKind, SramVddBackend};
+        let eval = QualityEvaluator::builder(Benchmark::Elasticnet)
+            .samples(96)
+            .memory_rows(128)
+            .build()
+            .unwrap();
+        let schemes = [Scheme::unprotected32(), Scheme::secded32()];
+
+        // The SRAM backend reproduces the p_cell-based shim bit-for-bit.
+        let shim = eval
+            .quality_cdfs_paired(&schemes, 1e-3, 4, 2, 19, false)
+            .unwrap();
+        let sram = SramVddBackend::with_p_cell(eval.memory_config(), 1e-3).unwrap();
+        let explicit = eval
+            .quality_cdfs_paired_on(&schemes, &sram, 4, 2, 19, false)
+            .unwrap();
+        for (a, b) in shim.iter().zip(&explicit) {
+            assert_eq!(a.cdf, b.cdf);
+            assert_eq!(a.baseline_quality.to_bits(), b.baseline_quality.to_bits());
+        }
+
+        // Every technology runs through the identical protocol.
+        for kind in [BackendKind::Dram, BackendKind::Mlc] {
+            let backend = Backend::at_p_cell(kind, eval.memory_config(), 1e-3).unwrap();
+            let results = eval
+                .quality_cdfs_paired_on(&schemes, &backend, 3, 2, 19, false)
+                .unwrap();
+            assert_eq!(results.len(), 2, "{kind}");
+            for result in &results {
+                assert!(result.cdf.total_weight() > 0.0, "{kind}");
+            }
+        }
+
+        // Geometry mismatches are rejected.
+        let wrong = SramVddBackend::with_p_cell(MemoryConfig::new(64, 32).unwrap(), 1e-3).unwrap();
+        assert!(eval
+            .quality_cdfs_paired_on(&schemes, &wrong, 3, 2, 19, false)
+            .is_err());
     }
 
     #[test]

@@ -9,11 +9,19 @@
 //! bit-identical across all worker counts — that invariant is pinned by the
 //! `determinism` integration test, while this bench tracks the speed.
 
+//! Besides the Criterion groups, `bench_worker_scaling_json` measures the
+//! fixed worker-count sweep 1/2/4/8 and writes `BENCH_pipeline.json` (path
+//! overridable via the `BENCH_PIPELINE_JSON` environment variable) through
+//! the in-tree JSON emitter, so thread scaling can be re-measured and
+//! tracked on any multi-core host.
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use faultmit_analysis::{MonteCarloConfig, MonteCarloEngine};
+use faultmit_bench::json::{JsonValue, ToJson};
 use faultmit_core::Scheme;
 use faultmit_memsim::MemoryConfig;
 use faultmit_sim::Parallelism;
+use std::time::Instant;
 
 /// Reduced Fig. 5 operating point: same geometry and failure counts that
 /// dominate the paper's campaign, small enough per-iteration budget for a
@@ -79,9 +87,93 @@ fn bench_single_scheme_vs_paired(c: &mut Criterion) {
     group.finish();
 }
 
+/// One row of the `BENCH_pipeline.json` worker-count sweep.
+struct WorkerScalingRow {
+    workers: usize,
+    mean_seconds_per_campaign: f64,
+    samples_per_second: f64,
+    speedup_vs_serial: f64,
+}
+
+impl ToJson for WorkerScalingRow {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("workers", self.workers.to_json()),
+            (
+                "mean_seconds_per_campaign",
+                self.mean_seconds_per_campaign.to_json(),
+            ),
+            ("samples_per_second", self.samples_per_second.to_json()),
+            ("speedup_vs_serial", self.speedup_vs_serial.to_json()),
+        ])
+    }
+}
+
+/// Times the reduced Fig. 5 campaign at 1/2/4/8 workers and writes the
+/// series as `BENCH_pipeline.json` — the ROADMAP's thread-scaling
+/// measurement, reproducible on any host.
+fn bench_worker_scaling_json(_c: &mut Criterion) {
+    const REPS: u32 = 3;
+    let schemes = Scheme::fig5_catalogue();
+    let samples_per_run = 12u64 * 10;
+
+    let measure = |parallelism: Parallelism| {
+        let engine = operating_point(parallelism);
+        // One warm-up campaign, then the mean of the timed repetitions.
+        engine.run_catalogue(&schemes, 0xF165).unwrap();
+        let started = Instant::now();
+        for _ in 0..REPS {
+            engine.run_catalogue(&schemes, 0xF165).unwrap();
+        }
+        started.elapsed().as_secs_f64() / f64::from(REPS)
+    };
+
+    println!("\n== group: pipeline_worker_scaling (BENCH_pipeline.json) ==");
+    let serial_seconds = measure(Parallelism::Serial);
+    let mut rows = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let seconds = if workers == 1 {
+            serial_seconds
+        } else {
+            measure(Parallelism::threads(workers))
+        };
+        let row = WorkerScalingRow {
+            workers,
+            mean_seconds_per_campaign: seconds,
+            samples_per_second: samples_per_run as f64 / seconds,
+            speedup_vs_serial: serial_seconds / seconds,
+        };
+        println!(
+            "workers/{:<2} {:>10.2} ms/campaign   ({:>8.1} samples/s, {:.2}x vs serial)",
+            row.workers,
+            row.mean_seconds_per_campaign * 1e3,
+            row.samples_per_second,
+            row.speedup_vs_serial,
+        );
+        rows.push(row);
+    }
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let document = JsonValue::object([
+        ("bench", "pipeline_fig5_worker_scaling".to_json()),
+        ("host_cpus", host_cpus.to_json()),
+        ("samples_per_campaign", samples_per_run.to_json()),
+        ("series", rows.to_json()),
+    ]);
+    let path =
+        std::env::var("BENCH_PIPELINE_JSON").unwrap_or_else(|_| "BENCH_pipeline.json".into());
+    match std::fs::write(&path, document.to_pretty_string()) {
+        Ok(()) => println!("wrote worker-scaling series to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 criterion_group!(
     benches,
     bench_campaign_throughput,
-    bench_single_scheme_vs_paired
+    bench_single_scheme_vs_paired,
+    bench_worker_scaling_json
 );
 criterion_main!(benches);

@@ -9,7 +9,7 @@
 //!
 //! * **naive** — align the least significant segment with the *most
 //!   significant* faulty cell (the direct generalisation of Eq. (2));
-//! * **optimal** (the default in [`FmLut::choose_shift`]) — search all
+//! * **optimal** (the default in `FmLut::choose_shift`) — search all
 //!   `2^{n_FM}` candidate shifts and minimise the summed squared error
 //!   magnitude.
 //!
@@ -95,11 +95,12 @@ impl MitigationScheme for NaiveShuffle {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let options = RunOptions::from_args();
-    let (maps_per_point, rows) = if options.full_scale {
+    let (default_maps, rows) = if options.full_scale {
         (400, 4096)
     } else {
         (60, 512)
     };
+    let maps_per_point = options.samples_or(default_maps);
 
     let config = MemoryConfig::new(rows, 32)?;
 
@@ -123,8 +124,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let naive = NaiveShuffle(geometry);
             let optimal = Scheme::BitShuffle(geometry);
             let schemes: [&(dyn MitigationScheme + Sync); 2] = [&naive, &optimal];
+            // The `--backend` axis swaps the fault technology: the shift
+            // policies face the same clustered / level-biased maps.
             let campaign = Campaign::new(
-                CampaignConfig::new(config, 1e-3)?
+                CampaignConfig::for_backend(options.backend_at_p_cell(config, 1e-3)?)?
                     .with_samples_per_count(maps_per_point)
                     .with_exact_failures(faults_per_map as u64)
                     .with_parallelism(options.parallelism()),

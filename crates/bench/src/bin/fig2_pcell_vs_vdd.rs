@@ -35,8 +35,107 @@ impl ToJson for Fig2Point {
     }
 }
 
+/// One point of a backend law sweep: the technology's own operating-point
+/// knob (not a voltage, hence the distinct JSON shape from [`Fig2Point`]).
+#[derive(Debug)]
+struct BackendLawPoint {
+    knob: f64,
+    knob_unit: &'static str,
+    p_cell: f64,
+    expected_failures_16kb: f64,
+    zero_failure_yield_16kb: f64,
+}
+
+impl ToJson for BackendLawPoint {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("knob", self.knob.to_json()),
+            ("knob_unit", self.knob_unit.to_json()),
+            ("p_cell", self.p_cell.to_json()),
+            (
+                "expected_failures_16kb",
+                self.expected_failures_16kb.to_json(),
+            ),
+            (
+                "zero_failure_yield_16kb",
+                self.zero_failure_yield_16kb.to_json(),
+            ),
+        ])
+    }
+}
+
+/// `--backend dram|mlc`: the analogue of Fig. 2 for the other fault
+/// backends — the per-cell failure law against the technology's own
+/// operating-point knob (refresh interval for DRAM retention, level spacing
+/// for MLC NVM), with the same derived columns.
+fn backend_law_sweep(
+    options: &RunOptions,
+    kind: faultmit_memsim::BackendKind,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use faultmit_memsim::{BackendKind, DramRetentionBackend, FaultBackend, MlcNvmBackend};
+
+    let memory = MemoryConfig::paper_16kb();
+    let cells = memory.total_cells();
+    let knobs: Vec<f64> = match kind {
+        BackendKind::Dram => [4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0].to_vec(),
+        BackendKind::Mlc => (0..10).map(|i| 16.0 - i as f64).collect(),
+        BackendKind::Sram => unreachable!("SRAM uses the Fig. 2 voltage sweep"),
+    };
+    let (title, knob_header, knob_unit) = match kind {
+        BackendKind::Dram => (
+            "Fig. 2 (DRAM analogue) — P_cell vs refresh interval (45C, 16KB memory)",
+            "t_ref (ms)",
+            "ms",
+        ),
+        _ => (
+            "Fig. 2 (MLC analogue) — P_cell vs level spacing (1-day drift, 16KB memory)",
+            "spacing (sigma)",
+            "sigma",
+        ),
+    };
+
+    let mut table = Table::new(
+        title,
+        vec![
+            knob_header.into(),
+            "P_cell".into(),
+            "E[failures] (16KB)".into(),
+            "zero-failure yield".into(),
+        ],
+    );
+    let mut series = Vec::new();
+    for &knob in &knobs {
+        let p_cell = match kind {
+            BackendKind::Dram => DramRetentionBackend::new(memory, knob, 45.0)?.p_cell(),
+            _ => MlcNvmBackend::new(memory, knob, 86_400.0)?.p_cell(),
+        };
+        let expected = p_cell * cells as f64;
+        let yield_zero = (cells as f64 * (-p_cell).ln_1p()).exp();
+        table.add_row(vec![
+            format!("{knob:.1}"),
+            format_sci(p_cell),
+            format_sci(expected),
+            format_percent(yield_zero),
+        ]);
+        series.push(BackendLawPoint {
+            knob,
+            knob_unit,
+            p_cell,
+            expected_failures_16kb: expected,
+            zero_failure_yield_16kb: yield_zero,
+        });
+    }
+    println!("{table}");
+    options.write_json(&series)?;
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let options = RunOptions::from_args();
+    let kind = options.backend_kind();
+    if kind != faultmit_memsim::BackendKind::Sram {
+        return backend_law_sweep(&options, kind);
+    }
     let steps = if options.full_scale { 41 } else { 9 };
 
     let model = CellFailureModel::default_28nm();

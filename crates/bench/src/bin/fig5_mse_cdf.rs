@@ -16,6 +16,7 @@ use faultmit_analysis::{MonteCarloConfig, MonteCarloEngine};
 use faultmit_bench::json::{JsonValue, ToJson};
 use faultmit_bench::RunOptions;
 use faultmit_core::Scheme;
+use faultmit_memsim::{FaultBackend, MemoryConfig};
 
 #[derive(Debug)]
 struct Fig5Series {
@@ -48,20 +49,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The paper evaluates a 16 KB memory at P_cell = 5e-6 over failure counts
     // 1..150 with 1e7 MC runs. The default here keeps the same memory and
-    // P_cell but a smaller per-count sample budget.
-    let (samples_per_count, max_failures) = if options.full_scale {
+    // P_cell but a smaller per-count sample budget. `--backend dram|mlc`
+    // re-runs the identical campaign against another technology's fault
+    // structure at the same fault density.
+    let (default_samples, max_failures) = if options.full_scale {
         (500, 150)
     } else {
         (60, 24)
     };
-    let config = MonteCarloConfig::paper_fig5()?
+    let samples_per_count = options.samples_or(default_samples);
+    let backend = options.backend_at_p_cell(MemoryConfig::paper_16kb(), 5e-6)?;
+    let config = MonteCarloConfig::for_backend(backend)
         .with_samples_per_count(samples_per_count)
         .with_max_failures(max_failures)
         .with_parallelism(options.parallelism());
     let engine = MonteCarloEngine::new(config);
 
     println!(
-        "Fig. 5 campaign: 16KB memory, P_cell = {:.0e}, failure counts 1..={max_failures}, {samples_per_count} maps per count",
+        "Fig. 5 campaign: 16KB memory, backend {} ({}), P_cell = {:.0e}, \
+         failure counts 1..={max_failures}, {samples_per_count} maps per count",
+        backend.name(),
+        engine.config().operating_point().label(),
         engine.config().p_cell()
     );
 

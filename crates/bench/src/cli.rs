@@ -1,0 +1,268 @@
+//! The one command-line parser shared by every figure/ablation binary.
+//!
+//! Historically each binary hand-rolled its flag handling; this module
+//! centralises it so a flag added here (like the `--backend` technology
+//! axis) is picked up by all of them at once. Recognised flags:
+//!
+//! * `--full` / `--full-scale` — run at the paper's full Monte-Carlo scale;
+//! * `--json <path>` (alias `--out <path>`) — write the machine-readable
+//!   series;
+//! * `--threads <n>` — pin the pipeline worker count (`1` = serial);
+//! * `--samples <n>` — override the number of fault maps per failure count;
+//! * `--backend <sram|dram|mlc>` — select the fault-generation technology
+//!   ([`faultmit_memsim::backend`]); the default is the paper's SRAM model.
+//!
+//! Anything else is collected as a positional argument (e.g. the benchmark
+//! selector of `fig7_quality`).
+
+use crate::json::ToJson;
+use faultmit_memsim::{Backend, BackendKind, MemError, MemoryConfig};
+use faultmit_sim::Parallelism;
+use std::path::PathBuf;
+
+/// Command-line options shared by the figure binaries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunOptions {
+    /// Run at the paper's full scale (slower); the default is a reduced but
+    /// shape-preserving configuration.
+    pub full_scale: bool,
+    /// Optional path to write the JSON series to (`--json` / `--out`).
+    pub json_path: Option<PathBuf>,
+    /// Optional worker-thread count for the simulation pipeline
+    /// (`None` = one worker per CPU).
+    pub threads: Option<usize>,
+    /// Optional override of the Monte-Carlo samples per failure count.
+    pub samples: Option<usize>,
+    /// Fault-generation technology selected with `--backend`
+    /// (`None` = the paper's SRAM model).
+    pub backend: Option<BackendKind>,
+    /// Positional arguments (e.g. the benchmark selector of `fig7_quality`).
+    pub positional: Vec<String>,
+}
+
+impl RunOptions {
+    /// Parses options from the process arguments (skipping the binary name).
+    #[must_use]
+    pub fn from_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses options from an explicit iterator (used in tests).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut options = Self::default();
+        let mut iter = args.into_iter().peekable();
+        // A flag's value is only consumed when the next token is not itself
+        // a flag, so `--threads --full` complains instead of silently eating
+        // `--full`.
+        let next_value = |iter: &mut std::iter::Peekable<I::IntoIter>, flag: &str| match iter.peek()
+        {
+            Some(value) if !value.starts_with("--") => iter.next(),
+            _ => {
+                eprintln!("{flag} requires a value; ignoring");
+                None
+            }
+        };
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--full" | "--full-scale" => options.full_scale = true,
+                "--json" | "--out" => {
+                    if let Some(path) = next_value(&mut iter, arg.as_str()) {
+                        options.json_path = Some(PathBuf::from(path));
+                    }
+                }
+                "--threads" => {
+                    if let Some(count) =
+                        next_value(&mut iter, "--threads").and_then(|v| v.parse().ok())
+                    {
+                        options.threads = Some(count);
+                    }
+                }
+                "--samples" => {
+                    if let Some(count) =
+                        next_value(&mut iter, "--samples").and_then(|v| v.parse().ok())
+                    {
+                        options.samples = Some(count);
+                    }
+                }
+                "--backend" => {
+                    if let Some(value) = next_value(&mut iter, "--backend") {
+                        match value.parse() {
+                            Ok(kind) => options.backend = Some(kind),
+                            Err(e) => eprintln!("{e}; ignoring --backend"),
+                        }
+                    }
+                }
+                _ => options.positional.push(arg),
+            }
+        }
+        options
+    }
+
+    /// The pipeline worker policy implied by `--threads` (defaults to one
+    /// worker per CPU).
+    #[must_use]
+    pub fn parallelism(&self) -> Parallelism {
+        match self.threads {
+            Some(threads) => Parallelism::threads(threads),
+            None => Parallelism::Auto,
+        }
+    }
+
+    /// The selected backend technology (defaults to the paper's SRAM
+    /// voltage-scaling model).
+    #[must_use]
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.unwrap_or(BackendKind::Sram)
+    }
+
+    /// Builds the selected backend with its operating point calibrated to
+    /// the marginal per-cell fault probability `p_cell` on the given
+    /// geometry — so switching `--backend` keeps the fault density matched
+    /// and only changes the technology's fault structure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration errors (a `p_cell` the technology's law
+    /// cannot reach).
+    pub fn backend_at_p_cell(
+        &self,
+        memory: MemoryConfig,
+        p_cell: f64,
+    ) -> Result<Backend, MemError> {
+        Backend::at_p_cell(self.backend_kind(), memory, p_cell)
+    }
+
+    /// The Monte-Carlo samples per failure count: the `--samples` override
+    /// when given, otherwise `default`.
+    #[must_use]
+    pub fn samples_or(&self, default: usize) -> usize {
+        self.samples.unwrap_or(default).max(1)
+    }
+
+    /// Writes `value` as pretty JSON to the configured path, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_json<T: ToJson + ?Sized>(
+        &self,
+        value: &T,
+    ) -> Result<(), Box<dyn std::error::Error>> {
+        if let Some(path) = &self.json_path {
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)?;
+                }
+            }
+            std::fs::write(path, value.to_json().to_pretty_string())?;
+            println!("wrote JSON series to {}", path.display());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+
+    #[test]
+    fn parse_recognises_flags_and_positionals() {
+        let opts = RunOptions::parse(
+            [
+                "--full",
+                "elasticnet",
+                "--json",
+                "out/series.json",
+                "--threads",
+                "4",
+                "--samples",
+                "25",
+                "--backend",
+                "dram",
+            ]
+            .iter()
+            .map(|s| (*s).to_owned()),
+        );
+        assert!(opts.full_scale);
+        assert_eq!(opts.positional, vec!["elasticnet".to_owned()]);
+        assert_eq!(opts.json_path, Some(PathBuf::from("out/series.json")));
+        assert_eq!(opts.threads, Some(4));
+        assert_eq!(opts.samples, Some(25));
+        assert_eq!(opts.samples_or(100), 25);
+        assert_eq!(opts.backend, Some(BackendKind::Dram));
+        assert_eq!(opts.backend_kind(), BackendKind::Dram);
+        assert_eq!(opts.parallelism(), Parallelism::threads(4));
+    }
+
+    #[test]
+    fn parse_defaults_are_empty() {
+        let opts = RunOptions::parse(std::iter::empty());
+        assert!(!opts.full_scale);
+        assert!(opts.json_path.is_none());
+        assert!(opts.threads.is_none());
+        assert!(opts.samples.is_none());
+        assert!(opts.backend.is_none());
+        assert!(opts.positional.is_empty());
+        assert_eq!(opts.parallelism(), Parallelism::Auto);
+        assert_eq!(opts.backend_kind(), BackendKind::Sram);
+        assert_eq!(opts.samples_or(60), 60);
+    }
+
+    #[test]
+    fn out_is_an_alias_for_json() {
+        let opts = RunOptions::parse(["--out", "results/x.json"].iter().map(|s| (*s).to_owned()));
+        assert_eq!(opts.json_path, Some(PathBuf::from("results/x.json")));
+    }
+
+    #[test]
+    fn missing_or_invalid_values_are_ignored() {
+        let opts = RunOptions::parse(["--json".to_owned()]);
+        assert!(opts.json_path.is_none());
+        // A non-numeric --threads value is consumed and ignored.
+        let opts = RunOptions::parse(["--threads".to_owned(), "abc".to_owned()]);
+        assert!(opts.threads.is_none());
+        assert!(opts.positional.is_empty());
+        // An unknown backend is consumed, reported and ignored.
+        let opts = RunOptions::parse(["--backend".to_owned(), "flash".to_owned()]);
+        assert!(opts.backend.is_none());
+        assert!(opts.positional.is_empty());
+    }
+
+    #[test]
+    fn backend_at_p_cell_builds_density_matched_backends() {
+        use faultmit_memsim::FaultBackend;
+        let memory = MemoryConfig::new(64, 32).unwrap();
+        for name in ["sram", "dram", "mlc"] {
+            let opts = RunOptions::parse(["--backend".to_owned(), name.to_owned()]);
+            let backend = opts.backend_at_p_cell(memory, 1e-4).unwrap();
+            assert_eq!(backend.kind(), opts.backend_kind());
+            assert!(
+                (backend.p_cell().log10() + 4.0).abs() < 0.05,
+                "{name}: p_cell = {}",
+                backend.p_cell()
+            );
+        }
+    }
+
+    #[test]
+    fn write_json_without_path_is_a_no_op() {
+        let opts = RunOptions::default();
+        opts.write_json(&vec![1.0, 2.0, 3.0]).unwrap();
+    }
+
+    #[test]
+    fn write_json_creates_parent_directories() {
+        let dir = std::env::temp_dir().join("faultmit-bench-test");
+        let path = dir.join("nested").join("series.json");
+        let opts = RunOptions {
+            json_path: Some(path.clone()),
+            ..RunOptions::default()
+        };
+        opts.write_json(&JsonValue::object([("ok", true.to_json())]))
+            .unwrap();
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.contains("\"ok\": true"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

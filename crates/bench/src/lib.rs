@@ -2,175 +2,21 @@
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the paper
 //! (see DESIGN.md for the experiment index) and prints the corresponding
-//! rows/series; with `--json <path>` the same series is written as a
-//! machine-readable JSON document (via the in-tree [`json`] emitter — the
-//! offline build has no `serde_json`) so EXPERIMENTS.md values can be
-//! traced. `--threads N` pins the fault-injection pipeline's worker count
-//! (`--threads 1` forces the serial path; the default uses every CPU).
+//! rows/series; with `--json <path>` (alias `--out`) the same series is
+//! written as a machine-readable JSON document (via the in-tree [`json`]
+//! emitter — the offline build has no `serde_json`) so EXPERIMENTS.md
+//! values can be traced.
+//!
+//! All command-line handling lives in the [`cli`] module: `--threads N`
+//! pins the fault-injection pipeline's worker count, `--samples N`
+//! overrides the Monte-Carlo budget, and `--backend sram|dram|mlc` selects
+//! the fault-generation technology so every binary picks up new
+//! [`faultmit_memsim::backend`] implementations for free.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cli;
 pub mod json;
 
-use faultmit_sim::Parallelism;
-use json::ToJson;
-use std::path::PathBuf;
-
-/// Command-line options shared by the figure binaries.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct RunOptions {
-    /// Run at the paper's full scale (slower); the default is a reduced but
-    /// shape-preserving configuration.
-    pub full_scale: bool,
-    /// Optional path to write the JSON series to.
-    pub json_path: Option<PathBuf>,
-    /// Optional worker-thread count for the simulation pipeline
-    /// (`None` = one worker per CPU).
-    pub threads: Option<usize>,
-    /// Positional arguments (e.g. the benchmark selector of `fig7_quality`).
-    pub positional: Vec<String>,
-}
-
-impl RunOptions {
-    /// Parses options from the process arguments (skipping the binary name).
-    #[must_use]
-    pub fn from_args() -> Self {
-        Self::parse(std::env::args().skip(1))
-    }
-
-    /// Parses options from an explicit iterator (used in tests).
-    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
-        let mut options = Self::default();
-        let mut iter = args.into_iter().peekable();
-        // A flag's value is only consumed when the next token is not itself
-        // a flag, so `--threads --full` complains instead of silently eating
-        // `--full`.
-        let next_value = |iter: &mut std::iter::Peekable<I::IntoIter>, flag: &str| match iter.peek()
-        {
-            Some(value) if !value.starts_with("--") => iter.next(),
-            _ => {
-                eprintln!("{flag} requires a value; ignoring");
-                None
-            }
-        };
-        while let Some(arg) = iter.next() {
-            match arg.as_str() {
-                "--full" | "--full-scale" => options.full_scale = true,
-                "--json" => {
-                    if let Some(path) = next_value(&mut iter, "--json") {
-                        options.json_path = Some(PathBuf::from(path));
-                    }
-                }
-                "--threads" => {
-                    if let Some(count) =
-                        next_value(&mut iter, "--threads").and_then(|v| v.parse().ok())
-                    {
-                        options.threads = Some(count);
-                    }
-                }
-                _ => options.positional.push(arg),
-            }
-        }
-        options
-    }
-
-    /// The pipeline worker policy implied by `--threads` (defaults to one
-    /// worker per CPU).
-    #[must_use]
-    pub fn parallelism(&self) -> Parallelism {
-        match self.threads {
-            Some(threads) => Parallelism::threads(threads),
-            None => Parallelism::Auto,
-        }
-    }
-
-    /// Writes `value` as pretty JSON to the configured path, if any.
-    ///
-    /// # Errors
-    ///
-    /// Propagates I/O errors.
-    pub fn write_json<T: ToJson + ?Sized>(
-        &self,
-        value: &T,
-    ) -> Result<(), Box<dyn std::error::Error>> {
-        if let Some(path) = &self.json_path {
-            if let Some(parent) = path.parent() {
-                if !parent.as_os_str().is_empty() {
-                    std::fs::create_dir_all(parent)?;
-                }
-            }
-            std::fs::write(path, value.to_json().to_pretty_string())?;
-            println!("wrote JSON series to {}", path.display());
-        }
-        Ok(())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use json::JsonValue;
-
-    #[test]
-    fn parse_recognises_flags_and_positionals() {
-        let opts = RunOptions::parse(
-            [
-                "--full",
-                "elasticnet",
-                "--json",
-                "out/series.json",
-                "--threads",
-                "4",
-            ]
-            .iter()
-            .map(|s| (*s).to_owned()),
-        );
-        assert!(opts.full_scale);
-        assert_eq!(opts.positional, vec!["elasticnet".to_owned()]);
-        assert_eq!(opts.json_path, Some(PathBuf::from("out/series.json")));
-        assert_eq!(opts.threads, Some(4));
-        assert_eq!(opts.parallelism(), Parallelism::threads(4));
-    }
-
-    #[test]
-    fn parse_defaults_are_empty() {
-        let opts = RunOptions::parse(std::iter::empty());
-        assert!(!opts.full_scale);
-        assert!(opts.json_path.is_none());
-        assert!(opts.threads.is_none());
-        assert!(opts.positional.is_empty());
-        assert_eq!(opts.parallelism(), Parallelism::Auto);
-    }
-
-    #[test]
-    fn missing_json_value_is_ignored() {
-        let opts = RunOptions::parse(["--json".to_owned()]);
-        assert!(opts.json_path.is_none());
-        // A non-numeric --threads value is consumed and ignored.
-        let opts = RunOptions::parse(["--threads".to_owned(), "abc".to_owned()]);
-        assert!(opts.threads.is_none());
-        assert!(opts.positional.is_empty());
-    }
-
-    #[test]
-    fn write_json_without_path_is_a_no_op() {
-        let opts = RunOptions::default();
-        opts.write_json(&vec![1.0, 2.0, 3.0]).unwrap();
-    }
-
-    #[test]
-    fn write_json_creates_parent_directories() {
-        let dir = std::env::temp_dir().join("faultmit-bench-test");
-        let path = dir.join("nested").join("series.json");
-        let opts = RunOptions {
-            json_path: Some(path.clone()),
-            ..RunOptions::default()
-        };
-        opts.write_json(&JsonValue::object([("ok", true.to_json())]))
-            .unwrap();
-        let written = std::fs::read_to_string(&path).unwrap();
-        assert!(written.contains("\"ok\": true"));
-        let _ = std::fs::remove_dir_all(dir);
-    }
-}
+pub use cli::RunOptions;

@@ -6,7 +6,7 @@
 //! * [`HammingSecded`] — single-error-correction / double-error-detection
 //!   Hamming codes for arbitrary data widths, including the paper's
 //!   H(39,32) (full-word SECDED for 32-bit data) and H(22,16) codes.
-//! * [`PriorityEcc`] — priority-based ECC (P-ECC [4,12]): only the most
+//! * [`PriorityEcc`] — priority-based ECC (P-ECC \[4,12\]): only the most
 //!   significant half of each word is protected by a smaller SECDED code,
 //!   trading LSB protection for reduced overhead.
 //! * [`EccMemory`] / [`PeccMemory`] — protected memories that couple a codec

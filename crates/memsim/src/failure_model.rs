@@ -14,7 +14,7 @@
 //! from ≈1e-9 at the nominal 1.0 V to ≈1e-2 at 0.6 V, and the yield
 //! `(1 − P_cell)^M` of a 16 KB array collapses to ≈0 around 0.73 V.
 //!
-//! The model also captures the *fault inclusion property* [14]: a cell that
+//! The model also captures the *fault inclusion property* \[14\]: a cell that
 //! fails at a given `V_DD` fails at every lower `V_DD`, because its (fixed)
 //! margin deviation is compared against a threshold that only grows as the
 //! voltage drops. See [`crate::voltage::VoltageScaledDie`].

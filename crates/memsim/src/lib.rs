@@ -10,6 +10,13 @@
 //! * [`CellFailureModel`] — an analytical Gaussian noise-margin model of the
 //!   bit-cell failure probability `P_cell(V_DD)` replacing the paper's
 //!   SPICE/importance-sampling flow (Fig. 2).
+//! * [`backend`] — the [`FaultBackend`] abstraction over memory
+//!   technologies: [`SramVddBackend`] (the paper's model, bit-identical to
+//!   the historical pipeline), [`DramRetentionBackend`] (exponential
+//!   weak-cell retention times, spatially clustered faults) and
+//!   [`MlcNvmBackend`] (drift-broadened level margins, level-dependent
+//!   asymmetric bit errors). See the module docs for a worked
+//!   "add your own backend" example.
 //! * [`DieSampler`] and [`montecarlo`] — Monte-Carlo generation of dies and
 //!   fault maps following the binomial failure-count distribution of Eq. (4).
 //! * [`StreamSeeder`] / [`DieBatch`] — deterministic stream-splitting of a
@@ -42,6 +49,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod array;
+pub mod backend;
 pub mod bist;
 pub mod config;
 pub mod error;
@@ -54,6 +62,10 @@ pub mod stats;
 pub mod voltage;
 
 pub use array::{corrupt_word, SramArray};
+pub use backend::{
+    Backend, BackendKind, DramRetentionBackend, FaultBackend, FaultKindLaw, MlcNvmBackend,
+    OperatingPoint, SramVddBackend,
+};
 pub use bist::{BistReport, MarchBist, RowFaultReport};
 pub use config::MemoryConfig;
 pub use error::MemError;

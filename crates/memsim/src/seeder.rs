@@ -9,6 +9,7 @@
 //! index)` so that neighbouring indices yield statistically independent
 //! streams.
 
+use crate::backend::FaultBackend;
 use crate::config::MemoryConfig;
 use crate::error::MemError;
 use crate::fault::FaultMap;
@@ -114,10 +115,51 @@ impl DieBatch {
         seeder: &StreamSeeder,
         plan: &[PlannedSample],
     ) -> Result<Self, MemError> {
+        Self::generate_with(
+            |rng, n_faults| sampler.sample_with_count(rng, n_faults),
+            seeder,
+            plan,
+        )
+    }
+
+    /// Generates the batch by drawing every fault map from a
+    /// [`FaultBackend`]'s spatial law — the backend-generic pipeline entry
+    /// point. With [`crate::backend::SramVddBackend`] this is bit-identical
+    /// to [`DieBatch::generate`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampling errors.
+    pub fn generate_with_backend<B: FaultBackend + ?Sized>(
+        backend: &B,
+        seeder: &StreamSeeder,
+        plan: &[PlannedSample],
+    ) -> Result<Self, MemError> {
+        Self::generate_with(
+            |rng, n_faults| backend.sample_with_count(rng, n_faults),
+            seeder,
+            plan,
+        )
+    }
+
+    /// Generates the batch from an arbitrary sampling function of the
+    /// per-sample RNG and the planned fault count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampling errors.
+    pub fn generate_with<F>(
+        mut sample: F,
+        seeder: &StreamSeeder,
+        plan: &[PlannedSample],
+    ) -> Result<Self, MemError>
+    where
+        F: FnMut(&mut StdRng, usize) -> Result<FaultMap, MemError>,
+    {
         let mut samples = Vec::with_capacity(plan.len());
         for &planned in plan {
             let mut rng = seeder.rng_for_sample(planned.index);
-            let map = sampler.sample_with_count(&mut rng, planned.n_faults as usize)?;
+            let map = sample(&mut rng, planned.n_faults as usize)?;
             samples.push((planned, map));
         }
         Ok(Self { samples })
@@ -136,19 +178,44 @@ impl DieBatch {
         plan: &[PlannedSample],
         max_redraws: usize,
     ) -> Result<Self, MemError> {
-        let mut samples = Vec::with_capacity(plan.len());
-        for &planned in plan {
-            let mut rng = seeder.rng_for_sample(planned.index);
-            let mut map = sampler.sample_with_count(&mut rng, planned.n_faults as usize)?;
-            for _ in 0..max_redraws {
-                if map.max_faults_per_row() <= 1 {
-                    break;
-                }
-                map = sampler.sample_with_count(&mut rng, planned.n_faults as usize)?;
-            }
-            samples.push((planned, map));
-        }
-        Ok(Self { samples })
+        Self::generate_with(
+            |rng, n_faults| {
+                redraw_until_single_fault_rows(
+                    |rng| sampler.sample_with_count(rng, n_faults),
+                    rng,
+                    max_redraws,
+                )
+            },
+            seeder,
+            plan,
+        )
+    }
+
+    /// Backend-generic variant of
+    /// [`DieBatch::generate_single_fault_per_row`]: redraws (bounded) maps
+    /// that place more than one fault in a single row, using the backend's
+    /// spatial law for every draw.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampling errors.
+    pub fn generate_single_fault_per_row_with_backend<B: FaultBackend + ?Sized>(
+        backend: &B,
+        seeder: &StreamSeeder,
+        plan: &[PlannedSample],
+        max_redraws: usize,
+    ) -> Result<Self, MemError> {
+        Self::generate_with(
+            |rng, n_faults| {
+                redraw_until_single_fault_rows(
+                    |rng| backend.sample_with_count(rng, n_faults),
+                    rng,
+                    max_redraws,
+                )
+            },
+            seeder,
+            plan,
+        )
     }
 
     /// Number of dies in the batch.
@@ -173,6 +240,32 @@ impl DieBatch {
     pub fn config(&self) -> Option<MemoryConfig> {
         self.samples.first().map(|(_, m)| m.config())
     }
+}
+
+/// Draws a map and redraws it (up to `max_redraws` times) while any row
+/// holds more than one fault — the Fig. 7 filtering protocol, identical in
+/// RNG consumption to the historical inline loop.
+///
+/// Best-effort: when the budget runs out the last draw is kept, multi-fault
+/// rows and all. Spatial laws that cluster faults (DRAM retention) exhaust
+/// the budget routinely at higher fault counts; callers comparing against
+/// an "ECC is error-free" reference must not rely on the filter there.
+fn redraw_until_single_fault_rows<F>(
+    mut draw: F,
+    rng: &mut StdRng,
+    max_redraws: usize,
+) -> Result<FaultMap, MemError>
+where
+    F: FnMut(&mut StdRng) -> Result<FaultMap, MemError>,
+{
+    let mut map = draw(rng)?;
+    for _ in 0..max_redraws {
+        if map.max_faults_per_row() <= 1 {
+            break;
+        }
+        map = draw(rng)?;
+    }
+    Ok(map)
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 //! In the presence of process variations, the set of failing cells of a die
 //! grows monotonically as the supply voltage is scaled down: a cell that
 //! fails at a given `V_DD` fails at every lower `V_DD` (the *fault inclusion
-//! property* of [14] in the paper). This module models a die as a fixed
+//! property* of \[14\] in the paper). This module models a die as a fixed
 //! vector of per-cell margin deviations; the fault map exposed at any `V_DD`
 //! is derived by thresholding those deviations against the failure model.
 

@@ -15,6 +15,13 @@
 //!   [`Accumulator`] merge in chunk order, making the reduction
 //!   order-preserving and therefore bit-identical at any worker count.
 //!
+//! Campaigns are generic over the fault-generating
+//! [`faultmit_memsim::FaultBackend`]: [`CampaignConfig::new`] keeps the
+//! paper's SRAM voltage-scaling model (bit-identical to the historical
+//! pipeline), while [`CampaignConfig::for_backend`] runs the identical
+//! protocol against DRAM-retention, MLC-NVM or user-defined fault
+//! processes.
+//!
 //! ```
 //! use faultmit_core::Scheme;
 //! use faultmit_memsim::MemoryConfig;

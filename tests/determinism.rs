@@ -7,7 +7,7 @@
 use faultmit::analysis::{MonteCarloConfig, MonteCarloEngine};
 use faultmit::apps::{Benchmark, QualityEvaluator};
 use faultmit::core::Scheme;
-use faultmit::memsim::MemoryConfig;
+use faultmit::memsim::{Backend, BackendKind, MemoryConfig};
 use faultmit::sim::{Campaign, CampaignConfig, CollectRecords, Parallelism};
 
 const SEED: u64 = 0xD373_1213;
@@ -108,6 +108,87 @@ fn different_seeds_produce_different_populations() {
         )
         .unwrap();
     assert_ne!(a, b);
+}
+
+#[test]
+fn every_backend_is_bit_identical_serial_vs_threaded_at_any_chunk_size() {
+    // The backend-generic determinism gate: for SRAM voltage scaling, DRAM
+    // retention (clustered maps) and MLC NVM (level-weighted maps) alike,
+    // the same campaign seed must reproduce the exact record stream, CDFs
+    // and weights regardless of worker count and chunking.
+    let memory = MemoryConfig::new(512, 32).unwrap();
+    let schemes = Scheme::fig5_catalogue();
+    for kind in BackendKind::ALL {
+        let backend = Backend::at_p_cell(kind, memory, 5e-4).unwrap();
+        let base = CampaignConfig::for_backend(backend)
+            .unwrap()
+            .with_samples_per_count(12)
+            .with_max_failures(10);
+
+        let reference = Campaign::new(base.with_parallelism(Parallelism::Serial))
+            .run(
+                &schemes,
+                SEED,
+                faultmit::analysis::memory_mse,
+                CollectRecords::new,
+            )
+            .unwrap();
+        assert_eq!(reference.records.len(), 120, "{kind}");
+
+        for (workers, chunk_size) in [(2usize, 1usize), (4, 7), (8, 64)] {
+            let variant = Campaign::new(
+                base.with_parallelism(Parallelism::threads(workers))
+                    .with_chunk_size(chunk_size),
+            )
+            .run(
+                &schemes,
+                SEED,
+                faultmit::analysis::memory_mse,
+                CollectRecords::new,
+            )
+            .unwrap();
+            assert_eq!(
+                reference, variant,
+                "{kind}: {workers} workers, chunk size {chunk_size}"
+            );
+        }
+    }
+}
+
+#[test]
+fn backend_engine_cdfs_are_bit_identical_serial_vs_threaded() {
+    // Same gate one layer up: the MSE-specialised engine's combined and
+    // per-count CDFs, per backend.
+    let memory = MemoryConfig::new(256, 32).unwrap();
+    let schemes = [Scheme::unprotected32(), Scheme::shuffle32(2).unwrap()];
+    for kind in BackendKind::ALL {
+        let backend = Backend::at_p_cell(kind, memory, 1e-3).unwrap();
+        let build = |parallelism| {
+            MonteCarloEngine::new(
+                MonteCarloConfig::for_backend(backend)
+                    .with_samples_per_count(10)
+                    .with_max_failures(8)
+                    .with_parallelism(parallelism),
+            )
+        };
+        let serial = build(Parallelism::Serial)
+            .run_catalogue(&schemes, SEED)
+            .unwrap();
+        let threaded = build(Parallelism::threads(4))
+            .run_catalogue(&schemes, SEED)
+            .unwrap();
+        for (a, b) in serial.iter().zip(&threaded) {
+            assert_eq!(a.cdf, b.cdf, "{kind}: {}", a.scheme_name);
+            assert_eq!(
+                a.cdf.total_weight().to_bits(),
+                b.cdf.total_weight().to_bits(),
+                "{kind}"
+            );
+            for (n, cdf_a) in a.yield_model.per_count_cdfs() {
+                assert_eq!(cdf_a, &b.yield_model.per_count_cdfs()[n], "{kind}: n={n}");
+            }
+        }
+    }
 }
 
 #[test]

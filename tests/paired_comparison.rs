@@ -12,7 +12,7 @@
 
 use faultmit::analysis::memory_mse;
 use faultmit::core::{Scheme, SegmentGeometry};
-use faultmit::memsim::MemoryConfig;
+use faultmit::memsim::{Backend, BackendKind, MemoryConfig};
 use faultmit::sim::{Campaign, CampaignConfig, CollectRecords, Parallelism};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -64,6 +64,47 @@ fn shuffling_never_exceeds_unprotected_mse_on_shared_dies() {
                 record.sample_index,
                 record.n_faults,
             );
+        }
+    }
+}
+
+#[test]
+fn shuffling_never_exceeds_unprotected_mse_on_any_backend() {
+    // The structural guarantee is backend-agnostic: whatever spatial law
+    // placed the faults — iid SRAM flips, clustered DRAM retention bursts,
+    // level-weighted MLC errors — `FmLut::choose_shift` includes the
+    // identity rotation in its search, so on every shared die the shuffled
+    // MSE is bounded by the unprotected MSE.
+    let memory = MemoryConfig::new(256, 32).unwrap();
+    for kind in BackendKind::ALL {
+        let backend = Backend::at_p_cell(kind, memory, 2e-3).unwrap();
+        for n_fm in [1usize, 3, 5] {
+            let schemes = [Scheme::unprotected32(), Scheme::shuffle32(n_fm).unwrap()];
+            let config = CampaignConfig::for_backend(backend)
+                .unwrap()
+                .with_samples_per_count(6)
+                .with_max_failures(16)
+                .with_parallelism(Parallelism::threads(2));
+            let records = Campaign::new(config)
+                .run(
+                    &schemes,
+                    0xBAC2 + n_fm as u64,
+                    memory_mse,
+                    CollectRecords::new,
+                )
+                .unwrap();
+
+            assert!(!records.records.is_empty(), "{kind}");
+            for record in &records.records {
+                let (unprotected, shuffled) = (record.metrics[0], record.metrics[1]);
+                assert!(
+                    shuffled <= unprotected * (1.0 + 1e-12) + 1e-12,
+                    "{kind} nFM={n_fm}: die {} with {} faults: \
+                     shuffle MSE {shuffled} > unprotected {unprotected}",
+                    record.sample_index,
+                    record.n_faults,
+                );
+            }
         }
     }
 }

@@ -35,6 +35,25 @@ impl CatalogueAccumulator {
         self.per_scheme.len()
     }
 
+    /// The accumulated per-scheme, per-failure-count CDFs in catalogue
+    /// order — the accumulator's complete shard state, exposed so campaign
+    /// shards can serialise it (see `faultmit-bench`'s shard-state module).
+    #[must_use]
+    pub fn per_scheme_counts(&self) -> &[BTreeMap<u64, EmpiricalCdf>] {
+        &self.per_scheme
+    }
+
+    /// Rebuilds an accumulator from previously captured shard state (the
+    /// inverse of [`CatalogueAccumulator::per_scheme_counts`]).
+    ///
+    /// Observation order inside each CDF is preserved, so a round-trip
+    /// through serialisation followed by [`Accumulator::merge`] is
+    /// bit-identical to merging the original accumulators.
+    #[must_use]
+    pub fn from_per_scheme_counts(per_scheme: Vec<BTreeMap<u64, EmpiricalCdf>>) -> Self {
+        Self { per_scheme }
+    }
+
     /// Total number of recorded samples of the first scheme (all schemes see
     /// the same count).
     #[must_use]

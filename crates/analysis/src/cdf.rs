@@ -34,6 +34,25 @@ impl CdfSketch {
         Self::default()
     }
 
+    /// Rebuilds a sketch from `(value, weight)` observations in order — the
+    /// deserialisation path of the shard-state files.
+    ///
+    /// Each observation is re-[`push`](CdfSketch::push)ed, so the running
+    /// (order-sensitive) total weight is re-accumulated exactly as a serial
+    /// accumulation would: a sketch serialised as its observation list and
+    /// rebuilt through this constructor is bit-identical to the original.
+    #[must_use]
+    pub fn from_observations<I>(observations: I) -> Self
+    where
+        I: IntoIterator<Item = (f64, f64)>,
+    {
+        let mut sketch = Self::new();
+        for (value, weight) in observations {
+            sketch.push(value, weight);
+        }
+        sketch
+    }
+
     /// Adds one observation with the given non-negative weight.
     ///
     /// Observations with zero weight or non-finite values are ignored.

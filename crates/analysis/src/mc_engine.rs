@@ -20,7 +20,7 @@ use faultmit_core::MitigationScheme;
 use faultmit_memsim::{
     FailureCountDistribution, FaultBackend, MemoryConfig, OperatingPoint, SramVddBackend,
 };
-use faultmit_sim::{Campaign, CampaignConfig, Parallelism, SimError};
+use faultmit_sim::{Campaign, CampaignConfig, Parallelism, ShardSpec, SimError};
 
 /// Configuration of one Monte-Carlo campaign, generic over the
 /// fault-generating [`FaultBackend`] (default: the paper's SRAM
@@ -298,6 +298,10 @@ impl<B: FaultBackend + Clone> MonteCarloEngine<B> {
     /// die, so per-die comparisons are exact rather than only statistically
     /// matched.
     ///
+    /// This is the monolithic ([`ShardSpec::solo`]) special case of the
+    /// sharded path: one full-coverage shard state, immediately reduced to
+    /// results.
+    ///
     /// # Errors
     ///
     /// Propagates the first error encountered.
@@ -306,20 +310,66 @@ impl<B: FaultBackend + Clone> MonteCarloEngine<B> {
         schemes: &[S],
         seed: u64,
     ) -> Result<Vec<SchemeMseResult>, AnalysisError> {
-        let distribution = self.config.failure_distribution()?;
-        let max_failures = self.config.effective_max_failures()?;
-        let campaign = Campaign::new(self.config.to_campaign_config()?);
+        let state = self.run_catalogue_shard(schemes, seed, ShardSpec::solo())?;
+        self.results_from_state(schemes, state)
+    }
 
-        let accumulator = campaign
-            .run(
+    /// Runs one shard of the paired campaign, returning the raw accumulator
+    /// state instead of finished results.
+    ///
+    /// Shard states merged in shard order (via
+    /// [`faultmit_sim::Accumulator::merge`]) are bit-identical to the
+    /// monolithic [`MonteCarloEngine::run_catalogue`] accumulation; feed the
+    /// merged state to [`MonteCarloEngine::results_from_state`] to obtain
+    /// the exact monolithic results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and sampling errors.
+    pub fn run_catalogue_shard<S: MitigationScheme + Sync>(
+        &self,
+        schemes: &[S],
+        seed: u64,
+        shard: ShardSpec,
+    ) -> Result<CatalogueAccumulator, AnalysisError> {
+        let campaign = Campaign::new(self.config.to_campaign_config()?);
+        campaign
+            .run_shard(
                 schemes,
                 seed,
+                shard,
                 |scheme, map| memory_mse(scheme, map),
                 || CatalogueAccumulator::new(schemes.len()),
             )
-            .map_err(sim_to_analysis_error)?;
+            .map_err(sim_to_analysis_error)
+    }
 
-        Ok(accumulator
+    /// Converts accumulated (possibly shard-merged) campaign state into the
+    /// per-scheme MSE results — the reduction half of
+    /// [`MonteCarloEngine::run_catalogue`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::InvalidParameter`] when the state tracks a
+    /// different number of schemes than the catalogue, and propagates
+    /// distribution errors.
+    pub fn results_from_state<S: MitigationScheme + Sync>(
+        &self,
+        schemes: &[S],
+        state: CatalogueAccumulator,
+    ) -> Result<Vec<SchemeMseResult>, AnalysisError> {
+        if state.scheme_count() != schemes.len() {
+            return Err(AnalysisError::InvalidParameter {
+                reason: format!(
+                    "campaign state tracks {} schemes, catalogue has {}",
+                    state.scheme_count(),
+                    schemes.len()
+                ),
+            });
+        }
+        let distribution = self.config.failure_distribution()?;
+        let max_failures = self.config.effective_max_failures()?;
+        Ok(state
             .into_yield_models(distribution)
             .into_iter()
             .zip(schemes)
@@ -532,6 +582,39 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.cdf, y.cdf);
         }
+    }
+
+    #[test]
+    fn shard_states_merged_in_order_reproduce_the_monolithic_results() {
+        use faultmit_sim::Accumulator;
+        let engine = MonteCarloEngine::new(small_config());
+        let schemes = [Scheme::unprotected32(), Scheme::shuffle32(2).unwrap()];
+        let monolithic = engine.run_catalogue(&schemes, 37).unwrap();
+        for shard_count in [1usize, 2, 3, 7] {
+            let mut merged = CatalogueAccumulator::new(schemes.len());
+            for index in 0..shard_count {
+                let shard = ShardSpec::new(index, shard_count).unwrap();
+                merged.merge(engine.run_catalogue_shard(&schemes, 37, shard).unwrap());
+            }
+            let results = engine.results_from_state(&schemes, merged).unwrap();
+            for (a, b) in monolithic.iter().zip(&results) {
+                assert_eq!(a.scheme_name, b.scheme_name, "{shard_count} shards");
+                assert_eq!(a.cdf, b.cdf, "{shard_count} shards: {}", a.scheme_name);
+                assert_eq!(
+                    a.cdf.total_weight().to_bits(),
+                    b.cdf.total_weight().to_bits(),
+                    "{shard_count} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn results_from_state_rejects_catalogue_size_mismatches() {
+        let engine = MonteCarloEngine::new(small_config());
+        let schemes = [Scheme::unprotected32(), Scheme::pecc32()];
+        let state = CatalogueAccumulator::new(3);
+        assert!(engine.results_from_state(&schemes, state).is_err());
     }
 
     #[test]

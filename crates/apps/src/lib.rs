@@ -63,4 +63,4 @@ pub use fixedpoint::FixedPointFormat;
 pub use knn::KnnClassifier;
 pub use linalg::Matrix;
 pub use pca::Pca;
-pub use quality_eval::{Benchmark, QualityEvaluator, QualityEvaluatorBuilder};
+pub use quality_eval::{Benchmark, QualityCdfResult, QualityEvaluator, QualityEvaluatorBuilder};

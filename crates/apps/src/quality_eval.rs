@@ -27,7 +27,7 @@ use crate::preprocessing::{train_test_split, Standardizer};
 use faultmit_analysis::{CatalogueAccumulator, EmpiricalCdf, YieldModel};
 use faultmit_core::MitigationScheme;
 use faultmit_memsim::{FaultBackend, FaultMap, FaultMapSampler, MemoryConfig, SramVddBackend};
-use faultmit_sim::{Campaign, CampaignConfig, MapPolicy, Parallelism};
+use faultmit_sim::{Campaign, CampaignConfig, MapPolicy, Parallelism, ShardSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -382,18 +382,46 @@ impl QualityEvaluator {
         seed: u64,
         discard_multi_fault_words: bool,
     ) -> Result<Vec<QualityCdfResult>, AppError> {
-        if backend.config() != self.memory_config {
-            return Err(AppError::InvalidParameter {
-                reason: format!(
-                    "backend '{}' is built for {:?}, evaluator for {:?}",
-                    backend.name(),
-                    backend.config(),
-                    self.memory_config
-                ),
-            });
-        }
+        let state = self.quality_shard_on(
+            schemes,
+            backend,
+            max_failures,
+            samples_per_count,
+            seed,
+            discard_multi_fault_words,
+            ShardSpec::solo(),
+        )?;
+        self.quality_results_from_state(schemes, backend, state)
+    }
+
+    /// Runs one shard of the paired Fig. 7 campaign, returning the raw
+    /// accumulator state instead of finished results.
+    ///
+    /// Shard states merged in shard order (via
+    /// [`faultmit_sim::Accumulator::merge`]) are bit-identical to the
+    /// monolithic accumulation of
+    /// [`QualityEvaluator::quality_cdfs_paired_on`] — which is the
+    /// [`ShardSpec::solo`] special case of this method. Feed the merged
+    /// state to [`QualityEvaluator::quality_results_from_state`] to obtain
+    /// the exact monolithic results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AppError::InvalidParameter`] on a geometry mismatch, and
+    /// propagates sampling and evaluation errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn quality_shard_on<S: MitigationScheme + Sync, B: FaultBackend + Clone>(
+        &self,
+        schemes: &[S],
+        backend: &B,
+        max_failures: u64,
+        samples_per_count: usize,
+        seed: u64,
+        discard_multi_fault_words: bool,
+        shard: ShardSpec,
+    ) -> Result<CatalogueAccumulator, AppError> {
+        self.check_backend_geometry(backend)?;
         let baseline = self.baseline_quality()?;
-        let distribution = backend.failure_distribution()?;
 
         let map_policy = if discard_multi_fault_words {
             // Bounded redraws so extreme fault densities cannot loop forever.
@@ -410,19 +438,48 @@ impl QualityEvaluator {
             // worker threads stay balanced.
             .with_chunk_size(4);
 
-        let accumulator = Campaign::new(config)
-            .try_run(
+        Campaign::new(config)
+            .try_run_shard(
                 schemes,
                 seed,
+                shard,
                 |scheme, faults| {
                     let quality = self.quality_with_fault_map(scheme, faults)?;
                     Ok::<f64, AppError>(normalized_quality(quality, baseline))
                 },
                 || CatalogueAccumulator::new(schemes.len()),
             )
-            .map_err(AppError::from)?;
+            .map_err(AppError::from)
+    }
 
-        Ok(accumulator
+    /// Converts accumulated (possibly shard-merged) campaign state into the
+    /// per-scheme quality results — the reduction half of
+    /// [`QualityEvaluator::quality_cdfs_paired_on`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AppError::InvalidParameter`] on geometry or catalogue-size
+    /// mismatches, and propagates baseline evaluation errors.
+    pub fn quality_results_from_state<S: MitigationScheme + Sync, B: FaultBackend>(
+        &self,
+        schemes: &[S],
+        backend: &B,
+        state: CatalogueAccumulator,
+    ) -> Result<Vec<QualityCdfResult>, AppError> {
+        self.check_backend_geometry(backend)?;
+        if state.scheme_count() != schemes.len() {
+            return Err(AppError::InvalidParameter {
+                reason: format!(
+                    "campaign state tracks {} schemes, catalogue has {}",
+                    state.scheme_count(),
+                    schemes.len()
+                ),
+            });
+        }
+        let baseline = self.baseline_quality()?;
+        let distribution = backend.failure_distribution()?;
+
+        Ok(state
             .into_yield_models(distribution)
             .into_iter()
             .zip(schemes)
@@ -452,6 +509,20 @@ impl QualityEvaluator {
                 }
             })
             .collect())
+    }
+
+    fn check_backend_geometry<B: FaultBackend>(&self, backend: &B) -> Result<(), AppError> {
+        if backend.config() != self.memory_config {
+            return Err(AppError::InvalidParameter {
+                reason: format!(
+                    "backend '{}' is built for {:?}, evaluator for {:?}",
+                    backend.name(),
+                    backend.config(),
+                    self.memory_config
+                ),
+            });
+        }
+        Ok(())
     }
 
     fn corrupt_training_matrix<S: MitigationScheme>(
@@ -699,6 +770,40 @@ mod tests {
         assert!(eval
             .quality_cdfs_paired_on(&schemes, &wrong, 3, 2, 19, false)
             .is_err());
+    }
+
+    #[test]
+    fn quality_shard_states_merged_in_order_match_the_monolithic_campaign() {
+        use faultmit_memsim::SramVddBackend;
+        use faultmit_sim::Accumulator;
+        let eval = QualityEvaluator::builder(Benchmark::Elasticnet)
+            .samples(96)
+            .memory_rows(128)
+            .build()
+            .unwrap();
+        let schemes = [Scheme::unprotected32(), Scheme::secded32()];
+        let backend = SramVddBackend::with_p_cell(eval.memory_config(), 1e-3).unwrap();
+        let monolithic = eval
+            .quality_cdfs_paired_on(&schemes, &backend, 4, 2, 19, true)
+            .unwrap();
+        for shard_count in [2usize, 3] {
+            let mut merged = CatalogueAccumulator::new(schemes.len());
+            for index in 0..shard_count {
+                let shard = faultmit_sim::ShardSpec::new(index, shard_count).unwrap();
+                merged.merge(
+                    eval.quality_shard_on(&schemes, &backend, 4, 2, 19, true, shard)
+                        .unwrap(),
+                );
+            }
+            let results = eval
+                .quality_results_from_state(&schemes, &backend, merged)
+                .unwrap();
+            for (a, b) in monolithic.iter().zip(&results) {
+                assert_eq!(a.scheme_name, b.scheme_name, "{shard_count} shards");
+                assert_eq!(a.cdf, b.cdf, "{shard_count} shards: {}", a.scheme_name);
+                assert_eq!(a.baseline_quality.to_bits(), b.baseline_quality.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Evaluate one shard of a figure campaign and write its accumulator state.
+//!
+//! A K-shard campaign splits a figure's Monte-Carlo plan into K disjoint
+//! chunk ranges (`faultmit_sim::ShardSpec`); each invocation of this binary
+//! evaluates one range — on any host, since per-sample RNG streams derive
+//! from `(seed, global sample index)` alone — and serialises its accumulator
+//! state to `--out`. `campaign_merge` folds the K files in shard order and
+//! renders figure JSON **byte-identical** to the monolithic figure binary.
+//!
+//! A completed shard file is a checkpoint: when `--out` already holds the
+//! state of exactly this campaign slice, the run is skipped, so re-running
+//! a partially finished campaign recomputes only the missing shards.
+//!
+//! ```text
+//! campaign_shard fig5 --backend dram --shard 0/2 --out shards/fig5-dram-0of2.json
+//! campaign_shard fig7 elasticnet --shard 1/3 --samples 4 --out shards/fig7-el-1of3.json
+//! ```
+
+use faultmit_bench::figures::{Fig5Campaign, Fig7Campaign, FigureKind, FigureSpec};
+use faultmit_bench::shard::{ShardCampaignState, ShardState};
+use faultmit_bench::RunOptions;
+use faultmit_core::MitigationScheme;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut options = RunOptions::from_args();
+    if options.positional.is_empty() {
+        return Err(
+            "usage: campaign_shard <fig5|fig7> [benchmarks...] --shard I/K --out <path>\
+                    \n       [--backend sram|dram|mlc] [--samples N] [--threads N] [--full]"
+                .into(),
+        );
+    }
+    let figure: FigureKind = options.positional.remove(0).parse()?;
+    // An unparseable --shard must not silently fall back to the monolithic
+    // 0/1 shard: that would recompute the whole campaign and write
+    // solo-coverage state under a shard file's name.
+    if let Some(error) = &options.shard_error {
+        return Err(error.clone().into());
+    }
+    let shard = options.shard_or_solo();
+    let out_path = options
+        .json_path
+        .clone()
+        .ok_or("campaign_shard requires --out <path> for the shard-state file")?;
+
+    let spec = FigureSpec::from_options(figure, &options);
+
+    // Resumability: a completed shard file for exactly this campaign slice
+    // is a checkpoint — skip the work.
+    if let Ok(existing) = std::fs::read_to_string(&out_path) {
+        match ShardState::parse(&existing) {
+            Ok(state) if state.matches(&spec, shard) => {
+                println!(
+                    "shard {shard} of {figure} ({}) already complete at {}; skipping",
+                    spec.backend.name(),
+                    out_path.display()
+                );
+                return Ok(());
+            }
+            Ok(_) => eprintln!(
+                "{} holds a different campaign's state; recomputing",
+                out_path.display()
+            ),
+            Err(e) => eprintln!(
+                "{} is not a valid shard file ({e}); recomputing",
+                out_path.display()
+            ),
+        }
+    }
+
+    let campaigns = match figure {
+        FigureKind::Fig5 => {
+            let campaign = Fig5Campaign::from_spec(&spec, options.parallelism())?;
+            let samples = campaign
+                .engine
+                .config()
+                .samples_per_count()
+                .saturating_mul(campaign.max_failures as usize);
+            println!(
+                "{figure} shard {shard}: backend {}, {} global samples, catalogue of {}",
+                spec.backend.name(),
+                samples,
+                campaign.schemes.len()
+            );
+            vec![ShardCampaignState {
+                label: "fig5".to_owned(),
+                scheme_names: campaign
+                    .schemes
+                    .iter()
+                    .map(MitigationScheme::name)
+                    .collect(),
+                accumulator: campaign.run_shard(shard)?,
+            }]
+        }
+        FigureKind::Fig7 => {
+            let campaign = Fig7Campaign::from_spec(&spec, options.parallelism())?;
+            println!(
+                "{figure} shard {shard}: backend {}, benchmarks {:?}, catalogue of {}",
+                spec.backend.name(),
+                spec.campaign_labels(),
+                campaign.schemes.len()
+            );
+            let scheme_names: Vec<String> = campaign
+                .schemes
+                .iter()
+                .map(MitigationScheme::name)
+                .collect();
+            spec.campaign_labels()
+                .into_iter()
+                .zip(campaign.run_shard(shard)?)
+                .map(|(label, accumulator)| ShardCampaignState {
+                    label,
+                    scheme_names: scheme_names.clone(),
+                    accumulator,
+                })
+                .collect()
+        }
+    };
+
+    let state = ShardState {
+        spec,
+        shard,
+        campaigns,
+    };
+    if let Some(parent) = out_path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(&out_path, state.to_json().to_pretty_string())?;
+    println!("wrote shard state to {}", out_path.display());
+    Ok(())
+}

@@ -1,8 +1,16 @@
 //! Fig. 2 — SRAM cell failure probability under V_DD scaling, and the
 //! zero-failure yield collapse of a 16 KB memory.
 //!
+//! With `--backend dram` the analogue sweeps the DRAM retention law; the
+//! operating point is two-dimensional there, so both axes are sweepable:
+//! the default walks the refresh interval at `--temp-c` (default 45 °C),
+//! while `--t-ref-ns <ns>` pins the refresh interval and walks the die
+//! temperature instead.
+//!
 //! ```text
 //! cargo run -p faultmit-bench --bin fig2_pcell_vs_vdd [-- --json results/fig2.json]
+//! cargo run -p faultmit-bench --bin fig2_pcell_vs_vdd -- --backend dram --temp-c 85
+//! cargo run -p faultmit-bench --bin fig2_pcell_vs_vdd -- --backend dram --t-ref-ns 6.4e7
 //! ```
 
 use faultmit_analysis::report::{format_percent, format_sci, Table};
@@ -64,10 +72,36 @@ impl ToJson for BackendLawPoint {
     }
 }
 
+/// The axis a DRAM-retention law sweep walks: the default sweeps the
+/// refresh interval at a fixed temperature (`--temp-c`, default 45 °C);
+/// `--t-ref-ns` pins the refresh interval and sweeps the die temperature
+/// instead, so the retention law can be characterised on both of its
+/// operating-point axes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum DramSweepAxis {
+    RefreshInterval { temperature_c: f64 },
+    Temperature { refresh_interval_ms: f64 },
+}
+
+impl DramSweepAxis {
+    fn from_options(options: &RunOptions) -> Self {
+        match options.t_ref_ns {
+            // 1 ms = 1e6 ns; the CLI takes nanoseconds, the backend
+            // milliseconds.
+            Some(t_ref_ns) => DramSweepAxis::Temperature {
+                refresh_interval_ms: t_ref_ns / 1e6,
+            },
+            None => DramSweepAxis::RefreshInterval {
+                temperature_c: options.temp_c.unwrap_or(45.0),
+            },
+        }
+    }
+}
+
 /// `--backend dram|mlc`: the analogue of Fig. 2 for the other fault
 /// backends — the per-cell failure law against the technology's own
-/// operating-point knob (refresh interval for DRAM retention, level spacing
-/// for MLC NVM), with the same derived columns.
+/// operating-point knob (refresh interval *or* temperature for DRAM
+/// retention, level spacing for MLC NVM), with the same derived columns.
 fn backend_law_sweep(
     options: &RunOptions,
     kind: faultmit_memsim::BackendKind,
@@ -76,19 +110,36 @@ fn backend_law_sweep(
 
     let memory = MemoryConfig::paper_16kb();
     let cells = memory.total_cells();
-    let knobs: Vec<f64> = match kind {
-        BackendKind::Dram => [4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0].to_vec(),
-        BackendKind::Mlc => (0..10).map(|i| 16.0 - i as f64).collect(),
-        BackendKind::Sram => unreachable!("SRAM uses the Fig. 2 voltage sweep"),
+    let dram_axis = DramSweepAxis::from_options(options);
+    let knobs: Vec<f64> = match (kind, dram_axis) {
+        (BackendKind::Dram, DramSweepAxis::RefreshInterval { .. }) => {
+            [4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0].to_vec()
+        }
+        (BackendKind::Dram, DramSweepAxis::Temperature { .. }) => {
+            (0..9).map(|i| 25.0 + 10.0 * i as f64).collect()
+        }
+        (BackendKind::Mlc, _) => (0..10).map(|i| 16.0 - i as f64).collect(),
+        (BackendKind::Sram, _) => unreachable!("SRAM uses the Fig. 2 voltage sweep"),
     };
-    let (title, knob_header, knob_unit) = match kind {
-        BackendKind::Dram => (
-            "Fig. 2 (DRAM analogue) — P_cell vs refresh interval (45C, 16KB memory)",
+    let (title, knob_header, knob_unit) = match (kind, dram_axis) {
+        (BackendKind::Dram, DramSweepAxis::RefreshInterval { temperature_c }) => (
+            format!(
+                "Fig. 2 (DRAM analogue) — P_cell vs refresh interval ({temperature_c:.0}C, 16KB memory)"
+            ),
             "t_ref (ms)",
             "ms",
         ),
+        (BackendKind::Dram, DramSweepAxis::Temperature {
+            refresh_interval_ms,
+        }) => (
+            format!(
+                "Fig. 2 (DRAM analogue) — P_cell vs temperature (t_ref = {refresh_interval_ms} ms, 16KB memory)"
+            ),
+            "T (C)",
+            "C",
+        ),
         _ => (
-            "Fig. 2 (MLC analogue) — P_cell vs level spacing (1-day drift, 16KB memory)",
+            "Fig. 2 (MLC analogue) — P_cell vs level spacing (1-day drift, 16KB memory)".to_owned(),
             "spacing (sigma)",
             "sigma",
         ),
@@ -105,8 +156,16 @@ fn backend_law_sweep(
     );
     let mut series = Vec::new();
     for &knob in &knobs {
-        let p_cell = match kind {
-            BackendKind::Dram => DramRetentionBackend::new(memory, knob, 45.0)?.p_cell(),
+        let p_cell = match (kind, dram_axis) {
+            (BackendKind::Dram, DramSweepAxis::RefreshInterval { temperature_c }) => {
+                DramRetentionBackend::new(memory, knob, temperature_c)?.p_cell()
+            }
+            (
+                BackendKind::Dram,
+                DramSweepAxis::Temperature {
+                    refresh_interval_ms,
+                },
+            ) => DramRetentionBackend::new(memory, refresh_interval_ms, knob)?.p_cell(),
             _ => MlcNvmBackend::new(memory, knob, 86_400.0)?.p_cell(),
         };
         let expected = p_cell * cells as f64;

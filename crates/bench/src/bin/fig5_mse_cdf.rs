@@ -7,42 +7,20 @@
 //! way). The default configuration uses a reduced Monte-Carlo budget; pass
 //! `--full` for a paper-scale campaign (much slower).
 //!
+//! The campaign definition and JSON rendering live in
+//! `faultmit_bench::figures`, shared with the `campaign_shard` /
+//! `campaign_merge` pair — a K-shard run merged in shard order reproduces
+//! this binary's `--json` output byte for byte.
+//!
 //! ```text
 //! cargo run --release -p faultmit-bench --bin fig5_mse_cdf [-- --full --json results/fig5.json]
 //! ```
 
 use faultmit_analysis::report::{format_percent, format_sci, Table};
-use faultmit_analysis::{MonteCarloConfig, MonteCarloEngine};
-use faultmit_bench::json::{JsonValue, ToJson};
+use faultmit_bench::figures::{fig5_series, Fig5Campaign, FigureKind, FigureSpec};
 use faultmit_bench::RunOptions;
-use faultmit_core::Scheme;
-use faultmit_memsim::{FaultBackend, MemoryConfig};
-
-#[derive(Debug)]
-struct Fig5Series {
-    scheme: String,
-    /// `(mse, P(MSE <= mse))` points of the CDF on a log grid.
-    cdf: Vec<(f64, f64)>,
-    /// MSE needed to reach 99.9999 % yield (the paper's example target),
-    /// if reachable with the simulated failure-count coverage.
-    mse_at_six_nines_yield: Option<f64>,
-    /// Yield at the paper's example constraint MSE < 10⁶.
-    yield_at_mse_1e6: f64,
-}
-
-impl ToJson for Fig5Series {
-    fn to_json(&self) -> JsonValue {
-        JsonValue::object([
-            ("scheme", self.scheme.to_json()),
-            ("cdf", self.cdf.to_json()),
-            (
-                "mse_at_six_nines_yield",
-                self.mse_at_six_nines_yield.to_json(),
-            ),
-            ("yield_at_mse_1e6", self.yield_at_mse_1e6.to_json()),
-        ])
-    }
-}
+use faultmit_memsim::FaultBackend;
+use faultmit_sim::ShardSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let options = RunOptions::from_args();
@@ -52,29 +30,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // P_cell but a smaller per-count sample budget. `--backend dram|mlc`
     // re-runs the identical campaign against another technology's fault
     // structure at the same fault density.
-    let (default_samples, max_failures) = if options.full_scale {
-        (500, 150)
-    } else {
-        (60, 24)
-    };
-    let samples_per_count = options.samples_or(default_samples);
-    let backend = options.backend_at_p_cell(MemoryConfig::paper_16kb(), 5e-6)?;
-    let config = MonteCarloConfig::for_backend(backend)
-        .with_samples_per_count(samples_per_count)
-        .with_max_failures(max_failures)
-        .with_parallelism(options.parallelism());
-    let engine = MonteCarloEngine::new(config);
+    let spec = FigureSpec::from_options(FigureKind::Fig5, &options);
+    let campaign = Fig5Campaign::from_spec(&spec, options.parallelism())?;
 
     println!(
         "Fig. 5 campaign: 16KB memory, backend {} ({}), P_cell = {:.0e}, \
-         failure counts 1..={max_failures}, {samples_per_count} maps per count",
-        backend.name(),
-        engine.config().operating_point().label(),
-        engine.config().p_cell()
+         failure counts 1..={}, {} maps per count",
+        campaign.engine.config().backend().name(),
+        campaign.engine.config().operating_point().label(),
+        campaign.engine.config().p_cell(),
+        campaign.max_failures,
+        spec.samples_per_count,
     );
 
-    let schemes = Scheme::fig5_catalogue();
-    let results = engine.run_catalogue(&schemes, 0xF165)?;
+    // Monolithic execution is the 0/1 shard of the sharded path.
+    let state = campaign.run_shard(ShardSpec::solo())?;
+    let results = campaign.results(state)?;
 
     let mut table = Table::new(
         "Fig. 5 — MSE that must be tolerated per yield target, and yield at MSE < 1e6",
@@ -88,7 +59,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ],
     );
 
-    let mut series = Vec::new();
     for result in &results {
         let fmt = |target: f64| {
             result
@@ -112,14 +82,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format_percent(result.yield_at_mse(1e6)),
             format_percent(conditional),
         ]);
-
-        let grid = result.cdf.log_grid(40).unwrap_or_default();
-        series.push(Fig5Series {
-            scheme: result.scheme_name.clone(),
-            cdf: result.cdf.evaluate_at(&grid),
-            mse_at_six_nines_yield: result.mse_for_yield(0.999_999),
-            yield_at_mse_1e6: result.yield_at_mse(1e6),
-        });
     }
     println!("{table}");
 
@@ -142,6 +104,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    options.write_json(&series)?;
+    options.write_json(&fig5_series(&results))?;
     Ok(())
 }

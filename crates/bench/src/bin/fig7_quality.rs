@@ -6,109 +6,58 @@
 //! Pass a benchmark name (`elasticnet`, `pca`, `knn`) to run a single panel;
 //! the default runs all three. `--full` uses a paper-scale Monte-Carlo budget.
 //!
+//! The campaign definition and JSON rendering live in
+//! `faultmit_bench::figures`, shared with the `campaign_shard` /
+//! `campaign_merge` pair — a K-shard run merged in shard order reproduces
+//! this binary's `--json` output byte for byte.
+//!
 //! ```text
 //! cargo run --release -p faultmit-bench --bin fig7_quality -- elasticnet
 //! ```
 
 use faultmit_analysis::report::{format_percent, Table};
-use faultmit_apps::{Benchmark, QualityEvaluator};
-use faultmit_bench::json::{JsonValue, ToJson};
+use faultmit_apps::Benchmark;
+use faultmit_bench::figures::{fig7_series, Fig7Campaign, Fig7Series, FigureKind, FigureSpec};
 use faultmit_bench::RunOptions;
-use faultmit_core::Scheme;
-
-#[derive(Debug)]
-struct Fig7Series {
-    benchmark: String,
-    scheme: String,
-    baseline_quality: f64,
-    /// `(normalised quality, P(Q <= q))` CDF points.
-    cdf: Vec<(f64, f64)>,
-    /// Fraction of dies achieving at least 95 % / 99 % of the baseline.
-    yield_at_95pct: f64,
-    yield_at_99pct: f64,
-}
-
-impl ToJson for Fig7Series {
-    fn to_json(&self) -> JsonValue {
-        JsonValue::object([
-            ("benchmark", self.benchmark.to_json()),
-            ("scheme", self.scheme.to_json()),
-            ("baseline_quality", self.baseline_quality.to_json()),
-            ("cdf", self.cdf.to_json()),
-            ("yield_at_95pct", self.yield_at_95pct.to_json()),
-            ("yield_at_99pct", self.yield_at_99pct.to_json()),
-        ])
-    }
-}
-
-fn selected_benchmarks(options: &RunOptions) -> Vec<Benchmark> {
-    if options.positional.is_empty() {
-        return Benchmark::ALL.to_vec();
-    }
-    options
-        .positional
-        .iter()
-        .filter_map(|name| match name.to_ascii_lowercase().as_str() {
-            "elasticnet" | "wine" => Some(Benchmark::Elasticnet),
-            "pca" | "madelon" => Some(Benchmark::Pca),
-            "knn" | "har" | "activity" => Some(Benchmark::Knn),
-            other => {
-                eprintln!("unknown benchmark '{other}', expected elasticnet|pca|knn");
-                None
-            }
-        })
-        .collect()
-}
+use faultmit_memsim::{BackendKind, FaultBackend};
+use faultmit_sim::ShardSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let options = RunOptions::from_args();
-    let benchmarks = selected_benchmarks(&options);
 
     // The paper: 16 KB memory, P_cell = 1e-3, 500 MC fault maps per failure
     // count, N_max covering 99 % of dies. The default here is a reduced but
     // shape-preserving budget over a smaller memory bank; in both cases the
     // failure counts swept cover 99 % of the die population for the chosen
-    // memory size so the Pr(N = n) weighting stays meaningful.
-    let p_cell = 1e-3;
-    let (samples, memory_rows, default_samples_per_count) = if options.full_scale {
-        (1280usize, 4096usize, 20usize)
-    } else {
-        (200, 512, 4)
-    };
-    let samples_per_count = options.samples_or(default_samples_per_count);
-    // The `--backend` axis swaps the fault technology at the same density
-    // (the default reproduces the paper's SRAM model bit-for-bit).
-    let backend =
-        options.backend_at_p_cell(faultmit_memsim::MemoryConfig::new(memory_rows, 32)?, p_cell)?;
-    let max_failures = faultmit_memsim::FaultBackend::failure_distribution(&backend)?.n_max(0.99);
-    if options.backend_kind() != faultmit_memsim::BackendKind::Sram {
+    // memory size so the Pr(N = n) weighting stays meaningful. The
+    // `--backend` axis swaps the fault technology at the same density (the
+    // default reproduces the paper's SRAM model bit-for-bit).
+    let spec = FigureSpec::from_options(FigureKind::Fig7, &options);
+    let campaign = Fig7Campaign::from_spec(&spec, options.parallelism())?;
+    if options.backend_kind() != BackendKind::Sram {
         println!(
             "note: the paper's multi-fault-word discard is a bounded redraw; the {} backend's \
              structured fault placement exhausts it at higher fault counts, so multi-fault words \
              survive and H(39,32) SECDED is NOT an error-free reference here — that degradation \
              is the technology effect under study.",
-            faultmit_memsim::FaultBackend::name(&backend)
+            campaign.backend.name()
         );
     }
 
-    let schemes = [
-        Scheme::unprotected32(),
-        Scheme::pecc32(),
-        Scheme::shuffle32(1)?,
-        Scheme::shuffle32(2)?,
-        Scheme::secded32(),
-    ];
+    // One paired pipeline pass per benchmark: every scheme trains on the
+    // same dies, fanned out over worker threads. Monolithic execution is the
+    // 0/1 shard of the sharded path.
+    let states = campaign.run_shard(ShardSpec::solo())?;
 
-    let mut all_series = Vec::new();
-    for benchmark in benchmarks {
-        let evaluator = QualityEvaluator::builder(benchmark)
-            .samples(samples)
-            .memory_rows(memory_rows)
-            .parallelism(options.parallelism())
-            .build()?;
-        let baseline = evaluator.baseline_quality()?;
+    let mut all_series: Vec<Fig7Series> = Vec::new();
+    for (panel, (&benchmark, state)) in spec.benchmarks.iter().zip(states).enumerate() {
+        let results = campaign.results(panel, state)?;
+        let baseline = results
+            .first()
+            .map(|r| r.baseline_quality)
+            .unwrap_or_default();
         println!(
-            "\nFig. 7 ({}) — {} on {}, fault-free {} = {:.4}, backend {}, P_cell = {p_cell:.0e}",
+            "\nFig. 7 ({}) — {} on {}, fault-free {} = {:.4}, backend {}, P_cell = {:.0e}",
             match benchmark {
                 Benchmark::Elasticnet => "a",
                 Benchmark::Pca => "b",
@@ -118,7 +67,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             benchmark.dataset_name(),
             benchmark.metric_name(),
             baseline,
-            faultmit_memsim::FaultBackend::name(&backend),
+            campaign.backend.name(),
+            campaign.backend.p_cell(),
         );
 
         let mut table = Table::new(
@@ -130,43 +80,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "yield @ >=95% of baseline".into(),
             ],
         );
-
-        // One paired pipeline pass: every scheme trains on the same dies,
-        // fanned out over worker threads. Fault maps with more than one
-        // fault per word are discarded (bounded redraw) following the
-        // paper's protocol; under the iid SRAM backend that makes the
-        // H(39,32) SECDED reference error-free, while structured backends
-        // exhaust the redraw budget (see the note printed above).
-        let results = evaluator.quality_cdfs_paired_on(
-            &schemes,
-            &backend,
-            max_failures,
-            samples_per_count,
-            0xF167,
-            true,
-        )?;
-        for result in results {
-            let median = result.cdf.quantile(0.5);
-            let p01 = result.cdf.quantile(0.01);
-            let yield95 = result.yield_at_min_quality(0.95);
+        for result in &results {
             table.add_row(vec![
                 result.scheme_name.clone(),
-                format!("{median:.4}"),
-                format!("{p01:.4}"),
-                format_percent(yield95),
+                format!("{:.4}", result.cdf.quantile(0.5)),
+                format!("{:.4}", result.cdf.quantile(0.01)),
+                format_percent(result.yield_at_min_quality(0.95)),
             ]);
-
-            let grid: Vec<f64> = (0..=50).map(|i| i as f64 / 50.0).collect();
-            all_series.push(Fig7Series {
-                benchmark: benchmark.name().to_owned(),
-                scheme: result.scheme_name.clone(),
-                baseline_quality: result.baseline_quality,
-                cdf: result.cdf.evaluate_at(&grid),
-                yield_at_95pct: yield95,
-                yield_at_99pct: result.yield_at_min_quality(0.99),
-            });
         }
         println!("{table}");
+        all_series.extend(fig7_series(benchmark, &results));
     }
 
     options.write_json(&all_series)?;

@@ -10,14 +10,19 @@
 //! * `--threads <n>` — pin the pipeline worker count (`1` = serial);
 //! * `--samples <n>` — override the number of fault maps per failure count;
 //! * `--backend <sram|dram|mlc>` — select the fault-generation technology
-//!   ([`faultmit_memsim::backend`]); the default is the paper's SRAM model.
+//!   ([`faultmit_memsim::backend`]); the default is the paper's SRAM model;
+//! * `--shard <I/K>` — evaluate only shard `I` of a `K`-way campaign split
+//!   (the `campaign_shard` axis; see [`faultmit_sim::ShardSpec`]);
+//! * `--t-ref-ns <ns>` / `--temp-c <C>` — DRAM-retention operating-point
+//!   sweep controls: pin the refresh interval (switching `fig2`'s DRAM
+//!   analogue to a temperature sweep) or set the sweep temperature.
 //!
 //! Anything else is collected as a positional argument (e.g. the benchmark
 //! selector of `fig7_quality`).
 
 use crate::json::ToJson;
 use faultmit_memsim::{Backend, BackendKind, MemError, MemoryConfig};
-use faultmit_sim::Parallelism;
+use faultmit_sim::{Parallelism, ShardSpec};
 use std::path::PathBuf;
 
 /// Command-line options shared by the figure binaries.
@@ -36,6 +41,21 @@ pub struct RunOptions {
     /// Fault-generation technology selected with `--backend`
     /// (`None` = the paper's SRAM model).
     pub backend: Option<BackendKind>,
+    /// Campaign shard selected with `--shard I/K`
+    /// (`None` = run the whole campaign, i.e. the `0/1` shard).
+    pub shard: Option<ShardSpec>,
+    /// Set when a `--shard` value was present but unparseable. Binaries for
+    /// which the shard slice is load-bearing (`campaign_shard`) must treat
+    /// this as fatal rather than fall back to the monolithic shard and
+    /// silently recompute the whole campaign.
+    pub shard_error: Option<String>,
+    /// Fixed DRAM refresh interval in nanoseconds (`--t-ref-ns`); when set,
+    /// the `fig2` DRAM analogue sweeps the temperature axis at this refresh
+    /// interval instead of sweeping the refresh interval itself.
+    pub t_ref_ns: Option<f64>,
+    /// DRAM die temperature in °C (`--temp-c`) used by the refresh-interval
+    /// sweep (`None` = the 45 °C reference).
+    pub temp_c: Option<f64>,
     /// Positional arguments (e.g. the benchmark selector of `fig7_quality`).
     pub positional: Vec<String>,
 }
@@ -92,6 +112,31 @@ impl RunOptions {
                         }
                     }
                 }
+                "--shard" => {
+                    if let Some(value) = next_value(&mut iter, "--shard") {
+                        match value.parse() {
+                            Ok(spec) => options.shard = Some(spec),
+                            Err(e) => {
+                                eprintln!("{e}; ignoring --shard");
+                                options.shard_error = Some(e.to_string());
+                            }
+                        }
+                    }
+                }
+                "--t-ref-ns" => {
+                    if let Some(value) =
+                        next_value(&mut iter, "--t-ref-ns").and_then(|v| v.parse().ok())
+                    {
+                        options.t_ref_ns = Some(value);
+                    }
+                }
+                "--temp-c" => {
+                    if let Some(value) =
+                        next_value(&mut iter, "--temp-c").and_then(|v| v.parse().ok())
+                    {
+                        options.temp_c = Some(value);
+                    }
+                }
                 _ => options.positional.push(arg),
             }
         }
@@ -113,6 +158,13 @@ impl RunOptions {
     #[must_use]
     pub fn backend_kind(&self) -> BackendKind {
         self.backend.unwrap_or(BackendKind::Sram)
+    }
+
+    /// The campaign shard implied by `--shard` (defaults to the monolithic
+    /// `0/1` shard).
+    #[must_use]
+    pub fn shard_or_solo(&self) -> ShardSpec {
+        self.shard.unwrap_or_else(ShardSpec::solo)
     }
 
     /// Builds the selected backend with its operating point calibrated to
@@ -207,6 +259,35 @@ mod tests {
         assert_eq!(opts.parallelism(), Parallelism::Auto);
         assert_eq!(opts.backend_kind(), BackendKind::Sram);
         assert_eq!(opts.samples_or(60), 60);
+    }
+
+    #[test]
+    fn parse_recognises_shard_and_operating_point_flags() {
+        let opts = RunOptions::parse(
+            ["--shard", "1/4", "--t-ref-ns", "6.4e7", "--temp-c", "-10.5"]
+                .iter()
+                .map(|s| (*s).to_owned()),
+        );
+        assert_eq!(opts.shard, Some(ShardSpec::new(1, 4).unwrap()));
+        assert_eq!(opts.shard_or_solo(), ShardSpec::new(1, 4).unwrap());
+        assert_eq!(opts.t_ref_ns, Some(6.4e7));
+        assert_eq!(opts.temp_c, Some(-10.5));
+        assert!(opts.positional.is_empty());
+
+        let opts = RunOptions::parse(std::iter::empty());
+        assert!(opts.shard.is_none());
+        assert!(opts.shard_or_solo().is_solo());
+        assert!(opts.t_ref_ns.is_none());
+        assert!(opts.temp_c.is_none());
+
+        // An invalid shard spec is consumed and ignored, but recorded so
+        // shard-critical binaries can refuse to run.
+        let opts = RunOptions::parse(["--shard".to_owned(), "5/2".to_owned()]);
+        assert!(opts.shard.is_none());
+        assert!(opts.shard_error.is_some());
+        assert!(opts.positional.is_empty());
+        let opts = RunOptions::parse(["--shard".to_owned(), "1/4".to_owned()]);
+        assert!(opts.shard_error.is_none());
     }
 
     #[test]

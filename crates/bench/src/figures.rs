@@ -1,0 +1,598 @@
+//! Canonical figure-campaign definitions shared by the monolithic figure
+//! binaries and the sharded-campaign pair (`campaign_shard` /
+//! `campaign_merge`).
+//!
+//! The byte-identical shard-merge invariant demands that every process of a
+//! sharded campaign derives the *same* engine configuration, scheme
+//! catalogue, seed and series rendering from the same flags. This module is
+//! that single source of truth: [`FigureSpec`] captures a figure campaign's
+//! identity (figure, backend, scale, sample budget, benchmark panels),
+//! [`Fig5Campaign`] / [`Fig7Campaign`] materialise it into engines, and the
+//! `*_series` helpers render results into the exact JSON series the
+//! monolithic binaries emit — `fig5_mse_cdf` and `fig7_quality` call the
+//! same helpers, so a merged K-shard campaign reproduces their `--json`
+//! output byte for byte.
+
+use crate::cli::RunOptions;
+use crate::json::{JsonValue, ToJson};
+use faultmit_analysis::{
+    CatalogueAccumulator, MonteCarloConfig, MonteCarloEngine, SchemeMseResult,
+};
+use faultmit_apps::{Benchmark, QualityCdfResult, QualityEvaluator};
+use faultmit_core::Scheme;
+use faultmit_memsim::{Backend, BackendKind, FaultBackend, MemoryConfig};
+use faultmit_sim::{Parallelism, ShardSpec};
+use std::fmt;
+use std::str::FromStr;
+
+/// A figure whose Monte-Carlo campaign can run sharded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FigureKind {
+    /// Fig. 5 — memory-MSE CDFs over the die population.
+    Fig5,
+    /// Fig. 7 — application-quality CDFs per benchmark.
+    Fig7,
+}
+
+impl FigureKind {
+    /// Canonical figure name (`"fig5"` / `"fig7"`).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            FigureKind::Fig5 => "fig5",
+            FigureKind::Fig7 => "fig7",
+        }
+    }
+}
+
+impl fmt::Display for FigureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for FigureKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "fig5" | "fig5_mse_cdf" => Ok(FigureKind::Fig5),
+            "fig7" | "fig7_quality" => Ok(FigureKind::Fig7),
+            other => Err(format!("unknown figure '{other}', expected fig5|fig7")),
+        }
+    }
+}
+
+/// Resolves benchmark selectors (`elasticnet`, `pca`, `knn` and their
+/// aliases) into [`Benchmark`]s; an empty selector list selects all three.
+///
+/// Unknown names are reported on stderr and skipped — the behaviour
+/// `fig7_quality` has always had.
+#[must_use]
+pub fn selected_benchmarks(selectors: &[String]) -> Vec<Benchmark> {
+    if selectors.is_empty() {
+        return Benchmark::ALL.to_vec();
+    }
+    selectors
+        .iter()
+        .filter_map(|name| match name.to_ascii_lowercase().as_str() {
+            "elasticnet" | "wine" => Some(Benchmark::Elasticnet),
+            "pca" | "madelon" => Some(Benchmark::Pca),
+            "knn" | "har" | "activity" => Some(Benchmark::Knn),
+            other => {
+                eprintln!("unknown benchmark '{other}', expected elasticnet|pca|knn");
+                None
+            }
+        })
+        .collect()
+}
+
+fn benchmark_from_name(name: &str) -> Result<Benchmark, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "elasticnet" => Ok(Benchmark::Elasticnet),
+        "pca" => Ok(Benchmark::Pca),
+        "knn" => Ok(Benchmark::Knn),
+        other => Err(format!("unknown benchmark '{other}' in figure spec")),
+    }
+}
+
+/// The identity of one figure campaign: everything a process needs to
+/// reconstruct the exact engine configuration, plus nothing derived.
+///
+/// Two shard files belong to the same campaign exactly when their specs are
+/// equal; all derived quantities (memory geometry, seed, `N_max`, scheme
+/// catalogue) are recomputed deterministically from the spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FigureSpec {
+    /// Which figure's campaign this is.
+    pub figure: FigureKind,
+    /// Fault-generation technology.
+    pub backend: BackendKind,
+    /// Paper-scale (`--full`) or reduced configuration.
+    pub full_scale: bool,
+    /// Monte-Carlo fault maps per failure count.
+    pub samples_per_count: usize,
+    /// Benchmark panels (Fig. 7 only; empty for Fig. 5).
+    pub benchmarks: Vec<Benchmark>,
+}
+
+impl FigureSpec {
+    /// Builds the spec the monolithic binary would run for these options,
+    /// resolving the same defaults (`--full` scale, `--samples` override,
+    /// `--backend`, positional benchmark selectors).
+    #[must_use]
+    pub fn from_options(figure: FigureKind, options: &RunOptions) -> Self {
+        let (default_samples_per_count, benchmarks) = match figure {
+            FigureKind::Fig5 => (if options.full_scale { 500 } else { 60 }, Vec::new()),
+            FigureKind::Fig7 => (
+                if options.full_scale { 20 } else { 4 },
+                selected_benchmarks(&options.positional),
+            ),
+        };
+        Self {
+            figure,
+            backend: options.backend_kind(),
+            full_scale: options.full_scale,
+            samples_per_count: options.samples_or(default_samples_per_count),
+            benchmarks,
+        }
+    }
+
+    /// The campaign seed baked into the figure protocol.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        match self.figure {
+            FigureKind::Fig5 => 0xF165,
+            FigureKind::Fig7 => 0xF167,
+        }
+    }
+
+    /// Labels of the campaign panels a shard evaluates, in panel order
+    /// (`["fig5"]`, or the Fig. 7 benchmark names).
+    #[must_use]
+    pub fn campaign_labels(&self) -> Vec<String> {
+        match self.figure {
+            FigureKind::Fig5 => vec!["fig5".to_owned()],
+            FigureKind::Fig7 => self
+                .benchmarks
+                .iter()
+                .map(|b| b.name().to_ascii_lowercase())
+                .collect(),
+        }
+    }
+
+    /// Serialises the spec for embedding in shard-state files.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("figure", self.figure.name().to_json()),
+            (
+                "backend",
+                match self.backend {
+                    BackendKind::Sram => "sram",
+                    BackendKind::Dram => "dram",
+                    BackendKind::Mlc => "mlc",
+                }
+                .to_json(),
+            ),
+            ("full_scale", self.full_scale.to_json()),
+            ("samples_per_count", self.samples_per_count.to_json()),
+            (
+                "benchmarks",
+                JsonValue::Array(
+                    self.benchmarks
+                        .iter()
+                        .map(|b| b.name().to_ascii_lowercase().to_json())
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Reads a spec back from shard-state JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or malformed field.
+    pub fn from_json(value: &JsonValue) -> Result<Self, String> {
+        let figure = value
+            .get("figure")
+            .and_then(JsonValue::as_str)
+            .ok_or("spec is missing 'figure'")?
+            .parse::<FigureKind>()?;
+        let backend = value
+            .get("backend")
+            .and_then(JsonValue::as_str)
+            .ok_or("spec is missing 'backend'")?
+            .parse::<BackendKind>()
+            .map_err(|e| e.to_string())?;
+        let full_scale = value
+            .get("full_scale")
+            .and_then(JsonValue::as_bool)
+            .ok_or("spec is missing 'full_scale'")?;
+        let samples_per_count = value
+            .get("samples_per_count")
+            .and_then(JsonValue::as_u64)
+            .ok_or("spec is missing 'samples_per_count'")? as usize;
+        let benchmarks = value
+            .get("benchmarks")
+            .and_then(JsonValue::as_array)
+            .ok_or("spec is missing 'benchmarks'")?
+            .iter()
+            .map(|b| {
+                b.as_str()
+                    .ok_or_else(|| "benchmark names must be strings".to_owned())
+                    .and_then(benchmark_from_name)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            figure,
+            backend,
+            full_scale,
+            samples_per_count,
+            benchmarks,
+        })
+    }
+}
+
+/// The materialised Fig. 5 campaign: engine, catalogue and seed, all derived
+/// from a [`FigureSpec`].
+#[derive(Debug, Clone)]
+pub struct Fig5Campaign {
+    /// The MSE engine at the figure's memory/backend/budget.
+    pub engine: MonteCarloEngine<Backend>,
+    /// The Fig. 5 scheme catalogue.
+    pub schemes: Vec<Scheme>,
+    /// The campaign seed.
+    pub seed: u64,
+    /// Largest simulated failure count.
+    pub max_failures: u64,
+}
+
+impl Fig5Campaign {
+    /// Builds the campaign for a spec (the spec's figure must be
+    /// [`FigureKind::Fig5`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend-calibration errors.
+    pub fn from_spec(
+        spec: &FigureSpec,
+        parallelism: Parallelism,
+    ) -> Result<Self, Box<dyn std::error::Error>> {
+        assert_eq!(spec.figure, FigureKind::Fig5, "not a Fig. 5 spec");
+        // The paper evaluates a 16 KB memory at P_cell = 5e-6 over failure
+        // counts 1..150 with 1e7 MC runs; the reduced default keeps the same
+        // memory and P_cell with a smaller budget.
+        let max_failures = if spec.full_scale { 150 } else { 24 };
+        let backend = Backend::at_p_cell(spec.backend, MemoryConfig::paper_16kb(), 5e-6)?;
+        let config = MonteCarloConfig::for_backend(backend)
+            .with_samples_per_count(spec.samples_per_count)
+            .with_max_failures(max_failures)
+            .with_parallelism(parallelism);
+        Ok(Self {
+            engine: MonteCarloEngine::new(config),
+            schemes: Scheme::fig5_catalogue(),
+            seed: spec.seed(),
+            max_failures,
+        })
+    }
+
+    /// Runs one shard, returning the raw accumulator state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates campaign errors.
+    pub fn run_shard(
+        &self,
+        shard: ShardSpec,
+    ) -> Result<CatalogueAccumulator, Box<dyn std::error::Error>> {
+        Ok(self
+            .engine
+            .run_catalogue_shard(&self.schemes, self.seed, shard)?)
+    }
+
+    /// Reduces (possibly shard-merged) state to per-scheme results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reduction errors.
+    pub fn results(
+        &self,
+        state: CatalogueAccumulator,
+    ) -> Result<Vec<SchemeMseResult>, Box<dyn std::error::Error>> {
+        Ok(self.engine.results_from_state(&self.schemes, state)?)
+    }
+}
+
+/// One Fig. 5 JSON series (the shape `fig5_mse_cdf --json` has always
+/// written).
+#[derive(Debug)]
+pub struct Fig5Series {
+    /// Scheme name.
+    pub scheme: String,
+    /// `(mse, P(MSE <= mse))` points of the CDF on a log grid.
+    pub cdf: Vec<(f64, f64)>,
+    /// MSE needed to reach 99.9999 % yield (the paper's example target),
+    /// if reachable with the simulated failure-count coverage.
+    pub mse_at_six_nines_yield: Option<f64>,
+    /// Yield at the paper's example constraint MSE < 10⁶.
+    pub yield_at_mse_1e6: f64,
+}
+
+impl ToJson for Fig5Series {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("scheme", self.scheme.to_json()),
+            ("cdf", self.cdf.to_json()),
+            (
+                "mse_at_six_nines_yield",
+                self.mse_at_six_nines_yield.to_json(),
+            ),
+            ("yield_at_mse_1e6", self.yield_at_mse_1e6.to_json()),
+        ])
+    }
+}
+
+/// Renders Fig. 5 results into the JSON series of `fig5_mse_cdf --json`.
+#[must_use]
+pub fn fig5_series(results: &[SchemeMseResult]) -> Vec<Fig5Series> {
+    results
+        .iter()
+        .map(|result| {
+            let grid = result.cdf.log_grid(40).unwrap_or_default();
+            Fig5Series {
+                scheme: result.scheme_name.clone(),
+                cdf: result.cdf.evaluate_at(&grid),
+                mse_at_six_nines_yield: result.mse_for_yield(0.999_999),
+                yield_at_mse_1e6: result.yield_at_mse(1e6),
+            }
+        })
+        .collect()
+}
+
+/// The materialised Fig. 7 campaign: per-benchmark evaluators over one
+/// shared backend and scheme catalogue, all derived from a [`FigureSpec`].
+#[derive(Debug, Clone)]
+pub struct Fig7Campaign {
+    /// One quality evaluator per benchmark panel, in spec order.
+    pub evaluators: Vec<QualityEvaluator>,
+    /// The shared fault backend (built at `P_cell = 10⁻³`).
+    pub backend: Backend,
+    /// The Fig. 7 scheme catalogue.
+    pub schemes: Vec<Scheme>,
+    /// The campaign seed.
+    pub seed: u64,
+    /// Largest simulated failure count (99 % die coverage).
+    pub max_failures: u64,
+    /// Monte-Carlo fault maps per failure count.
+    pub samples_per_count: usize,
+}
+
+impl Fig7Campaign {
+    /// Builds the campaign for a spec (the spec's figure must be
+    /// [`FigureKind::Fig7`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend-calibration and evaluator-construction errors.
+    pub fn from_spec(
+        spec: &FigureSpec,
+        parallelism: Parallelism,
+    ) -> Result<Self, Box<dyn std::error::Error>> {
+        assert_eq!(spec.figure, FigureKind::Fig7, "not a Fig. 7 spec");
+        // The paper: 16 KB memory, P_cell = 1e-3, 500 MC fault maps per
+        // failure count; the reduced default keeps the protocol on a smaller
+        // bank. Failure counts cover 99 % of the die population either way.
+        let (samples, memory_rows) = if spec.full_scale {
+            (1280usize, 4096usize)
+        } else {
+            (200, 512)
+        };
+        let backend = Backend::at_p_cell(spec.backend, MemoryConfig::new(memory_rows, 32)?, 1e-3)?;
+        let max_failures = backend.failure_distribution()?.n_max(0.99);
+        let evaluators = spec
+            .benchmarks
+            .iter()
+            .map(|&benchmark| {
+                QualityEvaluator::builder(benchmark)
+                    .samples(samples)
+                    .memory_rows(memory_rows)
+                    .parallelism(parallelism)
+                    .build()
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            evaluators,
+            backend,
+            schemes: vec![
+                Scheme::unprotected32(),
+                Scheme::pecc32(),
+                Scheme::shuffle32(1)?,
+                Scheme::shuffle32(2)?,
+                Scheme::secded32(),
+            ],
+            seed: spec.seed(),
+            max_failures,
+            samples_per_count: spec.samples_per_count,
+        })
+    }
+
+    /// Runs one shard of every benchmark panel, returning one accumulator
+    /// per panel in spec order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates campaign errors.
+    pub fn run_shard(
+        &self,
+        shard: ShardSpec,
+    ) -> Result<Vec<CatalogueAccumulator>, Box<dyn std::error::Error>> {
+        self.evaluators
+            .iter()
+            .map(|evaluator| {
+                // The paper's protocol discards fault maps with more than
+                // one fault per word (bounded redraw).
+                Ok(evaluator.quality_shard_on(
+                    &self.schemes,
+                    &self.backend,
+                    self.max_failures,
+                    self.samples_per_count,
+                    self.seed,
+                    true,
+                    shard,
+                )?)
+            })
+            .collect()
+    }
+
+    /// Reduces one panel's (possibly shard-merged) state to per-scheme
+    /// results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reduction errors.
+    pub fn results(
+        &self,
+        panel: usize,
+        state: CatalogueAccumulator,
+    ) -> Result<Vec<QualityCdfResult>, Box<dyn std::error::Error>> {
+        Ok(self.evaluators[panel].quality_results_from_state(
+            &self.schemes,
+            &self.backend,
+            state,
+        )?)
+    }
+}
+
+/// One Fig. 7 JSON series (the shape `fig7_quality --json` has always
+/// written).
+#[derive(Debug)]
+pub struct Fig7Series {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Scheme name.
+    pub scheme: String,
+    /// Fault-free quality (denominator of the normalisation).
+    pub baseline_quality: f64,
+    /// `(normalised quality, P(Q <= q))` CDF points.
+    pub cdf: Vec<(f64, f64)>,
+    /// Fraction of dies achieving at least 95 % of the baseline.
+    pub yield_at_95pct: f64,
+    /// Fraction of dies achieving at least 99 % of the baseline.
+    pub yield_at_99pct: f64,
+}
+
+impl ToJson for Fig7Series {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("benchmark", self.benchmark.to_json()),
+            ("scheme", self.scheme.to_json()),
+            ("baseline_quality", self.baseline_quality.to_json()),
+            ("cdf", self.cdf.to_json()),
+            ("yield_at_95pct", self.yield_at_95pct.to_json()),
+            ("yield_at_99pct", self.yield_at_99pct.to_json()),
+        ])
+    }
+}
+
+/// Renders one benchmark's Fig. 7 results into the JSON series of
+/// `fig7_quality --json`.
+#[must_use]
+pub fn fig7_series(benchmark: Benchmark, results: &[QualityCdfResult]) -> Vec<Fig7Series> {
+    results
+        .iter()
+        .map(|result| {
+            let grid: Vec<f64> = (0..=50).map(|i| i as f64 / 50.0).collect();
+            Fig7Series {
+                benchmark: benchmark.name().to_owned(),
+                scheme: result.scheme_name.clone(),
+                baseline_quality: result.baseline_quality,
+                cdf: result.cdf.evaluate_at(&grid),
+                yield_at_95pct: result.yield_at_min_quality(0.95),
+                yield_at_99pct: result.yield_at_min_quality(0.99),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_kind_parses_names() {
+        assert_eq!("fig5".parse::<FigureKind>().unwrap(), FigureKind::Fig5);
+        assert_eq!("FIG7".parse::<FigureKind>().unwrap(), FigureKind::Fig7);
+        assert_eq!(
+            "fig5_mse_cdf".parse::<FigureKind>().unwrap(),
+            FigureKind::Fig5
+        );
+        assert!("fig6".parse::<FigureKind>().is_err());
+        assert_eq!(FigureKind::Fig5.to_string(), "fig5");
+    }
+
+    #[test]
+    fn benchmark_selection_matches_fig7_behaviour() {
+        assert_eq!(selected_benchmarks(&[]), Benchmark::ALL.to_vec());
+        assert_eq!(
+            selected_benchmarks(&["knn".to_owned(), "wine".to_owned()]),
+            vec![Benchmark::Knn, Benchmark::Elasticnet]
+        );
+        assert!(selected_benchmarks(&["bogus".to_owned()]).is_empty());
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        for figure in [FigureKind::Fig5, FigureKind::Fig7] {
+            for backend in ["sram", "dram", "mlc"] {
+                let options = RunOptions::parse(
+                    ["--backend", backend, "--samples", "7", "pca"]
+                        .iter()
+                        .map(|s| (*s).to_owned()),
+                );
+                let spec = FigureSpec::from_options(figure, &options);
+                assert_eq!(spec.samples_per_count, 7);
+                let parsed = FigureSpec::from_json(&spec.to_json()).unwrap();
+                assert_eq!(parsed, spec);
+            }
+        }
+        assert!(FigureSpec::from_json(&JsonValue::Null).is_err());
+    }
+
+    #[test]
+    fn fig5_spec_matches_the_monolithic_defaults() {
+        let spec = FigureSpec::from_options(FigureKind::Fig5, &RunOptions::default());
+        assert_eq!(spec.samples_per_count, 60);
+        assert!(spec.benchmarks.is_empty());
+        assert_eq!(spec.seed(), 0xF165);
+        assert_eq!(spec.campaign_labels(), vec!["fig5".to_owned()]);
+        let campaign = Fig5Campaign::from_spec(&spec, Parallelism::Serial).unwrap();
+        assert_eq!(campaign.max_failures, 24);
+        assert_eq!(campaign.schemes.len(), Scheme::fig5_catalogue().len());
+
+        let full = FigureSpec {
+            full_scale: true,
+            samples_per_count: 500,
+            ..spec
+        };
+        let campaign = Fig5Campaign::from_spec(&full, Parallelism::Serial).unwrap();
+        assert_eq!(campaign.max_failures, 150);
+    }
+
+    #[test]
+    fn fig7_spec_matches_the_monolithic_defaults() {
+        let spec = FigureSpec::from_options(FigureKind::Fig7, &RunOptions::default());
+        assert_eq!(spec.samples_per_count, 4);
+        assert_eq!(spec.benchmarks, Benchmark::ALL.to_vec());
+        assert_eq!(spec.seed(), 0xF167);
+        assert_eq!(
+            spec.campaign_labels(),
+            vec!["elasticnet".to_owned(), "pca".to_owned(), "knn".to_owned()]
+        );
+        let campaign = Fig7Campaign::from_spec(&spec, Parallelism::Serial).unwrap();
+        assert_eq!(campaign.evaluators.len(), 3);
+        assert_eq!(campaign.schemes.len(), 5);
+        assert!(campaign.max_failures > 0);
+    }
+}

@@ -1,4 +1,4 @@
-//! A small JSON document model and emitter.
+//! A small JSON document model, emitter and parser.
 //!
 //! The offline build has no `serde_json`, so the figure binaries build their
 //! machine-readable series through this module instead: construct a
@@ -6,6 +6,19 @@
 //! [`JsonValue::to_pretty_string`]. The emitter covers exactly what the
 //! EXPERIMENTS flow needs — objects, arrays, strings, finite and non-finite
 //! numbers, booleans and nulls — with standard JSON escaping.
+//!
+//! [`JsonValue::parse`] is the inverse: a recursive-descent parser for
+//! standard JSON used by the sharded-campaign machinery to read shard-state
+//! checkpoints back. Numbers parse through [`str::parse::<f64>`], and the
+//! emitter prints floats with Rust's shortest round-trippable
+//! representation, so an emit → parse cycle reproduces every finite `f64`
+//! bit-for-bit — the property the byte-identical shard-merge invariant
+//! rests on. The single exception is `-0.0`, which the emitter has always
+//! normalised to `"0"` (the byte format of every historical figure JSON):
+//! shard-state observations tolerate this because CDF weights are strictly
+//! positive and `±0.0` *values* are indistinguishable to every CDF query —
+//! comparisons, quantiles and weight sums — so normalisation cannot change
+//! a rendered figure byte.
 
 /// A JSON document node.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,6 +66,96 @@ impl JsonValue {
         out
     }
 
+    /// Parses a JSON document (the inverse of
+    /// [`JsonValue::to_pretty_string`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonParseError`] with a byte offset and reason for
+    /// malformed input or trailing garbage.
+    pub fn parse(input: &str) -> Result<JsonValue, JsonParseError> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_whitespace();
+        let value = parser.value()?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.error("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+
+    /// The number carried by this node, if it is one (`null` is *not* a
+    /// number even though non-finite numbers emit as `null`).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(value) => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// The number as an exactly-representable unsigned integer, if it is
+    /// one.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(value)
+                if *value >= 0.0 && value.trunc() == *value && *value < 2f64.powi(53) =>
+            {
+                Some(*value as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string carried by this node, if it is one.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(value) => Some(value),
+            _ => None,
+        }
+    }
+
+    /// The boolean carried by this node, if it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(value) => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// The elements of this node, if it is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The `(key, value)` fields of this node, if it is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object node (first match wins).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.as_object()?
+            .iter()
+            .find(|(field, _)| field == key)
+            .map(|(_, value)| value)
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             JsonValue::Null => out.push_str("null"),
@@ -60,9 +163,17 @@ impl JsonValue {
             JsonValue::Number(value) => {
                 if value.is_finite() {
                     if *value == value.trunc() && value.abs() < 1e15 {
-                        // Integral values print without a fraction, like serde_json.
+                        // Integral values print without a fraction, like
+                        // serde_json. Note this normalises -0.0 to "0" (the
+                        // format every historical figure JSON was emitted
+                        // in; empty f64 iterator sums are -0.0, so figure
+                        // probabilities do hit this case) — see the module
+                        // docs for why the shard-state round-trip tolerates
+                        // it.
                         out.push_str(&format!("{}", *value as i64));
                     } else {
+                        // Shortest representation that round-trips the
+                        // exact f64.
                         out.push_str(&format!("{value}"));
                     }
                 } else {
@@ -109,6 +220,244 @@ impl JsonValue {
                 out.push('}');
             }
         }
+    }
+}
+
+/// Error produced by [`JsonValue::parse`]: what went wrong and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.reason
+        )
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, reason: &str) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            reason: reason.to_owned(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Consume a run of plain UTF-8 characters in one go.
+            while !matches!(self.peek(), None | Some(b'"' | b'\\')) {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.error("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escaped = self.peek().ok_or_else(|| self.error("unfinished escape"))?;
+                    self.pos += 1;
+                    match escaped {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            // Surrogate pairs are not emitted by our writer
+                            // (it escapes only control characters), but
+                            // accept them for standard-JSON compatibility.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let low = self.hex4()?;
+                                    if (0xDC00..0xE000).contains(&low) {
+                                        let combined = 0x10000
+                                            + ((u32::from(code) - 0xD800) << 10)
+                                            + (u32::from(low) - 0xDC00);
+                                        char::from_u32(combined)
+                                    } else {
+                                        // A high surrogate must be followed
+                                        // by a low surrogate.
+                                        None
+                                    }
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(u32::from(code))
+                            };
+                            out.push(c.ok_or_else(|| self.error("invalid \\u escape"))?);
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                None => return Err(self.error("unterminated string")),
+                _ => unreachable!("loop consumes all plain characters"),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, JsonParseError> {
+        let end = self.pos + 4;
+        let digits = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|slice| std::str::from_utf8(slice).ok())
+            .ok_or_else(|| self.error("expected 4 hex digits"))?;
+        let code =
+            u16::from_str_radix(digits, 16).map_err(|_| self.error("expected 4 hex digits"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number spans are plain ASCII");
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| self.error(&format!("invalid number '{text}'")))
     }
 }
 
@@ -255,5 +604,152 @@ mod tests {
     fn empty_containers_render_compact() {
         assert_eq!(JsonValue::Array(vec![]).to_pretty_string(), "[]");
         assert_eq!(JsonValue::Object(vec![]).to_pretty_string(), "{}");
+    }
+
+    #[test]
+    fn parse_handles_scalars() {
+        assert_eq!(JsonValue::parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(JsonValue::parse(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(JsonValue::parse("false").unwrap(), JsonValue::Bool(false));
+        assert_eq!(JsonValue::parse("42").unwrap(), JsonValue::Number(42.0));
+        assert_eq!(
+            JsonValue::parse("-3.5e2").unwrap(),
+            JsonValue::Number(-350.0)
+        );
+        assert_eq!(
+            JsonValue::parse("\"hi\\n\\\"there\\\"\"").unwrap(),
+            JsonValue::String("hi\n\"there\"".to_owned())
+        );
+        assert_eq!(
+            JsonValue::parse("\"\\u0041\\u00e9\"").unwrap(),
+            JsonValue::String("Aé".to_owned())
+        );
+        assert_eq!(
+            JsonValue::parse("\"\\ud83d\\ude00\"").unwrap(),
+            JsonValue::String("😀".to_owned())
+        );
+    }
+
+    #[test]
+    fn parse_handles_nested_containers() {
+        let doc = JsonValue::parse(
+            r#"{ "name": "fig5", "cdf": [[1.0, 0.5], [2, 1]], "flags": {"full": false}, "x": null }"#,
+        )
+        .unwrap();
+        assert_eq!(doc.get("name").unwrap().as_str(), Some("fig5"));
+        let cdf = doc.get("cdf").unwrap().as_array().unwrap();
+        assert_eq!(cdf.len(), 2);
+        assert_eq!(cdf[0].as_array().unwrap()[1].as_f64(), Some(0.5));
+        assert_eq!(
+            doc.get("flags").unwrap().get("full").unwrap().as_bool(),
+            Some(false)
+        );
+        assert_eq!(doc.get("x"), Some(&JsonValue::Null));
+        assert_eq!(doc.get("missing"), None);
+        assert_eq!(JsonValue::parse("[]").unwrap(), JsonValue::Array(vec![]));
+        assert_eq!(JsonValue::parse("{}").unwrap(), JsonValue::Object(vec![]));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "nul",
+            "truee",
+            "[1,",
+            "[1 2]",
+            "{\"a\" 1}",
+            "{\"a\":}",
+            "\"open",
+            "1..2",
+            "[1] trailing",
+            "{\"a\":1,}x",
+            "\"\\q\"",
+            "\"\\u12\"",
+            // A high surrogate must pair with a low surrogate.
+            "\"\\ud800\\u0041\"",
+            "\"\\ud800x\"",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn emit_parse_round_trip_preserves_f64_bits() {
+        let values = [
+            0.0,
+            1.0,
+            -1.0,
+            0.1,
+            1.0 / 3.0,
+            1e-300,
+            -2.5e300,
+            f64::MIN_POSITIVE,
+            f64::EPSILON,
+            987654321.125,
+            5e-6,
+            2f64.powi(52) + 1.0,
+        ];
+        for value in values {
+            let rendered = JsonValue::Number(value).to_pretty_string();
+            let parsed = JsonValue::parse(&rendered).unwrap().as_f64().unwrap();
+            assert_eq!(
+                parsed.to_bits(),
+                value.to_bits(),
+                "{value} rendered as {rendered} re-parsed as {parsed}"
+            );
+        }
+        // A deterministic pseudo-random sweep over the f64 space.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..2000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let value = f64::from_bits(state);
+            if !value.is_finite() {
+                continue;
+            }
+            let rendered = JsonValue::Number(value).to_pretty_string();
+            let parsed = JsonValue::parse(&rendered).unwrap().as_f64().unwrap();
+            assert_eq!(parsed.to_bits(), value.to_bits(), "{value} via {rendered}");
+        }
+    }
+
+    #[test]
+    fn negative_zero_keeps_its_historical_rendering() {
+        // Empty f64 iterator sums are -0.0, so figure probabilities hit
+        // this path; the byte format of the historical figure JSON ("0")
+        // wins over sign preservation. Parsing normalises to +0.0 — safe
+        // for shard state because ±0.0 are indistinguishable to every CDF
+        // query and weights are strictly positive.
+        let rendered = JsonValue::Number(-0.0).to_pretty_string();
+        assert_eq!(rendered, "0");
+        let parsed = JsonValue::parse(&rendered).unwrap().as_f64().unwrap();
+        assert_eq!(parsed.to_bits(), 0f64.to_bits());
+    }
+
+    #[test]
+    fn structured_documents_round_trip() {
+        let doc = JsonValue::object([
+            ("name", "shard \"0\"\n".to_json()),
+            ("cdf", vec![(1.5, 0.25), (2.0, 0.75)].to_json()),
+            ("count", 3u64.to_json()),
+            ("none", JsonValue::Null),
+            ("ok", true.to_json()),
+            ("empty", JsonValue::Array(vec![])),
+        ]);
+        let rendered = doc.to_pretty_string();
+        assert_eq!(JsonValue::parse(&rendered).unwrap(), doc);
+    }
+
+    #[test]
+    fn accessors_discriminate_types() {
+        assert_eq!(JsonValue::Number(7.0).as_u64(), Some(7));
+        assert_eq!(JsonValue::Number(-1.0).as_u64(), None);
+        assert_eq!(JsonValue::Number(1.5).as_u64(), None);
+        assert_eq!(JsonValue::Null.as_f64(), None);
+        assert_eq!(JsonValue::Bool(true).as_str(), None);
+        assert_eq!(JsonValue::String("x".into()).as_array(), None);
+        assert_eq!(JsonValue::Array(vec![]).as_object(), None);
     }
 }

@@ -17,6 +17,8 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cli;
+pub mod figures;
 pub mod json;
+pub mod shard;
 
 pub use cli::RunOptions;

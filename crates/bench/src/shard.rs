@@ -1,0 +1,567 @@
+//! Serializable shard state for distributed campaigns.
+//!
+//! A `campaign_shard` process evaluates one [`ShardSpec`] slice of a figure
+//! campaign and writes its accumulator state to disk as a [`ShardState`]
+//! JSON document; `campaign_merge` reads the shard files back, folds their
+//! accumulators **in shard order** and renders the figure. Because
+//!
+//! 1. chunk boundaries and per-sample RNG streams derive from the global
+//!    plan (see [`faultmit_sim::Campaign::try_run_shard`]),
+//! 2. [`CdfSketch`] serialisation stores the raw `(value, weight)`
+//!    observation list in insertion order and deserialisation re-accumulates
+//!    it ([`CdfSketch::from_observations`]), and
+//! 3. the in-tree JSON emitter prints every finite `f64` in its shortest
+//!    round-trippable form (sole exception: `-0.0` normalises to `+0.0`,
+//!    which no CDF query can distinguish — see the `json` module docs),
+//!
+//! the merged state — and therefore the rendered figure JSON — is
+//! **byte-identical** to the monolithic single-process run for every
+//! backend and any worker count.
+//!
+//! A completed shard file doubles as a checkpoint: `campaign_shard` skips
+//! work when its output file already holds a state whose
+//! [`ShardState::matches`] its request, so re-running a partially finished
+//! K-shard campaign recomputes only the missing shards.
+
+use crate::figures::FigureSpec;
+use crate::json::{JsonValue, ToJson};
+use faultmit_analysis::{CatalogueAccumulator, CdfSketch, EmpiricalCdf};
+use faultmit_sim::{Accumulator, ShardSpec};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Format tag of shard-state documents (bump on incompatible changes).
+pub const SHARD_STATE_FORMAT: &str = "faultmit-shard-state/v1";
+
+/// Error reading or merging shard state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStateError {
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl ShardStateError {
+    fn new(reason: impl Into<String>) -> Self {
+        Self {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ShardStateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard state error: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ShardStateError {}
+
+/// The accumulated state of one campaign panel (Fig. 5's single catalogue,
+/// or one Fig. 7 benchmark) inside a shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardCampaignState {
+    /// Panel label (`"fig5"` or the benchmark name).
+    pub label: String,
+    /// Scheme names in catalogue order (validated across shards on merge).
+    pub scheme_names: Vec<String>,
+    /// The shard's accumulator for this panel.
+    pub accumulator: CatalogueAccumulator,
+}
+
+/// One shard's complete serialisable state: the campaign identity, the
+/// shard coordinates, and one accumulator per campaign panel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardState {
+    /// Identity of the figure campaign the shard belongs to.
+    pub spec: FigureSpec,
+    /// Which slice of the campaign this state covers.
+    pub shard: ShardSpec,
+    /// Per-panel accumulator state, in panel order.
+    pub campaigns: Vec<ShardCampaignState>,
+}
+
+impl ShardState {
+    /// `true` when this state is the checkpoint for exactly the given
+    /// campaign slice — same figure spec and same shard coordinates.
+    #[must_use]
+    pub fn matches(&self, spec: &FigureSpec, shard: ShardSpec) -> bool {
+        self.spec == *spec && self.shard == shard
+    }
+
+    /// Serialises the state to the shard-file document.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("format", SHARD_STATE_FORMAT.to_json()),
+            ("spec", self.spec.to_json()),
+            ("shard_index", self.shard.shard_index().to_json()),
+            ("shard_count", self.shard.shard_count().to_json()),
+            (
+                "campaigns",
+                JsonValue::Array(
+                    self.campaigns
+                        .iter()
+                        .map(|campaign| {
+                            JsonValue::object([
+                                ("label", campaign.label.to_json()),
+                                ("schemes", campaign.scheme_names.to_json()),
+                                ("state", accumulator_to_json(&campaign.accumulator)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a shard-file document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardStateError`] for malformed JSON, a foreign format tag
+    /// or missing fields.
+    pub fn parse(text: &str) -> Result<Self, ShardStateError> {
+        let document = JsonValue::parse(text).map_err(|e| ShardStateError::new(format!("{e}")))?;
+        Self::from_json(&document)
+    }
+
+    /// Reads the state from a parsed shard-file document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardStateError`] for a foreign format tag or missing
+    /// fields.
+    pub fn from_json(document: &JsonValue) -> Result<Self, ShardStateError> {
+        let format = document
+            .get("format")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| ShardStateError::new("missing 'format' tag"))?;
+        if format != SHARD_STATE_FORMAT {
+            return Err(ShardStateError::new(format!(
+                "unsupported shard-state format '{format}', expected '{SHARD_STATE_FORMAT}'"
+            )));
+        }
+        let spec = document
+            .get("spec")
+            .ok_or_else(|| ShardStateError::new("missing 'spec'"))
+            .and_then(|spec| FigureSpec::from_json(spec).map_err(ShardStateError::new))?;
+        let shard_index = document
+            .get("shard_index")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| ShardStateError::new("missing 'shard_index'"))?;
+        let shard_count = document
+            .get("shard_count")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| ShardStateError::new("missing 'shard_count'"))?;
+        let shard = ShardSpec::new(shard_index as usize, shard_count as usize)
+            .map_err(|e| ShardStateError::new(e.to_string()))?;
+        let campaigns = document
+            .get("campaigns")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| ShardStateError::new("missing 'campaigns'"))?
+            .iter()
+            .map(|campaign| {
+                let label = campaign
+                    .get("label")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| ShardStateError::new("campaign is missing 'label'"))?
+                    .to_owned();
+                let scheme_names = campaign
+                    .get("schemes")
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| ShardStateError::new("campaign is missing 'schemes'"))?
+                    .iter()
+                    .map(|name| {
+                        name.as_str()
+                            .map(str::to_owned)
+                            .ok_or_else(|| ShardStateError::new("scheme names must be strings"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let accumulator = campaign
+                    .get("state")
+                    .ok_or_else(|| ShardStateError::new("campaign is missing 'state'"))
+                    .and_then(accumulator_from_json)?;
+                if accumulator.scheme_count() != scheme_names.len() {
+                    return Err(ShardStateError::new(format!(
+                        "campaign '{label}' state tracks {} schemes but names {}",
+                        accumulator.scheme_count(),
+                        scheme_names.len()
+                    )));
+                }
+                Ok(ShardCampaignState {
+                    label,
+                    scheme_names,
+                    accumulator,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            spec,
+            shard,
+            campaigns,
+        })
+    }
+
+    /// Merges a complete set of shard states into the monolithic state.
+    ///
+    /// The input may arrive in any order; shards are sorted by index and
+    /// merged ascending, which reproduces the monolithic chunk-order
+    /// reduction bit for bit. Validation requires one shard for every index
+    /// `0..shard_count`, a common figure spec and identical panel
+    /// labels/catalogues.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardStateError`] for incomplete, duplicated or mismatched
+    /// shard sets.
+    pub fn merge(mut shards: Vec<ShardState>) -> Result<ShardState, ShardStateError> {
+        let first = shards
+            .first()
+            .ok_or_else(|| ShardStateError::new("no shard files to merge"))?;
+        let spec = first.spec.clone();
+        let shard_count = first.shard.shard_count();
+        if shards.len() != shard_count {
+            return Err(ShardStateError::new(format!(
+                "campaign has {shard_count} shards but {} files were provided",
+                shards.len()
+            )));
+        }
+        let labels: Vec<(String, Vec<String>)> = first
+            .campaigns
+            .iter()
+            .map(|c| (c.label.clone(), c.scheme_names.clone()))
+            .collect();
+        for shard in &shards {
+            if shard.spec != spec {
+                return Err(ShardStateError::new(format!(
+                    "shard {} was produced by a different campaign configuration",
+                    shard.shard
+                )));
+            }
+            if shard.shard.shard_count() != shard_count {
+                return Err(ShardStateError::new(format!(
+                    "shard {} disagrees on the shard count {shard_count}",
+                    shard.shard
+                )));
+            }
+            let shard_labels: Vec<(String, Vec<String>)> = shard
+                .campaigns
+                .iter()
+                .map(|c| (c.label.clone(), c.scheme_names.clone()))
+                .collect();
+            if shard_labels != labels {
+                return Err(ShardStateError::new(format!(
+                    "shard {} disagrees on the campaign panels or scheme catalogue",
+                    shard.shard
+                )));
+            }
+        }
+        shards.sort_by_key(|shard| shard.shard.shard_index());
+        for (expected, shard) in shards.iter().enumerate() {
+            if shard.shard.shard_index() != expected {
+                return Err(ShardStateError::new(format!(
+                    "shard {expected}/{shard_count} is missing or duplicated"
+                )));
+            }
+        }
+
+        let mut campaigns: Vec<ShardCampaignState> = labels
+            .into_iter()
+            .map(|(label, scheme_names)| {
+                let scheme_count = scheme_names.len();
+                ShardCampaignState {
+                    label,
+                    scheme_names,
+                    accumulator: CatalogueAccumulator::new(scheme_count),
+                }
+            })
+            .collect();
+        for shard in shards {
+            for (merged, part) in campaigns.iter_mut().zip(shard.campaigns) {
+                merged.accumulator.merge(part.accumulator);
+            }
+        }
+        Ok(ShardState {
+            spec,
+            shard: ShardSpec::solo(),
+            campaigns,
+        })
+    }
+}
+
+/// Serialises a [`CdfSketch`] as its ordered `(value, weight)` observation
+/// list.
+#[must_use]
+pub fn sketch_to_json(sketch: &CdfSketch) -> JsonValue {
+    JsonValue::Array(
+        sketch
+            .observations()
+            .iter()
+            .map(|&(value, weight)| {
+                JsonValue::Array(vec![JsonValue::Number(value), JsonValue::Number(weight)])
+            })
+            .collect(),
+    )
+}
+
+/// Rebuilds a [`CdfSketch`] from its serialised observation list,
+/// re-accumulating the order-sensitive total weight exactly.
+///
+/// # Errors
+///
+/// Returns [`ShardStateError`] when the document is not a list of
+/// `[value, weight]` pairs.
+pub fn sketch_from_json(value: &JsonValue) -> Result<CdfSketch, ShardStateError> {
+    let observations = value
+        .as_array()
+        .ok_or_else(|| ShardStateError::new("sketch must be an array of [value, weight] pairs"))?
+        .iter()
+        .map(|pair| {
+            let pair = pair
+                .as_array()
+                .filter(|items| items.len() == 2)
+                .ok_or_else(|| ShardStateError::new("sketch entries must be [value, weight]"))?;
+            let value = pair[0]
+                .as_f64()
+                .ok_or_else(|| ShardStateError::new("sketch values must be numbers"))?;
+            let weight = pair[1]
+                .as_f64()
+                .ok_or_else(|| ShardStateError::new("sketch weights must be numbers"))?;
+            Ok((value, weight))
+        })
+        .collect::<Result<Vec<_>, ShardStateError>>()?;
+    Ok(CdfSketch::from_observations(observations))
+}
+
+/// Serialises a [`CatalogueAccumulator`]: one entry per scheme, each a list
+/// of `{n, cdf}` per-failure-count sketches in ascending failure count.
+#[must_use]
+pub fn accumulator_to_json(accumulator: &CatalogueAccumulator) -> JsonValue {
+    JsonValue::Array(
+        accumulator
+            .per_scheme_counts()
+            .iter()
+            .map(|per_count| {
+                JsonValue::Array(
+                    per_count
+                        .iter()
+                        .map(|(&n_faults, cdf)| {
+                            JsonValue::object([
+                                ("n", n_faults.to_json()),
+                                ("cdf", sketch_to_json(cdf.sketch())),
+                            ])
+                        })
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Rebuilds a [`CatalogueAccumulator`] from its serialised form.
+///
+/// # Errors
+///
+/// Returns [`ShardStateError`] for structural mismatches.
+pub fn accumulator_from_json(value: &JsonValue) -> Result<CatalogueAccumulator, ShardStateError> {
+    let per_scheme = value
+        .as_array()
+        .ok_or_else(|| ShardStateError::new("accumulator state must be an array of schemes"))?
+        .iter()
+        .map(|scheme| {
+            let mut per_count = BTreeMap::new();
+            for entry in scheme.as_array().ok_or_else(|| {
+                ShardStateError::new("per-scheme state must be an array of {n, cdf} entries")
+            })? {
+                let n_faults = entry
+                    .get("n")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| ShardStateError::new("count entry is missing 'n'"))?;
+                let sketch = entry
+                    .get("cdf")
+                    .ok_or_else(|| ShardStateError::new("count entry is missing 'cdf'"))
+                    .and_then(sketch_from_json)?;
+                if per_count
+                    .insert(n_faults, EmpiricalCdf::from_sketch(sketch))
+                    .is_some()
+                {
+                    return Err(ShardStateError::new(format!(
+                        "duplicate failure count {n_faults} in accumulator state"
+                    )));
+                }
+            }
+            Ok(per_count)
+        })
+        .collect::<Result<Vec<_>, ShardStateError>>()?;
+    Ok(CatalogueAccumulator::from_per_scheme_counts(per_scheme))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::FigureKind;
+    use crate::RunOptions;
+    use faultmit_sim::PairedSample;
+
+    fn sample(index: u64, n_faults: u64, metrics: &[f64]) -> PairedSample {
+        PairedSample {
+            sample_index: index,
+            n_faults,
+            weight: 0.125 + index as f64 * 1e-3,
+            metrics: metrics.to_vec(),
+        }
+    }
+
+    fn spec() -> FigureSpec {
+        FigureSpec::from_options(FigureKind::Fig5, &RunOptions::default())
+    }
+
+    #[test]
+    fn empty_sketch_round_trips() {
+        let sketch = CdfSketch::new();
+        let round = sketch_from_json(&sketch_to_json(&sketch)).unwrap();
+        assert_eq!(round, sketch);
+        assert_eq!(round.total_weight().to_bits(), 0f64.to_bits());
+    }
+
+    #[test]
+    fn single_sample_sketch_round_trips_bit_exactly() {
+        let mut sketch = CdfSketch::new();
+        sketch.push(1.0 / 3.0, 5e-324_f64.max(1e-17));
+        let round = sketch_from_json(&sketch_to_json(&sketch)).unwrap();
+        assert_eq!(round, sketch);
+        assert_eq!(
+            round.total_weight().to_bits(),
+            sketch.total_weight().to_bits()
+        );
+    }
+
+    #[test]
+    fn sketch_round_trip_preserves_order_sensitive_weight_sums() {
+        let mut sketch = CdfSketch::new();
+        for (i, w) in [1e-3, 1e16, 1.0, 1e-7, 3.5, 1e12].into_iter().enumerate() {
+            sketch.push(i as f64 * 0.1, w);
+        }
+        let text = sketch_to_json(&sketch).to_pretty_string();
+        let round = sketch_from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+        assert_eq!(round, sketch);
+        assert_eq!(
+            round.total_weight().to_bits(),
+            sketch.total_weight().to_bits()
+        );
+    }
+
+    #[test]
+    fn empty_accumulator_round_trips() {
+        for accumulator in [
+            CatalogueAccumulator::default(),
+            CatalogueAccumulator::new(3),
+        ] {
+            let round = accumulator_from_json(&accumulator_to_json(&accumulator)).unwrap();
+            assert_eq!(round, accumulator);
+        }
+    }
+
+    #[test]
+    fn populated_accumulator_round_trips_through_text() {
+        let mut accumulator = CatalogueAccumulator::new(2);
+        accumulator.record(&sample(0, 1, &[10.0, 0.5]));
+        accumulator.record(&sample(1, 1, &[20.0, 1.0 / 3.0]));
+        accumulator.record(&sample(2, 4, &[30.0, 0.125]));
+        let text = accumulator_to_json(&accumulator).to_pretty_string();
+        let round = accumulator_from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+        assert_eq!(round, accumulator);
+    }
+
+    #[test]
+    fn malformed_state_documents_are_rejected() {
+        assert!(sketch_from_json(&JsonValue::Null).is_err());
+        assert!(sketch_from_json(&JsonValue::parse("[[1.0]]").unwrap()).is_err());
+        assert!(sketch_from_json(&JsonValue::parse("[[1.0, true]]").unwrap()).is_err());
+        assert!(accumulator_from_json(&JsonValue::parse("[{}]").unwrap()).is_err());
+        assert!(accumulator_from_json(
+            &JsonValue::parse("[[{\"n\": 1, \"cdf\": []}, {\"n\": 1, \"cdf\": []}]]").unwrap()
+        )
+        .is_err());
+        assert!(ShardState::parse("not json").is_err());
+        assert!(ShardState::parse("{\"format\": \"other/v9\"}").is_err());
+    }
+
+    #[test]
+    fn shard_state_round_trips_and_matches() {
+        let mut accumulator = CatalogueAccumulator::new(1);
+        accumulator.record(&sample(0, 2, &[7.5]));
+        let state = ShardState {
+            spec: spec(),
+            shard: ShardSpec::new(1, 3).unwrap(),
+            campaigns: vec![ShardCampaignState {
+                label: "fig5".to_owned(),
+                scheme_names: vec!["no-correction".to_owned()],
+                accumulator,
+            }],
+        };
+        let text = state.to_json().to_pretty_string();
+        let round = ShardState::parse(&text).unwrap();
+        assert_eq!(round, state);
+        assert!(round.matches(&spec(), ShardSpec::new(1, 3).unwrap()));
+        assert!(!round.matches(&spec(), ShardSpec::new(0, 3).unwrap()));
+        let other_spec = FigureSpec {
+            samples_per_count: 99,
+            ..spec()
+        };
+        assert!(!round.matches(&other_spec, ShardSpec::new(1, 3).unwrap()));
+    }
+
+    fn shard_with(index: usize, count: usize, values: &[f64]) -> ShardState {
+        let mut accumulator = CatalogueAccumulator::new(1);
+        for (i, &value) in values.iter().enumerate() {
+            accumulator.record(&sample(i as u64, 1, &[value]));
+        }
+        ShardState {
+            spec: spec(),
+            shard: ShardSpec::new(index, count).unwrap(),
+            campaigns: vec![ShardCampaignState {
+                label: "fig5".to_owned(),
+                scheme_names: vec!["no-correction".to_owned()],
+                accumulator,
+            }],
+        }
+    }
+
+    #[test]
+    fn merge_folds_shards_in_index_order_regardless_of_input_order() {
+        let merged = ShardState::merge(vec![
+            shard_with(2, 3, &[5.0]),
+            shard_with(0, 3, &[1.0, 2.0]),
+            shard_with(1, 3, &[3.0]),
+        ])
+        .unwrap();
+        assert!(merged.shard.is_solo());
+        let values: Vec<f64> = merged.campaigns[0].accumulator.per_scheme_counts()[0][&1]
+            .samples()
+            .map(|(v, _)| v)
+            .collect();
+        assert_eq!(values, vec![1.0, 2.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn merge_rejects_incomplete_or_mismatched_shard_sets() {
+        assert!(ShardState::merge(vec![]).is_err());
+        // Missing shard 1 of 3.
+        assert!(
+            ShardState::merge(vec![shard_with(0, 3, &[1.0]), shard_with(2, 3, &[2.0])]).is_err()
+        );
+        // Duplicate shard index.
+        assert!(
+            ShardState::merge(vec![shard_with(0, 2, &[1.0]), shard_with(0, 2, &[2.0])]).is_err()
+        );
+        // Conflicting spec.
+        let mut foreign = shard_with(1, 2, &[2.0]);
+        foreign.spec.samples_per_count = 7;
+        assert!(ShardState::merge(vec![shard_with(0, 2, &[1.0]), foreign]).is_err());
+        // Conflicting catalogue.
+        let mut renamed = shard_with(1, 2, &[2.0]);
+        renamed.campaigns[0].scheme_names[0] = "other".to_owned();
+        assert!(ShardState::merge(vec![shard_with(0, 2, &[1.0]), renamed]).is_err());
+    }
+}

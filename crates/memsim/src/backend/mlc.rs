@@ -38,6 +38,26 @@ use rand::Rng;
 /// weighted `lsb_weight : 1` (default 2 : 1) over odd columns, rows
 /// uniform. The requested fault count is always exact.
 ///
+/// # TLC level maps
+///
+/// [`MlcNvmBackend::with_bits_per_cell`] switches the backend to TLC
+/// (3 bits, 8 levels). The per-level misread law stays the per-boundary
+/// margin crossing ([`MlcNvmBackend::level_misread_probability`]: edge
+/// levels have one adjacent boundary, interior levels two), and the
+/// marginal `P_cell` is its mean over levels, normalised to the 4-level
+/// reference so the 2-bit law keeps its historical closed form:
+///
+/// ```text
+///   P_cell(spacing, t, L) = (2(L−1)/L) / (3/2) · Φ(−(spacing / 2) / d(t))
+/// ```
+///
+/// — `L = 4` gives the plain MLC law above, `L = 8` the factor `7/6`. The
+/// spatial law generalises too: a 3-bit Gray code crosses 4 of its 7
+/// boundaries on the LSB-page bit, 2 on the CSB and 1 on the MSB, so TLC
+/// columns cycle LSB/CSB/MSB (`col % 3`) with fault mass
+/// `lsb_weight² : lsb_weight : 1` — the Gray transition counts `4 : 2 : 1`
+/// at the default weight.
+///
 /// Fault kinds default to always-observable bit-flips (the paper's
 /// injection protocol); [`MlcNvmBackend::with_kind_law`] switches to the
 /// asymmetric stuck-at law modelling unidirectional resistance drift.
@@ -48,6 +68,7 @@ pub struct MlcNvmBackend {
     drift_time_s: f64,
     drift_nu: f64,
     lsb_weight: f64,
+    bits_per_cell: u32,
     kind_law: FaultKindLaw,
     p_cell: f64,
 }
@@ -82,6 +103,7 @@ impl MlcNvmBackend {
             drift_time_s,
             drift_nu: 0.05,
             lsb_weight: 2.0,
+            bits_per_cell: 2,
             kind_law: FaultKindLaw::AlwaysFlip,
             p_cell: 0.0,
         };
@@ -145,6 +167,27 @@ impl MlcNvmBackend {
         Ok(self)
     }
 
+    /// Sets the number of bits stored per cell: 2 (MLC, 4 levels — the
+    /// default) or 3 (TLC, 8 levels). Switching re-derives the marginal
+    /// `P_cell` from the current spacing/drift under the generalised
+    /// per-level law (see the type-level documentation), so apply this knob
+    /// *before* reasoning about densities; the 2-bit setting is
+    /// bit-identical to the historical MLC backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidParameter`] for any other cell capacity.
+    pub fn with_bits_per_cell(mut self, bits_per_cell: u32) -> Result<Self, MemError> {
+        if !(2..=3).contains(&bits_per_cell) {
+            return Err(MemError::InvalidParameter {
+                reason: format!("bits per cell must be 2 (MLC) or 3 (TLC), got {bits_per_cell}"),
+            });
+        }
+        self.bits_per_cell = bits_per_cell;
+        self.p_cell = self.compute_p_cell();
+        Ok(self)
+    }
+
     /// Sets the fault-kind law (default: always-observable bit-flips).
     ///
     /// # Errors
@@ -174,8 +217,60 @@ impl MlcNvmBackend {
         1.0 + self.drift_nu * self.drift_time_s.ln_1p()
     }
 
-    fn compute_p_cell(&self) -> f64 {
+    /// Bits stored per cell (2 = MLC, 3 = TLC).
+    #[must_use]
+    pub fn bits_per_cell(&self) -> u32 {
+        self.bits_per_cell
+    }
+
+    /// Number of analog storage levels (`2^bits_per_cell`).
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        1usize << self.bits_per_cell
+    }
+
+    /// Probability that one adjacent level boundary is crossed at the
+    /// current spacing and drift — the building block of the per-level law.
+    #[must_use]
+    pub fn boundary_crossing_probability(&self) -> f64 {
         normal_cdf(-(self.level_spacing_sigma / 2.0) / self.drift_factor())
+    }
+
+    /// Probability that a cell programmed to `level` is misread: one
+    /// boundary-crossing term per adjacent boundary (edge levels have one
+    /// neighbour, interior levels two).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `level` is outside `0..levels()`.
+    #[must_use]
+    pub fn level_misread_probability(&self, level: usize) -> f64 {
+        assert!(
+            level < self.levels(),
+            "level {level} outside 0..{}",
+            self.levels()
+        );
+        let adjacent = if level == 0 || level == self.levels() - 1 {
+            1.0
+        } else {
+            2.0
+        };
+        adjacent * self.boundary_crossing_probability()
+    }
+
+    fn compute_p_cell(&self) -> f64 {
+        let per_boundary = self.boundary_crossing_probability();
+        if self.bits_per_cell == 2 {
+            // The historical MLC law, kept bit-identical: the 4-level mean
+            // of the per-level law normalised by its own 3/2 factor.
+            per_boundary
+        } else {
+            // Mean adjacent boundaries per level, 2(L−1)/L, normalised to
+            // the 4-level reference factor 3/2 (7/6 for TLC).
+            let levels = self.levels() as f64;
+            let scale = (2.0 * (levels - 1.0) / levels) / 1.5;
+            (per_boundary * scale).min(1.0)
+        }
     }
 }
 
@@ -202,20 +297,53 @@ impl FaultBackend for MlcNvmBackend {
     fn sample_with_count(&self, rng: &mut StdRng, n_faults: usize) -> Result<FaultMap, MemError> {
         let rows = self.config.rows();
         let cols = self.config.word_bits();
-        let even_cols = cols.div_ceil(2);
-        let odd_cols = cols / 2;
-        let even_mass = even_cols as f64 * self.lsb_weight;
-        let total_mass = even_mass + odd_cols as f64;
+        if self.bits_per_cell == 2 {
+            let even_cols = cols.div_ceil(2);
+            let odd_cols = cols / 2;
+            let even_mass = even_cols as f64 * self.lsb_weight;
+            let total_mass = even_mass + odd_cols as f64;
+            let propose = move |rng: &mut StdRng| {
+                let row = rng.gen_range(0..rows);
+                let u: f64 = rng.gen::<f64>() * total_mass;
+                let col = if u < even_mass || odd_cols == 0 {
+                    // LSB page: even columns, uniform within the page.
+                    2 * ((u / self.lsb_weight) as usize).min(even_cols - 1)
+                } else {
+                    // MSB page: odd columns.
+                    2 * ((u - even_mass) as usize).min(odd_cols - 1) + 1
+                };
+                (row, col)
+            };
+            return place_distinct(self.config, rng, n_faults, self.kind_law, propose);
+        }
+
+        // TLC: columns cycle LSB/CSB/MSB (col % 3) with per-column fault
+        // mass w² : w : 1 — at the default w = 2 the Gray-code boundary
+        // transition counts 4 : 2 : 1.
+        let page_cols = [cols.div_ceil(3), (cols + 1) / 3, cols / 3];
+        let page_weights = [self.lsb_weight * self.lsb_weight, self.lsb_weight, 1.0];
+        let page_masses: Vec<f64> = page_cols
+            .iter()
+            .zip(&page_weights)
+            .map(|(&count, &weight)| count as f64 * weight)
+            .collect();
+        let total_mass: f64 = page_masses.iter().sum();
+        let last_page = page_cols
+            .iter()
+            .rposition(|&count| count > 0)
+            .expect("a memory word has at least one column");
         let propose = move |rng: &mut StdRng| {
             let row = rng.gen_range(0..rows);
-            let u: f64 = rng.gen::<f64>() * total_mass;
-            let col = if u < even_mass || odd_cols == 0 {
-                // LSB page: even columns, uniform within the page.
-                2 * ((u / self.lsb_weight) as usize).min(even_cols - 1)
-            } else {
-                // MSB page: odd columns.
-                2 * ((u - even_mass) as usize).min(odd_cols - 1) + 1
-            };
+            let mut u: f64 = rng.gen::<f64>() * total_mass;
+            let mut chosen = last_page;
+            for page in 0..3 {
+                if page_cols[page] > 0 && (u < page_masses[page] || page == last_page) {
+                    chosen = page;
+                    break;
+                }
+                u -= page_masses[page];
+            }
+            let col = 3 * ((u / page_weights[chosen]) as usize).min(page_cols[chosen] - 1) + chosen;
             (row, col)
         };
         place_distinct(self.config, rng, n_faults, self.kind_law, propose)
@@ -358,6 +486,112 @@ mod tests {
             let map = backend.sample_with_count(&mut rng, n).unwrap();
             assert_eq!(map.fault_count(), n);
             assert!(map.iter().all(|f| f.kind == FaultKind::BitFlip));
+        }
+    }
+
+    #[test]
+    fn tlc_p_cell_matches_the_closed_form_per_level_law() {
+        let mlc = MlcNvmBackend::new(config(), 12.0, 86_400.0).unwrap();
+        let tlc = mlc.with_bits_per_cell(3).unwrap();
+        assert_eq!(tlc.bits_per_cell(), 3);
+        assert_eq!(tlc.levels(), 8);
+
+        // Per-level law: edge levels cross one boundary, interior levels two.
+        let per_boundary = tlc.boundary_crossing_probability();
+        assert_eq!(tlc.level_misread_probability(0), per_boundary);
+        assert_eq!(tlc.level_misread_probability(7), per_boundary);
+        for level in 1..7 {
+            assert_eq!(tlc.level_misread_probability(level), 2.0 * per_boundary);
+        }
+
+        // Marginal closed form: mean adjacent boundaries 2(L−1)/L = 7/4,
+        // normalised by the 4-level reference 3/2 ⇒ P_cell = (7/6)·Φ.
+        let expected = per_boundary * ((2.0 * 7.0 / 8.0) / 1.5);
+        assert!(
+            (tlc.p_cell() - expected).abs() <= expected * 1e-12,
+            "p = {}, closed form = {expected}",
+            tlc.p_cell()
+        );
+        // The mean of the per-level law, renormalised, is the same number.
+        let mean: f64 = (0..8)
+            .map(|l| tlc.level_misread_probability(l))
+            .sum::<f64>()
+            / 8.0;
+        assert!((tlc.p_cell() - mean / 1.5).abs() <= expected * 1e-12);
+        // And the 2-bit knob reproduces the historical law bit for bit.
+        assert_eq!(
+            mlc.with_bits_per_cell(2).unwrap().p_cell().to_bits(),
+            mlc.p_cell().to_bits()
+        );
+        assert_eq!(mlc.p_cell().to_bits(), per_boundary.to_bits());
+    }
+
+    #[test]
+    fn bits_per_cell_knob_rejects_unsupported_capacities() {
+        let backend = MlcNvmBackend::new(config(), 12.0, 86_400.0).unwrap();
+        assert!(backend.with_bits_per_cell(1).is_err());
+        assert!(backend.with_bits_per_cell(4).is_err());
+        assert!(backend.with_bits_per_cell(3).is_ok());
+    }
+
+    #[test]
+    fn tlc_pages_carry_gray_transition_fault_mass() {
+        // 4 : 2 : 1 across LSB/CSB/MSB pages at the default weight.
+        let backend = MlcNvmBackend::new(config(), 12.0, 86_400.0)
+            .unwrap()
+            .with_bits_per_cell(3)
+            .unwrap();
+        let mut per_page = [0usize; 3];
+        for seed in 0..30u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let map = backend.sample_with_count(&mut rng, 200).unwrap();
+            for fault in map.iter() {
+                per_page[fault.col % 3] += 1;
+            }
+        }
+        // Normalise by the column count of each page (32 cols → 11/11/10).
+        let rates = [
+            per_page[0] as f64 / 11.0,
+            per_page[1] as f64 / 11.0,
+            per_page[2] as f64 / 10.0,
+        ];
+        assert!(
+            (rates[0] / rates[2] - 4.0).abs() < 0.6,
+            "LSB:MSB per-column rate {} expected ≈ 4",
+            rates[0] / rates[2]
+        );
+        assert!(
+            (rates[1] / rates[2] - 2.0).abs() < 0.35,
+            "CSB:MSB per-column rate {} expected ≈ 2",
+            rates[1] / rates[2]
+        );
+    }
+
+    #[test]
+    fn tlc_sampling_is_exact_and_deterministic() {
+        let backend = MlcNvmBackend::new(config(), 12.0, 86_400.0)
+            .unwrap()
+            .with_bits_per_cell(3)
+            .unwrap();
+        for &n in &[0usize, 1, 33, 512] {
+            let mut rng_a = StdRng::seed_from_u64(17);
+            let mut rng_b = StdRng::seed_from_u64(17);
+            let a = backend.sample_with_count(&mut rng_a, n).unwrap();
+            let b = backend.sample_with_count(&mut rng_b, n).unwrap();
+            assert_eq!(a.fault_count(), n);
+            assert_eq!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
+        }
+        // Narrow words exercise the empty-page fallback.
+        for word_bits in [1usize, 2, 3] {
+            let narrow = MemoryConfig::new(16, word_bits).unwrap();
+            let backend = MlcNvmBackend::new(narrow, 12.0, 0.0)
+                .unwrap()
+                .with_bits_per_cell(3)
+                .unwrap();
+            let mut rng = StdRng::seed_from_u64(1);
+            let map = backend.sample_with_count(&mut rng, 10).unwrap();
+            assert_eq!(map.fault_count(), 10, "{word_bits}-bit words");
+            assert!(map.iter().all(|f| f.col < word_bits));
         }
     }
 

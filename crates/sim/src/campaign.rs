@@ -30,6 +30,110 @@ use faultmit_memsim::{
     SramVddBackend, StreamSeeder,
 };
 use std::convert::Infallible;
+use std::fmt;
+use std::ops::Range;
+use std::str::FromStr;
+
+/// One shard of a campaign split across `shard_count` independent runs.
+///
+/// A campaign's work list is deterministic (it depends only on the
+/// configuration), so it can be partitioned into `shard_count` disjoint
+/// chunk ranges and each range evaluated by a separate process — or a
+/// separate machine, since per-sample RNG streams derive from
+/// `(seed, global sample index)` alone. Accumulators of the shards merged
+/// **in shard order** are bit-identical to the monolithic run: the
+/// monolithic path *is* the `0/1` shard ([`ShardSpec::solo`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardSpec {
+    shard_index: usize,
+    shard_count: usize,
+}
+
+impl ShardSpec {
+    /// Creates the spec for shard `shard_index` of `shard_count`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] when `shard_count` is zero or
+    /// `shard_index` is out of range.
+    pub fn new(shard_index: usize, shard_count: usize) -> Result<Self, SimError> {
+        if shard_count == 0 {
+            return Err(SimError::InvalidParameter {
+                reason: "shard count must be at least 1".to_owned(),
+            });
+        }
+        if shard_index >= shard_count {
+            return Err(SimError::InvalidParameter {
+                reason: format!("shard index {shard_index} outside 0..{shard_count}"),
+            });
+        }
+        Ok(Self {
+            shard_index,
+            shard_count,
+        })
+    }
+
+    /// The single shard covering the whole campaign — monolithic execution.
+    #[must_use]
+    pub fn solo() -> Self {
+        Self {
+            shard_index: 0,
+            shard_count: 1,
+        }
+    }
+
+    /// This shard's index in `0..shard_count()`.
+    #[must_use]
+    pub fn shard_index(&self) -> usize {
+        self.shard_index
+    }
+
+    /// Total number of shards the campaign is split into.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// `true` when this spec covers the whole campaign (`0/1`).
+    #[must_use]
+    pub fn is_solo(&self) -> bool {
+        self.shard_count == 1
+    }
+
+    /// The contiguous range of chunk indices this shard owns out of
+    /// `chunk_count` total chunks.
+    ///
+    /// Ranges of consecutive shards tile `0..chunk_count` exactly (balanced
+    /// to within one chunk), so concatenating all shards in shard order
+    /// reproduces the monolithic chunk sequence.
+    #[must_use]
+    pub fn chunk_range(&self, chunk_count: usize) -> Range<usize> {
+        let start = self.shard_index * chunk_count / self.shard_count;
+        let end = (self.shard_index + 1) * chunk_count / self.shard_count;
+        start..end
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.shard_index, self.shard_count)
+    }
+}
+
+impl FromStr for ShardSpec {
+    type Err = SimError;
+
+    /// Parses the `I/K` notation used by the `--shard` CLI flag.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let invalid = || SimError::InvalidParameter {
+            reason: format!("shard spec '{s}' must be I/K with 0 <= I < K"),
+        };
+        let (index, count) = s.split_once('/').ok_or_else(invalid)?;
+        let index: usize = index.trim().parse().map_err(|_| invalid())?;
+        let count: usize = count.trim().parse().map_err(|_| invalid())?;
+        Self::new(index, count)
+    }
+}
 
 /// How sampled fault maps are filtered before evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -263,6 +367,9 @@ impl<B: FaultBackend> Campaign<B> {
     /// chunk-local accumulator per work chunk; chunk results merge in chunk
     /// order into the returned accumulator.
     ///
+    /// Monolithic execution is the [`ShardSpec::solo`] special case of
+    /// [`Campaign::run_shard`].
+    ///
     /// # Errors
     ///
     /// Propagates configuration and sampling errors.
@@ -278,9 +385,32 @@ impl<B: FaultBackend> Campaign<B> {
         F: Fn(&S, &FaultMap) -> f64 + Sync,
         A: Accumulator,
     {
-        self.try_run(
+        self.run_shard(schemes, seed, ShardSpec::solo(), evaluate, make_accumulator)
+    }
+
+    /// Runs one shard of the campaign with an infallible per-sample metric
+    /// (see [`Campaign::try_run_shard`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and sampling errors.
+    pub fn run_shard<S, F, A>(
+        &self,
+        schemes: &[S],
+        seed: u64,
+        shard: ShardSpec,
+        evaluate: F,
+        make_accumulator: impl Fn() -> A + Sync,
+    ) -> Result<A, SimError>
+    where
+        S: MitigationScheme + Sync,
+        F: Fn(&S, &FaultMap) -> f64 + Sync,
+        A: Accumulator,
+    {
+        self.try_run_shard(
             schemes,
             seed,
+            shard,
             |scheme, map| Ok::<f64, Infallible>(evaluate(scheme, map)),
             make_accumulator,
         )
@@ -302,6 +432,71 @@ impl<B: FaultBackend> Campaign<B> {
         &self,
         schemes: &[S],
         seed: u64,
+        evaluate: F,
+        make_accumulator: impl Fn() -> A + Sync,
+    ) -> Result<A, RunError<E>>
+    where
+        S: MitigationScheme + Sync,
+        F: Fn(&S, &FaultMap) -> Result<f64, E> + Sync,
+        A: Accumulator,
+        E: Send,
+    {
+        self.try_run_shard(schemes, seed, ShardSpec::solo(), evaluate, make_accumulator)
+    }
+
+    /// The number of chunks the campaign's work list is split into — the
+    /// granularity at which [`ShardSpec::chunk_range`] partitions work.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from building the failure distribution.
+    pub fn chunk_count(&self) -> Result<usize, SimError> {
+        Ok(self.plan_len()?.div_ceil(self.config.chunk_size))
+    }
+
+    /// The global sample-index range the given shard evaluates.
+    ///
+    /// Shard ranges are disjoint and tile `0..total samples` in shard
+    /// order; an empty range means the shard has no work (more shards than
+    /// chunks).
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from building the failure distribution.
+    pub fn shard_sample_range(&self, shard: ShardSpec) -> Result<Range<u64>, SimError> {
+        let plan_len = self.plan_len()?;
+        let chunks = shard.chunk_range(plan_len.div_ceil(self.config.chunk_size));
+        let start = (chunks.start * self.config.chunk_size).min(plan_len);
+        let end = (chunks.end * self.config.chunk_size).min(plan_len);
+        Ok(start as u64..end as u64)
+    }
+
+    fn plan_len(&self) -> Result<usize, SimError> {
+        Ok(match self.config.exact_failures {
+            Some(_) => self.config.samples_per_count,
+            None => self.config.effective_max_failures()? as usize * self.config.samples_per_count,
+        })
+    }
+
+    /// Runs one shard of the campaign: only the chunks of
+    /// [`ShardSpec::chunk_range`] are generated and evaluated, but chunk
+    /// boundaries and per-sample RNG streams are computed from the *global*
+    /// plan, so shard accumulators merged in shard order (in the sense of
+    /// [`Accumulator::merge`]) are **bit-identical** to the monolithic run —
+    /// including order-sensitive floating-point weight sums — for every
+    /// backend and any worker count. [`Campaign::try_run`] is the
+    /// [`ShardSpec::solo`] special case of this method.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Sim`] for pipeline errors and [`RunError::Eval`]
+    /// with the first evaluator error in deterministic (chunk-order)
+    /// position within the shard.
+    pub fn try_run_shard<S, F, A, E>(
+        &self,
+        schemes: &[S],
+        seed: u64,
+        shard: ShardSpec,
         evaluate: F,
         make_accumulator: impl Fn() -> A + Sync,
     ) -> Result<A, RunError<E>>
@@ -339,11 +534,17 @@ impl<B: FaultBackend> Campaign<B> {
         let seeder = StreamSeeder::new(seed);
         let chunk_size = self.config.chunk_size;
         let chunk_count = plan.len().div_ceil(chunk_size);
+        // Chunk boundaries come from the global plan; the shard only selects
+        // which contiguous run of chunks to evaluate, so every chunk's
+        // contents (and its samples' RNG streams) are identical whether the
+        // campaign runs monolithically or split across processes.
+        let owned_chunks = shard.chunk_range(chunk_count);
         let workers = self.config.parallelism.worker_count();
         let map_policy = self.config.map_policy;
 
         let chunk_results: Vec<Result<A, RunError<E>>> =
-            run_chunked(chunk_count, workers, |chunk_index| {
+            run_chunked(owned_chunks.len(), workers, |local_index| {
+                let chunk_index = owned_chunks.start + local_index;
                 let start = chunk_index * chunk_size;
                 let end = (start + chunk_size).min(plan.len());
                 let batch = match map_policy {
@@ -632,6 +833,110 @@ mod tests {
             assert_eq!(serial, threaded, "{kind} diverges across worker counts");
             assert_eq!(serial.records.len(), 40, "{kind}");
         }
+    }
+
+    #[test]
+    fn shard_spec_validates_and_parses() {
+        assert!(ShardSpec::new(0, 0).is_err());
+        assert!(ShardSpec::new(3, 3).is_err());
+        let spec = ShardSpec::new(1, 4).unwrap();
+        assert_eq!(spec.shard_index(), 1);
+        assert_eq!(spec.shard_count(), 4);
+        assert!(!spec.is_solo());
+        assert!(ShardSpec::solo().is_solo());
+        assert_eq!(spec.to_string(), "1/4");
+        assert_eq!("1/4".parse::<ShardSpec>().unwrap(), spec);
+        assert_eq!("0/1".parse::<ShardSpec>().unwrap(), ShardSpec::solo());
+        assert!("4/4".parse::<ShardSpec>().is_err());
+        assert!("1".parse::<ShardSpec>().is_err());
+        assert!("a/b".parse::<ShardSpec>().is_err());
+        assert!("1/0".parse::<ShardSpec>().is_err());
+    }
+
+    #[test]
+    fn shard_chunk_ranges_tile_the_chunk_space() {
+        for chunk_count in [0usize, 1, 2, 5, 16, 37] {
+            for shard_count in [1usize, 2, 3, 7, 40] {
+                let mut next = 0;
+                for index in 0..shard_count {
+                    let range = ShardSpec::new(index, shard_count)
+                        .unwrap()
+                        .chunk_range(chunk_count);
+                    assert_eq!(
+                        range.start, next,
+                        "{chunk_count} chunks, {shard_count} shards"
+                    );
+                    next = range.end;
+                }
+                assert_eq!(next, chunk_count);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_runs_merged_in_order_match_the_monolithic_run() {
+        let campaign = Campaign::new(config().with_parallelism(Parallelism::threads(4)));
+        let schemes = [Scheme::unprotected32(), Scheme::shuffle32(3).unwrap()];
+        let evaluate =
+            |scheme: &Scheme, map: &FaultMap| map.fault_count() as f64 * scheme.word_bits() as f64;
+        let monolithic = campaign
+            .run(&schemes, 19, evaluate, CollectRecords::new)
+            .unwrap();
+        for shard_count in [1usize, 2, 3, 7, 64] {
+            let mut merged = CollectRecords::new();
+            for index in 0..shard_count {
+                let shard = ShardSpec::new(index, shard_count).unwrap();
+                let part = campaign
+                    .run_shard(&schemes, 19, shard, evaluate, CollectRecords::new)
+                    .unwrap();
+                merged.merge(part);
+            }
+            assert_eq!(merged, monolithic, "{shard_count} shards diverge");
+        }
+    }
+
+    #[test]
+    fn shard_sample_ranges_are_disjoint_and_complete() {
+        let campaign = Campaign::new(config());
+        let total = campaign.shard_sample_range(ShardSpec::solo()).unwrap();
+        assert_eq!(total, 0..60);
+        assert_eq!(campaign.chunk_count().unwrap(), 15);
+        for shard_count in [2usize, 3, 7, 100] {
+            let mut next = 0;
+            for index in 0..shard_count {
+                let range = campaign
+                    .shard_sample_range(ShardSpec::new(index, shard_count).unwrap())
+                    .unwrap();
+                assert_eq!(range.start, next, "{shard_count} shards");
+                next = range.end;
+            }
+            assert_eq!(next, 60);
+        }
+    }
+
+    #[test]
+    fn exact_failure_campaigns_shard_identically() {
+        let campaign = Campaign::new(config().with_exact_failures(4));
+        let schemes = [Scheme::unprotected32()];
+        let evaluate = |_: &Scheme, map: &FaultMap| map.fault_count() as f64;
+        let monolithic = campaign
+            .run(&schemes, 5, evaluate, CollectRecords::new)
+            .unwrap();
+        let mut merged = CollectRecords::new();
+        for index in 0..3 {
+            merged.merge(
+                campaign
+                    .run_shard(
+                        &schemes,
+                        5,
+                        ShardSpec::new(index, 3).unwrap(),
+                        evaluate,
+                        CollectRecords::new,
+                    )
+                    .unwrap(),
+            );
+        }
+        assert_eq!(merged, monolithic);
     }
 
     #[test]

@@ -46,6 +46,57 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Sharded, resumable campaigns
+//!
+//! A campaign is a *plan over sample-index ranges*, so it can be split into
+//! [`ShardSpec`] shards whose chunk ranges tile the global plan: each shard
+//! is an independent process (or machine), and shard accumulators merged in
+//! shard order are **bit-identical** to the monolithic run — monolithic
+//! execution is just the `0/1` shard ([`Campaign::run`] delegates to
+//! [`Campaign::run_shard`] with [`ShardSpec::solo`]). In-process:
+//!
+//! ```
+//! use faultmit_core::Scheme;
+//! use faultmit_memsim::MemoryConfig;
+//! use faultmit_sim::{Accumulator, Campaign, CampaignConfig, CollectRecords, ShardSpec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = CampaignConfig::new(MemoryConfig::new(256, 32)?, 1e-3)?
+//!     .with_samples_per_count(6)
+//!     .with_max_failures(4)
+//!     .with_chunk_size(4);
+//! let campaign = Campaign::new(config);
+//! let schemes = [Scheme::unprotected32()];
+//! let metric = |_: &Scheme, map: &faultmit_memsim::FaultMap| map.fault_count() as f64;
+//!
+//! let monolithic = campaign.run(&schemes, 7, metric, CollectRecords::new)?;
+//! let mut merged = CollectRecords::new();
+//! for index in 0..3 {
+//!     let shard = ShardSpec::new(index, 3)?;
+//!     merged.merge(campaign.run_shard(&schemes, 7, shard, metric, CollectRecords::new)?);
+//! }
+//! assert_eq!(merged, monolithic); // bit-identical, not just statistically equal
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Across machines, the `faultmit-bench` crate packages this as the
+//! `campaign_shard` / `campaign_merge` binaries: each host evaluates one
+//! shard of a figure campaign and serialises its accumulator state to JSON;
+//! the merge step folds the shard files in shard order and renders the
+//! exact figure JSON the monolithic binary would have written. A completed
+//! shard file doubles as a checkpoint — re-running a partially finished
+//! campaign recomputes only the missing shards:
+//!
+//! ```text
+//! host-a$ campaign_shard fig5 --backend dram --shard 0/2 --out shards/fig5-dram-0of2.json
+//! host-b$ campaign_shard fig5 --backend dram --shard 1/2 --out shards/fig5-dram-1of2.json
+//! # gather the shard files, then render Fig. 5 byte-identically to the
+//! # monolithic `fig5_mse_cdf --json`:
+//! host-a$ campaign_merge shards/fig5-dram-0of2.json shards/fig5-dram-1of2.json \
+//!             --out results/fig5-dram.json
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -56,6 +107,6 @@ pub mod error;
 pub mod executor;
 
 pub use accumulate::{Accumulator, CollectRecords, PairedSample};
-pub use campaign::{Campaign, CampaignConfig, MapPolicy};
+pub use campaign::{Campaign, CampaignConfig, MapPolicy, ShardSpec};
 pub use error::{RunError, SimError};
 pub use executor::{run_chunked, Parallelism};

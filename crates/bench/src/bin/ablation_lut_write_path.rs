@@ -7,117 +7,13 @@
 //! realisations, alongside the ECC encoders, plus the redundancy baseline's
 //! spare-row demand for context.
 //!
+//! A thin shim over the `faultmit_bench::figures` registry entry
+//! `ablation_lut_write_path`.
+//!
 //! ```text
 //! cargo run --release -p faultmit-bench --bin ablation_lut_write_path
 //! ```
 
-use faultmit_analysis::report::Table;
-use faultmit_bench::json::{JsonValue, ToJson};
-use faultmit_bench::RunOptions;
-use faultmit_hwmodel::{LutImplementation, OverheadModel, ProtectionBlock};
-use faultmit_memsim::{repair_yield, DieSampler, MemoryConfig, StreamSeeder};
-
-#[derive(Debug)]
-struct WritePathRow {
-    scheme: String,
-    lut: String,
-    energy_fj: f64,
-    delay_ps: f64,
-}
-
-impl ToJson for WritePathRow {
-    fn to_json(&self) -> JsonValue {
-        JsonValue::object([
-            ("scheme", self.scheme.to_json()),
-            ("lut", self.lut.to_json()),
-            ("energy_fj", self.energy_fj.to_json()),
-            ("delay_ps", self.delay_ps.to_json()),
-        ])
-    }
-}
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let options = RunOptions::from_args();
-    let model = OverheadModel::paper_16kb();
-
-    let luts = [
-        LutImplementation::ArrayColumns,
-        LutImplementation::RegisterFile,
-        LutImplementation::Cam { entries: 64 },
-    ];
-    let blocks = [
-        ProtectionBlock::Secded,
-        ProtectionBlock::PriorityEcc,
-        ProtectionBlock::BitShuffle { n_fm: 1 },
-        ProtectionBlock::BitShuffle { n_fm: 5 },
-    ];
-
-    let mut table = Table::new(
-        "Ablation — write-path cost per scheme and FM-LUT realisation (16KB memory)",
-        vec![
-            "scheme".into(),
-            "LUT realisation".into(),
-            "write energy (fJ)".into(),
-            "write delay (ps)".into(),
-        ],
-    );
-    let mut series = Vec::new();
-    for block in blocks {
-        for lut in luts {
-            // The LUT choice only matters for bit-shuffling; print ECC rows
-            // once with a dash.
-            let is_shuffle = matches!(block, ProtectionBlock::BitShuffle { .. });
-            if !is_shuffle && lut != LutImplementation::ArrayColumns {
-                continue;
-            }
-            let cost = model.write_path_cost(block, lut);
-            let lut_label = if is_shuffle {
-                lut.label()
-            } else {
-                "-".to_owned()
-            };
-            table.add_row(vec![
-                block.label(),
-                lut_label.clone(),
-                format!("{:.1}", cost.energy_fj),
-                format!("{:.1}", cost.delay_ps),
-            ]);
-            series.push(WritePathRow {
-                scheme: block.label(),
-                lut: lut_label,
-                energy_fj: cost.energy_fj,
-                delay_ps: cost.delay_ps,
-            });
-        }
-    }
-    println!("{table}");
-
-    // Context: the redundancy baseline's spare-row demand at the same fault
-    // densities where bit-shuffling still delivers bounded errors.
-    let mut redundancy = Table::new(
-        "Context — spare rows needed by classical row redundancy (95% repair yield, 1024-row bank)",
-        vec!["P_cell".into(), "spare rows for 95% yield".into()],
-    );
-    let config = MemoryConfig::new(1024, 32)?;
-    for &p_cell in &[1e-5, 1e-4, 1e-3, 5e-3] {
-        let sampler = DieSampler::new(config, p_cell)?;
-        // Pipeline-style sampling: each die owns an index-derived RNG
-        // stream, so the population is independent of iteration order.
-        let seeder = StreamSeeder::new(0x5BA9);
-        let dies = (0..200)
-            .map(|i| sampler.sample_die(&mut seeder.rng_for_sample(i)))
-            .collect::<Result<Vec<_>, _>>()?;
-        let spares = (0..=1024)
-            .find(|&s| repair_yield(&dies, s) >= 0.95)
-            .unwrap_or(1024);
-        redundancy.add_row(vec![format!("{p_cell:.0e}"), spares.to_string()]);
-    }
-    println!("{redundancy}");
-    println!(
-        "Row redundancy must provision one spare per faulty row, so its cost explodes with P_cell; \
-bit-shuffling keeps a constant nFM-column overhead regardless of the fault count."
-    );
-
-    options.write_json(&series)?;
-    Ok(())
+    faultmit_bench::figures::run_monolithic("ablation_lut_write_path")
 }

@@ -3,169 +3,20 @@
 //! The paper defines the shift for a single faulty cell per word (Eq. (2)).
 //! At low supply voltages rows with two or more faulty cells become common,
 //! and the FM-LUT must then pick one shift that cannot protect every fault.
-//! This ablation compares two policies as a **paired** `sim::Campaign` —
-//! both policies score the *same* Monte-Carlo fault maps, fanned out over
-//! worker threads:
+//! This ablation compares the **naive** policy (align the least significant
+//! segment with the most significant faulty cell) against the **optimal**
+//! exhaustive search, as a paired `sim::Campaign` — both policies score the
+//! *same* Monte-Carlo fault maps.
 //!
-//! * **naive** — align the least significant segment with the *most
-//!   significant* faulty cell (the direct generalisation of Eq. (2));
-//! * **optimal** (the default in `FmLut::choose_shift`) — search all
-//!   `2^{n_FM}` candidate shifts and minimise the summed squared error
-//!   magnitude.
+//! A thin shim over the `faultmit_bench::figures` registry entry
+//! `ablation_shift_policy`; each `(n_FM, faults/map)` sweep point is one
+//! campaign panel, so the ablation shards via
+//! `campaign_run --figure ablation_shift_policy`.
 //!
 //! ```text
 //! cargo run --release -p faultmit-bench --bin ablation_shift_policy [-- --threads 4]
 //! ```
 
-use faultmit_analysis::memory_mse;
-use faultmit_analysis::report::{format_sci, Table};
-use faultmit_bench::json::{JsonValue, ToJson};
-use faultmit_bench::RunOptions;
-use faultmit_core::{
-    rotate_left, rotate_right, MitigationScheme, ObservedWord, Scheme, SegmentGeometry,
-};
-use faultmit_memsim::{corrupt_word, FaultMap, MemoryConfig};
-use faultmit_sim::{Campaign, CampaignConfig, CollectRecords};
-
-#[derive(Debug)]
-struct AblationRow {
-    n_fm: usize,
-    faults_per_map: usize,
-    mse_naive: f64,
-    mse_optimal: f64,
-    improvement_factor: f64,
-}
-
-impl ToJson for AblationRow {
-    fn to_json(&self) -> JsonValue {
-        JsonValue::object([
-            ("n_fm", self.n_fm.to_json()),
-            ("faults_per_map", self.faults_per_map.to_json()),
-            ("mse_naive", self.mse_naive.to_json()),
-            ("mse_optimal", self.mse_optimal.to_json()),
-            ("improvement_factor", self.improvement_factor.to_json()),
-        ])
-    }
-}
-
-/// Bit-shuffling with the naive multi-fault policy: align the least
-/// significant segment to the most significant faulty cell.
-#[derive(Debug, Clone, Copy)]
-struct NaiveShuffle(SegmentGeometry);
-
-impl MitigationScheme for NaiveShuffle {
-    fn name(&self) -> String {
-        format!("naive bit-shuffle nFM={}", self.0.n_fm())
-    }
-
-    fn word_bits(&self) -> usize {
-        self.0.word_bits()
-    }
-
-    fn observe(&self, faults: &FaultMap, row: usize, written: u64) -> ObservedWord {
-        let columns = faults.faulty_columns(row);
-        let Some(&msb_fault) = columns.last() else {
-            return ObservedWord::intact(written);
-        };
-        let x_fm = self.0.segment_of_bit(msb_fault);
-        let shift = self
-            .0
-            .shift_amount(x_fm)
-            .expect("segment index is in range");
-        let mut stored = rotate_right(written, shift, self.0.word_bits());
-        for col in columns {
-            if let Some(kind) = faults.fault_at(row, col) {
-                stored = corrupt_word(stored, col, kind);
-            }
-        }
-        ObservedWord {
-            value: rotate_left(stored, shift, self.0.word_bits()),
-            reliable: true,
-        }
-    }
-
-    fn worst_case_error_magnitude(&self, _bit: usize) -> u64 {
-        self.0.max_error_magnitude()
-    }
-
-    fn extra_bits_per_row(&self) -> usize {
-        self.0.n_fm()
-    }
-}
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let options = RunOptions::from_args();
-    let (default_maps, rows) = if options.full_scale {
-        (400, 4096)
-    } else {
-        (60, 512)
-    };
-    let maps_per_point = options.samples_or(default_maps);
-
-    let config = MemoryConfig::new(rows, 32)?;
-
-    let mut table = Table::new(
-        "Ablation — multi-fault shift policy (memory MSE, lower is better)",
-        vec![
-            "nFM".into(),
-            "faults/map".into(),
-            "naive (align to MSB fault)".into(),
-            "optimal (exhaustive search)".into(),
-            "improvement".into(),
-        ],
-    );
-    let mut series = Vec::new();
-
-    for n_fm in [1usize, 2, 3, 5] {
-        let geometry = SegmentGeometry::new(32, n_fm)?;
-        // Fault densities high enough that multi-fault rows actually occur.
-        for &faults_per_map in &[rows / 8, rows / 2, rows] {
-            // Paired pipeline pass: both policies score identical dies.
-            let naive = NaiveShuffle(geometry);
-            let optimal = Scheme::BitShuffle(geometry);
-            let schemes: [&(dyn MitigationScheme + Sync); 2] = [&naive, &optimal];
-            // The `--backend` axis swaps the fault technology: the shift
-            // policies face the same clustered / level-biased maps.
-            let campaign = Campaign::new(
-                CampaignConfig::for_backend(options.backend_at_p_cell(config, 1e-3)?)?
-                    .with_samples_per_count(maps_per_point)
-                    .with_exact_failures(faults_per_map as u64)
-                    .with_parallelism(options.parallelism()),
-            );
-            let records = campaign.run(&schemes, 0xAB1A, memory_mse, CollectRecords::new)?;
-
-            let count = records.records.len().max(1) as f64;
-            let mse_naive = records.records.iter().map(|r| r.metrics[0]).sum::<f64>() / count;
-            let mse_optimal = records.records.iter().map(|r| r.metrics[1]).sum::<f64>() / count;
-            // Paired invariant: the optimal policy includes the naive shift
-            // in its search space, so it can never lose on any single die.
-            debug_assert!(records
-                .records
-                .iter()
-                .all(|r| r.metrics[1] <= r.metrics[0] + 1e-9));
-
-            table.add_row(vec![
-                n_fm.to_string(),
-                faults_per_map.to_string(),
-                format_sci(mse_naive),
-                format_sci(mse_optimal),
-                format!("{:.2}x", mse_naive / mse_optimal.max(f64::MIN_POSITIVE)),
-            ]);
-            series.push(AblationRow {
-                n_fm,
-                faults_per_map,
-                mse_naive,
-                mse_optimal,
-                improvement_factor: mse_naive / mse_optimal.max(f64::MIN_POSITIVE),
-            });
-        }
-    }
-    println!("{table}");
-    println!(
-        "The optimal policy never loses to the naive one (it includes it in its search space); \
-the gap widens as rows accumulate several faults."
-    );
-
-    options.write_json(&series)?;
-    Ok(())
+    faultmit_bench::figures::run_monolithic("ablation_shift_policy")
 }

@@ -1,20 +1,22 @@
 //! Merge campaign shard files and render the figure JSON.
 //!
 //! Reads the K shard-state files of a campaign (in any order), validates
-//! that they form a complete K-shard set of one campaign configuration,
-//! folds their accumulators **in shard order**, and renders the figure
-//! series with the exact code path of the monolithic figure binary — so the
-//! output at `--out` is **byte-identical** to `fig5_mse_cdf --json` /
-//! `fig7_quality --json` run monolithically with the same flags.
+//! that they form a complete K-shard set of one registered figure's
+//! campaign — reporting **every** missing, duplicated or mismatched shard
+//! index (and every unreadable file) in one error instead of failing on the
+//! first — folds their panel states **in shard order**, and renders the
+//! figure series with the exact code path of the monolithic figure binary:
+//! the output at `--out` is **byte-identical** to that binary's `--json`
+//! output at the same flags, for every figure of the
+//! `faultmit_bench::figures` registry.
 //!
 //! ```text
-//! campaign_merge shards/fig5-dram-0of2.json shards/fig5-dram-1of2.json \
-//!     --out results/fig5-dram.json
+//! campaign_merge shards/fig8-0of4.json shards/fig8-1of4.json \
+//!     shards/fig8-2of4.json shards/fig8-3of4.json --out results/fig8.json
 //! ```
 
-use faultmit_bench::figures::{fig5_series, fig7_series, Fig5Campaign, Fig7Campaign, FigureKind};
-use faultmit_bench::json::ToJson;
-use faultmit_bench::shard::ShardState;
+use faultmit_bench::figures::find_figure;
+use faultmit_bench::shard::{load_shard_files, ShardState};
 use faultmit_bench::RunOptions;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -25,61 +27,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let mut shards = Vec::new();
-    for path in &options.positional {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read shard file '{path}': {e}"))?;
-        let state = ShardState::parse(&text).map_err(|e| format!("'{path}': {e}"))?;
+    let shards = load_shard_files(&options.positional)?;
+    for (path, state) in options.positional.iter().zip(&shards) {
         println!(
-            "read shard {} of {} ({}) from {path}",
-            state.shard,
-            state.spec.figure,
-            state.spec.backend.name()
+            "read shard {} of {} from {path}",
+            state.shard, state.spec.figure
         );
-        shards.push(state);
     }
 
     let merged = ShardState::merge(shards)?;
     let spec = merged.spec.clone();
+    let figure = find_figure(&spec.figure)?;
     println!(
-        "merged {} shard(s) of {} ({}, {} samples/count)",
+        "merged {} shard(s) of {} ({} samples/count)",
         options.positional.len(),
         spec.figure,
-        spec.backend.name(),
         spec.samples_per_count
     );
 
     // Render through the figure's own reduction path: a merged state is
     // bit-identical to the monolithic accumulator, so the series — and its
     // serialised bytes — match the monolithic binary's --json output.
-    let document = match spec.figure {
-        FigureKind::Fig5 => {
-            let campaign = Fig5Campaign::from_spec(&spec, options.parallelism())?;
-            let state = merged
-                .campaigns
-                .into_iter()
-                .next()
-                .ok_or("fig5 shard state holds no campaign")?;
-            let results = campaign.results(state.accumulator)?;
-            fig5_series(&results).to_json()
-        }
-        FigureKind::Fig7 => {
-            let campaign = Fig7Campaign::from_spec(&spec, options.parallelism())?;
-            let mut all_series = Vec::new();
-            for (panel, (&benchmark, state)) in
-                spec.benchmarks.iter().zip(merged.campaigns).enumerate()
-            {
-                let results = campaign.results(panel, state.accumulator)?;
-                all_series.extend(fig7_series(benchmark, &results));
-            }
-            all_series.to_json()
-        }
-    };
+    let panels = merged.into_panels(&figure.panel_labels(&spec))?;
+    let rendered = figure.render(&spec, options.parallelism(), panels)?;
 
     if options.json_path.is_some() {
-        options.write_json(&document)?;
+        options.write_json(&rendered.document)?;
     } else {
-        println!("{}", document.to_pretty_string());
+        println!("{}", rendered.document.to_pretty_string());
     }
     Ok(())
 }

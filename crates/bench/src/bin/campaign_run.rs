@@ -1,0 +1,245 @@
+//! Single-command, multi-process, resumable execution of any registered
+//! figure campaign.
+//!
+//! `campaign_run --figure <name> --shards K --jobs J` splits the figure's
+//! campaign into K shards, spawns up to J `campaign_shard` child processes
+//! at a time (sibling binary of this executable), retries failed shards up
+//! to `--retries R` times (default 2), then merges the K checkpoint files
+//! and renders the figure JSON — **byte-identical** to the monolithic
+//! figure binary's `--json` output at the same flags, because every stage
+//! shares the `faultmit_bench::figures` registry code path.
+//!
+//! Completed shard files under `--dir` (default `campaign-shards/`) are
+//! checkpoints: a killed or crashed driver re-run recomputes only the
+//! missing or foreign shards, and a corrupted checkpoint is detected by
+//! `campaign_shard` and recomputed. Figure flags (`--backend`, `--samples`,
+//! `--full`, benchmark selectors) pass through to the children and to the
+//! final render.
+//!
+//! ```text
+//! campaign_run --figure fig8_backend_matrix --shards 4 --jobs 2 \
+//!     --samples 5 --out results/fig8.json
+//! campaign_run --figure list        # print the figure catalogue
+//! ```
+
+use faultmit_bench::figures::{find_figure, registry, FigureDef};
+use faultmit_bench::shard::{load_shard_files, ShardState};
+use faultmit_bench::RunOptions;
+use faultmit_sim::ShardSpec;
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+
+/// One queued shard evaluation and how often it has been attempted.
+struct ShardJob {
+    shard: ShardSpec,
+    attempts: usize,
+}
+
+fn shard_binary() -> Result<PathBuf, Box<dyn std::error::Error>> {
+    let driver = std::env::current_exe()?;
+    let dir = driver
+        .parent()
+        .ok_or("cannot locate the campaign_run executable directory")?;
+    let sibling = dir.join(format!("campaign_shard{}", std::env::consts::EXE_SUFFIX));
+    if !sibling.exists() {
+        return Err(format!(
+            "campaign_shard not found next to campaign_run at {}; \
+             build the full binary set first (cargo build -p faultmit-bench)",
+            sibling.display()
+        )
+        .into());
+    }
+    Ok(sibling)
+}
+
+/// The figure flags forwarded to every `campaign_shard` child, plus an
+/// explicit per-child thread budget: without one each child would default
+/// to one worker per CPU and `J` concurrent children would oversubscribe
+/// the machine `J`-fold, so the CPU pool is divided across the jobs
+/// (results are bit-identical at any worker count, so this is purely a
+/// scheduling choice).
+fn passthrough_args(
+    options: &RunOptions,
+    figure: &'static dyn FigureDef,
+    jobs: usize,
+) -> Vec<String> {
+    let mut args = vec!["--figure".to_owned(), figure.name().to_owned()];
+    if options.full_scale {
+        args.push("--full".to_owned());
+    }
+    if let Some(samples) = options.samples {
+        args.push("--samples".to_owned());
+        args.push(samples.to_string());
+    }
+    if let Some(backend) = options.backend {
+        args.push("--backend".to_owned());
+        args.push(backend.name().to_owned());
+    }
+    let threads = options.threads.unwrap_or_else(|| {
+        let cpus = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        (cpus / jobs).max(1)
+    });
+    args.push("--threads".to_owned());
+    args.push(threads.to_string());
+    args.extend(options.positional.iter().cloned());
+    args
+}
+
+fn shard_path(dir: &Path, figure: &'static dyn FigureDef, shard: ShardSpec) -> PathBuf {
+    dir.join(format!(
+        "{}-{}of{}.json",
+        figure.name(),
+        shard.shard_index(),
+        shard.shard_count()
+    ))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let options = RunOptions::from_args();
+    let Some(name) = options.figure.clone() else {
+        return Err(
+            "usage: campaign_run --figure <name> --shards K [--jobs J] [--retries R]\
+                    \n       [--dir <checkpoint-dir>] [--out <figure-json-path>]\
+                    \n       [--backend sram|dram|mlc] [--samples N] [--threads N] [--full]\
+                    \nrun 'campaign_run --figure list' for the figure catalogue"
+                .into(),
+        );
+    };
+    if name == "list" {
+        println!("registered figures:");
+        for figure in registry() {
+            println!("  {:<24} {}", figure.name(), figure.description());
+        }
+        return Ok(());
+    }
+    let figure = find_figure(&name)?;
+    if let Some(error) = &options.shard_error {
+        return Err(error.clone().into());
+    }
+    // A typo in --shards/--jobs/--retries must not silently degrade the
+    // campaign split (the same policy an unparseable --shard has).
+    if !options.driver_flag_errors.is_empty() {
+        return Err(options.driver_flag_errors.join("; ").into());
+    }
+
+    let shard_count = options.shards.unwrap_or(1).max(1);
+    let jobs = options
+        .jobs
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+        .clamp(1, shard_count);
+    let max_retries = options.retries.unwrap_or(2);
+    let dir = options
+        .dir
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("campaign-shards"));
+    std::fs::create_dir_all(&dir)?;
+
+    let spec = figure.spec(&options);
+    let shard_bin = shard_binary()?;
+    let child_args = passthrough_args(&options, figure, jobs);
+    println!(
+        "campaign_run: {} as {shard_count} shard(s), {jobs} concurrent job(s), \
+         {max_retries} retr{} per shard, checkpoints in {}",
+        figure.name(),
+        if max_retries == 1 { "y" } else { "ies" },
+        dir.display()
+    );
+
+    // Schedule: a queue of shards, at most `jobs` children in flight.
+    // `campaign_shard` itself skips shards whose checkpoint files already
+    // match this campaign slice, so resuming a killed driver only pays for
+    // the missing work.
+    let mut queue: VecDeque<ShardJob> = ShardSpec::all(shard_count)
+        .map(|shard| ShardJob { shard, attempts: 0 })
+        .collect();
+    let mut running: Vec<(ShardJob, Child)> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+
+    while !(queue.is_empty() && running.is_empty()) {
+        while running.len() < jobs {
+            let Some(mut job) = queue.pop_front() else {
+                break;
+            };
+            job.attempts += 1;
+            let out = shard_path(&dir, figure, job.shard);
+            let child = Command::new(&shard_bin)
+                .args(&child_args)
+                .arg("--shard")
+                .arg(job.shard.to_string())
+                .arg("--out")
+                .arg(&out)
+                .spawn()
+                .map_err(|e| format!("cannot spawn {}: {e}", shard_bin.display()))?;
+            running.push((job, child));
+        }
+
+        // Reap the first finished child (bounded poll keeps this portable
+        // without signal handling).
+        let (index, status) = 'wait: loop {
+            for (index, (_, child)) in running.iter_mut().enumerate() {
+                if let Some(status) = child.try_wait()? {
+                    break 'wait (index, status);
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+        let (job, _) = running.swap_remove(index);
+
+        // A zero exit must also have produced a matching checkpoint; treat
+        // anything else as a failed attempt.
+        let out = shard_path(&dir, figure, job.shard);
+        let completed = status.success()
+            && std::fs::read_to_string(&out)
+                .ok()
+                .and_then(|text| ShardState::parse(&text).ok())
+                .is_some_and(|state| state.matches(&spec, job.shard));
+        if completed {
+            println!(
+                "shard {} complete ({} attempt{})",
+                job.shard,
+                job.attempts,
+                if job.attempts == 1 { "" } else { "s" }
+            );
+        } else if job.attempts <= max_retries {
+            eprintln!(
+                "shard {} failed ({status}); retrying ({}/{max_retries})",
+                job.shard, job.attempts
+            );
+            queue.push_back(job);
+        } else {
+            failures.push(format!(
+                "shard {} failed after {} attempts (last: {status})",
+                job.shard, job.attempts
+            ));
+        }
+    }
+
+    if !failures.is_empty() {
+        return Err(format!("campaign did not complete: {}", failures.join("; ")).into());
+    }
+
+    // Merge and render in-process through the same registry code path the
+    // monolithic binary uses.
+    let paths: Vec<PathBuf> = ShardSpec::all(shard_count)
+        .map(|shard| shard_path(&dir, figure, shard))
+        .collect();
+    let merged = ShardState::merge(load_shard_files(&paths)?)?;
+    if merged.spec != spec {
+        return Err("merged shard set belongs to a different campaign configuration".into());
+    }
+    let panels = merged.into_panels(&figure.panel_labels(&spec))?;
+    let rendered = figure.render(&spec, options.parallelism(), panels)?;
+
+    print!("{}", rendered.report);
+    if options.json_path.is_some() {
+        options.write_json(&rendered.document)?;
+    }
+    Ok(())
+}

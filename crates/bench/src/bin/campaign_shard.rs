@@ -1,36 +1,45 @@
-//! Evaluate one shard of a figure campaign and write its accumulator state.
+//! Evaluate one shard of any registered figure campaign and write its
+//! panel state.
 //!
-//! A K-shard campaign splits a figure's Monte-Carlo plan into K disjoint
-//! chunk ranges (`faultmit_sim::ShardSpec`); each invocation of this binary
-//! evaluates one range — on any host, since per-sample RNG streams derive
-//! from `(seed, global sample index)` alone — and serialises its accumulator
-//! state to `--out`. `campaign_merge` folds the K files in shard order and
-//! renders figure JSON **byte-identical** to the monolithic figure binary.
+//! A K-shard campaign splits a figure's plan into K disjoint chunk ranges
+//! (`faultmit_sim::ShardSpec`); each invocation of this binary evaluates
+//! one range — on any host, since per-sample RNG streams derive from
+//! `(seed, global sample index)` alone — and serialises its panel states to
+//! `--out`. `campaign_merge` (or the `campaign_run` driver) folds the K
+//! files in shard order and renders figure JSON **byte-identical** to the
+//! monolithic figure binary. The figure is selected with `--figure <name>`
+//! (or the historical first positional argument) from the
+//! `faultmit_bench::figures` registry — every campaign binary is covered,
+//! not just fig5/fig7.
 //!
 //! A completed shard file is a checkpoint: when `--out` already holds the
 //! state of exactly this campaign slice, the run is skipped, so re-running
 //! a partially finished campaign recomputes only the missing shards.
 //!
 //! ```text
-//! campaign_shard fig5 --backend dram --shard 0/2 --out shards/fig5-dram-0of2.json
+//! campaign_shard --figure fig5 --backend dram --shard 0/2 --out shards/fig5-dram-0of2.json
+//! campaign_shard --figure fig8 --samples 5 --shard 1/4 --out shards/fig8-1of4.json
 //! campaign_shard fig7 elasticnet --shard 1/3 --samples 4 --out shards/fig7-el-1of3.json
 //! ```
 
-use faultmit_bench::figures::{Fig5Campaign, Fig7Campaign, FigureKind, FigureSpec};
-use faultmit_bench::shard::{ShardCampaignState, ShardState};
+use faultmit_bench::figures::find_figure;
+use faultmit_bench::shard::{ShardPanelState, ShardState};
 use faultmit_bench::RunOptions;
-use faultmit_core::MitigationScheme;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut options = RunOptions::from_args();
-    if options.positional.is_empty() {
-        return Err(
-            "usage: campaign_shard <fig5|fig7> [benchmarks...] --shard I/K --out <path>\
-                    \n       [--backend sram|dram|mlc] [--samples N] [--threads N] [--full]"
-                .into(),
-        );
-    }
-    let figure: FigureKind = options.positional.remove(0).parse()?;
+    let name =
+        match options.figure.clone() {
+            Some(name) => name,
+            None if !options.positional.is_empty() => options.positional.remove(0),
+            None => return Err(
+                "usage: campaign_shard --figure <name> [benchmarks...] --shard I/K --out <path>\
+                        \n       [--backend sram|dram|mlc] [--samples N] [--threads N] [--full]\
+                        \n(the figure may also be the first positional argument)"
+                    .into(),
+            ),
+        };
+    let figure = find_figure(&name)?;
     // An unparseable --shard must not silently fall back to the monolithic
     // 0/1 shard: that would recompute the whole campaign and write
     // solo-coverage state under a shard file's name.
@@ -43,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .clone()
         .ok_or("campaign_shard requires --out <path> for the shard-state file")?;
 
-    let spec = FigureSpec::from_options(figure, &options);
+    let spec = figure.spec(&options);
 
     // Resumability: a completed shard file for exactly this campaign slice
     // is a checkpoint — skip the work.
@@ -51,8 +60,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         match ShardState::parse(&existing) {
             Ok(state) if state.matches(&spec, shard) => {
                 println!(
-                    "shard {shard} of {figure} ({}) already complete at {}; skipping",
-                    spec.backend.name(),
+                    "shard {shard} of {} already complete at {}; skipping",
+                    figure.name(),
                     out_path.display()
                 );
                 return Ok(());
@@ -68,59 +77,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let campaigns = match figure {
-        FigureKind::Fig5 => {
-            let campaign = Fig5Campaign::from_spec(&spec, options.parallelism())?;
-            let samples = campaign
-                .engine
-                .config()
-                .samples_per_count()
-                .saturating_mul(campaign.max_failures as usize);
-            println!(
-                "{figure} shard {shard}: backend {}, {} global samples, catalogue of {}",
-                spec.backend.name(),
-                samples,
-                campaign.schemes.len()
-            );
-            vec![ShardCampaignState {
-                label: "fig5".to_owned(),
-                scheme_names: campaign
-                    .schemes
-                    .iter()
-                    .map(MitigationScheme::name)
-                    .collect(),
-                accumulator: campaign.run_shard(shard)?,
-            }]
-        }
-        FigureKind::Fig7 => {
-            let campaign = Fig7Campaign::from_spec(&spec, options.parallelism())?;
-            println!(
-                "{figure} shard {shard}: backend {}, benchmarks {:?}, catalogue of {}",
-                spec.backend.name(),
-                spec.campaign_labels(),
-                campaign.schemes.len()
-            );
-            let scheme_names: Vec<String> = campaign
-                .schemes
-                .iter()
-                .map(MitigationScheme::name)
-                .collect();
-            spec.campaign_labels()
-                .into_iter()
-                .zip(campaign.run_shard(shard)?)
-                .map(|(label, accumulator)| ShardCampaignState {
-                    label,
-                    scheme_names: scheme_names.clone(),
-                    accumulator,
-                })
-                .collect()
-        }
-    };
+    let labels = figure.panel_labels(&spec);
+    println!(
+        "{} shard {shard}: {} panel(s) {labels:?}",
+        figure.name(),
+        labels.len()
+    );
+    let panels = figure.run_shard(&spec, options.parallelism(), shard)?;
+    if panels.len() != labels.len() {
+        return Err(format!(
+            "{} produced {} panel states for {} panels",
+            figure.name(),
+            panels.len(),
+            labels.len()
+        )
+        .into());
+    }
 
     let state = ShardState {
         spec,
         shard,
-        campaigns,
+        panels: labels
+            .into_iter()
+            .zip(panels)
+            .map(|(label, state)| ShardPanelState { label, state })
+            .collect(),
     };
     if let Some(parent) = out_path.parent() {
         if !parent.as_os_str().is_empty() {

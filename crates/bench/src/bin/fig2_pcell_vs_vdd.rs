@@ -1,11 +1,11 @@
 //! Fig. 2 — SRAM cell failure probability under V_DD scaling, and the
 //! zero-failure yield collapse of a 16 KB memory.
 //!
-//! With `--backend dram` the analogue sweeps the DRAM retention law; the
-//! operating point is two-dimensional there, so both axes are sweepable:
-//! the default walks the refresh interval at `--temp-c` (default 45 °C),
-//! while `--t-ref-ns <ns>` pins the refresh interval and walks the die
-//! temperature instead.
+//! With `--backend dram|mlc` the analogue sweeps the technology's own
+//! failure law; the operating-point axis (and its `--t-ref-ns` /
+//! `--temp-c` controls) is resolved by the shared
+//! [`faultmit_bench::cli::LawSweep`] helper, so every consumer of the
+//! sweep flags agrees on their meaning.
 //!
 //! ```text
 //! cargo run -p faultmit-bench --bin fig2_pcell_vs_vdd [-- --json results/fig2.json]
@@ -14,6 +14,7 @@
 //! ```
 
 use faultmit_analysis::report::{format_percent, format_sci, Table};
+use faultmit_bench::cli::LawSweep;
 use faultmit_bench::json::{JsonValue, ToJson};
 use faultmit_bench::RunOptions;
 use faultmit_memsim::{CellFailureModel, MemoryConfig, VddSweep};
@@ -72,102 +73,29 @@ impl ToJson for BackendLawPoint {
     }
 }
 
-/// The axis a DRAM-retention law sweep walks: the default sweeps the
-/// refresh interval at a fixed temperature (`--temp-c`, default 45 °C);
-/// `--t-ref-ns` pins the refresh interval and sweeps the die temperature
-/// instead, so the retention law can be characterised on both of its
-/// operating-point axes.
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum DramSweepAxis {
-    RefreshInterval { temperature_c: f64 },
-    Temperature { refresh_interval_ms: f64 },
-}
-
-impl DramSweepAxis {
-    fn from_options(options: &RunOptions) -> Self {
-        match options.t_ref_ns {
-            // 1 ms = 1e6 ns; the CLI takes nanoseconds, the backend
-            // milliseconds.
-            Some(t_ref_ns) => DramSweepAxis::Temperature {
-                refresh_interval_ms: t_ref_ns / 1e6,
-            },
-            None => DramSweepAxis::RefreshInterval {
-                temperature_c: options.temp_c.unwrap_or(45.0),
-            },
-        }
-    }
-}
-
 /// `--backend dram|mlc`: the analogue of Fig. 2 for the other fault
 /// backends — the per-cell failure law against the technology's own
-/// operating-point knob (refresh interval *or* temperature for DRAM
-/// retention, level spacing for MLC NVM), with the same derived columns.
+/// operating-point knob, with the same derived columns. The axis, knob
+/// grid and labels all come from the shared [`LawSweep`] resolution.
 fn backend_law_sweep(
     options: &RunOptions,
-    kind: faultmit_memsim::BackendKind,
+    sweep: &LawSweep,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    use faultmit_memsim::{BackendKind, DramRetentionBackend, FaultBackend, MlcNvmBackend};
-
     let memory = MemoryConfig::paper_16kb();
     let cells = memory.total_cells();
-    let dram_axis = DramSweepAxis::from_options(options);
-    let knobs: Vec<f64> = match (kind, dram_axis) {
-        (BackendKind::Dram, DramSweepAxis::RefreshInterval { .. }) => {
-            [4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0].to_vec()
-        }
-        (BackendKind::Dram, DramSweepAxis::Temperature { .. }) => {
-            (0..9).map(|i| 25.0 + 10.0 * i as f64).collect()
-        }
-        (BackendKind::Mlc, _) => (0..10).map(|i| 16.0 - i as f64).collect(),
-        (BackendKind::Sram, _) => unreachable!("SRAM uses the Fig. 2 voltage sweep"),
-    };
-    let (title, knob_header, knob_unit) = match (kind, dram_axis) {
-        (BackendKind::Dram, DramSweepAxis::RefreshInterval { temperature_c }) => (
-            format!(
-                "Fig. 2 (DRAM analogue) — P_cell vs refresh interval ({temperature_c:.0}C, 16KB memory)"
-            ),
-            "t_ref (ms)",
-            "ms",
-        ),
-        (BackendKind::Dram, DramSweepAxis::Temperature {
-            refresh_interval_ms,
-        }) => (
-            format!(
-                "Fig. 2 (DRAM analogue) — P_cell vs temperature (t_ref = {refresh_interval_ms} ms, 16KB memory)"
-            ),
-            "T (C)",
-            "C",
-        ),
-        _ => (
-            "Fig. 2 (MLC analogue) — P_cell vs level spacing (1-day drift, 16KB memory)".to_owned(),
-            "spacing (sigma)",
-            "sigma",
-        ),
-    };
 
     let mut table = Table::new(
-        title,
+        sweep.title.clone(),
         vec![
-            knob_header.into(),
+            sweep.knob_header.into(),
             "P_cell".into(),
             "E[failures] (16KB)".into(),
             "zero-failure yield".into(),
         ],
     );
     let mut series = Vec::new();
-    for &knob in &knobs {
-        let p_cell = match (kind, dram_axis) {
-            (BackendKind::Dram, DramSweepAxis::RefreshInterval { temperature_c }) => {
-                DramRetentionBackend::new(memory, knob, temperature_c)?.p_cell()
-            }
-            (
-                BackendKind::Dram,
-                DramSweepAxis::Temperature {
-                    refresh_interval_ms,
-                },
-            ) => DramRetentionBackend::new(memory, refresh_interval_ms, knob)?.p_cell(),
-            _ => MlcNvmBackend::new(memory, knob, 86_400.0)?.p_cell(),
-        };
+    for &knob in &sweep.knobs {
+        let p_cell = sweep.p_cell(memory, knob)?;
         let expected = p_cell * cells as f64;
         let yield_zero = (cells as f64 * (-p_cell).ln_1p()).exp();
         table.add_row(vec![
@@ -178,7 +106,7 @@ fn backend_law_sweep(
         ]);
         series.push(BackendLawPoint {
             knob,
-            knob_unit,
+            knob_unit: sweep.knob_unit,
             p_cell,
             expected_failures_16kb: expected,
             zero_failure_yield_16kb: yield_zero,
@@ -191,9 +119,8 @@ fn backend_law_sweep(
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let options = RunOptions::from_args();
-    let kind = options.backend_kind();
-    if kind != faultmit_memsim::BackendKind::Sram {
-        return backend_law_sweep(&options, kind);
+    if let Some(sweep) = LawSweep::for_backend(options.backend_kind(), &options) {
+        return backend_law_sweep(&options, &sweep);
     }
     let steps = if options.full_scale { 41 } else { 9 };
 

@@ -1,77 +1,13 @@
 //! Fig. 4 — worst-case error magnitude per faulty bit position for every
 //! FM-LUT width, for a 32-bit 2's-complement word.
 //!
+//! A thin shim over the `faultmit_bench::figures` registry entry `fig4`;
+//! the same campaign runs sharded via `campaign_run --figure fig4`.
+//!
 //! ```text
 //! cargo run -p faultmit-bench --bin fig4_error_magnitude [-- --json results/fig4.json]
 //! ```
 
-use faultmit_analysis::report::Table;
-use faultmit_bench::json::{JsonValue, ToJson};
-use faultmit_bench::RunOptions;
-use faultmit_core::error_magnitude::error_magnitude_profile;
-use faultmit_core::SegmentGeometry;
-use std::collections::BTreeMap;
-
-#[derive(Debug)]
-struct Fig4Series {
-    /// Series label ("no-correction" or "nFM=k").
-    label: String,
-    /// log2(error magnitude) per faulty bit position 0..31.
-    log2_error_by_bit: Vec<u32>,
-}
-
-impl ToJson for Fig4Series {
-    fn to_json(&self) -> JsonValue {
-        JsonValue::object([
-            ("label", self.label.to_json()),
-            ("log2_error_by_bit", self.log2_error_by_bit.to_json()),
-        ])
-    }
-}
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let options = RunOptions::from_args();
-    let word_bits = 32usize;
-
-    let mut series = vec![Fig4Series {
-        label: "no-correction".to_owned(),
-        log2_error_by_bit: error_magnitude_profile(word_bits, None),
-    }];
-    for n_fm in 1..=5usize {
-        let geometry = SegmentGeometry::new(word_bits, n_fm)?;
-        series.push(Fig4Series {
-            label: format!("nFM={n_fm}"),
-            log2_error_by_bit: error_magnitude_profile(word_bits, Some(geometry)),
-        });
-    }
-
-    let mut headers = vec!["faulty bit".to_owned()];
-    headers.extend(series.iter().map(|s| s.label.clone()));
-    let mut table = Table::new(
-        "Fig. 4 — log2(error magnitude) per faulty bit position (32-bit word)",
-        headers,
-    );
-    for bit in 0..word_bits {
-        let mut row = vec![bit.to_string()];
-        for s in &series {
-            row.push(s.log2_error_by_bit[bit].to_string());
-        }
-        table.add_row(row);
-    }
-    println!("{table}");
-
-    // Summary: the worst-case bound per configuration (2^(S-1)).
-    let mut bounds = BTreeMap::new();
-    for n_fm in 1..=5usize {
-        let geometry = SegmentGeometry::new(word_bits, n_fm)?;
-        bounds.insert(format!("nFM={n_fm}"), geometry.max_error_magnitude());
-    }
-    println!("worst-case error magnitude bound per configuration:");
-    for (label, bound) in &bounds {
-        println!("  {label}: {bound} (= 2^(S-1))");
-    }
-    println!("  no-correction: {} (= 2^(W-1))", 1u64 << (word_bits - 1));
-
-    options.write_json(&series)?;
-    Ok(())
+    faultmit_bench::figures::run_monolithic("fig4")
 }

@@ -1,109 +1,19 @@
 //! Fig. 5 — CDF of the memory MSE for a 16 kB memory with P_cell = 5·10⁻⁶,
 //! under no protection, bit-shuffling with n_FM = 1..5, and H(22,16) P-ECC.
 //!
-//! The whole catalogue runs through one paired `sim::Campaign` pass: every
-//! scheme is scored on identical dies, fanned out over worker threads
-//! (`--threads N`; the default uses every CPU, results are identical either
-//! way). The default configuration uses a reduced Monte-Carlo budget; pass
-//! `--full` for a paper-scale campaign (much slower).
-//!
-//! The campaign definition and JSON rendering live in
-//! `faultmit_bench::figures`, shared with the `campaign_shard` /
-//! `campaign_merge` pair — a K-shard run merged in shard order reproduces
-//! this binary's `--json` output byte for byte.
+//! A thin shim over the `faultmit_bench::figures` registry entry `fig5`:
+//! the campaign definition and JSON rendering are shared with
+//! `campaign_shard` / `campaign_merge` / `campaign_run`, so a K-shard run
+//! merged in shard order reproduces this binary's `--json` output byte for
+//! byte. `--backend dram|mlc` re-runs the identical campaign against
+//! another technology's fault structure at the same fault density;
+//! `--threads N` pins the pipeline worker count (results are identical at
+//! any count); `--full` runs the paper-scale budget.
 //!
 //! ```text
 //! cargo run --release -p faultmit-bench --bin fig5_mse_cdf [-- --full --json results/fig5.json]
 //! ```
 
-use faultmit_analysis::report::{format_percent, format_sci, Table};
-use faultmit_bench::figures::{fig5_series, Fig5Campaign, FigureKind, FigureSpec};
-use faultmit_bench::RunOptions;
-use faultmit_memsim::FaultBackend;
-use faultmit_sim::ShardSpec;
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let options = RunOptions::from_args();
-
-    // The paper evaluates a 16 KB memory at P_cell = 5e-6 over failure counts
-    // 1..150 with 1e7 MC runs. The default here keeps the same memory and
-    // P_cell but a smaller per-count sample budget. `--backend dram|mlc`
-    // re-runs the identical campaign against another technology's fault
-    // structure at the same fault density.
-    let spec = FigureSpec::from_options(FigureKind::Fig5, &options);
-    let campaign = Fig5Campaign::from_spec(&spec, options.parallelism())?;
-
-    println!(
-        "Fig. 5 campaign: 16KB memory, backend {} ({}), P_cell = {:.0e}, \
-         failure counts 1..={}, {} maps per count",
-        campaign.engine.config().backend().name(),
-        campaign.engine.config().operating_point().label(),
-        campaign.engine.config().p_cell(),
-        campaign.max_failures,
-        spec.samples_per_count,
-    );
-
-    // Monolithic execution is the 0/1 shard of the sharded path.
-    let state = campaign.run_shard(ShardSpec::solo())?;
-    let results = campaign.results(state)?;
-
-    let mut table = Table::new(
-        "Fig. 5 — MSE that must be tolerated per yield target, and yield at MSE < 1e6",
-        vec![
-            "scheme".into(),
-            "MSE @ 99% yield".into(),
-            "MSE @ 99.99% yield".into(),
-            "MSE @ 99.9999% yield".into(),
-            "yield @ MSE<1e6".into(),
-            "yield @ MSE<1e6 (faulty dies)".into(),
-        ],
-    );
-
-    for result in &results {
-        let fmt = |target: f64| {
-            result
-                .mse_for_yield(target)
-                .map_or_else(|| "unreachable".to_owned(), format_sci)
-        };
-        // The paper's Fig. 5 CDF is built from dies with at least one failure
-        // (Eq. (5) sums from n = 1), so also report the yield conditioned on
-        // faulty dies.
-        let zero_mass = result.yield_model.zero_failure_yield();
-        let conditional = if zero_mass < 1.0 {
-            ((result.yield_at_mse(1e6) - zero_mass) / (1.0 - zero_mass)).clamp(0.0, 1.0)
-        } else {
-            1.0
-        };
-        table.add_row(vec![
-            result.scheme_name.clone(),
-            fmt(0.99),
-            fmt(0.9999),
-            fmt(0.999_999),
-            format_percent(result.yield_at_mse(1e6)),
-            format_percent(conditional),
-        ]);
-    }
-    println!("{table}");
-
-    // Headline claim: ≥30x MSE reduction at equal yield even for nFM=1.
-    let unprotected = results
-        .iter()
-        .find(|r| r.scheme_name == "no-correction")
-        .expect("catalogue contains the unprotected scheme");
-    let shuffle1 = results
-        .iter()
-        .find(|r| r.scheme_name == "bit-shuffle nFM=1")
-        .expect("catalogue contains nFM=1");
-    if let (Some(u), Some(s)) = (
-        unprotected.mse_for_yield(0.99),
-        shuffle1.mse_for_yield(0.99),
-    ) {
-        println!(
-            "MSE reduction at 99% yield, nFM=1 vs no-correction: {:.0}x (paper: >= 30x)",
-            u / s.max(f64::MIN_POSITIVE)
-        );
-    }
-
-    options.write_json(&fig5_series(&results))?;
-    Ok(())
+    faultmit_bench::figures::run_monolithic("fig5")
 }

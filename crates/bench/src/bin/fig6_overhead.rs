@@ -2,92 +2,12 @@
 //! (n_FM = 1..5) and H(22,16) P-ECC, relative to the H(39,32) SECDED
 //! baseline, from the analytical 28 nm cost model.
 //!
+//! A thin shim over the `faultmit_bench::figures` registry entry `fig6`.
+//!
 //! ```text
 //! cargo run -p faultmit-bench --bin fig6_overhead [-- --json results/fig6.json]
 //! ```
 
-use faultmit_analysis::report::Table;
-use faultmit_bench::json::{JsonValue, ToJson};
-use faultmit_bench::RunOptions;
-use faultmit_hwmodel::{OverheadModel, ProtectionBlock};
-
-#[derive(Debug)]
-struct Fig6Entry {
-    scheme: String,
-    relative_read_power: f64,
-    relative_read_delay: f64,
-    relative_area: f64,
-    absolute_energy_fj: f64,
-    absolute_delay_ps: f64,
-    absolute_area_um2: f64,
-}
-
-impl ToJson for Fig6Entry {
-    fn to_json(&self) -> JsonValue {
-        JsonValue::object([
-            ("scheme", self.scheme.to_json()),
-            ("relative_read_power", self.relative_read_power.to_json()),
-            ("relative_read_delay", self.relative_read_delay.to_json()),
-            ("relative_area", self.relative_area.to_json()),
-            ("absolute_energy_fj", self.absolute_energy_fj.to_json()),
-            ("absolute_delay_ps", self.absolute_delay_ps.to_json()),
-            ("absolute_area_um2", self.absolute_area_um2.to_json()),
-        ])
-    }
-}
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let options = RunOptions::from_args();
-    let model = OverheadModel::paper_16kb();
-
-    let mut table = Table::new(
-        "Fig. 6 — overhead relative to H(39,32) SECDED (analytical 28nm model, 16KB memory)",
-        vec![
-            "scheme".into(),
-            "read power".into(),
-            "read delay".into(),
-            "area".into(),
-        ],
-    );
-
-    let mut entries = Vec::new();
-    for row in model.fig6_comparison() {
-        table.add_row(vec![
-            row.label.clone(),
-            format!("{:.2}", row.relative.energy),
-            format!("{:.2}", row.relative.delay),
-            format!("{:.2}", row.relative.area),
-        ]);
-        entries.push(Fig6Entry {
-            scheme: row.label.clone(),
-            relative_read_power: row.relative.energy,
-            relative_read_delay: row.relative.delay,
-            relative_area: row.relative.area,
-            absolute_energy_fj: row.cost.energy_fj,
-            absolute_delay_ps: row.cost.delay_ps,
-            absolute_area_um2: row.cost.area_um2,
-        });
-    }
-    println!("{table}");
-
-    let savings = model.best_shuffle_savings();
-    println!(
-        "best bit-shuffling savings vs SECDED: {:.0}% read power, {:.0}% read delay, {:.0}% area",
-        savings.energy * 100.0,
-        savings.delay * 100.0,
-        savings.area * 100.0
-    );
-    println!("paper reports up to 83% read power, 77% read delay and 89% area savings");
-
-    let pecc = model.read_path_cost(ProtectionBlock::PriorityEcc);
-    let shuffle1 = model.read_path_cost(ProtectionBlock::BitShuffle { n_fm: 1 });
-    println!(
-        "bit-shuffle nFM=1 vs P-ECC: {:.0}% read power, {:.0}% read delay, {:.0}% area reduction (paper: up to 59% / 64% / 57%)",
-        (1.0 - shuffle1.energy_fj / pecc.energy_fj) * 100.0,
-        (1.0 - shuffle1.delay_ps / pecc.delay_ps) * 100.0,
-        (1.0 - shuffle1.area_um2 / pecc.area_um2) * 100.0,
-    );
-
-    options.write_json(&entries)?;
-    Ok(())
+    faultmit_bench::figures::run_monolithic("fig6")
 }

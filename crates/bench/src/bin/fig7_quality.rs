@@ -4,94 +4,19 @@
 //! H(39,32) SECDED reference.
 //!
 //! Pass a benchmark name (`elasticnet`, `pca`, `knn`) to run a single panel;
-//! the default runs all three. `--full` uses a paper-scale Monte-Carlo budget.
+//! the default runs all three. `--full` uses a paper-scale Monte-Carlo
+//! budget.
 //!
-//! The campaign definition and JSON rendering live in
-//! `faultmit_bench::figures`, shared with the `campaign_shard` /
-//! `campaign_merge` pair — a K-shard run merged in shard order reproduces
-//! this binary's `--json` output byte for byte.
+//! A thin shim over the `faultmit_bench::figures` registry entry `fig7`:
+//! the campaign definition and JSON rendering are shared with
+//! `campaign_shard` / `campaign_merge` / `campaign_run`, so a K-shard run
+//! merged in shard order reproduces this binary's `--json` output byte for
+//! byte.
 //!
 //! ```text
 //! cargo run --release -p faultmit-bench --bin fig7_quality -- elasticnet
 //! ```
 
-use faultmit_analysis::report::{format_percent, Table};
-use faultmit_apps::Benchmark;
-use faultmit_bench::figures::{fig7_series, Fig7Campaign, Fig7Series, FigureKind, FigureSpec};
-use faultmit_bench::RunOptions;
-use faultmit_memsim::{BackendKind, FaultBackend};
-use faultmit_sim::ShardSpec;
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let options = RunOptions::from_args();
-
-    // The paper: 16 KB memory, P_cell = 1e-3, 500 MC fault maps per failure
-    // count, N_max covering 99 % of dies. The default here is a reduced but
-    // shape-preserving budget over a smaller memory bank; in both cases the
-    // failure counts swept cover 99 % of the die population for the chosen
-    // memory size so the Pr(N = n) weighting stays meaningful. The
-    // `--backend` axis swaps the fault technology at the same density (the
-    // default reproduces the paper's SRAM model bit-for-bit).
-    let spec = FigureSpec::from_options(FigureKind::Fig7, &options);
-    let campaign = Fig7Campaign::from_spec(&spec, options.parallelism())?;
-    if options.backend_kind() != BackendKind::Sram {
-        println!(
-            "note: the paper's multi-fault-word discard is a bounded redraw; the {} backend's \
-             structured fault placement exhausts it at higher fault counts, so multi-fault words \
-             survive and H(39,32) SECDED is NOT an error-free reference here — that degradation \
-             is the technology effect under study.",
-            campaign.backend.name()
-        );
-    }
-
-    // One paired pipeline pass per benchmark: every scheme trains on the
-    // same dies, fanned out over worker threads. Monolithic execution is the
-    // 0/1 shard of the sharded path.
-    let states = campaign.run_shard(ShardSpec::solo())?;
-
-    let mut all_series: Vec<Fig7Series> = Vec::new();
-    for (panel, (&benchmark, state)) in spec.benchmarks.iter().zip(states).enumerate() {
-        let results = campaign.results(panel, state)?;
-        let baseline = results
-            .first()
-            .map(|r| r.baseline_quality)
-            .unwrap_or_default();
-        println!(
-            "\nFig. 7 ({}) — {} on {}, fault-free {} = {:.4}, backend {}, P_cell = {:.0e}",
-            match benchmark {
-                Benchmark::Elasticnet => "a",
-                Benchmark::Pca => "b",
-                Benchmark::Knn => "c",
-            },
-            benchmark.name(),
-            benchmark.dataset_name(),
-            benchmark.metric_name(),
-            baseline,
-            campaign.backend.name(),
-            campaign.backend.p_cell(),
-        );
-
-        let mut table = Table::new(
-            format!("normalised {} per scheme", benchmark.metric_name()),
-            vec![
-                "scheme".into(),
-                "median quality".into(),
-                "1st percentile".into(),
-                "yield @ >=95% of baseline".into(),
-            ],
-        );
-        for result in &results {
-            table.add_row(vec![
-                result.scheme_name.clone(),
-                format!("{:.4}", result.cdf.quantile(0.5)),
-                format!("{:.4}", result.cdf.quantile(0.01)),
-                format_percent(result.yield_at_min_quality(0.95)),
-            ]);
-        }
-        println!("{table}");
-        all_series.extend(fig7_series(benchmark, &results));
-    }
-
-    options.write_json(&all_series)?;
-    Ok(())
+    faultmit_bench::figures::run_monolithic("fig7")
 }

@@ -1,9 +1,12 @@
 //! Fig. 8 (extension) — memory-MSE statistics for every protection scheme
 //! across memory technologies and operating points: SRAM under voltage
 //! scaling, DRAM/eDRAM under refresh-interval scaling, and MLC NVM under
-//! level-spacing scaling. Each cell of the scheme × backend ×
-//! operating-point matrix comes from one paired `sim::Campaign` pass
-//! (identical dies for all schemes, bit-identical at any worker count).
+//! level-spacing scaling.
+//!
+//! A thin shim over the `faultmit_bench::figures` registry entry `fig8`:
+//! each cell of the scheme × backend × operating-point matrix is one
+//! campaign panel, so the whole matrix shards across processes via
+//! `campaign_run --figure fig8 --shards K --jobs J`.
 //!
 //! `--backend sram|dram|mlc` restricts the sweep to one technology;
 //! `--samples N` sets the fault maps per failure count (default 40, CI
@@ -14,158 +17,6 @@
 //!     [-- --backend dram --samples 40 --json results/fig8.json]
 //! ```
 
-use faultmit_analysis::report::{format_percent, format_sci, Table};
-use faultmit_analysis::{MonteCarloConfig, MonteCarloEngine};
-use faultmit_bench::json::{JsonValue, ToJson};
-use faultmit_bench::RunOptions;
-use faultmit_core::Scheme;
-use faultmit_memsim::{
-    Backend, BackendKind, CellFailureModel, DramRetentionBackend, FaultBackend, MemoryConfig,
-    MlcNvmBackend, SramVddBackend,
-};
-
-#[derive(Debug)]
-struct MatrixRow {
-    backend: &'static str,
-    operating_point: String,
-    knob: f64,
-    p_cell: f64,
-    scheme: String,
-    mean_mse: f64,
-    mse_at_99pct_yield: Option<f64>,
-    yield_at_mse_1e6: f64,
-}
-
-impl ToJson for MatrixRow {
-    fn to_json(&self) -> JsonValue {
-        JsonValue::object([
-            ("backend", self.backend.to_json()),
-            ("operating_point", self.operating_point.to_json()),
-            ("knob", self.knob.to_json()),
-            ("p_cell", self.p_cell.to_json()),
-            ("scheme", self.scheme.to_json()),
-            ("mean_mse", self.mean_mse.to_json()),
-            ("mse_at_99pct_yield", self.mse_at_99pct_yield.to_json()),
-            ("yield_at_mse_1e6", self.yield_at_mse_1e6.to_json()),
-        ])
-    }
-}
-
-/// Three operating points per technology, ordered from conservative to
-/// aggressive (rising fault density).
-fn operating_points(
-    kind: BackendKind,
-    memory: MemoryConfig,
-) -> Result<Vec<Backend>, Box<dyn std::error::Error>> {
-    Ok(match kind {
-        BackendKind::Sram => {
-            let model = CellFailureModel::default_28nm();
-            [0.85, 0.78, 0.70]
-                .iter()
-                .map(|&vdd| Ok(Backend::Sram(SramVddBackend::at_vdd(memory, model, vdd)?)))
-                .collect::<Result<_, Box<dyn std::error::Error>>>()?
-        }
-        BackendKind::Dram => [32.0, 64.0, 128.0]
-            .iter()
-            .map(|&t_ref| {
-                Ok(Backend::Dram(DramRetentionBackend::new(
-                    memory, t_ref, 45.0,
-                )?))
-            })
-            .collect::<Result<_, Box<dyn std::error::Error>>>()?,
-        BackendKind::Mlc => [14.0, 12.0, 10.0]
-            .iter()
-            .map(|&spacing| Ok(Backend::Mlc(MlcNvmBackend::new(memory, spacing, 86_400.0)?)))
-            .collect::<Result<_, Box<dyn std::error::Error>>>()?,
-    })
-}
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let options = RunOptions::from_args();
-    let memory = MemoryConfig::paper_16kb();
-
-    let (default_samples, failure_cap) = if options.full_scale {
-        (500, 150)
-    } else {
-        (40, 100)
-    };
-    let samples_per_count = options.samples_or(default_samples);
-
-    let kinds: Vec<BackendKind> = match options.backend {
-        Some(kind) => vec![kind],
-        None => BackendKind::ALL.to_vec(),
-    };
-
-    let mut schemes = Scheme::fig5_catalogue();
-    schemes.push(Scheme::secded32());
-
-    println!(
-        "Fig. 8 matrix: 16KB memory, {} scheme(s) x {} backend(s) x 3 operating points, \
-         {samples_per_count} maps per failure count (counts up to the 99th percentile, \
-         capped at {failure_cap})",
-        schemes.len(),
-        kinds.len()
-    );
-
-    let mut table = Table::new(
-        "Fig. 8 — scheme x backend x operating point (memory MSE)",
-        vec![
-            "backend".into(),
-            "operating point".into(),
-            "P_cell".into(),
-            "scheme".into(),
-            "mean MSE".into(),
-            "MSE @ 99% yield".into(),
-            "yield @ MSE<1e6".into(),
-        ],
-    );
-
-    let mut rows = Vec::new();
-    for kind in kinds {
-        for backend in operating_points(kind, memory)? {
-            let op = backend.operating_point();
-            let p_cell = backend.p_cell();
-            // Simulate up to the 99th-percentile failure count of this
-            // operating point, bounded so aggressive corners stay cheap.
-            let max_failures = backend
-                .failure_distribution()?
-                .n_max(0.99)
-                .clamp(1, failure_cap);
-            let engine = MonteCarloEngine::new(
-                MonteCarloConfig::for_backend(backend)
-                    .with_samples_per_count(samples_per_count)
-                    .with_max_failures(max_failures)
-                    .with_parallelism(options.parallelism()),
-            );
-            let results = engine.run_catalogue(&schemes, 0xF168)?;
-            for result in &results {
-                let mean = result.cdf.mean().unwrap_or(0.0);
-                let at_yield = result.mse_for_yield(0.99);
-                let yield_1e6 = result.yield_at_mse(1e6);
-                table.add_row(vec![
-                    kind.name().to_owned(),
-                    op.label(),
-                    format_sci(p_cell),
-                    result.scheme_name.clone(),
-                    format_sci(mean),
-                    at_yield.map_or_else(|| "unreachable".to_owned(), format_sci),
-                    format_percent(yield_1e6),
-                ]);
-                rows.push(MatrixRow {
-                    backend: kind.name(),
-                    operating_point: op.label(),
-                    knob: op.primary_value(),
-                    p_cell,
-                    scheme: result.scheme_name.clone(),
-                    mean_mse: mean,
-                    mse_at_99pct_yield: at_yield,
-                    yield_at_mse_1e6: yield_1e6,
-                });
-            }
-        }
-    }
-    println!("{table}");
-
-    options.write_json(&rows)?;
-    Ok(())
+    faultmit_bench::figures::run_monolithic("fig8")
 }

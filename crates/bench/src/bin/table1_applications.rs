@@ -2,83 +2,14 @@
 //! with the measured fault-free quality of each benchmark in this
 //! reproduction.
 //!
+//! A thin shim over the `faultmit_bench::figures` registry entry `table1`.
+//! `--samples N` overrides the evaluation sample budget (default 320,
+//! `--full` uses 1280).
+//!
 //! ```text
 //! cargo run -p faultmit-bench --bin table1_applications
 //! ```
 
-use faultmit_analysis::report::Table;
-use faultmit_apps::{Benchmark, QualityEvaluator};
-use faultmit_bench::json::{JsonValue, ToJson};
-use faultmit_bench::RunOptions;
-
-#[derive(Debug)]
-struct Table1Row {
-    class: String,
-    algorithm: String,
-    dataset: String,
-    metric: String,
-    fault_free_quality: f64,
-}
-
-impl ToJson for Table1Row {
-    fn to_json(&self) -> JsonValue {
-        JsonValue::object([
-            ("class", self.class.to_json()),
-            ("algorithm", self.algorithm.to_json()),
-            ("dataset", self.dataset.to_json()),
-            ("metric", self.metric.to_json()),
-            ("fault_free_quality", self.fault_free_quality.to_json()),
-        ])
-    }
-}
-
-fn class_of(benchmark: Benchmark) -> &'static str {
-    match benchmark {
-        Benchmark::Elasticnet => "Regression",
-        Benchmark::Pca => "Dimensionality Reduction",
-        Benchmark::Knn => "Classification",
-    }
-}
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let options = RunOptions::from_args();
-    let samples = if options.full_scale { 1280 } else { 320 };
-
-    let mut table = Table::new(
-        "Table 1 — evaluation applications and datasets",
-        vec![
-            "class".into(),
-            "algorithm".into(),
-            "dataset".into(),
-            "metric".into(),
-            "fault-free quality".into(),
-        ],
-    );
-
-    let mut rows = Vec::new();
-    for benchmark in Benchmark::ALL {
-        let evaluator = QualityEvaluator::builder(benchmark)
-            .samples(samples)
-            .memory_rows(1024)
-            .build()?;
-        let baseline = evaluator.baseline_quality()?;
-        table.add_row(vec![
-            class_of(benchmark).to_owned(),
-            benchmark.name().to_owned(),
-            benchmark.dataset_name().to_owned(),
-            benchmark.metric_name().to_owned(),
-            format!("{baseline:.4}"),
-        ]);
-        rows.push(Table1Row {
-            class: class_of(benchmark).to_owned(),
-            algorithm: benchmark.name().to_owned(),
-            dataset: benchmark.dataset_name().to_owned(),
-            metric: benchmark.metric_name().to_owned(),
-            fault_free_quality: baseline,
-        });
-    }
-    println!("{table}");
-
-    options.write_json(&rows)?;
-    Ok(())
+    faultmit_bench::figures::run_monolithic("table1")
 }

@@ -13,15 +13,25 @@
 //!   ([`faultmit_memsim::backend`]); the default is the paper's SRAM model;
 //! * `--shard <I/K>` — evaluate only shard `I` of a `K`-way campaign split
 //!   (the `campaign_shard` axis; see [`faultmit_sim::ShardSpec`]);
+//! * `--figure <name>` — select a figure from the
+//!   [`crate::figures`] registry (the `campaign_shard` / `campaign_merge` /
+//!   `campaign_run` axis);
+//! * `--shards <K>` / `--jobs <J>` / `--retries <R>` / `--dir <path>` —
+//!   `campaign_run` driver controls: split the campaign into `K` shards,
+//!   run at most `J` `campaign_shard` child processes at a time, retry a
+//!   failed shard up to `R` times, and keep shard checkpoints under `path`;
 //! * `--t-ref-ns <ns>` / `--temp-c <C>` — DRAM-retention operating-point
 //!   sweep controls: pin the refresh interval (switching `fig2`'s DRAM
-//!   analogue to a temperature sweep) or set the sweep temperature.
+//!   analogue to a temperature sweep) or set the sweep temperature (see
+//!   [`LawSweep`]).
 //!
 //! Anything else is collected as a positional argument (e.g. the benchmark
 //! selector of `fig7_quality`).
 
 use crate::json::ToJson;
-use faultmit_memsim::{Backend, BackendKind, MemError, MemoryConfig};
+use faultmit_memsim::{
+    BackendKind, DramRetentionBackend, FaultBackend, MemError, MemoryConfig, MlcNvmBackend,
+};
 use faultmit_sim::{Parallelism, ShardSpec};
 use std::path::PathBuf;
 
@@ -49,6 +59,25 @@ pub struct RunOptions {
     /// this as fatal rather than fall back to the monolithic shard and
     /// silently recompute the whole campaign.
     pub shard_error: Option<String>,
+    /// Figure selected with `--figure <name>` (a [`crate::figures`]
+    /// registry name; `None` = take the figure from the first positional
+    /// argument, the historical `campaign_shard` convention).
+    pub figure: Option<String>,
+    /// Campaign split requested with `--shards K` (`campaign_run`).
+    pub shards: Option<usize>,
+    /// Maximum concurrent shard child processes, `--jobs J`
+    /// (`campaign_run`).
+    pub jobs: Option<usize>,
+    /// Per-shard retry budget, `--retries R` (`campaign_run`).
+    pub retries: Option<usize>,
+    /// Shard-checkpoint directory, `--dir <path>` (`campaign_run`).
+    pub dir: Option<PathBuf>,
+    /// Unparseable values seen for the driver flags
+    /// (`--shards`/`--jobs`/`--retries`). `campaign_run` treats these as
+    /// fatal: a typo in `--shards` must not silently degrade a K-way
+    /// campaign to a monolithic run (the same policy `--shard` has via
+    /// [`RunOptions::shard_error`]).
+    pub driver_flag_errors: Vec<String>,
     /// Fixed DRAM refresh interval in nanoseconds (`--t-ref-ns`); when set,
     /// the `fig2` DRAM analogue sweeps the temperature axis at this refresh
     /// interval instead of sweeping the refresh interval itself.
@@ -123,6 +152,34 @@ impl RunOptions {
                         }
                     }
                 }
+                "--figure" => {
+                    if let Some(name) = next_value(&mut iter, "--figure") {
+                        options.figure = Some(name);
+                    }
+                }
+                "--shards" | "--jobs" | "--retries" => {
+                    if let Some(value) = next_value(&mut iter, arg.as_str()) {
+                        match value.parse() {
+                            Ok(count) => {
+                                *(match arg.as_str() {
+                                    "--shards" => &mut options.shards,
+                                    "--jobs" => &mut options.jobs,
+                                    _ => &mut options.retries,
+                                }) = Some(count);
+                            }
+                            Err(_) => {
+                                let message = format!("invalid {arg} value '{value}'");
+                                eprintln!("{message}; ignoring");
+                                options.driver_flag_errors.push(message);
+                            }
+                        }
+                    }
+                }
+                "--dir" => {
+                    if let Some(path) = next_value(&mut iter, "--dir") {
+                        options.dir = Some(PathBuf::from(path));
+                    }
+                }
                 "--t-ref-ns" => {
                     if let Some(value) =
                         next_value(&mut iter, "--t-ref-ns").and_then(|v| v.parse().ok())
@@ -167,23 +224,6 @@ impl RunOptions {
         self.shard.unwrap_or_else(ShardSpec::solo)
     }
 
-    /// Builds the selected backend with its operating point calibrated to
-    /// the marginal per-cell fault probability `p_cell` on the given
-    /// geometry — so switching `--backend` keeps the fault density matched
-    /// and only changes the technology's fault structure.
-    ///
-    /// # Errors
-    ///
-    /// Propagates calibration errors (a `p_cell` the technology's law
-    /// cannot reach).
-    pub fn backend_at_p_cell(
-        &self,
-        memory: MemoryConfig,
-        p_cell: f64,
-    ) -> Result<Backend, MemError> {
-        Backend::at_p_cell(self.backend_kind(), memory, p_cell)
-    }
-
     /// The Monte-Carlo samples per failure count: the `--samples` override
     /// when given, otherwise `default`.
     #[must_use]
@@ -210,6 +250,120 @@ impl RunOptions {
             println!("wrote JSON series to {}", path.display());
         }
         Ok(())
+    }
+}
+
+/// The operating-point axis a non-SRAM `fig2`-style law sweep walks,
+/// resolved from the shared `--t-ref-ns` / `--temp-c` flags.
+///
+/// The DRAM-retention operating point is two-dimensional, so both axes are
+/// sweepable: the default walks the refresh interval at `--temp-c` (default
+/// 45 °C), while `--t-ref-ns <ns>` pins the refresh interval and walks the
+/// die temperature instead. MLC NVM sweeps its level spacing at one day of
+/// drift. This used to be hand-rolled per backend inside
+/// `fig2_pcell_vs_vdd`; [`LawSweep::for_backend`] is the shared resolution
+/// every consumer goes through.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SweepAxis {
+    /// DRAM: sweep the refresh interval (ms) at a fixed die temperature.
+    RefreshInterval {
+        /// Die temperature (°C) the sweep is evaluated at.
+        temperature_c: f64,
+    },
+    /// DRAM: sweep the die temperature (°C) at a pinned refresh interval.
+    Temperature {
+        /// The pinned refresh interval (ms).
+        refresh_interval_ms: f64,
+    },
+    /// MLC NVM: sweep the level spacing (σ) at one day of drift.
+    LevelSpacing,
+}
+
+/// A resolved backend law sweep: the axis, its knob grid and its labels —
+/// everything a `fig2`-style binary needs to print and evaluate the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LawSweep {
+    /// Which operating-point axis is swept.
+    pub axis: SweepAxis,
+    /// Knob values, ordered from conservative to aggressive.
+    pub knobs: Vec<f64>,
+    /// Unit tag recorded in the JSON series (`"ms"`, `"C"`, `"sigma"`).
+    pub knob_unit: &'static str,
+    /// Table column header for the knob.
+    pub knob_header: &'static str,
+    /// Human-readable sweep title.
+    pub title: String,
+}
+
+impl LawSweep {
+    /// Resolves the sweep for a non-SRAM backend from the shared
+    /// operating-point flags. Returns `None` for
+    /// [`BackendKind::Sram`] — the SRAM analogue is the paper's own
+    /// `V_DD` sweep, which has its own grid.
+    #[must_use]
+    pub fn for_backend(kind: BackendKind, options: &RunOptions) -> Option<Self> {
+        match kind {
+            BackendKind::Sram => None,
+            BackendKind::Dram => Some(match options.t_ref_ns {
+                // 1 ms = 1e6 ns; the CLI takes nanoseconds, the backend
+                // milliseconds.
+                Some(t_ref_ns) => {
+                    let refresh_interval_ms = t_ref_ns / 1e6;
+                    Self {
+                        axis: SweepAxis::Temperature {
+                            refresh_interval_ms,
+                        },
+                        knobs: (0..9).map(|i| 25.0 + 10.0 * f64::from(i)).collect(),
+                        knob_unit: "C",
+                        knob_header: "T (C)",
+                        title: format!(
+                            "Fig. 2 (DRAM analogue) — P_cell vs temperature \
+                             (t_ref = {refresh_interval_ms} ms, 16KB memory)"
+                        ),
+                    }
+                }
+                None => {
+                    let temperature_c = options.temp_c.unwrap_or(45.0);
+                    Self {
+                        axis: SweepAxis::RefreshInterval { temperature_c },
+                        knobs: vec![4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0],
+                        knob_unit: "ms",
+                        knob_header: "t_ref (ms)",
+                        title: format!(
+                            "Fig. 2 (DRAM analogue) — P_cell vs refresh interval \
+                             ({temperature_c:.0}C, 16KB memory)"
+                        ),
+                    }
+                }
+            }),
+            BackendKind::Mlc => Some(Self {
+                axis: SweepAxis::LevelSpacing,
+                knobs: (0..10).map(|i| 16.0 - f64::from(i)).collect(),
+                knob_unit: "sigma",
+                knob_header: "spacing (sigma)",
+                title: "Fig. 2 (MLC analogue) — P_cell vs level spacing \
+                        (1-day drift, 16KB memory)"
+                    .to_owned(),
+            }),
+        }
+    }
+
+    /// The marginal per-cell failure probability of the swept backend at
+    /// one knob value on the given geometry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend-construction errors (an out-of-domain knob).
+    pub fn p_cell(&self, memory: MemoryConfig, knob: f64) -> Result<f64, MemError> {
+        Ok(match self.axis {
+            SweepAxis::RefreshInterval { temperature_c } => {
+                DramRetentionBackend::new(memory, knob, temperature_c)?.p_cell()
+            }
+            SweepAxis::Temperature {
+                refresh_interval_ms,
+            } => DramRetentionBackend::new(memory, refresh_interval_ms, knob)?.p_cell(),
+            SweepAxis::LevelSpacing => MlcNvmBackend::new(memory, knob, 86_400.0)?.p_cell(),
+        })
     }
 }
 
@@ -291,6 +445,102 @@ mod tests {
     }
 
     #[test]
+    fn parse_recognises_driver_flags() {
+        let opts = RunOptions::parse(
+            [
+                "--figure",
+                "fig5",
+                "--shards",
+                "4",
+                "--jobs",
+                "2",
+                "--retries",
+                "3",
+                "--dir",
+                "shards/run",
+            ]
+            .iter()
+            .map(|s| (*s).to_owned()),
+        );
+        assert_eq!(opts.figure.as_deref(), Some("fig5"));
+        assert_eq!(opts.shards, Some(4));
+        assert_eq!(opts.jobs, Some(2));
+        assert_eq!(opts.retries, Some(3));
+        assert_eq!(opts.dir, Some(PathBuf::from("shards/run")));
+        assert!(opts.positional.is_empty());
+
+        let opts = RunOptions::parse(std::iter::empty());
+        assert!(opts.figure.is_none());
+        assert!(opts.shards.is_none());
+        assert!(opts.jobs.is_none());
+        assert!(opts.retries.is_none());
+        assert!(opts.dir.is_none());
+    }
+
+    #[test]
+    fn law_sweep_resolves_each_backend_axis() {
+        let memory = MemoryConfig::paper_16kb();
+        assert!(LawSweep::for_backend(BackendKind::Sram, &RunOptions::default()).is_none());
+
+        // DRAM default: refresh-interval sweep at 45 °C.
+        let sweep = LawSweep::for_backend(BackendKind::Dram, &RunOptions::default()).unwrap();
+        assert_eq!(
+            sweep.axis,
+            SweepAxis::RefreshInterval {
+                temperature_c: 45.0
+            }
+        );
+        assert_eq!(sweep.knob_unit, "ms");
+        assert_eq!(sweep.knobs.len(), 8);
+        // P_cell grows with the refresh interval.
+        let p: Vec<f64> = sweep
+            .knobs
+            .iter()
+            .map(|&knob| sweep.p_cell(memory, knob).unwrap())
+            .collect();
+        assert!(p.windows(2).all(|w| w[0] < w[1]));
+
+        // --temp-c re-temperatures the refresh sweep.
+        let opts = RunOptions::parse(["--temp-c".to_owned(), "85".to_owned()]);
+        let hot = LawSweep::for_backend(BackendKind::Dram, &opts).unwrap();
+        assert_eq!(
+            hot.axis,
+            SweepAxis::RefreshInterval {
+                temperature_c: 85.0
+            }
+        );
+        assert!(hot.p_cell(memory, 64.0).unwrap() > sweep.p_cell(memory, 64.0).unwrap());
+
+        // --t-ref-ns switches to the temperature axis.
+        let opts = RunOptions::parse(["--t-ref-ns".to_owned(), "6.4e7".to_owned()]);
+        let sweep = LawSweep::for_backend(BackendKind::Dram, &opts).unwrap();
+        assert_eq!(
+            sweep.axis,
+            SweepAxis::Temperature {
+                refresh_interval_ms: 64.0
+            }
+        );
+        assert_eq!(sweep.knob_unit, "C");
+        let p: Vec<f64> = sweep
+            .knobs
+            .iter()
+            .map(|&knob| sweep.p_cell(memory, knob).unwrap())
+            .collect();
+        assert!(p.windows(2).all(|w| w[0] < w[1]));
+
+        // MLC: level-spacing sweep, falling spacing raises P_cell.
+        let sweep = LawSweep::for_backend(BackendKind::Mlc, &RunOptions::default()).unwrap();
+        assert_eq!(sweep.axis, SweepAxis::LevelSpacing);
+        assert_eq!(sweep.knob_unit, "sigma");
+        let p: Vec<f64> = sweep
+            .knobs
+            .iter()
+            .map(|&knob| sweep.p_cell(memory, knob).unwrap())
+            .collect();
+        assert!(p.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
     fn out_is_an_alias_for_json() {
         let opts = RunOptions::parse(["--out", "results/x.json"].iter().map(|s| (*s).to_owned()));
         assert_eq!(opts.json_path, Some(PathBuf::from("results/x.json")));
@@ -311,19 +561,30 @@ mod tests {
     }
 
     #[test]
-    fn backend_at_p_cell_builds_density_matched_backends() {
-        use faultmit_memsim::FaultBackend;
-        let memory = MemoryConfig::new(64, 32).unwrap();
-        for name in ["sram", "dram", "mlc"] {
-            let opts = RunOptions::parse(["--backend".to_owned(), name.to_owned()]);
-            let backend = opts.backend_at_p_cell(memory, 1e-4).unwrap();
-            assert_eq!(backend.kind(), opts.backend_kind());
-            assert!(
-                (backend.p_cell().log10() + 4.0).abs() < 0.05,
-                "{name}: p_cell = {}",
-                backend.p_cell()
-            );
-        }
+    fn driver_flag_typos_are_recorded_as_errors() {
+        // A typo in --shards must not silently degrade a K-way campaign to
+        // a monolithic run: the driver treats these as fatal.
+        let opts = RunOptions::parse(["--shards".to_owned(), "1O".to_owned()]);
+        assert!(opts.shards.is_none());
+        assert_eq!(opts.driver_flag_errors.len(), 1);
+        assert!(opts.driver_flag_errors[0].contains("--shards"));
+        assert!(opts.driver_flag_errors[0].contains("1O"));
+
+        let opts = RunOptions::parse(
+            ["--jobs", "x", "--retries", "-1"]
+                .iter()
+                .map(|s| (*s).to_owned()),
+        );
+        assert!(opts.jobs.is_none());
+        assert!(opts.retries.is_none());
+        assert_eq!(opts.driver_flag_errors.len(), 2);
+
+        let opts = RunOptions::parse(
+            ["--shards", "4", "--jobs", "2", "--retries", "0"]
+                .iter()
+                .map(|s| (*s).to_owned()),
+        );
+        assert!(opts.driver_flag_errors.is_empty());
     }
 
     #[test]

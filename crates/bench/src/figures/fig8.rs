@@ -1,0 +1,253 @@
+//! Fig. 8 (extension) — memory-MSE statistics for every protection scheme
+//! across memory technologies and operating points.
+
+use super::{take_catalogue, FigureDef, FigureError, FigureSpec, PanelState, RenderedFigure};
+use crate::cli::RunOptions;
+use crate::json::{JsonValue, ToJson};
+use faultmit_analysis::report::{format_percent, format_sci, Table};
+use faultmit_analysis::{MonteCarloConfig, MonteCarloEngine};
+use faultmit_core::{MitigationScheme, Scheme};
+use faultmit_memsim::{
+    Backend, BackendKind, CellFailureModel, DramRetentionBackend, FaultBackend, MemoryConfig,
+    MlcNvmBackend, SramVddBackend,
+};
+use faultmit_sim::{Parallelism, ShardSpec};
+use std::fmt::Write as _;
+
+/// The campaign seed baked into the Fig. 8 protocol.
+pub const FIG8_SEED: u64 = 0xF168;
+
+#[derive(Debug)]
+struct MatrixRow {
+    backend: &'static str,
+    operating_point: String,
+    knob: f64,
+    p_cell: f64,
+    scheme: String,
+    mean_mse: f64,
+    mse_at_99pct_yield: Option<f64>,
+    yield_at_mse_1e6: f64,
+}
+
+impl ToJson for MatrixRow {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("backend", self.backend.to_json()),
+            ("operating_point", self.operating_point.to_json()),
+            ("knob", self.knob.to_json()),
+            ("p_cell", self.p_cell.to_json()),
+            ("scheme", self.scheme.to_json()),
+            ("mean_mse", self.mean_mse.to_json()),
+            ("mse_at_99pct_yield", self.mse_at_99pct_yield.to_json()),
+            ("yield_at_mse_1e6", self.yield_at_mse_1e6.to_json()),
+        ])
+    }
+}
+
+/// Three operating points per technology, ordered from conservative to
+/// aggressive (rising fault density).
+fn operating_points(kind: BackendKind, memory: MemoryConfig) -> Result<Vec<Backend>, FigureError> {
+    Ok(match kind {
+        BackendKind::Sram => {
+            let model = CellFailureModel::default_28nm();
+            [0.85, 0.78, 0.70]
+                .iter()
+                .map(|&vdd| Ok(Backend::Sram(SramVddBackend::at_vdd(memory, model, vdd)?)))
+                .collect::<Result<_, FigureError>>()?
+        }
+        BackendKind::Dram => [32.0, 64.0, 128.0]
+            .iter()
+            .map(|&t_ref| {
+                Ok(Backend::Dram(DramRetentionBackend::new(
+                    memory, t_ref, 45.0,
+                )?))
+            })
+            .collect::<Result<_, FigureError>>()?,
+        BackendKind::Mlc => [14.0, 12.0, 10.0]
+            .iter()
+            .map(|&spacing| Ok(Backend::Mlc(MlcNvmBackend::new(memory, spacing, 86_400.0)?)))
+            .collect::<Result<_, FigureError>>()?,
+    })
+}
+
+fn spec_kinds(spec: &FigureSpec) -> Vec<BackendKind> {
+    match spec.backend {
+        Some(kind) => vec![kind],
+        None => BackendKind::ALL.to_vec(),
+    }
+}
+
+fn spec_schemes() -> Vec<Scheme> {
+    let mut schemes = Scheme::fig5_catalogue();
+    schemes.push(Scheme::secded32());
+    schemes
+}
+
+fn failure_cap(spec: &FigureSpec) -> u64 {
+    if spec.full_scale {
+        150
+    } else {
+        100
+    }
+}
+
+/// One cell of the backend × operating-point matrix, materialised into a
+/// catalogue engine.
+fn panel_engines(
+    spec: &FigureSpec,
+    parallelism: Parallelism,
+) -> Result<Vec<(BackendKind, MonteCarloEngine<Backend>)>, FigureError> {
+    let memory = MemoryConfig::paper_16kb();
+    let cap = failure_cap(spec);
+    let mut engines = Vec::new();
+    for kind in spec_kinds(spec) {
+        for backend in operating_points(kind, memory)? {
+            // Simulate up to the 99th-percentile failure count of this
+            // operating point, bounded so aggressive corners stay cheap.
+            let max_failures = backend.failure_distribution()?.n_max(0.99).clamp(1, cap);
+            let engine = MonteCarloEngine::new(
+                MonteCarloConfig::for_backend(backend)
+                    .with_samples_per_count(spec.samples_per_count)
+                    .with_max_failures(max_failures)
+                    .with_parallelism(parallelism),
+            );
+            engines.push((kind, engine));
+        }
+    }
+    Ok(engines)
+}
+
+/// The registered Fig. 8 matrix figure.
+pub struct Fig8Def;
+
+impl FigureDef for Fig8Def {
+    fn name(&self) -> &'static str {
+        "fig8"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["fig8_backend_matrix"]
+    }
+
+    fn description(&self) -> &'static str {
+        "scheme x backend x operating-point memory-MSE matrix"
+    }
+
+    fn spec(&self, options: &RunOptions) -> FigureSpec {
+        let default_samples = if options.full_scale { 500 } else { 40 };
+        FigureSpec {
+            figure: self.name().to_owned(),
+            // None = sweep every technology (the monolithic default).
+            backend: options.backend,
+            full_scale: options.full_scale,
+            samples_per_count: options.samples_or(default_samples),
+            benchmarks: Vec::new(),
+        }
+    }
+
+    fn panel_labels(&self, spec: &FigureSpec) -> Vec<String> {
+        spec_kinds(spec)
+            .iter()
+            .flat_map(|kind| (0..3).map(move |point| format!("{}:op{point}", kind.name())))
+            .collect()
+    }
+
+    fn run_shard(
+        &self,
+        spec: &FigureSpec,
+        parallelism: Parallelism,
+        shard: ShardSpec,
+    ) -> Result<Vec<PanelState>, FigureError> {
+        let schemes = spec_schemes();
+        let scheme_names: Vec<String> = schemes.iter().map(MitigationScheme::name).collect();
+        panel_engines(spec, parallelism)?
+            .into_iter()
+            .map(|(_, engine)| {
+                Ok(PanelState::Catalogue {
+                    scheme_names: scheme_names.clone(),
+                    accumulator: engine.run_catalogue_shard(&schemes, FIG8_SEED, shard)?,
+                })
+            })
+            .collect()
+    }
+
+    fn render(
+        &self,
+        spec: &FigureSpec,
+        parallelism: Parallelism,
+        panels: Vec<PanelState>,
+    ) -> Result<RenderedFigure, FigureError> {
+        let schemes = spec_schemes();
+        let engines = panel_engines(spec, parallelism)?;
+        if panels.len() != engines.len() {
+            return Err(format!(
+                "fig8 expects {} operating-point panels, got {}",
+                engines.len(),
+                panels.len()
+            )
+            .into());
+        }
+
+        let mut report = String::new();
+        writeln!(
+            report,
+            "Fig. 8 matrix: 16KB memory, {} scheme(s) x {} backend(s) x 3 operating points, \
+             {} maps per failure count (counts up to the 99th percentile, capped at {})",
+            schemes.len(),
+            spec_kinds(spec).len(),
+            spec.samples_per_count,
+            failure_cap(spec),
+        )?;
+
+        let mut table = Table::new(
+            "Fig. 8 — scheme x backend x operating point (memory MSE)",
+            vec![
+                "backend".into(),
+                "operating point".into(),
+                "P_cell".into(),
+                "scheme".into(),
+                "mean MSE".into(),
+                "MSE @ 99% yield".into(),
+                "yield @ MSE<1e6".into(),
+            ],
+        );
+
+        let mut rows = Vec::new();
+        for ((kind, engine), panel) in engines.into_iter().zip(panels) {
+            let (_, accumulator) = take_catalogue(panel, "fig8")?;
+            let op = engine.config().operating_point();
+            let p_cell = engine.config().p_cell();
+            let results = engine.results_from_state(&schemes, accumulator)?;
+            for result in &results {
+                let mean = result.cdf.mean().unwrap_or(0.0);
+                let at_yield = result.mse_for_yield(0.99);
+                let yield_1e6 = result.yield_at_mse(1e6);
+                table.add_row(vec![
+                    kind.name().to_owned(),
+                    op.label(),
+                    format_sci(p_cell),
+                    result.scheme_name.clone(),
+                    format_sci(mean),
+                    at_yield.map_or_else(|| "unreachable".to_owned(), format_sci),
+                    format_percent(yield_1e6),
+                ]);
+                rows.push(MatrixRow {
+                    backend: kind.name(),
+                    operating_point: op.label(),
+                    knob: op.primary_value(),
+                    p_cell,
+                    scheme: result.scheme_name.clone(),
+                    mean_mse: mean,
+                    mse_at_99pct_yield: at_yield,
+                    yield_at_mse_1e6: yield_1e6,
+                });
+            }
+        }
+        writeln!(report, "{table}")?;
+
+        Ok(RenderedFigure {
+            document: rows.to_json(),
+            report,
+        })
+    }
+}

@@ -1,0 +1,642 @@
+//! The declarative figure registry: every campaign-driven binary of this
+//! crate is described by a [`FigureDef`] registered under a stable name,
+//! and the binaries themselves are thin CLI-parse → registry-lookup →
+//! render shims.
+//!
+//! # Architecture
+//!
+//! A figure's identity is its [`FigureSpec`] — the resolved, identity-
+//! relevant CLI options (backend, scale, sample budget, benchmark panels).
+//! The [`FigureDef`] implementation materialises the spec into engines,
+//! evaluates any [`faultmit_sim::ShardSpec`] slice of the campaign into one
+//! [`PanelState`] per panel, and renders merged panel states into the exact
+//! JSON document (and human-readable report) the monolithic binary emits.
+//! Because chunk boundaries and per-sample RNG streams derive from the
+//! global plan, and panel states serialise/merge losslessly
+//! ([`crate::shard`]), a K-shard campaign merged in shard order renders
+//! **byte-identical** figure JSON to the monolithic run — for every
+//! registered figure.
+//!
+//! Three process entry points share this module:
+//!
+//! * the monolithic figure binaries ([`run_monolithic`] — the `0/1` shard);
+//! * `campaign_shard` / `campaign_merge` (one shard per process, explicit
+//!   merge);
+//! * `campaign_run`, the multi-process driver: single-command sharded
+//!   execution with bounded retries and checkpoint reuse —
+//!
+//! ```text
+//! campaign_run --figure fig8_backend_matrix --shards 4 --jobs 2 \
+//!     --samples 5 --out results/fig8.json
+//! ```
+//!
+//! runs the Fig. 8 campaign as 4 `campaign_shard` child processes (at most
+//! 2 at a time), reuses completed shard checkpoints, retries failed
+//! shards, then merges and renders `results/fig8.json` byte-identical to
+//! `fig8_backend_matrix --samples 5 --json results/fig8.json`.
+
+mod ablation_lut;
+mod ablation_shift;
+mod fig4;
+mod fig5;
+mod fig6;
+mod fig7;
+mod fig8;
+mod table1;
+
+pub use fig5::{fig5_series, Fig5Campaign, Fig5Series};
+pub use fig7::{fig7_series, Fig7Campaign, Fig7Series};
+
+use crate::cli::RunOptions;
+use crate::json::{JsonValue, ToJson};
+use faultmit_analysis::CatalogueAccumulator;
+use faultmit_apps::Benchmark;
+use faultmit_memsim::BackendKind;
+use faultmit_sim::{Accumulator, PairedSample, Parallelism, ShardSpec};
+
+/// Errors from figure materialisation, evaluation or rendering.
+pub type FigureError = Box<dyn std::error::Error>;
+
+/// Resolves benchmark selectors (`elasticnet`, `pca`, `knn` and their
+/// aliases) into [`Benchmark`]s; an empty selector list selects all three.
+///
+/// Unknown names are reported on stderr and skipped — the behaviour
+/// `fig7_quality` has always had.
+#[must_use]
+pub fn selected_benchmarks(selectors: &[String]) -> Vec<Benchmark> {
+    if selectors.is_empty() {
+        return Benchmark::ALL.to_vec();
+    }
+    selectors
+        .iter()
+        .filter_map(|name| match name.to_ascii_lowercase().as_str() {
+            "elasticnet" | "wine" => Some(Benchmark::Elasticnet),
+            "pca" | "madelon" => Some(Benchmark::Pca),
+            "knn" | "har" | "activity" => Some(Benchmark::Knn),
+            other => {
+                eprintln!("unknown benchmark '{other}', expected elasticnet|pca|knn");
+                None
+            }
+        })
+        .collect()
+}
+
+fn benchmark_from_name(name: &str) -> Result<Benchmark, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "elasticnet" => Ok(Benchmark::Elasticnet),
+        "pca" => Ok(Benchmark::Pca),
+        "knn" => Ok(Benchmark::Knn),
+        other => Err(format!("unknown benchmark '{other}' in figure spec")),
+    }
+}
+
+/// The identity of one figure campaign: the registered figure name plus
+/// everything identity-relevant the CLI resolved, and nothing derived.
+///
+/// Two shard files belong to the same campaign exactly when their specs are
+/// equal; all derived quantities (memory geometry, seed, `N_max`, scheme
+/// catalogue, operating-point grids) are recomputed deterministically from
+/// the spec by the figure's [`FigureDef`]. Figures normalise knobs they
+/// ignore (a deterministic table records no backend), so equivalent
+/// invocations produce equal specs and checkpoint files stay valid across
+/// them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FigureSpec {
+    /// Registry name of the figure this campaign belongs to.
+    pub figure: String,
+    /// Fault-generation technology; `None` means the figure's default
+    /// (every technology for `fig8_backend_matrix`, not applicable for
+    /// deterministic figures).
+    pub backend: Option<BackendKind>,
+    /// Paper-scale (`--full`) or reduced configuration.
+    pub full_scale: bool,
+    /// Monte-Carlo fault maps per failure count (or the figure's sample
+    /// budget where no failure-count sweep exists).
+    pub samples_per_count: usize,
+    /// Benchmark panels (Fig. 7 only; empty elsewhere).
+    pub benchmarks: Vec<Benchmark>,
+}
+
+impl FigureSpec {
+    /// The backend a single-technology campaign runs on (the paper's SRAM
+    /// model when the spec records none).
+    #[must_use]
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.unwrap_or(BackendKind::Sram)
+    }
+
+    /// Serialises the spec for embedding in shard-state files.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("figure", self.figure.to_json()),
+            (
+                "backend",
+                match self.backend {
+                    None => JsonValue::Null,
+                    Some(kind) => kind.name().to_json(),
+                },
+            ),
+            ("full_scale", self.full_scale.to_json()),
+            ("samples_per_count", self.samples_per_count.to_json()),
+            (
+                "benchmarks",
+                JsonValue::Array(
+                    self.benchmarks
+                        .iter()
+                        .map(|b| b.name().to_ascii_lowercase().to_json())
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Reads a spec back from shard-state JSON, validating the figure name
+    /// against the registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or malformed field, or of
+    /// an unregistered figure name.
+    pub fn from_json(value: &JsonValue) -> Result<Self, String> {
+        let figure = value
+            .get("figure")
+            .and_then(JsonValue::as_str)
+            .ok_or("spec is missing 'figure'")?;
+        // Registry-aware: resolve aliases to the canonical name and reject
+        // figures this build does not know how to merge or render.
+        let figure = find_figure(figure)?.name().to_owned();
+        let backend = match value.get("backend") {
+            None => return Err("spec is missing 'backend'".to_owned()),
+            Some(JsonValue::Null) => None,
+            Some(node) => Some(
+                node.as_str()
+                    .ok_or("spec 'backend' must be a string or null")?
+                    .parse::<BackendKind>()
+                    .map_err(|e| e.to_string())?,
+            ),
+        };
+        let full_scale = value
+            .get("full_scale")
+            .and_then(JsonValue::as_bool)
+            .ok_or("spec is missing 'full_scale'")?;
+        let samples_per_count = value
+            .get("samples_per_count")
+            .and_then(JsonValue::as_u64)
+            .ok_or("spec is missing 'samples_per_count'")? as usize;
+        let benchmarks = value
+            .get("benchmarks")
+            .and_then(JsonValue::as_array)
+            .ok_or("spec is missing 'benchmarks'")?
+            .iter()
+            .map(|b| {
+                b.as_str()
+                    .ok_or_else(|| "benchmark names must be strings".to_owned())
+                    .and_then(benchmark_from_name)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            figure,
+            backend,
+            full_scale,
+            samples_per_count,
+            benchmarks,
+        })
+    }
+}
+
+/// The accumulated state of one campaign panel inside a shard — the three
+/// shapes the registry's figures reduce to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PanelState {
+    /// Monte-Carlo catalogue state: per-scheme, per-failure-count CDF
+    /// sketches (Fig. 5, Fig. 7, Fig. 8).
+    Catalogue {
+        /// Scheme names in catalogue order (validated across shards).
+        scheme_names: Vec<String>,
+        /// The shard's accumulator for this panel.
+        accumulator: CatalogueAccumulator,
+    },
+    /// Ordered paired-sample records (ablation campaigns whose reductions
+    /// are order-sensitive floating-point sums over the raw stream).
+    Records {
+        /// Metric names in scheme order (validated across shards).
+        metric_names: Vec<String>,
+        /// The shard's records, in global sample order.
+        records: Vec<PairedSample>,
+    },
+    /// A deterministic table with no Monte-Carlo content (Fig. 4, Fig. 6,
+    /// overhead ablations, Table 1): every shard computes the same rows and
+    /// the merge validates their equality.
+    Table {
+        /// The rendered series rows.
+        rows: JsonValue,
+    },
+}
+
+impl PanelState {
+    /// The serialisation tag of this state's shape.
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            PanelState::Catalogue { .. } => "catalogue",
+            PanelState::Records { .. } => "records",
+            PanelState::Table { .. } => "table",
+        }
+    }
+
+    /// `true` when two states can merge: same shape and same catalogue /
+    /// metric identity (deterministic tables must be equal).
+    #[must_use]
+    pub fn compatible_with(&self, other: &PanelState) -> bool {
+        match (self, other) {
+            (
+                PanelState::Catalogue { scheme_names, .. },
+                PanelState::Catalogue {
+                    scheme_names: other_names,
+                    ..
+                },
+            ) => scheme_names == other_names,
+            (
+                PanelState::Records { metric_names, .. },
+                PanelState::Records {
+                    metric_names: other_names,
+                    ..
+                },
+            ) => metric_names == other_names,
+            (PanelState::Table { rows }, PanelState::Table { rows: other_rows }) => {
+                rows == other_rows
+            }
+            _ => false,
+        }
+    }
+
+    /// Absorbs the state of the next shard (in shard order).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the incompatibility (shape or catalogue
+    /// mismatch, or deterministic tables that disagree).
+    pub fn merge(&mut self, other: PanelState) -> Result<(), String> {
+        if !self.compatible_with(&other) {
+            return Err(match (&*self, &other) {
+                (PanelState::Table { .. }, PanelState::Table { .. }) => {
+                    "deterministic table panels disagree between shards".to_owned()
+                }
+                (a, b) if a.kind_name() == b.kind_name() => format!(
+                    "{} panels disagree on the scheme/metric catalogue",
+                    a.kind_name()
+                ),
+                (a, b) => format!(
+                    "panel state kinds disagree: '{}' vs '{}'",
+                    a.kind_name(),
+                    b.kind_name()
+                ),
+            });
+        }
+        match (self, other) {
+            (
+                PanelState::Catalogue { accumulator, .. },
+                PanelState::Catalogue {
+                    accumulator: other, ..
+                },
+            ) => {
+                accumulator.merge(other);
+            }
+            (PanelState::Records { records, .. }, PanelState::Records { records: other, .. }) => {
+                records.extend(other);
+            }
+            // Equal tables: keep the existing copy.
+            (PanelState::Table { .. }, PanelState::Table { .. }) => {}
+            _ => unreachable!("compatible_with rejects mixed kinds"),
+        }
+        Ok(())
+    }
+}
+
+/// Unwraps a catalogue panel (render-side helper).
+pub(crate) fn take_catalogue(
+    panel: PanelState,
+    figure: &str,
+) -> Result<(Vec<String>, CatalogueAccumulator), FigureError> {
+    match panel {
+        PanelState::Catalogue {
+            scheme_names,
+            accumulator,
+        } => Ok((scheme_names, accumulator)),
+        other => Err(format!(
+            "{figure} expects catalogue panel state, found '{}'",
+            other.kind_name()
+        )
+        .into()),
+    }
+}
+
+/// Unwraps a records panel (render-side helper).
+pub(crate) fn take_records(
+    panel: PanelState,
+    figure: &str,
+) -> Result<(Vec<String>, Vec<PairedSample>), FigureError> {
+    match panel {
+        PanelState::Records {
+            metric_names,
+            records,
+        } => Ok((metric_names, records)),
+        other => Err(format!(
+            "{figure} expects records panel state, found '{}'",
+            other.kind_name()
+        )
+        .into()),
+    }
+}
+
+/// Unwraps a deterministic table panel (render-side helper).
+pub(crate) fn take_table(panel: PanelState, figure: &str) -> Result<JsonValue, FigureError> {
+    match panel {
+        PanelState::Table { rows } => Ok(rows),
+        other => Err(format!(
+            "{figure} expects table panel state, found '{}'",
+            other.kind_name()
+        )
+        .into()),
+    }
+}
+
+/// Unwraps the single panel of a one-panel figure.
+pub(crate) fn single_panel(
+    mut panels: Vec<PanelState>,
+    figure: &str,
+) -> Result<PanelState, FigureError> {
+    if panels.len() != 1 {
+        return Err(format!("{figure} expects exactly one panel, got {}", panels.len()).into());
+    }
+    Ok(panels.remove(0))
+}
+
+/// The rendered outcome of a figure campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderedFigure {
+    /// The machine-readable series — the bytes of the binary's historical
+    /// `--json` output come from `document.to_pretty_string()`.
+    pub document: JsonValue,
+    /// The human-readable report the monolithic binary prints to stdout.
+    pub report: String,
+}
+
+/// One figure of the registry: how to resolve its campaign spec from CLI
+/// options, evaluate any shard of it, and render merged state into the
+/// exact document the monolithic binary emits.
+///
+/// Implementations must uphold the registry's invariant: for any shard
+/// count K, the [`PanelState`]s of shards `0..K` merged in shard order are
+/// bit-identical to the `0/1` shard's state, so [`FigureDef::render`]
+/// produces byte-identical documents either way.
+pub trait FigureDef: Sync {
+    /// Canonical registry name (also the binary's name where one exists).
+    fn name(&self) -> &'static str;
+
+    /// Additional accepted lookup names.
+    fn aliases(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    /// One-line description (shown by `campaign_run --figure list`).
+    fn description(&self) -> &'static str;
+
+    /// Resolves CLI options into the campaign's identity, applying the
+    /// figure's defaults and normalising options the figure ignores.
+    fn spec(&self, options: &RunOptions) -> FigureSpec;
+
+    /// Labels of the campaign panels a shard evaluates, in panel order.
+    fn panel_labels(&self, spec: &FigureSpec) -> Vec<String>;
+
+    /// Evaluates one shard of every panel, in panel order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend-calibration, evaluator-construction and campaign
+    /// errors.
+    fn run_shard(
+        &self,
+        spec: &FigureSpec,
+        parallelism: Parallelism,
+        shard: ShardSpec,
+    ) -> Result<Vec<PanelState>, FigureError>;
+
+    /// Renders merged panel states into the figure's document and report.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the panel states do not match the spec's
+    /// panels, or when reduction fails.
+    fn render(
+        &self,
+        spec: &FigureSpec,
+        parallelism: Parallelism,
+        panels: Vec<PanelState>,
+    ) -> Result<RenderedFigure, FigureError>;
+}
+
+/// Every registered figure, in catalogue order.
+#[must_use]
+pub fn registry() -> &'static [&'static dyn FigureDef] {
+    static REGISTRY: [&dyn FigureDef; 8] = [
+        &fig4::Fig4Def,
+        &fig5::Fig5Def,
+        &fig6::Fig6Def,
+        &fig7::Fig7Def,
+        &fig8::Fig8Def,
+        &ablation_lut::AblationLutDef,
+        &ablation_shift::AblationShiftDef,
+        &table1::Table1Def,
+    ];
+    &REGISTRY
+}
+
+/// Looks a figure up by canonical name or alias (case-insensitive).
+///
+/// # Errors
+///
+/// Returns a message listing every registered name.
+pub fn find_figure(name: &str) -> Result<&'static dyn FigureDef, String> {
+    let wanted = name.to_ascii_lowercase();
+    registry()
+        .iter()
+        .copied()
+        .find(|figure| {
+            figure.name() == wanted || figure.aliases().iter().any(|alias| *alias == wanted)
+        })
+        .ok_or_else(|| {
+            let known: Vec<&str> = registry().iter().map(|f| f.name()).collect();
+            format!(
+                "unknown figure '{name}', expected one of: {}",
+                known.join(", ")
+            )
+        })
+}
+
+/// The shared main body of every monolithic figure binary: parse the
+/// process arguments, run the figure's whole campaign as the `0/1` shard,
+/// print the report and write the `--json` document.
+///
+/// # Errors
+///
+/// Propagates figure evaluation and I/O errors.
+pub fn run_monolithic(name: &str) -> Result<(), FigureError> {
+    let options = RunOptions::from_args();
+    let figure = find_figure(name)?;
+    let spec = figure.spec(&options);
+    let panels = figure.run_shard(&spec, options.parallelism(), ShardSpec::solo())?;
+    let rendered = figure.render(&spec, options.parallelism(), panels)?;
+    print!("{}", rendered.report);
+    options.write_json(&rendered.document)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let mut seen = std::collections::HashSet::new();
+        for figure in registry() {
+            assert!(seen.insert(figure.name()), "duplicate {}", figure.name());
+            assert_eq!(find_figure(figure.name()).unwrap().name(), figure.name());
+            for alias in figure.aliases() {
+                assert_eq!(find_figure(alias).unwrap().name(), figure.name());
+            }
+            assert!(!figure.description().is_empty());
+        }
+        assert_eq!(seen.len(), 8);
+        let Err(message) = find_figure("fig99") else {
+            panic!("fig99 must not resolve");
+        };
+        assert!(message.contains("fig5"), "{message}");
+    }
+
+    #[test]
+    fn aliases_cover_the_binary_names() {
+        for name in [
+            "fig4_error_magnitude",
+            "fig5_mse_cdf",
+            "fig6_overhead",
+            "fig7_quality",
+            "fig8_backend_matrix",
+            "ablation_lut_write_path",
+            "ablation_shift_policy",
+            "table1_applications",
+        ] {
+            assert!(find_figure(name).is_ok(), "binary name {name} unresolved");
+        }
+        // Case-insensitive.
+        assert_eq!(find_figure("FIG5").unwrap().name(), "fig5");
+    }
+
+    #[test]
+    fn benchmark_selection_matches_fig7_behaviour() {
+        assert_eq!(selected_benchmarks(&[]), Benchmark::ALL.to_vec());
+        assert_eq!(
+            selected_benchmarks(&["knn".to_owned(), "wine".to_owned()]),
+            vec![Benchmark::Knn, Benchmark::Elasticnet]
+        );
+        assert!(selected_benchmarks(&["bogus".to_owned()]).is_empty());
+    }
+
+    #[test]
+    fn specs_round_trip_through_json_for_every_figure() {
+        let options = RunOptions::parse(
+            ["--backend", "dram", "--samples", "7", "pca"]
+                .iter()
+                .map(|s| (*s).to_owned()),
+        );
+        for figure in registry() {
+            let spec = figure.spec(&options);
+            assert_eq!(spec.figure, figure.name());
+            let parsed = FigureSpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(parsed, spec, "{}", figure.name());
+            // Panel labels derive deterministically from the spec.
+            let labels = figure.panel_labels(&spec);
+            assert!(!labels.is_empty(), "{}", figure.name());
+            assert_eq!(labels, figure.panel_labels(&spec));
+        }
+        assert!(FigureSpec::from_json(&JsonValue::Null).is_err());
+        // Unregistered figure names are rejected by the loader.
+        let mut doc = registry()[0].spec(&RunOptions::default()).to_json();
+        if let JsonValue::Object(fields) = &mut doc {
+            fields[0].1 = JsonValue::String("fig99".to_owned());
+        }
+        assert!(FigureSpec::from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn panel_states_merge_by_kind_and_reject_mismatches() {
+        let sample = |index: u64, metrics: &[f64]| PairedSample {
+            sample_index: index,
+            n_faults: 1,
+            weight: 0.5,
+            metrics: metrics.to_vec(),
+        };
+
+        // Catalogue merging folds accumulators.
+        let mut a0 = CatalogueAccumulator::new(1);
+        a0.record(&sample(0, &[1.0]));
+        let mut a1 = CatalogueAccumulator::new(1);
+        a1.record(&sample(1, &[2.0]));
+        let mut merged = PanelState::Catalogue {
+            scheme_names: vec!["s".into()],
+            accumulator: a0,
+        };
+        merged
+            .merge(PanelState::Catalogue {
+                scheme_names: vec!["s".into()],
+                accumulator: a1,
+            })
+            .unwrap();
+        if let PanelState::Catalogue { accumulator, .. } = &merged {
+            assert_eq!(accumulator.samples_recorded(), 2);
+        } else {
+            unreachable!()
+        }
+        assert!(merged
+            .clone()
+            .merge(PanelState::Catalogue {
+                scheme_names: vec!["other".into()],
+                accumulator: CatalogueAccumulator::new(1),
+            })
+            .is_err());
+
+        // Records merging concatenates in shard order.
+        let mut records = PanelState::Records {
+            metric_names: vec!["naive".into(), "optimal".into()],
+            records: vec![sample(0, &[1.0, 0.5])],
+        };
+        records
+            .merge(PanelState::Records {
+                metric_names: vec!["naive".into(), "optimal".into()],
+                records: vec![sample(1, &[2.0, 1.5])],
+            })
+            .unwrap();
+        if let PanelState::Records { records, .. } = &records {
+            assert_eq!(
+                records.iter().map(|r| r.sample_index).collect::<Vec<_>>(),
+                vec![0, 1]
+            );
+        } else {
+            unreachable!()
+        }
+
+        // Tables must agree; kinds must match.
+        let table = || PanelState::Table {
+            rows: JsonValue::Array(vec![JsonValue::Number(1.0)]),
+        };
+        let mut t = table();
+        t.merge(table()).unwrap();
+        assert!(t
+            .merge(PanelState::Table {
+                rows: JsonValue::Array(vec![]),
+            })
+            .is_err());
+        assert!(t.merge(records.clone()).is_err());
+    }
+}

@@ -455,9 +455,15 @@ impl Parser<'_> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .expect("number spans are plain ASCII");
-        text.parse::<f64>()
-            .map(JsonValue::Number)
-            .map_err(|_| self.error(&format!("invalid number '{text}'")))
+        match text.parse::<f64>() {
+            // Literals like `1e999` overflow to ±inf, which the emitter can
+            // never have produced (non-finite numbers emit as `null`), so
+            // accepting them would silently break the emit → parse
+            // round-trip invariant shard state rests on.
+            Ok(value) if value.is_finite() => Ok(JsonValue::Number(value)),
+            Ok(_) => Err(self.error(&format!("number '{text}' out of f64 range"))),
+            Err(_) => Err(self.error(&format!("invalid number '{text}'"))),
+        }
     }
 }
 
@@ -672,6 +678,94 @@ mod tests {
         ] {
             assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn parse_rejects_truncated_documents_with_positions() {
+        // Truncation at every structural depth: the error carries the byte
+        // offset where input ran out.
+        for bad in [
+            "{",
+            "{\"a\"",
+            "{\"a\":",
+            "{\"a\": 1",
+            "{\"a\": 1,",
+            "[",
+            "[1",
+            "[1,",
+            "[[1, 2]",
+            "\"half a stri",
+            "\"escape at the end\\",
+            "\"\\u00",
+            "-",
+            "tr",
+            "{\"nested\": {\"deep\": [",
+        ] {
+            let error = JsonValue::parse(bad).unwrap_err();
+            assert!(
+                error.offset <= bad.len(),
+                "offset {} beyond input {bad:?}",
+                error.offset
+            );
+            assert!(!error.reason.is_empty(), "empty reason for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage_after_any_document() {
+        for bad in [
+            "null null",
+            "1 2",
+            "{} {}",
+            "[] ,",
+            "\"done\" x",
+            "{\"a\": 1}[]",
+            "3.5e2 // comment",
+        ] {
+            let error = JsonValue::parse(bad).unwrap_err();
+            assert!(error.reason.contains("trailing"), "{bad:?} gave: {error}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_escapes() {
+        for bad in [
+            "\"\\x41\"",
+            "\"\\U0041\"",
+            "\"\\u00zz\"",
+            "\"\\ \"",
+            "\"\\'\"",
+            // Lone low surrogate and unpaired high surrogate.
+            "\"\\udc00\"",
+            "\"\\ud800\"",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_non_finite_number_literals() {
+        // JSON has no NaN/Infinity tokens…
+        for bad in ["NaN", "nan", "Infinity", "-Infinity", "inf", "-inf"] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        // …and literals that overflow f64 to ±inf must not sneak a
+        // non-finite number past the emitter's null convention.
+        for bad in ["1e999", "-1e999", "1e308999"] {
+            let error = JsonValue::parse(bad).unwrap_err();
+            assert!(
+                error.reason.contains("out of f64 range"),
+                "{bad:?} gave: {error}"
+            );
+        }
+        // The largest finite values still parse exactly.
+        let max = format!("{}", f64::MAX);
+        assert_eq!(
+            JsonValue::parse(&max).unwrap().as_f64().unwrap().to_bits(),
+            f64::MAX.to_bits()
+        );
+        // Subnormal underflow to zero is fine (it is finite).
+        assert_eq!(JsonValue::parse("1e-999").unwrap().as_f64(), Some(0.0));
     }
 
     #[test]

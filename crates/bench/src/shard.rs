@@ -1,37 +1,47 @@
-//! Serializable shard state for distributed campaigns.
+//! Serializable shard state for distributed campaigns, covering every
+//! accumulator shape the figure registry produces.
 //!
-//! A `campaign_shard` process evaluates one [`ShardSpec`] slice of a figure
-//! campaign and writes its accumulator state to disk as a [`ShardState`]
-//! JSON document; `campaign_merge` reads the shard files back, folds their
-//! accumulators **in shard order** and renders the figure. Because
+//! A `campaign_shard` process evaluates one [`ShardSpec`] slice of a
+//! registered figure campaign and writes its per-panel
+//! [`PanelState`]s to disk as a [`ShardState`] JSON document;
+//! `campaign_merge` (or the `campaign_run` driver) reads the shard files
+//! back, folds their panels **in shard order** and renders the figure.
+//! Because
 //!
 //! 1. chunk boundaries and per-sample RNG streams derive from the global
 //!    plan (see [`faultmit_sim::Campaign::try_run_shard`]),
-//! 2. [`CdfSketch`] serialisation stores the raw `(value, weight)`
-//!    observation list in insertion order and deserialisation re-accumulates
-//!    it ([`CdfSketch::from_observations`]), and
+//! 2. catalogue state stores each [`CdfSketch`]'s raw `(value, weight)`
+//!    observation list in insertion order and re-accumulates it on read
+//!    ([`CdfSketch::from_observations`]), record state stores the raw
+//!    [`PairedSample`] stream in global sample order, and deterministic
+//!    table state is validated for equality across shards, and
 //! 3. the in-tree JSON emitter prints every finite `f64` in its shortest
 //!    round-trippable form (sole exception: `-0.0` normalises to `+0.0`,
-//!    which no CDF query can distinguish — see the `json` module docs),
+//!    which no downstream reduction can distinguish — see the `json`
+//!    module docs),
 //!
 //! the merged state — and therefore the rendered figure JSON — is
 //! **byte-identical** to the monolithic single-process run for every
-//! backend and any worker count.
+//! registered figure, backend and worker count.
 //!
 //! A completed shard file doubles as a checkpoint: `campaign_shard` skips
 //! work when its output file already holds a state whose
 //! [`ShardState::matches`] its request, so re-running a partially finished
 //! K-shard campaign recomputes only the missing shards.
 
-use crate::figures::FigureSpec;
+use crate::figures::{FigureSpec, PanelState};
 use crate::json::{JsonValue, ToJson};
 use faultmit_analysis::{CatalogueAccumulator, CdfSketch, EmpiricalCdf};
-use faultmit_sim::{Accumulator, ShardSpec};
+use faultmit_sim::{PairedSample, ShardSpec};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::path::Path;
 
 /// Format tag of shard-state documents (bump on incompatible changes).
-pub const SHARD_STATE_FORMAT: &str = "faultmit-shard-state/v1";
+///
+/// `v2` replaced the fig5/fig7-only `v1` layout with the registry's
+/// panel-state union (catalogue / records / table).
+pub const SHARD_STATE_FORMAT: &str = "faultmit-shard-state/v2";
 
 /// Error reading or merging shard state.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,28 +66,26 @@ impl fmt::Display for ShardStateError {
 
 impl std::error::Error for ShardStateError {}
 
-/// The accumulated state of one campaign panel (Fig. 5's single catalogue,
-/// or one Fig. 7 benchmark) inside a shard.
+/// One labelled campaign panel inside a shard.
 #[derive(Debug, Clone, PartialEq)]
-pub struct ShardCampaignState {
-    /// Panel label (`"fig5"` or the benchmark name).
+pub struct ShardPanelState {
+    /// Panel label (`"fig5"`, a benchmark name, an operating-point cell,
+    /// an ablation sweep point, …).
     pub label: String,
-    /// Scheme names in catalogue order (validated across shards on merge).
-    pub scheme_names: Vec<String>,
-    /// The shard's accumulator for this panel.
-    pub accumulator: CatalogueAccumulator,
+    /// The shard's accumulated state for this panel.
+    pub state: PanelState,
 }
 
 /// One shard's complete serialisable state: the campaign identity, the
-/// shard coordinates, and one accumulator per campaign panel.
+/// shard coordinates, and one panel state per campaign panel.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardState {
     /// Identity of the figure campaign the shard belongs to.
     pub spec: FigureSpec,
     /// Which slice of the campaign this state covers.
     pub shard: ShardSpec,
-    /// Per-panel accumulator state, in panel order.
-    pub campaigns: Vec<ShardCampaignState>,
+    /// Per-panel state, in panel order.
+    pub panels: Vec<ShardPanelState>,
 }
 
 impl ShardState {
@@ -97,15 +105,15 @@ impl ShardState {
             ("shard_index", self.shard.shard_index().to_json()),
             ("shard_count", self.shard.shard_count().to_json()),
             (
-                "campaigns",
+                "panels",
                 JsonValue::Array(
-                    self.campaigns
+                    self.panels
                         .iter()
-                        .map(|campaign| {
+                        .map(|panel| {
                             JsonValue::object([
-                                ("label", campaign.label.to_json()),
-                                ("schemes", campaign.scheme_names.to_json()),
-                                ("state", accumulator_to_json(&campaign.accumulator)),
+                                ("label", panel.label.to_json()),
+                                ("kind", panel.state.kind_name().to_json()),
+                                ("state", panel_state_to_json(&panel.state)),
                             ])
                         })
                         .collect(),
@@ -118,8 +126,8 @@ impl ShardState {
     ///
     /// # Errors
     ///
-    /// Returns [`ShardStateError`] for malformed JSON, a foreign format tag
-    /// or missing fields.
+    /// Returns [`ShardStateError`] for malformed JSON, a foreign format tag,
+    /// an unregistered figure or missing fields.
     pub fn parse(text: &str) -> Result<Self, ShardStateError> {
         let document = JsonValue::parse(text).map_err(|e| ShardStateError::new(format!("{e}")))?;
         Self::from_json(&document)
@@ -129,8 +137,8 @@ impl ShardState {
     ///
     /// # Errors
     ///
-    /// Returns [`ShardStateError`] for a foreign format tag or missing
-    /// fields.
+    /// Returns [`ShardStateError`] for a foreign format tag, an
+    /// unregistered figure or missing fields.
     pub fn from_json(document: &JsonValue) -> Result<Self, ShardStateError> {
         let format = document
             .get("format")
@@ -155,50 +163,32 @@ impl ShardState {
             .ok_or_else(|| ShardStateError::new("missing 'shard_count'"))?;
         let shard = ShardSpec::new(shard_index as usize, shard_count as usize)
             .map_err(|e| ShardStateError::new(e.to_string()))?;
-        let campaigns = document
-            .get("campaigns")
+        let panels = document
+            .get("panels")
             .and_then(JsonValue::as_array)
-            .ok_or_else(|| ShardStateError::new("missing 'campaigns'"))?
+            .ok_or_else(|| ShardStateError::new("missing 'panels'"))?
             .iter()
-            .map(|campaign| {
-                let label = campaign
+            .map(|panel| {
+                let label = panel
                     .get("label")
                     .and_then(JsonValue::as_str)
-                    .ok_or_else(|| ShardStateError::new("campaign is missing 'label'"))?
+                    .ok_or_else(|| ShardStateError::new("panel is missing 'label'"))?
                     .to_owned();
-                let scheme_names = campaign
-                    .get("schemes")
-                    .and_then(JsonValue::as_array)
-                    .ok_or_else(|| ShardStateError::new("campaign is missing 'schemes'"))?
-                    .iter()
-                    .map(|name| {
-                        name.as_str()
-                            .map(str::to_owned)
-                            .ok_or_else(|| ShardStateError::new("scheme names must be strings"))
-                    })
-                    .collect::<Result<Vec<_>, _>>()?;
-                let accumulator = campaign
+                let kind = panel
+                    .get("kind")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| ShardStateError::new("panel is missing 'kind'"))?;
+                let state = panel
                     .get("state")
-                    .ok_or_else(|| ShardStateError::new("campaign is missing 'state'"))
-                    .and_then(accumulator_from_json)?;
-                if accumulator.scheme_count() != scheme_names.len() {
-                    return Err(ShardStateError::new(format!(
-                        "campaign '{label}' state tracks {} schemes but names {}",
-                        accumulator.scheme_count(),
-                        scheme_names.len()
-                    )));
-                }
-                Ok(ShardCampaignState {
-                    label,
-                    scheme_names,
-                    accumulator,
-                })
+                    .ok_or_else(|| ShardStateError::new("panel is missing 'state'"))
+                    .and_then(|state| panel_state_from_json(kind, state))?;
+                Ok(ShardPanelState { label, state })
             })
-            .collect::<Result<Vec<_>, _>>()?;
+            .collect::<Result<Vec<_>, ShardStateError>>()?;
         Ok(Self {
             spec,
             shard,
-            campaigns,
+            panels,
         })
     }
 
@@ -208,85 +198,203 @@ impl ShardState {
     /// merged ascending, which reproduces the monolithic chunk-order
     /// reduction bit for bit. Validation requires one shard for every index
     /// `0..shard_count`, a common figure spec and identical panel
-    /// labels/catalogues.
+    /// labels/catalogues — and reports **every** missing, duplicated or
+    /// mismatched shard index of the K-set in one error instead of failing
+    /// on the first bad file.
     ///
     /// # Errors
     ///
-    /// Returns [`ShardStateError`] for incomplete, duplicated or mismatched
-    /// shard sets.
+    /// Returns [`ShardStateError`] enumerating all problems of an
+    /// incomplete, duplicated or mismatched shard set.
     pub fn merge(mut shards: Vec<ShardState>) -> Result<ShardState, ShardStateError> {
         let first = shards
             .first()
             .ok_or_else(|| ShardStateError::new("no shard files to merge"))?;
         let spec = first.spec.clone();
         let shard_count = first.shard.shard_count();
-        if shards.len() != shard_count {
+
+        // Shard files can claim any K, so refuse an absurd count before
+        // allocating the per-index bookkeeping it would size.
+        const MAX_ENUMERATED_SHARDS: usize = 100_000;
+        if shard_count > MAX_ENUMERATED_SHARDS {
             return Err(ShardStateError::new(format!(
-                "campaign has {shard_count} shards but {} files were provided",
-                shards.len()
+                "cannot merge shard set: shard {} claims a {shard_count}-shard campaign \
+                 (more than the {MAX_ENUMERATED_SHARDS} supported)",
+                first.shard
             )));
         }
-        let labels: Vec<(String, Vec<String>)> = first
-            .campaigns
+
+        // Collect every defect of the set before failing, so one error
+        // message names exactly which indices are missing or mismatched.
+        let mut spec_mismatches: Vec<String> = Vec::new();
+        let mut panel_mismatches: Vec<String> = Vec::new();
+        let labels: Vec<(String, &'static str)> = first
+            .panels
             .iter()
-            .map(|c| (c.label.clone(), c.scheme_names.clone()))
+            .map(|p| (p.label.clone(), p.state.kind_name()))
             .collect();
         for shard in &shards {
-            if shard.spec != spec {
-                return Err(ShardStateError::new(format!(
-                    "shard {} was produced by a different campaign configuration",
-                    shard.shard
-                )));
+            if shard.spec != spec || shard.shard.shard_count() != shard_count {
+                spec_mismatches.push(shard.shard.to_string());
+                continue;
             }
-            if shard.shard.shard_count() != shard_count {
-                return Err(ShardStateError::new(format!(
-                    "shard {} disagrees on the shard count {shard_count}",
-                    shard.shard
-                )));
-            }
-            let shard_labels: Vec<(String, Vec<String>)> = shard
-                .campaigns
+            let shard_labels: Vec<(String, &'static str)> = shard
+                .panels
                 .iter()
-                .map(|c| (c.label.clone(), c.scheme_names.clone()))
+                .map(|p| (p.label.clone(), p.state.kind_name()))
                 .collect();
-            if shard_labels != labels {
-                return Err(ShardStateError::new(format!(
-                    "shard {} disagrees on the campaign panels or scheme catalogue",
-                    shard.shard
-                )));
-            }
-        }
-        shards.sort_by_key(|shard| shard.shard.shard_index());
-        for (expected, shard) in shards.iter().enumerate() {
-            if shard.shard.shard_index() != expected {
-                return Err(ShardStateError::new(format!(
-                    "shard {expected}/{shard_count} is missing or duplicated"
-                )));
+            let compatible = shard_labels == labels
+                && first
+                    .panels
+                    .iter()
+                    .zip(&shard.panels)
+                    .all(|(a, b)| a.state.compatible_with(&b.state));
+            if !compatible {
+                panel_mismatches.push(shard.shard.to_string());
             }
         }
 
-        let mut campaigns: Vec<ShardCampaignState> = labels
-            .into_iter()
-            .map(|(label, scheme_names)| {
-                let scheme_count = scheme_names.len();
-                ShardCampaignState {
-                    label,
-                    scheme_names,
-                    accumulator: CatalogueAccumulator::new(scheme_count),
-                }
-            })
-            .collect();
-        for shard in shards {
-            for (merged, part) in campaigns.iter_mut().zip(shard.campaigns) {
-                merged.accumulator.merge(part.accumulator);
+        let mut present = vec![0usize; shard_count];
+        for shard in &shards {
+            if shard.shard.shard_count() == shard_count {
+                present[shard.shard.shard_index()] += 1;
             }
         }
-        Ok(ShardState {
-            spec,
-            shard: ShardSpec::solo(),
-            campaigns,
-        })
+        let missing: Vec<String> = present
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count == 0)
+            .map(|(index, _)| index.to_string())
+            .collect();
+        let duplicated: Vec<String> = present
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 1)
+            .map(|(index, _)| index.to_string())
+            .collect();
+
+        if !(spec_mismatches.is_empty()
+            && panel_mismatches.is_empty()
+            && missing.is_empty()
+            && duplicated.is_empty()
+            && shards.len() == shard_count)
+        {
+            let mut problems = Vec::new();
+            if !missing.is_empty() {
+                problems.push(format!(
+                    "missing shard(s) [{}] of the {shard_count}-shard set",
+                    missing.join(", ")
+                ));
+            }
+            if !duplicated.is_empty() {
+                problems.push(format!("duplicated shard(s) [{}]", duplicated.join(", ")));
+            }
+            if !spec_mismatches.is_empty() {
+                problems.push(format!(
+                    "shard(s) [{}] were produced by a different campaign configuration \
+                     than shard {}",
+                    spec_mismatches.join(", "),
+                    first.shard
+                ));
+            }
+            if !panel_mismatches.is_empty() {
+                problems.push(format!(
+                    "shard(s) [{}] disagree on the campaign panels or scheme catalogue",
+                    panel_mismatches.join(", ")
+                ));
+            }
+            if problems.is_empty() {
+                problems.push(format!(
+                    "{} file(s) provided for a {shard_count}-shard campaign",
+                    shards.len()
+                ));
+            }
+            return Err(ShardStateError::new(format!(
+                "cannot merge shard set: {}",
+                problems.join("; ")
+            )));
+        }
+
+        shards.sort_by_key(|shard| shard.shard.shard_index());
+        let mut iter = shards.into_iter();
+        let mut merged = iter.next().expect("validated non-empty");
+        for shard in iter {
+            for (into, from) in merged.panels.iter_mut().zip(shard.panels) {
+                into.state.merge(from.state).map_err(ShardStateError::new)?;
+            }
+        }
+        merged.shard = ShardSpec::solo();
+        Ok(merged)
     }
+
+    /// Splits the state into bare panel states, in panel order — the shape
+    /// [`crate::figures::FigureDef::render`] consumes — after validating
+    /// the labels against the figure's own panel list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardStateError`] when the stored panels do not match the
+    /// figure's panels (a malformed or foreign shard set).
+    pub fn into_panels(
+        self,
+        expected_labels: &[String],
+    ) -> Result<Vec<PanelState>, ShardStateError> {
+        let found: Vec<&str> = self.panels.iter().map(|p| p.label.as_str()).collect();
+        if found
+            != expected_labels
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>()
+        {
+            return Err(ShardStateError::new(format!(
+                "panel labels {found:?} do not match the figure's panels {expected_labels:?}"
+            )));
+        }
+        Ok(self.panels.into_iter().map(|p| p.state).collect())
+    }
+}
+
+/// Reads and parses a set of shard files, reporting **every** unreadable or
+/// malformed file in one error (instead of failing on the first), plus any
+/// mix of different figures across the set.
+///
+/// # Errors
+///
+/// Returns [`ShardStateError`] listing each bad path with its reason.
+pub fn load_shard_files<P: AsRef<Path>>(paths: &[P]) -> Result<Vec<ShardState>, ShardStateError> {
+    let mut states = Vec::new();
+    let mut problems = Vec::new();
+    for path in paths {
+        let path = path.as_ref();
+        match std::fs::read_to_string(path) {
+            Err(e) => problems.push(format!("'{}': cannot read ({e})", path.display())),
+            Ok(text) => match ShardState::parse(&text) {
+                Err(e) => problems.push(format!("'{}': {e}", path.display())),
+                Ok(state) => states.push(state),
+            },
+        }
+    }
+    if let Some(first) = states.first() {
+        let figure = first.spec.figure.clone();
+        let mixed: Vec<String> = states
+            .iter()
+            .filter(|s| s.spec.figure != figure)
+            .map(|s| format!("'{}' (shard {})", s.spec.figure, s.shard))
+            .collect();
+        if !mixed.is_empty() {
+            problems.push(format!(
+                "shard files mix figures: expected '{figure}', also found {}",
+                mixed.join(", ")
+            ));
+        }
+    }
+    if !problems.is_empty() {
+        return Err(ShardStateError::new(format!(
+            "cannot load shard set: {}",
+            problems.join("; ")
+        )));
+    }
+    Ok(states)
 }
 
 /// Serialises a [`CdfSketch`] as its ordered `(value, weight)` observation
@@ -396,12 +504,178 @@ pub fn accumulator_from_json(value: &JsonValue) -> Result<CatalogueAccumulator, 
     Ok(CatalogueAccumulator::from_per_scheme_counts(per_scheme))
 }
 
+/// Serialises an ordered [`PairedSample`] record stream: one
+/// `[index, n, weight, [metrics…]]` entry per record.
+#[must_use]
+pub fn records_to_json(records: &[PairedSample]) -> JsonValue {
+    JsonValue::Array(
+        records
+            .iter()
+            .map(|record| {
+                JsonValue::Array(vec![
+                    record.sample_index.to_json(),
+                    record.n_faults.to_json(),
+                    JsonValue::Number(record.weight),
+                    record.metrics.to_json(),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Rebuilds an ordered [`PairedSample`] record stream from its serialised
+/// form.
+///
+/// # Errors
+///
+/// Returns [`ShardStateError`] when the document is not a list of
+/// `[index, n, weight, [metrics…]]` entries.
+pub fn records_from_json(value: &JsonValue) -> Result<Vec<PairedSample>, ShardStateError> {
+    value
+        .as_array()
+        .ok_or_else(|| ShardStateError::new("records state must be an array"))?
+        .iter()
+        .map(|entry| {
+            let entry = entry
+                .as_array()
+                .filter(|items| items.len() == 4)
+                .ok_or_else(|| {
+                    ShardStateError::new("record entries must be [index, n, weight, metrics]")
+                })?;
+            let sample_index = entry[0]
+                .as_u64()
+                .ok_or_else(|| ShardStateError::new("record index must be an integer"))?;
+            let n_faults = entry[1]
+                .as_u64()
+                .ok_or_else(|| ShardStateError::new("record fault count must be an integer"))?;
+            let weight = entry[2]
+                .as_f64()
+                .ok_or_else(|| ShardStateError::new("record weight must be a number"))?;
+            let metrics = entry[3]
+                .as_array()
+                .ok_or_else(|| ShardStateError::new("record metrics must be an array"))?
+                .iter()
+                .map(|metric| {
+                    metric
+                        .as_f64()
+                        .ok_or_else(|| ShardStateError::new("record metrics must be numbers"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(PairedSample {
+                sample_index,
+                n_faults,
+                weight,
+                metrics,
+            })
+        })
+        .collect()
+}
+
+/// Serialises one panel's [`PanelState`] payload (the shape under the
+/// panel's `kind` tag).
+#[must_use]
+pub fn panel_state_to_json(state: &PanelState) -> JsonValue {
+    match state {
+        PanelState::Catalogue {
+            scheme_names,
+            accumulator,
+        } => JsonValue::object([
+            ("schemes", scheme_names.to_json()),
+            ("accumulator", accumulator_to_json(accumulator)),
+        ]),
+        PanelState::Records {
+            metric_names,
+            records,
+        } => JsonValue::object([
+            ("metrics", metric_names.to_json()),
+            ("records", records_to_json(records)),
+        ]),
+        PanelState::Table { rows } => rows.clone(),
+    }
+}
+
+/// Rebuilds a [`PanelState`] from its `kind` tag and serialised payload.
+///
+/// # Errors
+///
+/// Returns [`ShardStateError`] for unknown kinds or structural mismatches.
+pub fn panel_state_from_json(kind: &str, value: &JsonValue) -> Result<PanelState, ShardStateError> {
+    match kind {
+        "catalogue" => {
+            let scheme_names = value
+                .get("schemes")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| ShardStateError::new("catalogue state is missing 'schemes'"))?
+                .iter()
+                .map(|name| {
+                    name.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| ShardStateError::new("scheme names must be strings"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let accumulator = value
+                .get("accumulator")
+                .ok_or_else(|| ShardStateError::new("catalogue state is missing 'accumulator'"))
+                .and_then(accumulator_from_json)?;
+            if accumulator.scheme_count() != scheme_names.len() {
+                return Err(ShardStateError::new(format!(
+                    "catalogue state tracks {} schemes but names {}",
+                    accumulator.scheme_count(),
+                    scheme_names.len()
+                )));
+            }
+            Ok(PanelState::Catalogue {
+                scheme_names,
+                accumulator,
+            })
+        }
+        "records" => {
+            let metric_names = value
+                .get("metrics")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| ShardStateError::new("records state is missing 'metrics'"))?
+                .iter()
+                .map(|name| {
+                    name.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| ShardStateError::new("metric names must be strings"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let records = value
+                .get("records")
+                .ok_or_else(|| ShardStateError::new("records state is missing 'records'"))
+                .and_then(records_from_json)?;
+            if let Some(record) = records
+                .iter()
+                .find(|record| record.metrics.len() != metric_names.len())
+            {
+                return Err(ShardStateError::new(format!(
+                    "record {} carries {} metrics but the panel names {}",
+                    record.sample_index,
+                    record.metrics.len(),
+                    metric_names.len()
+                )));
+            }
+            Ok(PanelState::Records {
+                metric_names,
+                records,
+            })
+        }
+        "table" => Ok(PanelState::Table {
+            rows: value.clone(),
+        }),
+        other => Err(ShardStateError::new(format!(
+            "unknown panel state kind '{other}'"
+        ))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::figures::FigureKind;
+    use crate::figures::find_figure;
     use crate::RunOptions;
-    use faultmit_sim::PairedSample;
+    use faultmit_sim::Accumulator;
 
     fn sample(index: u64, n_faults: u64, metrics: &[f64]) -> PairedSample {
         PairedSample {
@@ -413,7 +687,7 @@ mod tests {
     }
 
     fn spec() -> FigureSpec {
-        FigureSpec::from_options(FigureKind::Fig5, &RunOptions::default())
+        find_figure("fig5").unwrap().spec(&RunOptions::default())
     }
 
     #[test]
@@ -474,6 +748,27 @@ mod tests {
     }
 
     #[test]
+    fn record_streams_round_trip_through_text() {
+        let records = vec![
+            sample(0, 64, &[1.0 / 3.0, 5e-324]),
+            sample(1, 64, &[2.5, 1e300]),
+            sample(7, 256, &[0.0, -0.125]),
+        ];
+        let text = records_to_json(&records).to_pretty_string();
+        let round = records_from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+        assert_eq!(round.len(), records.len());
+        for (a, b) in records.iter().zip(&round) {
+            assert_eq!(a.sample_index, b.sample_index);
+            assert_eq!(a.n_faults, b.n_faults);
+            assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+            assert_eq!(a.metrics.len(), b.metrics.len());
+            for (x, y) in a.metrics.iter().zip(&b.metrics) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn malformed_state_documents_are_rejected() {
         assert!(sketch_from_json(&JsonValue::Null).is_err());
         assert!(sketch_from_json(&JsonValue::parse("[[1.0]]").unwrap()).is_err());
@@ -483,23 +778,51 @@ mod tests {
             &JsonValue::parse("[[{\"n\": 1, \"cdf\": []}, {\"n\": 1, \"cdf\": []}]]").unwrap()
         )
         .is_err());
+        assert!(records_from_json(&JsonValue::Null).is_err());
+        assert!(records_from_json(&JsonValue::parse("[[1, 2, 3]]").unwrap()).is_err());
+        assert!(records_from_json(&JsonValue::parse("[[1, 2, 3.0, 4]]").unwrap()).is_err());
+        assert!(records_from_json(&JsonValue::parse("[[1, 2, 3.0, [true]]]").unwrap()).is_err());
+        assert!(panel_state_from_json("bogus", &JsonValue::Null).is_err());
+        assert!(panel_state_from_json("catalogue", &JsonValue::Null).is_err());
+        assert!(panel_state_from_json("records", &JsonValue::Null).is_err());
+        // Mismatched metric arity inside a records panel.
+        assert!(panel_state_from_json(
+            "records",
+            &JsonValue::parse("{\"metrics\": [\"a\", \"b\"], \"records\": [[0, 1, 0.5, [1.0]]]}")
+                .unwrap()
+        )
+        .is_err());
         assert!(ShardState::parse("not json").is_err());
         assert!(ShardState::parse("{\"format\": \"other/v9\"}").is_err());
+        // The v1 tag is a foreign format now.
+        assert!(ShardState::parse("{\"format\": \"faultmit-shard-state/v1\"}").is_err());
+    }
+
+    fn one_panel_state(values: &[f64]) -> PanelState {
+        let mut accumulator = CatalogueAccumulator::new(1);
+        for (i, &value) in values.iter().enumerate() {
+            accumulator.record(&sample(i as u64, 1, &[value]));
+        }
+        PanelState::Catalogue {
+            scheme_names: vec!["no-correction".to_owned()],
+            accumulator,
+        }
+    }
+
+    fn shard_with(index: usize, count: usize, values: &[f64]) -> ShardState {
+        ShardState {
+            spec: spec(),
+            shard: ShardSpec::new(index, count).unwrap(),
+            panels: vec![ShardPanelState {
+                label: "fig5".to_owned(),
+                state: one_panel_state(values),
+            }],
+        }
     }
 
     #[test]
     fn shard_state_round_trips_and_matches() {
-        let mut accumulator = CatalogueAccumulator::new(1);
-        accumulator.record(&sample(0, 2, &[7.5]));
-        let state = ShardState {
-            spec: spec(),
-            shard: ShardSpec::new(1, 3).unwrap(),
-            campaigns: vec![ShardCampaignState {
-                label: "fig5".to_owned(),
-                scheme_names: vec!["no-correction".to_owned()],
-                accumulator,
-            }],
-        };
+        let state = shard_with(1, 3, &[7.5]);
         let text = state.to_json().to_pretty_string();
         let round = ShardState::parse(&text).unwrap();
         assert_eq!(round, state);
@@ -512,20 +835,35 @@ mod tests {
         assert!(!round.matches(&other_spec, ShardSpec::new(1, 3).unwrap()));
     }
 
-    fn shard_with(index: usize, count: usize, values: &[f64]) -> ShardState {
-        let mut accumulator = CatalogueAccumulator::new(1);
-        for (i, &value) in values.iter().enumerate() {
-            accumulator.record(&sample(i as u64, 1, &[value]));
-        }
-        ShardState {
+    #[test]
+    fn every_panel_kind_round_trips_inside_a_shard_state() {
+        let records = PanelState::Records {
+            metric_names: vec!["naive".to_owned(), "optimal".to_owned()],
+            records: vec![sample(0, 9, &[1.5, 0.5]), sample(1, 9, &[2.5, 1.0 / 7.0])],
+        };
+        let table = PanelState::Table {
+            rows: JsonValue::parse("[{\"a\": 1.25}, {\"a\": null}]").unwrap(),
+        };
+        let state = ShardState {
             spec: spec(),
-            shard: ShardSpec::new(index, count).unwrap(),
-            campaigns: vec![ShardCampaignState {
-                label: "fig5".to_owned(),
-                scheme_names: vec!["no-correction".to_owned()],
-                accumulator,
-            }],
-        }
+            shard: ShardSpec::solo(),
+            panels: vec![
+                ShardPanelState {
+                    label: "cat".to_owned(),
+                    state: one_panel_state(&[1.0, 2.0]),
+                },
+                ShardPanelState {
+                    label: "rec".to_owned(),
+                    state: records,
+                },
+                ShardPanelState {
+                    label: "tab".to_owned(),
+                    state: table,
+                },
+            ],
+        };
+        let round = ShardState::parse(&state.to_json().to_pretty_string()).unwrap();
+        assert_eq!(round, state);
     }
 
     #[test]
@@ -537,7 +875,10 @@ mod tests {
         ])
         .unwrap();
         assert!(merged.shard.is_solo());
-        let values: Vec<f64> = merged.campaigns[0].accumulator.per_scheme_counts()[0][&1]
+        let PanelState::Catalogue { accumulator, .. } = &merged.panels[0].state else {
+            panic!("expected catalogue state");
+        };
+        let values: Vec<f64> = accumulator.per_scheme_counts()[0][&1]
             .samples()
             .map(|(v, _)| v)
             .collect();
@@ -545,23 +886,98 @@ mod tests {
     }
 
     #[test]
-    fn merge_rejects_incomplete_or_mismatched_shard_sets() {
+    fn merge_errors_enumerate_every_missing_and_mismatched_shard() {
         assert!(ShardState::merge(vec![]).is_err());
-        // Missing shard 1 of 3.
-        assert!(
-            ShardState::merge(vec![shard_with(0, 3, &[1.0]), shard_with(2, 3, &[2.0])]).is_err()
-        );
+
+        // Missing shards 1 and 3 of 5: both named in one message.
+        let error = ShardState::merge(vec![
+            shard_with(0, 5, &[1.0]),
+            shard_with(2, 5, &[2.0]),
+            shard_with(4, 5, &[3.0]),
+        ])
+        .unwrap_err();
+        assert!(error.reason.contains("missing shard(s) [1, 3]"), "{error}");
+        assert!(error.reason.contains("5-shard set"), "{error}");
+
         // Duplicate shard index.
-        assert!(
-            ShardState::merge(vec![shard_with(0, 2, &[1.0]), shard_with(0, 2, &[2.0])]).is_err()
-        );
-        // Conflicting spec.
+        let error = ShardState::merge(vec![shard_with(0, 2, &[1.0]), shard_with(0, 2, &[2.0])])
+            .unwrap_err();
+        assert!(error.reason.contains("duplicated shard(s) [0]"), "{error}");
+        assert!(error.reason.contains("missing shard(s) [1]"), "{error}");
+
+        // Conflicting spec: the offending index is named.
         let mut foreign = shard_with(1, 2, &[2.0]);
         foreign.spec.samples_per_count = 7;
-        assert!(ShardState::merge(vec![shard_with(0, 2, &[1.0]), foreign]).is_err());
+        let error = ShardState::merge(vec![shard_with(0, 2, &[1.0]), foreign]).unwrap_err();
+        assert!(
+            error.reason.contains("[1/2]") && error.reason.contains("different campaign"),
+            "{error}"
+        );
+
         // Conflicting catalogue.
         let mut renamed = shard_with(1, 2, &[2.0]);
-        renamed.campaigns[0].scheme_names[0] = "other".to_owned();
-        assert!(ShardState::merge(vec![shard_with(0, 2, &[1.0]), renamed]).is_err());
+        if let PanelState::Catalogue { scheme_names, .. } = &mut renamed.panels[0].state {
+            scheme_names[0] = "other".to_owned();
+        }
+        let error = ShardState::merge(vec![shard_with(0, 2, &[1.0]), renamed]).unwrap_err();
+        assert!(
+            error.reason.contains("[1/2]") && error.reason.contains("disagree"),
+            "{error}"
+        );
+    }
+
+    #[test]
+    fn merge_refuses_absurd_shard_counts_without_allocating() {
+        // A corrupted/crafted file may claim any K; the merge must refuse
+        // it cheaply instead of sizing bookkeeping by the claimed count.
+        let mut shard = shard_with(0, 1, &[1.0]);
+        shard.shard = ShardSpec::new(0, 50_000_000).unwrap();
+        let error = ShardState::merge(vec![shard]).unwrap_err();
+        assert!(error.reason.contains("claims a 50000000-shard"), "{error}");
+    }
+
+    #[test]
+    fn into_panels_validates_labels() {
+        let state = shard_with(0, 1, &[1.0]);
+        assert!(state.clone().into_panels(&["fig5".to_owned()]).is_ok());
+        assert!(state.into_panels(&["other".to_owned()]).is_err());
+    }
+
+    #[test]
+    fn load_shard_files_reports_every_bad_path_and_mixed_figures() {
+        let dir = std::env::temp_dir().join(format!("faultmit-shard-load-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let good = dir.join("good.json");
+        std::fs::write(&good, shard_with(0, 2, &[1.0]).to_json().to_pretty_string()).unwrap();
+        let garbage = dir.join("garbage.json");
+        std::fs::write(&garbage, "not json at all").unwrap();
+        let missing = dir.join("missing.json");
+
+        let error = load_shard_files(&[&good, &garbage, &missing]).unwrap_err();
+        assert!(error.reason.contains("garbage.json"), "{error}");
+        assert!(error.reason.contains("missing.json"), "{error}");
+        assert!(!error.reason.contains("good.json"), "{error}");
+
+        // Mixed figures across one set are rejected even if each file is
+        // individually valid.
+        let foreign = dir.join("foreign.json");
+        let mut other = shard_with(1, 2, &[2.0]);
+        other.spec = find_figure("fig4").unwrap().spec(&RunOptions::default());
+        other.panels = vec![ShardPanelState {
+            label: "fig4".to_owned(),
+            state: PanelState::Table {
+                rows: JsonValue::Array(vec![]),
+            },
+        }];
+        std::fs::write(&foreign, other.to_json().to_pretty_string()).unwrap();
+        let error = load_shard_files(&[&good, &foreign]).unwrap_err();
+        assert!(error.reason.contains("mix figures"), "{error}");
+        assert!(error.reason.contains("fig4"), "{error}");
+
+        let ok = load_shard_files(&[&good]).unwrap();
+        assert_eq!(ok.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

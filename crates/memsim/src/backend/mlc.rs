@@ -38,24 +38,26 @@ use rand::Rng;
 /// weighted `lsb_weight : 1` (default 2 : 1) over odd columns, rows
 /// uniform. The requested fault count is always exact.
 ///
-/// # TLC level maps
+/// # TLC / QLC level maps
 ///
 /// [`MlcNvmBackend::with_bits_per_cell`] switches the backend to TLC
-/// (3 bits, 8 levels). The per-level misread law stays the per-boundary
-/// margin crossing ([`MlcNvmBackend::level_misread_probability`]: edge
-/// levels have one adjacent boundary, interior levels two), and the
-/// marginal `P_cell` is its mean over levels, normalised to the 4-level
-/// reference so the 2-bit law keeps its historical closed form:
+/// (3 bits, 8 levels) or QLC (4 bits, 16 levels). The per-level misread law
+/// stays the per-boundary margin crossing
+/// ([`MlcNvmBackend::level_misread_probability`]: edge levels have one
+/// adjacent boundary, interior levels two), and the marginal `P_cell` is its
+/// mean over levels, normalised to the 4-level reference so the 2-bit law
+/// keeps its historical closed form:
 ///
 /// ```text
 ///   P_cell(spacing, t, L) = (2(L−1)/L) / (3/2) · Φ(−(spacing / 2) / d(t))
 /// ```
 ///
-/// — `L = 4` gives the plain MLC law above, `L = 8` the factor `7/6`. The
-/// spatial law generalises too: a 3-bit Gray code crosses 4 of its 7
-/// boundaries on the LSB-page bit, 2 on the CSB and 1 on the MSB, so TLC
-/// columns cycle LSB/CSB/MSB (`col % 3`) with fault mass
-/// `lsb_weight² : lsb_weight : 1` — the Gray transition counts `4 : 2 : 1`
+/// — `L = 4` gives the plain MLC law above, `L = 8` the factor `7/6`,
+/// `L = 16` the factor `5/4`. The spatial law generalises too: a `b`-bit
+/// reflected Gray code toggles its page-`p` bit on `2^(b−1−p)` of its
+/// `2^b − 1` boundaries, so columns cycle through the `b` pages
+/// (`col % b`) with fault mass `lsb_weight^(b−1−p)` per page-`p` column —
+/// the Gray transition counts `4 : 2 : 1` (TLC) and `8 : 4 : 2 : 1` (QLC)
 /// at the default weight.
 ///
 /// Fault kinds default to always-observable bit-flips (the paper's
@@ -168,19 +170,21 @@ impl MlcNvmBackend {
     }
 
     /// Sets the number of bits stored per cell: 2 (MLC, 4 levels — the
-    /// default) or 3 (TLC, 8 levels). Switching re-derives the marginal
-    /// `P_cell` from the current spacing/drift under the generalised
-    /// per-level law (see the type-level documentation), so apply this knob
-    /// *before* reasoning about densities; the 2-bit setting is
-    /// bit-identical to the historical MLC backend.
+    /// default), 3 (TLC, 8 levels) or 4 (QLC, 16 levels). Switching
+    /// re-derives the marginal `P_cell` from the current spacing/drift under
+    /// the generalised per-level law (see the type-level documentation), so
+    /// apply this knob *before* reasoning about densities; the 2-bit setting
+    /// is bit-identical to the historical MLC backend.
     ///
     /// # Errors
     ///
     /// Returns [`MemError::InvalidParameter`] for any other cell capacity.
     pub fn with_bits_per_cell(mut self, bits_per_cell: u32) -> Result<Self, MemError> {
-        if !(2..=3).contains(&bits_per_cell) {
+        if !(2..=4).contains(&bits_per_cell) {
             return Err(MemError::InvalidParameter {
-                reason: format!("bits per cell must be 2 (MLC) or 3 (TLC), got {bits_per_cell}"),
+                reason: format!(
+                    "bits per cell must be 2 (MLC), 3 (TLC) or 4 (QLC), got {bits_per_cell}"
+                ),
             });
         }
         self.bits_per_cell = bits_per_cell;
@@ -317,11 +321,15 @@ impl FaultBackend for MlcNvmBackend {
             return place_distinct(self.config, rng, n_faults, self.kind_law, propose);
         }
 
-        // TLC: columns cycle LSB/CSB/MSB (col % 3) with per-column fault
-        // mass w² : w : 1 — at the default w = 2 the Gray-code boundary
-        // transition counts 4 : 2 : 1.
-        let page_cols = [cols.div_ceil(3), (cols + 1) / 3, cols / 3];
-        let page_weights = [self.lsb_weight * self.lsb_weight, self.lsb_weight, 1.0];
+        // TLC/QLC: columns cycle through the b pages (col % b) with
+        // per-column fault mass w^(b−1−p) for page p — at the default w = 2
+        // the Gray-code boundary transition counts 4 : 2 : 1 (TLC) and
+        // 8 : 4 : 2 : 1 (QLC).
+        let pages = self.bits_per_cell as usize;
+        let page_cols: Vec<usize> = (0..pages).map(|p| (cols + pages - 1 - p) / pages).collect();
+        let page_weights: Vec<f64> = (0..pages)
+            .map(|p| self.lsb_weight.powi((pages - 1 - p) as i32))
+            .collect();
         let page_masses: Vec<f64> = page_cols
             .iter()
             .zip(&page_weights)
@@ -336,14 +344,15 @@ impl FaultBackend for MlcNvmBackend {
             let row = rng.gen_range(0..rows);
             let mut u: f64 = rng.gen::<f64>() * total_mass;
             let mut chosen = last_page;
-            for page in 0..3 {
+            for page in 0..pages {
                 if page_cols[page] > 0 && (u < page_masses[page] || page == last_page) {
                     chosen = page;
                     break;
                 }
                 u -= page_masses[page];
             }
-            let col = 3 * ((u / page_weights[chosen]) as usize).min(page_cols[chosen] - 1) + chosen;
+            let col =
+                pages * ((u / page_weights[chosen]) as usize).min(page_cols[chosen] - 1) + chosen;
             (row, col)
         };
         place_distinct(self.config, rng, n_faults, self.kind_law, propose)
@@ -530,8 +539,108 @@ mod tests {
     fn bits_per_cell_knob_rejects_unsupported_capacities() {
         let backend = MlcNvmBackend::new(config(), 12.0, 86_400.0).unwrap();
         assert!(backend.with_bits_per_cell(1).is_err());
-        assert!(backend.with_bits_per_cell(4).is_err());
+        assert!(backend.with_bits_per_cell(5).is_err());
         assert!(backend.with_bits_per_cell(3).is_ok());
+        assert!(backend.with_bits_per_cell(4).is_ok());
+    }
+
+    #[test]
+    fn qlc_p_cell_matches_the_closed_form_per_level_law() {
+        let mlc = MlcNvmBackend::new(config(), 12.0, 86_400.0).unwrap();
+        let qlc = mlc.with_bits_per_cell(4).unwrap();
+        assert_eq!(qlc.bits_per_cell(), 4);
+        assert_eq!(qlc.levels(), 16);
+
+        // Per-level law: edge levels cross one boundary, interior levels two.
+        let per_boundary = qlc.boundary_crossing_probability();
+        assert_eq!(qlc.level_misread_probability(0), per_boundary);
+        assert_eq!(qlc.level_misread_probability(15), per_boundary);
+        for level in 1..15 {
+            assert_eq!(qlc.level_misread_probability(level), 2.0 * per_boundary);
+        }
+
+        // Marginal closed form: mean adjacent boundaries 2(L−1)/L = 15/8,
+        // normalised by the 4-level reference 3/2 ⇒ P_cell = (5/4)·Φ.
+        let expected = per_boundary * ((2.0 * 15.0 / 16.0) / 1.5);
+        assert!(
+            (qlc.p_cell() - expected).abs() <= expected * 1e-12,
+            "p = {}, closed form = {expected}",
+            qlc.p_cell()
+        );
+        // The mean of the per-level law, renormalised, is the same number.
+        let mean: f64 = (0..16)
+            .map(|l| qlc.level_misread_probability(l))
+            .sum::<f64>()
+            / 16.0;
+        assert!((qlc.p_cell() - mean / 1.5).abs() <= expected * 1e-12);
+    }
+
+    #[test]
+    fn qlc_pages_carry_gray_transition_fault_mass() {
+        // 8 : 4 : 2 : 1 across the four pages at the default weight.
+        let backend = MlcNvmBackend::new(config(), 12.0, 86_400.0)
+            .unwrap()
+            .with_bits_per_cell(4)
+            .unwrap();
+        let mut per_page = [0usize; 4];
+        for seed in 0..60u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let map = backend.sample_with_count(&mut rng, 200).unwrap();
+            for fault in map.iter() {
+                per_page[fault.col % 4] += 1;
+            }
+        }
+        // Every page owns 8 of the 32 word columns, so raw counts compare
+        // directly; normalise against the MSB page.
+        let msb = per_page[3].max(1) as f64;
+        let ratios = [
+            per_page[0] as f64 / msb,
+            per_page[1] as f64 / msb,
+            per_page[2] as f64 / msb,
+        ];
+        assert!(
+            (ratios[0] - 8.0).abs() < 1.6,
+            "LSB:MSB rate {} expected ≈ 8",
+            ratios[0]
+        );
+        assert!(
+            (ratios[1] - 4.0).abs() < 0.9,
+            "page1:MSB rate {} expected ≈ 4",
+            ratios[1]
+        );
+        assert!(
+            (ratios[2] - 2.0).abs() < 0.5,
+            "page2:MSB rate {} expected ≈ 2",
+            ratios[2]
+        );
+    }
+
+    #[test]
+    fn qlc_sampling_is_exact_and_deterministic() {
+        let backend = MlcNvmBackend::new(config(), 12.0, 86_400.0)
+            .unwrap()
+            .with_bits_per_cell(4)
+            .unwrap();
+        for &n in &[0usize, 1, 33, 512] {
+            let mut rng_a = StdRng::seed_from_u64(23);
+            let mut rng_b = StdRng::seed_from_u64(23);
+            let a = backend.sample_with_count(&mut rng_a, n).unwrap();
+            let b = backend.sample_with_count(&mut rng_b, n).unwrap();
+            assert_eq!(a.fault_count(), n);
+            assert_eq!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
+        }
+        // Narrow words exercise the empty-page fallback.
+        for word_bits in [1usize, 2, 3, 4, 5] {
+            let narrow = MemoryConfig::new(16, word_bits).unwrap();
+            let backend = MlcNvmBackend::new(narrow, 12.0, 0.0)
+                .unwrap()
+                .with_bits_per_cell(4)
+                .unwrap();
+            let mut rng = StdRng::seed_from_u64(1);
+            let map = backend.sample_with_count(&mut rng, 10).unwrap();
+            assert_eq!(map.fault_count(), 10, "{word_bits}-bit words");
+            assert!(map.iter().all(|f| f.col < word_bits));
+        }
     }
 
     #[test]

@@ -82,6 +82,16 @@ impl ShardSpec {
         }
     }
 
+    /// All shards of a `shard_count`-way split, in shard order — the work
+    /// list a campaign driver schedules. An empty iterator for
+    /// `shard_count == 0` (no valid spec exists).
+    pub fn all(shard_count: usize) -> impl Iterator<Item = ShardSpec> {
+        (0..shard_count).map(move |shard_index| Self {
+            shard_index,
+            shard_count,
+        })
+    }
+
     /// This shard's index in `0..shard_count()`.
     #[must_use]
     pub fn shard_index(&self) -> usize {
@@ -847,6 +857,15 @@ mod tests {
         assert_eq!(spec.to_string(), "1/4");
         assert_eq!("1/4".parse::<ShardSpec>().unwrap(), spec);
         assert_eq!("0/1".parse::<ShardSpec>().unwrap(), ShardSpec::solo());
+        assert_eq!(
+            ShardSpec::all(3).collect::<Vec<_>>(),
+            vec![
+                ShardSpec::new(0, 3).unwrap(),
+                ShardSpec::new(1, 3).unwrap(),
+                ShardSpec::new(2, 3).unwrap(),
+            ]
+        );
+        assert_eq!(ShardSpec::all(0).count(), 0);
         assert!("4/4".parse::<ShardSpec>().is_err());
         assert!("1".parse::<ShardSpec>().is_err());
         assert!("a/b".parse::<ShardSpec>().is_err());

@@ -81,21 +81,25 @@
 //! # }
 //! ```
 //!
-//! Across machines, the `faultmit-bench` crate packages this as the
-//! `campaign_shard` / `campaign_merge` binaries: each host evaluates one
-//! shard of a figure campaign and serialises its accumulator state to JSON;
-//! the merge step folds the shard files in shard order and renders the
-//! exact figure JSON the monolithic binary would have written. A completed
-//! shard file doubles as a checkpoint — re-running a partially finished
-//! campaign recomputes only the missing shards:
+//! Across processes and machines, the `faultmit-bench` crate packages this
+//! as the `campaign_shard` / `campaign_merge` binaries — each host
+//! evaluates one shard of any registered figure campaign and serialises
+//! its panel state to JSON; the merge step folds the shard files in shard
+//! order and renders the exact figure JSON the monolithic binary would
+//! have written — and as the single-command `campaign_run` driver, which
+//! spawns and retries `campaign_shard` child processes locally. A
+//! completed shard file doubles as a checkpoint — re-running a partially
+//! finished campaign recomputes only the missing shards:
 //!
 //! ```text
-//! host-a$ campaign_shard fig5 --backend dram --shard 0/2 --out shards/fig5-dram-0of2.json
-//! host-b$ campaign_shard fig5 --backend dram --shard 1/2 --out shards/fig5-dram-1of2.json
+//! host-a$ campaign_shard --figure fig5 --backend dram --shard 0/2 --out shards/fig5-dram-0of2.json
+//! host-b$ campaign_shard --figure fig5 --backend dram --shard 1/2 --out shards/fig5-dram-1of2.json
 //! # gather the shard files, then render Fig. 5 byte-identically to the
 //! # monolithic `fig5_mse_cdf --json`:
 //! host-a$ campaign_merge shards/fig5-dram-0of2.json shards/fig5-dram-1of2.json \
 //!             --out results/fig5-dram.json
+//! # or, on one host, the whole sharded flow in one command:
+//! host-a$ campaign_run --figure fig8_backend_matrix --shards 4 --jobs 2 --out results/fig8.json
 //! ```
 
 #![warn(missing_docs)]

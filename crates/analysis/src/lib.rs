@@ -50,5 +50,5 @@ pub use accumulate::CatalogueAccumulator;
 pub use cdf::{CdfSketch, EmpiricalCdf};
 pub use error::AnalysisError;
 pub use mc_engine::{MonteCarloConfig, MonteCarloEngine, SchemeMseResult};
-pub use mse::{memory_mse, row_squared_error, word_squared_error};
+pub use mse::{memory_mse, memory_mse_for_data, row_squared_error, word_squared_error};
 pub use yield_model::{QualityBand, YieldModel};

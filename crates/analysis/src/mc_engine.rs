@@ -14,11 +14,11 @@
 use crate::accumulate::CatalogueAccumulator;
 use crate::cdf::EmpiricalCdf;
 use crate::error::AnalysisError;
-use crate::mse::memory_mse;
+use crate::mse::{memory_mse, memory_mse_for_data};
 use crate::yield_model::YieldModel;
 use faultmit_core::MitigationScheme;
 use faultmit_memsim::{
-    FailureCountDistribution, FaultBackend, MemoryConfig, OperatingPoint, SramVddBackend,
+    FailureCountDistribution, FaultBackend, ImageSpec, MemoryConfig, OperatingPoint, SramVddBackend,
 };
 use faultmit_sim::{Campaign, CampaignConfig, Parallelism, ShardSpec, SimError};
 
@@ -34,6 +34,7 @@ pub struct MonteCarloConfig<B: FaultBackend = SramVddBackend> {
     coverage: f64,
     parallelism: Parallelism,
     chunk_size: usize,
+    image: ImageSpec,
 }
 
 impl MonteCarloConfig<SramVddBackend> {
@@ -93,6 +94,7 @@ impl<B: FaultBackend> MonteCarloConfig<B> {
             coverage: 0.99,
             parallelism: Parallelism::default(),
             chunk_size: 32,
+            image: ImageSpec::Zeros,
         }
     }
 
@@ -133,6 +135,29 @@ impl<B: FaultBackend> MonteCarloConfig<B> {
     pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
         self.chunk_size = chunk_size.max(1);
         self
+    }
+
+    /// Sets the data image the MSE is evaluated against (default:
+    /// [`ImageSpec::Zeros`], the paper's all-zeros background and the
+    /// engine's bit-identical fast path).
+    ///
+    /// With any other image the engine applies faults *relative to the
+    /// stored word*: a stuck-at fault that agrees with the data is silent,
+    /// so the asymmetric [`faultmit_memsim::FaultKindLaw`]s finally
+    /// differentiate schemes. Self-contained images materialise inside the
+    /// engine; [`ImageSpec::App`] images must be materialised by the apps
+    /// layer and passed to
+    /// [`MonteCarloEngine::run_catalogue_shard_on_image`].
+    #[must_use]
+    pub fn with_image(mut self, image: ImageSpec) -> Self {
+        self.image = image;
+        self
+    }
+
+    /// The data image the MSE is evaluated against.
+    #[must_use]
+    pub fn image(&self) -> ImageSpec {
+        self.image
     }
 
     /// The fault-generating backend under study.
@@ -209,7 +234,8 @@ impl<B: FaultBackend> MonteCarloConfig<B> {
             .with_samples_per_count(self.samples_per_count)
             .with_coverage(self.coverage)
             .with_chunk_size(self.chunk_size)
-            .with_parallelism(self.parallelism);
+            .with_parallelism(self.parallelism)
+            .with_image(self.image);
         if let Some(max) = self.max_failures {
             config = config.with_max_failures(max);
         }
@@ -332,16 +358,72 @@ impl<B: FaultBackend + Clone> MonteCarloEngine<B> {
         seed: u64,
         shard: ShardSpec,
     ) -> Result<CatalogueAccumulator, AnalysisError> {
+        match self.config.image {
+            // The all-zeros fast path: exactly the historical evaluation,
+            // bit-identical to the pre-image pipeline.
+            ImageSpec::Zeros => self.run_catalogue_shard_on_image(schemes, seed, shard, None),
+            spec => {
+                // Self-contained images materialise here; App images
+                // propagate memsim's "resolve through the apps layer" error.
+                let image = spec.try_materialise(self.config.memory())?;
+                let words = image.materialise(self.config.memory().rows());
+                self.run_catalogue_shard_on_image(schemes, seed, shard, Some(&words))
+            }
+        }
+    }
+
+    /// Runs one shard of the paired campaign against an explicit data
+    /// image — the data-aware twin of
+    /// [`MonteCarloEngine::run_catalogue_shard`], for callers that
+    /// materialise image words themselves (the apps layer resolves
+    /// [`ImageSpec::App`] matrices this way).
+    ///
+    /// `data` holds one stored word per memory row; `None` selects the
+    /// all-zeros fast path, whose accumulation is **bit-identical** to the
+    /// legacy pipeline — and to `Some` of an explicit all-zeros vector,
+    /// since a fault's observed word does not depend on how the zero
+    /// background is spelled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::InvalidParameter`] when `data` has fewer
+    /// entries than the memory has rows, and propagates campaign errors.
+    pub fn run_catalogue_shard_on_image<S: MitigationScheme + Sync>(
+        &self,
+        schemes: &[S],
+        seed: u64,
+        shard: ShardSpec,
+        data: Option<&[u64]>,
+    ) -> Result<CatalogueAccumulator, AnalysisError> {
+        if let Some(data) = data {
+            let rows = self.config.memory().rows();
+            if data.len() < rows {
+                return Err(AnalysisError::InvalidParameter {
+                    reason: format!(
+                        "data image has {} words but the memory has {rows} rows",
+                        data.len()
+                    ),
+                });
+            }
+        }
         let campaign = Campaign::new(self.config.to_campaign_config()?);
-        campaign
-            .run_shard(
+        match data {
+            None => campaign.run_shard(
                 schemes,
                 seed,
                 shard,
                 |scheme, map| memory_mse(scheme, map),
                 || CatalogueAccumulator::new(schemes.len()),
-            )
-            .map_err(sim_to_analysis_error)
+            ),
+            Some(data) => campaign.run_shard(
+                schemes,
+                seed,
+                shard,
+                |scheme, map| memory_mse_for_data(scheme, map, data),
+                || CatalogueAccumulator::new(schemes.len()),
+            ),
+        }
+        .map_err(sim_to_analysis_error)
     }
 
     /// Converts accumulated (possibly shard-merged) campaign state into the
@@ -607,6 +689,88 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn zeros_image_is_bit_identical_to_the_legacy_path() {
+        // Explicit Zeros image, an explicit all-zeros word vector, and the
+        // legacy (imageless) engine must all accumulate identical bits.
+        let legacy = MonteCarloEngine::new(small_config());
+        let imaged = MonteCarloEngine::new(small_config().with_image(ImageSpec::Zeros));
+        let schemes = [Scheme::unprotected32(), Scheme::shuffle32(2).unwrap()];
+        let a = legacy
+            .run_catalogue_shard(&schemes, 23, ShardSpec::solo())
+            .unwrap();
+        let b = imaged
+            .run_catalogue_shard(&schemes, 23, ShardSpec::solo())
+            .unwrap();
+        let zeros = vec![0u64; legacy.config().memory().rows()];
+        let c = legacy
+            .run_catalogue_shard_on_image(&schemes, 23, ShardSpec::solo(), Some(&zeros))
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn stuck_at_zero_faults_are_silent_on_zeros_and_observable_on_ones() {
+        use faultmit_memsim::{FaultKindLaw, SramVddBackend};
+        let memory = MemoryConfig::new(128, 32).unwrap();
+        let backend = SramVddBackend::with_p_cell(memory, 1e-3)
+            .unwrap()
+            .with_kind_law(FaultKindLaw::AsymmetricStuckAt {
+                p_stuck_at_zero: 1.0,
+            })
+            .unwrap();
+        let build = |image| {
+            MonteCarloEngine::new(
+                MonteCarloConfig::for_backend(backend)
+                    .with_samples_per_count(10)
+                    .with_max_failures(6)
+                    .with_image(image),
+            )
+        };
+        let schemes = [Scheme::unprotected32(), Scheme::secded32()];
+        let silent = build(ImageSpec::Zeros).run_catalogue(&schemes, 3).unwrap();
+        for result in &silent {
+            assert_eq!(
+                result.cdf.mean().unwrap_or(0.0),
+                0.0,
+                "{}: stuck-at-0 over zeros must be invisible",
+                result.scheme_name
+            );
+        }
+        let loud = build(ImageSpec::Ones).run_catalogue(&schemes, 3).unwrap();
+        assert!(
+            loud[0].cdf.mean().unwrap() > 0.0,
+            "stuck-at-0 over ones must corrupt the unprotected memory"
+        );
+    }
+
+    #[test]
+    fn app_images_are_deferred_to_the_apps_layer() {
+        use faultmit_memsim::AppImage;
+        let engine =
+            MonteCarloEngine::new(small_config().with_image(ImageSpec::App(AppImage::Wine)));
+        assert_eq!(engine.config().image(), ImageSpec::App(AppImage::Wine));
+        let error = engine
+            .run_catalogue(&[Scheme::unprotected32()], 1)
+            .unwrap_err();
+        assert!(error.to_string().contains("apps layer"), "{error}");
+    }
+
+    #[test]
+    fn short_data_images_are_rejected() {
+        let engine = MonteCarloEngine::new(small_config());
+        let error = engine
+            .run_catalogue_shard_on_image(
+                &[Scheme::unprotected32()],
+                1,
+                ShardSpec::solo(),
+                Some(&[0u64; 3]),
+            )
+            .unwrap_err();
+        assert!(error.to_string().contains("3 words"), "{error}");
     }
 
     #[test]

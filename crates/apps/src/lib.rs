@@ -49,6 +49,7 @@ pub mod elasticnet;
 pub mod error;
 pub mod faulty_storage;
 pub mod fixedpoint;
+pub mod image;
 pub mod knn;
 pub mod linalg;
 pub mod metrics;

@@ -22,7 +22,7 @@
 //! campaign_run --figure list        # print the figure catalogue
 //! ```
 
-use faultmit_bench::figures::{find_figure, registry, FigureDef};
+use faultmit_bench::figures::{check_identity_flags, find_figure, registry, FigureDef};
 use faultmit_bench::shard::{load_shard_files, ShardState};
 use faultmit_bench::RunOptions;
 use faultmit_sim::ShardSpec;
@@ -76,6 +76,14 @@ fn passthrough_args(
         args.push("--backend".to_owned());
         args.push(backend.name().to_owned());
     }
+    if let Some(image) = options.image {
+        args.push("--image".to_owned());
+        args.push(image.to_string());
+    }
+    if let Some(law) = options.kind_law {
+        args.push("--kind-law".to_owned());
+        args.push(law.to_string());
+    }
     let threads = options.threads.unwrap_or_else(|| {
         let cpus = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -104,6 +112,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "usage: campaign_run --figure <name> --shards K [--jobs J] [--retries R]\
                     \n       [--dir <checkpoint-dir>] [--out <figure-json-path>]\
                     \n       [--backend sram|dram|mlc] [--samples N] [--threads N] [--full]\
+                    \n       [--image <spec>] [--kind-law flip|stuck-at|stuck-at:P]\
                     \nrun 'campaign_run --figure list' for the figure catalogue"
                 .into(),
         );
@@ -120,9 +129,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         return Err(error.clone().into());
     }
     // A typo in --shards/--jobs/--retries must not silently degrade the
-    // campaign split (the same policy an unparseable --shard has).
+    // campaign split (the same policy an unparseable --shard has), and a
+    // typo in --image/--kind-law must not silently select a different
+    // campaign sweep.
     if !options.driver_flag_errors.is_empty() {
         return Err(options.driver_flag_errors.join("; ").into());
+    }
+    if !options.spec_flag_errors.is_empty() {
+        return Err(options.spec_flag_errors.join("; ").into());
     }
 
     let shard_count = options.shards.unwrap_or(1).max(1);
@@ -142,6 +156,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::create_dir_all(&dir)?;
 
     let spec = figure.spec(&options);
+    check_identity_flags(&spec, &options)?;
     let shard_bin = shard_binary()?;
     let child_args = passthrough_args(&options, figure, jobs);
     println!(
@@ -230,7 +245,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let paths: Vec<PathBuf> = ShardSpec::all(shard_count)
         .map(|shard| shard_path(&dir, figure, shard))
         .collect();
-    let merged = ShardState::merge(load_shard_files(&paths)?)?;
+    let states = load_shard_files(&paths)?;
+
+    // Per-shard wall-clock summary (recorded in each checkpoint by
+    // `campaign_shard`): the spread tells the operator how to size K for
+    // the slowest host. Checkpoints from before the telemetry existed
+    // simply report no timing.
+    let timings: Vec<(String, Option<f64>)> = states
+        .iter()
+        .map(|state| (state.shard.to_string(), state.elapsed_seconds))
+        .collect();
+    println!("per-shard wall clock:");
+    for (shard, elapsed) in &timings {
+        match elapsed {
+            Some(seconds) => println!("  shard {shard}: {seconds:.2}s"),
+            None => println!("  shard {shard}: no timing recorded"),
+        }
+    }
+    let recorded: Vec<f64> = timings.iter().filter_map(|(_, e)| *e).collect();
+    if !recorded.is_empty() {
+        println!(
+            "  total {:.2}s across {} timed shard(s), slowest {:.2}s",
+            recorded.iter().sum::<f64>(),
+            recorded.len(),
+            recorded.iter().cloned().fold(0.0, f64::max),
+        );
+    }
+
+    let merged = ShardState::merge(states)?;
     if merged.spec != spec {
         return Err("merged shard set belongs to a different campaign configuration".into());
     }

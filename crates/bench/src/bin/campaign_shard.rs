@@ -22,7 +22,7 @@
 //! campaign_shard fig7 elasticnet --shard 1/3 --samples 4 --out shards/fig7-el-1of3.json
 //! ```
 
-use faultmit_bench::figures::find_figure;
+use faultmit_bench::figures::{check_identity_flags, find_figure};
 use faultmit_bench::shard::{ShardPanelState, ShardState};
 use faultmit_bench::RunOptions;
 
@@ -46,6 +46,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(error) = &options.shard_error {
         return Err(error.clone().into());
     }
+    // Same policy for the campaign-identity flags: a typo in --image or
+    // --kind-law must not silently evaluate a different campaign and write
+    // its state under this shard file's name.
+    if !options.spec_flag_errors.is_empty() {
+        return Err(options.spec_flag_errors.join("; ").into());
+    }
     let shard = options.shard_or_solo();
     let out_path = options
         .json_path
@@ -53,6 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .ok_or("campaign_shard requires --out <path> for the shard-state file")?;
 
     let spec = figure.spec(&options);
+    // An --image/--kind-law the figure would normalise away must be fatal
+    // for the same reason: it would evaluate a different campaign.
+    check_identity_flags(&spec, &options)?;
 
     // Resumability: a completed shard file for exactly this campaign slice
     // is a checkpoint — skip the work.
@@ -83,7 +92,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         figure.name(),
         labels.len()
     );
+    let started = std::time::Instant::now();
     let panels = figure.run_shard(&spec, options.parallelism(), shard)?;
+    let elapsed_seconds = started.elapsed().as_secs_f64();
     if panels.len() != labels.len() {
         return Err(format!(
             "{} produced {} panel states for {} panels",
@@ -102,6 +113,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .zip(panels)
             .map(|(label, state)| ShardPanelState { label, state })
             .collect(),
+        // Wall-clock telemetry for the campaign driver's timing summary
+        // (and for sizing future splits to the slowest host).
+        elapsed_seconds: Some(elapsed_seconds),
     };
     if let Some(parent) = out_path.parent() {
         if !parent.as_os_str().is_empty() {

@@ -1,0 +1,19 @@
+//! Regenerates Fig. 9 (extension): data-dependent fault sensitivity —
+//! memory-MSE statistics for every protection scheme across memory
+//! technologies, stored data images and fault-kind laws.
+//!
+//! One row per `(backend, image, kind law, scheme)`: faults are applied
+//! *relative to the stored word* of the selected
+//! [`faultmit_memsim::image::ImageSpec`], so stuck-at faults that agree
+//! with the data are silent and the asymmetric decay laws of the DRAM/MLC
+//! backends differentiate what the memory stores.
+//!
+//! ```text
+//! fig9_data_sensitivity [--backend sram|dram|mlc] [--image <spec>]
+//!     [--kind-law flip|stuck-at|stuck-at:P] [--samples N] [--threads N]
+//!     [--full] [--json out.json]
+//! ```
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    faultmit_bench::figures::run_monolithic("fig9_data_sensitivity")
+}

@@ -23,14 +23,23 @@
 //! * `--t-ref-ns <ns>` / `--temp-c <C>` — DRAM-retention operating-point
 //!   sweep controls: pin the refresh interval (switching `fig2`'s DRAM
 //!   analogue to a temperature sweep) or set the sweep temperature (see
-//!   [`LawSweep`]).
+//!   [`LawSweep`]);
+//! * `--image <spec>` — the data image a data-aware campaign evaluates
+//!   faults against (`zeros|ones|random[:seed]|sparse[:seed]|wine|`
+//!   `madelon|har`, see [`faultmit_memsim::image`]); `fig9_data_sensitivity`
+//!   restricts its image sweep to the given image;
+//! * `--kind-law <law>` — how faulty cells behave (`flip|stuck-at|`
+//!   `stuck-at:P` with `P = Pr(stuck at 0)`, see
+//!   [`faultmit_memsim::FaultKindLaw`]); honoured by
+//!   `fig8_backend_matrix` and `fig9_data_sensitivity`.
 //!
 //! Anything else is collected as a positional argument (e.g. the benchmark
 //! selector of `fig7_quality`).
 
 use crate::json::ToJson;
 use faultmit_memsim::{
-    BackendKind, DramRetentionBackend, FaultBackend, MemError, MemoryConfig, MlcNvmBackend,
+    BackendKind, DramRetentionBackend, FaultBackend, FaultKindLaw, ImageSpec, MemError,
+    MemoryConfig, MlcNvmBackend,
 };
 use faultmit_sim::{Parallelism, ShardSpec};
 use std::path::PathBuf;
@@ -85,6 +94,18 @@ pub struct RunOptions {
     /// DRAM die temperature in °C (`--temp-c`) used by the refresh-interval
     /// sweep (`None` = the 45 °C reference).
     pub temp_c: Option<f64>,
+    /// Data image selected with `--image <spec>` (`None` = the figure's
+    /// default — the all-zeros background for single-image campaigns, the
+    /// full image sweep for `fig9_data_sensitivity`).
+    pub image: Option<ImageSpec>,
+    /// Fault-kind law selected with `--kind-law <law>` (`None` = the
+    /// figure's default).
+    pub kind_law: Option<FaultKindLaw>,
+    /// Unparseable values seen for the campaign-identity flags
+    /// (`--image`/`--kind-law`). The campaign entry points treat these as
+    /// fatal: a typo in `--image` must not silently run a different (and
+    /// much larger) sweep than the one the user asked for.
+    pub spec_flag_errors: Vec<String>,
     /// Positional arguments (e.g. the benchmark selector of `fig7_quality`).
     pub positional: Vec<String>,
 }
@@ -180,6 +201,32 @@ impl RunOptions {
                         options.dir = Some(PathBuf::from(path));
                     }
                 }
+                "--image" => match next_value(&mut iter, "--image") {
+                    Some(value) => match value.parse() {
+                        Ok(spec) => options.image = Some(spec),
+                        Err(e) => {
+                            eprintln!("{e}");
+                            options.spec_flag_errors.push(e.to_string());
+                        }
+                    },
+                    // A dropped value is the same class of error as a typo:
+                    // it must not fall back to a different campaign sweep.
+                    None => options
+                        .spec_flag_errors
+                        .push("--image requires a value".to_owned()),
+                },
+                "--kind-law" => match next_value(&mut iter, "--kind-law") {
+                    Some(value) => match value.parse() {
+                        Ok(law) => options.kind_law = Some(law),
+                        Err(e) => {
+                            eprintln!("{e}");
+                            options.spec_flag_errors.push(e.to_string());
+                        }
+                    },
+                    None => options
+                        .spec_flag_errors
+                        .push("--kind-law requires a value".to_owned()),
+                },
                 "--t-ref-ns" => {
                     if let Some(value) =
                         next_value(&mut iter, "--t-ref-ns").and_then(|v| v.parse().ok())
@@ -538,6 +585,58 @@ mod tests {
             .map(|&knob| sweep.p_cell(memory, knob).unwrap())
             .collect();
         assert!(p.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn parse_recognises_image_and_kind_law_flags() {
+        let opts = RunOptions::parse(
+            ["--image", "random:7", "--kind-law", "stuck-at:0.9"]
+                .iter()
+                .map(|s| (*s).to_owned()),
+        );
+        assert_eq!(opts.image, Some(ImageSpec::UniformRandom { seed: 7 }));
+        assert_eq!(
+            opts.kind_law,
+            Some(FaultKindLaw::AsymmetricStuckAt {
+                p_stuck_at_zero: 0.9
+            })
+        );
+        assert!(opts.positional.is_empty());
+
+        let opts = RunOptions::parse(std::iter::empty());
+        assert!(opts.image.is_none());
+        assert!(opts.kind_law.is_none());
+        assert!(opts.spec_flag_errors.is_empty());
+
+        // Unparseable values are consumed and recorded as fatal errors: a
+        // typo must not silently select a different campaign.
+        let opts = RunOptions::parse(
+            ["--image", "noise", "--kind-law", "decay"]
+                .iter()
+                .map(|s| (*s).to_owned()),
+        );
+        assert!(opts.image.is_none());
+        assert!(opts.kind_law.is_none());
+        assert!(opts.positional.is_empty());
+        assert_eq!(opts.spec_flag_errors.len(), 2);
+        assert!(opts.spec_flag_errors[0].contains("noise"));
+        assert!(opts.spec_flag_errors[1].contains("decay"));
+
+        // A dropped value (next token is a flag) is fatal too, not a
+        // silent fall-back to the default sweep.
+        let opts = RunOptions::parse(
+            ["--image", "--kind-law", "stuck-at:0.9"]
+                .iter()
+                .map(|s| (*s).to_owned()),
+        );
+        assert!(opts.image.is_none());
+        assert_eq!(
+            opts.kind_law,
+            Some(FaultKindLaw::AsymmetricStuckAt {
+                p_stuck_at_zero: 0.9
+            })
+        );
+        assert_eq!(opts.spec_flag_errors, vec!["--image requires a value"]);
     }
 
     #[test]

@@ -93,6 +93,8 @@ impl FigureDef for AblationLutDef {
             full_scale: false,
             samples_per_count: 1,
             benchmarks: Vec::new(),
+            image: None,
+            kind_law: None,
         }
     }
 

@@ -148,6 +148,8 @@ impl FigureDef for AblationShiftDef {
             full_scale: options.full_scale,
             samples_per_count: options.samples_or(default_maps),
             benchmarks: Vec::new(),
+            image: None,
+            kind_law: None,
         }
     }
 

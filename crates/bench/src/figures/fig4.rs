@@ -72,6 +72,8 @@ impl FigureDef for Fig4Def {
             full_scale: false,
             samples_per_count: 1,
             benchmarks: Vec::new(),
+            image: None,
+            kind_law: None,
         }
     }
 

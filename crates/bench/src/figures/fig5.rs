@@ -151,6 +151,8 @@ impl FigureDef for Fig5Def {
             full_scale: options.full_scale,
             samples_per_count: options.samples_or(default_samples),
             benchmarks: Vec::new(),
+            image: None,
+            kind_law: None,
         }
     }
 

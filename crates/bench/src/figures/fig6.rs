@@ -75,6 +75,8 @@ impl FigureDef for Fig6Def {
             full_scale: false,
             samples_per_count: 1,
             benchmarks: Vec::new(),
+            image: None,
+            kind_law: None,
         }
     }
 

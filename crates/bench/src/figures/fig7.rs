@@ -204,6 +204,8 @@ impl FigureDef for Fig7Def {
             full_scale: options.full_scale,
             samples_per_count: options.samples_or(default_samples),
             benchmarks: selected_benchmarks(&options.positional),
+            image: None,
+            kind_law: None,
         }
     }
 

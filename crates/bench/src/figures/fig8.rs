@@ -102,6 +102,10 @@ fn panel_engines(
     let mut engines = Vec::new();
     for kind in spec_kinds(spec) {
         for backend in operating_points(kind, memory)? {
+            let backend = match spec.kind_law {
+                Some(law) => backend.with_kind_law(law)?,
+                None => backend,
+            };
             // Simulate up to the 99th-percentile failure count of this
             // operating point, bounded so aggressive corners stay cheap.
             let max_failures = backend.failure_distribution()?.n_max(0.99).clamp(1, cap);
@@ -142,6 +146,10 @@ impl FigureDef for Fig8Def {
             full_scale: options.full_scale,
             samples_per_count: options.samples_or(default_samples),
             benchmarks: Vec::new(),
+            image: None,
+            // None = the paper's always-observable flips; `--kind-law`
+            // switches every cell of the matrix to the given behaviour.
+            kind_law: options.kind_law,
         }
     }
 
@@ -198,6 +206,9 @@ impl FigureDef for Fig8Def {
             spec.samples_per_count,
             failure_cap(spec),
         )?;
+        if let Some(law) = spec.kind_law {
+            writeln!(report, "fault-kind law: {law} (default: flip)")?;
+        }
 
         let mut table = Table::new(
             "Fig. 8 — scheme x backend x operating point (memory MSE)",
@@ -249,5 +260,56 @@ impl FigureDef for Fig8Def {
             document: rows.to_json(),
             report,
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::find_figure;
+    use faultmit_memsim::FaultKindLaw;
+
+    #[test]
+    fn kind_law_is_part_of_the_spec_identity_and_reaches_the_backends() {
+        let figure = find_figure("fig8_backend_matrix").unwrap();
+        let default_spec = figure.spec(&RunOptions::default());
+        assert_eq!(default_spec.kind_law, None);
+
+        let options = RunOptions::parse(
+            [
+                "--backend",
+                "sram",
+                "--samples",
+                "2",
+                "--kind-law",
+                "stuck-at:1",
+            ]
+            .iter()
+            .map(|s| (*s).to_owned()),
+        );
+        let spec = figure.spec(&options);
+        assert_eq!(
+            spec.kind_law,
+            Some(FaultKindLaw::AsymmetricStuckAt {
+                p_stuck_at_zero: 1.0
+            })
+        );
+        assert_ne!(spec, figure.spec(&RunOptions::default()));
+
+        // All-stuck-at-0 faults over the matrix's all-zeros background are
+        // silent: every scheme's mean MSE collapses to zero, unlike the
+        // default flip law.
+        let panels = figure
+            .run_shard(&spec, Parallelism::Serial, ShardSpec::solo())
+            .unwrap();
+        let rendered = figure.render(&spec, Parallelism::Serial, panels).unwrap();
+        assert!(rendered.report.contains("fault-kind law: stuck-at:1"));
+        for row in rendered.document.as_array().unwrap() {
+            assert_eq!(
+                row.get("mean_mse").and_then(JsonValue::as_f64),
+                Some(0.0),
+                "stuck-at-0 over zeros must be silent"
+            );
+        }
     }
 }

@@ -42,16 +42,18 @@ mod fig5;
 mod fig6;
 mod fig7;
 mod fig8;
+mod fig9;
 mod table1;
 
 pub use fig5::{fig5_series, Fig5Campaign, Fig5Series};
 pub use fig7::{fig7_series, Fig7Campaign, Fig7Series};
+pub use fig9::{fig9_image_words, Fig9Campaign};
 
 use crate::cli::RunOptions;
 use crate::json::{JsonValue, ToJson};
 use faultmit_analysis::CatalogueAccumulator;
 use faultmit_apps::Benchmark;
-use faultmit_memsim::BackendKind;
+use faultmit_memsim::{BackendKind, FaultKindLaw, ImageSpec};
 use faultmit_sim::{Accumulator, PairedSample, Parallelism, ShardSpec};
 
 /// Errors from figure materialisation, evaluation or rendering.
@@ -115,6 +117,13 @@ pub struct FigureSpec {
     pub samples_per_count: usize,
     /// Benchmark panels (Fig. 7 only; empty elsewhere).
     pub benchmarks: Vec<Benchmark>,
+    /// Data image restriction for data-aware campaigns (`fig9`; `None` =
+    /// the figure's default image sweep; other figures normalise it away).
+    pub image: Option<ImageSpec>,
+    /// Fault-kind law override for campaigns that honour one (`fig8`,
+    /// `fig9`; `None` = the figure's default; other figures normalise it
+    /// away).
+    pub kind_law: Option<FaultKindLaw>,
 }
 
 impl FigureSpec {
@@ -147,6 +156,20 @@ impl FigureSpec {
                         .map(|b| b.name().to_ascii_lowercase().to_json())
                         .collect(),
                 ),
+            ),
+            (
+                "image",
+                match self.image {
+                    None => JsonValue::Null,
+                    Some(image) => image.to_string().to_json(),
+                },
+            ),
+            (
+                "kind_law",
+                match self.kind_law {
+                    None => JsonValue::Null,
+                    Some(law) => law.to_string().to_json(),
+                },
             ),
         ])
     }
@@ -195,12 +218,35 @@ impl FigureSpec {
                     .and_then(benchmark_from_name)
             })
             .collect::<Result<Vec<_>, _>>()?;
+        // The image/kind-law axes postdate the v2 shard format; absent
+        // fields mean the figure's defaults, so pre-existing checkpoints
+        // stay valid.
+        let image = match value.get("image") {
+            None | Some(JsonValue::Null) => None,
+            Some(node) => Some(
+                node.as_str()
+                    .ok_or("spec 'image' must be a string or null")?
+                    .parse::<ImageSpec>()
+                    .map_err(|e| e.to_string())?,
+            ),
+        };
+        let kind_law = match value.get("kind_law") {
+            None | Some(JsonValue::Null) => None,
+            Some(node) => Some(
+                node.as_str()
+                    .ok_or("spec 'kind_law' must be a string or null")?
+                    .parse::<FaultKindLaw>()
+                    .map_err(|e| e.to_string())?,
+            ),
+        };
         Ok(Self {
             figure,
             backend,
             full_scale,
             samples_per_count,
             benchmarks,
+            image,
+            kind_law,
         })
     }
 }
@@ -440,12 +486,13 @@ pub trait FigureDef: Sync {
 /// Every registered figure, in catalogue order.
 #[must_use]
 pub fn registry() -> &'static [&'static dyn FigureDef] {
-    static REGISTRY: [&dyn FigureDef; 8] = [
+    static REGISTRY: [&dyn FigureDef; 9] = [
         &fig4::Fig4Def,
         &fig5::Fig5Def,
         &fig6::Fig6Def,
         &fig7::Fig7Def,
         &fig8::Fig8Def,
+        &fig9::Fig9Def,
         &ablation_lut::AblationLutDef,
         &ablation_shift::AblationShiftDef,
         &table1::Table1Def,
@@ -475,6 +522,34 @@ pub fn find_figure(name: &str) -> Result<&'static dyn FigureDef, String> {
         })
 }
 
+/// Rejects campaign-identity flags (`--image`/`--kind-law`) that the
+/// resolved spec does not carry: a figure that normalises the flag away
+/// would silently run a different campaign than the one the user asked
+/// for — the same policy an unparseable value already gets.
+///
+/// # Errors
+///
+/// Returns a message naming the unsupported flag and the figure.
+pub fn check_identity_flags(spec: &FigureSpec, options: &RunOptions) -> Result<(), FigureError> {
+    if options.image.is_some() && spec.image != options.image {
+        return Err(format!(
+            "figure '{}' does not support --image (only fig9_data_sensitivity evaluates \
+             data images)",
+            spec.figure
+        )
+        .into());
+    }
+    if options.kind_law.is_some() && spec.kind_law != options.kind_law {
+        return Err(format!(
+            "figure '{}' does not support --kind-law (fig8_backend_matrix and \
+             fig9_data_sensitivity do)",
+            spec.figure
+        )
+        .into());
+    }
+    Ok(())
+}
+
 /// The shared main body of every monolithic figure binary: parse the
 /// process arguments, run the figure's whole campaign as the `0/1` shard,
 /// print the report and write the `--json` document.
@@ -485,7 +560,13 @@ pub fn find_figure(name: &str) -> Result<&'static dyn FigureDef, String> {
 pub fn run_monolithic(name: &str) -> Result<(), FigureError> {
     let options = RunOptions::from_args();
     let figure = find_figure(name)?;
+    // A typo in a campaign-identity flag (--image/--kind-law) must not
+    // silently run a different campaign than the one the user asked for.
+    if !options.spec_flag_errors.is_empty() {
+        return Err(options.spec_flag_errors.join("; ").into());
+    }
     let spec = figure.spec(&options);
+    check_identity_flags(&spec, &options)?;
     let panels = figure.run_shard(&spec, options.parallelism(), ShardSpec::solo())?;
     let rendered = figure.render(&spec, options.parallelism(), panels)?;
     print!("{}", rendered.report);
@@ -508,7 +589,7 @@ mod tests {
             }
             assert!(!figure.description().is_empty());
         }
-        assert_eq!(seen.len(), 8);
+        assert_eq!(seen.len(), 9);
         let Err(message) = find_figure("fig99") else {
             panic!("fig99 must not resolve");
         };
@@ -523,6 +604,7 @@ mod tests {
             "fig6_overhead",
             "fig7_quality",
             "fig8_backend_matrix",
+            "fig9_data_sensitivity",
             "ablation_lut_write_path",
             "ablation_shift_policy",
             "table1_applications",
@@ -567,6 +649,39 @@ mod tests {
             fields[0].1 = JsonValue::String("fig99".to_owned());
         }
         assert!(FigureSpec::from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn identity_flags_are_rejected_by_figures_that_ignore_them() {
+        let image = RunOptions::parse(["--image", "ones"].iter().map(|s| (*s).to_owned()));
+        let law = RunOptions::parse(
+            ["--kind-law", "stuck-at:0.9"]
+                .iter()
+                .map(|s| (*s).to_owned()),
+        );
+        for figure in registry() {
+            let supports_image = figure.name() == "fig9";
+            let supports_law = matches!(figure.name(), "fig8" | "fig9");
+            let image_check = check_identity_flags(&figure.spec(&image), &image);
+            assert_eq!(
+                image_check.is_ok(),
+                supports_image,
+                "{}: --image acceptance",
+                figure.name()
+            );
+            let law_check = check_identity_flags(&figure.spec(&law), &law);
+            assert_eq!(
+                law_check.is_ok(),
+                supports_law,
+                "{}: --kind-law acceptance",
+                figure.name()
+            );
+        }
+        // No flags: nothing to reject anywhere.
+        let plain = RunOptions::default();
+        for figure in registry() {
+            assert!(check_identity_flags(&figure.spec(&plain), &plain).is_ok());
+        }
     }
 
     #[test]

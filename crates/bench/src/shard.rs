@@ -86,6 +86,12 @@ pub struct ShardState {
     pub shard: ShardSpec,
     /// Per-panel state, in panel order.
     pub panels: Vec<ShardPanelState>,
+    /// Wall-clock seconds the producing process spent evaluating this
+    /// shard (telemetry only — never part of the campaign identity, and
+    /// absent from checkpoints written before it existed). Campaign
+    /// drivers use it to report per-shard timing and size future splits to
+    /// the slowest host.
+    pub elapsed_seconds: Option<f64>,
 }
 
 impl ShardState {
@@ -104,6 +110,13 @@ impl ShardState {
             ("spec", self.spec.to_json()),
             ("shard_index", self.shard.shard_index().to_json()),
             ("shard_count", self.shard.shard_count().to_json()),
+            (
+                "elapsed_seconds",
+                match self.elapsed_seconds {
+                    None => JsonValue::Null,
+                    Some(seconds) => JsonValue::Number(seconds),
+                },
+            ),
             (
                 "panels",
                 JsonValue::Array(
@@ -163,6 +176,9 @@ impl ShardState {
             .ok_or_else(|| ShardStateError::new("missing 'shard_count'"))?;
         let shard = ShardSpec::new(shard_index as usize, shard_count as usize)
             .map_err(|e| ShardStateError::new(e.to_string()))?;
+        // Telemetry is optional: files from before it existed (or merged
+        // states) simply carry none.
+        let elapsed_seconds = document.get("elapsed_seconds").and_then(JsonValue::as_f64);
         let panels = document
             .get("panels")
             .and_then(JsonValue::as_array)
@@ -189,6 +205,7 @@ impl ShardState {
             spec,
             shard,
             panels,
+            elapsed_seconds,
         })
     }
 
@@ -324,6 +341,8 @@ impl ShardState {
             }
         }
         merged.shard = ShardSpec::solo();
+        // Per-shard telemetry does not describe the merged whole.
+        merged.elapsed_seconds = None;
         Ok(merged)
     }
 
@@ -817,6 +836,7 @@ mod tests {
                 label: "fig5".to_owned(),
                 state: one_panel_state(values),
             }],
+            elapsed_seconds: Some(0.25 + index as f64),
         }
     }
 
@@ -847,6 +867,7 @@ mod tests {
         let state = ShardState {
             spec: spec(),
             shard: ShardSpec::solo(),
+            elapsed_seconds: None,
             panels: vec![
                 ShardPanelState {
                     label: "cat".to_owned(),
@@ -867,6 +888,23 @@ mod tests {
     }
 
     #[test]
+    fn elapsed_telemetry_round_trips_and_is_optional() {
+        // Telemetry survives the round trip…
+        let state = shard_with(1, 3, &[7.5]);
+        assert_eq!(state.elapsed_seconds, Some(1.25));
+        let round = ShardState::parse(&state.to_json().to_pretty_string()).unwrap();
+        assert_eq!(round.elapsed_seconds, Some(1.25));
+        // …and files from before it existed (no field) parse as None.
+        let mut document = state.to_json();
+        if let JsonValue::Object(fields) = &mut document {
+            fields.retain(|(key, _)| key != "elapsed_seconds");
+        }
+        let legacy = ShardState::from_json(&document).unwrap();
+        assert_eq!(legacy.elapsed_seconds, None);
+        assert!(legacy.matches(&spec(), ShardSpec::new(1, 3).unwrap()));
+    }
+
+    #[test]
     fn merge_folds_shards_in_index_order_regardless_of_input_order() {
         let merged = ShardState::merge(vec![
             shard_with(2, 3, &[5.0]),
@@ -875,6 +913,10 @@ mod tests {
         ])
         .unwrap();
         assert!(merged.shard.is_solo());
+        assert_eq!(
+            merged.elapsed_seconds, None,
+            "per-shard telemetry must not survive the merge"
+        );
         let PanelState::Catalogue { accumulator, .. } = &merged.panels[0].state else {
             panic!("expected catalogue state");
         };

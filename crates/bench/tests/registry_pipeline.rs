@@ -37,6 +37,12 @@ const CATALOGUE: &[(&str, &str, &[&str], usize)] = &[
         2,
     ),
     (
+        "fig9",
+        env!("CARGO_BIN_EXE_fig9_data_sensitivity"),
+        &["--backend", "mlc", "--samples", "2"],
+        3,
+    ),
+    (
         "ablation_lut_write_path",
         env!("CARGO_BIN_EXE_ablation_lut_write_path"),
         &[],

@@ -53,6 +53,16 @@ fn read(path: &str) -> String {
     std::fs::read_to_string(Path::new(path)).unwrap_or_else(|e| panic!("read {path}: {e}"))
 }
 
+/// Parses a shard checkpoint with its wall-clock telemetry stripped: the
+/// recorded `elapsed_seconds` varies run to run by design, so checkpoint
+/// equality means "same campaign state", not "same bytes".
+fn state_of(path: &str) -> faultmit_bench::shard::ShardState {
+    let mut state = faultmit_bench::shard::ShardState::parse(&read(path))
+        .unwrap_or_else(|e| panic!("parse {path}: {e}"));
+    state.elapsed_seconds = None;
+    state
+}
+
 const SHARD_BIN: &str = env!("CARGO_BIN_EXE_campaign_shard");
 const MERGE_BIN: &str = env!("CARGO_BIN_EXE_campaign_merge");
 const FIG5_BIN: &str = env!("CARGO_BIN_EXE_fig5_mse_cdf");
@@ -174,27 +184,31 @@ fn completed_shard_files_are_checkpoints() {
     assert!(!run_shard("0/2", &s0).contains("skipping"));
     assert!(!run_shard("1/2", &s1).contains("skipping"));
     let s0_bytes = read(&s0);
-    let s1_bytes = read(&s1);
+    let s0_state = state_of(&s0);
+    let s1_state = state_of(&s1);
 
-    // Second pass: both shard files are checkpoints — no recomputation.
+    // Second pass: both shard files are checkpoints — no recomputation
+    // (the file is untouched, wall-clock telemetry and all).
     assert!(run_shard("0/2", &s0).contains("skipping"));
     assert!(run_shard("1/2", &s1).contains("skipping"));
     assert_eq!(read(&s0), s0_bytes);
 
     // Delete shard 0: re-running the campaign recomputes only the missing
-    // shard; the surviving file is still honoured as a checkpoint.
+    // shard; the surviving file is still honoured as a checkpoint. The
+    // recomputed state is identical up to its (freshly measured)
+    // wall-clock telemetry.
     std::fs::remove_file(Path::new(&s0)).unwrap();
     assert!(!run_shard("0/2", &s0).contains("skipping"));
     assert!(run_shard("1/2", &s1).contains("skipping"));
-    assert_eq!(read(&s0), s0_bytes, "recomputed shard diverged");
-    assert_eq!(read(&s1), s1_bytes);
+    assert_eq!(state_of(&s0), s0_state, "recomputed shard diverged");
+    assert_eq!(state_of(&s1), s1_state);
 
     // A shard file from a different campaign configuration is recomputed,
     // not trusted.
     let foreign_args = ["fig5", "--samples", "3", "--shard", "0/2", "--out", &s0];
     let foreign = run(SHARD_BIN, &foreign_args);
     assert!(!stdout_of(&foreign).contains("skipping"));
-    assert_ne!(read(&s0), s0_bytes);
+    assert_ne!(state_of(&s0), s0_state);
     // Restore and verify the merged figure still matches the monolithic run.
     assert!(!run_shard("0/2", &s0).contains("skipping"));
     run(FIG5_BIN, &["--samples", "2", "--json", &mono]);

@@ -88,6 +88,47 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Data-dependent faults: kind laws and data images
+//!
+//! By default every backend injects always-observable bit flips
+//! ([`FaultKindLaw::AlwaysFlip`], the paper's protocol). Real decay
+//! mechanisms are *stuck-at* and therefore data-dependent: whether a fault
+//! corrupts a read depends on the stored word. Choose a law with the
+//! backend's `with_kind_law` and evaluate against a
+//! [`DataImage`](crate::image::DataImage) from the
+//! [`ImageSpec`](crate::image::ImageSpec) catalogue:
+//!
+//! ```
+//! use faultmit_memsim::backend::{FaultBackend, FaultKindLaw, MlcNvmBackend};
+//! use faultmit_memsim::image::{DataImage, ImageSpec};
+//! use faultmit_memsim::MemoryConfig;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), faultmit_memsim::MemError> {
+//! let config = MemoryConfig::new(64, 32)?;
+//! // Resistance drift mostly discharges cells: 90% of faults read 0.
+//! let backend = MlcNvmBackend::new(config, 12.0, 86_400.0)?.with_kind_law(
+//!     FaultKindLaw::AsymmetricStuckAt {
+//!         p_stuck_at_zero: 0.9,
+//!     },
+//! )?;
+//! let map = backend.sample_with_count(&mut StdRng::seed_from_u64(1), 32)?;
+//!
+//! let zeros = ImageSpec::Zeros.try_materialise(config)?;
+//! let ones = ImageSpec::Ones.try_materialise(config)?;
+//! let observable = |image: &dyn DataImage| {
+//!     map.iter()
+//!         .filter(|f| f.kind.corrupts((image.word(f.row) >> f.col) & 1 == 1))
+//!         .count()
+//! };
+//! // Stuck-at-0 faults are silent over a zeros image but corrupt an
+//! // all-ones image — the data dependence the fig9 campaign quantifies.
+//! assert!(observable(zeros.as_ref()) < observable(ones.as_ref()));
+//! # Ok(())
+//! # }
+//! ```
 
 mod dram;
 mod mlc;
@@ -192,7 +233,7 @@ impl fmt::Display for OperatingPoint {
 /// comparisons (shuffle ≤ unprotected on every die) are exact. The stuck-at
 /// laws model data-dependent faults; under them scheme dominance holds in
 /// expectation, not per die.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 pub enum FaultKindLaw {
     /// Every faulty cell flips its content (always observable).
     AlwaysFlip,
@@ -205,6 +246,27 @@ pub enum FaultKindLaw {
         p_stuck_at_zero: f64,
     },
 }
+
+/// Identity comparison: asymmetric laws compare their probability **by bit
+/// pattern**, so equality is total and reflexive (a hand-built NaN law
+/// equals itself) and campaign identities containing a law are well-behaved
+/// as `Eq` keys. Laws that round-trip through the `--kind-law` notation
+/// always preserve their bits (shortest-round-trip `f64` printing).
+impl PartialEq for FaultKindLaw {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (FaultKindLaw::AlwaysFlip, FaultKindLaw::AlwaysFlip)
+            | (FaultKindLaw::RandomStuckAt, FaultKindLaw::RandomStuckAt) => true,
+            (
+                FaultKindLaw::AsymmetricStuckAt { p_stuck_at_zero: a },
+                FaultKindLaw::AsymmetricStuckAt { p_stuck_at_zero: b },
+            ) => a.to_bits() == b.to_bits(),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for FaultKindLaw {}
 
 impl FaultKindLaw {
     /// Validates the law's parameters.
@@ -238,6 +300,54 @@ impl FaultKindLaw {
                 }
             }
         }
+    }
+}
+
+impl fmt::Display for FaultKindLaw {
+    /// The canonical `--kind-law` notation: `flip`, `stuck-at` (random
+    /// polarity) or `stuck-at:P` with `P = Pr(stuck at 0)`. Round-trips
+    /// through [`FromStr`] exactly (`f64` prints in shortest form).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKindLaw::AlwaysFlip => f.write_str("flip"),
+            FaultKindLaw::RandomStuckAt => f.write_str("stuck-at"),
+            FaultKindLaw::AsymmetricStuckAt { p_stuck_at_zero } => {
+                write!(f, "stuck-at:{p_stuck_at_zero}")
+            }
+        }
+    }
+}
+
+impl FromStr for FaultKindLaw {
+    type Err = MemError;
+
+    /// Parses the `--kind-law` notation: `flip` (the paper's
+    /// always-observable protocol), `stuck-at` (stuck at 0 or 1 with equal
+    /// probability) or `stuck-at:P` (stuck at 0 with probability `P`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        let law = match lower.as_str() {
+            "flip" | "always-flip" | "bit-flip" | "bitflip" => FaultKindLaw::AlwaysFlip,
+            "stuck-at" | "random-stuck-at" => FaultKindLaw::RandomStuckAt,
+            _ => match lower.strip_prefix("stuck-at:") {
+                Some(p) => {
+                    let p_stuck_at_zero =
+                        p.trim().parse().map_err(|_| MemError::InvalidParameter {
+                            reason: format!("stuck-at probability '{p}' is not a number"),
+                        })?;
+                    FaultKindLaw::AsymmetricStuckAt { p_stuck_at_zero }
+                }
+                None => {
+                    return Err(MemError::InvalidParameter {
+                        reason: format!(
+                            "unknown fault-kind law '{s}', expected flip|stuck-at|stuck-at:P"
+                        ),
+                    })
+                }
+            },
+        };
+        law.validate()?;
+        Ok(law)
     }
 }
 
@@ -407,6 +517,22 @@ impl Backend {
             )?)),
             BackendKind::Mlc => Ok(Backend::Mlc(MlcNvmBackend::with_p_cell(config, p_cell)?)),
         }
+    }
+
+    /// Replaces the backend's fault-kind law, whichever technology it
+    /// models — the runtime-dispatch mirror of the per-backend
+    /// `with_kind_law` constructors, used by the `--kind-law` CLI axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidProbability`] when the law's parameters
+    /// are out of range.
+    pub fn with_kind_law(self, kind_law: FaultKindLaw) -> Result<Self, MemError> {
+        Ok(match self {
+            Backend::Sram(b) => Backend::Sram(b.with_kind_law(kind_law)?),
+            Backend::Dram(b) => Backend::Dram(b.with_kind_law(kind_law)?),
+            Backend::Mlc(b) => Backend::Mlc(b.with_kind_law(kind_law)?),
+        })
     }
 
     /// Builds the backend of the given kind at its reference operating point
@@ -680,5 +806,81 @@ mod tests {
             "stuck-at-zero fraction {}",
             zeros as f64 / 4000.0
         );
+    }
+
+    #[test]
+    fn fault_kind_laws_round_trip_through_the_cli_notation() {
+        for law in [
+            FaultKindLaw::AlwaysFlip,
+            FaultKindLaw::RandomStuckAt,
+            FaultKindLaw::AsymmetricStuckAt {
+                p_stuck_at_zero: 0.9,
+            },
+            FaultKindLaw::AsymmetricStuckAt {
+                p_stuck_at_zero: 1.0 / 3.0,
+            },
+        ] {
+            let round: FaultKindLaw = law.to_string().parse().unwrap();
+            assert_eq!(round, law, "{law} does not round-trip");
+        }
+        assert_eq!(
+            "FLIP".parse::<FaultKindLaw>().unwrap(),
+            FaultKindLaw::AlwaysFlip
+        );
+        assert_eq!(
+            "random-stuck-at".parse::<FaultKindLaw>().unwrap(),
+            FaultKindLaw::RandomStuckAt
+        );
+        assert_eq!(
+            "stuck-at:0.25".parse::<FaultKindLaw>().unwrap(),
+            FaultKindLaw::AsymmetricStuckAt {
+                p_stuck_at_zero: 0.25
+            }
+        );
+        assert!("stuck-at:1.5".parse::<FaultKindLaw>().is_err());
+        assert!("stuck-at:x".parse::<FaultKindLaw>().is_err());
+        assert!("decay".parse::<FaultKindLaw>().is_err());
+    }
+
+    #[test]
+    fn fault_kind_law_equality_is_reflexive_even_for_hand_built_nan() {
+        // Bitwise probability comparison keeps Eq's reflexivity contract
+        // for laws built without going through validation.
+        let nan = FaultKindLaw::AsymmetricStuckAt {
+            p_stuck_at_zero: f64::NAN,
+        };
+        assert_eq!(nan, nan);
+        assert_ne!(
+            nan,
+            FaultKindLaw::AsymmetricStuckAt {
+                p_stuck_at_zero: 0.5
+            }
+        );
+        assert_ne!(FaultKindLaw::AlwaysFlip, FaultKindLaw::RandomStuckAt);
+    }
+
+    #[test]
+    fn backend_enum_forwards_kind_laws_to_every_technology() {
+        let law = FaultKindLaw::AsymmetricStuckAt {
+            p_stuck_at_zero: 1.0,
+        };
+        for kind in BackendKind::ALL {
+            let backend = Backend::at_p_cell(kind, config(), 1e-3)
+                .unwrap()
+                .with_kind_law(law)
+                .unwrap();
+            let mut rng = StdRng::seed_from_u64(21);
+            let map = backend.sample_with_count(&mut rng, 40).unwrap();
+            assert!(
+                map.iter().all(|f| f.kind == FaultKind::StuckAtZero),
+                "{kind} ignored the kind law"
+            );
+            assert!(Backend::at_p_cell(kind, config(), 1e-3)
+                .unwrap()
+                .with_kind_law(FaultKindLaw::AsymmetricStuckAt {
+                    p_stuck_at_zero: 2.0
+                })
+                .is_err());
+        }
     }
 }

@@ -1,10 +1,10 @@
 //! The paper's SRAM voltage-scaling backend.
 
-use super::{FaultBackend, OperatingPoint};
+use super::{FaultBackend, FaultKindLaw, OperatingPoint};
 use crate::config::MemoryConfig;
 use crate::error::MemError;
 use crate::failure_model::{CellFailureModel, NOMINAL_VDD};
-use crate::fault::FaultMap;
+use crate::fault::{Fault, FaultMap};
 use crate::montecarlo::FaultMapSampler;
 use rand::rngs::StdRng;
 
@@ -40,6 +40,7 @@ pub struct SramVddBackend {
     model: CellFailureModel,
     vdd: f64,
     p_cell: f64,
+    kind_law: FaultKindLaw,
 }
 
 impl SramVddBackend {
@@ -64,6 +65,7 @@ impl SramVddBackend {
             model,
             vdd,
             p_cell: model.p_cell(vdd),
+            kind_law: FaultKindLaw::AlwaysFlip,
         })
     }
 
@@ -98,6 +100,7 @@ impl SramVddBackend {
             model,
             vdd,
             p_cell,
+            kind_law: FaultKindLaw::AlwaysFlip,
         })
     }
 
@@ -111,6 +114,29 @@ impl SramVddBackend {
     #[must_use]
     pub fn vdd(&self) -> f64 {
         self.vdd
+    }
+
+    /// Sets how faulty cells behave. The default is
+    /// [`FaultKindLaw::AlwaysFlip`], the paper's injection protocol — and
+    /// the backend's bit-identical legacy sampling path. Any other law
+    /// draws each cell's stuck-at polarity *after* placing the fault at the
+    /// legacy sampler's position, so fault locations are unchanged and only
+    /// the data-dependent behaviour differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidProbability`] when the law's parameters
+    /// are out of range.
+    pub fn with_kind_law(mut self, kind_law: FaultKindLaw) -> Result<Self, MemError> {
+        kind_law.validate()?;
+        self.kind_law = kind_law;
+        Ok(self)
+    }
+
+    /// The fault-kind law in effect.
+    #[must_use]
+    pub fn kind_law(&self) -> FaultKindLaw {
+        self.kind_law
     }
 }
 
@@ -134,7 +160,17 @@ impl FaultBackend for SramVddBackend {
     fn sample_with_count(&self, rng: &mut StdRng, n_faults: usize) -> Result<FaultMap, MemError> {
         // Exactly the pre-backend sampling path (iid uniform bit-flips): the
         // bit-identity of historical SRAM campaigns rests on this delegation.
-        FaultMapSampler::new(self.config).sample_with_count(rng, n_faults)
+        let map = FaultMapSampler::new(self.config).sample_with_count(rng, n_faults)?;
+        if matches!(self.kind_law, FaultKindLaw::AlwaysFlip) {
+            return Ok(map);
+        }
+        // Non-default law: keep the legacy positions, re-draw each cell's
+        // behaviour in the map's deterministic (row, column) order.
+        let faults: Vec<Fault> = map
+            .iter()
+            .map(|fault| Fault::new(fault.row, fault.col, self.kind_law.sample(rng)))
+            .collect();
+        FaultMap::from_faults(self.config, faults)
     }
 }
 
@@ -211,5 +247,40 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let map = backend.sample_with_count(&mut rng, 100).unwrap();
         assert!(map.iter().all(|f| f.kind == FaultKind::BitFlip));
+    }
+
+    #[test]
+    fn kind_law_changes_behaviour_but_not_positions() {
+        let flip = SramVddBackend::with_p_cell(config(), 1e-3).unwrap();
+        let stuck = flip
+            .with_kind_law(FaultKindLaw::AsymmetricStuckAt {
+                p_stuck_at_zero: 1.0,
+            })
+            .unwrap();
+        assert_eq!(stuck.kind_law(), stuck.kind_law());
+        let map_flip = flip
+            .sample_with_count(&mut StdRng::seed_from_u64(11), 50)
+            .unwrap();
+        let map_stuck = stuck
+            .sample_with_count(&mut StdRng::seed_from_u64(11), 50)
+            .unwrap();
+        // Same RNG prefix → same cell positions; only the kinds differ.
+        let positions = |map: &FaultMap| map.iter().map(|f| (f.row, f.col)).collect::<Vec<_>>();
+        assert_eq!(positions(&map_flip), positions(&map_stuck));
+        assert!(map_stuck.iter().all(|f| f.kind == FaultKind::StuckAtZero));
+        // Deterministic in the RNG.
+        let again = stuck
+            .sample_with_count(&mut StdRng::seed_from_u64(11), 50)
+            .unwrap();
+        assert_eq!(
+            map_stuck.iter().collect::<Vec<_>>(),
+            again.iter().collect::<Vec<_>>()
+        );
+        // Out-of-range laws are rejected.
+        assert!(flip
+            .with_kind_law(FaultKindLaw::AsymmetricStuckAt {
+                p_stuck_at_zero: -0.5
+            })
+            .is_err());
     }
 }

@@ -1,0 +1,573 @@
+//! Data images: *what the memory stores* during fault evaluation.
+//!
+//! The paper's observation (§5.2) — and the premise of the
+//! Heterogeneous-Reliability-Memory line of work — is that the impact of a
+//! memory fault depends on the application data it corrupts: a stuck-at-0
+//! cell under a bit that already stores 0 is harmless, while the same cell
+//! under a 1 bit silently flips it. The historical MSE campaigns evaluated
+//! an all-zeros background, which makes every fault of the paper's
+//! `AlwaysFlip` injection protocol observable but collapses the stuck-at
+//! laws ([`crate::backend::FaultKindLaw`]) into "stuck-at-1 hurts,
+//! stuck-at-0 never does".
+//!
+//! A [`DataImage`] is a deterministic source of stored words, one per
+//! memory row, that data-aware evaluators read the faulty memory against.
+//! [`ImageSpec`] is the campaign-level identity of an image — `Copy`,
+//! order-insensitive and CLI-parseable (`--image zeros|ones|random[:seed]|`
+//! `sparse[:seed]|wine|madelon|har`) — so campaigns over images shard and
+//! merge with the same bit-identity guarantees as every other campaign
+//! axis.
+//!
+//! The application-matrix images ([`AppImage`]) name fixed-point quantised
+//! benchmark datasets; their *data generation* lives above this crate (the
+//! `faultmit-apps` image module materialises them through
+//! [`WordImage`]), which is why [`ImageSpec::try_materialise`] resolves
+//! only the self-contained sources.
+
+use crate::config::MemoryConfig;
+use crate::error::MemError;
+use crate::seeder::StreamSeeder;
+use rand::Rng;
+use std::fmt;
+use std::str::FromStr;
+
+/// RNG stream id reserved for data-image generation, distinct from the
+/// fault-placement stream (0) so image words and fault maps never share
+/// random state.
+const IMAGE_STREAM: u64 = 0xDA7A;
+
+/// Default seed of the seedable image sources when `--image random` /
+/// `--image sparse` is given without an explicit seed.
+pub const DEFAULT_IMAGE_SEED: u64 = 0xDA7A_5EED;
+
+/// A deterministic source of stored memory words, one per row.
+///
+/// Implementations must be pure functions of `(self, row)`: the parallel
+/// pipeline evaluates rows from many worker threads and campaigns must stay
+/// bit-identical at any worker count, so an image may not carry mutable
+/// state or draw randomness outside a per-row derivation.
+pub trait DataImage: fmt::Debug + Send + Sync {
+    /// Human-readable image name for reports and JSON series.
+    fn label(&self) -> String;
+
+    /// The word stored in `row`.
+    fn word(&self, row: usize) -> u64;
+
+    /// Renders the image into a dense per-row word vector — the shape the
+    /// data-aware evaluators consume.
+    fn materialise(&self, rows: usize) -> Vec<u64> {
+        (0..rows).map(|row| self.word(row)).collect()
+    }
+}
+
+/// The all-zeros image: the historical MSE background, under which every
+/// stuck-at-1 and bit-flip fault is observable and stuck-at-0 is silent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZerosImage;
+
+impl DataImage for ZerosImage {
+    fn label(&self) -> String {
+        "zeros".to_owned()
+    }
+
+    fn word(&self, _row: usize) -> u64 {
+        0
+    }
+}
+
+/// The all-ones image (every data bit set): the adversarial complement of
+/// [`ZerosImage`] — stuck-at-0 faults all observable, stuck-at-1 silent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OnesImage {
+    mask: u64,
+}
+
+impl OnesImage {
+    /// Creates the image for the given memory geometry (every word stores
+    /// [`MemoryConfig::word_mask`]).
+    #[must_use]
+    pub fn new(config: MemoryConfig) -> Self {
+        Self {
+            mask: config.word_mask(),
+        }
+    }
+}
+
+impl DataImage for OnesImage {
+    fn label(&self) -> String {
+        "ones".to_owned()
+    }
+
+    fn word(&self, _row: usize) -> u64 {
+        self.mask
+    }
+}
+
+/// Uniform-random words, derived per row from `(seed, row)` via the same
+/// SplitMix64 stream-splitting the fault pipeline uses — every bit is 0 or
+/// 1 with probability ½ independently, so half of all stuck-at faults are
+/// silent in expectation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformRandomImage {
+    seed: u64,
+    mask: u64,
+}
+
+impl UniformRandomImage {
+    /// Creates the image for the given memory geometry from `seed`.
+    #[must_use]
+    pub fn new(seed: u64, config: MemoryConfig) -> Self {
+        Self {
+            seed,
+            mask: config.word_mask(),
+        }
+    }
+}
+
+impl DataImage for UniformRandomImage {
+    fn label(&self) -> String {
+        format!("random:{}", self.seed)
+    }
+
+    fn word(&self, row: usize) -> u64 {
+        let mut rng = StreamSeeder::new(self.seed).rng_for(IMAGE_STREAM, row as u64);
+        rng.gen::<u64>() & self.mask
+    }
+}
+
+/// A sparse, low-entropy image: most rows store zero, and roughly one row
+/// in [`SparseImage::DENSITY`] stores a single set bit at a random
+/// position — the profile of zero-initialised buffers, one-hot encodings
+/// and sparse matrices, under which stuck-at-0 faults are almost always
+/// silent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SparseImage {
+    seed: u64,
+    word_bits: usize,
+}
+
+impl SparseImage {
+    /// One row in `DENSITY` is non-zero.
+    pub const DENSITY: u32 = 8;
+
+    /// Creates the image for the given memory geometry from `seed`.
+    #[must_use]
+    pub fn new(seed: u64, config: MemoryConfig) -> Self {
+        Self {
+            seed,
+            word_bits: config.word_bits(),
+        }
+    }
+}
+
+impl DataImage for SparseImage {
+    fn label(&self) -> String {
+        format!("sparse:{}", self.seed)
+    }
+
+    fn word(&self, row: usize) -> u64 {
+        let mut rng = StreamSeeder::new(self.seed).rng_for(IMAGE_STREAM, row as u64);
+        if rng.gen_range(0..Self::DENSITY as usize) == 0 {
+            1u64 << rng.gen_range(0..self.word_bits)
+        } else {
+            0
+        }
+    }
+}
+
+/// A concrete word image backed by an explicit word list, cycled over the
+/// rows — the carrier for externally materialised images (fixed-point
+/// application matrices quantised by the apps layer, golden images from
+/// disk, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WordImage {
+    label: String,
+    words: Vec<u64>,
+}
+
+impl WordImage {
+    /// Wraps a non-empty word list under the given label.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidParameter`] when `words` is empty.
+    pub fn new(label: impl Into<String>, words: Vec<u64>) -> Result<Self, MemError> {
+        if words.is_empty() {
+            return Err(MemError::InvalidParameter {
+                reason: "a word image needs at least one word".to_owned(),
+            });
+        }
+        Ok(Self {
+            label: label.into(),
+            words,
+        })
+    }
+
+    /// The backing word list.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl DataImage for WordImage {
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+
+    fn word(&self, row: usize) -> u64 {
+        self.words[row % self.words.len()]
+    }
+}
+
+/// A fixed-point application matrix image: one of the benchmark datasets,
+/// quantised to the memory's word format. Named here so [`ImageSpec`] can
+/// carry the identity through campaign configs and shard files; the data
+/// generation and quantisation live in the apps layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppImage {
+    /// The wine-quality regression features (the Elasticnet benchmark).
+    Wine,
+    /// The Madelon classification features (the PCA benchmark).
+    Madelon,
+    /// The activity-recognition features (the KNN benchmark).
+    Har,
+}
+
+impl AppImage {
+    /// All application images, in catalogue order.
+    pub const ALL: [AppImage; 3] = [AppImage::Wine, AppImage::Madelon, AppImage::Har];
+
+    /// Canonical image name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            AppImage::Wine => "wine",
+            AppImage::Madelon => "madelon",
+            AppImage::Har => "har",
+        }
+    }
+}
+
+/// The campaign-level identity of a data image: which stored-data pattern a
+/// data-aware campaign evaluates faults against.
+///
+/// `Copy`, hashable and round-trippable through its [`fmt::Display`] form,
+/// so it can ride inside campaign configurations, figure specs and shard
+/// checkpoint files. Parse with [`FromStr`]:
+///
+/// ```
+/// use faultmit_memsim::image::ImageSpec;
+///
+/// assert_eq!("zeros".parse::<ImageSpec>().unwrap(), ImageSpec::Zeros);
+/// let random: ImageSpec = "random:7".parse().unwrap();
+/// assert_eq!(random, ImageSpec::UniformRandom { seed: 7 });
+/// // Display is the canonical round-trippable form.
+/// assert_eq!(random.to_string().parse::<ImageSpec>().unwrap(), random);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImageSpec {
+    /// All-zeros background — the historical MSE protocol and the pipeline's
+    /// bit-identical fast path.
+    Zeros,
+    /// All data bits set.
+    Ones,
+    /// Uniform-random words derived from the seed.
+    UniformRandom {
+        /// Seed of the per-row word derivation.
+        seed: u64,
+    },
+    /// Sparse/low-entropy pattern derived from the seed.
+    Sparse {
+        /// Seed of the per-row word derivation.
+        seed: u64,
+    },
+    /// A fixed-point quantised application matrix (materialised by the apps
+    /// layer).
+    App(AppImage),
+}
+
+impl ImageSpec {
+    /// `true` for the all-zeros image — the campaigns' bit-identical legacy
+    /// fast path.
+    #[must_use]
+    pub fn is_zeros(&self) -> bool {
+        matches!(self, ImageSpec::Zeros)
+    }
+
+    /// `true` when materialisation needs the application layer (benchmark
+    /// data generation and fixed-point quantisation).
+    #[must_use]
+    pub fn requires_app_data(&self) -> bool {
+        matches!(self, ImageSpec::App(_))
+    }
+
+    /// Materialises the self-contained image sources for the given memory
+    /// geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidParameter`] for [`ImageSpec::App`] images,
+    /// whose dataset generation lives above this crate — resolve those
+    /// through the apps layer's image module instead.
+    pub fn try_materialise(&self, config: MemoryConfig) -> Result<Box<dyn DataImage>, MemError> {
+        Ok(match self {
+            ImageSpec::Zeros => Box::new(ZerosImage),
+            ImageSpec::Ones => Box::new(OnesImage::new(config)),
+            ImageSpec::UniformRandom { seed } => Box::new(UniformRandomImage::new(*seed, config)),
+            ImageSpec::Sparse { seed } => Box::new(SparseImage::new(*seed, config)),
+            ImageSpec::App(app) => {
+                return Err(MemError::InvalidParameter {
+                    reason: format!(
+                        "the '{}' application image is materialised by the apps layer \
+                         (faultmit-apps image module), not by faultmit-memsim",
+                        app.name()
+                    ),
+                })
+            }
+        })
+    }
+}
+
+impl fmt::Display for ImageSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageSpec::Zeros => f.write_str("zeros"),
+            ImageSpec::Ones => f.write_str("ones"),
+            ImageSpec::UniformRandom { seed } => write!(f, "random:{seed}"),
+            ImageSpec::Sparse { seed } => write!(f, "sparse:{seed}"),
+            ImageSpec::App(app) => f.write_str(app.name()),
+        }
+    }
+}
+
+impl FromStr for ImageSpec {
+    type Err = MemError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        // The `app:<name>` alias embeds a colon, so resolve it before the
+        // seed split below would misread `<name>` as a seed.
+        if let Some(app) = lower.strip_prefix("app:") {
+            return match app {
+                "wine" => Ok(ImageSpec::App(AppImage::Wine)),
+                "madelon" => Ok(ImageSpec::App(AppImage::Madelon)),
+                "har" | "activity" => Ok(ImageSpec::App(AppImage::Har)),
+                other => Err(MemError::InvalidParameter {
+                    reason: format!(
+                        "unknown application image '{other}', expected wine|madelon|har"
+                    ),
+                }),
+            };
+        }
+        let (name, seed) = match lower.split_once(':') {
+            Some((name, seed)) => {
+                let seed: u64 = seed
+                    .trim()
+                    .parse()
+                    .map_err(|_| MemError::InvalidParameter {
+                        reason: format!("image seed '{seed}' is not a 64-bit unsigned integer"),
+                    })?;
+                (name.trim(), Some(seed))
+            }
+            None => (lower.as_str(), None),
+        };
+        let spec = match name {
+            "zeros" | "zero" => ImageSpec::Zeros,
+            "ones" | "one" => ImageSpec::Ones,
+            "random" | "uniform" => ImageSpec::UniformRandom {
+                seed: seed.unwrap_or(DEFAULT_IMAGE_SEED),
+            },
+            "sparse" => ImageSpec::Sparse {
+                seed: seed.unwrap_or(DEFAULT_IMAGE_SEED),
+            },
+            "wine" => ImageSpec::App(AppImage::Wine),
+            "madelon" => ImageSpec::App(AppImage::Madelon),
+            "har" | "activity" => ImageSpec::App(AppImage::Har),
+            other => {
+                return Err(MemError::InvalidParameter {
+                    reason: format!(
+                        "unknown image '{other}', expected \
+                         zeros|ones|random[:seed]|sparse[:seed]|wine|madelon|har"
+                    ),
+                })
+            }
+        };
+        // A seed on a non-seedable image is a user error, not noise.
+        if seed.is_some()
+            && !matches!(
+                spec,
+                ImageSpec::UniformRandom { .. } | ImageSpec::Sparse { .. }
+            )
+        {
+            return Err(MemError::InvalidParameter {
+                reason: format!("image '{name}' does not take a seed"),
+            });
+        }
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> MemoryConfig {
+        MemoryConfig::new(64, 32).unwrap()
+    }
+
+    #[test]
+    fn zeros_and_ones_images_are_constant() {
+        let zeros = ZerosImage;
+        let ones = OnesImage::new(config());
+        for row in [0usize, 1, 63] {
+            assert_eq!(zeros.word(row), 0);
+            assert_eq!(ones.word(row), 0xFFFF_FFFF);
+        }
+        let wide = MemoryConfig::new(4, 64).unwrap();
+        assert_eq!(OnesImage::new(wide).word(0), u64::MAX);
+        let narrow = MemoryConfig::new(4, 1).unwrap();
+        assert_eq!(OnesImage::new(narrow).word(0), 1);
+        assert_eq!(zeros.materialise(4), vec![0; 4]);
+    }
+
+    #[test]
+    fn random_image_is_deterministic_per_row_and_masked() {
+        let image = UniformRandomImage::new(42, config());
+        for row in 0..256 {
+            let word = image.word(row);
+            assert_eq!(word, image.word(row), "row {row} is not deterministic");
+            assert_eq!(word >> 32, 0, "row {row} exceeds the word width");
+        }
+        // Different seeds and different rows diverge.
+        assert_ne!(image.word(0), UniformRandomImage::new(43, config()).word(0));
+        assert_ne!(image.word(0), image.word(1));
+        // Roughly half of the bits are set across many rows.
+        let set_bits: u32 = (0..512).map(|row| image.word(row).count_ones()).sum();
+        let fraction = f64::from(set_bits) / (512.0 * 32.0);
+        assert!((fraction - 0.5).abs() < 0.05, "set-bit fraction {fraction}");
+    }
+
+    #[test]
+    fn sparse_image_is_mostly_zero_with_single_bit_rows() {
+        let image = SparseImage::new(7, config());
+        let words = image.materialise(4096);
+        let non_zero = words.iter().filter(|&&w| w != 0).count();
+        for &word in &words {
+            assert!(word.count_ones() <= 1, "word {word:#x} is not one-hot");
+            assert_eq!(word >> 32, 0);
+        }
+        let density = non_zero as f64 / 4096.0;
+        let expected = 1.0 / f64::from(SparseImage::DENSITY);
+        assert!(
+            (density - expected).abs() < 0.03,
+            "non-zero density {density}, expected ~{expected}"
+        );
+        assert_eq!(words, image.materialise(4096), "not deterministic");
+    }
+
+    #[test]
+    fn word_image_cycles_and_rejects_empty_lists() {
+        let image = WordImage::new("demo", vec![1, 2, 3]).unwrap();
+        assert_eq!(image.label(), "demo");
+        assert_eq!(image.word(0), 1);
+        assert_eq!(image.word(4), 2);
+        assert_eq!(image.materialise(5), vec![1, 2, 3, 1, 2]);
+        assert_eq!(image.words(), &[1, 2, 3]);
+        assert!(WordImage::new("empty", vec![]).is_err());
+    }
+
+    #[test]
+    fn image_specs_round_trip_through_display() {
+        let specs = [
+            ImageSpec::Zeros,
+            ImageSpec::Ones,
+            ImageSpec::UniformRandom { seed: 7 },
+            ImageSpec::UniformRandom {
+                seed: DEFAULT_IMAGE_SEED,
+            },
+            ImageSpec::Sparse { seed: u64::MAX },
+            ImageSpec::App(AppImage::Wine),
+            ImageSpec::App(AppImage::Madelon),
+            ImageSpec::App(AppImage::Har),
+        ];
+        for spec in specs {
+            let round: ImageSpec = spec.to_string().parse().unwrap();
+            assert_eq!(round, spec, "{spec} does not round-trip");
+        }
+    }
+
+    #[test]
+    fn image_spec_parsing_accepts_aliases_and_rejects_garbage() {
+        assert_eq!("ZEROS".parse::<ImageSpec>().unwrap(), ImageSpec::Zeros);
+        assert_eq!("one".parse::<ImageSpec>().unwrap(), ImageSpec::Ones);
+        assert_eq!(
+            "random".parse::<ImageSpec>().unwrap(),
+            ImageSpec::UniformRandom {
+                seed: DEFAULT_IMAGE_SEED
+            }
+        );
+        assert_eq!(
+            "uniform:9".parse::<ImageSpec>().unwrap(),
+            ImageSpec::UniformRandom { seed: 9 }
+        );
+        assert_eq!(
+            "sparse:3".parse::<ImageSpec>().unwrap(),
+            ImageSpec::Sparse { seed: 3 }
+        );
+        assert_eq!(
+            "activity".parse::<ImageSpec>().unwrap(),
+            ImageSpec::App(AppImage::Har)
+        );
+        // The app:<name> prefix form resolves despite its embedded colon.
+        for (alias, app) in [
+            ("app:wine", AppImage::Wine),
+            ("APP:MADELON", AppImage::Madelon),
+            ("app:har", AppImage::Har),
+            ("app:activity", AppImage::Har),
+        ] {
+            assert_eq!(
+                alias.parse::<ImageSpec>().unwrap(),
+                ImageSpec::App(app),
+                "{alias}"
+            );
+        }
+        assert!("app:noise".parse::<ImageSpec>().is_err());
+        assert!("noise".parse::<ImageSpec>().is_err());
+        assert!("random:xyz".parse::<ImageSpec>().is_err());
+        assert!("zeros:5".parse::<ImageSpec>().is_err());
+        assert!("wine:1".parse::<ImageSpec>().is_err());
+    }
+
+    #[test]
+    fn try_materialise_covers_self_contained_sources_only() {
+        for spec in [
+            ImageSpec::Zeros,
+            ImageSpec::Ones,
+            ImageSpec::UniformRandom { seed: 1 },
+            ImageSpec::Sparse { seed: 1 },
+        ] {
+            let image = spec.try_materialise(config()).unwrap();
+            assert_eq!(image.materialise(64).len(), 64);
+            assert!(!spec.requires_app_data());
+        }
+        let spec = ImageSpec::App(AppImage::Wine);
+        assert!(spec.requires_app_data());
+        let error = spec.try_materialise(config()).unwrap_err();
+        assert!(error.to_string().contains("apps layer"), "{error}");
+        assert!(ImageSpec::Zeros.is_zeros());
+        assert!(!ImageSpec::Ones.is_zeros());
+    }
+
+    #[test]
+    fn app_image_names_are_stable() {
+        assert_eq!(AppImage::ALL.len(), 3);
+        for app in AppImage::ALL {
+            assert_eq!(
+                ImageSpec::App(app).to_string(),
+                app.name(),
+                "display must match the canonical name"
+            );
+        }
+    }
+}

@@ -17,6 +17,10 @@
 //!   [`MlcNvmBackend`] (drift-broadened level margins, level-dependent
 //!   asymmetric bit errors). See the module docs for a worked
 //!   "add your own backend" example.
+//! * [`image`] — data images: [`DataImage`] word sources and the
+//!   [`ImageSpec`] catalogue (zeros, ones, uniform-random, sparse,
+//!   application matrices) against which data-aware campaigns evaluate
+//!   stuck-at faults relative to the stored word.
 //! * [`DieSampler`] and [`montecarlo`] — Monte-Carlo generation of dies and
 //!   fault maps following the binomial failure-count distribution of Eq. (4).
 //! * [`StreamSeeder`] / [`DieBatch`] — deterministic stream-splitting of a
@@ -55,6 +59,7 @@ pub mod config;
 pub mod error;
 pub mod failure_model;
 pub mod fault;
+pub mod image;
 pub mod montecarlo;
 pub mod redundancy;
 pub mod seeder;
@@ -71,6 +76,7 @@ pub use config::MemoryConfig;
 pub use error::MemError;
 pub use failure_model::{CellFailureModel, FailureModelBuilder};
 pub use fault::{Fault, FaultKind, FaultMap};
+pub use image::{AppImage, DataImage, ImageSpec, WordImage};
 pub use montecarlo::{DieSampler, FailureCountDistribution, FaultMapSampler};
 pub use redundancy::{repair_yield, spares_for_full_repair, RowRepair};
 pub use seeder::{DieBatch, PlannedSample, StreamSeeder};

@@ -26,8 +26,8 @@ use crate::error::{RunError, SimError};
 use crate::executor::{run_chunked, Parallelism};
 use faultmit_core::MitigationScheme;
 use faultmit_memsim::{
-    DieBatch, FailureCountDistribution, FaultBackend, FaultMap, MemoryConfig, PlannedSample,
-    SramVddBackend, StreamSeeder,
+    DieBatch, FailureCountDistribution, FaultBackend, FaultMap, ImageSpec, MemoryConfig,
+    PlannedSample, SramVddBackend, StreamSeeder,
 };
 use std::convert::Infallible;
 use std::fmt;
@@ -180,6 +180,7 @@ pub struct CampaignConfig<B: FaultBackend = SramVddBackend> {
     chunk_size: usize,
     parallelism: Parallelism,
     map_policy: MapPolicy,
+    image: ImageSpec,
 }
 
 impl CampaignConfig<SramVddBackend> {
@@ -233,6 +234,7 @@ impl<B: FaultBackend> CampaignConfig<B> {
             chunk_size: 32,
             parallelism: Parallelism::default(),
             map_policy: MapPolicy::default(),
+            image: ImageSpec::Zeros,
         })
     }
 
@@ -289,6 +291,26 @@ impl<B: FaultBackend> CampaignConfig<B> {
     pub fn with_map_policy(mut self, map_policy: MapPolicy) -> Self {
         self.map_policy = map_policy;
         self
+    }
+
+    /// Declares the data image the campaign's metric is evaluated against
+    /// (default: [`ImageSpec::Zeros`], the paper's all-zeros background).
+    ///
+    /// The campaign core hands every evaluator the raw fault map regardless
+    /// of the image — data-awareness belongs to the metric — but recording
+    /// the image here makes it part of the campaign's identity, so
+    /// data-aware evaluator layers (the MSE engine of `faultmit-analysis`)
+    /// and campaign reports read one authoritative value.
+    #[must_use]
+    pub fn with_image(mut self, image: ImageSpec) -> Self {
+        self.image = image;
+        self
+    }
+
+    /// The data image the campaign's metric is declared against.
+    #[must_use]
+    pub fn image(&self) -> ImageSpec {
+        self.image
     }
 
     /// The fault-generating backend under study.
@@ -631,6 +653,16 @@ mod tests {
         assert!(CampaignConfig::new(MemoryConfig::new(16, 32).unwrap(), -0.1).is_err());
         assert!(CampaignConfig::new(MemoryConfig::new(16, 32).unwrap(), 1.5).is_err());
         assert!(CampaignConfig::new(MemoryConfig::new(16, 32).unwrap(), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn image_spec_rides_in_the_config_identity() {
+        use faultmit_memsim::ImageSpec;
+        let base = config();
+        assert!(base.image().is_zeros());
+        let imaged = base.with_image(ImageSpec::UniformRandom { seed: 5 });
+        assert_eq!(imaged.image(), ImageSpec::UniformRandom { seed: 5 });
+        assert_ne!(base, imaged, "the image is part of the campaign identity");
     }
 
     #[test]

@@ -192,6 +192,52 @@ fn backend_engine_cdfs_are_bit_identical_serial_vs_threaded() {
 }
 
 #[test]
+fn data_image_campaigns_are_bit_identical_serial_vs_threaded() {
+    // The image axis joins the determinism gate: data-aware MSE campaigns
+    // (stuck-at faults applied relative to the stored word) must reproduce
+    // the exact CDFs and weights at any worker count, for every image kind.
+    use faultmit::memsim::{FaultKindLaw, ImageSpec};
+    let memory = MemoryConfig::new(256, 32).unwrap();
+    let schemes = [Scheme::unprotected32(), Scheme::shuffle32(2).unwrap()];
+    let backend = Backend::at_p_cell(BackendKind::Mlc, memory, 1e-3)
+        .unwrap()
+        .with_kind_law(FaultKindLaw::AsymmetricStuckAt {
+            p_stuck_at_zero: 0.8,
+        })
+        .unwrap();
+    for image in [
+        ImageSpec::Zeros,
+        ImageSpec::Ones,
+        ImageSpec::UniformRandom { seed: 3 },
+        ImageSpec::Sparse { seed: 3 },
+    ] {
+        let build = |parallelism| {
+            MonteCarloEngine::new(
+                MonteCarloConfig::for_backend(backend)
+                    .with_samples_per_count(10)
+                    .with_max_failures(8)
+                    .with_image(image)
+                    .with_parallelism(parallelism),
+            )
+        };
+        let serial = build(Parallelism::Serial)
+            .run_catalogue(&schemes, SEED)
+            .unwrap();
+        let threaded = build(Parallelism::threads(4))
+            .run_catalogue(&schemes, SEED)
+            .unwrap();
+        for (a, b) in serial.iter().zip(&threaded) {
+            assert_eq!(a.cdf, b.cdf, "{image}: {}", a.scheme_name);
+            assert_eq!(
+                a.cdf.total_weight().to_bits(),
+                b.cdf.total_weight().to_bits(),
+                "{image}"
+            );
+        }
+    }
+}
+
+#[test]
 fn application_quality_campaign_is_bit_identical_serial_vs_threaded() {
     // The slowest per-sample evaluator (model training) exercises the
     // fallible pipeline path end to end; keep the budget small.

@@ -14,11 +14,12 @@
 use crate::accumulate::CatalogueAccumulator;
 use crate::cdf::EmpiricalCdf;
 use crate::error::AnalysisError;
-use crate::mse::{memory_mse, memory_mse_for_data};
+use crate::mse::{memory_mse_sparse, memory_mse_sparse_with};
 use crate::yield_model::YieldModel;
 use faultmit_core::MitigationScheme;
 use faultmit_memsim::{
-    FailureCountDistribution, FaultBackend, ImageSpec, MemoryConfig, OperatingPoint, SramVddBackend,
+    DataImage, FailureCountDistribution, FaultBackend, ImageSpec, MemoryConfig, OperatingPoint,
+    SramVddBackend,
 };
 use faultmit_sim::{Campaign, CampaignConfig, Parallelism, ShardSpec, SimError};
 
@@ -363,13 +364,37 @@ impl<B: FaultBackend + Clone> MonteCarloEngine<B> {
             // bit-identical to the pre-image pipeline.
             ImageSpec::Zeros => self.run_catalogue_shard_on_image(schemes, seed, shard, None),
             spec => {
-                // Self-contained images materialise here; App images
-                // propagate memsim's "resolve through the apps layer" error.
+                // Self-contained images resolve here; App images propagate
+                // memsim's "resolve through the apps layer" error. The
+                // event-driven kernel gathers image words per faulty row, so
+                // the image is never materialised memory-wide.
                 let image = spec.try_materialise(self.config.memory())?;
-                let words = image.materialise(self.config.memory().rows());
-                self.run_catalogue_shard_on_image(schemes, seed, shard, Some(&words))
+                self.run_catalogue_shard_with_image(schemes, seed, shard, image.as_ref())
             }
         }
+    }
+
+    /// The event-driven campaign body for a row-addressable data image:
+    /// every die evaluates through [`memory_mse_sparse_with`], querying
+    /// `image` only at fault-bearing rows — bit-identical to evaluating
+    /// against the image's dense [`DataImage::materialise`] vector.
+    fn run_catalogue_shard_with_image<S: MitigationScheme + Sync>(
+        &self,
+        schemes: &[S],
+        seed: u64,
+        shard: ShardSpec,
+        image: &dyn DataImage,
+    ) -> Result<CatalogueAccumulator, AnalysisError> {
+        let campaign = Campaign::new(self.config.to_campaign_config()?);
+        campaign
+            .run_shard(
+                schemes,
+                seed,
+                shard,
+                |scheme, map| memory_mse_sparse_with(scheme, map, |row| image.word(row)),
+                || CatalogueAccumulator::new(schemes.len()),
+            )
+            .map_err(sim_to_analysis_error)
     }
 
     /// Runs one shard of the paired campaign against an explicit data
@@ -412,14 +437,14 @@ impl<B: FaultBackend + Clone> MonteCarloEngine<B> {
                 schemes,
                 seed,
                 shard,
-                |scheme, map| memory_mse(scheme, map),
+                |scheme, map| memory_mse_sparse(scheme, map),
                 || CatalogueAccumulator::new(schemes.len()),
             ),
             Some(data) => campaign.run_shard(
                 schemes,
                 seed,
                 shard,
-                |scheme, map| memory_mse_for_data(scheme, map, data),
+                |scheme, map| memory_mse_sparse_with(scheme, map, |row| data[row]),
                 || CatalogueAccumulator::new(schemes.len()),
             ),
         }

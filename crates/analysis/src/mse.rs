@@ -16,9 +16,35 @@
 //! all-zeros background so that every bit-flip fault is observable, and sums
 //! `4^b` over the bit positions that differ — identical to Eq. (6) for the
 //! paper's bit-flip injection model.
+//!
+//! Two kernels compute the same sum. The scalar kernels ([`memory_mse`],
+//! [`memory_mse_for_data`]) drive the generic `observe` path row by row; the
+//! event-driven kernels ([`memory_mse_sparse`], [`memory_mse_sparse_with`])
+//! walk the fault map's sorted row groups once, hand each scheme its row
+//! slice through
+//! [`observe_sparse`](faultmit_core::MitigationScheme::observe_sparse), and
+//! gather written words only for fault-bearing rows. Both accumulate
+//! per-row contributions in ascending row order, so their results are
+//! **bit-identical** (the `kernel_equivalence` integration suite pins this).
 
 use faultmit_core::MitigationScheme;
 use faultmit_memsim::FaultMap;
+
+/// Exact `4^b` for every data-bit position, precomputed so the hot
+/// squared-error loop avoids `powi`.
+///
+/// `4^b = 2^(2b)` is a power of two, so the entry is just the IEEE-754
+/// exponent field `1023 + 2b` — bit-identical to `4.0f64.powi(b)`, which
+/// multiplies exactly representable powers of two.
+const POW4: [f64; 64] = {
+    let mut table = [0.0f64; 64];
+    let mut b = 0;
+    while b < 64 {
+        table[b] = f64::from_bits(((1023 + 2 * b) as u64) << 52);
+        b += 1;
+    }
+    table
+};
 
 /// Squared error magnitude of one corrupted word: `Σ 4^b` over the bit
 /// positions where `observed` differs from `written`.
@@ -39,7 +65,7 @@ pub fn word_squared_error(written: u64, observed: u64) -> f64 {
     let mut total = 0.0;
     while diff != 0 {
         let bit = diff.trailing_zeros();
-        total += 4.0_f64.powi(bit as i32);
+        total += POW4[bit as usize];
         diff &= diff - 1;
     }
     total
@@ -99,6 +125,47 @@ pub fn memory_mse_for_data<S: MitigationScheme + ?Sized>(
         })
         .sum();
     total / rows as f64
+}
+
+/// Event-driven twin of [`memory_mse`]: one pass over the fault map's sorted
+/// row groups, evaluating each fault-bearing row through the scheme's
+/// allocation-free
+/// [`observe_sparse`](MitigationScheme::observe_sparse) path (falling back
+/// per row to the generic `observe` when a scheme has no sparse path).
+///
+/// Per-row contributions accumulate in ascending row order, exactly like the
+/// scalar kernel, so the result is bit-identical to [`memory_mse`].
+#[must_use]
+pub fn memory_mse_sparse<S: MitigationScheme + ?Sized>(scheme: &S, faults: &FaultMap) -> f64 {
+    memory_mse_sparse_with(scheme, faults, |_| 0)
+}
+
+/// [`memory_mse_sparse`] against an arbitrary written-word source (a
+/// [`faultmit_memsim::DataImage`] row lookup, a dense slice, ...).
+///
+/// Only fault-bearing rows query `written`, so data images need never be
+/// materialised memory-wide: at sparse fault densities almost every row is
+/// clean and contributes exactly zero. Bit-identical to
+/// [`memory_mse_for_data`] when `written` agrees with the dense image.
+#[must_use]
+pub fn memory_mse_sparse_with<S, W>(scheme: &S, faults: &FaultMap, written: W) -> f64
+where
+    S: MitigationScheme + ?Sized,
+    W: Fn(usize) -> u64,
+{
+    let rows = faults.config().rows() as f64;
+    // -0.0 is the IEEE additive identity and what `Iterator::sum::<f64>`
+    // folds from: a fault-free die must yield the same bits (-0.0, not
+    // +0.0) as the scalar kernel's empty sum.
+    let mut total = -0.0;
+    for (row, row_faults) in faults.rows_with_faults() {
+        let stored = written(row);
+        let observed = scheme
+            .observe_sparse(row_faults, stored)
+            .unwrap_or_else(|| scheme.observe(faults, row, stored));
+        total += word_squared_error(stored, observed.value);
+    }
+    total / rows
 }
 
 #[cfg(test)]
@@ -226,5 +293,94 @@ mod tests {
         for scheme in Scheme::fig5_catalogue() {
             assert_eq!(memory_mse(&scheme, &faults), 0.0);
         }
+    }
+
+    #[test]
+    fn pow4_table_is_bit_identical_to_powi() {
+        for (b, entry) in POW4.iter().enumerate() {
+            assert_eq!(entry.to_bits(), 4.0_f64.powi(b as i32).to_bits(), "4^{b}");
+        }
+    }
+
+    #[test]
+    fn sparse_kernel_is_bit_identical_to_the_scalar_kernel() {
+        // Dense, sparse, multi-fault-per-row and stuck-at maps, every
+        // catalogue scheme (plus SECDED), zeros and non-trivial images.
+        let cases: Vec<Vec<Fault>> = vec![
+            vec![],
+            vec![Fault::bit_flip(5, 31)],
+            vec![Fault::bit_flip(0, 0), Fault::bit_flip(63, 31)],
+            vec![
+                Fault::bit_flip(7, 3),
+                Fault::bit_flip(7, 29),
+                Fault::stuck_at_one(7, 30),
+                Fault::stuck_at_zero(12, 15),
+            ],
+            (0..64).map(|r| Fault::bit_flip(r, (r * 7) % 32)).collect(),
+        ];
+        let mut schemes = Scheme::fig5_catalogue();
+        schemes.push(Scheme::secded32());
+        for faults in &cases {
+            let faults = map(faults);
+            let image: Vec<u64> = (0..64).map(|r| (r as u64).wrapping_mul(0x9E37)).collect();
+            for scheme in &schemes {
+                assert_eq!(
+                    memory_mse_sparse(scheme, &faults).to_bits(),
+                    memory_mse(scheme, &faults).to_bits(),
+                    "{} (zeros)",
+                    scheme.name()
+                );
+                assert_eq!(
+                    memory_mse_sparse_with(scheme, &faults, |row| image[row]).to_bits(),
+                    memory_mse_for_data(scheme, &faults, &image).to_bits(),
+                    "{} (data)",
+                    scheme.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_kernel_falls_back_for_schemes_without_a_sparse_path() {
+        // A custom scheme with no `observe_sparse` override goes through the
+        // generic path inside the sparse kernel and still agrees.
+        struct Invert {
+            bits: usize,
+        }
+        impl MitigationScheme for Invert {
+            fn name(&self) -> String {
+                "invert".to_owned()
+            }
+            fn word_bits(&self) -> usize {
+                self.bits
+            }
+            fn observe(
+                &self,
+                faults: &FaultMap,
+                row: usize,
+                written: u64,
+            ) -> faultmit_core::ObservedWord {
+                let corrupted = faults
+                    .faulty_columns(row)
+                    .iter()
+                    .fold(written, |w, &col| w ^ (1u64 << col));
+                faultmit_core::ObservedWord {
+                    value: corrupted,
+                    reliable: true,
+                }
+            }
+            fn worst_case_error_magnitude(&self, bit: usize) -> u64 {
+                1u64 << bit
+            }
+            fn extra_bits_per_row(&self) -> usize {
+                0
+            }
+        }
+        let scheme = Invert { bits: 32 };
+        let faults = map(&[Fault::bit_flip(2, 9), Fault::bit_flip(40, 1)]);
+        assert_eq!(
+            memory_mse_sparse(&scheme, &faults).to_bits(),
+            memory_mse(&scheme, &faults).to_bits()
+        );
     }
 }

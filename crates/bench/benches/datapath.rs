@@ -1,12 +1,17 @@
 //! Criterion micro-benchmarks of the protection-scheme datapaths: barrel
 //! shifter rotation, Hamming SECDED encode/decode, P-ECC decode, the
-//! bit-shuffling write/read path and the March BIST. These quantify the
-//! software-simulation cost backing the §5.1 overhead discussion.
+//! bit-shuffling write/read path, the March BIST, and the two halves of the
+//! Monte-Carlo inner loop (die generation vs. catalogue evaluation) timed
+//! separately. These quantify the software-simulation cost backing the §5.1
+//! overhead discussion and show where each campaign millisecond goes.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use faultmit_core::{rotate_left, rotate_right, SegmentGeometry, ShuffledMemory};
+use faultmit_analysis::memory_mse_sparse;
+use faultmit_core::{rotate_left, rotate_right, Scheme, SegmentGeometry, ShuffledMemory};
 use faultmit_ecc::{HammingSecded, PriorityEcc, SecdedCode};
-use faultmit_memsim::{Fault, FaultMap, MarchBist, MemoryConfig, SramArray};
+use faultmit_memsim::{
+    DieScratch, Fault, FaultMap, MarchBist, MemoryConfig, SramArray, SramVddBackend, StreamSeeder,
+};
 
 fn bench_shifter(c: &mut Criterion) {
     let mut group = c.benchmark_group("shifter");
@@ -95,11 +100,49 @@ fn bench_bist(c: &mut Criterion) {
     group.finish();
 }
 
+/// The Monte-Carlo inner loop, split into its two halves so regressions can
+/// be attributed: arena-backed die generation alone, and sparse catalogue
+/// evaluation alone over a fixed die (12 faults — the mean failure count of
+/// the kernel bench's `P_cell = 1e-4` operating point on the 16 KB array).
+fn bench_die_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("die_pipeline");
+    let memory = MemoryConfig::paper_16kb();
+    let backend = SramVddBackend::with_p_cell(memory, 1e-4).unwrap();
+    let seeder = StreamSeeder::new(0xD1E5);
+
+    group.bench_function("generate_die_n12", |b| {
+        let mut scratch = DieScratch::new(memory);
+        let mut sample = 0u64;
+        b.iter(|| {
+            let mut rng = seeder.rng_for_sample(sample);
+            sample = sample.wrapping_add(1);
+            scratch.generate(&backend, &mut rng, black_box(12)).unwrap();
+            scratch.map().fault_count()
+        })
+    });
+
+    let schemes = Scheme::fig5_catalogue();
+    let mut scratch = DieScratch::new(memory);
+    let mut rng = seeder.rng_for_sample(0);
+    scratch.generate(&backend, &mut rng, 12).unwrap();
+    let map = scratch.map();
+    group.bench_function("evaluate_catalogue_n12", |b| {
+        b.iter(|| {
+            schemes
+                .iter()
+                .map(|scheme| memory_mse_sparse(scheme, black_box(map)))
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_shifter,
     bench_ecc_codecs,
     bench_shuffled_memory,
-    bench_bist
+    bench_bist,
+    bench_die_pipeline
 );
 criterion_main!(benches);

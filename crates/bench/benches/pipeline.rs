@@ -9,18 +9,26 @@
 //! bit-identical across all worker counts — that invariant is pinned by the
 //! `determinism` integration test, while this bench tracks the speed.
 
-//! Besides the Criterion groups, `bench_worker_scaling_json` measures the
-//! fixed worker-count sweep 1/2/4/8 and writes `BENCH_pipeline.json` (path
-//! overridable via the `BENCH_PIPELINE_JSON` environment variable) through
-//! the in-tree JSON emitter, so thread scaling can be re-measured and
-//! tracked on any multi-core host.
+//! Besides the Criterion groups, `bench_throughput_json` measures the fixed
+//! worker-count sweep 1/2/4/8 plus the kernel-generation comparison
+//! (`scalar_btree` → `scalar_flat` → `sparse`) and writes
+//! `BENCH_pipeline.json` (path overridable via the `BENCH_PIPELINE_JSON`
+//! environment variable) through the in-tree JSON emitter, so throughput can
+//! be re-measured and tracked on any host.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use faultmit_analysis::{MonteCarloConfig, MonteCarloEngine};
+use faultmit_analysis::{
+    memory_mse, memory_mse_for_data, memory_mse_sparse, memory_mse_sparse_with, MonteCarloConfig,
+    MonteCarloEngine,
+};
 use faultmit_bench::json::{JsonValue, ToJson};
 use faultmit_core::Scheme;
-use faultmit_memsim::MemoryConfig;
-use faultmit_sim::Parallelism;
+use faultmit_memsim::{
+    corrupt_word, FaultKind, FaultKindLaw, FaultMap, ImageSpec, MemoryConfig, SramVddBackend,
+};
+use faultmit_sim::{Accumulator, Campaign, CampaignConfig, PairedSample, Parallelism};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Reduced Fig. 5 operating point: same geometry and failure counts that
@@ -92,6 +100,7 @@ struct WorkerScalingRow {
     workers: usize,
     mean_seconds_per_campaign: f64,
     samples_per_second: f64,
+    words_per_second: f64,
     speedup_vs_serial: f64,
 }
 
@@ -104,18 +113,430 @@ impl ToJson for WorkerScalingRow {
                 self.mean_seconds_per_campaign.to_json(),
             ),
             ("samples_per_second", self.samples_per_second.to_json()),
+            ("words_per_second", self.words_per_second.to_json()),
             ("speedup_vs_serial", self.speedup_vs_serial.to_json()),
         ])
     }
 }
 
-/// Times the reduced Fig. 5 campaign at 1/2/4/8 workers and writes the
-/// series as `BENCH_pipeline.json` — the ROADMAP's thread-scaling
-/// measurement, reproducible on any host.
-fn bench_worker_scaling_json(_c: &mut Criterion) {
+/// One row of the kernel-generation comparison (`speedup_vs_scalar` is
+/// relative to the `scalar_btree` baseline — the pre-flat-map kernel).
+struct KernelRow {
+    config: &'static str,
+    kernel: &'static str,
+    mean_seconds_per_campaign: f64,
+    samples_per_second: f64,
+    words_per_second: f64,
+    speedup_vs_scalar: f64,
+}
+
+impl ToJson for KernelRow {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("config", self.config.to_json()),
+            ("kernel", self.kernel.to_json()),
+            (
+                "mean_seconds_per_campaign",
+                self.mean_seconds_per_campaign.to_json(),
+            ),
+            ("samples_per_second", self.samples_per_second.to_json()),
+            ("words_per_second", self.words_per_second.to_json()),
+            ("speedup_vs_scalar", self.speedup_vs_scalar.to_json()),
+        ])
+    }
+}
+
+/// Minimal accumulator for kernel timing: folds every metric into one sum
+/// (no per-sample allocation, and the sum doubles as an equality witness
+/// that both kernels computed the same MSEs).
+#[derive(Default)]
+struct SumMetrics {
+    total: f64,
+    samples: u64,
+}
+
+impl Accumulator for SumMetrics {
+    fn record(&mut self, sample: &PairedSample) {
+        self.samples += 1;
+        for metric in &sample.metrics {
+            self.total += metric;
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.total += other.total;
+        self.samples += other.samples;
+    }
+}
+
+/// Seed of the kernel-comparison campaigns (arbitrary fixed constant).
+const KERNEL_SEED: u64 = 0x5E1F_F165;
+
+/// The pre-flat-map fault-map layout: per-die nested B-trees, rebuilt from
+/// each sampled flat map so the RNG schedule (and therefore every fault
+/// population) stays authoritative. The rebuild mirrors the tree
+/// construction the historical sampler performed during die generation.
+#[derive(Default)]
+struct LegacyDie {
+    by_row: BTreeMap<usize, BTreeMap<usize, FaultKind>>,
+    rows: usize,
+}
+
+impl LegacyDie {
+    fn rebuild(&mut self, map: &FaultMap) {
+        self.by_row.clear();
+        self.rows = map.config().rows();
+        for fault in map.iter() {
+            self.by_row
+                .entry(fault.row)
+                .or_default()
+                .insert(fault.col, fault.kind);
+        }
+    }
+
+    /// Historical `FaultMap::faulty_columns`: a fresh `Vec` per call.
+    fn faulty_columns(&self, row: usize) -> Vec<usize> {
+        self.by_row
+            .get(&row)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Historical `Scheme::corrupt`: re-walks the columns and performs a
+    /// tree lookup per fault.
+    fn corrupt(&self, row: usize, stored: u64) -> u64 {
+        let mut observed = stored;
+        for col in self.faulty_columns(row) {
+            if let Some(kind) = self.by_row.get(&row).and_then(|m| m.get(&col)).copied() {
+                observed = corrupt_word(observed, col, kind);
+            }
+        }
+        observed
+    }
+}
+
+/// Historical `word_squared_error`: `4^b` via `powi` (the flat kernels use a
+/// precomputed table that is bit-identical — pinned by a unit test).
+fn legacy_word_squared_error(written: u64, observed: u64) -> f64 {
+    let mut diff = written ^ observed;
+    let mut total = 0.0;
+    while diff != 0 {
+        let bit = diff.trailing_zeros();
+        total += 4.0_f64.powi(bit as i32);
+        diff &= diff - 1;
+    }
+    total
+}
+
+/// Historical `rotate_right`: reduces the shift with an integer modulo
+/// (today's shifter skips the division for in-range shifts).
+fn legacy_rotate_right(value: u64, shift: usize, width: usize) -> u64 {
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    let shift = shift % width;
+    if shift == 0 {
+        return value;
+    }
+    ((value >> shift) | (value << (width - shift))) & mask
+}
+
+fn legacy_rotate_left(value: u64, shift: usize, width: usize) -> u64 {
+    let shift = shift % width;
+    if shift == 0 {
+        return value;
+    }
+    legacy_rotate_right(value, width - shift, width)
+}
+
+/// Historical `FmLut::choose_shift` + `shift_amount`: per-candidate costs via
+/// `/`, `%` and `pow` (today's versions exploit the power-of-two widths).
+fn legacy_shift_for(geometry: &faultmit_core::SegmentGeometry, columns: &[usize]) -> usize {
+    let word_bits = geometry.word_bits();
+    let segment_bits = geometry.segment_bits();
+    let x_fm = match columns {
+        [] => 0,
+        [single] => *single / segment_bits,
+        _ => {
+            let mut best_index = 0usize;
+            let mut best_cost = u128::MAX;
+            for candidate in 0..geometry.segment_count() {
+                let shift = candidate * segment_bits;
+                let cost: u128 = columns
+                    .iter()
+                    .map(|&col| {
+                        let data_bit = (col + word_bits - shift) % word_bits;
+                        (1u128 << data_bit).pow(2)
+                    })
+                    .sum();
+                if cost < best_cost {
+                    best_cost = cost;
+                    best_index = candidate;
+                }
+            }
+            best_index
+        }
+    };
+    (segment_bits * (geometry.segment_count() - x_fm)) % word_bits
+}
+
+/// Historical `Scheme::observe` against the nested-tree layout (value only —
+/// the MSE kernel never reads the reliability flag).
+fn legacy_observe(scheme: &Scheme, die: &LegacyDie, row: usize, written: u64) -> u64 {
+    let columns = die.faulty_columns(row);
+    if columns.is_empty() {
+        return written;
+    }
+    match scheme {
+        Scheme::Unprotected { .. } => die.corrupt(row, written),
+        Scheme::Secded { .. } => {
+            let corrupted = die.corrupt(row, written);
+            if (corrupted ^ written).count_ones() <= 1 {
+                written
+            } else {
+                corrupted
+            }
+        }
+        Scheme::PriorityEcc {
+            word_bits,
+            protected_bits,
+        } => {
+            let corrupted = die.corrupt(row, written);
+            let unprotected_bits = word_bits - protected_bits;
+            let msb_mask = if *word_bits == 64 && unprotected_bits == 0 {
+                u64::MAX
+            } else {
+                (((1u64 << protected_bits) - 1) << unprotected_bits) & ((1u64 << word_bits) - 1)
+            };
+            if ((corrupted ^ written) & msb_mask).count_ones() <= 1 {
+                (written & msb_mask) | (corrupted & !msb_mask)
+            } else {
+                corrupted
+            }
+        }
+        Scheme::BitShuffle(geometry) => {
+            let shift = legacy_shift_for(geometry, &columns);
+            let stored = legacy_rotate_right(written, shift, geometry.word_bits());
+            let corrupted = die.corrupt(row, stored);
+            legacy_rotate_left(corrupted, shift, geometry.word_bits())
+        }
+    }
+}
+
+/// Historical MSE kernel over the nested-tree layout.
+fn legacy_memory_mse<W: Fn(usize) -> u64>(scheme: &Scheme, die: &LegacyDie, written: &W) -> f64 {
+    let rows = die.rows as f64;
+    let total: f64 = die
+        .by_row
+        .keys()
+        .map(|&row| {
+            let data = written(row);
+            legacy_word_squared_error(data, legacy_observe(scheme, die, row, data))
+        })
+        .sum();
+    total / rows
+}
+
+/// Times the pre-PR kernel: per-die nested B-trees and the allocating
+/// `observe` path. Die sampling still runs through the (flat) campaign
+/// sampler — the RNG authority — and the nested trees are rebuilt once per
+/// die inside the evaluation closure, standing in for the tree construction
+/// the historical sampler did at generation time.
+fn time_legacy_campaign<W>(
+    config: CampaignConfig<SramVddBackend>,
+    schemes: &[Scheme],
+    written: W,
+    reps: u32,
+) -> (f64, f64, u64)
+where
+    W: Fn(usize) -> u64 + Sync,
+{
+    struct LegacyState {
+        die: LegacyDie,
+        calls: usize,
+    }
+    let state = Mutex::new(LegacyState {
+        die: LegacyDie::default(),
+        calls: 0,
+    });
+    let n_schemes = schemes.len();
+    time_campaign(
+        config,
+        schemes,
+        |scheme, map| {
+            // The campaign evaluates all schemes of the catalogue against
+            // each die in order (serial parallelism), so every n-th call
+            // marks a fresh die.
+            let mut state = state.lock().unwrap();
+            if state.calls.is_multiple_of(n_schemes) {
+                state.die.rebuild(map);
+            }
+            state.calls += 1;
+            legacy_memory_mse(scheme, &state.die, &written)
+        },
+        reps,
+    )
+}
+
+/// Times `reps` runs of a single-threaded campaign and returns
+/// `(mean seconds per campaign, metric-sum witness, samples per campaign)`.
+///
+/// The metric sum is accumulated identically for every kernel, so matching
+/// witnesses prove the timed kernels computed the same MSEs.
+fn time_campaign<F>(
+    config: CampaignConfig<SramVddBackend>,
+    schemes: &[Scheme],
+    evaluate: F,
+    reps: u32,
+) -> (f64, f64, u64)
+where
+    F: Fn(&Scheme, &FaultMap) -> f64 + Sync,
+{
+    let campaign = Campaign::new(config);
+    // One warm-up campaign, then the mean of the timed repetitions.
+    campaign
+        .run(schemes, KERNEL_SEED, &evaluate, SumMetrics::default)
+        .unwrap();
+    let started = Instant::now();
+    let mut witness = 0.0;
+    let mut samples = 0;
+    for _ in 0..reps {
+        let acc = campaign
+            .run(schemes, KERNEL_SEED, &evaluate, SumMetrics::default)
+            .unwrap();
+        witness = acc.total;
+        samples = acc.samples;
+    }
+    (
+        started.elapsed().as_secs_f64() / f64::from(reps),
+        witness,
+        samples,
+    )
+}
+
+/// Measures three generations of the evaluation kernel at two
+/// single-threaded operating points:
+///
+/// * `scalar_btree` — the pre-PR baseline: per-die nested
+///   `BTreeMap<row, BTreeMap<col, kind>>` storage and the allocating
+///   `observe` path (`faulty_columns` vectors, per-fault tree lookups,
+///   `powi`);
+/// * `scalar_flat` — the flat sorted fault map with fresh per-die
+///   allocations and the generic `observe` path over dense image vectors;
+/// * `sparse` — the event-driven kernel: reusable `DieScratch` arena,
+///   `observe_sparse` row slices, per-faulty-row image gather.
+///
+/// Operating points:
+///
+/// * `fig5`: the paper's 16 KB array at `P_cell = 1e-4` (Fig. 9's matched
+///   density on the Fig. 5 axis), all-zeros background, Fig. 5 catalogue;
+/// * `fig9`: same array and density with the uniform-random data image and
+///   the decay-style stuck-at law — the data-dependent path.
+fn kernel_rows() -> Vec<KernelRow> {
+    const REPS: u32 = 5;
+    let memory = MemoryConfig::paper_16kb();
+    let schemes = Scheme::fig5_catalogue();
+    let words_per_sample = memory.rows() as f64;
+
+    let config = |scratch_reuse: bool, law: FaultKindLaw| {
+        let backend = SramVddBackend::with_p_cell(memory, 1e-4)
+            .unwrap()
+            .with_kind_law(law)
+            .unwrap();
+        CampaignConfig::for_backend(backend)
+            .unwrap()
+            .with_samples_per_count(10)
+            .with_max_failures(24)
+            .with_parallelism(Parallelism::Serial)
+            .with_scratch_reuse(scratch_reuse)
+    };
+    let stuck = FaultKindLaw::AsymmetricStuckAt {
+        p_stuck_at_zero: 0.9,
+    };
+    let image = ImageSpec::UniformRandom { seed: 0xF169_DA7A }
+        .try_materialise(memory)
+        .unwrap();
+    let dense = image.materialise(memory.rows());
+
+    let mut rows = Vec::new();
+    let mut push_triple = |label: &'static str,
+                           legacy: (f64, f64, u64),
+                           scalar: (f64, f64, u64),
+                           sparse: (f64, f64, u64)| {
+        for (kernel, other) in [("scalar_flat", scalar), ("sparse", sparse)] {
+            assert_eq!(
+                legacy.1.to_bits(),
+                other.1.to_bits(),
+                "{label}: scalar_btree and {kernel} kernels disagree on the MSE sum"
+            );
+        }
+        for (kernel, (seconds, _, samples)) in [
+            ("scalar_btree", legacy),
+            ("scalar_flat", scalar),
+            ("sparse", sparse),
+        ] {
+            rows.push(KernelRow {
+                config: label,
+                kernel,
+                mean_seconds_per_campaign: seconds,
+                samples_per_second: samples as f64 / seconds,
+                words_per_second: samples as f64 * words_per_sample / seconds,
+                speedup_vs_scalar: legacy.0 / seconds,
+            });
+        }
+    };
+
+    push_triple(
+        "fig5_p1e-4",
+        time_legacy_campaign(
+            config(false, FaultKindLaw::AlwaysFlip),
+            &schemes,
+            |_| 0,
+            REPS,
+        ),
+        time_campaign(
+            config(false, FaultKindLaw::AlwaysFlip),
+            &schemes,
+            memory_mse,
+            REPS,
+        ),
+        time_campaign(
+            config(true, FaultKindLaw::AlwaysFlip),
+            &schemes,
+            memory_mse_sparse,
+            REPS,
+        ),
+    );
+    push_triple(
+        "fig9_random_stuck",
+        time_legacy_campaign(config(false, stuck), &schemes, |row| dense[row], REPS),
+        time_campaign(
+            config(false, stuck),
+            &schemes,
+            |scheme, map| memory_mse_for_data(scheme, map, &dense),
+            REPS,
+        ),
+        time_campaign(
+            config(true, stuck),
+            &schemes,
+            |scheme, map| memory_mse_sparse_with(scheme, map, |row| image.word(row)),
+            REPS,
+        ),
+    );
+    rows
+}
+
+/// Times the reduced Fig. 5 campaign at 1/2/4/8 workers plus the
+/// scalar-vs-sparse kernel comparison and writes both series as
+/// `BENCH_pipeline.json` — the ROADMAP's throughput baseline, reproducible
+/// on any host.
+fn bench_throughput_json(_c: &mut Criterion) {
     const REPS: u32 = 3;
     let schemes = Scheme::fig5_catalogue();
     let samples_per_run = 12u64 * 10;
+    let words_per_sample = MemoryConfig::paper_16kb().rows() as f64;
 
     let measure = |parallelism: Parallelism| {
         let engine = operating_point(parallelism);
@@ -141,31 +562,48 @@ fn bench_worker_scaling_json(_c: &mut Criterion) {
             workers,
             mean_seconds_per_campaign: seconds,
             samples_per_second: samples_per_run as f64 / seconds,
+            words_per_second: samples_per_run as f64 * words_per_sample / seconds,
             speedup_vs_serial: serial_seconds / seconds,
         };
         println!(
-            "workers/{:<2} {:>10.2} ms/campaign   ({:>8.1} samples/s, {:.2}x vs serial)",
+            "workers/{:<2} {:>10.2} ms/campaign   ({:>8.1} samples/s, {:.3e} words/s, {:.2}x vs serial)",
             row.workers,
             row.mean_seconds_per_campaign * 1e3,
             row.samples_per_second,
+            row.words_per_second,
             row.speedup_vs_serial,
         );
         rows.push(row);
+    }
+
+    println!("\n== group: pipeline_kernels (BENCH_pipeline.json) ==");
+    let kernels = kernel_rows();
+    for row in &kernels {
+        println!(
+            "{:<18} {:<6} {:>10.2} ms/campaign   ({:>8.1} samples/s, {:.3e} words/s, {:.2}x vs scalar)",
+            row.config,
+            row.kernel,
+            row.mean_seconds_per_campaign * 1e3,
+            row.samples_per_second,
+            row.words_per_second,
+            row.speedup_vs_scalar,
+        );
     }
 
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let document = JsonValue::object([
-        ("bench", "pipeline_fig5_worker_scaling".to_json()),
+        ("bench", "pipeline_throughput".to_json()),
         ("host_cpus", host_cpus.to_json()),
         ("samples_per_campaign", samples_per_run.to_json()),
-        ("series", rows.to_json()),
+        ("worker_scaling", rows.to_json()),
+        ("kernels", kernels.to_json()),
     ]);
     let path =
         std::env::var("BENCH_PIPELINE_JSON").unwrap_or_else(|_| "BENCH_pipeline.json".into());
     match std::fs::write(&path, document.to_pretty_string()) {
-        Ok(()) => println!("wrote worker-scaling series to {path}"),
+        Ok(()) => println!("wrote throughput series to {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
 }
@@ -174,6 +612,6 @@ criterion_group!(
     benches,
     bench_campaign_throughput,
     bench_single_scheme_vs_paired,
-    bench_worker_scaling_json
+    bench_throughput_json
 );
 criterion_main!(benches);

@@ -247,29 +247,65 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let states = load_shard_files(&paths)?;
 
-    // Per-shard wall-clock summary (recorded in each checkpoint by
-    // `campaign_shard`): the spread tells the operator how to size K for
-    // the slowest host. Checkpoints from before the telemetry existed
-    // simply report no timing.
-    let timings: Vec<(String, Option<f64>)> = states
-        .iter()
-        .map(|state| (state.shard.to_string(), state.elapsed_seconds))
-        .collect();
+    // Per-shard wall-clock and throughput summary (timing recorded in each
+    // checkpoint by `campaign_shard`): the spread tells the operator how to
+    // size K for the slowest host, and the samples/s · words/s rates make
+    // runs comparable across hosts and kernel generations. Checkpoints from
+    // before the telemetry existed simply report no timing.
+    let words_per_sample = figure.words_per_sample(&spec);
     println!("per-shard wall clock:");
-    for (shard, elapsed) in &timings {
-        match elapsed {
-            Some(seconds) => println!("  shard {shard}: {seconds:.2}s"),
+    let mut timed_samples = 0usize;
+    let mut recorded: Vec<f64> = Vec::new();
+    for state in &states {
+        let shard = state.shard.to_string();
+        // A shard's sample count spans every Monte-Carlo panel it evaluated
+        // (deterministic table panels carry no sample stream).
+        let samples: usize = state
+            .panels
+            .iter()
+            .filter_map(|panel| panel.state.samples_recorded())
+            .sum();
+        match state.elapsed_seconds {
+            Some(seconds) if samples > 0 && seconds > 0.0 => {
+                timed_samples += samples;
+                recorded.push(seconds);
+                let samples_per_second = samples as f64 / seconds;
+                match words_per_sample {
+                    Some(words) => println!(
+                        "  shard {shard}: {seconds:.2}s ({samples_per_second:.1} samples/s, \
+                         {:.3e} words/s)",
+                        samples_per_second * words as f64
+                    ),
+                    None => println!(
+                        "  shard {shard}: {seconds:.2}s ({samples_per_second:.1} samples/s)"
+                    ),
+                }
+            }
+            Some(seconds) => {
+                recorded.push(seconds);
+                println!("  shard {shard}: {seconds:.2}s");
+            }
             None => println!("  shard {shard}: no timing recorded"),
         }
     }
-    let recorded: Vec<f64> = timings.iter().filter_map(|(_, e)| *e).collect();
     if !recorded.is_empty() {
-        println!(
-            "  total {:.2}s across {} timed shard(s), slowest {:.2}s",
-            recorded.iter().sum::<f64>(),
+        let total: f64 = recorded.iter().sum();
+        print!(
+            "  total {total:.2}s across {} timed shard(s), slowest {:.2}s",
             recorded.len(),
             recorded.iter().cloned().fold(0.0, f64::max),
         );
+        if timed_samples > 0 && total > 0.0 {
+            let samples_per_second = timed_samples as f64 / total;
+            match words_per_sample {
+                Some(words) => print!(
+                    " ({samples_per_second:.1} samples/s, {:.3e} words/s aggregate)",
+                    samples_per_second * words as f64
+                ),
+                None => print!(" ({samples_per_second:.1} samples/s aggregate)"),
+            }
+        }
+        println!();
     }
 
     let merged = ShardState::merge(states)?;

@@ -102,6 +102,10 @@ impl FigureDef for AblationLutDef {
         vec!["write_path".to_owned()]
     }
 
+    fn words_per_sample(&self, _spec: &FigureSpec) -> Option<u64> {
+        Some(1024)
+    }
+
     fn run_shard(
         &self,
         _spec: &FigureSpec,

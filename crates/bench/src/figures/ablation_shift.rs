@@ -160,6 +160,10 @@ impl FigureDef for AblationShiftDef {
             .collect()
     }
 
+    fn words_per_sample(&self, spec: &FigureSpec) -> Option<u64> {
+        Some(memory_rows(spec) as u64)
+    }
+
     fn run_shard(
         &self,
         spec: &FigureSpec,

@@ -160,6 +160,10 @@ impl FigureDef for Fig5Def {
         vec!["fig5".to_owned()]
     }
 
+    fn words_per_sample(&self, _spec: &FigureSpec) -> Option<u64> {
+        Some(MemoryConfig::paper_16kb().rows() as u64)
+    }
+
     fn run_shard(
         &self,
         spec: &FigureSpec,

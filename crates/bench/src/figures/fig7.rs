@@ -216,6 +216,10 @@ impl FigureDef for Fig7Def {
             .collect()
     }
 
+    fn words_per_sample(&self, spec: &FigureSpec) -> Option<u64> {
+        Some(if spec.full_scale { 4096 } else { 512 })
+    }
+
     fn run_shard(
         &self,
         spec: &FigureSpec,

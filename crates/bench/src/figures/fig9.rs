@@ -284,6 +284,10 @@ impl FigureDef for Fig9Def {
             .collect()
     }
 
+    fn words_per_sample(&self, _spec: &FigureSpec) -> Option<u64> {
+        Some(MemoryConfig::paper_16kb().rows() as u64)
+    }
+
     fn run_shard(
         &self,
         spec: &FigureSpec,

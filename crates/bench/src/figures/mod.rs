@@ -291,6 +291,18 @@ impl PanelState {
         }
     }
 
+    /// Monte-Carlo samples this state has accumulated — `None` for
+    /// deterministic tables, which have no sample stream. Campaign drivers
+    /// combine this with the shard's wall clock into `samples/s` telemetry.
+    #[must_use]
+    pub fn samples_recorded(&self) -> Option<usize> {
+        match self {
+            PanelState::Catalogue { accumulator, .. } => Some(accumulator.samples_recorded()),
+            PanelState::Records { records, .. } => Some(records.len()),
+            PanelState::Table { .. } => None,
+        }
+    }
+
     /// `true` when two states can merge: same shape and same catalogue /
     /// metric identity (deterministic tables must be equal).
     #[must_use]
@@ -455,6 +467,14 @@ pub trait FigureDef: Sync {
 
     /// Labels of the campaign panels a shard evaluates, in panel order.
     fn panel_labels(&self, spec: &FigureSpec) -> Vec<String>;
+
+    /// Memory words each Monte-Carlo sample evaluates under this spec, for
+    /// `words/s` throughput telemetry. `None` (the default) for figures
+    /// without a meaningful per-sample word count (deterministic tables).
+    fn words_per_sample(&self, spec: &FigureSpec) -> Option<u64> {
+        let _ = spec;
+        None
+    }
 
     /// Evaluates one shard of every panel, in panel order.
     ///

@@ -129,9 +129,10 @@ impl FmLut {
                         .iter()
                         .map(|&col| {
                             // Data bit stored in physical column `col` after a
-                            // right rotation by T = W − shift.
-                            let data_bit = (col + word_bits - shift) % word_bits;
-                            (1u128 << data_bit).pow(2)
+                            // right rotation by T = W − shift (`word_bits` is
+                            // a power of two, so the modulo is a mask).
+                            let data_bit = (col + word_bits - shift) & (word_bits - 1);
+                            1u128 << (2 * data_bit)
                         })
                         .sum();
                     if cost < best_cost {

@@ -19,7 +19,7 @@ use crate::fmlut::FmLut;
 use crate::segment::SegmentGeometry;
 use crate::shifter::{rotate_left, rotate_right};
 use faultmit_ecc::{HammingSecded, SecdedCode};
-use faultmit_memsim::{corrupt_word, FaultMap};
+use faultmit_memsim::{corrupt_word, Fault, FaultMap};
 
 /// The word an application observes after a faulty read, plus whether the
 /// protection scheme still vouches for it.
@@ -76,6 +76,20 @@ pub trait MitigationScheme {
     /// of a memory with the given fault map.
     fn observe(&self, faults: &FaultMap, row: usize, written: u64) -> ObservedWord;
 
+    /// Allocation-free fast path over one row's fault slice.
+    ///
+    /// `row_faults` must be a single row's faults sorted by ascending column
+    /// — exactly what [`FaultMap::row_faults`] returns. When a scheme
+    /// answers `Some(observed)`, the result must be **identical** to
+    /// [`MitigationScheme::observe`] on the map that produced the slice;
+    /// `None` means the scheme has no sparse path (or the slice falls
+    /// outside it) and the caller must fall back to `observe`. The default
+    /// always falls back, so custom schemes stay correct without opting in.
+    fn observe_sparse(&self, row_faults: &[Fault], written: u64) -> Option<ObservedWord> {
+        let _ = (row_faults, written);
+        None
+    }
+
     /// Worst-case error magnitude caused by a single fault at data bit
     /// position `bit` (0 when the scheme corrects such a fault).
     fn worst_case_error_magnitude(&self, bit: usize) -> u64;
@@ -96,6 +110,10 @@ impl<T: MitigationScheme + ?Sized> MitigationScheme for &T {
 
     fn observe(&self, faults: &FaultMap, row: usize, written: u64) -> ObservedWord {
         (**self).observe(faults, row, written)
+    }
+
+    fn observe_sparse(&self, row_faults: &[Fault], written: u64) -> Option<ObservedWord> {
+        (**self).observe_sparse(row_faults, written)
     }
 
     fn worst_case_error_magnitude(&self, bit: usize) -> u64 {
@@ -203,6 +221,16 @@ impl Scheme {
         }
         observed
     }
+
+    /// [`Scheme::corrupt`] over a sorted row slice: same fault order (the
+    /// slice is sorted by column, like `faulty_columns`), no map lookups.
+    fn corrupt_slice(row_faults: &[Fault], stored: u64) -> u64 {
+        let mut observed = stored;
+        for fault in row_faults {
+            observed = corrupt_word(observed, fault.col, fault.kind);
+        }
+        observed
+    }
 }
 
 impl MitigationScheme for Scheme {
@@ -300,6 +328,83 @@ impl MitigationScheme for Scheme {
                 }
             }
         }
+    }
+
+    fn observe_sparse(&self, row_faults: &[Fault], written: u64) -> Option<ObservedWord> {
+        if row_faults.is_empty() {
+            return Some(ObservedWord::intact(written));
+        }
+        Some(match self {
+            Scheme::Unprotected { .. } => ObservedWord {
+                value: Self::corrupt_slice(row_faults, written),
+                reliable: true,
+            },
+            Scheme::Secded { .. } => {
+                let corrupted = Self::corrupt_slice(row_faults, written);
+                let error_bits = (corrupted ^ written).count_ones();
+                if error_bits <= 1 {
+                    ObservedWord::intact(written)
+                } else {
+                    ObservedWord {
+                        value: corrupted,
+                        reliable: false,
+                    }
+                }
+            }
+            Scheme::PriorityEcc {
+                word_bits,
+                protected_bits,
+            } => {
+                let corrupted = Self::corrupt_slice(row_faults, written);
+                let unprotected_bits = word_bits - protected_bits;
+                let msb_mask = if *word_bits == 64 && unprotected_bits == 0 {
+                    u64::MAX
+                } else {
+                    (((1u64 << protected_bits) - 1) << unprotected_bits) & ((1u64 << word_bits) - 1)
+                };
+                let msb_errors = ((corrupted ^ written) & msb_mask).count_ones();
+                if msb_errors <= 1 {
+                    ObservedWord {
+                        value: (written & msb_mask) | (corrupted & !msb_mask),
+                        reliable: true,
+                    }
+                } else {
+                    ObservedWord {
+                        value: corrupted,
+                        reliable: false,
+                    }
+                }
+            }
+            Scheme::BitShuffle(geometry) => {
+                let x_fm = if let [single] = row_faults {
+                    // Single-fault rows (the common case at realistic fault
+                    // densities) skip the column gather entirely.
+                    geometry.segment_of_bit(single.col)
+                } else {
+                    // Gather the (already sorted) columns into a stack buffer
+                    // for the FM-LUT vote; a word has at most 64 columns, so a
+                    // longer slice is malformed input — fall back to the
+                    // generic path.
+                    let mut columns = [0usize; 64];
+                    if row_faults.len() > columns.len() {
+                        return None;
+                    }
+                    for (slot, fault) in columns.iter_mut().zip(row_faults) {
+                        *slot = fault.col;
+                    }
+                    FmLut::choose_shift(*geometry, &columns[..row_faults.len()])
+                };
+                let shift = geometry
+                    .shift_amount(x_fm)
+                    .expect("choose_shift returns a valid segment index");
+                let stored = rotate_right(written, shift, geometry.word_bits());
+                let corrupted = Self::corrupt_slice(row_faults, stored);
+                ObservedWord {
+                    value: rotate_left(corrupted, shift, geometry.word_bits()),
+                    reliable: true,
+                }
+            }
+        })
     }
 
     fn worst_case_error_magnitude(&self, bit: usize) -> u64 {
@@ -502,6 +607,75 @@ mod tests {
             reliable: true,
         };
         assert_eq!(observed.signed_error(3, 32), 2);
+    }
+
+    #[test]
+    fn observe_sparse_matches_observe_for_every_scheme() {
+        // The sparse contract: Some(answer) must equal the generic path on
+        // the map whose row slice was passed in — for every catalogue
+        // scheme, every kind mix, and both sparse and dense rows.
+        let cases: Vec<Vec<Fault>> = vec![
+            vec![],
+            vec![Fault::bit_flip(0, 31)],
+            vec![Fault::stuck_at_one(0, 5), Fault::stuck_at_zero(0, 9)],
+            vec![
+                Fault::bit_flip(0, 0),
+                Fault::bit_flip(0, 15),
+                Fault::bit_flip(0, 16),
+                Fault::stuck_at_one(0, 30),
+            ],
+            (0..32).map(|col| Fault::bit_flip(0, col)).collect(),
+        ];
+        let mut schemes = Scheme::fig5_catalogue();
+        schemes.push(Scheme::secded32());
+        for faults in &cases {
+            let map = map(faults);
+            let slice = map.row_faults(0);
+            for scheme in &schemes {
+                for &written in &[0u64, 0xFFFF_FFFF, 0xDEAD_BEEF, 0x8000_0001] {
+                    assert_eq!(
+                        scheme.observe_sparse(slice, written),
+                        Some(scheme.observe(&map, 0, written)),
+                        "{} written={written:#x} faults={faults:?}",
+                        scheme.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn observe_sparse_default_falls_back() {
+        // A custom scheme that does not opt in keeps the default `None`.
+        struct Passthrough;
+        impl MitigationScheme for Passthrough {
+            fn name(&self) -> String {
+                "passthrough".to_owned()
+            }
+            fn word_bits(&self) -> usize {
+                32
+            }
+            fn observe(&self, _: &FaultMap, _: usize, written: u64) -> ObservedWord {
+                ObservedWord::intact(written)
+            }
+            fn worst_case_error_magnitude(&self, _: usize) -> u64 {
+                0
+            }
+            fn extra_bits_per_row(&self) -> usize {
+                0
+            }
+        }
+        assert_eq!(Passthrough.observe_sparse(&[], 7), None);
+        // The blanket `&T` impl forwards the concrete scheme's fast path.
+        let scheme = Scheme::unprotected32();
+        let by_ref: &dyn MitigationScheme = &scheme;
+        assert_eq!(
+            (&by_ref).observe_sparse(&[Fault::bit_flip(0, 3)], 0),
+            Some(ObservedWord {
+                value: 1 << 3,
+                reliable: true
+            })
+        );
     }
 
     #[test]

@@ -115,6 +115,13 @@ impl SegmentGeometry {
         1u64 << (self.segment_bits() - 1)
     }
 
+    /// `log2(S)` — the constructor guarantees `word_bits` is a power of two,
+    /// so the segment size is one as well and divisions by it reduce to
+    /// shifts (this sits on the per-faulty-row evaluation path).
+    fn segment_bits_log2(&self) -> usize {
+        self.word_bits.trailing_zeros() as usize - self.n_fm
+    }
+
     /// Segment index containing bit position `bit` (0 = least significant
     /// segment).
     ///
@@ -124,13 +131,13 @@ impl SegmentGeometry {
     #[must_use]
     pub fn segment_of_bit(&self, bit: usize) -> usize {
         debug_assert!(bit < self.word_bits);
-        bit / self.segment_bits()
+        bit >> self.segment_bits_log2()
     }
 
     /// Bit offset of `bit` within its segment.
     #[must_use]
     pub fn offset_in_segment(&self, bit: usize) -> usize {
-        bit % self.segment_bits()
+        bit & (self.segment_bits() - 1)
     }
 
     /// The circular right-shift amount `T = S · (2^{n_FM} − x_FM)` (Eq. (2)),
@@ -147,7 +154,8 @@ impl SegmentGeometry {
                 segments: self.segment_count(),
             });
         }
-        Ok((self.segment_bits() * (self.segment_count() - x_fm)) % self.word_bits)
+        // `word_bits` is a power of two, so the modulo is a mask.
+        Ok(((self.segment_count() - x_fm) << self.segment_bits_log2()) & (self.word_bits - 1))
     }
 
     /// Mask covering the word width.

@@ -31,7 +31,9 @@ pub fn rotate_right(value: u64, shift: usize, width: usize) -> u64 {
         (1u64 << width) - 1
     };
     debug_assert_eq!(value & !mask, 0, "value has bits above the word width");
-    let shift = shift % width;
+    // In-range shifts (the overwhelmingly common case on the evaluation hot
+    // path) skip the integer division of the modulo reduction.
+    let shift = if shift < width { shift } else { shift % width };
     if shift == 0 {
         return value;
     }
@@ -58,7 +60,7 @@ pub fn rotate_right(value: u64, shift: usize, width: usize) -> u64 {
 #[must_use]
 pub fn rotate_left(value: u64, shift: usize, width: usize) -> u64 {
     assert!(width > 0 && width <= 64, "width must be in 1..=64");
-    let shift = shift % width;
+    let shift = if shift < width { shift } else { shift % width };
     if shift == 0 {
         return value;
     }

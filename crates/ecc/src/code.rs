@@ -63,6 +63,25 @@ pub trait SecdedCode {
     /// `codeword_bits()` bits.
     fn decode(&self, codeword: u64) -> Result<Decoded, EccError>;
 
+    /// Decodes a codeword the caller *knows* is uncorrupted, e.g. because
+    /// the memory's fault map has no fault in the word's row.
+    ///
+    /// For any codeword produced by [`SecdedCode::encode`] this must return
+    /// exactly what [`SecdedCode::decode`] returns — `data` recovered and
+    /// [`DecodeOutcome::Clean`]. Implementations may skip syndrome and
+    /// parity computation, so the behaviour on a codeword that *is*
+    /// corrupted is unspecified; callers must gate this on external
+    /// knowledge of fault-freeness. The default simply runs the full
+    /// decoder, so custom codes stay correct without opting in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EccError::CodewordTooWide`] when `codeword` does not fit in
+    /// `codeword_bits()` bits.
+    fn decode_clean(&self, codeword: u64) -> Result<Decoded, EccError> {
+        self.decode(codeword)
+    }
+
     /// Storage overhead of the code: extra bits per data bit.
     fn storage_overhead(&self) -> f64 {
         self.parity_bits() as f64 / self.data_bits() as f64

@@ -232,6 +232,23 @@ impl SecdedCode for HammingSecded {
             outcome: DecodeOutcome::DetectedDouble,
         })
     }
+
+    fn decode_clean(&self, codeword: u64) -> Result<Decoded, EccError> {
+        if codeword & !self.codeword_mask() != 0 {
+            return Err(EccError::CodewordTooWide {
+                value: codeword,
+                codeword_bits: self.codeword_bits(),
+            });
+        }
+        // A valid codeword has syndrome 0 and consistent overall parity, so
+        // the full decoder's clean branch reduces to gathering the data bits
+        // out of the Hamming register — no syndrome or parity work.
+        let register = codeword & ((1u64 << self.hamming_positions()) - 1);
+        Ok(Decoded {
+            data: self.gather_data(register),
+            outcome: DecodeOutcome::Clean,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -295,6 +312,27 @@ mod tests {
             assert_eq!(decoded.data, value);
             assert_eq!(decoded.outcome, DecodeOutcome::Clean);
         }
+    }
+
+    #[test]
+    fn decode_clean_matches_full_decode_on_valid_codewords() {
+        // The fast path must be bit-identical to the full decoder whenever
+        // its precondition (an uncorrupted codeword) holds — exhaustively
+        // over H(13,8), and on representative values for the wider codes.
+        let h13 = HammingSecded::h13_8();
+        for value in 0..=0xFFu64 {
+            let cw = h13.encode(value).unwrap();
+            assert_eq!(h13.decode_clean(cw).unwrap(), h13.decode(cw).unwrap());
+        }
+        for code in [HammingSecded::h22_16(), HammingSecded::h39_32()] {
+            for &value in &[0u64, 1, 0xFFFF, 0x8000, 0xDEAD, 0x5555, 0xAAAA] {
+                let cw = code.encode(value).unwrap();
+                let fast = code.decode_clean(cw).unwrap();
+                assert_eq!(fast, code.decode(cw).unwrap());
+                assert_eq!(fast.outcome, DecodeOutcome::Clean);
+            }
+        }
+        assert!(h13.decode_clean(1 << 13).is_err());
     }
 
     #[test]

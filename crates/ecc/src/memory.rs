@@ -95,12 +95,21 @@ impl EccMemory {
 
     /// Reads and decodes the word at `row`.
     ///
+    /// Rows without any fault take the [`SecdedCode::decode_clean`] fast
+    /// path — no syndrome or parity computation — which is bit-identical to
+    /// the full decoder on an uncorrupted codeword.
+    ///
     /// # Errors
     ///
     /// Returns an error when the row is out of range.
     pub fn read(&mut self, row: usize) -> Result<Decoded, EccError> {
+        let clean = !self.array.faults().row_has_fault(row);
         let codeword = self.array.read(row)?;
-        self.code.decode(codeword)
+        if clean {
+            self.code.decode_clean(codeword)
+        } else {
+            self.code.decode(codeword)
+        }
     }
 }
 
@@ -169,12 +178,21 @@ impl PeccMemory {
 
     /// Reads and decodes the word at `row`.
     ///
+    /// Rows without any fault take the [`SecdedCode::decode_clean`] fast
+    /// path — no syndrome or parity computation — which is bit-identical to
+    /// the full decoder on an uncorrupted codeword.
+    ///
     /// # Errors
     ///
     /// Returns an error when the row is out of range.
     pub fn read(&mut self, row: usize) -> Result<Decoded, EccError> {
+        let clean = !self.array.faults().row_has_fault(row);
         let stored = self.array.read(row)?;
-        self.pecc.decode(stored)
+        if clean {
+            self.pecc.decode_clean(stored)
+        } else {
+            self.pecc.decode(stored)
+        }
     }
 }
 
@@ -288,6 +306,34 @@ mod tests {
             outcome: DecodeOutcome::DetectedDouble,
         };
         assert!(outcome_is_suspect(&double, 5));
+    }
+
+    #[test]
+    fn clean_row_fast_path_is_gated_on_the_fault_map() {
+        // Fault-free rows take the syndrome-free path; any row *with* a
+        // fault — even a silent stuck-at that doesn't flip a stored bit —
+        // must still run the full decoder. Both must agree with a
+        // non-fast-path reference decode of the raw stored word.
+        let silent = Fault::stuck_at_one(3, 0); // bit 0 of the codeword
+        let mut mem = EccMemory::h39_32(8, faults_39(&[silent])).unwrap();
+        for row in 0..8 {
+            mem.write(row, 0xC0FF_EE00 + row as u64).unwrap();
+        }
+        for row in 0..8 {
+            let raw = mem.array().peek(row).unwrap();
+            let reference = mem.code().decode(raw).unwrap();
+            assert_eq!(mem.read(row).unwrap(), reference, "row {row}");
+        }
+
+        let mut mem = PeccMemory::paper_32bit(8, faults_38(&[Fault::bit_flip(5, 2)])).unwrap();
+        for row in 0..8 {
+            mem.write(row, 0x1BAD_B002 + row as u64).unwrap();
+        }
+        for row in 0..8 {
+            let raw = mem.array().peek(row).unwrap();
+            let reference = mem.pecc().decode(raw).unwrap();
+            assert_eq!(mem.read(row).unwrap(), reference, "row {row}");
+        }
     }
 
     #[test]

@@ -182,6 +182,28 @@ impl SecdedCode for PriorityEcc {
             outcome: decoded_msbs.outcome,
         })
     }
+
+    fn decode_clean(&self, stored: u64) -> Result<Decoded, EccError> {
+        let total_bits = self.codeword_bits();
+        let stored_mask = if total_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << total_bits) - 1
+        };
+        if stored & !stored_mask != 0 {
+            return Err(EccError::CodewordTooWide {
+                value: stored,
+                codeword_bits: total_bits,
+            });
+        }
+        let lsbs = stored & self.lsb_mask();
+        let codeword = stored >> self.codeword_offset();
+        let decoded_msbs = self.code.decode_clean(codeword)?;
+        Ok(Decoded {
+            data: lsbs | (decoded_msbs.data << self.unprotected_bits()),
+            outcome: decoded_msbs.outcome,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -224,6 +246,18 @@ mod tests {
             assert_eq!(decoded.data, value);
             assert_eq!(decoded.outcome, DecodeOutcome::Clean);
         }
+    }
+
+    #[test]
+    fn decode_clean_matches_full_decode_on_valid_stored_words() {
+        let pecc = PriorityEcc::paper_32bit().unwrap();
+        for &value in &[0u64, 0xFFFF_FFFF, 0xDEAD_BEEF, 0x0000_FFFF, 0xFFFF_0000] {
+            let stored = pecc.encode(value).unwrap();
+            let fast = pecc.decode_clean(stored).unwrap();
+            assert_eq!(fast, pecc.decode(stored).unwrap());
+            assert_eq!(fast.outcome, DecodeOutcome::Clean);
+        }
+        assert!(pecc.decode_clean(1 << 38).is_err());
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! DRAM/eDRAM retention-failure backend: exponential weak-cell retention
 //! times and spatially clustered fault placement.
 
-use super::{place_distinct, FaultBackend, FaultKindLaw, OperatingPoint};
+use super::{place_distinct, place_distinct_into, FaultBackend, FaultKindLaw, OperatingPoint};
 use crate::config::MemoryConfig;
 use crate::error::MemError;
 use crate::fault::FaultMap;
+use crate::scratch::DieScratch;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -218,6 +219,31 @@ impl DramRetentionBackend {
         let t_ref_s = self.refresh_interval_ms * 1e-3;
         self.weak_cell_fraction * (1.0 - (-t_ref_s / self.tau_s()).exp())
     }
+
+    /// The backend's spatial proposal law, shared verbatim by the allocating
+    /// and scratch sampling paths: cluster state persists across proposals —
+    /// a centre serves a burst of faults before the next centre is drawn.
+    fn proposer(&self) -> impl FnMut(&mut StdRng) -> (usize, usize) {
+        let rows = self.config.rows();
+        let cols = self.config.word_bits();
+        let burst_max = (2 * self.cluster_size).saturating_sub(1).max(1);
+        let cluster_rows = self.cluster_rows as i64;
+        let cluster_cols = self.cluster_cols as i64;
+        let mut remaining_in_cluster = 0usize;
+        let mut centre = (0usize, 0usize);
+        move |rng: &mut StdRng| {
+            if remaining_in_cluster == 0 {
+                centre = (rng.gen_range(0..rows), rng.gen_range(0..cols));
+                remaining_in_cluster = rng.gen_range(1..=burst_max);
+            }
+            remaining_in_cluster -= 1;
+            let dr = rng.gen_range(-cluster_rows..=cluster_rows);
+            let dc = rng.gen_range(-cluster_cols..=cluster_cols);
+            let row = (centre.0 as i64 + dr).rem_euclid(rows as i64) as usize;
+            let col = (centre.1 as i64 + dc).rem_euclid(cols as i64) as usize;
+            (row, col)
+        }
+    }
 }
 
 impl FaultBackend for DramRetentionBackend {
@@ -241,26 +267,23 @@ impl FaultBackend for DramRetentionBackend {
     }
 
     fn sample_with_count(&self, rng: &mut StdRng, n_faults: usize) -> Result<FaultMap, MemError> {
-        let rows = self.config.rows();
-        let cols = self.config.word_bits();
-        let burst_max = (2 * self.cluster_size).saturating_sub(1).max(1);
-        // Cluster state persists across proposals: a centre serves a burst
-        // of faults before the next centre is drawn.
-        let mut remaining_in_cluster = 0usize;
-        let mut centre = (0usize, 0usize);
-        let propose = move |rng: &mut StdRng| {
-            if remaining_in_cluster == 0 {
-                centre = (rng.gen_range(0..rows), rng.gen_range(0..cols));
-                remaining_in_cluster = rng.gen_range(1..=burst_max);
-            }
-            remaining_in_cluster -= 1;
-            let dr = rng.gen_range(-(self.cluster_rows as i64)..=self.cluster_rows as i64);
-            let dc = rng.gen_range(-(self.cluster_cols as i64)..=self.cluster_cols as i64);
-            let row = (centre.0 as i64 + dr).rem_euclid(rows as i64) as usize;
-            let col = (centre.1 as i64 + dc).rem_euclid(cols as i64) as usize;
-            (row, col)
-        };
-        place_distinct(self.config, rng, n_faults, self.kind_law, propose)
+        place_distinct(self.config, rng, n_faults, self.kind_law, self.proposer())
+    }
+
+    fn sample_into(
+        &self,
+        rng: &mut StdRng,
+        n_faults: usize,
+        scratch: &mut DieScratch,
+    ) -> Result<(), MemError> {
+        place_distinct_into(
+            self.config,
+            rng,
+            n_faults,
+            self.kind_law,
+            self.proposer(),
+            scratch,
+        )
     }
 }
 

@@ -1,10 +1,11 @@
 //! Multi-level-cell (MLC) NVM backend: drift-broadened level margins and
 //! level-dependent, asymmetric bit-error placement.
 
-use super::{place_distinct, FaultBackend, FaultKindLaw, OperatingPoint};
+use super::{place_distinct_into, FaultBackend, FaultKindLaw, OperatingPoint};
 use crate::config::MemoryConfig;
 use crate::error::MemError;
 use crate::fault::FaultMap;
+use crate::scratch::DieScratch;
 use crate::stats::{normal_cdf, normal_quantile};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -299,6 +300,20 @@ impl FaultBackend for MlcNvmBackend {
     }
 
     fn sample_with_count(&self, rng: &mut StdRng, n_faults: usize) -> Result<FaultMap, MemError> {
+        // One sampling implementation only: the scratch path with a fresh
+        // (cold) arena — RNG consumption and resulting maps are identical
+        // by construction.
+        let mut scratch = DieScratch::new(self.config);
+        self.sample_into(rng, n_faults, &mut scratch)?;
+        Ok(scratch.into_map())
+    }
+
+    fn sample_into(
+        &self,
+        rng: &mut StdRng,
+        n_faults: usize,
+        scratch: &mut DieScratch,
+    ) -> Result<(), MemError> {
         let rows = self.config.rows();
         let cols = self.config.word_bits();
         if self.bits_per_cell == 2 {
@@ -318,25 +333,33 @@ impl FaultBackend for MlcNvmBackend {
                 };
                 (row, col)
             };
-            return place_distinct(self.config, rng, n_faults, self.kind_law, propose);
+            return place_distinct_into(
+                self.config,
+                rng,
+                n_faults,
+                self.kind_law,
+                propose,
+                scratch,
+            );
         }
 
         // TLC/QLC: columns cycle through the b pages (col % b) with
         // per-column fault mass w^(b−1−p) for page p — at the default w = 2
         // the Gray-code boundary transition counts 4 : 2 : 1 (TLC) and
-        // 8 : 4 : 2 : 1 (QLC).
+        // 8 : 4 : 2 : 1 (QLC). Page tables live on the stack (b ≤ 4) so the
+        // scratch path stays allocation-free.
         let pages = self.bits_per_cell as usize;
-        let page_cols: Vec<usize> = (0..pages).map(|p| (cols + pages - 1 - p) / pages).collect();
-        let page_weights: Vec<f64> = (0..pages)
-            .map(|p| self.lsb_weight.powi((pages - 1 - p) as i32))
-            .collect();
-        let page_masses: Vec<f64> = page_cols
-            .iter()
-            .zip(&page_weights)
-            .map(|(&count, &weight)| count as f64 * weight)
-            .collect();
-        let total_mass: f64 = page_masses.iter().sum();
-        let last_page = page_cols
+        let mut page_cols = [0usize; 4];
+        let mut page_weights = [0f64; 4];
+        let mut page_masses = [0f64; 4];
+        let mut total_mass = 0f64;
+        for p in 0..pages {
+            page_cols[p] = (cols + pages - 1 - p) / pages;
+            page_weights[p] = self.lsb_weight.powi((pages - 1 - p) as i32);
+            page_masses[p] = page_cols[p] as f64 * page_weights[p];
+            total_mass += page_masses[p];
+        }
+        let last_page = page_cols[..pages]
             .iter()
             .rposition(|&count| count > 0)
             .expect("a memory word has at least one column");
@@ -355,7 +378,7 @@ impl FaultBackend for MlcNvmBackend {
                 pages * ((u / page_weights[chosen]) as usize).min(page_cols[chosen] - 1) + chosen;
             (row, col)
         };
-        place_distinct(self.config, rng, n_faults, self.kind_law, propose)
+        place_distinct_into(self.config, rng, n_faults, self.kind_law, propose, scratch)
     }
 }
 

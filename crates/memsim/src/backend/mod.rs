@@ -142,6 +142,7 @@ use crate::config::MemoryConfig;
 use crate::error::MemError;
 use crate::fault::{FaultKind, FaultMap};
 use crate::montecarlo::FailureCountDistribution;
+use crate::scratch::DieScratch;
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::fmt;
@@ -383,6 +384,33 @@ pub trait FaultBackend: fmt::Debug + Send + Sync {
     /// cell count, or propagates map-construction errors.
     fn sample_with_count(&self, rng: &mut StdRng, n_faults: usize) -> Result<FaultMap, MemError>;
 
+    /// Draws a fault map with exactly `n_faults` faults into a reusable
+    /// [`DieScratch`] arena instead of allocating a fresh map.
+    ///
+    /// Implementations must consume the RNG **identically** to
+    /// [`FaultBackend::sample_with_count`] and leave the arena's map equal
+    /// to what that method would have returned — the sparse evaluation
+    /// pipeline treats the two paths as interchangeable and the
+    /// kernel-equivalence suite asserts it. The default implementation
+    /// simply delegates to the allocating path and moves the result into
+    /// the arena, so custom backends stay correct (but not allocation-free)
+    /// without overriding this; the in-tree backends override it to reuse
+    /// the arena's buffers end to end.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`FaultBackend::sample_with_count`].
+    fn sample_into(
+        &self,
+        rng: &mut StdRng,
+        n_faults: usize,
+        scratch: &mut DieScratch,
+    ) -> Result<(), MemError> {
+        let map = self.sample_with_count(rng, n_faults)?;
+        scratch.replace_map(map);
+        Ok(())
+    }
+
     /// Distribution of the die failure count `N` implied by the per-cell
     /// law (binomial over the marginal `p_cell`; for spatially correlated
     /// backends this is the matched-marginal approximation used to weight
@@ -416,6 +444,15 @@ impl<B: FaultBackend + ?Sized> FaultBackend for &B {
 
     fn sample_with_count(&self, rng: &mut StdRng, n_faults: usize) -> Result<FaultMap, MemError> {
         (**self).sample_with_count(rng, n_faults)
+    }
+
+    fn sample_into(
+        &self,
+        rng: &mut StdRng,
+        n_faults: usize,
+        scratch: &mut DieScratch,
+    ) -> Result<(), MemError> {
+        (**self).sample_into(rng, n_faults, scratch)
     }
 
     fn failure_distribution(&self) -> Result<FailureCountDistribution, MemError> {
@@ -598,6 +635,19 @@ impl FaultBackend for Backend {
             Backend::Mlc(b) => b.sample_with_count(rng, n_faults),
         }
     }
+
+    fn sample_into(
+        &self,
+        rng: &mut StdRng,
+        n_faults: usize,
+        scratch: &mut DieScratch,
+    ) -> Result<(), MemError> {
+        match self {
+            Backend::Sram(b) => b.sample_into(rng, n_faults, scratch),
+            Backend::Dram(b) => b.sample_into(rng, n_faults, scratch),
+            Backend::Mlc(b) => b.sample_into(rng, n_faults, scratch),
+        }
+    }
 }
 
 impl From<SramVddBackend> for Backend {
@@ -628,8 +678,57 @@ pub(crate) fn place_distinct<R, P>(
     rng: &mut R,
     n_faults: usize,
     kind_law: FaultKindLaw,
-    mut propose: P,
+    propose: P,
 ) -> Result<FaultMap, MemError>
+where
+    R: Rng + ?Sized,
+    P: FnMut(&mut R) -> (usize, usize),
+{
+    let mut taken = std::collections::HashSet::with_capacity(n_faults);
+    let mut map = FaultMap::new(config);
+    place_distinct_core(
+        config, rng, n_faults, kind_law, propose, &mut taken, &mut map,
+    )?;
+    Ok(map)
+}
+
+/// [`place_distinct`] into a scratch arena: identical placement algorithm
+/// and RNG consumption, but the occupancy set and the fault map are the
+/// arena's reusable (cleared, never dropped) containers.
+pub(crate) fn place_distinct_into<R, P>(
+    config: MemoryConfig,
+    rng: &mut R,
+    n_faults: usize,
+    kind_law: FaultKindLaw,
+    propose: P,
+    scratch: &mut DieScratch,
+) -> Result<(), MemError>
+where
+    R: Rng + ?Sized,
+    P: FnMut(&mut R) -> (usize, usize),
+{
+    scratch.reset_map(config);
+    scratch.taken.clear();
+    place_distinct_core(
+        config,
+        rng,
+        n_faults,
+        kind_law,
+        propose,
+        &mut scratch.taken,
+        &mut scratch.map,
+    )
+}
+
+fn place_distinct_core<R, P>(
+    config: MemoryConfig,
+    rng: &mut R,
+    n_faults: usize,
+    kind_law: FaultKindLaw,
+    mut propose: P,
+    taken: &mut std::collections::HashSet<usize>,
+    map: &mut FaultMap,
+) -> Result<(), MemError>
 where
     R: Rng + ?Sized,
     P: FnMut(&mut R) -> (usize, usize),
@@ -641,8 +740,6 @@ where
             reason: format!("cannot place {n_faults} faults in {total} cells"),
         });
     }
-    let mut taken = std::collections::HashSet::with_capacity(n_faults);
-    let mut map = FaultMap::new(config);
     while map.fault_count() < n_faults {
         let mut placed = false;
         for _ in 0..MAX_PROPOSALS_PER_FAULT {
@@ -667,7 +764,7 @@ where
             }
         }
     }
-    Ok(map)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@ use crate::error::MemError;
 use crate::failure_model::{CellFailureModel, NOMINAL_VDD};
 use crate::fault::{Fault, FaultMap};
 use crate::montecarlo::FaultMapSampler;
+use crate::scratch::DieScratch;
 use rand::rngs::StdRng;
 
 /// SRAM bit-cell failures exposed by supply-voltage scaling — the paper's
@@ -171,6 +172,22 @@ impl FaultBackend for SramVddBackend {
             .map(|fault| Fault::new(fault.row, fault.col, self.kind_law.sample(rng)))
             .collect();
         FaultMap::from_faults(self.config, faults)
+    }
+
+    fn sample_into(
+        &self,
+        rng: &mut StdRng,
+        n_faults: usize,
+        scratch: &mut DieScratch,
+    ) -> Result<(), MemError> {
+        // Same RNG schedule as `sample_with_count`: Floyd placement first
+        // (into the arena's index buffers), then — for non-default laws —
+        // one kind draw per fault in (row, column) order.
+        FaultMapSampler::new(self.config).sample_with_count_into(rng, n_faults, scratch)?;
+        if !matches!(self.kind_law, FaultKindLaw::AlwaysFlip) {
+            scratch.map.rekind_in_order(|| self.kind_law.sample(rng));
+        }
+        Ok(())
     }
 }
 

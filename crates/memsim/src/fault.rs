@@ -8,7 +8,6 @@
 
 use crate::config::MemoryConfig;
 use crate::error::MemError;
-use std::collections::BTreeMap;
 
 /// Behaviour of a faulty bit-cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -91,6 +90,23 @@ impl Fault {
 /// same `(row, col)` replaces the previous one (the physical cell has exactly
 /// one behaviour).
 ///
+/// # Flat storage layout
+///
+/// Faults live in one flat `Vec<Fault>` kept sorted by `(row, col)` — a
+/// CSR-style layout without an explicit offset array, since per-die fault
+/// counts are tiny (tens to hundreds). Row lookups are two binary searches
+/// ([`slice::partition_point`]) yielding a contiguous
+/// [`FaultMap::row_faults`] slice, and [`FaultMap::rows_with_faults`] walks
+/// the groups in one pass. Compared to the previous
+/// `BTreeMap<usize, BTreeMap<usize, FaultKind>>` this removes all per-node
+/// heap allocation and pointer chasing from the Monte-Carlo hot loop, and
+/// [`FaultMap::clear`] lets a scratch map be refilled die after die with no
+/// steady-state allocation at all (see `DieScratch`).
+///
+/// Inserts shift the tail of the vector (`O(n)` worst case), which is far
+/// cheaper at campaign fault counts than the pointer-chased alternative —
+/// and backends insert in mostly ascending index order anyway.
+///
 /// # Example
 ///
 /// ```
@@ -112,9 +128,8 @@ impl Fault {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultMap {
     config: MemoryConfig,
-    /// Faults indexed by row, then column (BTreeMap keeps deterministic order).
-    by_row: BTreeMap<usize, BTreeMap<usize, FaultKind>>,
-    count: usize,
+    /// All faults, sorted by `(row, col)` — the flat CSR-style store.
+    faults: Vec<Fault>,
 }
 
 impl FaultMap {
@@ -123,8 +138,7 @@ impl FaultMap {
     pub fn new(config: MemoryConfig) -> Self {
         Self {
             config,
-            by_row: BTreeMap::new(),
-            count: 0,
+            faults: Vec::new(),
         }
     }
 
@@ -132,6 +146,20 @@ impl FaultMap {
     #[must_use]
     pub fn config(&self) -> MemoryConfig {
         self.config
+    }
+
+    /// Position of `(row, col)` in the sorted store: `Ok` when present,
+    /// `Err` with the insertion point otherwise.
+    fn position(&self, row: usize, col: usize) -> Result<usize, usize> {
+        self.faults
+            .binary_search_by(|f| (f.row, f.col).cmp(&(row, col)))
+    }
+
+    /// The contiguous index range holding the faults of `row`.
+    fn row_range(&self, row: usize) -> std::ops::Range<usize> {
+        let start = self.faults.partition_point(|f| f.row < row);
+        let end = start + self.faults[start..].partition_point(|f| f.row == row);
+        start..end
     }
 
     /// Inserts (or replaces) a fault.
@@ -143,67 +171,74 @@ impl FaultMap {
     pub fn insert(&mut self, fault: Fault) -> Result<(), MemError> {
         self.config.check_row(fault.row)?;
         self.config.check_col(fault.col)?;
-        let previous = self
-            .by_row
-            .entry(fault.row)
-            .or_default()
-            .insert(fault.col, fault.kind);
-        if previous.is_none() {
-            self.count += 1;
+        match self.position(fault.row, fault.col) {
+            Ok(index) => self.faults[index] = fault,
+            Err(index) => self.faults.insert(index, fault),
         }
         Ok(())
     }
 
     /// Removes the fault at `(row, col)`, returning its kind if present.
     pub fn remove(&mut self, row: usize, col: usize) -> Option<FaultKind> {
-        let row_map = self.by_row.get_mut(&row)?;
-        let removed = row_map.remove(&col);
-        if removed.is_some() {
-            self.count -= 1;
-            if row_map.is_empty() {
-                self.by_row.remove(&row);
-            }
+        match self.position(row, col) {
+            Ok(index) => Some(self.faults.remove(index).kind),
+            Err(_) => None,
         }
-        removed
+    }
+
+    /// Removes every fault while keeping the allocated capacity — the reset
+    /// that lets one scratch map serve an entire campaign without
+    /// steady-state allocation.
+    pub fn clear(&mut self) {
+        self.faults.clear();
     }
 
     /// Total number of faulty cells (`N_failures` in the paper).
     #[must_use]
     pub fn fault_count(&self) -> usize {
-        self.count
+        self.faults.len()
     }
 
     /// `true` when the die has no faulty cell.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.count == 0
+        self.faults.is_empty()
     }
 
     /// The fault affecting cell `(row, col)`, if any.
     #[must_use]
     pub fn fault_at(&self, row: usize, col: usize) -> Option<FaultKind> {
-        self.by_row.get(&row).and_then(|m| m.get(&col)).copied()
+        self.position(row, col)
+            .ok()
+            .map(|index| self.faults[index].kind)
     }
 
     /// `true` when the given row contains at least one faulty cell.
     #[must_use]
     pub fn row_has_fault(&self, row: usize) -> bool {
-        self.by_row.contains_key(&row)
+        !self.row_faults(row).is_empty()
     }
 
     /// Number of rows that contain at least one faulty cell.
     #[must_use]
     pub fn faulty_row_count(&self) -> usize {
-        self.by_row.len()
+        self.rows_with_faults().count()
+    }
+
+    /// The faults of `row` as a contiguous slice, sorted by column — the
+    /// zero-copy row view sparse evaluation kernels consume (see
+    /// `MitigationScheme::observe_sparse` in `faultmit-core`).
+    #[must_use]
+    pub fn row_faults(&self, row: usize) -> &[Fault] {
+        &self.faults[self.row_range(row)]
     }
 
     /// Faulty bit positions of `row`, sorted ascending (LSB first).
+    ///
+    /// Allocates; hot paths should prefer [`FaultMap::row_faults`].
     #[must_use]
     pub fn faulty_columns(&self, row: usize) -> Vec<usize> {
-        self.by_row
-            .get(&row)
-            .map(|m| m.keys().copied().collect())
-            .unwrap_or_default()
+        self.row_faults(row).iter().map(|f| f.col).collect()
     }
 
     /// Highest faulty bit position of `row`, if any.
@@ -212,30 +247,34 @@ impl FaultMap {
     /// an unprotected word (`2^b` for bit position `b`).
     #[must_use]
     pub fn highest_faulty_column(&self, row: usize) -> Option<usize> {
-        self.by_row
-            .get(&row)
-            .and_then(|m| m.keys().next_back().copied())
+        self.row_faults(row).last().map(|f| f.col)
     }
 
     /// Iterates over all faults in deterministic (row, column) order.
     pub fn iter(&self) -> impl Iterator<Item = Fault> + '_ {
-        self.by_row.iter().flat_map(|(&row, cols)| {
-            cols.iter()
-                .map(move |(&col, &kind)| Fault { row, col, kind })
-        })
+        self.faults.iter().copied()
     }
 
     /// Iterates over rows that contain faults, in ascending row order.
     pub fn faulty_rows(&self) -> impl Iterator<Item = usize> + '_ {
-        self.by_row.keys().copied()
+        self.rows_with_faults().map(|(row, _)| row)
+    }
+
+    /// Iterates over `(row, row fault slice)` groups in ascending row order
+    /// — one linear pass over the flat store, the event-driven walk the
+    /// sparse MSE kernels are built on.
+    pub fn rows_with_faults(&self) -> impl Iterator<Item = (usize, &[Fault])> + '_ {
+        RowGroups {
+            faults: &self.faults,
+        }
     }
 
     /// Number of faults per row as a dense vector of length `rows()`.
     #[must_use]
     pub fn faults_per_row(&self) -> Vec<usize> {
         let mut counts = vec![0usize; self.config.rows()];
-        for (&row, cols) in &self.by_row {
-            counts[row] = cols.len();
+        for fault in &self.faults {
+            counts[fault.row] += 1;
         }
         counts
     }
@@ -243,7 +282,26 @@ impl FaultMap {
     /// Maximum number of faults found in any single row.
     #[must_use]
     pub fn max_faults_per_row(&self) -> usize {
-        self.by_row.values().map(BTreeMap::len).max().unwrap_or(0)
+        self.rows_with_faults()
+            .map(|(_, faults)| faults.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Heap capacity (in faults) of the flat store — the quantity the
+    /// zero-allocation regression tests watch across scratch reuse.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.faults.capacity()
+    }
+
+    /// Re-draws the kind of every stored fault in `(row, col)` order while
+    /// keeping positions — the in-place twin of the SRAM backend's legacy
+    /// "place with the default law, then re-kind in map order" protocol.
+    pub(crate) fn rekind_in_order(&mut self, mut kind: impl FnMut() -> FaultKind) {
+        for fault in &mut self.faults {
+            fault.kind = kind();
+        }
     }
 
     /// Builds a fault map from an iterator of faults.
@@ -272,6 +330,32 @@ impl Extend<Fault> for FaultMap {
         for fault in iter {
             let _ = self.insert(fault);
         }
+    }
+}
+
+/// Group-by-row iterator over the flat sorted fault store: yields one
+/// `(row, slice)` pair per faulty row, in ascending row order, without
+/// allocating.
+struct RowGroups<'a> {
+    faults: &'a [Fault],
+}
+
+impl<'a> Iterator for RowGroups<'a> {
+    type Item = (usize, &'a [Fault]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let first = self.faults.first()?;
+        let row = first.row;
+        // Linear scan: groups are tiny (usually one fault), so this walks
+        // each fault once across the whole iteration — cheaper and more
+        // predictable than a binary search per group.
+        let mut len = 1;
+        while len < self.faults.len() && self.faults[len].row == row {
+            len += 1;
+        }
+        let (group, rest) = self.faults.split_at(len);
+        self.faults = rest;
+        Some((row, group))
     }
 }
 
@@ -371,6 +455,57 @@ mod tests {
         assert_eq!(per_row[6], 1);
         assert_eq!(per_row.iter().sum::<usize>(), 3);
         assert_eq!(map.max_faults_per_row(), 2);
+    }
+
+    #[test]
+    fn row_faults_returns_sorted_contiguous_slices() {
+        let mut map = FaultMap::new(config());
+        map.insert(Fault::bit_flip(5, 1)).unwrap();
+        map.insert(Fault::stuck_at_one(1, 30)).unwrap();
+        map.insert(Fault::stuck_at_zero(1, 2)).unwrap();
+
+        assert_eq!(
+            map.row_faults(1),
+            &[Fault::stuck_at_zero(1, 2), Fault::stuck_at_one(1, 30)]
+        );
+        assert_eq!(map.row_faults(5), &[Fault::bit_flip(5, 1)]);
+        assert!(map.row_faults(0).is_empty());
+        assert!(map.row_faults(7).is_empty());
+    }
+
+    #[test]
+    fn rows_with_faults_walks_groups_in_ascending_order() {
+        let mut map = FaultMap::new(config());
+        map.insert(Fault::bit_flip(6, 0)).unwrap();
+        map.insert(Fault::bit_flip(2, 9)).unwrap();
+        map.insert(Fault::bit_flip(2, 3)).unwrap();
+        map.insert(Fault::bit_flip(0, 31)).unwrap();
+
+        let groups: Vec<(usize, usize)> = map
+            .rows_with_faults()
+            .map(|(row, faults)| (row, faults.len()))
+            .collect();
+        assert_eq!(groups, vec![(0, 1), (2, 2), (6, 1)]);
+        let rows: Vec<usize> = map.faulty_rows().collect();
+        assert_eq!(rows, vec![0, 2, 6]);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_for_scratch_reuse() {
+        let mut map = FaultMap::new(config());
+        for col in 0..16 {
+            map.insert(Fault::bit_flip(3, col)).unwrap();
+        }
+        let capacity = map.capacity();
+        assert!(capacity >= 16);
+        map.clear();
+        assert!(map.is_empty());
+        assert_eq!(map.capacity(), capacity);
+        // Refilling up to the old watermark must not reallocate.
+        for col in 0..16 {
+            map.insert(Fault::stuck_at_one(2, col)).unwrap();
+        }
+        assert_eq!(map.capacity(), capacity);
     }
 
     #[test]

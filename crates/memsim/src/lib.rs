@@ -62,6 +62,7 @@ pub mod fault;
 pub mod image;
 pub mod montecarlo;
 pub mod redundancy;
+pub mod scratch;
 pub mod seeder;
 pub mod stats;
 pub mod voltage;
@@ -79,5 +80,6 @@ pub use fault::{Fault, FaultKind, FaultMap};
 pub use image::{AppImage, DataImage, ImageSpec, WordImage};
 pub use montecarlo::{DieSampler, FailureCountDistribution, FaultMapSampler};
 pub use redundancy::{repair_yield, spares_for_full_repair, RowRepair};
+pub use scratch::DieScratch;
 pub use seeder::{DieBatch, PlannedSample, StreamSeeder};
 pub use voltage::{VddSweep, VoltageScaledDie};

@@ -17,8 +17,10 @@
 use crate::config::MemoryConfig;
 use crate::error::MemError;
 use crate::fault::{Fault, FaultKind, FaultMap};
+use crate::scratch::DieScratch;
 use crate::stats::{binomial_pmf, sample_binomial};
 use rand::seq::index::sample as sample_indices;
+use rand::seq::index::sample_into as sample_indices_into;
 use rand::Rng;
 
 /// Binomial distribution of the failure count `N` of a memory sample
@@ -192,6 +194,44 @@ impl FaultMapSampler {
             map.insert(Fault::new(row, col, kind))?;
         }
         Ok(map)
+    }
+
+    /// The allocation-free twin of [`FaultMapSampler::sample_with_count`]:
+    /// draws into the scratch arena's reusable buffers (Floyd's algorithm
+    /// via [`sample_indices_into`], map cleared in place) with **identical
+    /// RNG consumption**, so the two paths produce bit-identical maps from
+    /// the same RNG state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidParameter`] when `n_faults` exceeds the
+    /// number of cells in the array.
+    pub fn sample_with_count_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        n_faults: usize,
+        scratch: &mut DieScratch,
+    ) -> Result<(), MemError> {
+        let total = self.config.total_cells();
+        if n_faults > total {
+            return Err(MemError::InvalidParameter {
+                reason: format!("cannot place {n_faults} faults in {total} cells"),
+            });
+        }
+        scratch.reset_map(self.config);
+        sample_indices_into(
+            rng,
+            total,
+            n_faults,
+            &mut scratch.chosen,
+            &mut scratch.indices,
+        );
+        for i in 0..scratch.indices.len() {
+            let (row, col) = self.config.cell_position(scratch.indices[i]);
+            let kind = self.sample_kind(rng);
+            scratch.map.insert(Fault::new(row, col, kind))?;
+        }
+        Ok(())
     }
 
     /// Draws a fault map whose failure count follows `Bin(M, p_cell)`.

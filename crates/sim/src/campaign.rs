@@ -23,11 +23,11 @@
 
 use crate::accumulate::{Accumulator, PairedSample};
 use crate::error::{RunError, SimError};
-use crate::executor::{run_chunked, Parallelism};
+use crate::executor::{run_chunked_with, Parallelism};
 use faultmit_core::MitigationScheme;
 use faultmit_memsim::{
-    DieBatch, FailureCountDistribution, FaultBackend, FaultMap, ImageSpec, MemoryConfig,
-    PlannedSample, SramVddBackend, StreamSeeder,
+    DieBatch, DieScratch, FailureCountDistribution, FaultBackend, FaultMap, ImageSpec,
+    MemoryConfig, PlannedSample, SramVddBackend, StreamSeeder,
 };
 use std::convert::Infallible;
 use std::fmt;
@@ -181,6 +181,7 @@ pub struct CampaignConfig<B: FaultBackend = SramVddBackend> {
     parallelism: Parallelism,
     map_policy: MapPolicy,
     image: ImageSpec,
+    scratch_reuse: bool,
 }
 
 impl CampaignConfig<SramVddBackend> {
@@ -235,6 +236,7 @@ impl<B: FaultBackend> CampaignConfig<B> {
             parallelism: Parallelism::default(),
             map_policy: MapPolicy::default(),
             image: ImageSpec::Zeros,
+            scratch_reuse: true,
         })
     }
 
@@ -305,6 +307,25 @@ impl<B: FaultBackend> CampaignConfig<B> {
     pub fn with_image(mut self, image: ImageSpec) -> Self {
         self.image = image;
         self
+    }
+
+    /// Toggles per-worker [`DieScratch`] reuse (default **on**): each worker
+    /// thread keeps one warm arena across all its chunks, so steady-state
+    /// die generation performs zero heap allocations. Turning it off
+    /// restores the legacy fresh-allocation `DieBatch` path — results are
+    /// **bit-identical** either way (the kernel-equivalence suite pins
+    /// this); the toggle exists as the scalar baseline for throughput
+    /// benches and as the cross-check in equivalence tests.
+    #[must_use]
+    pub fn with_scratch_reuse(mut self, scratch_reuse: bool) -> Self {
+        self.scratch_reuse = scratch_reuse;
+        self
+    }
+
+    /// Whether per-worker scratch arenas are reused across dies.
+    #[must_use]
+    pub fn scratch_reuse(&self) -> bool {
+        self.scratch_reuse
     }
 
     /// The data image the campaign's metric is declared against.
@@ -573,12 +594,58 @@ impl<B: FaultBackend> Campaign<B> {
         let owned_chunks = shard.chunk_range(chunk_count);
         let workers = self.config.parallelism.worker_count();
         let map_policy = self.config.map_policy;
+        let scratch_reuse = self.config.scratch_reuse;
 
-        let chunk_results: Vec<Result<A, RunError<E>>> =
-            run_chunked(owned_chunks.len(), workers, |local_index| {
+        // Per-worker scratch: a warm `DieScratch` arena plus a recycled
+        // metrics buffer, both reused across every chunk the worker claims.
+        // Scratch holds storage only — each chunk's result stays a pure
+        // function of its index, so bit-identity at any worker count is
+        // unaffected.
+        let chunk_results: Vec<Result<A, RunError<E>>> = run_chunked_with(
+            owned_chunks.len(),
+            workers,
+            || {
+                (
+                    DieScratch::new(backend.config()),
+                    Vec::<f64>::with_capacity(schemes.len()),
+                )
+            },
+            |(scratch, metrics), local_index| {
                 let chunk_index = owned_chunks.start + local_index;
                 let start = chunk_index * chunk_size;
                 let end = (start + chunk_size).min(plan.len());
+                let mut accumulator = make_accumulator();
+
+                if scratch_reuse {
+                    for planned in &plan[start..end] {
+                        let mut rng = seeder.rng_for_sample(planned.index);
+                        let n = planned.n_faults as usize;
+                        let map = match map_policy {
+                            MapPolicy::Unrestricted => scratch.generate(backend, &mut rng, n),
+                            MapPolicy::SingleFaultPerRow { max_redraws } => scratch
+                                .generate_single_fault_per_row(backend, &mut rng, n, max_redraws),
+                        }
+                        .map_err(|e| RunError::Sim(SimError::from(e)))?;
+                        metrics.clear();
+                        for scheme in schemes {
+                            metrics.push(evaluate(scheme, map).map_err(RunError::Eval)?);
+                        }
+                        let sample = PairedSample {
+                            sample_index: planned.index,
+                            n_faults: planned.n_faults,
+                            weight: weights[planned.n_faults as usize],
+                            metrics: std::mem::take(metrics),
+                        };
+                        accumulator.record(&sample);
+                        // Reclaim the metrics buffer for the next die.
+                        *metrics = sample.metrics;
+                    }
+                    return Ok(accumulator);
+                }
+
+                // Legacy fresh-allocation path: one `DieBatch` per chunk —
+                // the reference the equivalence suite compares against and
+                // the scalar baseline of the throughput benches.
                 let batch = match map_policy {
                     MapPolicy::Unrestricted => {
                         DieBatch::generate_with_backend(backend, &seeder, &plan[start..end])
@@ -594,7 +661,6 @@ impl<B: FaultBackend> Campaign<B> {
                 }
                 .map_err(|e| RunError::Sim(SimError::from(e)))?;
 
-                let mut accumulator = make_accumulator();
                 for (planned, map) in batch.iter() {
                     let metrics = schemes
                         .iter()
@@ -609,7 +675,8 @@ impl<B: FaultBackend> Campaign<B> {
                     });
                 }
                 Ok(accumulator)
-            });
+            },
+        );
 
         let mut merged = make_accumulator();
         for result in chunk_results {

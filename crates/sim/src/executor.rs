@@ -57,8 +57,34 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_chunked_with(chunk_count, workers, || (), |(), index| work(index))
+}
+
+/// [`run_chunked`] with **per-worker scratch state**: every worker thread
+/// builds one `S` via `make_state` and threads it through all the chunks it
+/// claims, so warm buffers (e.g. a `DieScratch` arena) survive from chunk to
+/// chunk instead of being rebuilt per chunk.
+///
+/// Determinism is unaffected: scratch state may only hold reusable storage,
+/// never anything the chunk's *result* depends on — each chunk's output must
+/// remain a pure function of its index, which the serial-vs-threaded
+/// bit-identity suites verify.
+pub fn run_chunked_with<S, T, M, F>(
+    chunk_count: usize,
+    workers: usize,
+    make_state: M,
+    work: F,
+) -> Vec<T>
+where
+    T: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     if workers <= 1 || chunk_count <= 1 {
-        return (0..chunk_count).map(work).collect();
+        let mut state = make_state();
+        return (0..chunk_count)
+            .map(|index| work(&mut state, index))
+            .collect();
     }
 
     let next = AtomicUsize::new(0);
@@ -66,13 +92,16 @@ where
 
     std::thread::scope(|scope| {
         for _ in 0..workers.min(chunk_count) {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                if index >= chunk_count {
-                    break;
+            scope.spawn(|| {
+                let mut state = make_state();
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= chunk_count {
+                        break;
+                    }
+                    let result = work(&mut state, index);
+                    *slots[index].lock().expect("result slot poisoned") = Some(result);
                 }
-                let result = work(index);
-                *slots[index].lock().expect("result slot poisoned") = Some(result);
             });
         }
     });
@@ -126,5 +155,34 @@ mod tests {
     fn zero_chunks_is_a_no_op() {
         let out: Vec<usize> = run_chunked(0, 4, |i| i);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn per_worker_state_is_reused_across_chunks() {
+        // Each worker's scratch counter grows with the chunks it claims;
+        // the total across all results equals the chunk count, and results
+        // stay in chunk order regardless of worker count.
+        for workers in [1usize, 2, 4] {
+            let out = run_chunked_with(
+                24,
+                workers,
+                || 0usize,
+                |claimed, index| {
+                    *claimed += 1;
+                    (index, *claimed)
+                },
+            );
+            let indices: Vec<usize> = out.iter().map(|&(i, _)| i).collect();
+            assert_eq!(indices, (0..24).collect::<Vec<_>>(), "{workers} workers");
+            assert!(
+                out.iter().all(|&(_, claimed)| claimed >= 1),
+                "{workers} workers"
+            );
+            if workers == 1 {
+                // Serial: one state serves every chunk in order.
+                let counts: Vec<usize> = out.iter().map(|&(_, c)| c).collect();
+                assert_eq!(counts, (1..=24).collect::<Vec<_>>());
+            }
+        }
     }
 }

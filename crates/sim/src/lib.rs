@@ -113,4 +113,4 @@ pub mod executor;
 pub use accumulate::{Accumulator, CollectRecords, PairedSample};
 pub use campaign::{Campaign, CampaignConfig, MapPolicy, ShardSpec};
 pub use error::{RunError, SimError};
-pub use executor::{run_chunked, Parallelism};
+pub use executor::{run_chunked, run_chunked_with, Parallelism};

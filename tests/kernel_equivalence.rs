@@ -1,0 +1,223 @@
+//! Equivalence suite for the event-driven sparse evaluation kernels: the
+//! sparse MSE kernel (`memory_mse_sparse*`, built on `observe_sparse` and
+//! the flat fault map's row groups) must be **bit-identical** to the scalar
+//! `observe`-based kernel on every backend, image, and fault-kind law, and
+//! the campaign's reusable `DieScratch` arena must reproduce the
+//! fresh-allocation path sample for sample.
+
+use faultmit::analysis::{
+    memory_mse, memory_mse_for_data, memory_mse_sparse, memory_mse_sparse_with,
+};
+use faultmit::core::Scheme;
+use faultmit::memsim::{
+    Backend, BackendKind, DieScratch, FaultKindLaw, ImageSpec, MemoryConfig, StreamSeeder,
+};
+use faultmit::sim::{Campaign, CampaignConfig, CollectRecords, MapPolicy, Parallelism};
+
+const SEED: u64 = 0x5AB5_EED6;
+
+fn geometries() -> Vec<MemoryConfig> {
+    // Deliberately irregular row counts: power-of-two, prime, and the
+    // paper's 16 KB array.
+    vec![
+        MemoryConfig::new(64, 32).unwrap(),
+        MemoryConfig::new(233, 32).unwrap(),
+        MemoryConfig::paper_16kb(),
+    ]
+}
+
+fn kind_laws() -> Vec<FaultKindLaw> {
+    vec![
+        FaultKindLaw::AlwaysFlip,
+        FaultKindLaw::AsymmetricStuckAt {
+            p_stuck_at_zero: 0.35,
+        },
+    ]
+}
+
+fn images() -> Vec<ImageSpec> {
+    vec![
+        ImageSpec::Zeros,
+        ImageSpec::Ones,
+        ImageSpec::UniformRandom { seed: 3 },
+        ImageSpec::Sparse { seed: 3 },
+    ]
+}
+
+fn campaign_config(backend: Backend, scratch_reuse: bool) -> CampaignConfig<Backend> {
+    CampaignConfig::for_backend(backend)
+        .unwrap()
+        .with_samples_per_count(5)
+        .with_max_failures(6)
+        .with_parallelism(Parallelism::Serial)
+        .with_scratch_reuse(scratch_reuse)
+}
+
+fn assert_records_bit_identical(a: &CollectRecords, b: &CollectRecords, context: &str) {
+    assert_eq!(a.records.len(), b.records.len(), "{context}: record count");
+    for (x, y) in a.records.iter().zip(&b.records) {
+        assert_eq!(x.sample_index, y.sample_index, "{context}");
+        assert_eq!(x.n_faults, y.n_faults, "{context}");
+        assert_eq!(x.weight.to_bits(), y.weight.to_bits(), "{context}");
+        assert_eq!(x.metrics.len(), y.metrics.len(), "{context}");
+        for (m, n) in x.metrics.iter().zip(&y.metrics) {
+            // to_bits: -0.0 vs +0.0 and NaN payloads must match exactly.
+            assert_eq!(
+                m.to_bits(),
+                n.to_bits(),
+                "{context}: sample {} metric {m} vs {n}",
+                x.sample_index
+            );
+        }
+    }
+}
+
+/// The tentpole guarantee: sparse and scalar MSE kernels agree bit for bit
+/// on every (geometry × backend × kind-law × image) combination, sample for
+/// sample — so flipping the engine to the sparse kernel cannot move any
+/// figure by even one ULP.
+#[test]
+fn sparse_mse_kernel_is_bit_identical_to_the_scalar_kernel() {
+    let schemes = Scheme::fig5_catalogue();
+    for memory in geometries() {
+        for kind in BackendKind::ALL {
+            for law in kind_laws() {
+                for spec in images() {
+                    let backend = Backend::at_p_cell(kind, memory, 1e-3)
+                        .unwrap()
+                        .with_kind_law(law)
+                        .unwrap();
+                    let context = format!("{kind} {law:?} {spec:?} rows={}", memory.rows());
+                    let image = spec.try_materialise(memory).unwrap();
+                    let words = image.materialise(memory.rows());
+
+                    // Scalar baseline: fresh allocations per die, generic
+                    // observe path over a dense image vector.
+                    let scalar = Campaign::new(campaign_config(backend, false))
+                        .run(
+                            &schemes,
+                            SEED,
+                            |scheme, map| memory_mse_for_data(scheme, map, &words),
+                            CollectRecords::new,
+                        )
+                        .unwrap();
+
+                    // Sparse kernel: scratch arena, row-group walk,
+                    // observe_sparse, per-faulty-row image gather.
+                    let sparse = Campaign::new(campaign_config(backend, true))
+                        .run(
+                            &schemes,
+                            SEED,
+                            |scheme, map| {
+                                memory_mse_sparse_with(scheme, map, |row| image.word(row))
+                            },
+                            CollectRecords::new,
+                        )
+                        .unwrap();
+
+                    assert_records_bit_identical(&scalar, &sparse, &context);
+                }
+            }
+        }
+    }
+}
+
+/// The zeros-background kernels (the historical Fig. 5 path) agree too,
+/// including through the single-fault-per-row redraw policy.
+#[test]
+fn zeros_background_kernels_agree_under_every_map_policy() {
+    let schemes = Scheme::fig5_catalogue();
+    let memory = MemoryConfig::new(128, 32).unwrap();
+    for kind in BackendKind::ALL {
+        for policy in [
+            MapPolicy::Unrestricted,
+            MapPolicy::SingleFaultPerRow { max_redraws: 100 },
+        ] {
+            let backend = Backend::at_p_cell(kind, memory, 1e-3).unwrap();
+            let config = campaign_config(backend, false).with_map_policy(policy);
+            let scalar = Campaign::new(config)
+                .run(&schemes, SEED, memory_mse, CollectRecords::new)
+                .unwrap();
+            let config = campaign_config(backend, true).with_map_policy(policy);
+            let sparse = Campaign::new(config)
+                .run(&schemes, SEED, memory_mse_sparse, CollectRecords::new)
+                .unwrap();
+            assert_records_bit_identical(&scalar, &sparse, &format!("{kind} {policy:?}"));
+        }
+    }
+}
+
+/// The DieScratch arena path must be indistinguishable from the legacy
+/// fresh-allocation path when *everything else* is held fixed — isolating
+/// the arena itself (the previous test also swaps the MSE kernel).
+#[test]
+fn scratch_reuse_toggle_does_not_change_any_sample() {
+    let schemes = [Scheme::unprotected32(), Scheme::shuffle32(2).unwrap()];
+    let memory = MemoryConfig::new(256, 32).unwrap();
+    for kind in BackendKind::ALL {
+        for law in kind_laws() {
+            let backend = Backend::at_p_cell(kind, memory, 2e-3)
+                .unwrap()
+                .with_kind_law(law)
+                .unwrap();
+            let fresh = Campaign::new(campaign_config(backend, false))
+                .run(&schemes, SEED, memory_mse, CollectRecords::new)
+                .unwrap();
+            let reused = Campaign::new(campaign_config(backend, true))
+                .run(&schemes, SEED, memory_mse, CollectRecords::new)
+                .unwrap();
+            assert_records_bit_identical(&fresh, &reused, &format!("{kind} {law:?}"));
+        }
+    }
+}
+
+/// Scratch reuse stays bit-identical at any worker count (per-worker arenas
+/// must not leak state between chunks).
+#[test]
+fn scratch_reuse_is_bit_identical_across_worker_counts() {
+    let schemes = Scheme::fig7_catalogue();
+    let memory = MemoryConfig::new(512, 32).unwrap();
+    let backend = Backend::at_p_cell(BackendKind::Sram, memory, 1e-3).unwrap();
+    let reference = Campaign::new(campaign_config(backend, true))
+        .run(&schemes, SEED, memory_mse_sparse, CollectRecords::new)
+        .unwrap();
+    for workers in [2usize, 4, 8] {
+        let threaded = Campaign::new(
+            campaign_config(backend, true)
+                .with_parallelism(Parallelism::threads(workers))
+                .with_chunk_size(3),
+        )
+        .run(&schemes, SEED, memory_mse_sparse, CollectRecords::new)
+        .unwrap();
+        assert_records_bit_identical(&reference, &threaded, &format!("{workers} workers"));
+    }
+}
+
+/// Steady-state die generation through the arena performs **zero** heap
+/// allocation: after a warm-up at the largest fault count, the arena's
+/// reallocation counter stays flat for hundreds of dies on every backend.
+#[test]
+fn die_generation_reaches_zero_allocation_steady_state() {
+    let memory = MemoryConfig::new(256, 32).unwrap();
+    let seeder = StreamSeeder::new(SEED);
+    for kind in BackendKind::ALL {
+        let backend = Backend::at_p_cell(kind, memory, 1e-3).unwrap();
+        let mut scratch = DieScratch::new(memory);
+        // Warm-up: let every buffer grow to the campaign's peak demand.
+        for sample in 0..8u64 {
+            let mut rng = seeder.rng_for_sample(sample);
+            scratch.generate(&backend, &mut rng, 48).unwrap();
+        }
+        let after_warmup = scratch.realloc_events();
+        for sample in 8..308u64 {
+            let mut rng = seeder.rng_for_sample(sample);
+            let n = 1 + (sample as usize * 7) % 48;
+            scratch.generate(&backend, &mut rng, n).unwrap();
+        }
+        assert_eq!(
+            scratch.realloc_events(),
+            after_warmup,
+            "{kind}: steady-state generation must not touch the heap"
+        );
+    }
+}

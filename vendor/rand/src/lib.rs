@@ -283,12 +283,33 @@ pub mod seq {
         ///
         /// Panics when `amount > length`.
         pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            let mut chosen = HashSet::with_capacity(amount);
+            let mut out = Vec::with_capacity(amount);
+            sample_into(rng, length, amount, &mut chosen, &mut out);
+            IndexVec(out)
+        }
+
+        /// Allocation-free twin of [`sample`]: writes the sampled indices
+        /// into `out` (cleared first), using `chosen` (cleared first) as the
+        /// de-duplication scratch. RNG consumption is identical to
+        /// [`sample`], so the two are interchangeable in seeded pipelines.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `amount > length`.
+        pub fn sample_into<R: RngCore + ?Sized>(
+            rng: &mut R,
+            length: usize,
+            amount: usize,
+            chosen: &mut HashSet<usize>,
+            out: &mut Vec<usize>,
+        ) {
             assert!(
                 amount <= length,
                 "cannot sample {amount} distinct indices from 0..{length}"
             );
-            let mut chosen = HashSet::with_capacity(amount);
-            let mut out = Vec::with_capacity(amount);
+            chosen.clear();
+            out.clear();
             for j in length - amount..length {
                 let t = rng.gen_range(0..=j);
                 if chosen.insert(t) {
@@ -298,7 +319,6 @@ pub mod seq {
                     out.push(j);
                 }
             }
-            IndexVec(out)
         }
     }
 }
@@ -372,6 +392,24 @@ mod tests {
     fn index_sample_rejects_oversized_amount() {
         let mut rng = StdRng::seed_from_u64(3);
         let _ = sample(&mut rng, 4, 5);
+    }
+
+    #[test]
+    fn index_sample_into_matches_sample_bit_for_bit() {
+        // The in-place variant must consume the RNG identically, so seeded
+        // pipelines may switch between the two without changing results.
+        let mut chosen = HashSet::new();
+        let mut out = Vec::new();
+        for seed in 0..20u64 {
+            for &(length, amount) in &[(10usize, 10usize), (131_072, 150), (16, 0), (1, 1)] {
+                let mut a = StdRng::seed_from_u64(seed);
+                let mut b = StdRng::seed_from_u64(seed);
+                let fresh = sample(&mut a, length, amount).into_vec();
+                super::seq::index::sample_into(&mut b, length, amount, &mut chosen, &mut out);
+                assert_eq!(fresh, out, "({length}, {amount}) at seed {seed}");
+                assert_eq!(a.gen::<u64>(), b.gen::<u64>(), "RNG states diverged");
+            }
+        }
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub use cdf::{CdfSketch, EmpiricalCdf};
 pub use error::AnalysisError;
 pub use mc_engine::{MonteCarloConfig, MonteCarloEngine, SchemeMseResult};
 pub use mse::{
-    memory_mse, memory_mse_for_data, memory_mse_sparse, memory_mse_sparse_with, row_squared_error,
-    word_squared_error,
+    block_mse_into, memory_mse, memory_mse_for_data, memory_mse_sparse, memory_mse_sparse_with,
+    row_squared_error, word_squared_error,
 };
 pub use yield_model::{QualityBand, YieldModel};

@@ -14,14 +14,14 @@
 use crate::accumulate::CatalogueAccumulator;
 use crate::cdf::EmpiricalCdf;
 use crate::error::AnalysisError;
-use crate::mse::{memory_mse_sparse, memory_mse_sparse_with};
+use crate::mse::{block_mse_into, memory_mse_for_data, memory_mse_sparse_with};
 use crate::yield_model::YieldModel;
 use faultmit_core::MitigationScheme;
 use faultmit_memsim::{
     DataImage, FailureCountDistribution, FaultBackend, ImageSpec, MemoryConfig, OperatingPoint,
     SramVddBackend,
 };
-use faultmit_sim::{Campaign, CampaignConfig, Parallelism, ShardSpec, SimError};
+use faultmit_sim::{Campaign, CampaignConfig, KernelKind, Parallelism, ShardSpec, SimError};
 
 /// Configuration of one Monte-Carlo campaign, generic over the
 /// fault-generating [`FaultBackend`] (default: the paper's SRAM
@@ -36,6 +36,7 @@ pub struct MonteCarloConfig<B: FaultBackend = SramVddBackend> {
     parallelism: Parallelism,
     chunk_size: usize,
     image: ImageSpec,
+    kernel: KernelKind,
 }
 
 impl MonteCarloConfig<SramVddBackend> {
@@ -96,6 +97,7 @@ impl<B: FaultBackend> MonteCarloConfig<B> {
             parallelism: Parallelism::default(),
             chunk_size: 32,
             image: ImageSpec::Zeros,
+            kernel: KernelKind::default(),
         }
     }
 
@@ -159,6 +161,24 @@ impl<B: FaultBackend> MonteCarloConfig<B> {
     #[must_use]
     pub fn image(&self) -> ImageSpec {
         self.image
+    }
+
+    /// Selects the evaluation kernel (default: [`KernelKind::Sparse`]).
+    ///
+    /// All kernels accumulate **bit-identical** results — the choice only
+    /// trades throughput: `scalar` walks every faulty row through the
+    /// generic path against a materialised image, `sparse` is event-driven,
+    /// and `bitsliced` evaluates up to 64 dies per `u64` lane.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: KernelKind) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The evaluation kernel campaigns run with.
+    #[must_use]
+    pub fn kernel(&self) -> KernelKind {
+        self.kernel
     }
 
     /// The fault-generating backend under study.
@@ -374,10 +394,10 @@ impl<B: FaultBackend + Clone> MonteCarloEngine<B> {
         }
     }
 
-    /// The event-driven campaign body for a row-addressable data image:
-    /// every die evaluates through [`memory_mse_sparse_with`], querying
-    /// `image` only at fault-bearing rows — bit-identical to evaluating
-    /// against the image's dense [`DataImage::materialise`] vector.
+    /// The campaign body for a row-addressable data image: dies evaluate
+    /// through the configured [`KernelKind`], querying `image` only at
+    /// fault-bearing rows — bit-identical to evaluating against the image's
+    /// dense [`DataImage::materialise`] vector, whichever kernel runs.
     fn run_catalogue_shard_with_image<S: MitigationScheme + Sync>(
         &self,
         schemes: &[S],
@@ -385,16 +405,62 @@ impl<B: FaultBackend + Clone> MonteCarloEngine<B> {
         shard: ShardSpec,
         image: &dyn DataImage,
     ) -> Result<CatalogueAccumulator, AnalysisError> {
+        self.run_campaign_kernel(schemes, seed, shard, |row| image.word(row))
+    }
+
+    /// Dispatches one shard of the paired campaign to the configured
+    /// evaluation kernel, with `written` supplying the stored word of every
+    /// row. All three kernels fold the identical per-die squared-error sums
+    /// in the identical order, so the returned accumulator is bit-identical
+    /// across [`KernelKind`] choices.
+    fn run_campaign_kernel<S, W>(
+        &self,
+        schemes: &[S],
+        seed: u64,
+        shard: ShardSpec,
+        written: W,
+    ) -> Result<CatalogueAccumulator, AnalysisError>
+    where
+        S: MitigationScheme + Sync,
+        W: Fn(usize) -> u64 + Sync,
+    {
         let campaign = Campaign::new(self.config.to_campaign_config()?);
-        campaign
-            .run_shard(
-                schemes,
-                seed,
-                shard,
-                |scheme, map| memory_mse_sparse_with(scheme, map, |row| image.word(row)),
-                || CatalogueAccumulator::new(schemes.len()),
-            )
-            .map_err(sim_to_analysis_error)
+        match self.config.kernel {
+            KernelKind::Sparse => campaign
+                .run_shard(
+                    schemes,
+                    seed,
+                    shard,
+                    |scheme, map| memory_mse_sparse_with(scheme, map, &written),
+                    || CatalogueAccumulator::new(schemes.len()),
+                )
+                .map_err(sim_to_analysis_error),
+            KernelKind::Scalar => {
+                // The flat-scan kernel walks a dense image, so materialise
+                // `written` once up front; the per-row words are the same
+                // ones the sparse closure would return.
+                let data: Vec<u64> = (0..self.config.memory().rows()).map(&written).collect();
+                campaign
+                    .run_shard(
+                        schemes,
+                        seed,
+                        shard,
+                        |scheme, map| memory_mse_for_data(scheme, map, &data),
+                        || CatalogueAccumulator::new(schemes.len()),
+                    )
+                    .map_err(sim_to_analysis_error)
+            }
+            KernelKind::Bitsliced => campaign
+                .run_shard_blocks(
+                    schemes,
+                    seed,
+                    shard,
+                    |scheme, map| memory_mse_sparse_with(scheme, map, &written),
+                    |scheme, block, out| block_mse_into(scheme, block, &written, out),
+                    || CatalogueAccumulator::new(schemes.len()),
+                )
+                .map_err(sim_to_analysis_error),
+        }
     }
 
     /// Runs one shard of the paired campaign against an explicit data
@@ -431,24 +497,13 @@ impl<B: FaultBackend + Clone> MonteCarloEngine<B> {
                 });
             }
         }
-        let campaign = Campaign::new(self.config.to_campaign_config()?);
         match data {
-            None => campaign.run_shard(
-                schemes,
-                seed,
-                shard,
-                |scheme, map| memory_mse_sparse(scheme, map),
-                || CatalogueAccumulator::new(schemes.len()),
-            ),
-            Some(data) => campaign.run_shard(
-                schemes,
-                seed,
-                shard,
-                |scheme, map| memory_mse_sparse_with(scheme, map, |row| data[row]),
-                || CatalogueAccumulator::new(schemes.len()),
-            ),
+            // `memory_mse_sparse` is `memory_mse_sparse_with` against the
+            // `|_| 0` word source, so the zeros fast path and an explicit
+            // zeros vector share one dispatcher without a bit of drift.
+            None => self.run_campaign_kernel(schemes, seed, shard, |_| 0),
+            Some(data) => self.run_campaign_kernel(schemes, seed, shard, |row| data[row]),
         }
-        .map_err(sim_to_analysis_error)
     }
 
     /// Converts accumulated (possibly shard-merged) campaign state into the
@@ -735,6 +790,41 @@ mod tests {
             .unwrap();
         assert_eq!(a, b);
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn every_kernel_accumulates_identical_bits_on_zeros_and_data_images() {
+        use faultmit_memsim::{FaultKindLaw, SramVddBackend};
+        let memory = MemoryConfig::new(128, 32).unwrap();
+        let backend = SramVddBackend::with_p_cell(memory, 1e-3)
+            .unwrap()
+            .with_kind_law(FaultKindLaw::AsymmetricStuckAt {
+                p_stuck_at_zero: 0.6,
+            })
+            .unwrap();
+        let schemes = [
+            Scheme::unprotected32(),
+            Scheme::secded32(),
+            Scheme::shuffle32(2).unwrap(),
+        ];
+        for image in [ImageSpec::Zeros, ImageSpec::UniformRandom { seed: 0xB17 }] {
+            let run = |kernel| {
+                // 70 samples per count stresses both full 64-die blocks and
+                // the scalar tail inside every chunk.
+                let config = MonteCarloConfig::for_backend(backend)
+                    .with_samples_per_count(70)
+                    .with_max_failures(5)
+                    .with_chunk_size(67)
+                    .with_image(image)
+                    .with_kernel(kernel);
+                MonteCarloEngine::new(config)
+                    .run_catalogue_shard(&schemes, 91, ShardSpec::solo())
+                    .unwrap()
+            };
+            let sparse = run(KernelKind::Sparse);
+            assert_eq!(sparse, run(KernelKind::Scalar), "{image:?}: scalar");
+            assert_eq!(sparse, run(KernelKind::Bitsliced), "{image:?}: bitsliced");
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! **bit-identical** (the `kernel_equivalence` integration suite pins this).
 
 use faultmit_core::MitigationScheme;
-use faultmit_memsim::FaultMap;
+use faultmit_memsim::{DieBlock, Fault, FaultKind, FaultMap, ResidualLanes};
 
 /// Exact `4^b` for every data-bit position, precomputed so the hot
 /// squared-error loop avoids `powi`.
@@ -166,6 +166,123 @@ where
         total += word_squared_error(stored, observed.value);
     }
     total / rows
+}
+
+/// Bit-sliced twin of [`memory_mse_sparse_with`]: evaluates all dies of a
+/// transposed [`DieBlock`] in one walk over its faulty rows, writing die
+/// `j`'s MSE to `out[j]`.
+///
+/// Per row the scheme's lane-parallel
+/// [`observe_block`](MitigationScheme::observe_block) path produces
+/// per-data-bit residual-error lanes; the reduction then scatters each
+/// residual lane's `4^col` weight into per-die row partials in ascending
+/// column order, touching every residual bit exactly once. Bit-identity
+/// with the sparse kernel holds by construction: the visit set is fault
+/// **presence** per die (exactly the rows `rows_with_faults` hands the
+/// sparse kernel), rows are walked in the same ascending order, each die's
+/// sum starts from the same `-0.0` IEEE additive identity, and the
+/// column-order scatter folds the identical diff bits in the identical
+/// LSB-first order `word_squared_error(0, diff)` would. Schemes without a
+/// block path fall back to their sparse path per die.
+///
+/// # Panics
+///
+/// Panics if `out` is shorter than the block's die count, or if the scheme
+/// provides neither a block nor a sparse path (block evaluation requires a
+/// sparse-capable scheme).
+pub fn block_mse_into<S, W>(scheme: &S, block: &DieBlock<'_>, written: W, out: &mut [f64])
+where
+    S: MitigationScheme + ?Sized,
+    W: Fn(usize) -> u64,
+{
+    let dies = block.die_count();
+    assert!(
+        out.len() >= dies,
+        "output slice holds {} dies but the block has {dies}",
+        out.len()
+    );
+    let rows = block.config().rows() as f64;
+    // One running sum per die, each starting from the -0.0 additive
+    // identity the scalar kernels fold from. Stack storage: the block path
+    // allocates nothing in steady state.
+    let mut totals = [-0.0f64; 64];
+    // Per-row squared-error partials, scattered column-by-column so every
+    // residual bit is touched exactly once (a per-die `gather_die` walk
+    // would re-scan the full column mask once per dirty die). Entries are
+    // cleared sparsely through the seen-die mask after each row.
+    let mut row_err = [0.0f64; 64];
+    let mut residual = ResidualLanes::new();
+    for row in block.rows() {
+        let stored = written(row.row);
+        residual.clear();
+        if !scheme.observe_block(row.cells, stored, &mut residual) {
+            // Per-die fallback through the sparse path: rebuild each dirty
+            // die's sorted fault slice on the stack.
+            let mut scratch = [Fault::bit_flip(0, 0); 64];
+            let mut dirty = row.dirty;
+            while dirty != 0 {
+                let die = dirty.trailing_zeros() as usize;
+                dirty &= dirty - 1;
+                let die_bit = 1u64 << die;
+                let mut len = 0;
+                for cell in row.cells {
+                    if cell.presence() & die_bit != 0 {
+                        let kind = if cell.flips & die_bit != 0 {
+                            FaultKind::BitFlip
+                        } else if cell.stuck_value & die_bit != 0 {
+                            FaultKind::StuckAtOne
+                        } else {
+                            FaultKind::StuckAtZero
+                        };
+                        scratch[len] = Fault::new(row.row, cell.col as usize, kind);
+                        len += 1;
+                    }
+                }
+                let observed = scheme
+                    .observe_sparse(&scratch[..len], stored)
+                    .expect("block evaluation requires a sparse-capable scheme");
+                let mut diff = stored ^ observed.value;
+                while diff != 0 {
+                    let col = diff.trailing_zeros() as usize;
+                    diff &= diff - 1;
+                    residual.accumulate(col, die_bit);
+                }
+            }
+        }
+        // Scatter the residual into per-die partials in ascending column
+        // order — the same LSB-first `4^b` fold `word_squared_error` applies
+        // to a gathered diff, so each partial is bit-identical to it.
+        let mut seen = 0u64;
+        let mut mask = residual.colmask();
+        while mask != 0 {
+            let col = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let mut lane = residual.lane(col);
+            seen |= lane;
+            while lane != 0 {
+                let die = lane.trailing_zeros() as usize;
+                lane &= lane - 1;
+                row_err[die] += POW4[col];
+            }
+        }
+        // Visit exactly the dies whose map holds a fault in this row — the
+        // sparse kernel's visit set — even when their residual is zero
+        // (silent stuck-at faults still contribute a +0.0 term).
+        let mut dirty = row.dirty;
+        while dirty != 0 {
+            let die = dirty.trailing_zeros() as usize;
+            dirty &= dirty - 1;
+            totals[die] += row_err[die];
+        }
+        while seen != 0 {
+            let die = seen.trailing_zeros() as usize;
+            seen &= seen - 1;
+            row_err[die] = 0.0;
+        }
+    }
+    for (slot, total) in out[..dies].iter_mut().zip(&totals) {
+        *slot = *total / rows;
+    }
 }
 
 #[cfg(test)]
@@ -337,6 +454,119 @@ mod tests {
                     scheme.name()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn block_kernel_is_bit_identical_to_the_sparse_kernel() {
+        use faultmit_memsim::{
+            Backend, BackendKind, DieScratch, FaultKindLaw, PlannedSample, StreamSeeder,
+        };
+        let config = MemoryConfig::new(128, 32).unwrap();
+        let seeder = StreamSeeder::new(0x4B17_51CE);
+        let image: Vec<u64> = (0..128u64)
+            .map(|r| r.wrapping_mul(0x9E37) & 0xFFFF_FFFF)
+            .collect();
+        let mut schemes = Scheme::fig5_catalogue();
+        schemes.push(Scheme::secded32());
+        for kind in BackendKind::ALL {
+            for law in [
+                FaultKindLaw::AlwaysFlip,
+                FaultKindLaw::AsymmetricStuckAt {
+                    p_stuck_at_zero: 0.5,
+                },
+            ] {
+                let backend = Backend::at_p_cell(kind, config, 1e-3)
+                    .unwrap()
+                    .with_kind_law(law)
+                    .unwrap();
+                // A deliberately non-multiple-of-64 block size.
+                let plan: Vec<PlannedSample> = (0..37u64)
+                    .map(|index| PlannedSample {
+                        index,
+                        n_faults: 1 + (index * 5) % 30,
+                    })
+                    .collect();
+                let mut scratch = DieScratch::new(config);
+                let block = scratch
+                    .generate_block(&backend, &seeder, &plan, None)
+                    .unwrap();
+                let mut out = vec![0.0f64; plan.len()];
+                for scheme in &schemes {
+                    block_mse_into(scheme, &block, |row| image[row], &mut out);
+                    for (j, planned) in plan.iter().enumerate() {
+                        let mut reference = DieScratch::new(config);
+                        let mut rng = seeder.rng_for_sample(planned.index);
+                        let map = reference
+                            .generate(&backend, &mut rng, planned.n_faults as usize)
+                            .unwrap();
+                        assert_eq!(
+                            out[j].to_bits(),
+                            memory_mse_sparse_with(scheme, map, |row| image[row]).to_bits(),
+                            "{kind} {law:?} {} die {j}",
+                            scheme.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_kernel_falls_back_for_schemes_without_a_block_path() {
+        use faultmit_memsim::{Backend, BackendKind, DieScratch, PlannedSample, StreamSeeder};
+        // A sparse-capable scheme with no block path goes through the
+        // per-die fallback inside the block reduction and still agrees.
+        struct SparseOnly;
+        impl MitigationScheme for SparseOnly {
+            fn name(&self) -> String {
+                "sparse-only".to_owned()
+            }
+            fn word_bits(&self) -> usize {
+                32
+            }
+            fn observe(
+                &self,
+                faults: &FaultMap,
+                row: usize,
+                written: u64,
+            ) -> faultmit_core::ObservedWord {
+                let value = Scheme::unprotected32().observe(faults, row, written).value;
+                faultmit_core::ObservedWord {
+                    value,
+                    reliable: true,
+                }
+            }
+            fn observe_sparse(
+                &self,
+                row_faults: &[Fault],
+                written: u64,
+            ) -> Option<faultmit_core::ObservedWord> {
+                Scheme::unprotected32().observe_sparse(row_faults, written)
+            }
+            fn worst_case_error_magnitude(&self, bit: usize) -> u64 {
+                1u64 << bit
+            }
+            fn extra_bits_per_row(&self) -> usize {
+                0
+            }
+        }
+        let config = MemoryConfig::new(64, 32).unwrap();
+        let seeder = StreamSeeder::new(11);
+        let backend = Backend::at_p_cell(BackendKind::Sram, config, 1e-3).unwrap();
+        let plan: Vec<PlannedSample> = (0..16u64)
+            .map(|index| PlannedSample { index, n_faults: 8 })
+            .collect();
+        let mut scratch = DieScratch::new(config);
+        let block = scratch
+            .generate_block(&backend, &seeder, &plan, None)
+            .unwrap();
+        let mut out = vec![0.0f64; plan.len()];
+        block_mse_into(&SparseOnly, &block, |_| 0, &mut out);
+        let mut expected = vec![0.0f64; plan.len()];
+        block_mse_into(&Scheme::unprotected32(), &block, |_| 0, &mut expected);
+        for (a, b) in out.iter().zip(&expected) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

@@ -9,24 +9,29 @@
 //! bit-identical across all worker counts — that invariant is pinned by the
 //! `determinism` integration test, while this bench tracks the speed.
 
-//! Besides the Criterion groups, `bench_throughput_json` measures the fixed
+//! Besides the Criterion groups, `bench_throughput_json` measures the
 //! worker-count sweep 1/2/4/8 plus the kernel-generation comparison
-//! (`scalar_btree` → `scalar_flat` → `sparse`) and writes
+//! (`scalar_btree` → `scalar_flat` → `sparse` → `bitsliced`) and writes
 //! `BENCH_pipeline.json` (path overridable via the `BENCH_PIPELINE_JSON`
 //! environment variable) through the in-tree JSON emitter, so throughput can
-//! be re-measured and tracked on any host.
+//! be re-measured and tracked on any host. Worker counts above the host's
+//! CPU count only measure oversubscription noise, so they are skipped by
+//! default; pass `--force-worker-sweep` (the vendored harness ignores
+//! unknown flags) to measure the full 1/2/4/8 sweep regardless, and read
+//! the `host_cpus` stamp inside each JSON section to interpret the rows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use faultmit_analysis::{
-    memory_mse, memory_mse_for_data, memory_mse_sparse, memory_mse_sparse_with, MonteCarloConfig,
-    MonteCarloEngine,
+    block_mse_into, memory_mse, memory_mse_for_data, memory_mse_sparse, memory_mse_sparse_with,
+    MonteCarloConfig, MonteCarloEngine,
 };
 use faultmit_bench::json::{JsonValue, ToJson};
 use faultmit_core::Scheme;
 use faultmit_memsim::{
-    corrupt_word, FaultKind, FaultKindLaw, FaultMap, ImageSpec, MemoryConfig, SramVddBackend,
+    corrupt_word, DieBlock, FaultKind, FaultKindLaw, FaultMap, ImageSpec, MemoryConfig,
+    SramVddBackend,
 };
-use faultmit_sim::{Accumulator, Campaign, CampaignConfig, PairedSample, Parallelism};
+use faultmit_sim::{Accumulator, Campaign, CampaignConfig, PairedSample, Parallelism, ShardSpec};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 use std::time::Instant;
@@ -416,7 +421,52 @@ where
     )
 }
 
-/// Measures three generations of the evaluation kernel at two
+/// Times `reps` runs of the bit-sliced block scheduler (64-die
+/// [`DieBlock`]s with a scalar tail) and returns the same
+/// `(mean seconds, witness, samples)` triple as [`time_campaign`], so the
+/// witness proves the lane kernels reproduced the scalar MSEs bit for bit.
+fn time_campaign_blocks<F, G>(
+    config: CampaignConfig<SramVddBackend>,
+    schemes: &[Scheme],
+    evaluate_sample: F,
+    evaluate_block: G,
+    reps: u32,
+) -> (f64, f64, u64)
+where
+    F: Fn(&Scheme, &FaultMap) -> f64 + Sync,
+    G: Fn(&Scheme, &DieBlock<'_>, &mut [f64]) + Sync,
+{
+    let campaign = Campaign::new(config);
+    let run = || {
+        campaign
+            .run_shard_blocks(
+                schemes,
+                KERNEL_SEED,
+                ShardSpec::solo(),
+                &evaluate_sample,
+                &evaluate_block,
+                SumMetrics::default,
+            )
+            .unwrap()
+    };
+    // One warm-up campaign, then the mean of the timed repetitions.
+    run();
+    let started = Instant::now();
+    let mut witness = 0.0;
+    let mut samples = 0;
+    for _ in 0..reps {
+        let acc = run();
+        witness = acc.total;
+        samples = acc.samples;
+    }
+    (
+        started.elapsed().as_secs_f64() / f64::from(reps),
+        witness,
+        samples,
+    )
+}
+
+/// Measures four generations of the evaluation kernel at two
 /// single-threaded operating points:
 ///
 /// * `scalar_btree` — the pre-PR baseline: per-die nested
@@ -426,14 +476,24 @@ where
 /// * `scalar_flat` — the flat sorted fault map with fresh per-die
 ///   allocations and the generic `observe` path over dense image vectors;
 /// * `sparse` — the event-driven kernel: reusable `DieScratch` arena,
-///   `observe_sparse` row slices, per-faulty-row image gather.
+///   `observe_sparse` row slices, per-faulty-row image gather;
+/// * `bitsliced` — the lane-parallel kernel: 64 dies transposed into
+///   `u64` lanes per `DieBlock`, `observe_block` scheme transforms and the
+///   `block_mse_into` reduction, with a scalar (`sparse`) tail for the
+///   final partial block.
 ///
 /// Operating points:
 ///
 /// * `fig5`: the paper's 16 KB array at `P_cell = 1e-4` (Fig. 9's matched
 ///   density on the Fig. 5 axis), all-zeros background, Fig. 5 catalogue;
 /// * `fig9`: same array and density with the uniform-random data image and
-///   the decay-style stuck-at law — the data-dependent path.
+///   the decay-style stuck-at law — the data-dependent path;
+/// * `dense_ecc`: the deep-voltage-scaling end of the Fig. 5 axis — 8192
+///   faults per die (`P_cell = 1/16`), benched on the ECC design space
+///   (unprotected, the P-ECC protected-width sweep `4, 8, …, 28`, full
+///   SECDED) whose block paths are fully lane-parallel. Here ~4 of a
+///   block's 64 dies share every faulty *cell*, so one lane operation
+///   does the work the sparse kernel repeats per die.
 fn kernel_rows() -> Vec<KernelRow> {
     const REPS: u32 = 5;
     let memory = MemoryConfig::paper_16kb();
@@ -450,6 +510,12 @@ fn kernel_rows() -> Vec<KernelRow> {
             .with_samples_per_count(10)
             .with_max_failures(24)
             .with_parallelism(Parallelism::Serial)
+            // Blocks are grouped within chunks, so the default 32-sample
+            // chunk would cap the bit-sliced kernel at half lane occupancy;
+            // 64 gives full blocks (results are chunk-size-independent —
+            // pinned by `chunk_size_does_not_change_results`). The scalar
+            // kernels are insensitive to this knob.
+            .with_chunk_size(64)
             .with_scratch_reuse(scratch_reuse)
     };
     let stuck = FaultKindLaw::AsymmetricStuckAt {
@@ -461,11 +527,16 @@ fn kernel_rows() -> Vec<KernelRow> {
     let dense = image.materialise(memory.rows());
 
     let mut rows = Vec::new();
-    let mut push_triple = |label: &'static str,
-                           legacy: (f64, f64, u64),
-                           scalar: (f64, f64, u64),
-                           sparse: (f64, f64, u64)| {
-        for (kernel, other) in [("scalar_flat", scalar), ("sparse", sparse)] {
+    let mut push_generations = |label: &'static str,
+                                legacy: (f64, f64, u64),
+                                scalar: (f64, f64, u64),
+                                sparse: (f64, f64, u64),
+                                bitsliced: (f64, f64, u64)| {
+        for (kernel, other) in [
+            ("scalar_flat", scalar),
+            ("sparse", sparse),
+            ("bitsliced", bitsliced),
+        ] {
             assert_eq!(
                 legacy.1.to_bits(),
                 other.1.to_bits(),
@@ -476,6 +547,7 @@ fn kernel_rows() -> Vec<KernelRow> {
             ("scalar_btree", legacy),
             ("scalar_flat", scalar),
             ("sparse", sparse),
+            ("bitsliced", bitsliced),
         ] {
             rows.push(KernelRow {
                 config: label,
@@ -488,7 +560,7 @@ fn kernel_rows() -> Vec<KernelRow> {
         }
     };
 
-    push_triple(
+    push_generations(
         "fig5_p1e-4",
         time_legacy_campaign(
             config(false, FaultKindLaw::AlwaysFlip),
@@ -508,8 +580,15 @@ fn kernel_rows() -> Vec<KernelRow> {
             memory_mse_sparse,
             REPS,
         ),
+        time_campaign_blocks(
+            config(true, FaultKindLaw::AlwaysFlip),
+            &schemes,
+            memory_mse_sparse,
+            |scheme, block, out| block_mse_into(scheme, block, |_| 0, out),
+            REPS,
+        ),
     );
-    push_triple(
+    push_generations(
         "fig9_random_stuck",
         time_legacy_campaign(config(false, stuck), &schemes, |row| dense[row], REPS),
         time_campaign(
@@ -524,19 +603,75 @@ fn kernel_rows() -> Vec<KernelRow> {
             |scheme, map| memory_mse_sparse_with(scheme, map, |row| image.word(row)),
             REPS,
         ),
+        time_campaign_blocks(
+            config(true, stuck),
+            &schemes,
+            |scheme, map| memory_mse_sparse_with(scheme, map, |row| image.word(row)),
+            |scheme, block, out| block_mse_into(scheme, block, |row| image.word(row), out),
+            REPS,
+        ),
+    );
+
+    // Deep-scaling density: exactly 8192 faults in every die (one cell in
+    // sixteen), one full 64-die block per campaign. Every faulty cell is
+    // shared by ~4 dies, which is the regime the transposed lanes were
+    // built for. The shuffle schemes' FM-LUT vote falls back to the scalar
+    // path for multi-fault dies (dominant at this density), so this point
+    // measures the ECC design space instead: the P-ECC protected-width
+    // sweep between the unprotected and full-SECDED endpoints, whose block
+    // paths stay lane-parallel at any density.
+    let ecc_schemes: Vec<Scheme> = std::iter::once(Scheme::unprotected32())
+        .chain((1..=7).map(|i| Scheme::PriorityEcc {
+            word_bits: 32,
+            protected_bits: 4 * i,
+        }))
+        .chain(std::iter::once(Scheme::secded32()))
+        .collect();
+    let cells = (memory.rows() * 32) as f64;
+    let dense_config = |scratch_reuse: bool| {
+        let backend = SramVddBackend::with_p_cell(memory, 8192.0 / cells).unwrap();
+        CampaignConfig::for_backend(backend)
+            .unwrap()
+            .with_samples_per_count(64)
+            .with_exact_failures(8192)
+            .with_parallelism(Parallelism::Serial)
+            .with_chunk_size(64)
+            .with_scratch_reuse(scratch_reuse)
+    };
+    push_generations(
+        "dense_ecc_p6.3e-2",
+        time_legacy_campaign(dense_config(false), &ecc_schemes, |_| 0, REPS),
+        time_campaign(dense_config(false), &ecc_schemes, memory_mse, REPS),
+        time_campaign(dense_config(true), &ecc_schemes, memory_mse_sparse, REPS),
+        time_campaign_blocks(
+            dense_config(true),
+            &ecc_schemes,
+            memory_mse_sparse,
+            |scheme, block, out| block_mse_into(scheme, block, |_| 0, out),
+            REPS,
+        ),
     );
     rows
 }
 
 /// Times the reduced Fig. 5 campaign at 1/2/4/8 workers plus the
-/// scalar-vs-sparse kernel comparison and writes both series as
+/// kernel-generation comparison and writes both series as
 /// `BENCH_pipeline.json` — the ROADMAP's throughput baseline, reproducible
 /// on any host.
+///
+/// Worker counts above `host_cpus` are skipped by default (they only
+/// measure oversubscription, not scaling); `--force-worker-sweep` restores
+/// the full fixed sweep so hosts of different widths can be compared
+/// row-for-row.
 fn bench_throughput_json(_c: &mut Criterion) {
     const REPS: u32 = 3;
     let schemes = Scheme::fig5_catalogue();
     let samples_per_run = 12u64 * 10;
     let words_per_sample = MemoryConfig::paper_16kb().rows() as f64;
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let force_sweep = std::env::args().any(|arg| arg == "--force-worker-sweep");
 
     let measure = |parallelism: Parallelism| {
         let engine = operating_point(parallelism);
@@ -553,6 +688,13 @@ fn bench_throughput_json(_c: &mut Criterion) {
     let serial_seconds = measure(Parallelism::Serial);
     let mut rows = Vec::new();
     for workers in [1usize, 2, 4, 8] {
+        if workers > host_cpus && !force_sweep {
+            println!(
+                "workers/{workers:<2} skipped (host has {host_cpus} CPU(s); \
+                 pass --force-worker-sweep to measure oversubscription)"
+            );
+            continue;
+        }
         let seconds = if workers == 1 {
             serial_seconds
         } else {
@@ -590,15 +732,29 @@ fn bench_throughput_json(_c: &mut Criterion) {
         );
     }
 
-    let host_cpus = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    // Each section carries its own `host_cpus` stamp so a row set stays
+    // interpretable when sections from different hosts are compared side by
+    // side (and so the worker sweep records why rows above the CPU count
+    // are absent unless the sweep was forced).
     let document = JsonValue::object([
         ("bench", "pipeline_throughput".to_json()),
         ("host_cpus", host_cpus.to_json()),
         ("samples_per_campaign", samples_per_run.to_json()),
-        ("worker_scaling", rows.to_json()),
-        ("kernels", kernels.to_json()),
+        (
+            "worker_scaling",
+            JsonValue::object([
+                ("host_cpus", host_cpus.to_json()),
+                ("forced_full_sweep", force_sweep.to_json()),
+                ("rows", rows.to_json()),
+            ]),
+        ),
+        (
+            "kernels",
+            JsonValue::object([
+                ("host_cpus", host_cpus.to_json()),
+                ("rows", kernels.to_json()),
+            ]),
+        ),
     ]);
     let path =
         std::env::var("BENCH_PIPELINE_JSON").unwrap_or_else(|_| "BENCH_pipeline.json".into());

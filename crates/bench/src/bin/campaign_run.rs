@@ -84,6 +84,10 @@ fn passthrough_args(
         args.push("--kind-law".to_owned());
         args.push(law.to_string());
     }
+    if let Some(kernel) = options.kernel {
+        args.push("--kernel".to_owned());
+        args.push(kernel.to_string());
+    }
     let threads = options.threads.unwrap_or_else(|| {
         let cpus = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -113,6 +117,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     \n       [--dir <checkpoint-dir>] [--out <figure-json-path>]\
                     \n       [--backend sram|dram|mlc] [--samples N] [--threads N] [--full]\
                     \n       [--image <spec>] [--kind-law flip|stuck-at|stuck-at:P]\
+                    \n       [--kernel scalar|sparse|bitsliced]\
                     \nrun 'campaign_run --figure list' for the figure catalogue"
                 .into(),
         );
@@ -258,6 +263,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut recorded: Vec<f64> = Vec::new();
     for state in &states {
         let shard = state.shard.to_string();
+        // Which evaluation kernel produced the checkpoint (recorded by
+        // `campaign_shard`); throughput numbers only compare across runs of
+        // the same kernel generation.
+        let kernel = state
+            .kernel
+            .as_deref()
+            .map(|kernel| format!(", {kernel} kernel"))
+            .unwrap_or_default();
         // A shard's sample count spans every Monte-Carlo panel it evaluated
         // (deterministic table panels carry no sample stream).
         let samples: usize = state
@@ -273,19 +286,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 match words_per_sample {
                     Some(words) => println!(
                         "  shard {shard}: {seconds:.2}s ({samples_per_second:.1} samples/s, \
-                         {:.3e} words/s)",
+                         {:.3e} words/s{kernel})",
                         samples_per_second * words as f64
                     ),
                     None => println!(
-                        "  shard {shard}: {seconds:.2}s ({samples_per_second:.1} samples/s)"
+                        "  shard {shard}: {seconds:.2}s \
+                         ({samples_per_second:.1} samples/s{kernel})"
                     ),
                 }
             }
             Some(seconds) => {
                 recorded.push(seconds);
-                println!("  shard {shard}: {seconds:.2}s");
+                println!("  shard {shard}: {seconds:.2}s{kernel}");
             }
-            None => println!("  shard {shard}: no timing recorded"),
+            None => println!("  shard {shard}: no timing recorded{kernel}"),
         }
     }
     if !recorded.is_empty() {

@@ -31,7 +31,12 @@
 //! * `--kind-law <law>` — how faulty cells behave (`flip|stuck-at|`
 //!   `stuck-at:P` with `P = Pr(stuck at 0)`, see
 //!   [`faultmit_memsim::FaultKindLaw`]); honoured by
-//!   `fig8_backend_matrix` and `fig9_data_sensitivity`.
+//!   `fig8_backend_matrix` and `fig9_data_sensitivity`;
+//! * `--kernel <scalar|sparse|bitsliced>` — the Monte-Carlo evaluation
+//!   kernel ([`faultmit_sim::KernelKind`]); every kernel produces
+//!   bit-identical campaign state, so this selects throughput only.
+//!   Honoured by the MSE catalogue campaigns (`fig5_mse_cdf`,
+//!   `fig8_backend_matrix`, `fig9_data_sensitivity`).
 //!
 //! Anything else is collected as a positional argument (e.g. the benchmark
 //! selector of `fig7_quality`).
@@ -41,7 +46,7 @@ use faultmit_memsim::{
     BackendKind, DramRetentionBackend, FaultBackend, FaultKindLaw, ImageSpec, MemError,
     MemoryConfig, MlcNvmBackend,
 };
-use faultmit_sim::{Parallelism, ShardSpec};
+use faultmit_sim::{KernelKind, Parallelism, ShardSpec};
 use std::path::PathBuf;
 
 /// Command-line options shared by the figure binaries.
@@ -101,6 +106,12 @@ pub struct RunOptions {
     /// Fault-kind law selected with `--kind-law <law>` (`None` = the
     /// figure's default).
     pub kind_law: Option<FaultKindLaw>,
+    /// Evaluation kernel selected with `--kernel <name>` (`None` = the
+    /// engine default, the event-driven sparse kernel). Kernels are
+    /// bit-identical, so this is a throughput knob — but it is still part
+    /// of the campaign spec so shard checkpoints record which kernel
+    /// produced them.
+    pub kernel: Option<KernelKind>,
     /// Unparseable values seen for the campaign-identity flags
     /// (`--image`/`--kind-law`). The campaign entry points treat these as
     /// fatal: a typo in `--image` must not silently run a different (and
@@ -226,6 +237,18 @@ impl RunOptions {
                     None => options
                         .spec_flag_errors
                         .push("--kind-law requires a value".to_owned()),
+                },
+                "--kernel" => match next_value(&mut iter, "--kernel") {
+                    Some(value) => match value.parse() {
+                        Ok(kernel) => options.kernel = Some(kernel),
+                        Err(e) => {
+                            eprintln!("{e}");
+                            options.spec_flag_errors.push(e.to_string());
+                        }
+                    },
+                    None => options
+                        .spec_flag_errors
+                        .push("--kernel requires a value".to_owned()),
                 },
                 "--t-ref-ns" => {
                     if let Some(value) =
@@ -637,6 +660,28 @@ mod tests {
             })
         );
         assert_eq!(opts.spec_flag_errors, vec!["--image requires a value"]);
+    }
+
+    #[test]
+    fn parse_recognises_the_kernel_flag() {
+        let opts = RunOptions::parse(["--kernel", "bitsliced"].iter().map(|s| (*s).to_owned()));
+        assert_eq!(opts.kernel, Some(KernelKind::Bitsliced));
+        assert!(opts.spec_flag_errors.is_empty());
+
+        let opts = RunOptions::parse(std::iter::empty());
+        assert!(opts.kernel.is_none());
+
+        // A typo must be fatal for the campaign entry points, not a silent
+        // fall-back to the default kernel's telemetry label.
+        let opts = RunOptions::parse(["--kernel", "vectorised"].iter().map(|s| (*s).to_owned()));
+        assert!(opts.kernel.is_none());
+        assert_eq!(opts.spec_flag_errors.len(), 1);
+        assert!(opts.spec_flag_errors[0].contains("vectorised"));
+
+        // A dropped value is recorded too.
+        let opts = RunOptions::parse(["--kernel", "--full"].iter().map(|s| (*s).to_owned()));
+        assert!(opts.kernel.is_none());
+        assert_eq!(opts.spec_flag_errors, vec!["--kernel requires a value"]);
     }
 
     #[test]

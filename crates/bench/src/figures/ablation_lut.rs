@@ -95,6 +95,7 @@ impl FigureDef for AblationLutDef {
             benchmarks: Vec::new(),
             image: None,
             kind_law: None,
+            kernel: None,
         }
     }
 

@@ -150,6 +150,7 @@ impl FigureDef for AblationShiftDef {
             benchmarks: Vec::new(),
             image: None,
             kind_law: None,
+            kernel: None,
         }
     }
 

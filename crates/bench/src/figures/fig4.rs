@@ -74,6 +74,7 @@ impl FigureDef for Fig4Def {
             benchmarks: Vec::new(),
             image: None,
             kind_law: None,
+            kernel: None,
         }
     }
 

@@ -48,7 +48,8 @@ impl Fig5Campaign {
         let config = MonteCarloConfig::for_backend(backend)
             .with_samples_per_count(spec.samples_per_count)
             .with_max_failures(max_failures)
-            .with_parallelism(parallelism);
+            .with_parallelism(parallelism)
+            .with_kernel(spec.kernel_kind());
         Ok(Self {
             engine: MonteCarloEngine::new(config),
             schemes: Scheme::fig5_catalogue(),
@@ -153,6 +154,7 @@ impl FigureDef for Fig5Def {
             benchmarks: Vec::new(),
             image: None,
             kind_law: None,
+            kernel: options.kernel,
         }
     }
 

@@ -77,6 +77,7 @@ impl FigureDef for Fig6Def {
             benchmarks: Vec::new(),
             image: None,
             kind_law: None,
+            kernel: None,
         }
     }
 

@@ -206,6 +206,9 @@ impl FigureDef for Fig7Def {
             benchmarks: selected_benchmarks(&options.positional),
             image: None,
             kind_law: None,
+            // Quality campaigns evaluate through the apps layer, not the
+            // MSE kernels.
+            kernel: None,
         }
     }
 

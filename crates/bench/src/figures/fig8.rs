@@ -113,7 +113,8 @@ fn panel_engines(
                 MonteCarloConfig::for_backend(backend)
                     .with_samples_per_count(spec.samples_per_count)
                     .with_max_failures(max_failures)
-                    .with_parallelism(parallelism),
+                    .with_parallelism(parallelism)
+                    .with_kernel(spec.kernel_kind()),
             );
             engines.push((kind, engine));
         }
@@ -150,6 +151,7 @@ impl FigureDef for Fig8Def {
             // None = the paper's always-observable flips; `--kind-law`
             // switches every cell of the matrix to the given behaviour.
             kind_law: options.kind_law,
+            kernel: options.kernel,
         }
     }
 

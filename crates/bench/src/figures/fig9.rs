@@ -159,7 +159,8 @@ impl Fig9Campaign {
                             .with_samples_per_count(spec.samples_per_count)
                             .with_max_failures(max_failures)
                             .with_parallelism(parallelism)
-                            .with_image(image),
+                            .with_image(image)
+                            .with_kernel(spec.kernel_kind()),
                     );
                     cells.push(Fig9Campaign {
                         kind,
@@ -265,6 +266,7 @@ impl FigureDef for Fig9Def {
             benchmarks: Vec::new(),
             image: options.image,
             kind_law: options.kind_law,
+            kernel: options.kernel,
         }
     }
 

@@ -54,7 +54,7 @@ use crate::json::{JsonValue, ToJson};
 use faultmit_analysis::CatalogueAccumulator;
 use faultmit_apps::Benchmark;
 use faultmit_memsim::{BackendKind, FaultKindLaw, ImageSpec};
-use faultmit_sim::{Accumulator, PairedSample, Parallelism, ShardSpec};
+use faultmit_sim::{Accumulator, KernelKind, PairedSample, Parallelism, ShardSpec};
 
 /// Errors from figure materialisation, evaluation or rendering.
 pub type FigureError = Box<dyn std::error::Error>;
@@ -124,6 +124,12 @@ pub struct FigureSpec {
     /// `fig9`; `None` = the figure's default; other figures normalise it
     /// away).
     pub kind_law: Option<FaultKindLaw>,
+    /// Evaluation kernel for the MSE catalogue campaigns (`fig5`, `fig8`,
+    /// `fig9`; `None` = the engine default, event-driven sparse; other
+    /// figures normalise it away). Every kernel accumulates bit-identical
+    /// state — carrying the choice in the spec makes shard checkpoints
+    /// record which kernel produced them.
+    pub kernel: Option<KernelKind>,
 }
 
 impl FigureSpec {
@@ -132,6 +138,13 @@ impl FigureSpec {
     #[must_use]
     pub fn backend_kind(&self) -> BackendKind {
         self.backend.unwrap_or(BackendKind::Sram)
+    }
+
+    /// The evaluation kernel a Monte-Carlo campaign runs with (the
+    /// engine's sparse default when the spec records none).
+    #[must_use]
+    pub fn kernel_kind(&self) -> KernelKind {
+        self.kernel.unwrap_or_default()
     }
 
     /// Serialises the spec for embedding in shard-state files.
@@ -169,6 +182,13 @@ impl FigureSpec {
                 match self.kind_law {
                     None => JsonValue::Null,
                     Some(law) => law.to_string().to_json(),
+                },
+            ),
+            (
+                "kernel",
+                match self.kernel {
+                    None => JsonValue::Null,
+                    Some(kernel) => kernel.as_str().to_json(),
                 },
             ),
         ])
@@ -239,6 +259,15 @@ impl FigureSpec {
                     .map_err(|e| e.to_string())?,
             ),
         };
+        let kernel = match value.get("kernel") {
+            None | Some(JsonValue::Null) => None,
+            Some(node) => Some(
+                node.as_str()
+                    .ok_or("spec 'kernel' must be a string or null")?
+                    .parse::<KernelKind>()
+                    .map_err(|e| e.to_string())?,
+            ),
+        };
         Ok(Self {
             figure,
             backend,
@@ -247,6 +276,7 @@ impl FigureSpec {
             benchmarks,
             image,
             kind_law,
+            kernel,
         })
     }
 }
@@ -567,6 +597,14 @@ pub fn check_identity_flags(spec: &FigureSpec, options: &RunOptions) -> Result<(
         )
         .into());
     }
+    if options.kernel.is_some() && spec.kernel != options.kernel {
+        return Err(format!(
+            "figure '{}' does not support --kernel (the MSE catalogue campaigns \
+             fig5_mse_cdf, fig8_backend_matrix and fig9_data_sensitivity do)",
+            spec.figure
+        )
+        .into());
+    }
     Ok(())
 }
 
@@ -679,9 +717,11 @@ mod tests {
                 .iter()
                 .map(|s| (*s).to_owned()),
         );
+        let kernel = RunOptions::parse(["--kernel", "bitsliced"].iter().map(|s| (*s).to_owned()));
         for figure in registry() {
             let supports_image = figure.name() == "fig9";
             let supports_law = matches!(figure.name(), "fig8" | "fig9");
+            let supports_kernel = matches!(figure.name(), "fig5" | "fig8" | "fig9");
             let image_check = check_identity_flags(&figure.spec(&image), &image);
             assert_eq!(
                 image_check.is_ok(),
@@ -694,6 +734,13 @@ mod tests {
                 law_check.is_ok(),
                 supports_law,
                 "{}: --kind-law acceptance",
+                figure.name()
+            );
+            let kernel_check = check_identity_flags(&figure.spec(&kernel), &kernel);
+            assert_eq!(
+                kernel_check.is_ok(),
+                supports_kernel,
+                "{}: --kernel acceptance",
                 figure.name()
             );
         }

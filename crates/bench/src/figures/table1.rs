@@ -86,6 +86,7 @@ impl FigureDef for Table1Def {
             benchmarks: Vec::new(),
             image: None,
             kind_law: None,
+            kernel: None,
         }
     }
 

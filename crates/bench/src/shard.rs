@@ -92,6 +92,12 @@ pub struct ShardState {
     /// drivers use it to report per-shard timing and size future splits to
     /// the slowest host.
     pub elapsed_seconds: Option<f64>,
+    /// Name of the evaluation kernel that produced this shard (`"scalar"`,
+    /// `"sparse"`, `"bitsliced"`). Telemetry only, like
+    /// [`ShardState::elapsed_seconds`]: kernels are bit-identical, so this
+    /// exists to make throughput numbers comparable across checkpoints, and
+    /// it is absent from files written before it existed.
+    pub kernel: Option<String>,
 }
 
 impl ShardState {
@@ -115,6 +121,13 @@ impl ShardState {
                 match self.elapsed_seconds {
                     None => JsonValue::Null,
                     Some(seconds) => JsonValue::Number(seconds),
+                },
+            ),
+            (
+                "kernel",
+                match &self.kernel {
+                    None => JsonValue::Null,
+                    Some(kernel) => kernel.to_json(),
                 },
             ),
             (
@@ -179,6 +192,10 @@ impl ShardState {
         // Telemetry is optional: files from before it existed (or merged
         // states) simply carry none.
         let elapsed_seconds = document.get("elapsed_seconds").and_then(JsonValue::as_f64);
+        let kernel = document
+            .get("kernel")
+            .and_then(JsonValue::as_str)
+            .map(str::to_owned);
         let panels = document
             .get("panels")
             .and_then(JsonValue::as_array)
@@ -206,6 +223,7 @@ impl ShardState {
             shard,
             panels,
             elapsed_seconds,
+            kernel,
         })
     }
 
@@ -343,6 +361,7 @@ impl ShardState {
         merged.shard = ShardSpec::solo();
         // Per-shard telemetry does not describe the merged whole.
         merged.elapsed_seconds = None;
+        merged.kernel = None;
         Ok(merged)
     }
 
@@ -837,6 +856,7 @@ mod tests {
                 state: one_panel_state(values),
             }],
             elapsed_seconds: Some(0.25 + index as f64),
+            kernel: Some("sparse".to_owned()),
         }
     }
 
@@ -868,6 +888,7 @@ mod tests {
             spec: spec(),
             shard: ShardSpec::solo(),
             elapsed_seconds: None,
+            kernel: None,
             panels: vec![
                 ShardPanelState {
                     label: "cat".to_owned(),
@@ -892,15 +913,18 @@ mod tests {
         // Telemetry survives the round trip…
         let state = shard_with(1, 3, &[7.5]);
         assert_eq!(state.elapsed_seconds, Some(1.25));
+        assert_eq!(state.kernel.as_deref(), Some("sparse"));
         let round = ShardState::parse(&state.to_json().to_pretty_string()).unwrap();
         assert_eq!(round.elapsed_seconds, Some(1.25));
-        // …and files from before it existed (no field) parse as None.
+        assert_eq!(round.kernel.as_deref(), Some("sparse"));
+        // …and files from before it existed (no fields) parse as None.
         let mut document = state.to_json();
         if let JsonValue::Object(fields) = &mut document {
-            fields.retain(|(key, _)| key != "elapsed_seconds");
+            fields.retain(|(key, _)| key != "elapsed_seconds" && key != "kernel");
         }
         let legacy = ShardState::from_json(&document).unwrap();
         assert_eq!(legacy.elapsed_seconds, None);
+        assert_eq!(legacy.kernel, None);
         assert!(legacy.matches(&spec(), ShardSpec::new(1, 3).unwrap()));
     }
 
@@ -916,6 +940,10 @@ mod tests {
         assert_eq!(
             merged.elapsed_seconds, None,
             "per-shard telemetry must not survive the merge"
+        );
+        assert_eq!(
+            merged.kernel, None,
+            "per-shard kernel telemetry must not survive the merge"
         );
         let PanelState::Catalogue { accumulator, .. } = &merged.panels[0].state else {
             panic!("expected catalogue state");

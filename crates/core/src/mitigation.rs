@@ -18,8 +18,8 @@ use crate::error::CoreError;
 use crate::fmlut::FmLut;
 use crate::segment::SegmentGeometry;
 use crate::shifter::{rotate_left, rotate_right};
-use faultmit_ecc::{HammingSecded, SecdedCode};
-use faultmit_memsim::{corrupt_word, Fault, FaultMap};
+use faultmit_ecc::{HammingSecded, LaneCounter, SecdedCode};
+use faultmit_memsim::{corrupt_word, Fault, FaultKind, FaultMap, LaneCell, ResidualLanes};
 
 /// The word an application observes after a faulty read, plus whether the
 /// protection scheme still vouches for it.
@@ -90,6 +90,29 @@ pub trait MitigationScheme {
         None
     }
 
+    /// Lane-parallel (bit-sliced) evaluation of one faulty row across up to
+    /// 64 dies at once.
+    ///
+    /// `cells` is one row's transposed lane cells, sorted by ascending
+    /// column — what a [`DieBlock`](faultmit_memsim::DieBlock) row carries.
+    /// When a scheme answers `true` it has OR-ed, for every die `j` of the
+    /// block and every data bit `c`, bit `j` into lane `c` of `residual`
+    /// exactly when `observe` on die `j`'s map would deliver a value whose
+    /// bit `c` differs from `written` — i.e.
+    /// [`ResidualLanes::gather_die`]`(j)` equals `written ^ observed.value`.
+    /// `false` means the scheme has no block path and the caller must fall
+    /// back to per-die evaluation; the default always falls back, so custom
+    /// schemes stay correct without opting in.
+    fn observe_block(
+        &self,
+        cells: &[LaneCell],
+        written: u64,
+        residual: &mut ResidualLanes,
+    ) -> bool {
+        let _ = (cells, written, residual);
+        false
+    }
+
     /// Worst-case error magnitude caused by a single fault at data bit
     /// position `bit` (0 when the scheme corrects such a fault).
     fn worst_case_error_magnitude(&self, bit: usize) -> u64;
@@ -114,6 +137,15 @@ impl<T: MitigationScheme + ?Sized> MitigationScheme for &T {
 
     fn observe_sparse(&self, row_faults: &[Fault], written: u64) -> Option<ObservedWord> {
         (**self).observe_sparse(row_faults, written)
+    }
+
+    fn observe_block(
+        &self,
+        cells: &[LaneCell],
+        written: u64,
+        residual: &mut ResidualLanes,
+    ) -> bool {
+        (**self).observe_block(cells, written, residual)
     }
 
     fn worst_case_error_magnitude(&self, bit: usize) -> u64 {
@@ -231,6 +263,27 @@ impl Scheme {
         }
         observed
     }
+
+    /// The P-ECC protected-MSB mask for the given partition.
+    fn pecc_msb_mask(word_bits: usize, protected_bits: usize) -> u64 {
+        let unprotected_bits = word_bits - protected_bits;
+        if word_bits == 64 && unprotected_bits == 0 {
+            u64::MAX
+        } else {
+            (((1u64 << protected_bits) - 1) << unprotected_bits) & ((1u64 << word_bits) - 1)
+        }
+    }
+}
+
+/// The *observable-error* lane of one transposed cell: bit `j` set ⇔ die
+/// `j`'s read of `stored` at this cell's column differs from `stored` — a
+/// bit-flip always corrupts, a stuck cell only when its stuck value differs
+/// from the stored bit.
+#[inline]
+fn lane_observable_error(cell: &LaneCell, stored: u64) -> u64 {
+    // Broadcast the stored bit to all 64 lanes (all-ones iff the bit is 1).
+    let stored_lane = 0u64.wrapping_sub((stored >> cell.col) & 1);
+    cell.flips | (cell.stuck & (cell.stuck_value ^ stored_lane))
 }
 
 impl MitigationScheme for Scheme {
@@ -405,6 +458,136 @@ impl MitigationScheme for Scheme {
                 }
             }
         })
+    }
+
+    fn observe_block(
+        &self,
+        cells: &[LaneCell],
+        written: u64,
+        residual: &mut ResidualLanes,
+    ) -> bool {
+        match self {
+            Scheme::Unprotected { .. } => {
+                // Every observable error reaches the application unchanged.
+                for cell in cells {
+                    residual.accumulate(cell.col as usize, lane_observable_error(cell, written));
+                }
+            }
+            Scheme::Secded { .. } => {
+                // 64 syndrome weights at once: a carry-save fold over the
+                // per-column error lanes answers "two or more observable
+                // errors?" per die; only those dies keep their corruption.
+                let mut counter = LaneCounter::new();
+                for cell in cells {
+                    counter.add(lane_observable_error(cell, written));
+                }
+                let uncorrectable = counter.at_least_two();
+                if uncorrectable != 0 {
+                    for cell in cells {
+                        residual.accumulate(
+                            cell.col as usize,
+                            lane_observable_error(cell, written) & uncorrectable,
+                        );
+                    }
+                }
+            }
+            Scheme::PriorityEcc {
+                word_bits,
+                protected_bits,
+            } => {
+                // The correction radius only counts protected-MSB errors;
+                // LSB errors always pass through.
+                let msb_mask = Self::pecc_msb_mask(*word_bits, *protected_bits);
+                let mut counter = LaneCounter::new();
+                for cell in cells {
+                    if (msb_mask >> cell.col) & 1 == 1 {
+                        counter.add(lane_observable_error(cell, written));
+                    }
+                }
+                let uncorrectable = counter.at_least_two();
+                for cell in cells {
+                    let err = lane_observable_error(cell, written);
+                    let lane = if (msb_mask >> cell.col) & 1 == 1 {
+                        err & uncorrectable
+                    } else {
+                        err
+                    };
+                    residual.accumulate(cell.col as usize, lane);
+                }
+            }
+            Scheme::BitShuffle(geometry) => {
+                let word_bits = geometry.word_bits();
+                // The FM-LUT vote keys on fault *presence* (BIST sees stuck
+                // cells whether or not the stored data exposes them).
+                let mut presence = LaneCounter::new();
+                for cell in cells {
+                    presence.add(cell.presence());
+                }
+                let singles = presence.exactly_one();
+                let multi = presence.at_least_two();
+                if singles != 0 {
+                    // A single-fault die shifts by its fault's segment, and
+                    // its residual can only surface at its own faulty cell
+                    // (its presence lane is zero everywhere else). One pass
+                    // therefore serves every single-fault die: the cell's
+                    // column fixes the segment — and thus the shift — for
+                    // all dies voting on it at once.
+                    for cell in cells {
+                        let group = cell.presence() & singles;
+                        if group == 0 {
+                            continue;
+                        }
+                        let shift = geometry
+                            .shift_amount(geometry.segment_of_bit(cell.col as usize))
+                            .expect("segment_of_bit returns a valid segment index");
+                        let stored = rotate_right(written, shift, word_bits);
+                        // A physical error at column c surfaces at data
+                        // position (c + shift) mod W after the un-rotate.
+                        let lane = lane_observable_error(cell, stored) & group;
+                        if lane != 0 {
+                            let data_pos = (cell.col as usize + shift) & (word_bits - 1);
+                            residual.accumulate(data_pos, lane);
+                        }
+                    }
+                }
+                if multi != 0 {
+                    // Dies with several faulty cells in the row are rare at
+                    // campaign densities; rebuild their sorted fault slice
+                    // on the stack and reuse the scalar sparse path.
+                    let mut scratch = [Fault::bit_flip(0, 0); 64];
+                    let mut lanes = multi;
+                    while lanes != 0 {
+                        let die = lanes.trailing_zeros() as usize;
+                        lanes &= lanes - 1;
+                        let die_bit = 1u64 << die;
+                        let mut len = 0;
+                        for cell in cells {
+                            if cell.presence() & die_bit != 0 {
+                                let kind = if cell.flips & die_bit != 0 {
+                                    FaultKind::BitFlip
+                                } else if cell.stuck_value & die_bit != 0 {
+                                    FaultKind::StuckAtOne
+                                } else {
+                                    FaultKind::StuckAtZero
+                                };
+                                scratch[len] = Fault::new(0, cell.col as usize, kind);
+                                len += 1;
+                            }
+                        }
+                        let observed = self
+                            .observe_sparse(&scratch[..len], written)
+                            .expect("a word has at most 64 columns");
+                        let mut diff = written ^ observed.value;
+                        while diff != 0 {
+                            let col = diff.trailing_zeros() as usize;
+                            diff &= diff - 1;
+                            residual.accumulate(col, die_bit);
+                        }
+                    }
+                }
+            }
+        }
+        true
     }
 
     fn worst_case_error_magnitude(&self, bit: usize) -> u64 {
@@ -676,6 +859,123 @@ mod tests {
                 reliable: true
             })
         );
+    }
+
+    #[test]
+    fn observe_block_matches_observe_sparse_for_every_scheme() {
+        // Build a 64-die row population with a deterministic LCG, transpose
+        // it into lane cells by hand, and require the residual of every die
+        // to equal `written ^ observe_sparse(...).value` bit for bit —
+        // covering single-fault dies, fault-heavy dies, silent stuck cells
+        // and fault-free dies in the same block.
+        let mut state = 0xB10C_5EEDu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut schemes = Scheme::fig5_catalogue();
+        schemes.push(Scheme::secded32());
+        for round in 0..8u64 {
+            // Die j gets j % 5 faults (die 0 stays fault-free on purpose).
+            let mut dies: Vec<Vec<Fault>> = Vec::new();
+            for die in 0..64usize {
+                let mut faults: Vec<Fault> = Vec::new();
+                for _ in 0..die % 5 {
+                    let col = (next() as usize) % 32;
+                    if faults.iter().any(|f| f.col == col) {
+                        continue;
+                    }
+                    let kind = match next() % 3 {
+                        0 => FaultKind::StuckAtZero,
+                        1 => FaultKind::StuckAtOne,
+                        _ => FaultKind::BitFlip,
+                    };
+                    faults.push(Fault::new(0, col, kind));
+                }
+                faults.sort_by_key(|f| f.col);
+                dies.push(faults);
+            }
+            // Hand-rolled transposition into sorted lane cells.
+            let mut cells: Vec<LaneCell> = Vec::new();
+            for col in 0..32u32 {
+                let mut cell = LaneCell {
+                    col,
+                    flips: 0,
+                    stuck: 0,
+                    stuck_value: 0,
+                };
+                for (die, faults) in dies.iter().enumerate() {
+                    for fault in faults.iter().filter(|f| f.col == col as usize) {
+                        let bit = 1u64 << die;
+                        match fault.kind {
+                            FaultKind::BitFlip => cell.flips |= bit,
+                            FaultKind::StuckAtOne => {
+                                cell.stuck |= bit;
+                                cell.stuck_value |= bit;
+                            }
+                            FaultKind::StuckAtZero => cell.stuck |= bit,
+                        }
+                    }
+                }
+                if cell.flips | cell.stuck != 0 {
+                    cells.push(cell);
+                }
+            }
+            for scheme in &schemes {
+                for &written in &[0u64, 0xFFFF_FFFF, 0xDEAD_BEEF, 0x8000_0001] {
+                    let mut residual = ResidualLanes::new();
+                    assert!(scheme.observe_block(&cells, written, &mut residual));
+                    for (die, faults) in dies.iter().enumerate() {
+                        let observed = scheme
+                            .observe_sparse(faults, written)
+                            .expect("catalogue schemes have a sparse path");
+                        assert_eq!(
+                            residual.gather_die(die),
+                            written ^ observed.value,
+                            "round {round}, {}, die {die}, written {written:#x}, faults {faults:?}",
+                            scheme.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn observe_block_default_falls_back() {
+        struct Passthrough;
+        impl MitigationScheme for Passthrough {
+            fn name(&self) -> String {
+                "passthrough".to_owned()
+            }
+            fn word_bits(&self) -> usize {
+                32
+            }
+            fn observe(&self, _: &FaultMap, _: usize, written: u64) -> ObservedWord {
+                ObservedWord::intact(written)
+            }
+            fn worst_case_error_magnitude(&self, _: usize) -> u64 {
+                0
+            }
+            fn extra_bits_per_row(&self) -> usize {
+                0
+            }
+        }
+        let mut residual = ResidualLanes::new();
+        assert!(!Passthrough.observe_block(&[], 0, &mut residual));
+        // The blanket `&T` impl forwards the concrete scheme's block path.
+        let scheme = Scheme::unprotected32();
+        let by_ref: &dyn MitigationScheme = &scheme;
+        let cell = LaneCell {
+            col: 3,
+            flips: 0b1,
+            stuck: 0,
+            stuck_value: 0,
+        };
+        assert!((&by_ref).observe_block(&[cell], 0, &mut residual));
+        assert_eq!(residual.gather_die(0), 1 << 3);
     }
 
     #[test]

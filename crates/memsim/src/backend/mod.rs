@@ -740,13 +740,16 @@ where
             reason: format!("cannot place {n_faults} faults in {total} cells"),
         });
     }
+    // `taken` guarantees distinct cells, so the map is bulk-loaded and
+    // sorted once at the end (a per-fault sorted insert is quadratic at
+    // dense fault counts). The RNG schedule is untouched.
     while map.fault_count() < n_faults {
         let mut placed = false;
         for _ in 0..MAX_PROPOSALS_PER_FAULT {
             let (row, col) = propose(rng);
             if taken.insert(config.cell_index(row, col)) {
                 let kind = kind_law.sample(rng);
-                map.insert(crate::fault::Fault::new(row, col, kind))?;
+                map.push_unsorted(crate::fault::Fault::new(row, col, kind))?;
                 placed = true;
                 break;
             }
@@ -758,12 +761,13 @@ where
                 if taken.insert(index) {
                     let (row, col) = config.cell_position(index);
                     let kind = kind_law.sample(rng);
-                    map.insert(crate::fault::Fault::new(row, col, kind))?;
+                    map.push_unsorted(crate::fault::Fault::new(row, col, kind))?;
                     break;
                 }
             }
         }
     }
+    map.restore_sorted_order();
     Ok(())
 }
 

@@ -178,6 +178,26 @@ impl FaultMap {
         Ok(())
     }
 
+    /// Appends a fault without restoring the sort invariant — the bulk-load
+    /// fast path for samplers that already guarantee distinct cells. Every
+    /// batch of `push_unsorted` calls must be followed by
+    /// [`restore_sorted_order`](Self::restore_sorted_order) before the map
+    /// is queried (a per-fault sorted insert would make bulk generation
+    /// quadratic in the fault count).
+    pub(crate) fn push_unsorted(&mut self, fault: Fault) -> Result<(), MemError> {
+        self.config.check_row(fault.row)?;
+        self.config.check_col(fault.col)?;
+        self.faults.push(fault);
+        Ok(())
+    }
+
+    /// Restores the `(row, col)` sort invariant after a `push_unsorted`
+    /// batch. Cells are distinct by the caller's contract, so an unstable
+    /// sort is exact.
+    pub(crate) fn restore_sorted_order(&mut self) {
+        self.faults.sort_unstable_by_key(|f| (f.row, f.col));
+    }
+
     /// Removes the fault at `(row, col)`, returning its kind if present.
     pub fn remove(&mut self, row: usize, col: usize) -> Option<FaultKind> {
         match self.position(row, col) {
@@ -340,18 +360,50 @@ struct RowGroups<'a> {
     faults: &'a [Fault],
 }
 
+impl RowGroups<'_> {
+    /// Linear probes per group before switching to binary search. Groups of
+    /// one or two faults (the overwhelmingly common case at campaign fault
+    /// densities) never pay the search setup; fault-heavy rows — e.g. the
+    /// stuck-at fig9 configs, where a single row can hold a large share of
+    /// the die's faults — find their boundary in `O(log n)` instead of
+    /// walking every fault of the group.
+    const LINEAR_PROBES: usize = 8;
+
+    /// Length of the leading row group, found by an exhaustive linear scan —
+    /// the reference the equivalence test pins the hybrid walk against.
+    #[cfg(test)]
+    fn group_len_linear(faults: &[Fault], row: usize) -> usize {
+        let mut len = 1;
+        while len < faults.len() && faults[len].row == row {
+            len += 1;
+        }
+        len
+    }
+
+    /// Length of the leading row group, found by [`slice::partition_point`]
+    /// after `probed` elements are already known to belong to it.
+    fn group_len_binary(faults: &[Fault], row: usize, probed: usize) -> usize {
+        probed + faults[probed..].partition_point(|f| f.row == row)
+    }
+}
+
 impl<'a> Iterator for RowGroups<'a> {
     type Item = (usize, &'a [Fault]);
 
     fn next(&mut self) -> Option<Self::Item> {
         let first = self.faults.first()?;
         let row = first.row;
-        // Linear scan: groups are tiny (usually one fault), so this walks
-        // each fault once across the whole iteration — cheaper and more
-        // predictable than a binary search per group.
+        // Hybrid probe: scan linearly first — groups are tiny (usually one
+        // fault), so this walks each fault once across the whole iteration —
+        // and fall back to a partition_point binary search for the rare
+        // fault-heavy rows whose group outruns the probe window.
         let mut len = 1;
-        while len < self.faults.len() && self.faults[len].row == row {
+        let probe_limit = Self::LINEAR_PROBES.min(self.faults.len());
+        while len < probe_limit && self.faults[len].row == row {
             len += 1;
+        }
+        if len == Self::LINEAR_PROBES && len < self.faults.len() && self.faults[len].row == row {
+            len = Self::group_len_binary(self.faults, row, len);
         }
         let (group, rest) = self.faults.split_at(len);
         self.faults = rest;
@@ -488,6 +540,53 @@ mod tests {
         assert_eq!(groups, vec![(0, 1), (2, 2), (6, 1)]);
         let rows: Vec<usize> = map.faulty_rows().collect();
         assert_eq!(rows, vec![0, 2, 6]);
+    }
+
+    #[test]
+    fn row_group_cursor_and_binary_search_agree_on_fault_heavy_dies() {
+        // Pin the hybrid iterator's two boundary finders against each other
+        // across group shapes from singletons to full fault-heavy rows (the
+        // stuck-at fig9 regime that motivates the partition_point path).
+        let wide = MemoryConfig::new(64, 32).unwrap();
+        let mut state = 0x9E37_79B9u64;
+        let mut next_state = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for density in [1usize, 2, 7, 8, 9, 20, 32] {
+            let mut map = FaultMap::new(wide);
+            for _ in 0..200 {
+                let row = (next_state() as usize) % 64;
+                for _ in 0..density {
+                    let col = (next_state() as usize) % 32;
+                    map.insert(Fault::bit_flip(row, col)).unwrap();
+                }
+            }
+            // Walk the flat store group by group; at every cursor position
+            // both finders must report the same boundary, and the iterator
+            // itself must match the exhaustive linear reference.
+            let mut rest: &[Fault] = &map.faults;
+            let mut reference = Vec::new();
+            while let Some(first) = rest.first() {
+                let linear = RowGroups::group_len_linear(rest, first.row);
+                for probed in 1..=linear.min(RowGroups::LINEAR_PROBES) {
+                    assert_eq!(
+                        RowGroups::group_len_binary(rest, first.row, probed),
+                        linear,
+                        "density {density}: cursor scan and partition_point disagree"
+                    );
+                }
+                reference.push((first.row, linear));
+                rest = &rest[linear..];
+            }
+            let hybrid: Vec<(usize, usize)> = map
+                .rows_with_faults()
+                .map(|(row, faults)| (row, faults.len()))
+                .collect();
+            assert_eq!(hybrid, reference, "density {density}");
+        }
     }
 
     #[test]

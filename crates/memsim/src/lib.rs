@@ -30,6 +30,10 @@
 //!   index)`, never on which worker thread draws them.
 //! * [`MarchBist`] — a March C- built-in self test that locates faulty cells,
 //!   producing the per-row report that seeds the bit-shuffling FM-LUT.
+//! * [`dieblock`] — transposed (bit-sliced) die blocks: up to 64 planned
+//!   samples packed into `u64` lanes ([`DieBlock`], [`LaneCell`],
+//!   [`ResidualLanes`]) for the lane-parallel evaluation kernel, generated
+//!   from the same per-sample RNG streams as the scalar paths.
 //!
 //! # Example
 //!
@@ -56,6 +60,7 @@ pub mod array;
 pub mod backend;
 pub mod bist;
 pub mod config;
+pub mod dieblock;
 pub mod error;
 pub mod failure_model;
 pub mod fault;
@@ -74,6 +79,7 @@ pub use backend::{
 };
 pub use bist::{BistReport, MarchBist, RowFaultReport};
 pub use config::MemoryConfig;
+pub use dieblock::{BlockRow, DieBlock, LaneCell, ResidualLanes};
 pub use error::MemError;
 pub use failure_model::{CellFailureModel, FailureModelBuilder};
 pub use fault::{Fault, FaultKind, FaultMap};

@@ -188,11 +188,16 @@ impl FaultMapSampler {
             });
         }
         let mut map = FaultMap::new(self.config);
+        // Floyd's algorithm yields distinct indices, so the map can be
+        // bulk-loaded and sorted once (a per-fault sorted insert is
+        // quadratic at dense fault counts). Kind draws stay in index order
+        // — the RNG schedule is untouched.
         for index in sample_indices(rng, total, n_faults).into_iter() {
             let (row, col) = self.config.cell_position(index);
             let kind = self.sample_kind(rng);
-            map.insert(Fault::new(row, col, kind))?;
+            map.push_unsorted(Fault::new(row, col, kind))?;
         }
+        map.restore_sorted_order();
         Ok(map)
     }
 
@@ -226,11 +231,14 @@ impl FaultMapSampler {
             &mut scratch.chosen,
             &mut scratch.indices,
         );
+        // Same bulk-load-then-sort as `sample_with_count`: indices are
+        // distinct and kind draws keep their index-order RNG schedule.
         for i in 0..scratch.indices.len() {
             let (row, col) = self.config.cell_position(scratch.indices[i]);
             let kind = self.sample_kind(rng);
-            scratch.map.insert(Fault::new(row, col, kind))?;
+            scratch.map.push_unsorted(Fault::new(row, col, kind))?;
         }
+        scratch.map.restore_sorted_order();
         Ok(())
     }
 

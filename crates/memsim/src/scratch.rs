@@ -13,8 +13,10 @@
 
 use crate::backend::FaultBackend;
 use crate::config::MemoryConfig;
+use crate::dieblock::{pack_event, transpose_events, BlockRowEntry, DieBlock, LaneCell};
 use crate::error::MemError;
 use crate::fault::FaultMap;
+use crate::seeder::{PlannedSample, StreamSeeder};
 use rand::rngs::StdRng;
 use std::collections::HashSet;
 
@@ -40,6 +42,16 @@ pub struct DieScratch {
     pub(crate) chosen: HashSet<usize>,
     /// Sampled-index output buffer for Floyd's algorithm.
     pub(crate) indices: Vec<usize>,
+    /// Packed `(row, col, die, kind)` events for block transposition.
+    pub(crate) block_events: Vec<u64>,
+    /// Bucket directory for the counting sort of dense event batches.
+    pub(crate) block_counts: Vec<u32>,
+    /// Scatter target for the counting sort of dense event batches.
+    pub(crate) block_sorted: Vec<u64>,
+    /// Transposed lane cells backing the current [`DieBlock`] view.
+    pub(crate) block_cells: Vec<LaneCell>,
+    /// Row directory backing the current [`DieBlock`] view.
+    pub(crate) block_rows: Vec<BlockRowEntry>,
     realloc_events: u64,
 }
 
@@ -52,6 +64,11 @@ impl DieScratch {
             taken: HashSet::new(),
             chosen: HashSet::new(),
             indices: Vec::new(),
+            block_events: Vec::new(),
+            block_counts: Vec::new(),
+            block_sorted: Vec::new(),
+            block_cells: Vec::new(),
+            block_rows: Vec::new(),
             realloc_events: 0,
         }
     }
@@ -95,13 +112,19 @@ impl DieScratch {
         }
     }
 
-    fn capacity_signature(&self) -> (usize, usize, usize, usize) {
-        (
+    #[allow(clippy::type_complexity)]
+    fn capacity_signature(&self) -> [usize; 9] {
+        [
             self.map.capacity(),
             self.taken.capacity(),
             self.chosen.capacity(),
             self.indices.capacity(),
-        )
+            self.block_events.capacity(),
+            self.block_counts.capacity(),
+            self.block_sorted.capacity(),
+            self.block_cells.capacity(),
+            self.block_rows.capacity(),
+        ]
     }
 
     /// Generates one die with exactly `n_faults` faults into the arena —
@@ -152,6 +175,112 @@ impl DieScratch {
             self.realloc_events += 1;
         }
         Ok(&self.map)
+    }
+
+    /// Generates up to 64 planned samples into one transposed [`DieBlock`]:
+    /// die `j` of the block is `plan[j]`, generated with the *same* RNG
+    /// stream ([`StreamSeeder::rng_for_sample`]) and the same per-sample
+    /// protocol (plain, or single-fault-per-row when `max_redraws` is
+    /// `Some`) as the scalar and sparse kernels, then transposed into
+    /// per-cell `u64` lanes. The view borrows the arena and is valid until
+    /// the next generation call.
+    ///
+    /// # Errors
+    ///
+    /// Rejects plans longer than 64 samples and propagates the backend's
+    /// sampling errors.
+    pub fn generate_block<B: FaultBackend + ?Sized>(
+        &mut self,
+        backend: &B,
+        seeder: &StreamSeeder,
+        plan: &[PlannedSample],
+        max_redraws: Option<usize>,
+    ) -> Result<DieBlock<'_>, MemError> {
+        if plan.len() > 64 {
+            return Err(MemError::InvalidParameter {
+                reason: format!(
+                    "die block plan of {} samples exceeds the 64-die lane width",
+                    plan.len()
+                ),
+            });
+        }
+        let before = self.capacity_signature();
+        let mut events = std::mem::take(&mut self.block_events);
+        events.clear();
+        let mut result = Ok(());
+        for (die, planned) in plan.iter().enumerate() {
+            let mut rng = seeder.rng_for_sample(planned.index);
+            let n_faults = planned.n_faults as usize;
+            // Replicate the per-sample RNG consumption exactly: plain draw,
+            // or the single-fault-per-row redraw loop.
+            result = backend.sample_into(&mut rng, n_faults, self);
+            if result.is_err() {
+                break;
+            }
+            if let Some(max_redraws) = max_redraws {
+                for _ in 0..max_redraws {
+                    if self.map.max_faults_per_row() <= 1 {
+                        break;
+                    }
+                    result = backend.sample_into(&mut rng, n_faults, self);
+                    if result.is_err() {
+                        break;
+                    }
+                }
+                if result.is_err() {
+                    break;
+                }
+            }
+            for fault in self.map.iter() {
+                events.push(pack_event(fault.row, fault.col, die, fault.kind));
+            }
+        }
+        self.block_events = events;
+        result?;
+        // Restore `(row, col, die)` order for transposition. Events arrive
+        // die-major with each die already `(row, col)`-sorted, so a stable
+        // two-pass counting sort on the `(row, col)` key reproduces the
+        // exact `sort_unstable` order in linear time — the win that makes
+        // dense blocks affordable. Sparse batches keep the comparison sort,
+        // where zeroing the bucket directory would dominate.
+        let buckets = self.map.config().rows() << 6;
+        if self.block_events.len() >= buckets >> 3 {
+            self.block_counts.clear();
+            self.block_counts.resize(buckets, 0);
+            for &event in &self.block_events {
+                self.block_counts[(event >> 8) as usize] += 1;
+            }
+            let mut offset = 0u32;
+            for slot in &mut self.block_counts {
+                let count = *slot;
+                *slot = offset;
+                offset += count;
+            }
+            self.block_sorted.clear();
+            self.block_sorted.resize(self.block_events.len(), 0);
+            for &event in &self.block_events {
+                let key = (event >> 8) as usize;
+                self.block_sorted[self.block_counts[key] as usize] = event;
+                self.block_counts[key] += 1;
+            }
+            std::mem::swap(&mut self.block_events, &mut self.block_sorted);
+        } else {
+            self.block_events.sort_unstable();
+        }
+        transpose_events(
+            &self.block_events,
+            &mut self.block_cells,
+            &mut self.block_rows,
+        );
+        if self.capacity_signature() != before {
+            self.realloc_events += 1;
+        }
+        Ok(DieBlock::new(
+            &self.block_rows,
+            &self.block_cells,
+            plan.len(),
+            self.map.config(),
+        ))
     }
 }
 

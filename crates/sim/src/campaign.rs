@@ -26,7 +26,7 @@ use crate::error::{RunError, SimError};
 use crate::executor::{run_chunked_with, Parallelism};
 use faultmit_core::MitigationScheme;
 use faultmit_memsim::{
-    DieBatch, DieScratch, FailureCountDistribution, FaultBackend, FaultMap, ImageSpec,
+    DieBatch, DieBlock, DieScratch, FailureCountDistribution, FaultBackend, FaultMap, ImageSpec,
     MemoryConfig, PlannedSample, SramVddBackend, StreamSeeder,
 };
 use std::convert::Infallible;
@@ -165,6 +165,63 @@ pub enum MapPolicy {
         /// Maximum redraws per sample before giving up and keeping the map.
         max_redraws: usize,
     },
+}
+
+/// Which evaluation kernel a campaign drives. All three produce
+/// **bit-identical** per-panel results (the `kernel_equivalence` suite pins
+/// this); they differ only in throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelKind {
+    /// The dense row-walking kernel over the generic `observe` path.
+    Scalar,
+    /// The event-driven kernel walking only fault-bearing rows through
+    /// `observe_sparse` — the default.
+    #[default]
+    Sparse,
+    /// The bit-sliced kernel: up to 64 dies transposed into `u64` lanes and
+    /// evaluated together through `observe_block`, with a scalar tail for
+    /// leftover samples.
+    Bitsliced,
+}
+
+impl KernelKind {
+    /// All kernels, in scalar → sparse → bitsliced order.
+    pub const ALL: [KernelKind; 3] = [
+        KernelKind::Scalar,
+        KernelKind::Sparse,
+        KernelKind::Bitsliced,
+    ];
+
+    /// The CLI / telemetry name of the kernel.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            KernelKind::Scalar => "scalar",
+            KernelKind::Sparse => "sparse",
+            KernelKind::Bitsliced => "bitsliced",
+        }
+    }
+}
+
+impl fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for KernelKind {
+    type Err = SimError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "scalar" => Ok(KernelKind::Scalar),
+            "sparse" => Ok(KernelKind::Sparse),
+            "bitsliced" => Ok(KernelKind::Bitsliced),
+            other => Err(SimError::InvalidParameter {
+                reason: format!("unknown kernel '{other}' (expected scalar|sparse|bitsliced)"),
+            }),
+        }
+    }
 }
 
 /// Configuration of a fault-injection campaign, generic over the
@@ -684,6 +741,153 @@ impl<B: FaultBackend> Campaign<B> {
         }
         Ok(merged)
     }
+
+    /// Runs one shard through the **bit-sliced** evaluation pipeline: each
+    /// chunk's samples are grouped into transposed [`DieBlock`]s of up to 64
+    /// dies, `evaluate_block(scheme, block, out)` fills `out[j]` with die
+    /// `j`'s metric for all dies at once, and degenerate single-sample
+    /// groups fall back to the scalar `evaluate_sample` tail — so any
+    /// `(samples, chunk size, shard)` plan still works.
+    ///
+    /// Chunk boundaries, per-sample RNG streams, weights and record order
+    /// are computed exactly as in [`Campaign::try_run_shard`]; when the two
+    /// evaluators agree per die, the resulting accumulator is
+    /// **bit-identical** to the per-sample kernels at any worker count and
+    /// shard split.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and sampling errors.
+    pub fn run_shard_blocks<S, F, G, A>(
+        &self,
+        schemes: &[S],
+        seed: u64,
+        shard: ShardSpec,
+        evaluate_sample: F,
+        evaluate_block: G,
+        make_accumulator: impl Fn() -> A + Sync,
+    ) -> Result<A, SimError>
+    where
+        S: MitigationScheme + Sync,
+        F: Fn(&S, &FaultMap) -> f64 + Sync,
+        G: Fn(&S, &DieBlock<'_>, &mut [f64]) + Sync,
+        A: Accumulator,
+    {
+        let distribution = self.config.failure_distribution()?;
+        let samples_per_count = self.config.samples_per_count;
+        let (plan, weights) = match self.config.exact_failures {
+            Some(n) => {
+                let plan: Vec<PlannedSample> = (0..samples_per_count as u64)
+                    .map(|k| PlannedSample {
+                        index: k,
+                        n_faults: n,
+                    })
+                    .collect();
+                let mut weights = vec![0.0; n as usize + 1];
+                weights[n as usize] = 1.0 / samples_per_count as f64;
+                (plan, weights)
+            }
+            None => {
+                let max_failures = self.config.effective_max_failures()?;
+                let plan = build_plan(max_failures, samples_per_count);
+                let weights = (0..=max_failures)
+                    .map(|n| distribution.pmf(n) / samples_per_count as f64)
+                    .collect();
+                (plan, weights)
+            }
+        };
+
+        let backend = &self.config.backend;
+        let seeder = StreamSeeder::new(seed);
+        let chunk_size = self.config.chunk_size;
+        let chunk_count = plan.len().div_ceil(chunk_size);
+        let owned_chunks = shard.chunk_range(chunk_count);
+        let workers = self.config.parallelism.worker_count();
+        // The single-fault-per-row protocol threads through the block
+        // generator as a redraw budget so RNG consumption stays identical.
+        let max_redraws = match self.config.map_policy {
+            MapPolicy::Unrestricted => None,
+            MapPolicy::SingleFaultPerRow { max_redraws } => Some(max_redraws),
+        };
+
+        // Per-worker scratch: one warm arena (fault map + transposed block
+        // buffers), a recycled per-die metrics vector, and the per-scheme
+        // block output matrix (schemes × 64 lanes).
+        let chunk_results: Vec<Result<A, SimError>> = run_chunked_with(
+            owned_chunks.len(),
+            workers,
+            || {
+                (
+                    DieScratch::new(backend.config()),
+                    Vec::<f64>::with_capacity(schemes.len()),
+                    vec![0.0f64; schemes.len() * 64],
+                )
+            },
+            |(scratch, metrics, block_out), local_index| {
+                let chunk_index = owned_chunks.start + local_index;
+                let start = chunk_index * chunk_size;
+                let end = (start + chunk_size).min(plan.len());
+                let mut accumulator = make_accumulator();
+
+                for group in plan[start..end].chunks(64) {
+                    if let [planned] = group {
+                        // Scalar tail: a lone sample is cheaper through the
+                        // per-die sparse path than through transposition.
+                        let mut rng = seeder.rng_for_sample(planned.index);
+                        let n = planned.n_faults as usize;
+                        let map = match max_redraws {
+                            None => scratch.generate(backend, &mut rng, n),
+                            Some(budget) => {
+                                scratch.generate_single_fault_per_row(backend, &mut rng, n, budget)
+                            }
+                        }
+                        .map_err(SimError::from)?;
+                        metrics.clear();
+                        for scheme in schemes {
+                            metrics.push(evaluate_sample(scheme, map));
+                        }
+                        let sample = PairedSample {
+                            sample_index: planned.index,
+                            n_faults: planned.n_faults,
+                            weight: weights[planned.n_faults as usize],
+                            metrics: std::mem::take(metrics),
+                        };
+                        accumulator.record(&sample);
+                        *metrics = sample.metrics;
+                        continue;
+                    }
+
+                    let block = scratch
+                        .generate_block(backend, &seeder, group, max_redraws)
+                        .map_err(SimError::from)?;
+                    for (s, scheme) in schemes.iter().enumerate() {
+                        evaluate_block(scheme, &block, &mut block_out[s * 64..(s + 1) * 64]);
+                    }
+                    for (j, planned) in group.iter().enumerate() {
+                        metrics.clear();
+                        for s in 0..schemes.len() {
+                            metrics.push(block_out[s * 64 + j]);
+                        }
+                        let sample = PairedSample {
+                            sample_index: planned.index,
+                            n_faults: planned.n_faults,
+                            weight: weights[planned.n_faults as usize],
+                            metrics: std::mem::take(metrics),
+                        };
+                        accumulator.record(&sample);
+                        *metrics = sample.metrics;
+                    }
+                }
+                Ok(accumulator)
+            },
+        );
+
+        let mut merged = make_accumulator();
+        for result in chunk_results {
+            merged.merge(result?);
+        }
+        Ok(merged)
+    }
 }
 
 /// The campaign's work list: `samples_per_count` samples for every failure
@@ -1055,6 +1259,106 @@ mod tests {
             );
         }
         assert_eq!(merged, monolithic);
+    }
+
+    #[test]
+    fn kernel_kind_parses_and_displays() {
+        for kernel in KernelKind::ALL {
+            assert_eq!(kernel.as_str().parse::<KernelKind>().unwrap(), kernel);
+            assert_eq!(kernel.to_string(), kernel.as_str());
+        }
+        assert_eq!(KernelKind::default(), KernelKind::Sparse);
+        assert!("simd".parse::<KernelKind>().is_err());
+    }
+
+    #[test]
+    fn block_scheduling_matches_the_per_sample_pipeline() {
+        // A per-die metric computable from both representations: the die's
+        // fault count. The block path must reproduce the per-sample path's
+        // records exactly — indices, weights, metric values, order — for
+        // non-multiple-of-64 plans, any shard split, and both map policies.
+        use faultmit_memsim::{Backend, BackendKind};
+        let count_block = |_: &Scheme, block: &DieBlock<'_>, out: &mut [f64]| {
+            out[..block.die_count()].fill(0.0);
+            for row in block.rows() {
+                for cell in row.cells {
+                    let mut lanes = cell.flips | cell.stuck;
+                    while lanes != 0 {
+                        out[lanes.trailing_zeros() as usize] += 1.0;
+                        lanes &= lanes - 1;
+                    }
+                }
+            }
+        };
+        let count_sample = |_: &Scheme, map: &FaultMap| map.fault_count() as f64;
+        let schemes = [Scheme::unprotected32(), Scheme::shuffle32(3).unwrap()];
+        for kind in [BackendKind::Sram, BackendKind::Dram] {
+            for policy in [
+                MapPolicy::Unrestricted,
+                MapPolicy::SingleFaultPerRow { max_redraws: 50 },
+            ] {
+                let backend =
+                    Backend::at_p_cell(kind, MemoryConfig::new(128, 32).unwrap(), 1e-3).unwrap();
+                // 7 samples per count × 13 counts = 91 samples: chunks of
+                // 70 split into one 64-die block plus a 6-die block, and
+                // the last chunk leaves a 21-die block.
+                let base = CampaignConfig::for_backend(backend)
+                    .unwrap()
+                    .with_samples_per_count(7)
+                    .with_max_failures(13)
+                    .with_chunk_size(70)
+                    .with_map_policy(policy);
+                let campaign = Campaign::new(base);
+                let reference = campaign
+                    .run(&schemes, 23, count_sample, CollectRecords::new)
+                    .unwrap();
+                for shard_count in [1usize, 3] {
+                    let mut merged = CollectRecords::new();
+                    for index in 0..shard_count {
+                        merged.merge(
+                            campaign
+                                .run_shard_blocks(
+                                    &schemes,
+                                    23,
+                                    ShardSpec::new(index, shard_count).unwrap(),
+                                    count_sample,
+                                    count_block,
+                                    CollectRecords::new,
+                                )
+                                .unwrap(),
+                        );
+                    }
+                    assert_eq!(merged, reference, "{kind} {policy:?} {shard_count} shards");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_scheduling_takes_the_scalar_tail_for_lone_samples() {
+        // chunk_size 1 forces every group down the scalar tail; results
+        // must still match.
+        let campaign = Campaign::new(config().with_chunk_size(1));
+        let schemes = [Scheme::unprotected32()];
+        let reference = campaign
+            .run(
+                &schemes,
+                3,
+                |_, map| map.fault_count() as f64,
+                CollectRecords::new,
+            )
+            .unwrap();
+        let blocks = campaign
+            .run_shard_blocks(
+                &schemes,
+                3,
+                ShardSpec::solo(),
+                |_, map| map.fault_count() as f64,
+                |_, _, _| panic!("single-sample groups must use the scalar tail"),
+                CollectRecords::new,
+            )
+            .unwrap();
+        assert_eq!(blocks, reference);
     }
 
     #[test]

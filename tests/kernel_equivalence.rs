@@ -1,18 +1,22 @@
-//! Equivalence suite for the event-driven sparse evaluation kernels: the
-//! sparse MSE kernel (`memory_mse_sparse*`, built on `observe_sparse` and
-//! the flat fault map's row groups) must be **bit-identical** to the scalar
-//! `observe`-based kernel on every backend, image, and fault-kind law, and
-//! the campaign's reusable `DieScratch` arena must reproduce the
-//! fresh-allocation path sample for sample.
+//! Equivalence suite for the evaluation kernel generations: the sparse MSE
+//! kernel (`memory_mse_sparse*`, built on `observe_sparse` and the flat
+//! fault map's row groups) and the bit-sliced block kernel
+//! (`block_mse_into` over 64-die `DieBlock` lanes with a scalar tail) must
+//! be **bit-identical** to the scalar `observe`-based kernel on every
+//! backend, image, and fault-kind law, and the campaign's reusable
+//! `DieScratch` arena — scalar and transposed paths alike — must reproduce
+//! the fresh-allocation behaviour sample for sample with zero steady-state
+//! heap traffic.
 
 use faultmit::analysis::{
-    memory_mse, memory_mse_for_data, memory_mse_sparse, memory_mse_sparse_with,
+    block_mse_into, memory_mse, memory_mse_for_data, memory_mse_sparse, memory_mse_sparse_with,
 };
 use faultmit::core::Scheme;
 use faultmit::memsim::{
-    Backend, BackendKind, DieScratch, FaultKindLaw, ImageSpec, MemoryConfig, StreamSeeder,
+    Backend, BackendKind, DieScratch, FaultKindLaw, ImageSpec, MemoryConfig, PlannedSample,
+    StreamSeeder,
 };
-use faultmit::sim::{Campaign, CampaignConfig, CollectRecords, MapPolicy, Parallelism};
+use faultmit::sim::{Campaign, CampaignConfig, CollectRecords, MapPolicy, Parallelism, ShardSpec};
 
 const SEED: u64 = 0x5AB5_EED6;
 
@@ -193,6 +197,104 @@ fn scratch_reuse_is_bit_identical_across_worker_counts() {
     }
 }
 
+/// A tiny deterministic xorshift for the sweep parameters below — the
+/// vendored `rand` streams stay reserved for the RNG-authority fault
+/// sampling, so test-plan randomisation uses its own generator.
+struct SweepRng(u64);
+
+impl SweepRng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// A value in `lo..=hi`.
+    fn pick(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() as usize) % (hi - lo + 1)
+    }
+}
+
+/// The bit-sliced block kernel joins the equivalence family: across a
+/// randomized sweep of backend × image × kind-law × campaign shape —
+/// including budgets that are **not** multiples of the 64-die lane width,
+/// so the scalar tail and partial trailing blocks are exercised — the
+/// `scalar`, `sparse`, and `bitsliced` kernels agree bit for bit, sample
+/// for sample.
+#[test]
+fn bitsliced_kernel_is_bit_identical_across_a_randomized_sweep() {
+    let schemes = Scheme::fig5_catalogue();
+    let mut sweep = SweepRng(SEED | 1);
+    for kind in BackendKind::ALL {
+        for law in kind_laws() {
+            for spec in images() {
+                // Odd budgets on both axes keep the total sample count an
+                // odd number: never a multiple of 64, frequently below one
+                // full block, sometimes several blocks plus a tail.
+                let samples_per_count = 2 * sweep.pick(1, 4) + 1;
+                let max_failures = 2 * sweep.pick(2, 5) as u64 + 1;
+                let chunk_size = sweep.pick(1, 17);
+                let memory = MemoryConfig::new(64 + sweep.pick(0, 192), 32).unwrap();
+                let backend = Backend::at_p_cell(kind, memory, 2e-3)
+                    .unwrap()
+                    .with_kind_law(law)
+                    .unwrap();
+                let context = format!(
+                    "{kind} {law:?} {spec:?} rows={} spc={samples_per_count} \
+                     max={max_failures} chunk={chunk_size}",
+                    memory.rows()
+                );
+                let image = spec.try_materialise(memory).unwrap();
+                let words = image.materialise(memory.rows());
+                let config = |scratch_reuse: bool| {
+                    CampaignConfig::for_backend(backend)
+                        .unwrap()
+                        .with_samples_per_count(samples_per_count)
+                        .with_max_failures(max_failures)
+                        .with_parallelism(Parallelism::Serial)
+                        .with_chunk_size(chunk_size)
+                        .with_scratch_reuse(scratch_reuse)
+                };
+
+                let scalar = Campaign::new(config(false))
+                    .run(
+                        &schemes,
+                        SEED,
+                        |scheme, map| memory_mse_for_data(scheme, map, &words),
+                        CollectRecords::new,
+                    )
+                    .unwrap();
+                let sparse = Campaign::new(config(true))
+                    .run(
+                        &schemes,
+                        SEED,
+                        |scheme, map| memory_mse_sparse_with(scheme, map, |row| image.word(row)),
+                        CollectRecords::new,
+                    )
+                    .unwrap();
+                let bitsliced = Campaign::new(config(true))
+                    .run_shard_blocks(
+                        &schemes,
+                        SEED,
+                        ShardSpec::solo(),
+                        |scheme, map| memory_mse_sparse_with(scheme, map, |row| image.word(row)),
+                        |scheme, block, out| {
+                            block_mse_into(scheme, block, |row| image.word(row), out);
+                        },
+                        CollectRecords::new,
+                    )
+                    .unwrap();
+
+                assert_records_bit_identical(&scalar, &sparse, &context);
+                assert_records_bit_identical(&scalar, &bitsliced, &context);
+            }
+        }
+    }
+}
+
 /// Steady-state die generation through the arena performs **zero** heap
 /// allocation: after a warm-up at the largest fault count, the arena's
 /// reallocation counter stays flat for hundreds of dies on every backend.
@@ -218,6 +320,52 @@ fn die_generation_reaches_zero_allocation_steady_state() {
             scratch.realloc_events(),
             after_warmup,
             "{kind}: steady-state generation must not touch the heap"
+        );
+    }
+}
+
+/// The transposed block path holds the same guarantee: once the lane
+/// buffers have grown to the campaign's peak demand (64 dies at the
+/// largest fault count), steady-state `generate_block` calls — full blocks
+/// and partial tails alike — never touch the heap.
+#[test]
+fn block_generation_reaches_zero_allocation_steady_state() {
+    let memory = MemoryConfig::new(256, 32).unwrap();
+    let seeder = StreamSeeder::new(SEED);
+    let block_plan = |start: u64, len: usize, n_faults: &dyn Fn(u64) -> u64| {
+        (0..len as u64)
+            .map(|j| PlannedSample {
+                index: start + j,
+                n_faults: n_faults(start + j),
+            })
+            .collect::<Vec<_>>()
+    };
+    for kind in BackendKind::ALL {
+        let backend = Backend::at_p_cell(kind, memory, 1e-3).unwrap();
+        let mut scratch = DieScratch::new(memory);
+        // Warm-up: full blocks at the peak fault count grow every lane
+        // buffer to the campaign's maximum demand.
+        for block in 0..4u64 {
+            let plan = block_plan(block * 64, 64, &|_| 48);
+            scratch
+                .generate_block(&backend, &seeder, &plan, None)
+                .unwrap();
+        }
+        let after_warmup = scratch.realloc_events();
+        for block in 0..64u64 {
+            let start = 256 + block * 64;
+            // Partial tails (any length up to the lane width) and varying
+            // per-die fault counts must all stay inside grown capacity.
+            let len = 1 + (block as usize * 13) % 64;
+            let plan = block_plan(start, len, &|index| 1 + index % 48);
+            scratch
+                .generate_block(&backend, &seeder, &plan, None)
+                .unwrap();
+        }
+        assert_eq!(
+            scratch.realloc_events(),
+            after_warmup,
+            "{kind}: steady-state block generation must not touch the heap"
         );
     }
 }

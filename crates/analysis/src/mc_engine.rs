@@ -18,8 +18,8 @@ use crate::mse::{block_mse_into, memory_mse_for_data, memory_mse_sparse_with};
 use crate::yield_model::YieldModel;
 use faultmit_core::MitigationScheme;
 use faultmit_memsim::{
-    DataImage, FailureCountDistribution, FaultBackend, ImageSpec, MemoryConfig, OperatingPoint,
-    SramVddBackend,
+    DataImage, DieBlock, FailureCountDistribution, FaultBackend, ImageSpec, MemoryConfig,
+    OperatingPoint, SramVddBackend, W256,
 };
 use faultmit_sim::{Campaign, CampaignConfig, KernelKind, Parallelism, ShardSpec, SimError};
 
@@ -168,17 +168,41 @@ impl<B: FaultBackend> MonteCarloConfig<B> {
     /// All kernels accumulate **bit-identical** results — the choice only
     /// trades throughput: `scalar` walks every faulty row through the
     /// generic path against a materialised image, `sparse` is event-driven,
-    /// and `bitsliced` evaluates up to 64 dies per `u64` lane.
+    /// `bitsliced` evaluates up to 64 dies per `u64` lane, `bitsliced256`
+    /// evaluates up to 256 dies per [`W256`] lane, and `auto` resolves to
+    /// `sparse` or `bitsliced256` from the campaign's expected fault
+    /// density before any sampling happens (see
+    /// [`MonteCarloConfig::resolved_kernel`]).
     #[must_use]
     pub fn with_kernel(mut self, kernel: KernelKind) -> Self {
         self.kernel = kernel;
         self
     }
 
-    /// The evaluation kernel campaigns run with.
+    /// The evaluation kernel campaigns run with, as configured (`auto`
+    /// stays `auto`; see [`MonteCarloConfig::resolved_kernel`] for the
+    /// kernel that actually executes).
     #[must_use]
     pub fn kernel(&self) -> KernelKind {
         self.kernel
+    }
+
+    /// The fixed kernel this configuration's [`KernelKind`] resolves to:
+    /// fixed kernels return themselves, while [`KernelKind::Auto`] applies
+    /// the density policy of [`KernelKind::resolve`] to this campaign's
+    /// expected faults per die — `(1 + N_max) / 2`, the mean of the uniform
+    /// per-count plan. The resolution depends only on the configuration, so
+    /// every shard of a campaign resolves identically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from building the failure distribution.
+    pub fn resolved_kernel(&self) -> Result<KernelKind, AnalysisError> {
+        #[allow(clippy::cast_precision_loss)]
+        let expected_faults_per_die = (1.0 + self.effective_max_failures()? as f64) / 2.0;
+        Ok(self
+            .kernel
+            .resolve(expected_faults_per_die, self.memory().rows()))
     }
 
     /// The fault-generating backend under study.
@@ -409,10 +433,11 @@ impl<B: FaultBackend + Clone> MonteCarloEngine<B> {
     }
 
     /// Dispatches one shard of the paired campaign to the configured
-    /// evaluation kernel, with `written` supplying the stored word of every
-    /// row. All three kernels fold the identical per-die squared-error sums
-    /// in the identical order, so the returned accumulator is bit-identical
-    /// across [`KernelKind`] choices.
+    /// evaluation kernel (`auto` resolves first, via
+    /// [`MonteCarloConfig::resolved_kernel`]), with `written` supplying the
+    /// stored word of every row. Every kernel folds the identical per-die
+    /// squared-error sums in the identical order, so the returned
+    /// accumulator is bit-identical across [`KernelKind`] choices.
     fn run_campaign_kernel<S, W>(
         &self,
         schemes: &[S],
@@ -425,7 +450,8 @@ impl<B: FaultBackend + Clone> MonteCarloEngine<B> {
         W: Fn(usize) -> u64 + Sync,
     {
         let campaign = Campaign::new(self.config.to_campaign_config()?);
-        match self.config.kernel {
+        match self.config.resolved_kernel()? {
+            KernelKind::Auto => unreachable!("resolved_kernel always returns a fixed kernel"),
             KernelKind::Sparse => campaign
                 .run_shard(
                     schemes,
@@ -456,7 +482,21 @@ impl<B: FaultBackend + Clone> MonteCarloEngine<B> {
                     seed,
                     shard,
                     |scheme, map| memory_mse_sparse_with(scheme, map, &written),
-                    |scheme, block, out| block_mse_into(scheme, block, &written, out),
+                    |scheme, block: &DieBlock<'_>, out: &mut [f64]| {
+                        block_mse_into(scheme, block, &written, out);
+                    },
+                    || CatalogueAccumulator::new(schemes.len()),
+                )
+                .map_err(sim_to_analysis_error),
+            KernelKind::Bitsliced256 => campaign
+                .run_shard_blocks(
+                    schemes,
+                    seed,
+                    shard,
+                    |scheme, map| memory_mse_sparse_with(scheme, map, &written),
+                    |scheme, block: &DieBlock<'_, W256>, out: &mut [f64]| {
+                        block_mse_into(scheme, block, &written, out);
+                    },
                     || CatalogueAccumulator::new(schemes.len()),
                 )
                 .map_err(sim_to_analysis_error),
@@ -824,7 +864,42 @@ mod tests {
             let sparse = run(KernelKind::Sparse);
             assert_eq!(sparse, run(KernelKind::Scalar), "{image:?}: scalar");
             assert_eq!(sparse, run(KernelKind::Bitsliced), "{image:?}: bitsliced");
+            assert_eq!(
+                sparse,
+                run(KernelKind::Bitsliced256),
+                "{image:?}: bitsliced256"
+            );
+            assert_eq!(sparse, run(KernelKind::Auto), "{image:?}: auto");
         }
+    }
+
+    #[test]
+    fn auto_kernel_resolution_tracks_the_campaign_density() {
+        // 5 expected faults spread over 128 rows is far below the 8-per-row
+        // threshold → sparse; the same kernel over an 8-row memory crosses
+        // it → bitsliced256.
+        let sparse_config = MonteCarloConfig::new(MemoryConfig::new(128, 32).unwrap(), 1e-3)
+            .unwrap()
+            .with_max_failures(5)
+            .with_kernel(KernelKind::Auto);
+        assert_eq!(sparse_config.kernel(), KernelKind::Auto);
+        assert_eq!(sparse_config.resolved_kernel().unwrap(), KernelKind::Sparse);
+        let dense_config = MonteCarloConfig::new(MemoryConfig::new(8, 32).unwrap(), 1e-3)
+            .unwrap()
+            .with_max_failures(5)
+            .with_kernel(KernelKind::Auto);
+        assert_eq!(
+            dense_config.resolved_kernel().unwrap(),
+            KernelKind::Bitsliced256
+        );
+        // Fixed kernels resolve to themselves.
+        assert_eq!(
+            sparse_config
+                .with_kernel(KernelKind::Bitsliced)
+                .resolved_kernel()
+                .unwrap(),
+            KernelKind::Bitsliced
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //! per-row contributions in ascending row order, so their results are
 //! **bit-identical** (the `kernel_equivalence` integration suite pins this).
 
-use faultmit_core::MitigationScheme;
+use faultmit_core::{BlockLane, MitigationScheme};
 use faultmit_memsim::{DieBlock, Fault, FaultKind, FaultMap, ResidualLanes};
 
 /// Exact `4^b` for every data-bit position, precomputed so the hot
@@ -172,28 +172,31 @@ where
 /// transposed [`DieBlock`] in one walk over its faulty rows, writing die
 /// `j`'s MSE to `out[j]`.
 ///
-/// Per row the scheme's lane-parallel
-/// [`observe_block`](MitigationScheme::observe_block) path produces
-/// per-data-bit residual-error lanes; the reduction then scatters each
-/// residual lane's `4^col` weight into per-die row partials in ascending
-/// column order, touching every residual bit exactly once. Bit-identity
-/// with the sparse kernel holds by construction: the visit set is fault
+/// Generic over the [`Lane`](faultmit_memsim::Lane) width `L` (`u64` = 64
+/// dies, `W256` = 256): per
+/// row the scheme's lane-parallel block observer — selected by width
+/// through [`BlockLane::observe_block_on`] — produces per-data-bit
+/// residual-error lanes; the reduction then scatters each residual lane's
+/// `4^col` weight into per-die row partials in ascending column order,
+/// touching every residual bit exactly once. Bit-identity with the sparse
+/// kernel holds by construction at every width: the visit set is fault
 /// **presence** per die (exactly the rows `rows_with_faults` hands the
 /// sparse kernel), rows are walked in the same ascending order, each die's
 /// sum starts from the same `-0.0` IEEE additive identity, and the
 /// column-order scatter folds the identical diff bits in the identical
 /// LSB-first order `word_squared_error(0, diff)` would. Schemes without a
-/// block path fall back to their sparse path per die.
+/// block path at width `L` fall back to their sparse path per die.
 ///
 /// # Panics
 ///
 /// Panics if `out` is shorter than the block's die count, or if the scheme
 /// provides neither a block nor a sparse path (block evaluation requires a
 /// sparse-capable scheme).
-pub fn block_mse_into<S, W>(scheme: &S, block: &DieBlock<'_>, written: W, out: &mut [f64])
+pub fn block_mse_into<S, W, L>(scheme: &S, block: &DieBlock<'_, L>, written: W, out: &mut [f64])
 where
     S: MitigationScheme + ?Sized,
     W: Fn(usize) -> u64,
+    L: BlockLane,
 {
     let dies = block.die_count();
     assert!(
@@ -203,33 +206,31 @@ where
     );
     let rows = block.config().rows() as f64;
     // One running sum per die, each starting from the -0.0 additive
-    // identity the scalar kernels fold from. Stack storage: the block path
-    // allocates nothing in steady state.
-    let mut totals = [-0.0f64; 64];
+    // identity the scalar kernels fold from. Stack storage sized by the
+    // lane width: the block path allocates nothing in steady state.
+    let mut totals = L::die_array(-0.0f64);
+    let totals = totals.as_mut();
     // Per-row squared-error partials, scattered column-by-column so every
     // residual bit is touched exactly once (a per-die `gather_die` walk
     // would re-scan the full column mask once per dirty die). Entries are
     // cleared sparsely through the seen-die mask after each row.
-    let mut row_err = [0.0f64; 64];
-    let mut residual = ResidualLanes::new();
+    let mut row_err = L::die_array(0.0f64);
+    let row_err = row_err.as_mut();
+    let mut residual = ResidualLanes::<L>::new();
     for row in block.rows() {
         let stored = written(row.row);
         residual.clear();
-        if !scheme.observe_block(row.cells, stored, &mut residual) {
+        if !L::observe_block_on(scheme, row.cells, stored, &mut residual) {
             // Per-die fallback through the sparse path: rebuild each dirty
             // die's sorted fault slice on the stack.
             let mut scratch = [Fault::bit_flip(0, 0); 64];
-            let mut dirty = row.dirty;
-            while dirty != 0 {
-                let die = dirty.trailing_zeros() as usize;
-                dirty &= dirty - 1;
-                let die_bit = 1u64 << die;
+            row.dirty.for_each_die(|die| {
                 let mut len = 0;
                 for cell in row.cells {
-                    if cell.presence() & die_bit != 0 {
-                        let kind = if cell.flips & die_bit != 0 {
+                    if cell.presence().bit(die) != 0 {
+                        let kind = if cell.flips.bit(die) != 0 {
                             FaultKind::BitFlip
-                        } else if cell.stuck_value & die_bit != 0 {
+                        } else if cell.stuck_value.bit(die) != 0 {
                             FaultKind::StuckAtOne
                         } else {
                             FaultKind::StuckAtZero
@@ -245,42 +246,29 @@ where
                 while diff != 0 {
                     let col = diff.trailing_zeros() as usize;
                     diff &= diff - 1;
-                    residual.accumulate(col, die_bit);
+                    residual.accumulate(col, L::lane_bit(die));
                 }
-            }
+            });
         }
         // Scatter the residual into per-die partials in ascending column
         // order — the same LSB-first `4^b` fold `word_squared_error` applies
         // to a gathered diff, so each partial is bit-identical to it.
-        let mut seen = 0u64;
+        let mut seen = L::ZERO;
         let mut mask = residual.colmask();
         while mask != 0 {
             let col = mask.trailing_zeros() as usize;
             mask &= mask - 1;
-            let mut lane = residual.lane(col);
+            let lane = residual.lane(col);
             seen |= lane;
-            while lane != 0 {
-                let die = lane.trailing_zeros() as usize;
-                lane &= lane - 1;
-                row_err[die] += POW4[col];
-            }
+            lane.for_each_die(|die| row_err[die] += POW4[col]);
         }
         // Visit exactly the dies whose map holds a fault in this row — the
         // sparse kernel's visit set — even when their residual is zero
         // (silent stuck-at faults still contribute a +0.0 term).
-        let mut dirty = row.dirty;
-        while dirty != 0 {
-            let die = dirty.trailing_zeros() as usize;
-            dirty &= dirty - 1;
-            totals[die] += row_err[die];
-        }
-        while seen != 0 {
-            let die = seen.trailing_zeros() as usize;
-            seen &= seen - 1;
-            row_err[die] = 0.0;
-        }
+        row.dirty.for_each_die(|die| totals[die] += row_err[die]);
+        seen.for_each_die(|die| row_err[die] = 0.0);
     }
-    for (slot, total) in out[..dies].iter_mut().zip(&totals) {
+    for (slot, total) in out[..dies].iter_mut().zip(totals.iter()) {
         *slot = *total / rows;
     }
 }
@@ -457,10 +445,13 @@ mod tests {
         }
     }
 
-    #[test]
-    fn block_kernel_is_bit_identical_to_the_sparse_kernel() {
+    /// The width-generic body of the block bit-identity sweep: every die of
+    /// a `dies`-sample block must reproduce the sparse kernel's MSE bit for
+    /// bit, across backends, kind laws and catalogue schemes.
+    fn check_block_kernel_against_sparse<L: BlockLane>(dies: u64) {
         use faultmit_memsim::{
-            Backend, BackendKind, DieScratch, FaultKindLaw, PlannedSample, StreamSeeder,
+            Backend, BackendKind, BlockScratch, DieScratch, FaultKindLaw, PlannedSample,
+            StreamSeeder,
         };
         let config = MemoryConfig::new(128, 32).unwrap();
         let seeder = StreamSeeder::new(0x4B17_51CE);
@@ -480,14 +471,13 @@ mod tests {
                     .unwrap()
                     .with_kind_law(law)
                     .unwrap();
-                // A deliberately non-multiple-of-64 block size.
-                let plan: Vec<PlannedSample> = (0..37u64)
+                let plan: Vec<PlannedSample> = (0..dies)
                     .map(|index| PlannedSample {
                         index,
                         n_faults: 1 + (index * 5) % 30,
                     })
                     .collect();
-                let mut scratch = DieScratch::new(config);
+                let mut scratch = BlockScratch::<L>::new(config);
                 let block = scratch
                     .generate_block(&backend, &seeder, &plan, None)
                     .unwrap();
@@ -513,8 +503,21 @@ mod tests {
     }
 
     #[test]
+    fn block_kernel_is_bit_identical_to_the_sparse_kernel() {
+        // A deliberately non-multiple-of-64 block size.
+        check_block_kernel_against_sparse::<u64>(37);
+    }
+
+    #[test]
+    fn wide_block_kernel_is_bit_identical_to_the_sparse_kernel() {
+        // More dies than a u64 lane holds, not a multiple of 64, so dies in
+        // every W256 word (and a ragged tail) are exercised.
+        check_block_kernel_against_sparse::<faultmit_memsim::W256>(201);
+    }
+
+    #[test]
     fn block_kernel_falls_back_for_schemes_without_a_block_path() {
-        use faultmit_memsim::{Backend, BackendKind, DieScratch, PlannedSample, StreamSeeder};
+        use faultmit_memsim::{Backend, BackendKind, BlockScratch, PlannedSample, StreamSeeder};
         // A sparse-capable scheme with no block path goes through the
         // per-die fallback inside the block reduction and still agrees.
         struct SparseOnly;
@@ -557,7 +560,7 @@ mod tests {
         let plan: Vec<PlannedSample> = (0..16u64)
             .map(|index| PlannedSample { index, n_faults: 8 })
             .collect();
-        let mut scratch = DieScratch::new(config);
+        let mut scratch = BlockScratch::<u64>::new(config);
         let block = scratch
             .generate_block(&backend, &seeder, &plan, None)
             .unwrap();
@@ -566,6 +569,15 @@ mod tests {
         let mut expected = vec![0.0f64; plan.len()];
         block_mse_into(&Scheme::unprotected32(), &block, |_| 0, &mut expected);
         for (a, b) in out.iter().zip(&expected) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // The wide kernel takes the same per-die fallback: SparseOnly has
+        // no observe_block_wide either.
+        let mut wide = BlockScratch::<faultmit_memsim::W256>::new(config);
+        let block = wide.generate_block(&backend, &seeder, &plan, None).unwrap();
+        let mut wide_out = vec![0.0f64; plan.len()];
+        block_mse_into(&SparseOnly, &block, |_| 0, &mut wide_out);
+        for (a, b) in wide_out.iter().zip(&expected) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
     }

@@ -11,7 +11,8 @@
 
 //! Besides the Criterion groups, `bench_throughput_json` measures the
 //! worker-count sweep 1/2/4/8 plus the kernel-generation comparison
-//! (`scalar_btree` → `scalar_flat` → `sparse` → `bitsliced`) and writes
+//! (`scalar_btree` → `scalar_flat` → `sparse` → `bitsliced` →
+//! `bitsliced256`, plus the density-resolved `auto` row) and writes
 //! `BENCH_pipeline.json` (path overridable via the `BENCH_PIPELINE_JSON`
 //! environment variable) through the in-tree JSON emitter, so throughput can
 //! be re-measured and tracked on any host. Worker counts above the host's
@@ -22,16 +23,17 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use faultmit_analysis::{
-    block_mse_into, memory_mse, memory_mse_for_data, memory_mse_sparse, memory_mse_sparse_with,
-    MonteCarloConfig, MonteCarloEngine,
+    block_mse_into, memory_mse_for_data, memory_mse_sparse_with, MonteCarloConfig, MonteCarloEngine,
 };
 use faultmit_bench::json::{JsonValue, ToJson};
 use faultmit_core::Scheme;
 use faultmit_memsim::{
-    corrupt_word, DieBlock, FaultKind, FaultKindLaw, FaultMap, ImageSpec, MemoryConfig,
-    SramVddBackend,
+    corrupt_word, DieBlock, FaultKind, FaultKindLaw, FaultMap, ImageSpec, Lane, MemoryConfig,
+    SramVddBackend, W256,
 };
-use faultmit_sim::{Accumulator, Campaign, CampaignConfig, PairedSample, Parallelism, ShardSpec};
+use faultmit_sim::{
+    Accumulator, Campaign, CampaignConfig, KernelKind, PairedSample, Parallelism, ShardSpec,
+};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 use std::time::Instant;
@@ -421,11 +423,11 @@ where
     )
 }
 
-/// Times `reps` runs of the bit-sliced block scheduler (64-die
+/// Times `reps` runs of the bit-sliced block scheduler (`L::LANES`-die
 /// [`DieBlock`]s with a scalar tail) and returns the same
 /// `(mean seconds, witness, samples)` triple as [`time_campaign`], so the
 /// witness proves the lane kernels reproduced the scalar MSEs bit for bit.
-fn time_campaign_blocks<F, G>(
+fn time_campaign_blocks<L, F, G>(
     config: CampaignConfig<SramVddBackend>,
     schemes: &[Scheme],
     evaluate_sample: F,
@@ -433,8 +435,9 @@ fn time_campaign_blocks<F, G>(
     reps: u32,
 ) -> (f64, f64, u64)
 where
+    L: Lane,
     F: Fn(&Scheme, &FaultMap) -> f64 + Sync,
-    G: Fn(&Scheme, &DieBlock<'_>, &mut [f64]) + Sync,
+    G: Fn(&Scheme, &DieBlock<'_, L>, &mut [f64]) + Sync,
 {
     let campaign = Campaign::new(config);
     let run = || {
@@ -466,7 +469,108 @@ where
     )
 }
 
-/// Measures four generations of the evaluation kernel at two
+/// Times every kernel generation at one operating point and appends the
+/// rows, with each witness sum cross-checked bit for bit against the
+/// `scalar_btree` baseline.
+///
+/// `config(scratch_reuse)` builds the point's campaign configuration and
+/// `written(row)` supplies its stored words, so each generation times the
+/// identical campaign. The `auto` row runs the kernel the density policy of
+/// [`KernelKind::resolve`] picks for this configuration — resolution
+/// happens once per campaign, before any sampling — and its `kernel` stamp
+/// records the resolved choice (`auto:sparse` / `auto:bitsliced256`), the
+/// same telemetry the sharded CLI writes into checkpoints.
+fn push_point<W>(
+    rows: &mut Vec<KernelRow>,
+    label: &'static str,
+    memory: MemoryConfig,
+    config: &dyn Fn(bool) -> CampaignConfig<SramVddBackend>,
+    schemes: &[Scheme],
+    written: W,
+    reps: u32,
+) where
+    W: Fn(usize) -> u64 + Sync,
+{
+    let words: Vec<u64> = (0..memory.rows()).map(&written).collect();
+    let words_per_sample = memory.rows() as f64;
+
+    let time_sparse = || {
+        time_campaign(
+            config(true),
+            schemes,
+            |scheme, map| memory_mse_sparse_with(scheme, map, &written),
+            reps,
+        )
+    };
+    let time_blocks_narrow = || {
+        time_campaign_blocks(
+            config(true),
+            schemes,
+            |scheme, map| memory_mse_sparse_with(scheme, map, &written),
+            |scheme, block: &DieBlock<'_>, out: &mut [f64]| {
+                block_mse_into(scheme, block, &written, out);
+            },
+            reps,
+        )
+    };
+    let time_blocks_wide = || {
+        time_campaign_blocks(
+            config(true),
+            schemes,
+            |scheme, map| memory_mse_sparse_with(scheme, map, &written),
+            |scheme, block: &DieBlock<'_, W256>, out: &mut [f64]| {
+                block_mse_into(scheme, block, &written, out);
+            },
+            reps,
+        )
+    };
+
+    let legacy = time_legacy_campaign(config(false), schemes, &written, reps);
+    let scalar = time_campaign(
+        config(false),
+        schemes,
+        |scheme, map| memory_mse_for_data(scheme, map, &words),
+        reps,
+    );
+    let sparse = time_sparse();
+    let bitsliced = time_blocks_narrow();
+    let bitsliced256 = time_blocks_wide();
+    let resolved = KernelKind::Auto.resolve(
+        config(true).expected_faults_per_die().unwrap(),
+        memory.rows(),
+    );
+    // The auto row re-times the resolved kernel end to end, so any gap
+    // between `auto` and its fixed twin is pure measurement noise.
+    let (auto_name, auto) = match resolved {
+        KernelKind::Bitsliced256 => ("auto:bitsliced256", time_blocks_wide()),
+        _ => ("auto:sparse", time_sparse()),
+    };
+
+    for (kernel, (seconds, witness, samples)) in [
+        ("scalar_btree", legacy),
+        ("scalar_flat", scalar),
+        ("sparse", sparse),
+        ("bitsliced", bitsliced),
+        ("bitsliced256", bitsliced256),
+        (auto_name, auto),
+    ] {
+        assert_eq!(
+            legacy.1.to_bits(),
+            witness.to_bits(),
+            "{label}: scalar_btree and {kernel} kernels disagree on the MSE sum"
+        );
+        rows.push(KernelRow {
+            config: label,
+            kernel,
+            mean_seconds_per_campaign: seconds,
+            samples_per_second: samples as f64 / seconds,
+            words_per_second: samples as f64 * words_per_sample / seconds,
+            speedup_vs_scalar: legacy.0 / seconds,
+        });
+    }
+}
+
+/// Measures six generations of the evaluation kernel at three
 /// single-threaded operating points:
 ///
 /// * `scalar_btree` — the pre-PR baseline: per-die nested
@@ -480,7 +584,12 @@ where
 /// * `bitsliced` — the lane-parallel kernel: 64 dies transposed into
 ///   `u64` lanes per `DieBlock`, `observe_block` scheme transforms and the
 ///   `block_mse_into` reduction, with a scalar (`sparse`) tail for the
-///   final partial block.
+///   final partial block;
+/// * `bitsliced256` — the same pipeline at the 256-die `W256` lane width
+///   (four `u64` words per lane, element-wise ops the compiler
+///   autovectorises);
+/// * `auto` — the density-adaptive kernel, stamped with what it resolved
+///   to at this operating point.
 ///
 /// Operating points:
 ///
@@ -491,14 +600,13 @@ where
 /// * `dense_ecc`: the deep-voltage-scaling end of the Fig. 5 axis — 8192
 ///   faults per die (`P_cell = 1/16`), benched on the ECC design space
 ///   (unprotected, the P-ECC protected-width sweep `4, 8, …, 28`, full
-///   SECDED) whose block paths are fully lane-parallel. Here ~4 of a
-///   block's 64 dies share every faulty *cell*, so one lane operation
+///   SECDED) whose block paths are fully lane-parallel. Here ~16 of a wide
+///   block's 256 dies share every faulty *cell*, so one lane operation
 ///   does the work the sparse kernel repeats per die.
 fn kernel_rows() -> Vec<KernelRow> {
     const REPS: u32 = 5;
     let memory = MemoryConfig::paper_16kb();
     let schemes = Scheme::fig5_catalogue();
-    let words_per_sample = memory.rows() as f64;
 
     let config = |scratch_reuse: bool, law: FaultKindLaw| {
         let backend = SramVddBackend::with_p_cell(memory, 1e-4)
@@ -527,99 +635,35 @@ fn kernel_rows() -> Vec<KernelRow> {
     let dense = image.materialise(memory.rows());
 
     let mut rows = Vec::new();
-    let mut push_generations = |label: &'static str,
-                                legacy: (f64, f64, u64),
-                                scalar: (f64, f64, u64),
-                                sparse: (f64, f64, u64),
-                                bitsliced: (f64, f64, u64)| {
-        for (kernel, other) in [
-            ("scalar_flat", scalar),
-            ("sparse", sparse),
-            ("bitsliced", bitsliced),
-        ] {
-            assert_eq!(
-                legacy.1.to_bits(),
-                other.1.to_bits(),
-                "{label}: scalar_btree and {kernel} kernels disagree on the MSE sum"
-            );
-        }
-        for (kernel, (seconds, _, samples)) in [
-            ("scalar_btree", legacy),
-            ("scalar_flat", scalar),
-            ("sparse", sparse),
-            ("bitsliced", bitsliced),
-        ] {
-            rows.push(KernelRow {
-                config: label,
-                kernel,
-                mean_seconds_per_campaign: seconds,
-                samples_per_second: samples as f64 / seconds,
-                words_per_second: samples as f64 * words_per_sample / seconds,
-                speedup_vs_scalar: legacy.0 / seconds,
-            });
-        }
-    };
-
-    push_generations(
+    push_point(
+        &mut rows,
         "fig5_p1e-4",
-        time_legacy_campaign(
-            config(false, FaultKindLaw::AlwaysFlip),
-            &schemes,
-            |_| 0,
-            REPS,
-        ),
-        time_campaign(
-            config(false, FaultKindLaw::AlwaysFlip),
-            &schemes,
-            memory_mse,
-            REPS,
-        ),
-        time_campaign(
-            config(true, FaultKindLaw::AlwaysFlip),
-            &schemes,
-            memory_mse_sparse,
-            REPS,
-        ),
-        time_campaign_blocks(
-            config(true, FaultKindLaw::AlwaysFlip),
-            &schemes,
-            memory_mse_sparse,
-            |scheme, block, out| block_mse_into(scheme, block, |_| 0, out),
-            REPS,
-        ),
+        memory,
+        &|reuse| config(reuse, FaultKindLaw::AlwaysFlip),
+        &schemes,
+        |_| 0,
+        REPS,
     );
-    push_generations(
+    push_point(
+        &mut rows,
         "fig9_random_stuck",
-        time_legacy_campaign(config(false, stuck), &schemes, |row| dense[row], REPS),
-        time_campaign(
-            config(false, stuck),
-            &schemes,
-            |scheme, map| memory_mse_for_data(scheme, map, &dense),
-            REPS,
-        ),
-        time_campaign(
-            config(true, stuck),
-            &schemes,
-            |scheme, map| memory_mse_sparse_with(scheme, map, |row| image.word(row)),
-            REPS,
-        ),
-        time_campaign_blocks(
-            config(true, stuck),
-            &schemes,
-            |scheme, map| memory_mse_sparse_with(scheme, map, |row| image.word(row)),
-            |scheme, block, out| block_mse_into(scheme, block, |row| image.word(row), out),
-            REPS,
-        ),
+        memory,
+        &|reuse| config(reuse, stuck),
+        &schemes,
+        |row| dense[row],
+        REPS,
     );
 
     // Deep-scaling density: exactly 8192 faults in every die (one cell in
-    // sixteen), one full 64-die block per campaign. Every faulty cell is
-    // shared by ~4 dies, which is the regime the transposed lanes were
-    // built for. The shuffle schemes' FM-LUT vote falls back to the scalar
-    // path for multi-fault dies (dominant at this density), so this point
-    // measures the ECC design space instead: the P-ECC protected-width
-    // sweep between the unprotected and full-SECDED endpoints, whose block
-    // paths stay lane-parallel at any density.
+    // sixteen), 256 samples in one chunk so the wide kernel packs one full
+    // 256-die block (the narrow kernel packs four 64-die blocks). Every
+    // faulty cell is shared by ~4 of any 64 dies (~16 of 256), which is the
+    // regime the transposed lanes were built for. The shuffle schemes'
+    // FM-LUT vote falls back to the scalar path for multi-fault dies
+    // (dominant at this density), so this point measures the ECC design
+    // space instead: the P-ECC protected-width sweep between the
+    // unprotected and full-SECDED endpoints, whose block paths stay
+    // lane-parallel at any density.
     let ecc_schemes: Vec<Scheme> = std::iter::once(Scheme::unprotected32())
         .chain((1..=7).map(|i| Scheme::PriorityEcc {
             word_bits: 32,
@@ -632,24 +676,20 @@ fn kernel_rows() -> Vec<KernelRow> {
         let backend = SramVddBackend::with_p_cell(memory, 8192.0 / cells).unwrap();
         CampaignConfig::for_backend(backend)
             .unwrap()
-            .with_samples_per_count(64)
+            .with_samples_per_count(256)
             .with_exact_failures(8192)
             .with_parallelism(Parallelism::Serial)
-            .with_chunk_size(64)
+            .with_chunk_size(256)
             .with_scratch_reuse(scratch_reuse)
     };
-    push_generations(
+    push_point(
+        &mut rows,
         "dense_ecc_p6.3e-2",
-        time_legacy_campaign(dense_config(false), &ecc_schemes, |_| 0, REPS),
-        time_campaign(dense_config(false), &ecc_schemes, memory_mse, REPS),
-        time_campaign(dense_config(true), &ecc_schemes, memory_mse_sparse, REPS),
-        time_campaign_blocks(
-            dense_config(true),
-            &ecc_schemes,
-            memory_mse_sparse,
-            |scheme, block, out| block_mse_into(scheme, block, |_| 0, out),
-            REPS,
-        ),
+        memory,
+        &dense_config,
+        &ecc_schemes,
+        |_| 0,
+        REPS,
     );
     rows
 }

@@ -117,7 +117,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     \n       [--dir <checkpoint-dir>] [--out <figure-json-path>]\
                     \n       [--backend sram|dram|mlc] [--samples N] [--threads N] [--full]\
                     \n       [--image <spec>] [--kind-law flip|stuck-at|stuck-at:P]\
-                    \n       [--kernel scalar|sparse|bitsliced]\
+                    \n       [--kernel scalar|sparse|bitsliced|bitsliced256|auto]\
                     \nrun 'campaign_run --figure list' for the figure catalogue"
                 .into(),
         );

@@ -105,7 +105,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .into());
     }
 
-    let kernel = spec.kernel;
+    let kernel = figure.resolved_kernel(&spec);
     let state = ShardState {
         spec,
         shard,
@@ -117,10 +117,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Wall-clock telemetry for the campaign driver's timing summary
         // (and for sizing future splits to the slowest host), plus which
         // evaluation kernel produced the state so throughput numbers stay
-        // comparable across checkpoints. Figures without a kernel axis
-        // (deterministic tables, app-quality campaigns) record none.
+        // comparable across checkpoints — `--kernel auto` records the
+        // density-resolved choice (`auto:<kernel>`). Figures without a
+        // kernel axis (deterministic tables, app-quality campaigns) record
+        // none.
         elapsed_seconds: Some(elapsed_seconds),
-        kernel: kernel.map(|kernel| kernel.as_str().to_owned()),
+        kernel,
     };
     if let Some(parent) = out_path.parent() {
         if !parent.as_os_str().is_empty() {

@@ -32,11 +32,12 @@
 //!   `stuck-at:P` with `P = Pr(stuck at 0)`, see
 //!   [`faultmit_memsim::FaultKindLaw`]); honoured by
 //!   `fig8_backend_matrix` and `fig9_data_sensitivity`;
-//! * `--kernel <scalar|sparse|bitsliced>` — the Monte-Carlo evaluation
-//!   kernel ([`faultmit_sim::KernelKind`]); every kernel produces
-//!   bit-identical campaign state, so this selects throughput only.
-//!   Honoured by the MSE catalogue campaigns (`fig5_mse_cdf`,
-//!   `fig8_backend_matrix`, `fig9_data_sensitivity`).
+//! * `--kernel <scalar|sparse|bitsliced|bitsliced256|auto>` — the
+//!   Monte-Carlo evaluation kernel ([`faultmit_sim::KernelKind`]); every
+//!   kernel produces bit-identical campaign state, so this selects
+//!   throughput only (`auto` picks sparse or bitsliced256 from the
+//!   campaign's fault density). Honoured by the MSE catalogue campaigns
+//!   (`fig5_mse_cdf`, `fig8_backend_matrix`, `fig9_data_sensitivity`).
 //!
 //! Anything else is collected as a positional argument (e.g. the benchmark
 //! selector of `fig7_quality`).
@@ -666,6 +667,14 @@ mod tests {
     fn parse_recognises_the_kernel_flag() {
         let opts = RunOptions::parse(["--kernel", "bitsliced"].iter().map(|s| (*s).to_owned()));
         assert_eq!(opts.kernel, Some(KernelKind::Bitsliced));
+        assert!(opts.spec_flag_errors.is_empty());
+
+        let opts = RunOptions::parse(["--kernel", "bitsliced256"].iter().map(|s| (*s).to_owned()));
+        assert_eq!(opts.kernel, Some(KernelKind::Bitsliced256));
+        assert!(opts.spec_flag_errors.is_empty());
+
+        let opts = RunOptions::parse(["--kernel", "auto"].iter().map(|s| (*s).to_owned()));
+        assert_eq!(opts.kernel, Some(KernelKind::Auto));
         assert!(opts.spec_flag_errors.is_empty());
 
         let opts = RunOptions::parse(std::iter::empty());

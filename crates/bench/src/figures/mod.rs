@@ -506,6 +506,16 @@ pub trait FigureDef: Sync {
         None
     }
 
+    /// The kernel telemetry a shard checkpoint of this figure records
+    /// under `spec` — the kernel that actually executes. The default
+    /// reports the spec's kernel name verbatim; the MSE catalogue figures
+    /// override it so `--kernel auto` records the density-resolved choice
+    /// (`"auto:sparse"` / `"auto:bitsliced256"`), letting merges verify
+    /// every shard resolved identically.
+    fn resolved_kernel(&self, spec: &FigureSpec) -> Option<String> {
+        spec.kernel.map(|kernel| kernel.as_str().to_owned())
+    }
+
     /// Evaluates one shard of every panel, in panel order.
     ///
     /// # Errors
@@ -570,6 +580,33 @@ pub fn find_figure(name: &str) -> Result<&'static dyn FigureDef, String> {
                 known.join(", ")
             )
         })
+}
+
+/// Formats the checkpoint kernel telemetry for a campaign's configured
+/// kernel and the fixed kernels its panels actually execute: fixed kernels
+/// report their own name, `auto` reports `"auto:<resolved>"` (with `+`
+/// joining the distinct choices of a multi-panel figure whose operating
+/// points resolve differently). The resolution is a pure function of the
+/// campaign spec, so every shard of a campaign records the same string —
+/// the invariant [`crate::shard::ShardState::merge`] verifies.
+pub(crate) fn kernel_telemetry<I>(kernel: Option<KernelKind>, resolved: I) -> Option<String>
+where
+    I: IntoIterator<Item = KernelKind>,
+{
+    let kernel = kernel?;
+    if kernel != KernelKind::Auto {
+        return Some(kernel.as_str().to_owned());
+    }
+    let mut names: Vec<&'static str> = Vec::new();
+    for choice in resolved {
+        if !names.contains(&choice.as_str()) {
+            names.push(choice.as_str());
+        }
+    }
+    if names.is_empty() {
+        return Some(kernel.as_str().to_owned());
+    }
+    Some(format!("auto:{}", names.join("+")))
 }
 
 /// Rejects campaign-identity flags (`--image`/`--kind-law`) that the

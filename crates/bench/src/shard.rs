@@ -93,10 +93,14 @@ pub struct ShardState {
     /// the slowest host.
     pub elapsed_seconds: Option<f64>,
     /// Name of the evaluation kernel that produced this shard (`"scalar"`,
-    /// `"sparse"`, `"bitsliced"`). Telemetry only, like
-    /// [`ShardState::elapsed_seconds`]: kernels are bit-identical, so this
-    /// exists to make throughput numbers comparable across checkpoints, and
-    /// it is absent from files written before it existed.
+    /// `"sparse"`, `"bitsliced"`, `"bitsliced256"`, or the density-resolved
+    /// `"auto:<kernel>"` telemetry of `--kernel auto`). Kernels are
+    /// bit-identical, so like [`ShardState::elapsed_seconds`] this exists to
+    /// make throughput numbers comparable across checkpoints, and it is
+    /// absent from files written before it existed — but unlike the timing
+    /// it must agree across a shard set: [`ShardState::merge`] refuses sets
+    /// whose shards report different kernels, since mixed checkpoints mean
+    /// the campaign was re-sharded with inconsistent flags.
     pub kernel: Option<String>,
 }
 
@@ -232,10 +236,11 @@ impl ShardState {
     /// The input may arrive in any order; shards are sorted by index and
     /// merged ascending, which reproduces the monolithic chunk-order
     /// reduction bit for bit. Validation requires one shard for every index
-    /// `0..shard_count`, a common figure spec and identical panel
-    /// labels/catalogues — and reports **every** missing, duplicated or
-    /// mismatched shard index of the K-set in one error instead of failing
-    /// on the first bad file.
+    /// `0..shard_count`, a common figure spec, identical panel
+    /// labels/catalogues and an agreeing [`ShardState::kernel`] wherever
+    /// recorded — and reports **every** missing, duplicated or mismatched
+    /// shard index of the K-set in one error instead of failing on the
+    /// first bad file.
     ///
     /// # Errors
     ///
@@ -263,6 +268,17 @@ impl ShardState {
         // message names exactly which indices are missing or mismatched.
         let mut spec_mismatches: Vec<String> = Vec::new();
         let mut panel_mismatches: Vec<String> = Vec::new();
+        // `--kernel auto` resolves per campaign, so every shard of a set
+        // must record the same kernel; a disagreement means the shards were
+        // produced by runs with different flags (or different auto
+        // resolutions) and their throughput telemetry is not comparable.
+        // Legacy checkpoints without the field merge with anything.
+        let mut kernels: Vec<String> = shards
+            .iter()
+            .filter_map(|shard| shard.kernel.clone())
+            .collect();
+        kernels.sort();
+        kernels.dedup();
         let labels: Vec<(String, &'static str)> = first
             .panels
             .iter()
@@ -312,6 +328,7 @@ impl ShardState {
             && panel_mismatches.is_empty()
             && missing.is_empty()
             && duplicated.is_empty()
+            && kernels.len() <= 1
             && shards.len() == shard_count)
         {
             let mut problems = Vec::new();
@@ -338,6 +355,16 @@ impl ShardState {
                     panel_mismatches.join(", ")
                 ));
             }
+            if kernels.len() > 1 {
+                problems.push(format!(
+                    "shards disagree on the evaluation kernel ({})",
+                    kernels
+                        .iter()
+                        .map(|kernel| format!("'{kernel}'"))
+                        .collect::<Vec<_>>()
+                        .join(" vs ")
+                ));
+            }
             if problems.is_empty() {
                 problems.push(format!(
                     "{} file(s) provided for a {shard_count}-shard campaign",
@@ -359,7 +386,9 @@ impl ShardState {
             }
         }
         merged.shard = ShardSpec::solo();
-        // Per-shard telemetry does not describe the merged whole.
+        // Per-shard telemetry does not describe the merged whole. The
+        // kernel was verified consistent above, but it described how the
+        // shards were *produced*; the merged state is kernel-independent.
         merged.elapsed_seconds = None;
         merged.kernel = None;
         Ok(merged)
@@ -953,6 +982,37 @@ mod tests {
             .map(|(v, _)| v)
             .collect();
         assert_eq!(values, vec![1.0, 2.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn merge_verifies_kernel_consistency_across_the_shard_set() {
+        // A disagreeing kernel is a re-sharded campaign with different
+        // flags (or inconsistent auto resolutions) — refuse, naming both.
+        let mut wide = shard_with(1, 2, &[2.0]);
+        wide.kernel = Some("auto:bitsliced256".to_owned());
+        let mut sparse = shard_with(0, 2, &[1.0]);
+        sparse.kernel = Some("auto:sparse".to_owned());
+        let error = ShardState::merge(vec![sparse, wide]).unwrap_err();
+        assert!(
+            error.reason.contains(
+                "shards disagree on the evaluation kernel \
+                 ('auto:bitsliced256' vs 'auto:sparse')"
+            ),
+            "{error}"
+        );
+
+        // Legacy checkpoints without the field merge with anything…
+        let mut legacy = shard_with(0, 2, &[1.0]);
+        legacy.kernel = None;
+        let merged = ShardState::merge(vec![legacy, shard_with(1, 2, &[2.0])]).unwrap();
+        assert_eq!(merged.kernel, None);
+
+        // …and an agreeing auto resolution merges like any fixed kernel.
+        let mut a = shard_with(0, 2, &[1.0]);
+        let mut b = shard_with(1, 2, &[2.0]);
+        a.kernel = Some("auto:sparse".to_owned());
+        b.kernel = Some("auto:sparse".to_owned());
+        assert!(ShardState::merge(vec![a, b]).is_ok());
     }
 
     #[test]

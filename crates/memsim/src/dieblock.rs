@@ -1,14 +1,16 @@
-//! Transposed (bit-sliced) die blocks: up to 64 Monte-Carlo dies per `u64`
-//! lane.
+//! Transposed (bit-sliced) die blocks, generic over the lane width: up to
+//! [`Lane::LANES`] Monte-Carlo dies per lane value (64 for `u64`, 256 for
+//! [`W256`]).
 //!
 //! # Transposed layout
 //!
 //! The scalar and sparse kernels evaluate one die at a time: a die is a
 //! [`FaultMap`](crate::FaultMap), and every scheme walks its faulty rows.
-//! The bit-sliced kernel instead packs **up to 64 consecutive samples of the
-//! global plan** into one [`DieBlock`] and transposes the fault data: for
-//! every `(row, column)` cell that is faulty in *any* die of the block, a
-//! [`LaneCell`] holds three `u64` lanes whose bit `j` describes die `j`:
+//! The bit-sliced kernels instead pack **up to `L::LANES` consecutive
+//! samples of the global plan** into one [`DieBlock`] and transpose the
+//! fault data: for every `(row, column)` cell that is faulty in *any* die
+//! of the block, a [`LaneCell`] holds three lanes whose bit `j` (bit
+//! `j % 64` of lane word `j / 64`) describes die `j`:
 //!
 //! * `flips` — die `j` has a bit-flip fault at this cell;
 //! * `stuck` — die `j` has a stuck-at fault at this cell;
@@ -25,9 +27,42 @@
 //! **presence**, not observable error) as their visit predicate so they
 //! reproduce the sparse kernel's `-0.0 + 0.0` accumulation bit for bit.
 //!
-//! With this layout one bitwise operation on a lane does the work of 64
-//! scalar dies, which is how the mitigation schemes' `observe_block` paths
-//! (in `faultmit-core`) evaluate a whole block per row walk.
+//! With this layout one bitwise operation on a lane does the work of
+//! `L::LANES` scalar dies, which is how the mitigation schemes'
+//! `observe_block` paths (in `faultmit-core`) evaluate a whole block per
+//! row walk.
+//!
+//! # The `Lane` contract
+//!
+//! [`Lane`] is a **sealed** trait abstracting "a bitset with one bit per
+//! die of the block". An implementation must provide:
+//!
+//! * `LANES` — the die capacity; `WORDS = LANES / 64` — the number of
+//!   backing `u64` words; `ZERO` — the all-clear lane.
+//! * The bitwise algebra (`&`, `|`, `^`, `!` and the assign forms), acting
+//!   independently per bit. These are the only operations the hot loops
+//!   use, which is what keeps a plain-array implementation like [`W256`]
+//!   autovectorisable: no lane ever crosses a word boundary.
+//! * `splat(word)` — broadcast one `u64` bit pattern to every backing word
+//!   (used to turn a scalar stored bit into an all-die lane:
+//!   `splat(0u64.wrapping_sub(bit))` is all-ones when `bit` is 1).
+//! * Per-die access: `lane_bit(die)` (single-bit lane), `bit(self, die)`
+//!   (extract one die's bit), `word(self, index)` (read one backing word),
+//!   `is_zero`, `count_ones`, and the derived `for_each_die` visitor that
+//!   walks set bits word by word via `trailing_zeros` — so die indices are
+//!   always visited in ascending order, matching the per-sample kernels'
+//!   reduction order.
+//! * `DieArray<T>` / `die_array(fill)` — a `[T; LANES]` stack buffer for
+//!   per-die accumulators, so reductions over a block never heap-allocate.
+//!
+//! **Adding a new width** (say `u64x8` = 512 dies) is three steps: define a
+//! newtype over `[u64; 8]` with element-wise bit ops, implement `Lane`
+//! (every method is a per-word loop or a `die / 64` + `die % 64` split),
+//! and add it to the private `sealed` module. Nothing downstream changes:
+//! `DieBlock`, the mitigation schemes' lane folds and the campaign executor
+//! are generic over `L: Lane`. The fault-event encoding supports die
+//! indices up to 255 per block; widths beyond 256 dies would also widen the
+//! die field of the crate-private `pack_event` encoding.
 //!
 //! # Why RNG stream order is preserved
 //!
@@ -40,20 +75,237 @@
 //! and transposing the resulting faults afterwards. Every sample therefore
 //! consumes exactly the RNG stream it consumes today — determinism,
 //! sharding and paired scheme comparison are untouched, and the block
-//! kernel's fault populations are *bit-identical* to the scalar and sparse
+//! kernels' fault populations are *bit-identical* to the scalar and sparse
 //! kernels' by construction. Only **evaluation** is lane-parallel.
 //!
 //! # The scalar tail
 //!
-//! Campaign plans are not multiples of 64, and chunk boundaries (a pure
-//! function of the global plan) never move: the executor groups each
-//! chunk's samples into blocks of at most 64 and falls back to the
-//! per-sample sparse path for degenerate single-sample groups. Any grouping
-//! yields identical results because per-sample RNG streams and the
-//! chunk-order reduction are independent of how samples are batched.
+//! Campaign plans are not multiples of the lane width, and chunk boundaries
+//! (a pure function of the global plan) never move: the executor groups
+//! each chunk's samples into blocks of at most `L::LANES` and falls back to
+//! the per-sample sparse path for degenerate single-sample groups. Any
+//! grouping yields identical results because per-sample RNG streams and
+//! the chunk-order reduction are independent of how samples are batched.
 
 use crate::config::MemoryConfig;
 use crate::fault::FaultKind;
+use std::fmt::Debug;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign, Not};
+
+mod sealed {
+    /// Seals [`super::Lane`]: lane widths are in-tree types whose bit-level
+    /// layout the kernels may rely on.
+    pub trait Sealed {}
+    impl Sealed for u64 {}
+    impl Sealed for super::W256 {}
+}
+
+/// A bitset with one bit per die of a block — the lane type the bit-sliced
+/// kernels are generic over.
+///
+/// See the [module docs](self) for the full contract and for how to add a
+/// new width. The trait is sealed: in-tree implementations are `u64`
+/// (64 dies) and [`W256`] (256 dies).
+pub trait Lane:
+    sealed::Sealed
+    + Copy
+    + Eq
+    + Default
+    + Debug
+    + Send
+    + Sync
+    + 'static
+    + BitAnd<Output = Self>
+    + BitOr<Output = Self>
+    + BitXor<Output = Self>
+    + Not<Output = Self>
+    + BitAndAssign
+    + BitOrAssign
+    + BitXorAssign
+{
+    /// Number of dies a lane addresses (one bit per die).
+    const LANES: usize;
+    /// Number of backing `u64` words (`LANES / 64`).
+    const WORDS: usize;
+    /// The all-clear lane.
+    const ZERO: Self;
+
+    /// A `[T; LANES]` stack buffer for per-die accumulators.
+    type DieArray<T: Copy>: AsRef<[T]> + AsMut<[T]>;
+
+    /// Builds a [`Lane::DieArray`] with every element set to `fill`.
+    fn die_array<T: Copy>(fill: T) -> Self::DieArray<T>;
+
+    /// Broadcasts one `u64` bit pattern to every backing word.
+    fn splat(word: u64) -> Self;
+
+    /// The lane with only die `die`'s bit set.
+    fn lane_bit(die: usize) -> Self;
+
+    /// Whether no die's bit is set.
+    fn is_zero(self) -> bool;
+
+    /// Die `die`'s bit, as `0` or `1`.
+    fn bit(self, die: usize) -> u64;
+
+    /// Backing word `index` (dies `index * 64 ..= index * 64 + 63`).
+    fn word(self, index: usize) -> u64;
+
+    /// Total number of set bits (dies) across all backing words.
+    fn count_ones(self) -> u32;
+
+    /// Visits every set die in ascending die order.
+    #[inline]
+    fn for_each_die(self, mut f: impl FnMut(usize)) {
+        for index in 0..Self::WORDS {
+            let mut lanes = self.word(index);
+            while lanes != 0 {
+                let die = index * 64 + lanes.trailing_zeros() as usize;
+                lanes &= lanes - 1;
+                f(die);
+            }
+        }
+    }
+}
+
+impl Lane for u64 {
+    const LANES: usize = 64;
+    const WORDS: usize = 1;
+    const ZERO: Self = 0;
+
+    type DieArray<T: Copy> = [T; 64];
+
+    #[inline]
+    fn die_array<T: Copy>(fill: T) -> [T; 64] {
+        [fill; 64]
+    }
+
+    #[inline]
+    fn splat(word: u64) -> Self {
+        word
+    }
+
+    #[inline]
+    fn lane_bit(die: usize) -> Self {
+        1u64 << die
+    }
+
+    #[inline]
+    fn is_zero(self) -> bool {
+        self == 0
+    }
+
+    #[inline]
+    fn bit(self, die: usize) -> u64 {
+        (self >> die) & 1
+    }
+
+    #[inline]
+    fn word(self, _index: usize) -> u64 {
+        self
+    }
+
+    #[inline]
+    fn count_ones(self) -> u32 {
+        u64::count_ones(self)
+    }
+}
+
+/// A 256-die lane: four `u64` words with element-wise bit operations.
+///
+/// The representation is a plain array and every operation is a
+/// fixed-length per-element loop with no cross-word data flow, which is
+/// exactly the shape LLVM's autovectoriser turns into SIMD on wide hosts —
+/// no `std::simd`, no `unsafe`, no target-feature gates. Die `j` lives in
+/// bit `j % 64` of word `j / 64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct W256(pub [u64; 4]);
+
+macro_rules! w256_binop {
+    ($op_trait:ident, $op_method:ident, $assign_trait:ident, $assign_method:ident, $op:tt) => {
+        impl $op_trait for W256 {
+            type Output = W256;
+
+            #[inline]
+            fn $op_method(self, rhs: W256) -> W256 {
+                W256([
+                    self.0[0] $op rhs.0[0],
+                    self.0[1] $op rhs.0[1],
+                    self.0[2] $op rhs.0[2],
+                    self.0[3] $op rhs.0[3],
+                ])
+            }
+        }
+
+        impl $assign_trait for W256 {
+            #[inline]
+            fn $assign_method(&mut self, rhs: W256) {
+                *self = *self $op rhs;
+            }
+        }
+    };
+}
+
+w256_binop!(BitAnd, bitand, BitAndAssign, bitand_assign, &);
+w256_binop!(BitOr, bitor, BitOrAssign, bitor_assign, |);
+w256_binop!(BitXor, bitxor, BitXorAssign, bitxor_assign, ^);
+
+impl Not for W256 {
+    type Output = W256;
+
+    #[inline]
+    fn not(self) -> W256 {
+        W256([!self.0[0], !self.0[1], !self.0[2], !self.0[3]])
+    }
+}
+
+impl Lane for W256 {
+    const LANES: usize = 256;
+    const WORDS: usize = 4;
+    const ZERO: Self = W256([0; 4]);
+
+    type DieArray<T: Copy> = [T; 256];
+
+    #[inline]
+    fn die_array<T: Copy>(fill: T) -> [T; 256] {
+        [fill; 256]
+    }
+
+    #[inline]
+    fn splat(word: u64) -> Self {
+        W256([word; 4])
+    }
+
+    #[inline]
+    fn lane_bit(die: usize) -> Self {
+        let mut words = [0u64; 4];
+        words[die / 64] = 1u64 << (die % 64);
+        W256(words)
+    }
+
+    #[inline]
+    fn is_zero(self) -> bool {
+        (self.0[0] | self.0[1] | self.0[2] | self.0[3]) == 0
+    }
+
+    #[inline]
+    fn bit(self, die: usize) -> u64 {
+        (self.0[die / 64] >> (die % 64)) & 1
+    }
+
+    #[inline]
+    fn word(self, index: usize) -> u64 {
+        self.0[index]
+    }
+
+    #[inline]
+    fn count_ones(self) -> u32 {
+        self.0[0].count_ones()
+            + self.0[1].count_ones()
+            + self.0[2].count_ones()
+            + self.0[3].count_ones()
+    }
+}
 
 /// The lanes of one faulty `(row, col)` cell across all dies of a block.
 ///
@@ -61,23 +313,23 @@ use crate::fault::FaultKind;
 /// sample). At most one of `flips` / `stuck` is set per die — a physical
 /// cell has exactly one behaviour.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct LaneCell {
+pub struct LaneCell<L: Lane = u64> {
     /// Bit position (column) of the cell within the word, 0 = LSB.
     pub col: u32,
     /// Dies whose cell flips the stored bit on read.
-    pub flips: u64,
+    pub flips: L,
     /// Dies whose cell is stuck at `stuck_value`.
-    pub stuck: u64,
+    pub stuck: L,
     /// The stuck-at value per die (only bits under `stuck` are meaningful).
-    pub stuck_value: u64,
+    pub stuck_value: L,
 }
 
-impl LaneCell {
+impl<L: Lane> LaneCell<L> {
     /// Dies that have *any* fault at this cell — the fault-presence lane
     /// that drives row-visit bookkeeping and the bit-shuffle FM-LUT vote.
     #[must_use]
     #[inline]
-    pub fn presence(&self) -> u64 {
+    pub fn presence(&self) -> L {
         self.flips | self.stuck
     }
 }
@@ -85,39 +337,39 @@ impl LaneCell {
 /// One faulty row of a block: its index, its fault-presence (`dirty`) lane,
 /// and its transposed cells sorted by ascending column.
 #[derive(Debug, Clone, Copy)]
-pub struct BlockRow<'a> {
+pub struct BlockRow<'a, L: Lane = u64> {
     /// Row (word address) within the memory.
     pub row: usize,
     /// Bit `j` set ⇔ die `j` has at least one fault in this row.
-    pub dirty: u64,
+    pub dirty: L,
     /// The row's lane cells, ascending by column.
-    pub cells: &'a [LaneCell],
+    pub cells: &'a [LaneCell<L>],
 }
 
 /// Internal row directory entry: the cell range backing one [`BlockRow`].
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct BlockRowEntry {
+pub(crate) struct BlockRowEntry<L: Lane = u64> {
     pub(crate) row: usize,
     pub(crate) start: u32,
     pub(crate) end: u32,
-    pub(crate) dirty: u64,
+    pub(crate) dirty: L,
 }
 
-/// A transposed view over up to 64 generated dies, borrowed from the
-/// [`DieScratch`](crate::DieScratch) arena that generated them (valid until
-/// the next generation call).
+/// A transposed view over up to `L::LANES` generated dies, borrowed from
+/// the [`BlockScratch`](crate::BlockScratch) arena that generated them
+/// (valid until the next generation call).
 #[derive(Debug, Clone, Copy)]
-pub struct DieBlock<'a> {
-    rows: &'a [BlockRowEntry],
-    cells: &'a [LaneCell],
+pub struct DieBlock<'a, L: Lane = u64> {
+    rows: &'a [BlockRowEntry<L>],
+    cells: &'a [LaneCell<L>],
     dies: usize,
     config: MemoryConfig,
 }
 
-impl<'a> DieBlock<'a> {
+impl<'a, L: Lane> DieBlock<'a, L> {
     pub(crate) fn new(
-        rows: &'a [BlockRowEntry],
-        cells: &'a [LaneCell],
+        rows: &'a [BlockRowEntry<L>],
+        cells: &'a [LaneCell<L>],
         dies: usize,
         config: MemoryConfig,
     ) -> Self {
@@ -129,8 +381,8 @@ impl<'a> DieBlock<'a> {
         }
     }
 
-    /// Number of dies packed into the block (1..=64); die `j` occupies bit
-    /// `j` of every lane.
+    /// Number of dies packed into the block (`1..=L::LANES`); die `j`
+    /// occupies bit `j` of every lane.
     #[must_use]
     pub fn die_count(&self) -> usize {
         self.dies
@@ -149,7 +401,7 @@ impl<'a> DieBlock<'a> {
     }
 
     /// Iterates the block's faulty rows in ascending row order.
-    pub fn rows(&self) -> impl Iterator<Item = BlockRow<'a>> + '_ {
+    pub fn rows(&self) -> impl Iterator<Item = BlockRow<'a, L>> + '_ {
         self.rows.iter().map(|entry| BlockRow {
             row: entry.row,
             dirty: entry.dirty,
@@ -159,35 +411,45 @@ impl<'a> DieBlock<'a> {
 }
 
 /// Packs one fault event for the transposition sort. Layout (LSB to MSB):
-/// 2 kind bits, 6 die bits, 6 column bits, then the row — so an unstable
+/// 2 kind bits, 8 die bits, 6 column bits, then the row — so an unstable
 /// sort of the packed words yields `(row, col, die)` order and equal keys
-/// are impossible (a die has at most one fault per cell).
+/// are impossible (a die has at most one fault per cell). The 8-bit die
+/// field caps blocks at 256 dies, today's widest [`Lane`].
 #[inline]
 pub(crate) fn pack_event(row: usize, col: usize, die: usize, kind: FaultKind) -> u64 {
-    debug_assert!(col < 64 && die < 64);
+    debug_assert!(col < 64 && die < 256);
     let kind_code = match kind {
         FaultKind::StuckAtZero => 0u64,
         FaultKind::StuckAtOne => 1,
         FaultKind::BitFlip => 2,
     };
-    ((row as u64) << 14) | ((col as u64) << 8) | ((die as u64) << 2) | kind_code
+    ((row as u64) << 16) | ((col as u64) << 10) | ((die as u64) << 2) | kind_code
+}
+
+/// The `(row, col)` bucket key of a packed event — what the counting sort
+/// in [`BlockScratch::generate_block`](crate::BlockScratch::generate_block)
+/// buckets on (die order inside a bucket is the arrival order, which is
+/// already ascending).
+#[inline]
+pub(crate) fn event_sort_key(event: u64) -> usize {
+    (event >> 10) as usize
 }
 
 /// Rebuilds the row directory and lane cells from sorted packed events.
 /// Clears (but never shrinks) the output buffers.
-pub(crate) fn transpose_events(
+pub(crate) fn transpose_events<L: Lane>(
     events: &[u64],
-    cells: &mut Vec<LaneCell>,
-    rows: &mut Vec<BlockRowEntry>,
+    cells: &mut Vec<LaneCell<L>>,
+    rows: &mut Vec<BlockRowEntry<L>>,
 ) {
     cells.clear();
     rows.clear();
     for &event in events {
-        let row = (event >> 14) as usize;
-        let col = ((event >> 8) & 0x3F) as u32;
-        let die = (event >> 2) & 0x3F;
+        let row = (event >> 16) as usize;
+        let col = ((event >> 10) & 0x3F) as u32;
+        let die = ((event >> 2) & 0xFF) as usize;
         let kind_code = event & 0b11;
-        let die_bit = 1u64 << die;
+        let die_bit = L::lane_bit(die);
 
         let new_row = rows.last().is_none_or(|entry| entry.row != row);
         if new_row {
@@ -195,7 +457,7 @@ pub(crate) fn transpose_events(
                 row,
                 start: cells.len() as u32,
                 end: cells.len() as u32,
-                dirty: 0,
+                dirty: L::ZERO,
             });
         }
         let entry = rows.last_mut().expect("a row entry was just ensured");
@@ -206,9 +468,9 @@ pub(crate) fn transpose_events(
         if new_cell {
             cells.push(LaneCell {
                 col,
-                flips: 0,
-                stuck: 0,
-                stuck_value: 0,
+                flips: L::ZERO,
+                stuck: L::ZERO,
+                stuck_value: L::ZERO,
             });
             entry.end = cells.len() as u32;
         }
@@ -229,26 +491,27 @@ pub(crate) fn transpose_events(
 /// lane `c` says the word die `j` observes differs from the written word at
 /// data bit `c`, after the mitigation scheme has done its work.
 ///
-/// The buffer is fixed-size stack storage (64 lanes ≤ 512 bytes) and clears
-/// sparsely through its column mask, so per-row reuse is allocation-free.
+/// The buffer is fixed-size stack storage (64 lanes of `L`, ≤ 2 KiB at 256
+/// dies) and clears sparsely through its column mask, so per-row reuse is
+/// allocation-free.
 #[derive(Debug, Clone)]
-pub struct ResidualLanes {
-    lanes: [u64; 64],
+pub struct ResidualLanes<L: Lane = u64> {
+    lanes: [L; 64],
     colmask: u64,
 }
 
-impl Default for ResidualLanes {
+impl<L: Lane> Default for ResidualLanes<L> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl ResidualLanes {
+impl<L: Lane> ResidualLanes<L> {
     /// An all-clear residual buffer.
     #[must_use]
     pub fn new() -> Self {
         Self {
-            lanes: [0u64; 64],
+            lanes: [L::ZERO; 64],
             colmask: 0,
         }
     }
@@ -259,7 +522,7 @@ impl ResidualLanes {
         while mask != 0 {
             let col = mask.trailing_zeros() as usize;
             mask &= mask - 1;
-            self.lanes[col] = 0;
+            self.lanes[col] = L::ZERO;
         }
         self.colmask = 0;
     }
@@ -267,8 +530,8 @@ impl ResidualLanes {
     /// ORs `lane` into data column `col` (no-op for an all-zero lane, so
     /// the column mask stays tight).
     #[inline]
-    pub fn accumulate(&mut self, col: usize, lane: u64) {
-        if lane != 0 {
+    pub fn accumulate(&mut self, col: usize, lane: L) {
+        if !lane.is_zero() {
             self.lanes[col] |= lane;
             self.colmask |= 1u64 << col;
         }
@@ -285,7 +548,7 @@ impl ResidualLanes {
     /// [`colmask`](Self::colmask) read as zero.
     #[must_use]
     #[inline]
-    pub fn lane(&self, col: usize) -> u64 {
+    pub fn lane(&self, col: usize) -> L {
         self.lanes[col]
     }
 
@@ -299,7 +562,7 @@ impl ResidualLanes {
         while mask != 0 {
             let col = mask.trailing_zeros() as usize;
             mask &= mask - 1;
-            diff |= ((self.lanes[col] >> die) & 1) << col;
+            diff |= self.lanes[col].bit(die) << col;
         }
         diff
     }
@@ -309,7 +572,7 @@ impl ResidualLanes {
 mod tests {
     use super::*;
     use crate::backend::{Backend, BackendKind, FaultKindLaw};
-    use crate::scratch::DieScratch;
+    use crate::scratch::{BlockScratch, DieScratch};
     use crate::seeder::{PlannedSample, StreamSeeder};
 
     fn config() -> MemoryConfig {
@@ -323,6 +586,52 @@ mod tests {
                 n_faults,
             })
             .collect()
+    }
+
+    /// Generates `plan` die by die through the per-sample path — the
+    /// reference population every block width must reproduce exactly.
+    fn per_sample_reference(
+        backend: &Backend,
+        seeder: &StreamSeeder,
+        plan: &[PlannedSample],
+    ) -> Vec<Vec<crate::fault::Fault>> {
+        let mut reference = DieScratch::new(config());
+        plan.iter()
+            .map(|planned| {
+                let mut rng = seeder.rng_for_sample(planned.index);
+                reference
+                    .generate(backend, &mut rng, planned.n_faults as usize)
+                    .unwrap()
+                    .iter()
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Untransposes a block back into per-die fault lists.
+    fn untranspose<L: Lane>(block: &DieBlock<'_, L>) -> Vec<Vec<crate::fault::Fault>> {
+        let mut rebuilt: Vec<Vec<crate::fault::Fault>> = vec![Vec::new(); block.die_count()];
+        for row in block.rows() {
+            for cell in row.cells {
+                for (die, faults) in rebuilt.iter_mut().enumerate() {
+                    let fault = if cell.flips.bit(die) != 0 {
+                        Some(crate::fault::Fault::bit_flip(row.row, cell.col as usize))
+                    } else if cell.stuck.bit(die) != 0 {
+                        Some(if cell.stuck_value.bit(die) != 0 {
+                            crate::fault::Fault::stuck_at_one(row.row, cell.col as usize)
+                        } else {
+                            crate::fault::Fault::stuck_at_zero(row.row, cell.col as usize)
+                        })
+                    } else {
+                        None
+                    };
+                    if let Some(fault) = fault {
+                        faults.push(fault);
+                    }
+                }
+            }
+        }
+        rebuilt
     }
 
     #[test]
@@ -340,46 +649,42 @@ mod tests {
                     .with_kind_law(law)
                     .unwrap();
                 let plan = plan(3, 40, 9);
-                // Reference: the per-sample path, one die at a time.
-                let mut reference = DieScratch::new(config());
-                let mut expected: Vec<Vec<crate::fault::Fault>> = Vec::new();
-                for planned in &plan {
-                    let mut rng = seeder.rng_for_sample(planned.index);
-                    let map = reference
-                        .generate(&backend, &mut rng, planned.n_faults as usize)
-                        .unwrap();
-                    expected.push(map.iter().collect());
-                }
+                let expected = per_sample_reference(&backend, &seeder, &plan);
                 // Block path over the same plan.
-                let mut scratch = DieScratch::new(config());
+                let mut scratch = BlockScratch::<u64>::new(config());
                 let block = scratch
                     .generate_block(&backend, &seeder, &plan, None)
                     .unwrap();
                 assert_eq!(block.die_count(), 40);
-                // Untranspose the block and compare die by die.
-                let mut rebuilt: Vec<Vec<crate::fault::Fault>> = vec![Vec::new(); plan.len()];
-                for row in block.rows() {
-                    for cell in row.cells {
-                        for (die, faults) in rebuilt.iter_mut().enumerate() {
-                            let bit = 1u64 << die;
-                            let fault = if cell.flips & bit != 0 {
-                                Some(crate::fault::Fault::bit_flip(row.row, cell.col as usize))
-                            } else if cell.stuck & bit != 0 {
-                                Some(if cell.stuck_value & bit != 0 {
-                                    crate::fault::Fault::stuck_at_one(row.row, cell.col as usize)
-                                } else {
-                                    crate::fault::Fault::stuck_at_zero(row.row, cell.col as usize)
-                                })
-                            } else {
-                                None
-                            };
-                            if let Some(fault) = fault {
-                                faults.push(fault);
-                            }
-                        }
-                    }
-                }
-                assert_eq!(rebuilt, expected, "{kind} {law:?}");
+                assert_eq!(untranspose(&block), expected, "{kind} {law:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_block_lanes_match_per_sample_maps_on_every_backend() {
+        let seeder = StreamSeeder::new(0x256B);
+        for kind in BackendKind::ALL {
+            for law in [
+                FaultKindLaw::AlwaysFlip,
+                FaultKindLaw::AsymmetricStuckAt {
+                    p_stuck_at_zero: 0.4,
+                },
+            ] {
+                let backend = Backend::at_p_cell(kind, config(), 1e-3)
+                    .unwrap()
+                    .with_kind_law(law)
+                    .unwrap();
+                // More dies than any single u64 lane can hold, and not a
+                // multiple of 64, so every W256 word boundary is exercised.
+                let plan = plan(5, 200, 9);
+                let expected = per_sample_reference(&backend, &seeder, &plan);
+                let mut scratch = BlockScratch::<W256>::new(config());
+                let block = scratch
+                    .generate_block(&backend, &seeder, &plan, None)
+                    .unwrap();
+                assert_eq!(block.die_count(), 200);
+                assert_eq!(untranspose(&block), expected, "{kind} {law:?}");
             }
         }
     }
@@ -388,9 +693,9 @@ mod tests {
     fn block_rows_ascend_and_dirty_matches_presence() {
         let seeder = StreamSeeder::new(7);
         let backend = Backend::at_p_cell(BackendKind::Sram, config(), 1e-3).unwrap();
-        let mut scratch = DieScratch::new(config());
+        let mut scratch = BlockScratch::<W256>::new(config());
         let block = scratch
-            .generate_block(&backend, &seeder, &plan(0, 64, 12), None)
+            .generate_block(&backend, &seeder, &plan(0, 256, 12), None)
             .unwrap();
         let mut previous_row = None;
         for row in block.rows() {
@@ -398,23 +703,28 @@ mod tests {
                 assert!(row.row > previous, "rows must ascend");
             }
             previous_row = Some(row.row);
-            let mut presence = 0u64;
+            let mut presence = W256::ZERO;
             let mut previous_col = None;
             for cell in row.cells {
                 if let Some(previous) = previous_col {
                     assert!(cell.col > previous, "columns must ascend");
                 }
                 previous_col = Some(cell.col);
-                assert_eq!(cell.flips & cell.stuck, 0, "one behaviour per cell");
-                assert_eq!(
-                    cell.stuck_value & !cell.stuck,
-                    0,
+                assert!(
+                    (cell.flips & cell.stuck).is_zero(),
+                    "one behaviour per cell"
+                );
+                assert!(
+                    (cell.stuck_value & !cell.stuck).is_zero(),
                     "stuck values only under stuck lanes"
                 );
                 presence |= cell.presence();
             }
             assert_eq!(row.dirty, presence);
-            assert_ne!(row.dirty, 0, "rows without faults must not be listed");
+            assert!(
+                !row.dirty.is_zero(),
+                "rows without faults must not be listed"
+            );
         }
     }
 
@@ -432,7 +742,7 @@ mod tests {
                 .unwrap();
             expected.push(map.iter().collect());
         }
-        let mut scratch = DieScratch::new(config());
+        let mut scratch = BlockScratch::<u64>::new(config());
         let block = scratch
             .generate_block(&backend, &seeder, &plan, Some(8))
             .unwrap();
@@ -447,18 +757,64 @@ mod tests {
     }
 
     #[test]
-    fn oversized_plans_are_rejected() {
+    fn oversized_plans_are_rejected_per_width() {
         let seeder = StreamSeeder::new(1);
         let backend = Backend::at_p_cell(BackendKind::Sram, config(), 1e-3).unwrap();
-        let mut scratch = DieScratch::new(config());
-        assert!(scratch
+        let mut narrow = BlockScratch::<u64>::new(config());
+        assert!(narrow
             .generate_block(&backend, &seeder, &plan(0, 65, 1), None)
             .is_err());
+        let mut wide = BlockScratch::<W256>::new(config());
+        assert!(wide
+            .generate_block(&backend, &seeder, &plan(0, 257, 1), None)
+            .is_err());
+        assert!(wide
+            .generate_block(&backend, &seeder, &plan(0, 256, 1), None)
+            .is_ok());
+    }
+
+    #[test]
+    fn w256_lane_algebra_matches_the_u64_reference_per_word() {
+        // Per-word equivalence: every Lane operation on W256 must act like
+        // four independent u64 lanes.
+        let a = W256([0x0123_4567_89AB_CDEF, !0, 0, 0xDEAD_BEEF_F00D_5EED]);
+        let b = W256([0xFEDC_BA98_7654_3210, 0x5555_5555_5555_5555, 7, 0]);
+        for index in 0..4 {
+            assert_eq!((a & b).word(index), a.word(index) & b.word(index));
+            assert_eq!((a | b).word(index), a.word(index) | b.word(index));
+            assert_eq!((a ^ b).word(index), a.word(index) ^ b.word(index));
+            assert_eq!((!a).word(index), !a.word(index));
+            assert_eq!(W256::splat(0xAB).word(index), 0xAB);
+        }
+        assert_eq!(
+            a.count_ones(),
+            (0..4).map(|index| a.word(index).count_ones()).sum::<u32>()
+        );
+        assert!(W256::ZERO.is_zero());
+        assert!(!a.is_zero());
+    }
+
+    #[test]
+    fn w256_die_addressing_spans_word_boundaries() {
+        for die in [0usize, 1, 63, 64, 100, 127, 128, 200, 255] {
+            let lane = W256::lane_bit(die);
+            assert_eq!(lane.count_ones(), 1, "die {die}");
+            assert_eq!(lane.bit(die), 1, "die {die}");
+            assert_eq!(lane.bit((die + 1) % 256), 0, "die {die}");
+            let mut visited = Vec::new();
+            lane.for_each_die(|d| visited.push(d));
+            assert_eq!(visited, vec![die]);
+        }
+        // for_each_die ascends across words.
+        let lane = W256::lane_bit(3) | W256::lane_bit(64) | W256::lane_bit(255);
+        let mut visited = Vec::new();
+        lane.for_each_die(|d| visited.push(d));
+        assert_eq!(visited, vec![3, 64, 255]);
     }
 
     #[test]
     fn residual_lanes_round_trip_and_clear_sparsely() {
-        let mut residual = ResidualLanes::new();
+        let mut residual = ResidualLanes::<u64>::new();
         residual.accumulate(3, 0b101);
         residual.accumulate(3, 0b010);
         residual.accumulate(31, 1 << 63);
@@ -472,6 +828,24 @@ mod tests {
         residual.clear();
         assert_eq!(residual.colmask(), 0);
         for die in 0..64 {
+            assert_eq!(residual.gather_die(die), 0);
+        }
+    }
+
+    #[test]
+    fn wide_residual_lanes_round_trip_beyond_die_64() {
+        let mut residual = ResidualLanes::<W256>::new();
+        residual.accumulate(3, W256::lane_bit(70) | W256::lane_bit(2));
+        residual.accumulate(31, W256::lane_bit(255));
+        residual.accumulate(9, W256::ZERO); // no-op
+        assert_eq!(residual.colmask(), (1 << 3) | (1 << 31));
+        assert_eq!(residual.gather_die(70), 1 << 3);
+        assert_eq!(residual.gather_die(2), 1 << 3);
+        assert_eq!(residual.gather_die(255), 1 << 31);
+        assert_eq!(residual.gather_die(64), 0);
+        residual.clear();
+        assert_eq!(residual.colmask(), 0);
+        for die in [0usize, 70, 255] {
             assert_eq!(residual.gather_die(die), 0);
         }
     }

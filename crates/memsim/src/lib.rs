@@ -30,10 +30,11 @@
 //!   index)`, never on which worker thread draws them.
 //! * [`MarchBist`] — a March C- built-in self test that locates faulty cells,
 //!   producing the per-row report that seeds the bit-shuffling FM-LUT.
-//! * [`dieblock`] — transposed (bit-sliced) die blocks: up to 64 planned
-//!   samples packed into `u64` lanes ([`DieBlock`], [`LaneCell`],
-//!   [`ResidualLanes`]) for the lane-parallel evaluation kernel, generated
-//!   from the same per-sample RNG streams as the scalar paths.
+//! * [`dieblock`] — transposed (bit-sliced) die blocks, generic over the
+//!   sealed [`Lane`] width: up to `L::LANES` planned samples packed into
+//!   lanes ([`DieBlock`], [`LaneCell`], [`ResidualLanes`]) — 64 dies per
+//!   `u64` or 256 per [`W256`] — for the lane-parallel evaluation kernels,
+//!   generated from the same per-sample RNG streams as the scalar paths.
 //!
 //! # Example
 //!
@@ -79,13 +80,13 @@ pub use backend::{
 };
 pub use bist::{BistReport, MarchBist, RowFaultReport};
 pub use config::MemoryConfig;
-pub use dieblock::{BlockRow, DieBlock, LaneCell, ResidualLanes};
+pub use dieblock::{BlockRow, DieBlock, Lane, LaneCell, ResidualLanes, W256};
 pub use error::MemError;
 pub use failure_model::{CellFailureModel, FailureModelBuilder};
 pub use fault::{Fault, FaultKind, FaultMap};
 pub use image::{AppImage, DataImage, ImageSpec, WordImage};
 pub use montecarlo::{DieSampler, FailureCountDistribution, FaultMapSampler};
 pub use redundancy::{repair_yield, spares_for_full_repair, RowRepair};
-pub use scratch::DieScratch;
+pub use scratch::{BlockScratch, DieScratch};
 pub use seeder::{DieBatch, PlannedSample, StreamSeeder};
 pub use voltage::{VddSweep, VoltageScaledDie};

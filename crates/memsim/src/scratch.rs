@@ -1,19 +1,24 @@
 //! Reusable per-worker scratch storage for allocation-free die generation.
 //!
-//! Each Monte-Carlo worker owns one [`DieScratch`]: a warm arena holding the
-//! flat [`FaultMap`] plus every auxiliary container the backends' samplers
-//! need (the Floyd-sampling index buffers for iid placement, the occupancy
-//! set for rejection placement). After a short warm-up the containers reach
-//! their high-water capacities and steady-state die generation performs
-//! **zero heap allocations** — the arena is cleared, never dropped, between
-//! dies. The [`DieScratch::realloc_events`] counter makes that claim
-//! testable: it increments whenever a generation call grows any tracked
-//! container, so a regression test can pin it flat across a long campaign
-//! tail.
+//! Each Monte-Carlo worker owns one arena: a [`DieScratch`] for per-sample
+//! generation (the warm [`FaultMap`] plus every auxiliary container the
+//! backends' samplers need — the Floyd-sampling index buffers for iid
+//! placement, the occupancy set for rejection placement), or a
+//! [`BlockScratch`] when the bit-sliced kernels run, which wraps a
+//! `DieScratch` and adds the lane-typed transposition buffers for one
+//! [`DieBlock`] of up to `L::LANES` dies. After a short warm-up the
+//! containers reach their high-water capacities and steady-state die
+//! generation performs **zero heap allocations** — the arena is cleared,
+//! never dropped, between dies. The [`DieScratch::realloc_events`] /
+//! [`BlockScratch::realloc_events`] counters make that claim testable: they
+//! increment whenever a generation call grows any tracked container, so a
+//! regression test can pin them flat across a long campaign tail.
 
 use crate::backend::FaultBackend;
 use crate::config::MemoryConfig;
-use crate::dieblock::{pack_event, transpose_events, BlockRowEntry, DieBlock, LaneCell};
+use crate::dieblock::{
+    event_sort_key, pack_event, transpose_events, BlockRowEntry, DieBlock, Lane, LaneCell,
+};
 use crate::error::MemError;
 use crate::fault::FaultMap;
 use crate::seeder::{PlannedSample, StreamSeeder};
@@ -42,16 +47,6 @@ pub struct DieScratch {
     pub(crate) chosen: HashSet<usize>,
     /// Sampled-index output buffer for Floyd's algorithm.
     pub(crate) indices: Vec<usize>,
-    /// Packed `(row, col, die, kind)` events for block transposition.
-    pub(crate) block_events: Vec<u64>,
-    /// Bucket directory for the counting sort of dense event batches.
-    pub(crate) block_counts: Vec<u32>,
-    /// Scatter target for the counting sort of dense event batches.
-    pub(crate) block_sorted: Vec<u64>,
-    /// Transposed lane cells backing the current [`DieBlock`] view.
-    pub(crate) block_cells: Vec<LaneCell>,
-    /// Row directory backing the current [`DieBlock`] view.
-    pub(crate) block_rows: Vec<BlockRowEntry>,
     realloc_events: u64,
 }
 
@@ -64,11 +59,6 @@ impl DieScratch {
             taken: HashSet::new(),
             chosen: HashSet::new(),
             indices: Vec::new(),
-            block_events: Vec::new(),
-            block_counts: Vec::new(),
-            block_sorted: Vec::new(),
-            block_cells: Vec::new(),
-            block_rows: Vec::new(),
             realloc_events: 0,
         }
     }
@@ -112,18 +102,12 @@ impl DieScratch {
         }
     }
 
-    #[allow(clippy::type_complexity)]
-    fn capacity_signature(&self) -> [usize; 9] {
+    pub(crate) fn capacity_signature(&self) -> [usize; 4] {
         [
             self.map.capacity(),
             self.taken.capacity(),
             self.chosen.capacity(),
             self.indices.capacity(),
-            self.block_events.capacity(),
-            self.block_counts.capacity(),
-            self.block_sorted.capacity(),
-            self.block_cells.capacity(),
-            self.block_rows.capacity(),
         ]
     }
 
@@ -176,36 +160,119 @@ impl DieScratch {
         }
         Ok(&self.map)
     }
+}
 
-    /// Generates up to 64 planned samples into one transposed [`DieBlock`]:
-    /// die `j` of the block is `plan[j]`, generated with the *same* RNG
-    /// stream ([`StreamSeeder::rng_for_sample`]) and the same per-sample
-    /// protocol (plain, or single-fault-per-row when `max_redraws` is
-    /// `Some`) as the scalar and sparse kernels, then transposed into
-    /// per-cell `u64` lanes. The view borrows the arena and is valid until
-    /// the next generation call.
+/// A reusable arena for generating transposed [`DieBlock`]s of up to
+/// `L::LANES` dies, wrapping a [`DieScratch`] for the per-sample draws.
+///
+/// Create one per worker thread ([`BlockScratch::new`]) and call
+/// [`BlockScratch::generate_block`] once per block; the returned
+/// [`DieBlock`] view borrows the arena and is valid until the next
+/// generation call. The inner scratch is reachable through
+/// [`BlockScratch::scalar_mut`] for the campaign executor's per-sample
+/// tail, so one arena serves both paths of a mixed block/scalar shard.
+#[derive(Debug)]
+pub struct BlockScratch<L: Lane = u64> {
+    /// The per-sample arena every planned die is drawn into.
+    scalar: DieScratch,
+    /// Packed `(row, col, die, kind)` events for block transposition.
+    events: Vec<u64>,
+    /// Bucket directory for the counting sort of dense event batches.
+    counts: Vec<u32>,
+    /// Scatter target for the counting sort of dense event batches.
+    sorted: Vec<u64>,
+    /// Transposed lane cells backing the current [`DieBlock`] view.
+    cells: Vec<LaneCell<L>>,
+    /// Row directory backing the current [`DieBlock`] view.
+    rows: Vec<BlockRowEntry<L>>,
+    realloc_events: u64,
+}
+
+impl<L: Lane> BlockScratch<L> {
+    /// Creates an empty (cold) block arena for dies of the given geometry.
+    #[must_use]
+    pub fn new(config: MemoryConfig) -> Self {
+        Self {
+            scalar: DieScratch::new(config),
+            events: Vec::new(),
+            counts: Vec::new(),
+            sorted: Vec::new(),
+            cells: Vec::new(),
+            rows: Vec::new(),
+            realloc_events: 0,
+        }
+    }
+
+    /// The wrapped per-sample arena.
+    #[must_use]
+    pub fn scalar(&self) -> &DieScratch {
+        &self.scalar
+    }
+
+    /// Mutable access to the wrapped per-sample arena — the campaign
+    /// executor's scalar tail generates lone samples through it.
+    pub fn scalar_mut(&mut self) -> &mut DieScratch {
+        &mut self.scalar
+    }
+
+    /// How many generation calls (block or scalar) grew a tracked
+    /// container. Flat after warm-up ⇔ steady-state block generation is
+    /// allocation-free.
+    #[must_use]
+    pub fn realloc_events(&self) -> u64 {
+        self.realloc_events + self.scalar.realloc_events()
+    }
+
+    fn capacity_signature(&self) -> [usize; 9] {
+        let scalar = self.scalar.capacity_signature();
+        // The counting sort swaps the `events` and `sorted` buffers, so
+        // record that pair order-independently: a swap of warm buffers is
+        // not a reallocation.
+        let events = self.events.capacity();
+        let sorted = self.sorted.capacity();
+        [
+            scalar[0],
+            scalar[1],
+            scalar[2],
+            scalar[3],
+            events.min(sorted),
+            events.max(sorted),
+            self.counts.capacity(),
+            self.cells.capacity(),
+            self.rows.capacity(),
+        ]
+    }
+
+    /// Generates up to `L::LANES` planned samples into one transposed
+    /// [`DieBlock`]: die `j` of the block is `plan[j]`, generated with the
+    /// *same* RNG stream ([`StreamSeeder::rng_for_sample`]) and the same
+    /// per-sample protocol (plain, or single-fault-per-row when
+    /// `max_redraws` is `Some`) as the scalar and sparse kernels, then
+    /// transposed into per-cell lanes. The view borrows the arena and is
+    /// valid until the next generation call.
     ///
     /// # Errors
     ///
-    /// Rejects plans longer than 64 samples and propagates the backend's
-    /// sampling errors.
+    /// Rejects plans longer than `L::LANES` samples and propagates the
+    /// backend's sampling errors.
     pub fn generate_block<B: FaultBackend + ?Sized>(
         &mut self,
         backend: &B,
         seeder: &StreamSeeder,
         plan: &[PlannedSample],
         max_redraws: Option<usize>,
-    ) -> Result<DieBlock<'_>, MemError> {
-        if plan.len() > 64 {
+    ) -> Result<DieBlock<'_, L>, MemError> {
+        if plan.len() > L::LANES {
             return Err(MemError::InvalidParameter {
                 reason: format!(
-                    "die block plan of {} samples exceeds the 64-die lane width",
-                    plan.len()
+                    "die block plan of {} samples exceeds the {}-die lane width",
+                    plan.len(),
+                    L::LANES
                 ),
             });
         }
         let before = self.capacity_signature();
-        let mut events = std::mem::take(&mut self.block_events);
+        let mut events = std::mem::take(&mut self.events);
         events.clear();
         let mut result = Ok(());
         for (die, planned) in plan.iter().enumerate() {
@@ -213,16 +280,16 @@ impl DieScratch {
             let n_faults = planned.n_faults as usize;
             // Replicate the per-sample RNG consumption exactly: plain draw,
             // or the single-fault-per-row redraw loop.
-            result = backend.sample_into(&mut rng, n_faults, self);
+            result = backend.sample_into(&mut rng, n_faults, &mut self.scalar);
             if result.is_err() {
                 break;
             }
             if let Some(max_redraws) = max_redraws {
                 for _ in 0..max_redraws {
-                    if self.map.max_faults_per_row() <= 1 {
+                    if self.scalar.map.max_faults_per_row() <= 1 {
                         break;
                     }
-                    result = backend.sample_into(&mut rng, n_faults, self);
+                    result = backend.sample_into(&mut rng, n_faults, &mut self.scalar);
                     if result.is_err() {
                         break;
                     }
@@ -231,11 +298,11 @@ impl DieScratch {
                     break;
                 }
             }
-            for fault in self.map.iter() {
+            for fault in self.scalar.map.iter() {
                 events.push(pack_event(fault.row, fault.col, die, fault.kind));
             }
         }
-        self.block_events = events;
+        self.events = events;
         result?;
         // Restore `(row, col, die)` order for transposition. Events arrive
         // die-major with each die already `(row, col)`-sorted, so a stable
@@ -243,43 +310,39 @@ impl DieScratch {
         // exact `sort_unstable` order in linear time — the win that makes
         // dense blocks affordable. Sparse batches keep the comparison sort,
         // where zeroing the bucket directory would dominate.
-        let buckets = self.map.config().rows() << 6;
-        if self.block_events.len() >= buckets >> 3 {
-            self.block_counts.clear();
-            self.block_counts.resize(buckets, 0);
-            for &event in &self.block_events {
-                self.block_counts[(event >> 8) as usize] += 1;
+        let buckets = self.scalar.map.config().rows() << 6;
+        if self.events.len() >= buckets >> 3 {
+            self.counts.clear();
+            self.counts.resize(buckets, 0);
+            for &event in &self.events {
+                self.counts[event_sort_key(event)] += 1;
             }
             let mut offset = 0u32;
-            for slot in &mut self.block_counts {
+            for slot in &mut self.counts {
                 let count = *slot;
                 *slot = offset;
                 offset += count;
             }
-            self.block_sorted.clear();
-            self.block_sorted.resize(self.block_events.len(), 0);
-            for &event in &self.block_events {
-                let key = (event >> 8) as usize;
-                self.block_sorted[self.block_counts[key] as usize] = event;
-                self.block_counts[key] += 1;
+            self.sorted.clear();
+            self.sorted.resize(self.events.len(), 0);
+            for &event in &self.events {
+                let key = event_sort_key(event);
+                self.sorted[self.counts[key] as usize] = event;
+                self.counts[key] += 1;
             }
-            std::mem::swap(&mut self.block_events, &mut self.block_sorted);
+            std::mem::swap(&mut self.events, &mut self.sorted);
         } else {
-            self.block_events.sort_unstable();
+            self.events.sort_unstable();
         }
-        transpose_events(
-            &self.block_events,
-            &mut self.block_cells,
-            &mut self.block_rows,
-        );
+        transpose_events(&self.events, &mut self.cells, &mut self.rows);
         if self.capacity_signature() != before {
             self.realloc_events += 1;
         }
         Ok(DieBlock::new(
-            &self.block_rows,
-            &self.block_cells,
+            &self.rows,
+            &self.cells,
             plan.len(),
-            self.map.config(),
+            self.scalar.map.config(),
         ))
     }
 }
@@ -288,6 +351,7 @@ impl DieScratch {
 mod tests {
     use super::*;
     use crate::backend::{Backend, BackendKind, FaultKindLaw};
+    use crate::dieblock::W256;
     use rand::SeedableRng;
 
     fn config() -> MemoryConfig {
@@ -352,6 +416,47 @@ mod tests {
                 scratch.realloc_events(),
                 warm,
                 "{kind}: steady-state die generation reallocated"
+            );
+        }
+    }
+
+    #[test]
+    fn steady_state_wide_block_generation_performs_no_reallocation() {
+        use crate::seeder::{PlannedSample, StreamSeeder};
+        let seeder = StreamSeeder::new(0x1D1E);
+        for kind in BackendKind::ALL {
+            let backend = Backend::at_p_cell(kind, config(), 1e-3).unwrap();
+            let mut scratch = BlockScratch::<W256>::new(config());
+            let plan_at = |start: u64, n_faults: u64| -> Vec<PlannedSample> {
+                (0..256u64)
+                    .map(|j| PlannedSample {
+                        index: start + j,
+                        n_faults,
+                    })
+                    .collect()
+            };
+            // Warm-up: containers grow to their high-water capacities.
+            for round in 0..4u64 {
+                scratch
+                    .generate_block(&backend, &seeder, &plan_at(round * 256, 40), None)
+                    .unwrap();
+            }
+            let warm = scratch.realloc_events();
+            // Steady state at or below the high-water fault count.
+            for round in 0..32u64 {
+                scratch
+                    .generate_block(
+                        &backend,
+                        &seeder,
+                        &plan_at(1024 + round * 256, 1 + round % 40),
+                        None,
+                    )
+                    .unwrap();
+            }
+            assert_eq!(
+                scratch.realloc_events(),
+                warm,
+                "{kind}: steady-state wide block generation reallocated"
             );
         }
     }

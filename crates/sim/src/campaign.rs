@@ -26,8 +26,8 @@ use crate::error::{RunError, SimError};
 use crate::executor::{run_chunked_with, Parallelism};
 use faultmit_core::MitigationScheme;
 use faultmit_memsim::{
-    DieBatch, DieBlock, DieScratch, FailureCountDistribution, FaultBackend, FaultMap, ImageSpec,
-    MemoryConfig, PlannedSample, SramVddBackend, StreamSeeder,
+    BlockScratch, DieBatch, DieBlock, DieScratch, FailureCountDistribution, FaultBackend, FaultMap,
+    ImageSpec, Lane, MemoryConfig, PlannedSample, SramVddBackend, StreamSeeder,
 };
 use std::convert::Infallible;
 use std::fmt;
@@ -167,9 +167,11 @@ pub enum MapPolicy {
     },
 }
 
-/// Which evaluation kernel a campaign drives. All three produce
+/// Which evaluation kernel a campaign drives. Every fixed kernel produces
 /// **bit-identical** per-panel results (the `kernel_equivalence` suite pins
-/// this); they differ only in throughput.
+/// this); they differ only in throughput. [`KernelKind::Auto`] resolves to
+/// one of the fixed kernels per campaign before any sampling happens, so it
+/// inherits the same bit-identity guarantee.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum KernelKind {
     /// The dense row-walking kernel over the generic `observe` path.
@@ -182,14 +184,38 @@ pub enum KernelKind {
     /// evaluated together through `observe_block`, with a scalar tail for
     /// leftover samples.
     Bitsliced,
+    /// The wide bit-sliced kernel: up to 256 dies transposed into
+    /// [`W256`](faultmit_memsim::W256) lanes (four `u64` words per lane,
+    /// autovectorisable element-wise ops) and evaluated together through the
+    /// wide block observer, with a scalar tail for leftover samples.
+    Bitsliced256,
+    /// Density-adaptive choice: resolves to [`KernelKind::Bitsliced256`]
+    /// when the expected fault density meets
+    /// [`AUTO_FAULTS_PER_ROW_THRESHOLD`] faults per row, and to
+    /// [`KernelKind::Sparse`] otherwise. See [`KernelKind::resolve`].
+    Auto,
 }
 
+/// The density threshold of the `auto` kernel policy, in expected faults
+/// per memory row.
+///
+/// At or above this density (one expected fault per sixteen rows), most
+/// sampled dies carry enough fault-bearing rows that the per-row transpose
+/// and lane-wide evaluation of the 256-die bit-sliced kernel amortises its
+/// fixed cost; below it, the event-driven sparse kernel's skip-empty-rows
+/// advantage wins. The constant is pinned by a unit test against the benched
+/// operating points in `benches/pipeline.rs`.
+pub const AUTO_FAULTS_PER_ROW_THRESHOLD: f64 = 1.0 / 16.0;
+
 impl KernelKind {
-    /// All kernels, in scalar → sparse → bitsliced order.
-    pub const ALL: [KernelKind; 3] = [
+    /// All kernels, in scalar → sparse → bitsliced → bitsliced256 → auto
+    /// order.
+    pub const ALL: [KernelKind; 5] = [
         KernelKind::Scalar,
         KernelKind::Sparse,
         KernelKind::Bitsliced,
+        KernelKind::Bitsliced256,
+        KernelKind::Auto,
     ];
 
     /// The CLI / telemetry name of the kernel.
@@ -199,6 +225,32 @@ impl KernelKind {
             KernelKind::Scalar => "scalar",
             KernelKind::Sparse => "sparse",
             KernelKind::Bitsliced => "bitsliced",
+            KernelKind::Bitsliced256 => "bitsliced256",
+            KernelKind::Auto => "auto",
+        }
+    }
+
+    /// Resolves the density-adaptive `auto` kernel to a fixed kernel for a
+    /// campaign expecting `expected_faults_per_die` faults spread over
+    /// `rows` memory rows; fixed kernels return themselves unchanged.
+    ///
+    /// `Auto` picks [`KernelKind::Bitsliced256`] when the expected density
+    /// reaches [`AUTO_FAULTS_PER_ROW_THRESHOLD`] faults per row and
+    /// [`KernelKind::Sparse`] otherwise (including the degenerate
+    /// `rows == 0` case).
+    #[must_use]
+    pub fn resolve(self, expected_faults_per_die: f64, rows: usize) -> KernelKind {
+        match self {
+            KernelKind::Auto => {
+                #[allow(clippy::cast_precision_loss)]
+                let dense_threshold = rows as f64 * AUTO_FAULTS_PER_ROW_THRESHOLD;
+                if rows > 0 && expected_faults_per_die >= dense_threshold {
+                    KernelKind::Bitsliced256
+                } else {
+                    KernelKind::Sparse
+                }
+            }
+            fixed => fixed,
         }
     }
 }
@@ -217,8 +269,13 @@ impl FromStr for KernelKind {
             "scalar" => Ok(KernelKind::Scalar),
             "sparse" => Ok(KernelKind::Sparse),
             "bitsliced" => Ok(KernelKind::Bitsliced),
+            "bitsliced256" => Ok(KernelKind::Bitsliced256),
+            "auto" => Ok(KernelKind::Auto),
             other => Err(SimError::InvalidParameter {
-                reason: format!("unknown kernel '{other}' (expected scalar|sparse|bitsliced)"),
+                reason: format!(
+                    "unknown kernel '{other}' (expected \
+                     scalar|sparse|bitsliced|bitsliced256|auto)"
+                ),
             }),
         }
     }
@@ -446,6 +503,25 @@ impl<B: FaultBackend> CampaignConfig<B> {
         match self.max_failures {
             Some(n) => Ok(n),
             None => Ok(self.failure_distribution()?.n_max(self.coverage)),
+        }
+    }
+
+    /// The expected number of faults injected per sampled die, used by the
+    /// [`KernelKind::Auto`] density policy.
+    ///
+    /// An exact-failure campaign injects exactly that count into every die;
+    /// a swept campaign runs `samples_per_count` dies at every count in
+    /// `1..=effective_max_failures`, so the mean over the whole campaign is
+    /// the midpoint `(1 + n_max) / 2`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from building the failure distribution.
+    pub fn expected_faults_per_die(&self) -> Result<f64, SimError> {
+        #[allow(clippy::cast_precision_loss)]
+        match self.exact_failures {
+            Some(n) => Ok(n as f64),
+            None => Ok((1.0 + self.effective_max_failures()? as f64) / 2.0),
         }
     }
 }
@@ -743,22 +819,24 @@ impl<B: FaultBackend> Campaign<B> {
     }
 
     /// Runs one shard through the **bit-sliced** evaluation pipeline: each
-    /// chunk's samples are grouped into transposed [`DieBlock`]s of up to 64
-    /// dies, `evaluate_block(scheme, block, out)` fills `out[j]` with die
-    /// `j`'s metric for all dies at once, and degenerate single-sample
-    /// groups fall back to the scalar `evaluate_sample` tail — so any
-    /// `(samples, chunk size, shard)` plan still works.
+    /// chunk's samples are grouped into transposed [`DieBlock`]s of up to
+    /// `L::LANES` dies (64 for `u64` lanes, 256 for
+    /// [`W256`](faultmit_memsim::W256)), `evaluate_block(scheme, block,
+    /// out)` fills `out[j]` with die `j`'s metric for all dies at once, and
+    /// degenerate single-sample groups fall back to the scalar
+    /// `evaluate_sample` tail — so any `(samples, chunk size, shard)` plan
+    /// still works at any lane width.
     ///
     /// Chunk boundaries, per-sample RNG streams, weights and record order
     /// are computed exactly as in [`Campaign::try_run_shard`]; when the two
     /// evaluators agree per die, the resulting accumulator is
-    /// **bit-identical** to the per-sample kernels at any worker count and
-    /// shard split.
+    /// **bit-identical** to the per-sample kernels at any worker count,
+    /// shard split and lane width.
     ///
     /// # Errors
     ///
     /// Propagates configuration and sampling errors.
-    pub fn run_shard_blocks<S, F, G, A>(
+    pub fn run_shard_blocks<L, S, F, G, A>(
         &self,
         schemes: &[S],
         seed: u64,
@@ -768,9 +846,10 @@ impl<B: FaultBackend> Campaign<B> {
         make_accumulator: impl Fn() -> A + Sync,
     ) -> Result<A, SimError>
     where
+        L: Lane,
         S: MitigationScheme + Sync,
         F: Fn(&S, &FaultMap) -> f64 + Sync,
-        G: Fn(&S, &DieBlock<'_>, &mut [f64]) + Sync,
+        G: Fn(&S, &DieBlock<'_, L>, &mut [f64]) + Sync,
         A: Accumulator,
     {
         let distribution = self.config.failure_distribution()?;
@@ -812,15 +891,15 @@ impl<B: FaultBackend> Campaign<B> {
 
         // Per-worker scratch: one warm arena (fault map + transposed block
         // buffers), a recycled per-die metrics vector, and the per-scheme
-        // block output matrix (schemes × 64 lanes).
+        // block output matrix (schemes × L::LANES lanes).
         let chunk_results: Vec<Result<A, SimError>> = run_chunked_with(
             owned_chunks.len(),
             workers,
             || {
                 (
-                    DieScratch::new(backend.config()),
+                    BlockScratch::<L>::new(backend.config()),
                     Vec::<f64>::with_capacity(schemes.len()),
-                    vec![0.0f64; schemes.len() * 64],
+                    vec![0.0f64; schemes.len() * L::LANES],
                 )
             },
             |(scratch, metrics, block_out), local_index| {
@@ -829,16 +908,17 @@ impl<B: FaultBackend> Campaign<B> {
                 let end = (start + chunk_size).min(plan.len());
                 let mut accumulator = make_accumulator();
 
-                for group in plan[start..end].chunks(64) {
+                for group in plan[start..end].chunks(L::LANES) {
                     if let [planned] = group {
                         // Scalar tail: a lone sample is cheaper through the
                         // per-die sparse path than through transposition.
+                        let scalar = scratch.scalar_mut();
                         let mut rng = seeder.rng_for_sample(planned.index);
                         let n = planned.n_faults as usize;
                         let map = match max_redraws {
-                            None => scratch.generate(backend, &mut rng, n),
+                            None => scalar.generate(backend, &mut rng, n),
                             Some(budget) => {
-                                scratch.generate_single_fault_per_row(backend, &mut rng, n, budget)
+                                scalar.generate_single_fault_per_row(backend, &mut rng, n, budget)
                             }
                         }
                         .map_err(SimError::from)?;
@@ -861,12 +941,16 @@ impl<B: FaultBackend> Campaign<B> {
                         .generate_block(backend, &seeder, group, max_redraws)
                         .map_err(SimError::from)?;
                     for (s, scheme) in schemes.iter().enumerate() {
-                        evaluate_block(scheme, &block, &mut block_out[s * 64..(s + 1) * 64]);
+                        evaluate_block(
+                            scheme,
+                            &block,
+                            &mut block_out[s * L::LANES..(s + 1) * L::LANES],
+                        );
                     }
                     for (j, planned) in group.iter().enumerate() {
                         metrics.clear();
                         for s in 0..schemes.len() {
-                            metrics.push(block_out[s * 64 + j]);
+                            metrics.push(block_out[s * L::LANES + j]);
                         }
                         let sample = PairedSample {
                             sample_index: planned.index,
@@ -1263,12 +1347,54 @@ mod tests {
 
     #[test]
     fn kernel_kind_parses_and_displays() {
+        assert_eq!(KernelKind::ALL.len(), 5);
         for kernel in KernelKind::ALL {
             assert_eq!(kernel.as_str().parse::<KernelKind>().unwrap(), kernel);
             assert_eq!(kernel.to_string(), kernel.as_str());
         }
         assert_eq!(KernelKind::default(), KernelKind::Sparse);
-        assert!("simd".parse::<KernelKind>().is_err());
+        let error = "simd".parse::<KernelKind>().unwrap_err().to_string();
+        assert!(
+            error.contains("scalar|sparse|bitsliced|bitsliced256|auto"),
+            "the unknown-kernel error must list the full valid set: {error}"
+        );
+    }
+
+    #[test]
+    fn auto_kernel_resolves_by_fault_density() {
+        // Fixed kernels resolve to themselves regardless of density.
+        for kernel in [
+            KernelKind::Scalar,
+            KernelKind::Sparse,
+            KernelKind::Bitsliced,
+            KernelKind::Bitsliced256,
+        ] {
+            assert_eq!(kernel.resolve(1e9, 128), kernel);
+            assert_eq!(kernel.resolve(0.0, 128), kernel);
+        }
+        // Auto flips exactly at rows / 16 expected faults per die.
+        let rows = 4096usize;
+        let threshold = rows as f64 * AUTO_FAULTS_PER_ROW_THRESHOLD;
+        assert_eq!(
+            KernelKind::Auto.resolve(threshold, rows),
+            KernelKind::Bitsliced256
+        );
+        assert_eq!(
+            KernelKind::Auto.resolve(threshold - 1.0, rows),
+            KernelKind::Sparse
+        );
+        // Degenerate geometry falls back to sparse.
+        assert_eq!(KernelKind::Auto.resolve(10.0, 0), KernelKind::Sparse);
+    }
+
+    #[test]
+    fn expected_faults_per_die_follows_the_campaign_plan() {
+        // An exact-failure campaign injects that count into every die.
+        let exact = config().with_exact_failures(8192);
+        assert_eq!(exact.expected_faults_per_die().unwrap(), 8192.0);
+        // A swept campaign averages the uniform 1..=n_max plan.
+        let swept = config().with_max_failures(13);
+        assert_eq!(swept.expected_faults_per_die().unwrap(), 7.0);
     }
 
     #[test]
@@ -1276,17 +1402,22 @@ mod tests {
         // A per-die metric computable from both representations: the die's
         // fault count. The block path must reproduce the per-sample path's
         // records exactly — indices, weights, metric values, order — for
-        // non-multiple-of-64 plans, any shard split, and both map policies.
-        use faultmit_memsim::{Backend, BackendKind};
+        // non-multiple-of-lane-width plans, any shard split, both map
+        // policies, and both lane widths.
+        use faultmit_memsim::{Backend, BackendKind, W256};
         let count_block = |_: &Scheme, block: &DieBlock<'_>, out: &mut [f64]| {
             out[..block.die_count()].fill(0.0);
             for row in block.rows() {
                 for cell in row.cells {
-                    let mut lanes = cell.flips | cell.stuck;
-                    while lanes != 0 {
-                        out[lanes.trailing_zeros() as usize] += 1.0;
-                        lanes &= lanes - 1;
-                    }
+                    cell.presence().for_each_die(|die| out[die] += 1.0);
+                }
+            }
+        };
+        let count_block_wide = |_: &Scheme, block: &DieBlock<'_, W256>, out: &mut [f64]| {
+            out[..block.die_count()].fill(0.0);
+            for row in block.rows() {
+                for cell in row.cells {
+                    cell.presence().for_each_die(|die| out[die] += 1.0);
                 }
             }
         };
@@ -1314,21 +1445,39 @@ mod tests {
                     .unwrap();
                 for shard_count in [1usize, 3] {
                     let mut merged = CollectRecords::new();
+                    let mut merged_wide = CollectRecords::new();
                     for index in 0..shard_count {
+                        let shard = ShardSpec::new(index, shard_count).unwrap();
                         merged.merge(
                             campaign
                                 .run_shard_blocks(
                                     &schemes,
                                     23,
-                                    ShardSpec::new(index, shard_count).unwrap(),
+                                    shard,
                                     count_sample,
                                     count_block,
                                     CollectRecords::new,
                                 )
                                 .unwrap(),
                         );
+                        merged_wide.merge(
+                            campaign
+                                .run_shard_blocks(
+                                    &schemes,
+                                    23,
+                                    shard,
+                                    count_sample,
+                                    count_block_wide,
+                                    CollectRecords::new,
+                                )
+                                .unwrap(),
+                        );
                     }
                     assert_eq!(merged, reference, "{kind} {policy:?} {shard_count} shards");
+                    assert_eq!(
+                        merged_wide, reference,
+                        "{kind} {policy:?} {shard_count} shards (W256 lanes)"
+                    );
                 }
             }
         }
@@ -1349,7 +1498,7 @@ mod tests {
             )
             .unwrap();
         let blocks = campaign
-            .run_shard_blocks(
+            .run_shard_blocks::<u64, _, _, _, _>(
                 &schemes,
                 3,
                 ShardSpec::solo(),

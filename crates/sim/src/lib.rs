@@ -111,6 +111,8 @@ pub mod error;
 pub mod executor;
 
 pub use accumulate::{Accumulator, CollectRecords, PairedSample};
-pub use campaign::{Campaign, CampaignConfig, KernelKind, MapPolicy, ShardSpec};
+pub use campaign::{
+    Campaign, CampaignConfig, KernelKind, MapPolicy, ShardSpec, AUTO_FAULTS_PER_ROW_THRESHOLD,
+};
 pub use error::{RunError, SimError};
 pub use executor::{run_chunked, run_chunked_with, Parallelism};

@@ -1,22 +1,26 @@
 //! Equivalence suite for the evaluation kernel generations: the sparse MSE
 //! kernel (`memory_mse_sparse*`, built on `observe_sparse` and the flat
-//! fault map's row groups) and the bit-sliced block kernel
-//! (`block_mse_into` over 64-die `DieBlock` lanes with a scalar tail) must
-//! be **bit-identical** to the scalar `observe`-based kernel on every
-//! backend, image, and fault-kind law, and the campaign's reusable
-//! `DieScratch` arena — scalar and transposed paths alike — must reproduce
-//! the fresh-allocation behaviour sample for sample with zero steady-state
-//! heap traffic.
+//! fault map's row groups) and the bit-sliced block kernels
+//! (`block_mse_into` over 64-die `u64` and 256-die `W256` `DieBlock` lanes
+//! with a scalar tail) must be **bit-identical** to the scalar
+//! `observe`-based kernel on every backend, image, and fault-kind law; the
+//! campaign's reusable arenas — scalar, 64-die and 256-die transposed paths
+//! alike — must reproduce the fresh-allocation behaviour sample for sample
+//! with zero steady-state heap traffic; and `--kernel auto` must resolve to
+//! the documented kernel at every benched operating point.
 
 use faultmit::analysis::{
     block_mse_into, memory_mse, memory_mse_for_data, memory_mse_sparse, memory_mse_sparse_with,
 };
 use faultmit::core::Scheme;
 use faultmit::memsim::{
-    Backend, BackendKind, DieScratch, FaultKindLaw, ImageSpec, MemoryConfig, PlannedSample,
-    StreamSeeder,
+    Backend, BackendKind, BlockScratch, DieBlock, DieScratch, FaultKindLaw, ImageSpec, Lane,
+    MemoryConfig, PlannedSample, SramVddBackend, StreamSeeder, W256,
 };
-use faultmit::sim::{Campaign, CampaignConfig, CollectRecords, MapPolicy, Parallelism, ShardSpec};
+use faultmit::sim::{
+    Campaign, CampaignConfig, CollectRecords, KernelKind, MapPolicy, Parallelism, ShardSpec,
+    AUTO_FAULTS_PER_ROW_THRESHOLD,
+};
 
 const SEED: u64 = 0x5AB5_EED6;
 
@@ -218,12 +222,13 @@ impl SweepRng {
     }
 }
 
-/// The bit-sliced block kernel joins the equivalence family: across a
+/// The bit-sliced block kernels join the equivalence family: across a
 /// randomized sweep of backend × image × kind-law × campaign shape —
-/// including budgets that are **not** multiples of the 64-die lane width,
-/// so the scalar tail and partial trailing blocks are exercised — the
-/// `scalar`, `sparse`, and `bitsliced` kernels agree bit for bit, sample
-/// for sample.
+/// including budgets that are **not** multiples of either the 64-die or the
+/// 256-die lane width, so the scalar tail and partial trailing blocks are
+/// exercised in both widths — all four of the `scalar`, `sparse`,
+/// `bitsliced`, and `bitsliced256` kernels agree bit for bit, sample for
+/// sample.
 #[test]
 fn bitsliced_kernel_is_bit_identical_across_a_randomized_sweep() {
     let schemes = Scheme::fig5_catalogue();
@@ -232,8 +237,10 @@ fn bitsliced_kernel_is_bit_identical_across_a_randomized_sweep() {
         for law in kind_laws() {
             for spec in images() {
                 // Odd budgets on both axes keep the total sample count an
-                // odd number: never a multiple of 64, frequently below one
-                // full block, sometimes several blocks plus a tail.
+                // odd number: never a multiple of 64 (let alone 256),
+                // frequently below one full block, sometimes several
+                // narrow blocks plus a tail — and always a partial block
+                // plus tail for the 256-die width.
                 let samples_per_count = 2 * sweep.pick(1, 4) + 1;
                 let max_failures = 2 * sweep.pick(2, 5) as u64 + 1;
                 let chunk_size = sweep.pick(1, 17);
@@ -281,7 +288,19 @@ fn bitsliced_kernel_is_bit_identical_across_a_randomized_sweep() {
                         SEED,
                         ShardSpec::solo(),
                         |scheme, map| memory_mse_sparse_with(scheme, map, |row| image.word(row)),
-                        |scheme, block, out| {
+                        |scheme, block: &DieBlock<'_>, out: &mut [f64]| {
+                            block_mse_into(scheme, block, |row| image.word(row), out);
+                        },
+                        CollectRecords::new,
+                    )
+                    .unwrap();
+                let bitsliced256 = Campaign::new(config(true))
+                    .run_shard_blocks(
+                        &schemes,
+                        SEED,
+                        ShardSpec::solo(),
+                        |scheme, map| memory_mse_sparse_with(scheme, map, |row| image.word(row)),
+                        |scheme, block: &DieBlock<'_, W256>, out: &mut [f64]| {
                             block_mse_into(scheme, block, |row| image.word(row), out);
                         },
                         CollectRecords::new,
@@ -290,6 +309,11 @@ fn bitsliced_kernel_is_bit_identical_across_a_randomized_sweep() {
 
                 assert_records_bit_identical(&scalar, &sparse, &context);
                 assert_records_bit_identical(&scalar, &bitsliced, &context);
+                assert_records_bit_identical(
+                    &scalar,
+                    &bitsliced256,
+                    &format!("{context} (W256 lanes)"),
+                );
             }
         }
     }
@@ -324,14 +348,15 @@ fn die_generation_reaches_zero_allocation_steady_state() {
     }
 }
 
-/// The transposed block path holds the same guarantee: once the lane
-/// buffers have grown to the campaign's peak demand (64 dies at the
-/// largest fault count), steady-state `generate_block` calls — full blocks
-/// and partial tails alike — never touch the heap.
-#[test]
-fn block_generation_reaches_zero_allocation_steady_state() {
+/// The transposed block path holds the same guarantee at any lane width:
+/// once the lane buffers have grown to the campaign's peak demand
+/// (`L::LANES` dies at the largest fault count), steady-state
+/// `generate_block` calls — full blocks and partial tails alike — never
+/// touch the heap.
+fn block_zero_alloc_gate<L: Lane>(width_label: &str) {
     let memory = MemoryConfig::new(256, 32).unwrap();
     let seeder = StreamSeeder::new(SEED);
+    let lanes = L::LANES as u64;
     let block_plan = |start: u64, len: usize, n_faults: &dyn Fn(u64) -> u64| {
         (0..len as u64)
             .map(|j| PlannedSample {
@@ -342,21 +367,21 @@ fn block_generation_reaches_zero_allocation_steady_state() {
     };
     for kind in BackendKind::ALL {
         let backend = Backend::at_p_cell(kind, memory, 1e-3).unwrap();
-        let mut scratch = DieScratch::new(memory);
+        let mut scratch = BlockScratch::<L>::new(memory);
         // Warm-up: full blocks at the peak fault count grow every lane
         // buffer to the campaign's maximum demand.
         for block in 0..4u64 {
-            let plan = block_plan(block * 64, 64, &|_| 48);
+            let plan = block_plan(block * lanes, L::LANES, &|_| 48);
             scratch
                 .generate_block(&backend, &seeder, &plan, None)
                 .unwrap();
         }
         let after_warmup = scratch.realloc_events();
         for block in 0..64u64 {
-            let start = 256 + block * 64;
+            let start = 4 * lanes + block * lanes;
             // Partial tails (any length up to the lane width) and varying
             // per-die fault counts must all stay inside grown capacity.
-            let len = 1 + (block as usize * 13) % 64;
+            let len = 1 + (block as usize * 13) % L::LANES;
             let plan = block_plan(start, len, &|index| 1 + index % 48);
             scratch
                 .generate_block(&backend, &seeder, &plan, None)
@@ -365,7 +390,75 @@ fn block_generation_reaches_zero_allocation_steady_state() {
         assert_eq!(
             scratch.realloc_events(),
             after_warmup,
-            "{kind}: steady-state block generation must not touch the heap"
+            "{kind} ({width_label}): steady-state block generation must not touch the heap"
         );
+    }
+}
+
+#[test]
+fn block_generation_reaches_zero_allocation_steady_state() {
+    block_zero_alloc_gate::<u64>("64-die u64 lanes");
+}
+
+#[test]
+fn wide_block_generation_reaches_zero_allocation_steady_state() {
+    block_zero_alloc_gate::<W256>("256-die W256 lanes");
+}
+
+/// `--kernel auto` resolves to the documented kernel at each benched
+/// operating point of `BENCH_pipeline.json`: the Fig. 5 / Fig. 9 densities
+/// (a 16 KB array simulated up to 24 faults per die) sit far below the
+/// wide kernel's break-even and stay on the sparse kernel, while the
+/// dense-ECC point (8192 faults per die, `P_cell ≈ 6.3e-2`) crosses it and
+/// picks the 256-die bit-sliced kernel. Fixed kernels resolve to
+/// themselves.
+#[test]
+fn auto_kernel_resolves_to_the_documented_kernel_at_each_benched_point() {
+    let memory = MemoryConfig::paper_16kb();
+    let threshold = memory.rows() as f64 * AUTO_FAULTS_PER_ROW_THRESHOLD;
+
+    // `fig5_p1e-4` and `fig9_random_stuck` share the campaign shape: only
+    // the kind law and stored image differ, neither of which feeds the
+    // density policy.
+    let sparse_point = {
+        let backend = SramVddBackend::with_p_cell(memory, 1e-4).unwrap();
+        CampaignConfig::for_backend(backend)
+            .unwrap()
+            .with_samples_per_count(10)
+            .with_max_failures(24)
+    };
+    let expected = sparse_point.expected_faults_per_die().unwrap();
+    assert_eq!(expected, 12.5, "mean of the 1..=24 failure-count sweep");
+    assert!(expected < threshold);
+    assert_eq!(
+        KernelKind::Auto.resolve(expected, memory.rows()),
+        KernelKind::Sparse
+    );
+
+    // `dense_ecc_p6.3e-2` plans every die at exactly 8192 faults.
+    let cells = (memory.rows() * 32) as f64;
+    let dense_point = {
+        let backend = SramVddBackend::with_p_cell(memory, 8192.0 / cells).unwrap();
+        CampaignConfig::for_backend(backend)
+            .unwrap()
+            .with_samples_per_count(256)
+            .with_exact_failures(8192)
+    };
+    let expected = dense_point.expected_faults_per_die().unwrap();
+    assert_eq!(expected, 8192.0, "exact-failure plans pin the density");
+    assert!(expected >= threshold);
+    assert_eq!(
+        KernelKind::Auto.resolve(expected, memory.rows()),
+        KernelKind::Bitsliced256
+    );
+
+    // Fixed kernels ignore the density entirely.
+    for kernel in [
+        KernelKind::Scalar,
+        KernelKind::Sparse,
+        KernelKind::Bitsliced,
+        KernelKind::Bitsliced256,
+    ] {
+        assert_eq!(kernel.resolve(expected, memory.rows()), kernel);
     }
 }

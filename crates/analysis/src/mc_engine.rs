@@ -21,7 +21,11 @@ use faultmit_memsim::{
     DataImage, DieBlock, FailureCountDistribution, FaultBackend, ImageSpec, MemoryConfig,
     OperatingPoint, SramVddBackend, W256,
 };
-use faultmit_sim::{Campaign, CampaignConfig, KernelKind, Parallelism, ShardSpec, SimError};
+use faultmit_sim::{
+    Campaign, CampaignConfig, KernelKind, Parallelism, RunError, ShardSpec, ShardStats, SimError,
+};
+use std::convert::Infallible;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Configuration of one Monte-Carlo campaign, generic over the
 /// fault-generating [`FaultBackend`] (default: the paper's SRAM
@@ -37,6 +41,8 @@ pub struct MonteCarloConfig<B: FaultBackend = SramVddBackend> {
     chunk_size: usize,
     image: ImageSpec,
     kernel: KernelKind,
+    auto_threshold: Option<f64>,
+    wide_generation: bool,
 }
 
 impl MonteCarloConfig<SramVddBackend> {
@@ -98,6 +104,8 @@ impl<B: FaultBackend> MonteCarloConfig<B> {
             chunk_size: 32,
             image: ImageSpec::Zeros,
             kernel: KernelKind::default(),
+            auto_threshold: None,
+            wide_generation: true,
         }
     }
 
@@ -187,6 +195,39 @@ impl<B: FaultBackend> MonteCarloConfig<B> {
         self.kernel
     }
 
+    /// Overrides the density threshold (in expected faults per row) at
+    /// which [`KernelKind::Auto`] picks the dense bit-sliced kernel over
+    /// the sparse one — the `--auto-threshold` CLI knob. `None` (the
+    /// default) keeps [`faultmit_sim::AUTO_FAULTS_PER_ROW_THRESHOLD`].
+    /// Fixed kernels ignore the threshold entirely.
+    #[must_use]
+    pub fn with_auto_threshold(mut self, auto_threshold: Option<f64>) -> Self {
+        self.auto_threshold = auto_threshold;
+        self
+    }
+
+    /// The configured `auto`-kernel density threshold override, if any.
+    #[must_use]
+    pub fn auto_threshold(&self) -> Option<f64> {
+        self.auto_threshold
+    }
+
+    /// Toggles the lane-interleaved block generation path (default **on**;
+    /// see [`faultmit_sim::CampaignConfig::with_wide_generation`]). Results
+    /// are bit-identical either way; the toggle is the scalar baseline for
+    /// benches and equivalence gates.
+    #[must_use]
+    pub fn with_wide_generation(mut self, wide_generation: bool) -> Self {
+        self.wide_generation = wide_generation;
+        self
+    }
+
+    /// Whether block kernels use the lane-interleaved generation path.
+    #[must_use]
+    pub fn wide_generation(&self) -> bool {
+        self.wide_generation
+    }
+
     /// The fixed kernel this configuration's [`KernelKind`] resolves to:
     /// fixed kernels return themselves, while [`KernelKind::Auto`] applies
     /// the density policy of [`KernelKind::resolve`] to this campaign's
@@ -200,9 +241,14 @@ impl<B: FaultBackend> MonteCarloConfig<B> {
     pub fn resolved_kernel(&self) -> Result<KernelKind, AnalysisError> {
         #[allow(clippy::cast_precision_loss)]
         let expected_faults_per_die = (1.0 + self.effective_max_failures()? as f64) / 2.0;
-        Ok(self
-            .kernel
-            .resolve(expected_faults_per_die, self.memory().rows()))
+        let threshold = self
+            .auto_threshold
+            .unwrap_or(faultmit_sim::AUTO_FAULTS_PER_ROW_THRESHOLD);
+        Ok(self.kernel.resolve_with_threshold(
+            expected_faults_per_die,
+            self.memory().rows(),
+            threshold,
+        ))
     }
 
     /// The fault-generating backend under study.
@@ -280,7 +326,8 @@ impl<B: FaultBackend> MonteCarloConfig<B> {
             .with_coverage(self.coverage)
             .with_chunk_size(self.chunk_size)
             .with_parallelism(self.parallelism)
-            .with_image(self.image);
+            .with_image(self.image)
+            .with_wide_generation(self.wide_generation);
         if let Some(max) = self.max_failures {
             config = config.with_max_failures(max);
         }
@@ -292,6 +339,19 @@ fn sim_to_analysis_error(error: SimError) -> AnalysisError {
     match error {
         SimError::InvalidParameter { reason } => AnalysisError::InvalidParameter { reason },
         SimError::Memory(e) => AnalysisError::Memory(e),
+    }
+}
+
+fn run_to_analysis_error(error: RunError<Infallible>) -> AnalysisError {
+    match error {
+        RunError::Sim(e) => sim_to_analysis_error(e),
+        RunError::Eval(infallible) => match infallible {},
+    }
+}
+
+fn stats_from_nanos(gen_nanos: &AtomicU64) -> ShardStats {
+    ShardStats {
+        generation_seconds: gen_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
     }
 }
 
@@ -403,17 +463,48 @@ impl<B: FaultBackend + Clone> MonteCarloEngine<B> {
         seed: u64,
         shard: ShardSpec,
     ) -> Result<CatalogueAccumulator, AnalysisError> {
+        self.run_catalogue_shard_gen(schemes, seed, shard, None)
+    }
+
+    /// [`MonteCarloEngine::run_catalogue_shard`] plus a [`ShardStats`]
+    /// timing breakdown (generation seconds summed across workers). The
+    /// accumulator is bit-identical to the untimed runner's; the plain
+    /// runner skips the clock reads entirely.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`MonteCarloEngine::run_catalogue_shard`].
+    pub fn run_catalogue_shard_stats<S: MitigationScheme + Sync>(
+        &self,
+        schemes: &[S],
+        seed: u64,
+        shard: ShardSpec,
+    ) -> Result<(CatalogueAccumulator, ShardStats), AnalysisError> {
+        let gen_nanos = AtomicU64::new(0);
+        let state = self.run_catalogue_shard_gen(schemes, seed, shard, Some(&gen_nanos))?;
+        Ok((state, stats_from_nanos(&gen_nanos)))
+    }
+
+    fn run_catalogue_shard_gen<S: MitigationScheme + Sync>(
+        &self,
+        schemes: &[S],
+        seed: u64,
+        shard: ShardSpec,
+        gen_timer: Option<&AtomicU64>,
+    ) -> Result<CatalogueAccumulator, AnalysisError> {
         match self.config.image {
             // The all-zeros fast path: exactly the historical evaluation,
             // bit-identical to the pre-image pipeline.
-            ImageSpec::Zeros => self.run_catalogue_shard_on_image(schemes, seed, shard, None),
+            ImageSpec::Zeros => {
+                self.run_catalogue_shard_on_image_gen(schemes, seed, shard, None, gen_timer)
+            }
             spec => {
                 // Self-contained images resolve here; App images propagate
                 // memsim's "resolve through the apps layer" error. The
                 // event-driven kernel gathers image words per faulty row, so
                 // the image is never materialised memory-wide.
                 let image = spec.try_materialise(self.config.memory())?;
-                self.run_catalogue_shard_with_image(schemes, seed, shard, image.as_ref())
+                self.run_catalogue_shard_with_image(schemes, seed, shard, image.as_ref(), gen_timer)
             }
         }
     }
@@ -428,8 +519,9 @@ impl<B: FaultBackend + Clone> MonteCarloEngine<B> {
         seed: u64,
         shard: ShardSpec,
         image: &dyn DataImage,
+        gen_timer: Option<&AtomicU64>,
     ) -> Result<CatalogueAccumulator, AnalysisError> {
-        self.run_campaign_kernel(schemes, seed, shard, |row| image.word(row))
+        self.run_campaign_kernel(schemes, seed, shard, |row| image.word(row), gen_timer)
     }
 
     /// Dispatches one shard of the paired campaign to the configured
@@ -444,6 +536,7 @@ impl<B: FaultBackend + Clone> MonteCarloEngine<B> {
         seed: u64,
         shard: ShardSpec,
         written: W,
+        gen_timer: Option<&AtomicU64>,
     ) -> Result<CatalogueAccumulator, AnalysisError>
     where
         S: MitigationScheme + Sync,
@@ -453,31 +546,37 @@ impl<B: FaultBackend + Clone> MonteCarloEngine<B> {
         match self.config.resolved_kernel()? {
             KernelKind::Auto => unreachable!("resolved_kernel always returns a fixed kernel"),
             KernelKind::Sparse => campaign
-                .run_shard(
+                .try_run_shard_timed(
                     schemes,
                     seed,
                     shard,
-                    |scheme, map| memory_mse_sparse_with(scheme, map, &written),
+                    |scheme, map| {
+                        Ok::<f64, Infallible>(memory_mse_sparse_with(scheme, map, &written))
+                    },
                     || CatalogueAccumulator::new(schemes.len()),
+                    gen_timer,
                 )
-                .map_err(sim_to_analysis_error),
+                .map_err(run_to_analysis_error),
             KernelKind::Scalar => {
                 // The flat-scan kernel walks a dense image, so materialise
                 // `written` once up front; the per-row words are the same
                 // ones the sparse closure would return.
                 let data: Vec<u64> = (0..self.config.memory().rows()).map(&written).collect();
                 campaign
-                    .run_shard(
+                    .try_run_shard_timed(
                         schemes,
                         seed,
                         shard,
-                        |scheme, map| memory_mse_for_data(scheme, map, &data),
+                        |scheme, map| {
+                            Ok::<f64, Infallible>(memory_mse_for_data(scheme, map, &data))
+                        },
                         || CatalogueAccumulator::new(schemes.len()),
+                        gen_timer,
                     )
-                    .map_err(sim_to_analysis_error)
+                    .map_err(run_to_analysis_error)
             }
             KernelKind::Bitsliced => campaign
-                .run_shard_blocks(
+                .run_shard_blocks_timed(
                     schemes,
                     seed,
                     shard,
@@ -486,10 +585,11 @@ impl<B: FaultBackend + Clone> MonteCarloEngine<B> {
                         block_mse_into(scheme, block, &written, out);
                     },
                     || CatalogueAccumulator::new(schemes.len()),
+                    gen_timer,
                 )
                 .map_err(sim_to_analysis_error),
             KernelKind::Bitsliced256 => campaign
-                .run_shard_blocks(
+                .run_shard_blocks_timed(
                     schemes,
                     seed,
                     shard,
@@ -498,6 +598,7 @@ impl<B: FaultBackend + Clone> MonteCarloEngine<B> {
                         block_mse_into(scheme, block, &written, out);
                     },
                     || CatalogueAccumulator::new(schemes.len()),
+                    gen_timer,
                 )
                 .map_err(sim_to_analysis_error),
         }
@@ -526,6 +627,37 @@ impl<B: FaultBackend + Clone> MonteCarloEngine<B> {
         shard: ShardSpec,
         data: Option<&[u64]>,
     ) -> Result<CatalogueAccumulator, AnalysisError> {
+        self.run_catalogue_shard_on_image_gen(schemes, seed, shard, data, None)
+    }
+
+    /// [`MonteCarloEngine::run_catalogue_shard_on_image`] plus a
+    /// [`ShardStats`] timing breakdown (see
+    /// [`MonteCarloEngine::run_catalogue_shard_stats`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`MonteCarloEngine::run_catalogue_shard_on_image`].
+    pub fn run_catalogue_shard_on_image_stats<S: MitigationScheme + Sync>(
+        &self,
+        schemes: &[S],
+        seed: u64,
+        shard: ShardSpec,
+        data: Option<&[u64]>,
+    ) -> Result<(CatalogueAccumulator, ShardStats), AnalysisError> {
+        let gen_nanos = AtomicU64::new(0);
+        let state =
+            self.run_catalogue_shard_on_image_gen(schemes, seed, shard, data, Some(&gen_nanos))?;
+        Ok((state, stats_from_nanos(&gen_nanos)))
+    }
+
+    fn run_catalogue_shard_on_image_gen<S: MitigationScheme + Sync>(
+        &self,
+        schemes: &[S],
+        seed: u64,
+        shard: ShardSpec,
+        data: Option<&[u64]>,
+        gen_timer: Option<&AtomicU64>,
+    ) -> Result<CatalogueAccumulator, AnalysisError> {
         if let Some(data) = data {
             let rows = self.config.memory().rows();
             if data.len() < rows {
@@ -541,8 +673,10 @@ impl<B: FaultBackend + Clone> MonteCarloEngine<B> {
             // `memory_mse_sparse` is `memory_mse_sparse_with` against the
             // `|_| 0` word source, so the zeros fast path and an explicit
             // zeros vector share one dispatcher without a bit of drift.
-            None => self.run_campaign_kernel(schemes, seed, shard, |_| 0),
-            Some(data) => self.run_campaign_kernel(schemes, seed, shard, |row| data[row]),
+            None => self.run_campaign_kernel(schemes, seed, shard, |_| 0, gen_timer),
+            Some(data) => {
+                self.run_campaign_kernel(schemes, seed, shard, |row| data[row], gen_timer)
+            }
         }
     }
 

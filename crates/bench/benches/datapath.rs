@@ -4,14 +4,25 @@
 //! Monte-Carlo inner loop (die generation vs. catalogue evaluation) timed
 //! separately. These quantify the software-simulation cost backing the §5.1
 //! overhead discussion and show where each campaign millisecond goes.
+//!
+//! Besides the Criterion groups, `bench_datapath_json` measures the
+//! generation-vs-evaluation split in campaign units (dies/s, single
+//! thread): per-backend block generation through the scalar per-die RNG
+//! path and the lane-interleaved wide path, plus fig5-catalogue evaluation
+//! over a fixed die. The rows are merged into `BENCH_pipeline.json` (path
+//! overridable via the `BENCH_PIPELINE_JSON` environment variable) as a
+//! `"datapath"` section, preserving the sections the pipeline bench wrote.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use faultmit_analysis::memory_mse_sparse;
+use faultmit_bench::json::{JsonValue, ToJson};
 use faultmit_core::{rotate_left, rotate_right, Scheme, SegmentGeometry, ShuffledMemory};
 use faultmit_ecc::{HammingSecded, PriorityEcc, SecdedCode};
 use faultmit_memsim::{
-    DieScratch, Fault, FaultMap, MarchBist, MemoryConfig, SramArray, SramVddBackend, StreamSeeder,
+    Backend, BackendKind, BlockScratch, DieScratch, Fault, FaultMap, Lane, MarchBist, MemoryConfig,
+    PlannedSample, SramArray, SramVddBackend, StreamSeeder, W256,
 };
+use std::time::Instant;
 
 fn bench_shifter(c: &mut Criterion) {
     let mut group = c.benchmark_group("shifter");
@@ -137,12 +148,207 @@ fn bench_die_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
+/// One generation row of the `BENCH_pipeline.json` `"datapath"` section:
+/// how many dies per second one thread can *generate* (fault sampling
+/// only, no evaluation) through the named path.
+struct GenerationRow {
+    config: &'static str,
+    backend: String,
+    path: &'static str,
+    faults_per_die: u64,
+    dies_per_second: f64,
+    speedup_vs_scalar: f64,
+}
+
+impl ToJson for GenerationRow {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("config", self.config.to_json()),
+            ("backend", self.backend.to_json()),
+            ("path", self.path.to_json()),
+            ("faults_per_die", self.faults_per_die.to_json()),
+            ("dies_per_second", self.dies_per_second.to_json()),
+            ("speedup_vs_scalar", self.speedup_vs_scalar.to_json()),
+        ])
+    }
+}
+
+/// Dies generated per second through a 256-die `BlockScratch` with the
+/// wide lane-interleaved path on or off, single-threaded: a warm-up pass
+/// grows the arena, then `reps × blocks` full blocks are timed.
+fn measure_generation(
+    memory: MemoryConfig,
+    backend: &Backend,
+    n_faults: u64,
+    wide_generation: bool,
+    blocks: u64,
+    reps: u32,
+) -> f64 {
+    let seeder = StreamSeeder::new(0xD1E5);
+    let mut scratch = BlockScratch::<W256>::new(memory);
+    scratch.set_wide_generation(wide_generation);
+    let lanes = W256::LANES as u64;
+    let plan_for = |block: u64| {
+        (0..lanes)
+            .map(|j| PlannedSample {
+                index: block * lanes + j,
+                n_faults,
+            })
+            .collect::<Vec<_>>()
+    };
+    let run = |scratch: &mut BlockScratch<W256>, first: u64| {
+        for block in first..first + blocks {
+            let plan = plan_for(block);
+            let die_block = scratch
+                .generate_block(backend, &seeder, &plan, None)
+                .unwrap();
+            black_box(die_block.die_count());
+        }
+    };
+    run(&mut scratch, 0); // warm-up: grow every lane buffer
+    let started = Instant::now();
+    for rep in 0..reps {
+        run(&mut scratch, (1 + u64::from(rep)) * blocks);
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    (u64::from(reps) * blocks * lanes) as f64 / seconds
+}
+
+/// Measures the generation-vs-evaluation split in dies/s on one thread and
+/// merges the rows into `BENCH_pipeline.json` under a `"datapath"` key,
+/// preserving whatever sections the pipeline bench already wrote there.
+fn bench_datapath_json(_c: &mut Criterion) {
+    let memory = MemoryConfig::paper_16kb();
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // The benched operating points mirror the kernel section's configs:
+    // the Fig. 5 `P_cell = 1e-4` density (12 faults per die — its mean
+    // failure count) on every backend, and the dense-ECC point (8192
+    // faults per die) where batched sampling amortises best. Fewer blocks
+    // at the dense point keep the run short; the per-rep die count stays
+    // in the thousands either way.
+    let cells = (memory.rows() * 32) as f64;
+    let points: [(&'static str, BackendKind, f64, u64, u64); 4] = [
+        ("fig5_p1e-4", BackendKind::Sram, 1e-4, 12, 24),
+        ("fig5_p1e-4", BackendKind::Dram, 1e-4, 12, 24),
+        ("fig5_p1e-4", BackendKind::Mlc, 1e-4, 12, 24),
+        (
+            "dense_ecc_p6.3e-2",
+            BackendKind::Sram,
+            8192.0 / cells,
+            8192,
+            4,
+        ),
+    ];
+
+    println!("\n== group: datapath_generation (BENCH_pipeline.json) ==");
+    const REPS: u32 = 3;
+    let mut rows = Vec::new();
+    for (config, kind, p_cell, n_faults, blocks) in points {
+        let backend = Backend::at_p_cell(kind, memory, p_cell).unwrap();
+        let scalar = measure_generation(memory, &backend, n_faults, false, blocks, REPS);
+        let wide = measure_generation(memory, &backend, n_faults, true, blocks, REPS);
+        for (path, dies_per_second) in [("scalar", scalar), ("wide", wide)] {
+            let row = GenerationRow {
+                config,
+                backend: kind.to_string(),
+                path,
+                faults_per_die: n_faults,
+                dies_per_second,
+                speedup_vs_scalar: dies_per_second / scalar,
+            };
+            println!(
+                "{:<18} {:<5} {:<7} n={:<5} {:>12.0} dies/s   ({:.2}x vs scalar)",
+                row.config,
+                row.backend,
+                row.path,
+                row.faults_per_die,
+                row.dies_per_second,
+                row.speedup_vs_scalar,
+            );
+            rows.push(row);
+        }
+    }
+
+    // Evaluation half of the split, in the same units: fig5-catalogue
+    // sparse MSE over a fixed 12-fault die (the generation rows' sparse
+    // operating point), so generation and evaluation cost are directly
+    // comparable per die.
+    let schemes = Scheme::fig5_catalogue();
+    let backend = SramVddBackend::with_p_cell(memory, 1e-4).unwrap();
+    let mut scratch = DieScratch::new(memory);
+    let mut rng = StreamSeeder::new(0xD1E5).rng_for_sample(0);
+    scratch.generate(&backend, &mut rng, 12).unwrap();
+    let map = scratch.map();
+    let evaluate = || {
+        schemes
+            .iter()
+            .map(|scheme| memory_mse_sparse(scheme, black_box(map)))
+            .sum::<f64>()
+    };
+    let eval_dies = 4096u64;
+    black_box(evaluate()); // warm-up
+    let started = Instant::now();
+    for _ in 0..eval_dies {
+        black_box(evaluate());
+    }
+    let eval_dies_per_second = eval_dies as f64 / started.elapsed().as_secs_f64();
+    println!(
+        "{:<18} {:<5} {:<7} n={:<5} {:>12.0} dies/s   (fig5 catalogue, sparse kernel)",
+        "fig5_p1e-4", "sram", "eval", 12, eval_dies_per_second,
+    );
+
+    let section = JsonValue::object([
+        ("host_cpus", host_cpus.to_json()),
+        ("threads", 1u64.to_json()),
+        ("generation", JsonValue::object([("rows", rows.to_json())])),
+        (
+            "evaluation",
+            JsonValue::object([(
+                "rows",
+                JsonValue::Array(vec![JsonValue::object([
+                    ("config", "fig5_p1e-4".to_json()),
+                    ("backend", "sram".to_json()),
+                    ("kernel", "sparse".to_json()),
+                    ("faults_per_die", 12u64.to_json()),
+                    ("dies_per_second", eval_dies_per_second.to_json()),
+                ])]),
+            )]),
+        ),
+    ]);
+
+    // Read-merge-write: replace (or append) only the `"datapath"` key so
+    // the worker-scaling and kernel sections survive whichever bench ran
+    // last. A missing or unparseable file degrades to a fresh document.
+    let path =
+        std::env::var("BENCH_PIPELINE_JSON").unwrap_or_else(|_| "BENCH_pipeline.json".into());
+    let mut fields = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| JsonValue::parse(&text).ok())
+        .and_then(|doc| match doc {
+            JsonValue::Object(fields) => Some(fields),
+            _ => None,
+        })
+        .unwrap_or_else(|| vec![("bench".to_owned(), "pipeline_throughput".to_json())]);
+    match fields.iter_mut().find(|(key, _)| key == "datapath") {
+        Some((_, value)) => *value = section,
+        None => fields.push(("datapath".to_owned(), section)),
+    }
+    match std::fs::write(&path, JsonValue::Object(fields).to_pretty_string()) {
+        Ok(()) => println!("merged datapath series into {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 criterion_group!(
     benches,
     bench_shifter,
     bench_ecc_codecs,
     bench_shuffled_memory,
     bench_bist,
-    bench_die_pipeline
+    bench_die_pipeline,
+    bench_datapath_json
 );
 criterion_main!(benches);

@@ -776,7 +776,7 @@ fn bench_throughput_json(_c: &mut Criterion) {
     // interpretable when sections from different hosts are compared side by
     // side (and so the worker sweep records why rows above the CPU count
     // are absent unless the sweep was forced).
-    let document = JsonValue::object([
+    let mut document = JsonValue::object([
         ("bench", "pipeline_throughput".to_json()),
         ("host_cpus", host_cpus.to_json()),
         ("samples_per_campaign", samples_per_run.to_json()),
@@ -798,6 +798,16 @@ fn bench_throughput_json(_c: &mut Criterion) {
     ]);
     let path =
         std::env::var("BENCH_PIPELINE_JSON").unwrap_or_else(|_| "BENCH_pipeline.json".into());
+    // The datapath bench owns the `"datapath"` section of the same file;
+    // carry it over so whichever bench ran last doesn't discard the other's
+    // series.
+    let datapath = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| JsonValue::parse(&text).ok())
+        .and_then(|existing| existing.get("datapath").cloned());
+    if let (Some(section), JsonValue::Object(fields)) = (datapath, &mut document) {
+        fields.push(("datapath".to_owned(), section));
+    }
     match std::fs::write(&path, document.to_pretty_string()) {
         Ok(()) => println!("wrote throughput series to {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),

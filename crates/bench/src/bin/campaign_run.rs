@@ -22,7 +22,9 @@
 //! campaign_run --figure list        # print the figure catalogue
 //! ```
 
-use faultmit_bench::figures::{check_identity_flags, find_figure, registry, FigureDef};
+use faultmit_bench::figures::{
+    check_identity_flags, check_tuning_flags, find_figure, registry, FigureDef,
+};
 use faultmit_bench::shard::{load_shard_files, ShardState};
 use faultmit_bench::RunOptions;
 use faultmit_sim::ShardSpec;
@@ -88,6 +90,14 @@ fn passthrough_args(
         args.push("--kernel".to_owned());
         args.push(kernel.to_string());
     }
+    if let Some(wide) = options.wide_generation {
+        args.push("--wide-generation".to_owned());
+        args.push(if wide { "on" } else { "off" }.to_owned());
+    }
+    if let Some(threshold) = options.auto_threshold {
+        args.push("--auto-threshold".to_owned());
+        args.push(threshold.to_string());
+    }
     let threads = options.threads.unwrap_or_else(|| {
         let cpus = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -118,6 +128,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     \n       [--backend sram|dram|mlc] [--samples N] [--threads N] [--full]\
                     \n       [--image <spec>] [--kind-law flip|stuck-at|stuck-at:P]\
                     \n       [--kernel scalar|sparse|bitsliced|bitsliced256|auto]\
+                    \n       [--wide-generation on|off] [--auto-threshold <faults-per-row>]\
                     \nrun 'campaign_run --figure list' for the figure catalogue"
                 .into(),
         );
@@ -143,6 +154,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if !options.spec_flag_errors.is_empty() {
         return Err(options.spec_flag_errors.join("; ").into());
     }
+    // Same policy for the tuning flags: a typo'd --auto-threshold must not
+    // silently run (and checkpoint) a different tuning.
+    if !options.tuning_flag_errors.is_empty() {
+        return Err(options.tuning_flag_errors.join("; ").into());
+    }
+    check_tuning_flags(&options)?;
 
     let shard_count = options.shards.unwrap_or(1).max(1);
     let jobs = options
@@ -271,6 +288,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .as_deref()
             .map(|kernel| format!(", {kernel} kernel"))
             .unwrap_or_default();
+        // Generation share from the checkpoint telemetry (absent in files
+        // from before it existed). Generation seconds are CPU time summed
+        // across the shard's workers, so the share of the wall clock can
+        // exceed 100% at worker counts above one.
+        let generation = match (state.generation_seconds, state.elapsed_seconds) {
+            (Some(gen_seconds), Some(seconds)) if seconds > 0.0 => format!(
+                ", gen {gen_seconds:.2}s CPU ({:.0}% of wall)",
+                100.0 * gen_seconds / seconds
+            ),
+            (Some(gen_seconds), _) => format!(", gen {gen_seconds:.2}s CPU"),
+            (None, _) => String::new(),
+        };
         // A shard's sample count spans every Monte-Carlo panel it evaluated
         // (deterministic table panels carry no sample stream).
         let samples: usize = state
@@ -286,20 +315,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 match words_per_sample {
                     Some(words) => println!(
                         "  shard {shard}: {seconds:.2}s ({samples_per_second:.1} samples/s, \
-                         {:.3e} words/s{kernel})",
+                         {:.3e} words/s{generation}{kernel})",
                         samples_per_second * words as f64
                     ),
                     None => println!(
                         "  shard {shard}: {seconds:.2}s \
-                         ({samples_per_second:.1} samples/s{kernel})"
+                         ({samples_per_second:.1} samples/s{generation}{kernel})"
                     ),
                 }
             }
             Some(seconds) => {
                 recorded.push(seconds);
-                println!("  shard {shard}: {seconds:.2}s{kernel}");
+                println!("  shard {shard}: {seconds:.2}s{generation}{kernel}");
             }
-            None => println!("  shard {shard}: no timing recorded{kernel}"),
+            None => println!("  shard {shard}: no timing recorded{generation}{kernel}"),
         }
     }
     if !recorded.is_empty() {

@@ -22,7 +22,7 @@
 //! campaign_shard fig7 elasticnet --shard 1/3 --samples 4 --out shards/fig7-el-1of3.json
 //! ```
 
-use faultmit_bench::figures::{check_identity_flags, find_figure};
+use faultmit_bench::figures::{check_identity_flags, check_tuning_flags, find_figure};
 use faultmit_bench::shard::{ShardPanelState, ShardState};
 use faultmit_bench::RunOptions;
 
@@ -52,6 +52,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if !options.spec_flag_errors.is_empty() {
         return Err(options.spec_flag_errors.join("; ").into());
     }
+    // And for the tuning flags: a typo'd --auto-threshold must not silently
+    // record default-threshold telemetry under this shard file's name.
+    if !options.tuning_flag_errors.is_empty() {
+        return Err(options.tuning_flag_errors.join("; ").into());
+    }
+    check_tuning_flags(&options)?;
     let shard = options.shard_or_solo();
     let out_path = options
         .json_path
@@ -93,8 +99,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         labels.len()
     );
     let started = std::time::Instant::now();
-    let panels = figure.run_shard(&spec, options.parallelism(), shard)?;
+    let run = figure.run_shard_tuned(&spec, options.tuning(), options.parallelism(), shard)?;
     let elapsed_seconds = started.elapsed().as_secs_f64();
+    let panels = run.panels;
     if panels.len() != labels.len() {
         return Err(format!(
             "{} produced {} panel states for {} panels",
@@ -105,7 +112,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .into());
     }
 
-    let kernel = figure.resolved_kernel(&spec);
+    let kernel = figure.resolved_kernel_tuned(&spec, options.tuning());
     let state = ShardState {
         spec,
         shard,
@@ -118,11 +125,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // (and for sizing future splits to the slowest host), plus which
         // evaluation kernel produced the state so throughput numbers stay
         // comparable across checkpoints — `--kernel auto` records the
-        // density-resolved choice (`auto:<kernel>`). Figures without a
-        // kernel axis (deterministic tables, app-quality campaigns) record
-        // none.
+        // density-resolved choice (`auto:<kernel>`), next to the
+        // --auto-threshold override that resolution used (the merge
+        // validates it across the set). Figures without a kernel axis
+        // (deterministic tables, app-quality campaigns) record none, and
+        // only engines that time generation record generation seconds.
         elapsed_seconds: Some(elapsed_seconds),
         kernel,
+        generation_seconds: run.generation_seconds,
+        auto_threshold: options.auto_threshold,
     };
     if let Some(parent) = out_path.parent() {
         if !parent.as_os_str().is_empty() {

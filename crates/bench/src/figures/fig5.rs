@@ -2,7 +2,8 @@
 //! under the full protection catalogue.
 
 use super::{
-    single_panel, take_catalogue, FigureDef, FigureError, FigureSpec, PanelState, RenderedFigure,
+    single_panel, take_catalogue, EngineTuning, FigureDef, FigureError, FigureSpec, PanelState,
+    RenderedFigure, ShardRun,
 };
 use crate::cli::RunOptions;
 use crate::json::{JsonValue, ToJson};
@@ -39,6 +40,20 @@ impl Fig5Campaign {
     ///
     /// Propagates backend-calibration errors.
     pub fn from_spec(spec: &FigureSpec, parallelism: Parallelism) -> Result<Self, FigureError> {
+        Self::from_spec_tuned(spec, EngineTuning::default(), parallelism)
+    }
+
+    /// [`Fig5Campaign::from_spec`] with identity-free engine tuning applied
+    /// (results stay bit-identical under any tuning).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend-calibration errors.
+    pub fn from_spec_tuned(
+        spec: &FigureSpec,
+        tuning: EngineTuning,
+        parallelism: Parallelism,
+    ) -> Result<Self, FigureError> {
         assert_eq!(spec.figure, "fig5", "not a Fig. 5 spec");
         // The paper evaluates a 16 KB memory at P_cell = 5e-6 over failure
         // counts 1..150 with 1e7 MC runs; the reduced default keeps the same
@@ -49,7 +64,9 @@ impl Fig5Campaign {
             .with_samples_per_count(spec.samples_per_count)
             .with_max_failures(max_failures)
             .with_parallelism(parallelism)
-            .with_kernel(spec.kernel_kind());
+            .with_kernel(spec.kernel_kind())
+            .with_auto_threshold(tuning.auto_threshold)
+            .with_wide_generation(tuning.wide_generation.unwrap_or(true));
         Ok(Self {
             engine: MonteCarloEngine::new(config),
             schemes: Scheme::fig5_catalogue(),
@@ -67,6 +84,21 @@ impl Fig5Campaign {
         Ok(self
             .engine
             .run_catalogue_shard(&self.schemes, self.seed, shard)?)
+    }
+
+    /// Runs one shard, returning the accumulator state plus the run's
+    /// generation-time telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates campaign errors.
+    pub fn run_shard_stats(
+        &self,
+        shard: ShardSpec,
+    ) -> Result<(CatalogueAccumulator, faultmit_sim::ShardStats), FigureError> {
+        Ok(self
+            .engine
+            .run_catalogue_shard_stats(&self.schemes, self.seed, shard)?)
     }
 
     /// Reduces (possibly shard-merged) state to per-scheme results.
@@ -167,7 +199,11 @@ impl FigureDef for Fig5Def {
     }
 
     fn resolved_kernel(&self, spec: &FigureSpec) -> Option<String> {
-        let campaign = Fig5Campaign::from_spec(spec, Parallelism::Serial).ok()?;
+        self.resolved_kernel_tuned(spec, EngineTuning::default())
+    }
+
+    fn resolved_kernel_tuned(&self, spec: &FigureSpec, tuning: EngineTuning) -> Option<String> {
+        let campaign = Fig5Campaign::from_spec_tuned(spec, tuning, Parallelism::Serial).ok()?;
         super::kernel_telemetry(spec.kernel, campaign.engine.config().resolved_kernel().ok())
     }
 
@@ -177,15 +213,31 @@ impl FigureDef for Fig5Def {
         parallelism: Parallelism,
         shard: ShardSpec,
     ) -> Result<Vec<PanelState>, FigureError> {
-        let campaign = Fig5Campaign::from_spec(spec, parallelism)?;
-        Ok(vec![PanelState::Catalogue {
-            scheme_names: campaign
-                .schemes
-                .iter()
-                .map(MitigationScheme::name)
-                .collect(),
-            accumulator: campaign.run_shard(shard)?,
-        }])
+        Ok(self
+            .run_shard_tuned(spec, EngineTuning::default(), parallelism, shard)?
+            .panels)
+    }
+
+    fn run_shard_tuned(
+        &self,
+        spec: &FigureSpec,
+        tuning: EngineTuning,
+        parallelism: Parallelism,
+        shard: ShardSpec,
+    ) -> Result<ShardRun, FigureError> {
+        let campaign = Fig5Campaign::from_spec_tuned(spec, tuning, parallelism)?;
+        let (accumulator, stats) = campaign.run_shard_stats(shard)?;
+        Ok(ShardRun {
+            panels: vec![PanelState::Catalogue {
+                scheme_names: campaign
+                    .schemes
+                    .iter()
+                    .map(MitigationScheme::name)
+                    .collect(),
+                accumulator,
+            }],
+            generation_seconds: Some(stats.generation_seconds),
+        })
     }
 
     fn render(

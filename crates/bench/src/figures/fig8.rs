@@ -1,7 +1,10 @@
 //! Fig. 8 (extension) — memory-MSE statistics for every protection scheme
 //! across memory technologies and operating points.
 
-use super::{take_catalogue, FigureDef, FigureError, FigureSpec, PanelState, RenderedFigure};
+use super::{
+    take_catalogue, EngineTuning, FigureDef, FigureError, FigureSpec, PanelState, RenderedFigure,
+    ShardRun,
+};
 use crate::cli::RunOptions;
 use crate::json::{JsonValue, ToJson};
 use faultmit_analysis::report::{format_percent, format_sci, Table};
@@ -92,9 +95,10 @@ fn failure_cap(spec: &FigureSpec) -> u64 {
 }
 
 /// One cell of the backend × operating-point matrix, materialised into a
-/// catalogue engine.
+/// catalogue engine with the (identity-free) tuning applied.
 fn panel_engines(
     spec: &FigureSpec,
+    tuning: EngineTuning,
     parallelism: Parallelism,
 ) -> Result<Vec<(BackendKind, MonteCarloEngine<Backend>)>, FigureError> {
     let memory = MemoryConfig::paper_16kb();
@@ -114,7 +118,9 @@ fn panel_engines(
                     .with_samples_per_count(spec.samples_per_count)
                     .with_max_failures(max_failures)
                     .with_parallelism(parallelism)
-                    .with_kernel(spec.kernel_kind()),
+                    .with_kernel(spec.kernel_kind())
+                    .with_auto_threshold(tuning.auto_threshold)
+                    .with_wide_generation(tuning.wide_generation.unwrap_or(true)),
             );
             engines.push((kind, engine));
         }
@@ -167,9 +173,13 @@ impl FigureDef for Fig8Def {
     }
 
     fn resolved_kernel(&self, spec: &FigureSpec) -> Option<String> {
+        self.resolved_kernel_tuned(spec, EngineTuning::default())
+    }
+
+    fn resolved_kernel_tuned(&self, spec: &FigureSpec, tuning: EngineTuning) -> Option<String> {
         // Each operating point of the matrix resolves `auto` at its own
         // density; the telemetry joins the distinct choices.
-        let engines = panel_engines(spec, Parallelism::Serial).ok()?;
+        let engines = panel_engines(spec, tuning, Parallelism::Serial).ok()?;
         super::kernel_telemetry(
             spec.kernel,
             engines
@@ -184,17 +194,37 @@ impl FigureDef for Fig8Def {
         parallelism: Parallelism,
         shard: ShardSpec,
     ) -> Result<Vec<PanelState>, FigureError> {
+        Ok(self
+            .run_shard_tuned(spec, EngineTuning::default(), parallelism, shard)?
+            .panels)
+    }
+
+    fn run_shard_tuned(
+        &self,
+        spec: &FigureSpec,
+        tuning: EngineTuning,
+        parallelism: Parallelism,
+        shard: ShardSpec,
+    ) -> Result<ShardRun, FigureError> {
         let schemes = spec_schemes();
         let scheme_names: Vec<String> = schemes.iter().map(MitigationScheme::name).collect();
-        panel_engines(spec, parallelism)?
+        let mut generation_seconds = 0.0;
+        let panels = panel_engines(spec, tuning, parallelism)?
             .into_iter()
             .map(|(_, engine)| {
+                let (accumulator, stats) =
+                    engine.run_catalogue_shard_stats(&schemes, FIG8_SEED, shard)?;
+                generation_seconds += stats.generation_seconds;
                 Ok(PanelState::Catalogue {
                     scheme_names: scheme_names.clone(),
-                    accumulator: engine.run_catalogue_shard(&schemes, FIG8_SEED, shard)?,
+                    accumulator,
                 })
             })
-            .collect()
+            .collect::<Result<Vec<_>, FigureError>>()?;
+        Ok(ShardRun {
+            panels,
+            generation_seconds: Some(generation_seconds),
+        })
     }
 
     fn render(
@@ -204,7 +234,7 @@ impl FigureDef for Fig8Def {
         panels: Vec<PanelState>,
     ) -> Result<RenderedFigure, FigureError> {
         let schemes = spec_schemes();
-        let engines = panel_engines(spec, parallelism)?;
+        let engines = panel_engines(spec, EngineTuning::default(), parallelism)?;
         if panels.len() != engines.len() {
             return Err(format!(
                 "fig8 expects {} operating-point panels, got {}",

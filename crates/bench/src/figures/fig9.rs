@@ -12,7 +12,10 @@
 //! data-aware path); under `stuck-at:P` the gap between the zeros and ones
 //! rows measures the data dependence directly.
 
-use super::{take_catalogue, FigureDef, FigureError, FigureSpec, PanelState, RenderedFigure};
+use super::{
+    take_catalogue, EngineTuning, FigureDef, FigureError, FigureSpec, PanelState, RenderedFigure,
+    ShardRun,
+};
 use crate::cli::RunOptions;
 use crate::json::{JsonValue, ToJson};
 use faultmit_analysis::report::{format_percent, format_sci, Table};
@@ -145,6 +148,20 @@ impl Fig9Campaign {
         spec: &FigureSpec,
         parallelism: Parallelism,
     ) -> Result<Vec<Fig9Campaign>, FigureError> {
+        Self::matrix_tuned(spec, EngineTuning::default(), parallelism)
+    }
+
+    /// [`Fig9Campaign::matrix`] with identity-free engine tuning applied to
+    /// every cell (results stay bit-identical under any tuning).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend-calibration and image-materialisation errors.
+    pub fn matrix_tuned(
+        spec: &FigureSpec,
+        tuning: EngineTuning,
+        parallelism: Parallelism,
+    ) -> Result<Vec<Fig9Campaign>, FigureError> {
         let memory = MemoryConfig::paper_16kb();
         let cap = failure_cap(spec);
         let mut cells = Vec::new();
@@ -160,7 +177,9 @@ impl Fig9Campaign {
                             .with_max_failures(max_failures)
                             .with_parallelism(parallelism)
                             .with_image(image)
-                            .with_kernel(spec.kernel_kind()),
+                            .with_kernel(spec.kernel_kind())
+                            .with_auto_threshold(tuning.auto_threshold)
+                            .with_wide_generation(tuning.wide_generation.unwrap_or(true)),
                     );
                     cells.push(Fig9Campaign {
                         kind,
@@ -195,6 +214,25 @@ impl Fig9Campaign {
         Ok(self
             .engine
             .run_catalogue_shard_on_image(&spec_schemes(), FIG9_SEED, shard, data)?)
+    }
+
+    /// [`Fig9Campaign::run_shard`] returning the run's generation-time
+    /// telemetry alongside the accumulator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates campaign errors.
+    pub fn run_shard_stats(
+        &self,
+        shard: ShardSpec,
+        data: Option<&[u64]>,
+    ) -> Result<(CatalogueAccumulator, faultmit_sim::ShardStats), FigureError> {
+        Ok(self.engine.run_catalogue_shard_on_image_stats(
+            &spec_schemes(),
+            FIG9_SEED,
+            shard,
+            data,
+        )?)
     }
 
     /// Reduces (possibly shard-merged) state to per-scheme results.
@@ -291,9 +329,13 @@ impl FigureDef for Fig9Def {
     }
 
     fn resolved_kernel(&self, spec: &FigureSpec) -> Option<String> {
+        self.resolved_kernel_tuned(spec, EngineTuning::default())
+    }
+
+    fn resolved_kernel_tuned(&self, spec: &FigureSpec, tuning: EngineTuning) -> Option<String> {
         // Every cell of the matrix resolves `auto` at its own density; the
         // telemetry joins the distinct choices.
-        let cells = Fig9Campaign::matrix(spec, Parallelism::Serial).ok()?;
+        let cells = Fig9Campaign::matrix_tuned(spec, tuning, Parallelism::Serial).ok()?;
         super::kernel_telemetry(
             spec.kernel,
             cells
@@ -308,6 +350,18 @@ impl FigureDef for Fig9Def {
         parallelism: Parallelism,
         shard: ShardSpec,
     ) -> Result<Vec<PanelState>, FigureError> {
+        Ok(self
+            .run_shard_tuned(spec, EngineTuning::default(), parallelism, shard)?
+            .panels)
+    }
+
+    fn run_shard_tuned(
+        &self,
+        spec: &FigureSpec,
+        tuning: EngineTuning,
+        parallelism: Parallelism,
+        shard: ShardSpec,
+    ) -> Result<ShardRun, FigureError> {
         let scheme_names: Vec<String> = spec_schemes().iter().map(MitigationScheme::name).collect();
         // One materialisation per distinct image, shared across the
         // backend and law axes of the matrix.
@@ -315,19 +369,26 @@ impl FigureDef for Fig9Def {
             .into_iter()
             .map(|image| Ok((image, fig9_image_words(image)?)))
             .collect::<Result<_, FigureError>>()?;
-        Fig9Campaign::matrix(spec, parallelism)?
+        let mut generation_seconds = 0.0;
+        let panels = Fig9Campaign::matrix_tuned(spec, tuning, parallelism)?
             .into_iter()
             .map(|cell| {
                 let data = words_by_image
                     .iter()
                     .find(|(image, _)| *image == cell.image)
                     .and_then(|(_, words)| words.as_deref());
+                let (accumulator, stats) = cell.run_shard_stats(shard, data)?;
+                generation_seconds += stats.generation_seconds;
                 Ok(PanelState::Catalogue {
                     scheme_names: scheme_names.clone(),
-                    accumulator: cell.run_shard(shard, data)?,
+                    accumulator,
                 })
             })
-            .collect()
+            .collect::<Result<Vec<_>, FigureError>>()?;
+        Ok(ShardRun {
+            panels,
+            generation_seconds: Some(generation_seconds),
+        })
     }
 
     fn render(

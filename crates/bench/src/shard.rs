@@ -102,6 +102,21 @@ pub struct ShardState {
     /// whose shards report different kernels, since mixed checkpoints mean
     /// the campaign was re-sharded with inconsistent flags.
     pub kernel: Option<String>,
+    /// CPU seconds the producing process spent *generating* fault maps
+    /// (summed across worker threads, so it can exceed
+    /// [`ShardState::elapsed_seconds`] at worker counts above one).
+    /// Telemetry only, like the wall clock: absent from checkpoints written
+    /// before it existed, and figures whose engines do not time generation
+    /// record none.
+    pub generation_seconds: Option<f64>,
+    /// The `--auto-threshold` density override (expected faults per row)
+    /// the producing run resolved its `auto` kernel with; `None` = the
+    /// engine default (also absent from older checkpoints). Recorded next
+    /// to the resolved `auto:<kernel>` tag because the override can flip
+    /// the resolution, so like [`ShardState::kernel`] it must agree across
+    /// a shard set: [`ShardState::merge`] refuses sets whose shards record
+    /// different thresholds.
+    pub auto_threshold: Option<f64>,
 }
 
 impl ShardState {
@@ -132,6 +147,20 @@ impl ShardState {
                 match &self.kernel {
                     None => JsonValue::Null,
                     Some(kernel) => kernel.to_json(),
+                },
+            ),
+            (
+                "generation_seconds",
+                match self.generation_seconds {
+                    None => JsonValue::Null,
+                    Some(seconds) => JsonValue::Number(seconds),
+                },
+            ),
+            (
+                "auto_threshold",
+                match self.auto_threshold {
+                    None => JsonValue::Null,
+                    Some(threshold) => JsonValue::Number(threshold),
                 },
             ),
             (
@@ -200,6 +229,10 @@ impl ShardState {
             .get("kernel")
             .and_then(JsonValue::as_str)
             .map(str::to_owned);
+        let generation_seconds = document
+            .get("generation_seconds")
+            .and_then(JsonValue::as_f64);
+        let auto_threshold = document.get("auto_threshold").and_then(JsonValue::as_f64);
         let panels = document
             .get("panels")
             .and_then(JsonValue::as_array)
@@ -228,6 +261,8 @@ impl ShardState {
             panels,
             elapsed_seconds,
             kernel,
+            generation_seconds,
+            auto_threshold,
         })
     }
 
@@ -279,6 +314,17 @@ impl ShardState {
             .collect();
         kernels.sort();
         kernels.dedup();
+        // The auto-threshold override can flip which kernel `auto` resolves
+        // to, so the same consistency argument applies: shards recording
+        // different thresholds were produced with inconsistent flags.
+        // Compared by bit pattern — the threshold is recorded verbatim, so
+        // exact equality is the right notion.
+        let mut thresholds: Vec<u64> = shards
+            .iter()
+            .filter_map(|shard| shard.auto_threshold.map(f64::to_bits))
+            .collect();
+        thresholds.sort_unstable();
+        thresholds.dedup();
         let labels: Vec<(String, &'static str)> = first
             .panels
             .iter()
@@ -329,6 +375,7 @@ impl ShardState {
             && missing.is_empty()
             && duplicated.is_empty()
             && kernels.len() <= 1
+            && thresholds.len() <= 1
             && shards.len() == shard_count)
         {
             let mut problems = Vec::new();
@@ -365,6 +412,16 @@ impl ShardState {
                         .join(" vs ")
                 ));
             }
+            if thresholds.len() > 1 {
+                problems.push(format!(
+                    "shards disagree on the auto-kernel threshold ({})",
+                    thresholds
+                        .iter()
+                        .map(|&bits| format!("{}", f64::from_bits(bits)))
+                        .collect::<Vec<_>>()
+                        .join(" vs ")
+                ));
+            }
             if problems.is_empty() {
                 problems.push(format!(
                     "{} file(s) provided for a {shard_count}-shard campaign",
@@ -387,10 +444,13 @@ impl ShardState {
         }
         merged.shard = ShardSpec::solo();
         // Per-shard telemetry does not describe the merged whole. The
-        // kernel was verified consistent above, but it described how the
-        // shards were *produced*; the merged state is kernel-independent.
+        // kernel and threshold were verified consistent above, but they
+        // described how the shards were *produced*; the merged state is
+        // kernel-independent.
         merged.elapsed_seconds = None;
         merged.kernel = None;
+        merged.generation_seconds = None;
+        merged.auto_threshold = None;
         Ok(merged)
     }
 
@@ -886,6 +946,8 @@ mod tests {
             }],
             elapsed_seconds: Some(0.25 + index as f64),
             kernel: Some("sparse".to_owned()),
+            generation_seconds: Some(0.125 + index as f64 * 0.5),
+            auto_threshold: None,
         }
     }
 
@@ -918,6 +980,8 @@ mod tests {
             shard: ShardSpec::solo(),
             elapsed_seconds: None,
             kernel: None,
+            generation_seconds: None,
+            auto_threshold: None,
             panels: vec![
                 ShardPanelState {
                     label: "cat".to_owned(),
@@ -940,20 +1004,31 @@ mod tests {
     #[test]
     fn elapsed_telemetry_round_trips_and_is_optional() {
         // Telemetry survives the round trip…
-        let state = shard_with(1, 3, &[7.5]);
+        let mut state = shard_with(1, 3, &[7.5]);
+        state.auto_threshold = Some(0.0625);
         assert_eq!(state.elapsed_seconds, Some(1.25));
         assert_eq!(state.kernel.as_deref(), Some("sparse"));
+        assert_eq!(state.generation_seconds, Some(0.625));
         let round = ShardState::parse(&state.to_json().to_pretty_string()).unwrap();
         assert_eq!(round.elapsed_seconds, Some(1.25));
         assert_eq!(round.kernel.as_deref(), Some("sparse"));
+        assert_eq!(round.generation_seconds, Some(0.625));
+        assert_eq!(round.auto_threshold, Some(0.0625));
         // …and files from before it existed (no fields) parse as None.
         let mut document = state.to_json();
         if let JsonValue::Object(fields) = &mut document {
-            fields.retain(|(key, _)| key != "elapsed_seconds" && key != "kernel");
+            fields.retain(|(key, _)| {
+                key != "elapsed_seconds"
+                    && key != "kernel"
+                    && key != "generation_seconds"
+                    && key != "auto_threshold"
+            });
         }
         let legacy = ShardState::from_json(&document).unwrap();
         assert_eq!(legacy.elapsed_seconds, None);
         assert_eq!(legacy.kernel, None);
+        assert_eq!(legacy.generation_seconds, None);
+        assert_eq!(legacy.auto_threshold, None);
         assert!(legacy.matches(&spec(), ShardSpec::new(1, 3).unwrap()));
     }
 
@@ -973,6 +1048,10 @@ mod tests {
         assert_eq!(
             merged.kernel, None,
             "per-shard kernel telemetry must not survive the merge"
+        );
+        assert_eq!(
+            merged.generation_seconds, None,
+            "per-shard generation telemetry must not survive the merge"
         );
         let PanelState::Catalogue { accumulator, .. } = &merged.panels[0].state else {
             panic!("expected catalogue state");
@@ -1013,6 +1092,37 @@ mod tests {
         a.kernel = Some("auto:sparse".to_owned());
         b.kernel = Some("auto:sparse".to_owned());
         assert!(ShardState::merge(vec![a, b]).is_ok());
+    }
+
+    #[test]
+    fn merge_verifies_auto_threshold_consistency_across_the_shard_set() {
+        // Different recorded thresholds mean the campaign was re-sharded
+        // with inconsistent --auto-threshold flags — refuse, naming both.
+        let mut a = shard_with(0, 2, &[1.0]);
+        let mut b = shard_with(1, 2, &[2.0]);
+        a.auto_threshold = Some(0.0625);
+        b.auto_threshold = Some(0.25);
+        let error = ShardState::merge(vec![a, b]).unwrap_err();
+        assert!(
+            error
+                .reason
+                .contains("disagree on the auto-kernel threshold (0.0625 vs 0.25)"),
+            "{error}"
+        );
+
+        // Legacy checkpoints without the field merge with anything, and an
+        // agreeing override merges — clearing the telemetry on the way out.
+        let mut a = shard_with(0, 2, &[1.0]);
+        let mut b = shard_with(1, 2, &[2.0]);
+        a.auto_threshold = Some(0.0625);
+        b.auto_threshold = Some(0.0625);
+        let merged = ShardState::merge(vec![a, b]).unwrap();
+        assert_eq!(merged.auto_threshold, None);
+        let mut legacy = shard_with(0, 2, &[1.0]);
+        legacy.auto_threshold = None;
+        let mut tuned = shard_with(1, 2, &[2.0]);
+        tuned.auto_threshold = Some(0.5);
+        assert!(ShardState::merge(vec![legacy, tuned]).is_ok());
     }
 
     #[test]

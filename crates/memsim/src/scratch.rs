@@ -22,6 +22,7 @@ use crate::dieblock::{
 use crate::error::MemError;
 use crate::fault::FaultMap;
 use crate::seeder::{PlannedSample, StreamSeeder};
+use crate::widegen::WideGenScratch;
 use rand::rngs::StdRng;
 use std::collections::HashSet;
 
@@ -185,6 +186,10 @@ pub struct BlockScratch<L: Lane = u64> {
     cells: Vec<LaneCell<L>>,
     /// Row directory backing the current [`DieBlock`] view.
     rows: Vec<BlockRowEntry<L>>,
+    /// Per-lane buffers of the lane-interleaved generator.
+    wide: WideGenScratch,
+    /// Whether wide-capable backends take the lane-interleaved path.
+    wide_generation: bool,
     realloc_events: u64,
 }
 
@@ -199,8 +204,19 @@ impl<L: Lane> BlockScratch<L> {
             sorted: Vec::new(),
             cells: Vec::new(),
             rows: Vec::new(),
+            wide: WideGenScratch::default(),
+            wide_generation: true,
             realloc_events: 0,
         }
+    }
+
+    /// Enables or disables the lane-interleaved generation path (on by
+    /// default). With it off — or for backends that do not opt in via
+    /// [`FaultBackend::wide_generation`] — every block is generated through
+    /// the scalar per-die path. Both paths produce bit-identical blocks;
+    /// the switch exists for benchmarking and for the equivalence gates.
+    pub fn set_wide_generation(&mut self, enabled: bool) {
+        self.wide_generation = enabled;
     }
 
     /// The wrapped per-sample arena.
@@ -223,7 +239,7 @@ impl<L: Lane> BlockScratch<L> {
         self.realloc_events + self.scalar.realloc_events()
     }
 
-    fn capacity_signature(&self) -> [usize; 9] {
+    fn capacity_signature(&self) -> [usize; 10] {
         let scalar = self.scalar.capacity_signature();
         // The counting sort swaps the `events` and `sorted` buffers, so
         // record that pair order-independently: a swap of warm buffers is
@@ -240,6 +256,7 @@ impl<L: Lane> BlockScratch<L> {
             self.counts.capacity(),
             self.cells.capacity(),
             self.rows.capacity(),
+            self.wide.capacity_sum(),
         ]
     }
 
@@ -271,37 +288,28 @@ impl<L: Lane> BlockScratch<L> {
                 ),
             });
         }
+        // The lane-interleaved path handles the plain per-sample protocol
+        // only; the single-fault-per-row redraw loop is data-dependent, so
+        // `max_redraws` plans always take the scalar path.
+        let wide_spec = if self.wide_generation && max_redraws.is_none() {
+            backend.wide_generation()
+        } else {
+            None
+        };
         let before = self.capacity_signature();
         let mut events = std::mem::take(&mut self.events);
         events.clear();
-        let mut result = Ok(());
-        for (die, planned) in plan.iter().enumerate() {
-            let mut rng = seeder.rng_for_sample(planned.index);
-            let n_faults = planned.n_faults as usize;
-            // Replicate the per-sample RNG consumption exactly: plain draw,
-            // or the single-fault-per-row redraw loop.
-            result = backend.sample_into(&mut rng, n_faults, &mut self.scalar);
-            if result.is_err() {
-                break;
-            }
-            if let Some(max_redraws) = max_redraws {
-                for _ in 0..max_redraws {
-                    if self.scalar.map.max_faults_per_row() <= 1 {
-                        break;
-                    }
-                    result = backend.sample_into(&mut rng, n_faults, &mut self.scalar);
-                    if result.is_err() {
-                        break;
-                    }
-                }
-                if result.is_err() {
-                    break;
-                }
-            }
-            for fault in self.scalar.map.iter() {
-                events.push(pack_event(fault.row, fault.col, die, fault.kind));
-            }
-        }
+        let result = match wide_spec {
+            Some(spec) => crate::widegen::generate_block_events(
+                spec,
+                self.scalar.map.config(),
+                seeder,
+                plan,
+                &mut self.wide,
+                &mut events,
+            ),
+            None => self.fill_events_scalar(backend, seeder, plan, max_redraws, &mut events),
+        };
         self.events = events;
         result?;
         // Restore `(row, col, die)` order for transposition. Events arrive
@@ -344,6 +352,37 @@ impl<L: Lane> BlockScratch<L> {
             plan.len(),
             self.scalar.map.config(),
         ))
+    }
+
+    /// The scalar fallback of [`BlockScratch::generate_block`]: one die at
+    /// a time through the wrapped [`DieScratch`], repacked into events.
+    fn fill_events_scalar<B: FaultBackend + ?Sized>(
+        &mut self,
+        backend: &B,
+        seeder: &StreamSeeder,
+        plan: &[PlannedSample],
+        max_redraws: Option<usize>,
+        events: &mut Vec<u64>,
+    ) -> Result<(), MemError> {
+        for (die, planned) in plan.iter().enumerate() {
+            let mut rng = seeder.rng_for_sample(planned.index);
+            let n_faults = planned.n_faults as usize;
+            // Replicate the per-sample RNG consumption exactly: plain draw,
+            // or the single-fault-per-row redraw loop.
+            backend.sample_into(&mut rng, n_faults, &mut self.scalar)?;
+            if let Some(max_redraws) = max_redraws {
+                for _ in 0..max_redraws {
+                    if self.scalar.map.max_faults_per_row() <= 1 {
+                        break;
+                    }
+                    backend.sample_into(&mut rng, n_faults, &mut self.scalar)?;
+                }
+            }
+            for fault in self.scalar.map.iter() {
+                events.push(pack_event(fault.row, fault.col, die, fault.kind));
+            }
+        }
+        Ok(())
     }
 }
 

@@ -33,6 +33,8 @@ use std::convert::Infallible;
 use std::fmt;
 use std::ops::Range;
 use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// One shard of a campaign split across `shard_count` independent runs.
 ///
@@ -167,6 +169,21 @@ pub enum MapPolicy {
     },
 }
 
+/// Timing breakdown of one shard run, returned by the `_stats` variants of
+/// the shard runners ([`Campaign::try_run_shard_stats`],
+/// [`Campaign::run_shard_blocks_stats`]).
+///
+/// The plain runners skip the timing instrumentation entirely (no clock
+/// reads in the hot loop), and results are bit-identical either way — the
+/// stats are observability, not configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShardStats {
+    /// Wall-clock seconds spent generating dies (sampling fault maps /
+    /// blocks), summed across worker threads — with more than one worker
+    /// this is CPU time and can exceed the shard's elapsed time.
+    pub generation_seconds: f64,
+}
+
 /// Which evaluation kernel a campaign drives. Every fixed kernel produces
 /// **bit-identical** per-panel results (the `kernel_equivalence` suite pins
 /// this); they differ only in throughput. [`KernelKind::Auto`] resolves to
@@ -240,10 +257,23 @@ impl KernelKind {
     /// `rows == 0` case).
     #[must_use]
     pub fn resolve(self, expected_faults_per_die: f64, rows: usize) -> KernelKind {
+        self.resolve_with_threshold(expected_faults_per_die, rows, AUTO_FAULTS_PER_ROW_THRESHOLD)
+    }
+
+    /// [`KernelKind::resolve`] with an explicit density threshold in faults
+    /// per row, the hook behind the `--auto-threshold` CLI override. The
+    /// default threshold is [`AUTO_FAULTS_PER_ROW_THRESHOLD`].
+    #[must_use]
+    pub fn resolve_with_threshold(
+        self,
+        expected_faults_per_die: f64,
+        rows: usize,
+        faults_per_row_threshold: f64,
+    ) -> KernelKind {
         match self {
             KernelKind::Auto => {
                 #[allow(clippy::cast_precision_loss)]
-                let dense_threshold = rows as f64 * AUTO_FAULTS_PER_ROW_THRESHOLD;
+                let dense_threshold = rows as f64 * faults_per_row_threshold;
                 if rows > 0 && expected_faults_per_die >= dense_threshold {
                     KernelKind::Bitsliced256
                 } else {
@@ -296,6 +326,7 @@ pub struct CampaignConfig<B: FaultBackend = SramVddBackend> {
     map_policy: MapPolicy,
     image: ImageSpec,
     scratch_reuse: bool,
+    wide_generation: bool,
 }
 
 impl CampaignConfig<SramVddBackend> {
@@ -351,6 +382,7 @@ impl<B: FaultBackend> CampaignConfig<B> {
             map_policy: MapPolicy::default(),
             image: ImageSpec::Zeros,
             scratch_reuse: true,
+            wide_generation: true,
         })
     }
 
@@ -440,6 +472,27 @@ impl<B: FaultBackend> CampaignConfig<B> {
     #[must_use]
     pub fn scratch_reuse(&self) -> bool {
         self.scratch_reuse
+    }
+
+    /// Toggles the lane-interleaved block generation path (default **on**):
+    /// block kernels ([`KernelKind::Bitsliced`]/[`KernelKind::Bitsliced256`])
+    /// generate wide-capable backends' dies [`faultmit_memsim::WIDE_LANES`]
+    /// at a time through [`faultmit_memsim::widegen`]. Results are
+    /// **bit-identical** either way — each lane replays the exact scalar
+    /// per-sample RNG stream — so the toggle exists as the scalar baseline
+    /// for throughput benches and as the cross-check in equivalence tests.
+    /// Backends that do not opt in, and single-fault-per-row map policies,
+    /// take the scalar path regardless.
+    #[must_use]
+    pub fn with_wide_generation(mut self, wide_generation: bool) -> Self {
+        self.wide_generation = wide_generation;
+        self
+    }
+
+    /// Whether block kernels use the lane-interleaved generation path.
+    #[must_use]
+    pub fn wide_generation(&self) -> bool {
+        self.wide_generation
     }
 
     /// The data image the campaign's metric is declared against.
@@ -692,6 +745,70 @@ impl<B: FaultBackend> Campaign<B> {
         A: Accumulator,
         E: Send,
     {
+        self.try_run_shard_timed(schemes, seed, shard, evaluate, make_accumulator, None)
+    }
+
+    /// [`Campaign::try_run_shard`] plus a [`ShardStats`] timing breakdown.
+    /// The accumulator is bit-identical to the untimed runner's.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Campaign::try_run_shard`].
+    pub fn try_run_shard_stats<S, F, A, E>(
+        &self,
+        schemes: &[S],
+        seed: u64,
+        shard: ShardSpec,
+        evaluate: F,
+        make_accumulator: impl Fn() -> A + Sync,
+    ) -> Result<(A, ShardStats), RunError<E>>
+    where
+        S: MitigationScheme + Sync,
+        F: Fn(&S, &FaultMap) -> Result<f64, E> + Sync,
+        A: Accumulator,
+        E: Send,
+    {
+        let gen_nanos = AtomicU64::new(0);
+        let accumulator = self.try_run_shard_timed(
+            schemes,
+            seed,
+            shard,
+            evaluate,
+            make_accumulator,
+            Some(&gen_nanos),
+        )?;
+        let stats = ShardStats {
+            generation_seconds: gen_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+        };
+        Ok((accumulator, stats))
+    }
+
+    /// [`Campaign::try_run_shard`] with an optional generation timer:
+    /// workers add the nanoseconds they spend generating dies to
+    /// `gen_timer` (the mechanism behind
+    /// [`Campaign::try_run_shard_stats`]). `None` skips every clock read —
+    /// the plain runner delegates here with `None` at zero cost. Layers
+    /// that dispatch kernels themselves (the analysis engine) thread their
+    /// own timer through this entry point.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Campaign::try_run_shard`].
+    pub fn try_run_shard_timed<S, F, A, E>(
+        &self,
+        schemes: &[S],
+        seed: u64,
+        shard: ShardSpec,
+        evaluate: F,
+        make_accumulator: impl Fn() -> A + Sync,
+        gen_timer: Option<&AtomicU64>,
+    ) -> Result<A, RunError<E>>
+    where
+        S: MitigationScheme + Sync,
+        F: Fn(&S, &FaultMap) -> Result<f64, E> + Sync,
+        A: Accumulator,
+        E: Send,
+    {
         let distribution = self.config.failure_distribution()?;
         let samples_per_count = self.config.samples_per_count;
         let (plan, weights) = match self.config.exact_failures {
@@ -748,17 +865,25 @@ impl<B: FaultBackend> Campaign<B> {
                 let start = chunk_index * chunk_size;
                 let end = (start + chunk_size).min(plan.len());
                 let mut accumulator = make_accumulator();
+                // Generation time is accumulated locally per chunk and
+                // flushed with one atomic add, so the (optional) timing
+                // costs two clock reads per die and nothing cross-thread.
+                let mut gen_nanos = 0u64;
 
                 if scratch_reuse {
                     for planned in &plan[start..end] {
                         let mut rng = seeder.rng_for_sample(planned.index);
                         let n = planned.n_faults as usize;
+                        let gen_start = gen_timer.map(|_| Instant::now());
                         let map = match map_policy {
                             MapPolicy::Unrestricted => scratch.generate(backend, &mut rng, n),
                             MapPolicy::SingleFaultPerRow { max_redraws } => scratch
                                 .generate_single_fault_per_row(backend, &mut rng, n, max_redraws),
                         }
                         .map_err(|e| RunError::Sim(SimError::from(e)))?;
+                        if let Some(gen_start) = gen_start {
+                            gen_nanos += gen_start.elapsed().as_nanos() as u64;
+                        }
                         metrics.clear();
                         for scheme in schemes {
                             metrics.push(evaluate(scheme, map).map_err(RunError::Eval)?);
@@ -773,12 +898,16 @@ impl<B: FaultBackend> Campaign<B> {
                         // Reclaim the metrics buffer for the next die.
                         *metrics = sample.metrics;
                     }
+                    if let Some(timer) = gen_timer {
+                        timer.fetch_add(gen_nanos, Ordering::Relaxed);
+                    }
                     return Ok(accumulator);
                 }
 
                 // Legacy fresh-allocation path: one `DieBatch` per chunk —
                 // the reference the equivalence suite compares against and
                 // the scalar baseline of the throughput benches.
+                let gen_start = gen_timer.map(|_| Instant::now());
                 let batch = match map_policy {
                     MapPolicy::Unrestricted => {
                         DieBatch::generate_with_backend(backend, &seeder, &plan[start..end])
@@ -793,6 +922,9 @@ impl<B: FaultBackend> Campaign<B> {
                     }
                 }
                 .map_err(|e| RunError::Sim(SimError::from(e)))?;
+                if let Some(gen_start) = gen_start {
+                    gen_nanos += gen_start.elapsed().as_nanos() as u64;
+                }
 
                 for (planned, map) in batch.iter() {
                     let metrics = schemes
@@ -806,6 +938,9 @@ impl<B: FaultBackend> Campaign<B> {
                         weight: weights[planned.n_faults as usize],
                         metrics,
                     });
+                }
+                if let Some(timer) = gen_timer {
+                    timer.fetch_add(gen_nanos, Ordering::Relaxed);
                 }
                 Ok(accumulator)
             },
@@ -852,6 +987,79 @@ impl<B: FaultBackend> Campaign<B> {
         G: Fn(&S, &DieBlock<'_, L>, &mut [f64]) + Sync,
         A: Accumulator,
     {
+        self.run_shard_blocks_timed(
+            schemes,
+            seed,
+            shard,
+            evaluate_sample,
+            evaluate_block,
+            make_accumulator,
+            None,
+        )
+    }
+
+    /// [`Campaign::run_shard_blocks`] plus a [`ShardStats`] timing
+    /// breakdown. The accumulator is bit-identical to the untimed runner's.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Campaign::run_shard_blocks`].
+    pub fn run_shard_blocks_stats<L, S, F, G, A>(
+        &self,
+        schemes: &[S],
+        seed: u64,
+        shard: ShardSpec,
+        evaluate_sample: F,
+        evaluate_block: G,
+        make_accumulator: impl Fn() -> A + Sync,
+    ) -> Result<(A, ShardStats), SimError>
+    where
+        L: Lane,
+        S: MitigationScheme + Sync,
+        F: Fn(&S, &FaultMap) -> f64 + Sync,
+        G: Fn(&S, &DieBlock<'_, L>, &mut [f64]) + Sync,
+        A: Accumulator,
+    {
+        let gen_nanos = AtomicU64::new(0);
+        let accumulator = self.run_shard_blocks_timed(
+            schemes,
+            seed,
+            shard,
+            evaluate_sample,
+            evaluate_block,
+            make_accumulator,
+            Some(&gen_nanos),
+        )?;
+        let stats = ShardStats {
+            generation_seconds: gen_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+        };
+        Ok((accumulator, stats))
+    }
+
+    /// [`Campaign::run_shard_blocks`] with an optional generation timer
+    /// (see [`Campaign::try_run_shard_timed`] for the protocol).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Campaign::run_shard_blocks`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_shard_blocks_timed<L, S, F, G, A>(
+        &self,
+        schemes: &[S],
+        seed: u64,
+        shard: ShardSpec,
+        evaluate_sample: F,
+        evaluate_block: G,
+        make_accumulator: impl Fn() -> A + Sync,
+        gen_timer: Option<&AtomicU64>,
+    ) -> Result<A, SimError>
+    where
+        L: Lane,
+        S: MitigationScheme + Sync,
+        F: Fn(&S, &FaultMap) -> f64 + Sync,
+        G: Fn(&S, &DieBlock<'_, L>, &mut [f64]) + Sync,
+        A: Accumulator,
+    {
         let distribution = self.config.failure_distribution()?;
         let samples_per_count = self.config.samples_per_count;
         let (plan, weights) = match self.config.exact_failures {
@@ -888,6 +1096,7 @@ impl<B: FaultBackend> Campaign<B> {
             MapPolicy::Unrestricted => None,
             MapPolicy::SingleFaultPerRow { max_redraws } => Some(max_redraws),
         };
+        let wide_generation = self.config.wide_generation;
 
         // Per-worker scratch: one warm arena (fault map + transposed block
         // buffers), a recycled per-die metrics vector, and the per-scheme
@@ -896,8 +1105,10 @@ impl<B: FaultBackend> Campaign<B> {
             owned_chunks.len(),
             workers,
             || {
+                let mut scratch = BlockScratch::<L>::new(backend.config());
+                scratch.set_wide_generation(wide_generation);
                 (
-                    BlockScratch::<L>::new(backend.config()),
+                    scratch,
                     Vec::<f64>::with_capacity(schemes.len()),
                     vec![0.0f64; schemes.len() * L::LANES],
                 )
@@ -907,6 +1118,8 @@ impl<B: FaultBackend> Campaign<B> {
                 let start = chunk_index * chunk_size;
                 let end = (start + chunk_size).min(plan.len());
                 let mut accumulator = make_accumulator();
+                // Per-chunk local accumulation, one atomic flush per chunk.
+                let mut gen_nanos = 0u64;
 
                 for group in plan[start..end].chunks(L::LANES) {
                     if let [planned] = group {
@@ -915,6 +1128,7 @@ impl<B: FaultBackend> Campaign<B> {
                         let scalar = scratch.scalar_mut();
                         let mut rng = seeder.rng_for_sample(planned.index);
                         let n = planned.n_faults as usize;
+                        let gen_start = gen_timer.map(|_| Instant::now());
                         let map = match max_redraws {
                             None => scalar.generate(backend, &mut rng, n),
                             Some(budget) => {
@@ -922,6 +1136,9 @@ impl<B: FaultBackend> Campaign<B> {
                             }
                         }
                         .map_err(SimError::from)?;
+                        if let Some(gen_start) = gen_start {
+                            gen_nanos += gen_start.elapsed().as_nanos() as u64;
+                        }
                         metrics.clear();
                         for scheme in schemes {
                             metrics.push(evaluate_sample(scheme, map));
@@ -937,9 +1154,13 @@ impl<B: FaultBackend> Campaign<B> {
                         continue;
                     }
 
+                    let gen_start = gen_timer.map(|_| Instant::now());
                     let block = scratch
                         .generate_block(backend, &seeder, group, max_redraws)
                         .map_err(SimError::from)?;
+                    if let Some(gen_start) = gen_start {
+                        gen_nanos += gen_start.elapsed().as_nanos() as u64;
+                    }
                     for (s, scheme) in schemes.iter().enumerate() {
                         evaluate_block(
                             scheme,
@@ -961,6 +1182,9 @@ impl<B: FaultBackend> Campaign<B> {
                         accumulator.record(&sample);
                         *metrics = sample.metrics;
                     }
+                }
+                if let Some(timer) = gen_timer {
+                    timer.fetch_add(gen_nanos, Ordering::Relaxed);
                 }
                 Ok(accumulator)
             },

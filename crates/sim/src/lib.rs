@@ -112,7 +112,8 @@ pub mod executor;
 
 pub use accumulate::{Accumulator, CollectRecords, PairedSample};
 pub use campaign::{
-    Campaign, CampaignConfig, KernelKind, MapPolicy, ShardSpec, AUTO_FAULTS_PER_ROW_THRESHOLD,
+    Campaign, CampaignConfig, KernelKind, MapPolicy, ShardSpec, ShardStats,
+    AUTO_FAULTS_PER_ROW_THRESHOLD,
 };
 pub use error::{RunError, SimError};
 pub use executor::{run_chunked, run_chunked_with, Parallelism};

@@ -5,9 +5,10 @@
 //! with a scalar tail) must be **bit-identical** to the scalar
 //! `observe`-based kernel on every backend, image, and fault-kind law; the
 //! campaign's reusable arenas — scalar, 64-die and 256-die transposed paths
-//! alike — must reproduce the fresh-allocation behaviour sample for sample
-//! with zero steady-state heap traffic; and `--kernel auto` must resolve to
-//! the documented kernel at every benched operating point.
+//! alike, with lane-interleaved wide fault generation on or off — must
+//! reproduce the fresh-allocation behaviour sample for sample with zero
+//! steady-state heap traffic; and `--kernel auto` must resolve to the
+//! documented kernel at every benched operating point.
 
 use faultmit::analysis::{
     block_mse_into, memory_mse, memory_mse_for_data, memory_mse_sparse, memory_mse_sparse_with,
@@ -228,7 +229,11 @@ impl SweepRng {
 /// 256-die lane width, so the scalar tail and partial trailing blocks are
 /// exercised in both widths — all four of the `scalar`, `sparse`,
 /// `bitsliced`, and `bitsliced256` kernels agree bit for bit, sample for
-/// sample.
+/// sample. The block runs generate faults through the lane-interleaved
+/// wide RNG path by default (on backends that opt in), so the sweep also
+/// pins wide generation to the scalar RNG schedule; an explicit
+/// wide-generation-off run closes the loop by checking the pure scalar
+/// generation path against the same baseline.
 #[test]
 fn bitsliced_kernel_is_bit_identical_across_a_randomized_sweep() {
     let schemes = Scheme::fig5_catalogue();
@@ -256,7 +261,7 @@ fn bitsliced_kernel_is_bit_identical_across_a_randomized_sweep() {
                 );
                 let image = spec.try_materialise(memory).unwrap();
                 let words = image.materialise(memory.rows());
-                let config = |scratch_reuse: bool| {
+                let tuned = |scratch_reuse: bool, wide_generation: bool| {
                     CampaignConfig::for_backend(backend)
                         .unwrap()
                         .with_samples_per_count(samples_per_count)
@@ -264,7 +269,9 @@ fn bitsliced_kernel_is_bit_identical_across_a_randomized_sweep() {
                         .with_parallelism(Parallelism::Serial)
                         .with_chunk_size(chunk_size)
                         .with_scratch_reuse(scratch_reuse)
+                        .with_wide_generation(wide_generation)
                 };
+                let config = |scratch_reuse: bool| tuned(scratch_reuse, true);
 
                 let scalar = Campaign::new(config(false))
                     .run(
@@ -306,6 +313,21 @@ fn bitsliced_kernel_is_bit_identical_across_a_randomized_sweep() {
                         CollectRecords::new,
                     )
                     .unwrap();
+                // Same kernel, wide generation forced off: the scalar
+                // per-die generation path must reproduce the exact same
+                // records, proving the wide path changed nothing.
+                let scalar_generation = Campaign::new(tuned(true, false))
+                    .run_shard_blocks(
+                        &schemes,
+                        SEED,
+                        ShardSpec::solo(),
+                        |scheme, map| memory_mse_sparse_with(scheme, map, |row| image.word(row)),
+                        |scheme, block: &DieBlock<'_, W256>, out: &mut [f64]| {
+                            block_mse_into(scheme, block, |row| image.word(row), out);
+                        },
+                        CollectRecords::new,
+                    )
+                    .unwrap();
 
                 assert_records_bit_identical(&scalar, &sparse, &context);
                 assert_records_bit_identical(&scalar, &bitsliced, &context);
@@ -313,6 +335,11 @@ fn bitsliced_kernel_is_bit_identical_across_a_randomized_sweep() {
                     &scalar,
                     &bitsliced256,
                     &format!("{context} (W256 lanes)"),
+                );
+                assert_records_bit_identical(
+                    &scalar,
+                    &scalar_generation,
+                    &format!("{context} (W256 lanes, wide generation off)"),
                 );
             }
         }
@@ -352,8 +379,11 @@ fn die_generation_reaches_zero_allocation_steady_state() {
 /// once the lane buffers have grown to the campaign's peak demand
 /// (`L::LANES` dies at the largest fault count), steady-state
 /// `generate_block` calls — full blocks and partial tails alike — never
-/// touch the heap.
-fn block_zero_alloc_gate<L: Lane>(width_label: &str) {
+/// touch the heap. The gate runs with lane-interleaved wide generation
+/// both on (the default, exercising the `WideRng` batch path on backends
+/// that opt in) and off (the per-die scalar path), since the two paths
+/// use different working buffers.
+fn block_zero_alloc_gate<L: Lane>(width_label: &str, wide_generation: bool) {
     let memory = MemoryConfig::new(256, 32).unwrap();
     let seeder = StreamSeeder::new(SEED);
     let lanes = L::LANES as u64;
@@ -368,6 +398,7 @@ fn block_zero_alloc_gate<L: Lane>(width_label: &str) {
     for kind in BackendKind::ALL {
         let backend = Backend::at_p_cell(kind, memory, 1e-3).unwrap();
         let mut scratch = BlockScratch::<L>::new(memory);
+        scratch.set_wide_generation(wide_generation);
         // Warm-up: full blocks at the peak fault count grow every lane
         // buffer to the campaign's maximum demand.
         for block in 0..4u64 {
@@ -390,19 +421,22 @@ fn block_zero_alloc_gate<L: Lane>(width_label: &str) {
         assert_eq!(
             scratch.realloc_events(),
             after_warmup,
-            "{kind} ({width_label}): steady-state block generation must not touch the heap"
+            "{kind} ({width_label}, wide_generation={wide_generation}): \
+             steady-state block generation must not touch the heap"
         );
     }
 }
 
 #[test]
 fn block_generation_reaches_zero_allocation_steady_state() {
-    block_zero_alloc_gate::<u64>("64-die u64 lanes");
+    block_zero_alloc_gate::<u64>("64-die u64 lanes", true);
+    block_zero_alloc_gate::<u64>("64-die u64 lanes", false);
 }
 
 #[test]
 fn wide_block_generation_reaches_zero_allocation_steady_state() {
-    block_zero_alloc_gate::<W256>("256-die W256 lanes");
+    block_zero_alloc_gate::<W256>("256-die W256 lanes", true);
+    block_zero_alloc_gate::<W256>("256-die W256 lanes", false);
 }
 
 /// `--kernel auto` resolves to the documented kernel at each benched

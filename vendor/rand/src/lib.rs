@@ -8,7 +8,10 @@
 //!   ChaCha-based `StdRng`; sequences differ from the real crate, but every
 //!   consumer in this workspace only relies on determinism and statistical
 //!   quality, never on exact upstream streams);
-//! * [`seq::index::sample`] — distinct-index sampling without replacement.
+//! * [`seq::index::sample`] — distinct-index sampling without replacement;
+//! * [`wide::WideXoshiro`] — `N` lane-interleaved xoshiro256++ streams in
+//!   structure-of-arrays form, each lane bit-identical to the [`rngs::StdRng`]
+//!   seeded the same way.
 //!
 //! The generator passes the workspace's statistical test-suite (binomial
 //! sampling, Box-Muller normals, uniform fault placement) and is fully
@@ -215,6 +218,20 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Builds a generator at an explicit xoshiro256++ state — the
+        /// scalar half of the wide-lane extract/store pair
+        /// ([`crate::wide::WideXoshiro::lane_rng`]).
+        pub(crate) fn from_state(s: [u64; 4]) -> Self {
+            Self { s }
+        }
+
+        /// The raw xoshiro256++ state.
+        pub(crate) fn state(&self) -> [u64; 4] {
+            self.s
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
@@ -322,6 +339,8 @@ pub mod seq {
         }
     }
 }
+
+pub mod wide;
 
 pub use rngs::StdRng as DefaultRng;
 

@@ -21,6 +21,7 @@ use faultmit_memsim::{
     DataImage, DieBlock, FailureCountDistribution, FaultBackend, ImageSpec, MemoryConfig,
     OperatingPoint, SramVddBackend, W256,
 };
+use faultmit_obs as obs;
 use faultmit_sim::{
     Campaign, CampaignConfig, KernelKind, Parallelism, RunError, ShardSpec, ShardStats, SimError,
 };
@@ -349,9 +350,24 @@ fn run_to_analysis_error(error: RunError<Infallible>) -> AnalysisError {
     }
 }
 
-fn stats_from_nanos(gen_nanos: &AtomicU64) -> ShardStats {
+/// Snapshots the calling thread's recorder (if any) so a `_stats` runner can
+/// report the metrics delta its shard produced alongside the timing.
+fn metrics_baseline() -> (Option<std::sync::Arc<obs::Recorder>>, obs::MetricsSnapshot) {
+    let recorder = obs::current();
+    let before = recorder.as_ref().map(|r| r.snapshot()).unwrap_or_default();
+    (recorder, before)
+}
+
+fn stats_from_nanos(
+    gen_nanos: &AtomicU64,
+    baseline: &(Option<std::sync::Arc<obs::Recorder>>, obs::MetricsSnapshot),
+) -> ShardStats {
     ShardStats {
         generation_seconds: gen_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+        metrics: match &baseline.0 {
+            Some(recorder) => recorder.snapshot().since(&baseline.1),
+            None => obs::MetricsSnapshot::default(),
+        },
     }
 }
 
@@ -481,8 +497,9 @@ impl<B: FaultBackend + Clone> MonteCarloEngine<B> {
         shard: ShardSpec,
     ) -> Result<(CatalogueAccumulator, ShardStats), AnalysisError> {
         let gen_nanos = AtomicU64::new(0);
+        let baseline = metrics_baseline();
         let state = self.run_catalogue_shard_gen(schemes, seed, shard, Some(&gen_nanos))?;
-        Ok((state, stats_from_nanos(&gen_nanos)))
+        Ok((state, stats_from_nanos(&gen_nanos, &baseline)))
     }
 
     fn run_catalogue_shard_gen<S: MitigationScheme + Sync>(
@@ -543,7 +560,20 @@ impl<B: FaultBackend + Clone> MonteCarloEngine<B> {
         W: Fn(usize) -> u64 + Sync,
     {
         let campaign = Campaign::new(self.config.to_campaign_config()?);
-        match self.config.resolved_kernel()? {
+        let kernel = self.config.resolved_kernel()?;
+        // One dispatch event per shard run: `auto` resolves before any
+        // sampling, so the counters record the kernel that actually executed.
+        obs::count(
+            match kernel {
+                KernelKind::Auto => unreachable!("resolved_kernel always returns a fixed kernel"),
+                KernelKind::Scalar => obs::Counter::DispatchScalar,
+                KernelKind::Sparse => obs::Counter::DispatchSparse,
+                KernelKind::Bitsliced => obs::Counter::DispatchBitsliced,
+                KernelKind::Bitsliced256 => obs::Counter::DispatchBitsliced256,
+            },
+            1,
+        );
+        match kernel {
             KernelKind::Auto => unreachable!("resolved_kernel always returns a fixed kernel"),
             KernelKind::Sparse => campaign
                 .try_run_shard_timed(
@@ -645,9 +675,10 @@ impl<B: FaultBackend + Clone> MonteCarloEngine<B> {
         data: Option<&[u64]>,
     ) -> Result<(CatalogueAccumulator, ShardStats), AnalysisError> {
         let gen_nanos = AtomicU64::new(0);
+        let baseline = metrics_baseline();
         let state =
             self.run_catalogue_shard_on_image_gen(schemes, seed, shard, data, Some(&gen_nanos))?;
-        Ok((state, stats_from_nanos(&gen_nanos)))
+        Ok((state, stats_from_nanos(&gen_nanos, &baseline)))
     }
 
     fn run_catalogue_shard_on_image_gen<S: MitigationScheme + Sync>(

@@ -29,6 +29,7 @@
 
 use faultmit_core::{BlockLane, MitigationScheme};
 use faultmit_memsim::{DieBlock, Fault, FaultKind, FaultMap, ResidualLanes};
+use faultmit_obs as obs;
 
 /// Exact `4^b` for every data-bit position, precomputed so the hot
 /// squared-error loop avoids `powi`.
@@ -217,14 +218,22 @@ where
     let mut row_err = L::die_array(0.0f64);
     let row_err = row_err.as_mut();
     let mut residual = ResidualLanes::<L>::new();
+    // Block-observer vs whole-row-fallback tallies, flushed once per block.
+    let mut block_rows = 0u64;
+    let mut fallback_rows = 0u64;
+    let mut fallback_dies = 0u64;
     for row in block.rows() {
         let stored = written(row.row);
         residual.clear();
-        if !L::observe_block_on(scheme, row.cells, stored, &mut residual) {
+        if L::observe_block_on(scheme, row.cells, stored, &mut residual) {
+            block_rows += 1;
+        } else {
             // Per-die fallback through the sparse path: rebuild each dirty
             // die's sorted fault slice on the stack.
+            fallback_rows += 1;
             let mut scratch = [Fault::bit_flip(0, 0); 64];
             row.dirty.for_each_die(|die| {
+                fallback_dies += 1;
                 let mut len = 0;
                 for cell in row.cells {
                     if cell.presence().bit(die) != 0 {
@@ -267,6 +276,11 @@ where
         // (silent stuck-at faults still contribute a +0.0 term).
         row.dirty.for_each_die(|die| totals[die] += row_err[die]);
         seen.for_each_die(|die| row_err[die] = 0.0);
+    }
+    obs::count(obs::Counter::ObserveBlockRows, block_rows);
+    if fallback_rows != 0 {
+        obs::count(obs::Counter::ObserveFallbackRows, fallback_rows);
+        obs::count(obs::Counter::ObserveFallbackDies, fallback_dies);
     }
     for (slot, total) in out[..dies].iter_mut().zip(totals.iter()) {
         *slot = *total / rows;

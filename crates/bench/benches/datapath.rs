@@ -22,6 +22,7 @@ use faultmit_memsim::{
     Backend, BackendKind, BlockScratch, DieScratch, Fault, FaultMap, Lane, MarchBist, MemoryConfig,
     PlannedSample, SramArray, SramVddBackend, StreamSeeder, W256,
 };
+use faultmit_obs as obs;
 use std::time::Instant;
 
 fn bench_shifter(c: &mut Criterion) {
@@ -158,6 +159,10 @@ struct GenerationRow {
     faults_per_die: u64,
     dies_per_second: f64,
     speedup_vs_scalar: f64,
+    /// Fraction of wide-RNG lane steps with the lane still drawing faults
+    /// (from the per-row metrics delta; absent on the scalar path and on
+    /// backends that never enter the wide generator).
+    widegen_lane_utilisation: Option<f64>,
 }
 
 impl ToJson for GenerationRow {
@@ -169,6 +174,10 @@ impl ToJson for GenerationRow {
             ("faults_per_die", self.faults_per_die.to_json()),
             ("dies_per_second", self.dies_per_second.to_json()),
             ("speedup_vs_scalar", self.speedup_vs_scalar.to_json()),
+            (
+                "widegen_lane_utilisation",
+                self.widegen_lane_utilisation.to_json(),
+            ),
         ])
     }
 }
@@ -245,12 +254,25 @@ fn bench_datapath_json(_c: &mut Criterion) {
 
     println!("\n== group: datapath_generation (BENCH_pipeline.json) ==");
     const REPS: u32 = 3;
+    // A recorder brackets each measured path so the wide rows report how
+    // full their RNG lanes actually ran, next to the dies/s.
+    let recorder = std::sync::Arc::new(obs::Recorder::new());
+    let _metrics_guard = obs::install(&recorder);
     let mut rows = Vec::new();
     for (config, kind, p_cell, n_faults, blocks) in points {
         let backend = Backend::at_p_cell(kind, memory, p_cell).unwrap();
-        let scalar = measure_generation(memory, &backend, n_faults, false, blocks, REPS);
-        let wide = measure_generation(memory, &backend, n_faults, true, blocks, REPS);
-        for (path, dies_per_second) in [("scalar", scalar), ("wide", wide)] {
+        let timed = |wide_generation: bool| {
+            let before = recorder.snapshot();
+            let dies =
+                measure_generation(memory, &backend, n_faults, wide_generation, blocks, REPS);
+            (dies, recorder.snapshot().since(&before))
+        };
+        let (scalar, scalar_metrics) = timed(false);
+        let (wide, wide_metrics) = timed(true);
+        for (path, dies_per_second, metrics) in [
+            ("scalar", scalar, scalar_metrics),
+            ("wide", wide, wide_metrics),
+        ] {
             let row = GenerationRow {
                 config,
                 backend: kind.to_string(),
@@ -258,9 +280,14 @@ fn bench_datapath_json(_c: &mut Criterion) {
                 faults_per_die: n_faults,
                 dies_per_second,
                 speedup_vs_scalar: dies_per_second / scalar,
+                widegen_lane_utilisation: metrics.wide_lane_utilisation(),
             };
+            let lanes = row
+                .widegen_lane_utilisation
+                .map(|utilisation| format!(", lanes {:.0}%", 100.0 * utilisation))
+                .unwrap_or_default();
             println!(
-                "{:<18} {:<5} {:<7} n={:<5} {:>12.0} dies/s   ({:.2}x vs scalar)",
+                "{:<18} {:<5} {:<7} n={:<5} {:>12.0} dies/s   ({:.2}x vs scalar{lanes})",
                 row.config,
                 row.backend,
                 row.path,

@@ -31,6 +31,7 @@ use faultmit_memsim::{
     corrupt_word, DieBlock, FaultKind, FaultKindLaw, FaultMap, ImageSpec, Lane, MemoryConfig,
     SramVddBackend, W256,
 };
+use faultmit_obs as obs;
 use faultmit_sim::{
     Accumulator, Campaign, CampaignConfig, KernelKind, PairedSample, Parallelism, ShardSpec,
 };
@@ -135,6 +136,14 @@ struct KernelRow {
     samples_per_second: f64,
     words_per_second: f64,
     speedup_vs_scalar: f64,
+    /// Fraction of wide-generation lane steps with the lane still live
+    /// (from the per-row metrics delta; absent for kernels that never
+    /// enter the wide path).
+    widegen_lane_utilisation: Option<f64>,
+    /// Fraction of observed rows that fell back off the bit-sliced block
+    /// path (absent for the scalar/sparse kernels, which have no block
+    /// path to fall back from).
+    observe_fallback_rate: Option<f64>,
 }
 
 impl ToJson for KernelRow {
@@ -149,6 +158,14 @@ impl ToJson for KernelRow {
             ("samples_per_second", self.samples_per_second.to_json()),
             ("words_per_second", self.words_per_second.to_json()),
             ("speedup_vs_scalar", self.speedup_vs_scalar.to_json()),
+            (
+                "widegen_lane_utilisation",
+                self.widegen_lane_utilisation.to_json(),
+            ),
+            (
+                "observe_fallback_rate",
+                self.observe_fallback_rate.to_json(),
+            ),
         ])
     }
 }
@@ -525,34 +542,50 @@ fn push_point<W>(
         )
     };
 
-    let legacy = time_legacy_campaign(config(false), schemes, &written, reps);
-    let scalar = time_campaign(
-        config(false),
-        schemes,
-        |scheme, map| memory_mse_for_data(scheme, map, &words),
-        reps,
-    );
-    let sparse = time_sparse();
-    let bitsliced = time_blocks_narrow();
-    let bitsliced256 = time_blocks_wide();
+    // Per-row metrics delta: when the bench runner installed a recorder,
+    // each kernel's timed window is bracketed by snapshots so the lane
+    // utilisation and fallback rates belong to that kernel alone.
+    let timed = |run: &dyn Fn() -> (f64, f64, u64)| {
+        let recorder = obs::current();
+        let before = recorder.as_ref().map(|r| r.snapshot()).unwrap_or_default();
+        let triple = run();
+        let delta = recorder
+            .map(|r| r.snapshot().since(&before))
+            .unwrap_or_default();
+        (triple, delta)
+    };
+
+    let (legacy, legacy_metrics) =
+        timed(&|| time_legacy_campaign(config(false), schemes, &written, reps));
+    let (scalar, scalar_metrics) = timed(&|| {
+        time_campaign(
+            config(false),
+            schemes,
+            |scheme, map| memory_mse_for_data(scheme, map, &words),
+            reps,
+        )
+    });
+    let (sparse, sparse_metrics) = timed(&time_sparse);
+    let (bitsliced, bitsliced_metrics) = timed(&time_blocks_narrow);
+    let (bitsliced256, bitsliced256_metrics) = timed(&time_blocks_wide);
     let resolved = KernelKind::Auto.resolve(
         config(true).expected_faults_per_die().unwrap(),
         memory.rows(),
     );
     // The auto row re-times the resolved kernel end to end, so any gap
     // between `auto` and its fixed twin is pure measurement noise.
-    let (auto_name, auto) = match resolved {
-        KernelKind::Bitsliced256 => ("auto:bitsliced256", time_blocks_wide()),
-        _ => ("auto:sparse", time_sparse()),
+    let (auto_name, (auto, auto_metrics)) = match resolved {
+        KernelKind::Bitsliced256 => ("auto:bitsliced256", timed(&time_blocks_wide)),
+        _ => ("auto:sparse", timed(&time_sparse)),
     };
 
-    for (kernel, (seconds, witness, samples)) in [
-        ("scalar_btree", legacy),
-        ("scalar_flat", scalar),
-        ("sparse", sparse),
-        ("bitsliced", bitsliced),
-        ("bitsliced256", bitsliced256),
-        (auto_name, auto),
+    for (kernel, (seconds, witness, samples), metrics) in [
+        ("scalar_btree", legacy, legacy_metrics),
+        ("scalar_flat", scalar, scalar_metrics),
+        ("sparse", sparse, sparse_metrics),
+        ("bitsliced", bitsliced, bitsliced_metrics),
+        ("bitsliced256", bitsliced256, bitsliced256_metrics),
+        (auto_name, auto, auto_metrics),
     ] {
         assert_eq!(
             legacy.1.to_bits(),
@@ -566,6 +599,8 @@ fn push_point<W>(
             samples_per_second: samples as f64 / seconds,
             words_per_second: samples as f64 * words_per_sample / seconds,
             speedup_vs_scalar: legacy.0 / seconds,
+            widegen_lane_utilisation: metrics.wide_lane_utilisation(),
+            observe_fallback_rate: metrics.observe_fallback_rate(),
         });
     }
 }
@@ -724,6 +759,12 @@ fn bench_throughput_json(_c: &mut Criterion) {
         started.elapsed().as_secs_f64() / f64::from(REPS)
     };
 
+    // One recorder spans the whole bench: the kernel rows bracket their own
+    // windows with snapshot deltas, and the final aggregate snapshot is
+    // written next to the throughput series.
+    let recorder = std::sync::Arc::new(obs::Recorder::new());
+    let _metrics_guard = obs::install(&recorder);
+
     println!("\n== group: pipeline_worker_scaling (BENCH_pipeline.json) ==");
     let serial_seconds = measure(Parallelism::Serial);
     let mut rows = Vec::new();
@@ -761,8 +802,18 @@ fn bench_throughput_json(_c: &mut Criterion) {
     println!("\n== group: pipeline_kernels (BENCH_pipeline.json) ==");
     let kernels = kernel_rows();
     for row in &kernels {
+        // The counter-derived rates print next to the throughput numbers:
+        // lane utilisation says how full the wide-generation lanes ran,
+        // the fallback rate how often observation left the block path.
+        let mut rates = String::new();
+        if let Some(utilisation) = row.widegen_lane_utilisation {
+            rates.push_str(&format!(", lanes {:.0}%", 100.0 * utilisation));
+        }
+        if let Some(fallback) = row.observe_fallback_rate {
+            rates.push_str(&format!(", fallback {:.1}%", 100.0 * fallback));
+        }
         println!(
-            "{:<18} {:<6} {:>10.2} ms/campaign   ({:>8.1} samples/s, {:.3e} words/s, {:.2}x vs scalar)",
+            "{:<18} {:<6} {:>10.2} ms/campaign   ({:>8.1} samples/s, {:.3e} words/s, {:.2}x vs scalar{rates})",
             row.config,
             row.kernel,
             row.mean_seconds_per_campaign * 1e3,
@@ -794,6 +845,10 @@ fn bench_throughput_json(_c: &mut Criterion) {
                 ("host_cpus", host_cpus.to_json()),
                 ("rows", kernels.to_json()),
             ]),
+        ),
+        (
+            "metrics",
+            faultmit_bench::metrics::snapshot_to_json(&recorder.snapshot()),
         ),
     ]);
     let path =

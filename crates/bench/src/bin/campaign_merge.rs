@@ -23,7 +23,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let options = RunOptions::from_args();
     if options.positional.is_empty() {
         return Err(
-            "usage: campaign_merge <shard-file>... --out <figure-json-path> [--threads N]".into(),
+            "usage: campaign_merge <shard-file>... --out <figure-json-path> [--threads N]\
+                    \n       [--metrics <metrics-json-path>]"
+                .into(),
         );
     }
 
@@ -44,6 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         spec.figure,
         spec.samples_per_count
     );
+
+    // The merge aggregated the shard set's telemetry (clocks and counter
+    // snapshots sum across shards); --metrics writes the cross-shard report.
+    options.write_metrics(&merged.metrics)?;
 
     // Render through the figure's own reduction path: a merged state is
     // bit-identical to the monolithic accumulator, so the series — and its

@@ -31,11 +31,35 @@ use faultmit_sim::ShardSpec;
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+/// How often the driver prints a live progress line while children run.
+const HEARTBEAT_INTERVAL: Duration = Duration::from_secs(5);
 
 /// One queued shard evaluation and how often it has been attempted.
 struct ShardJob {
     shard: ShardSpec,
     attempts: usize,
+}
+
+/// Total Monte-Carlo samples a shard checkpoint recorded across its panels
+/// (deterministic table panels carry no sample stream).
+fn shard_samples(state: &ShardState) -> usize {
+    state
+        .panels
+        .iter()
+        .filter_map(|panel| panel.state.samples_recorded())
+        .sum()
+}
+
+/// Median of an unsorted, possibly empty slice of durations.
+fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    Some(sorted[sorted.len() / 2])
 }
 
 fn shard_binary() -> Result<PathBuf, Box<dyn std::error::Error>> {
@@ -129,6 +153,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     \n       [--image <spec>] [--kind-law flip|stuck-at|stuck-at:P]\
                     \n       [--kernel scalar|sparse|bitsliced|bitsliced256|auto]\
                     \n       [--wide-generation on|off] [--auto-threshold <faults-per-row>]\
+                    \n       [--metrics <metrics-json-path>]\
                     \nrun 'campaign_run --figure list' for the figure catalogue"
                 .into(),
         );
@@ -196,8 +221,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut queue: VecDeque<ShardJob> = ShardSpec::all(shard_count)
         .map(|shard| ShardJob { shard, attempts: 0 })
         .collect();
-    let mut running: Vec<(ShardJob, Child)> = Vec::new();
+    let mut running: Vec<(ShardJob, Child, Instant)> = Vec::new();
     let mut failures: Vec<String> = Vec::new();
+
+    // Live-progress bookkeeping for the heartbeat: driver-observed attempt
+    // durations size the ETA and flag in-flight stragglers, completed
+    // sample counts give a running throughput estimate.
+    let campaign_started = Instant::now();
+    // `None` until the first poll, so even a campaign shorter than the
+    // heartbeat interval prints one progress line.
+    let mut last_heartbeat: Option<Instant> = None;
+    let mut completed_count = 0usize;
+    let mut completed_samples = 0usize;
+    let mut attempt_durations: Vec<f64> = Vec::new();
 
     while !(queue.is_empty() && running.is_empty()) {
         while running.len() < jobs {
@@ -214,30 +250,75 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .arg(&out)
                 .spawn()
                 .map_err(|e| format!("cannot spawn {}: {e}", shard_bin.display()))?;
-            running.push((job, child));
+            running.push((job, child, Instant::now()));
         }
 
         // Reap the first finished child (bounded poll keeps this portable
-        // without signal handling).
+        // without signal handling). Between polls, a periodic heartbeat
+        // reports per-shard progress, a live throughput estimate and an
+        // ETA so a long campaign is observable without waiting for the
+        // final summary.
         let (index, status) = 'wait: loop {
-            for (index, (_, child)) in running.iter_mut().enumerate() {
+            for (index, (_, child, _)) in running.iter_mut().enumerate() {
                 if let Some(status) = child.try_wait()? {
                     break 'wait (index, status);
                 }
             }
-            std::thread::sleep(std::time::Duration::from_millis(20));
+            if last_heartbeat.is_none_or(|at| at.elapsed() >= HEARTBEAT_INTERVAL) {
+                last_heartbeat = Some(Instant::now());
+                let in_flight: Vec<String> = running
+                    .iter()
+                    .map(|(job, _, started)| {
+                        let seconds = started.elapsed().as_secs_f64();
+                        // An in-flight shard more than 2x the median
+                        // completed attempt is flagged as a straggler:
+                        // the operator's cue to look at that host.
+                        let flag = match median(&attempt_durations) {
+                            Some(mid) if mid > 0.0 && seconds > 2.0 * mid => " [straggler]",
+                            _ => "",
+                        };
+                        format!("shard {}: {seconds:.1}s{flag}", job.shard)
+                    })
+                    .collect();
+                let wall = campaign_started.elapsed().as_secs_f64();
+                let mut line = format!(
+                    "heartbeat: {completed_count}/{shard_count} shard(s) complete, \
+                     {} running ({}), {} queued",
+                    running.len(),
+                    in_flight.join(", "),
+                    queue.len(),
+                );
+                if completed_samples > 0 && wall > 0.0 {
+                    line.push_str(&format!(
+                        ", ~{:.1} samples/s",
+                        completed_samples as f64 / wall
+                    ));
+                }
+                if let Some(mid) = median(&attempt_durations) {
+                    let remaining = queue.len() + running.len();
+                    let eta = mid * (remaining as f64 / jobs as f64).ceil();
+                    line.push_str(&format!(", ETA ~{eta:.0}s"));
+                }
+                println!("{line}");
+            }
+            std::thread::sleep(Duration::from_millis(20));
         };
-        let (job, _) = running.swap_remove(index);
+        let (job, _, started) = running.swap_remove(index);
 
         // A zero exit must also have produced a matching checkpoint; treat
         // anything else as a failed attempt.
         let out = shard_path(&dir, figure, job.shard);
-        let completed = status.success()
-            && std::fs::read_to_string(&out)
-                .ok()
-                .and_then(|text| ShardState::parse(&text).ok())
-                .is_some_and(|state| state.matches(&spec, job.shard));
+        let checkpoint = std::fs::read_to_string(&out)
+            .ok()
+            .and_then(|text| ShardState::parse(&text).ok())
+            .filter(|state| state.matches(&spec, job.shard));
+        let completed = status.success() && checkpoint.is_some();
         if completed {
+            if let Some(state) = &checkpoint {
+                completed_samples += shard_samples(state);
+            }
+            completed_count += 1;
+            attempt_durations.push(started.elapsed().as_secs_f64());
             println!(
                 "shard {} complete ({} attempt{})",
                 job.shard,
@@ -277,22 +358,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let words_per_sample = figure.words_per_sample(&spec);
     println!("per-shard wall clock:");
     let mut timed_samples = 0usize;
-    let mut recorded: Vec<f64> = Vec::new();
+    let recorded: Vec<f64> = states
+        .iter()
+        .filter_map(ShardState::elapsed_seconds)
+        .collect();
+    // Shards slower than 2x the median of the set are flagged: on a
+    // uniform split they mark a slow host (or a noisy neighbour), the
+    // operator's cue for sizing K or moving the work.
+    let straggler_cutoff = median(&recorded)
+        .filter(|&mid| mid > 0.0)
+        .map(|mid| 2.0 * mid);
     for state in &states {
         let shard = state.shard.to_string();
         // Which evaluation kernel produced the checkpoint (recorded by
         // `campaign_shard`); throughput numbers only compare across runs of
         // the same kernel generation.
         let kernel = state
-            .kernel
-            .as_deref()
+            .kernel()
             .map(|kernel| format!(", {kernel} kernel"))
             .unwrap_or_default();
         // Generation share from the checkpoint telemetry (absent in files
         // from before it existed). Generation seconds are CPU time summed
         // across the shard's workers, so the share of the wall clock can
         // exceed 100% at worker counts above one.
-        let generation = match (state.generation_seconds, state.elapsed_seconds) {
+        let generation = match (state.generation_seconds(), state.elapsed_seconds()) {
             (Some(gen_seconds), Some(seconds)) if seconds > 0.0 => format!(
                 ", gen {gen_seconds:.2}s CPU ({:.0}% of wall)",
                 100.0 * gen_seconds / seconds
@@ -302,31 +391,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         // A shard's sample count spans every Monte-Carlo panel it evaluated
         // (deterministic table panels carry no sample stream).
-        let samples: usize = state
-            .panels
-            .iter()
-            .filter_map(|panel| panel.state.samples_recorded())
-            .sum();
-        match state.elapsed_seconds {
+        let samples = shard_samples(state);
+        let straggler = match (state.elapsed_seconds(), straggler_cutoff) {
+            (Some(seconds), Some(cutoff)) if seconds > cutoff => " [straggler: >2x median]",
+            _ => "",
+        };
+        match state.elapsed_seconds() {
             Some(seconds) if samples > 0 && seconds > 0.0 => {
                 timed_samples += samples;
-                recorded.push(seconds);
+                // Per-shard throughput uses the shard's own wall clock —
+                // never the merged campaign's — so a slow host cannot be
+                // masked by fast siblings.
                 let samples_per_second = samples as f64 / seconds;
                 match words_per_sample {
                     Some(words) => println!(
                         "  shard {shard}: {seconds:.2}s ({samples_per_second:.1} samples/s, \
-                         {:.3e} words/s{generation}{kernel})",
+                         {:.3e} words/s{generation}{kernel}){straggler}",
                         samples_per_second * words as f64
                     ),
                     None => println!(
                         "  shard {shard}: {seconds:.2}s \
-                         ({samples_per_second:.1} samples/s{generation}{kernel})"
+                         ({samples_per_second:.1} samples/s{generation}{kernel}){straggler}"
                     ),
                 }
             }
             Some(seconds) => {
-                recorded.push(seconds);
-                println!("  shard {shard}: {seconds:.2}s{generation}{kernel}");
+                println!("  shard {shard}: {seconds:.2}s{generation}{kernel}{straggler}");
             }
             None => println!("  shard {shard}: no timing recorded{generation}{kernel}"),
         }
@@ -338,14 +428,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             recorded.len(),
             recorded.iter().cloned().fold(0.0, f64::max),
         );
-        if timed_samples > 0 && total > 0.0 {
-            let samples_per_second = timed_samples as f64 / total;
+        // Aggregate throughput uses the driver's wall clock, not the sum of
+        // per-shard clocks: shards run concurrently, so dividing by the sum
+        // understates what the campaign actually delivered per second of
+        // real time. (On a resumed run the wall clock covers only the work
+        // this invocation performed.)
+        let wall = campaign_started.elapsed().as_secs_f64();
+        if timed_samples > 0 && wall > 0.0 {
+            let samples_per_second = timed_samples as f64 / wall;
             match words_per_sample {
                 Some(words) => print!(
-                    " ({samples_per_second:.1} samples/s, {:.3e} words/s aggregate)",
+                    " ({samples_per_second:.1} samples/s, {:.3e} words/s aggregate \
+                     over {wall:.2}s driver wall clock)",
                     samples_per_second * words as f64
                 ),
-                None => print!(" ({samples_per_second:.1} samples/s aggregate)"),
+                None => print!(
+                    " ({samples_per_second:.1} samples/s aggregate \
+                     over {wall:.2}s driver wall clock)"
+                ),
             }
         }
         println!();
@@ -355,6 +455,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if merged.spec != spec {
         return Err("merged shard set belongs to a different campaign configuration".into());
     }
+    // The merge aggregated every shard's metrics (clocks and counter
+    // snapshots sum; the kernel identity was validated consistent), so the
+    // cross-shard report comes straight off the merged state.
+    options.write_metrics(&merged.metrics)?;
     let panels = merged.into_panels(&figure.panel_labels(&spec))?;
     let rendered = figure.render(&spec, options.parallelism(), panels)?;
 

@@ -23,8 +23,10 @@
 //! ```
 
 use faultmit_bench::figures::{check_identity_flags, check_tuning_flags, find_figure};
+use faultmit_bench::metrics::ShardMetrics;
 use faultmit_bench::shard::{ShardPanelState, ShardState};
 use faultmit_bench::RunOptions;
+use faultmit_obs as obs;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut options = RunOptions::from_args();
@@ -98,9 +100,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         figure.name(),
         labels.len()
     );
+    // Shard checkpoints always carry a metrics snapshot: the recorder is
+    // ambient (thread-local, re-installed on workers), the hot paths pay a
+    // handful of u64 adds per chunk, and the driver/merge side can then
+    // aggregate cross-shard metrics without any flag forwarding. Counter
+    // sums are order-independent, so the snapshot is bit-identical at any
+    // worker count.
+    let recorder = std::sync::Arc::new(obs::Recorder::new());
+    let guard = obs::install(&recorder);
     let started = std::time::Instant::now();
     let run = figure.run_shard_tuned(&spec, options.tuning(), options.parallelism(), shard)?;
     let elapsed_seconds = started.elapsed().as_secs_f64();
+    drop(guard);
     let panels = run.panels;
     if panels.len() != labels.len() {
         return Err(format!(
@@ -130,10 +141,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // validates it across the set). Figures without a kernel axis
         // (deterministic tables, app-quality campaigns) record none, and
         // only engines that time generation record generation seconds.
-        elapsed_seconds: Some(elapsed_seconds),
-        kernel,
-        generation_seconds: run.generation_seconds,
-        auto_threshold: options.auto_threshold,
+        // The snapshot carries the typed counters/histograms/stage clocks
+        // this shard's pipeline recorded.
+        metrics: ShardMetrics {
+            elapsed_seconds: Some(elapsed_seconds),
+            kernel,
+            generation_seconds: run.generation_seconds,
+            auto_threshold: options.auto_threshold,
+            snapshot: Some(recorder.snapshot()),
+        },
     };
     if let Some(parent) = out_path.parent() {
         if !parent.as_os_str().is_empty() {

@@ -64,6 +64,10 @@ pub struct RunOptions {
     pub full_scale: bool,
     /// Optional path to write the JSON series to (`--json` / `--out`).
     pub json_path: Option<PathBuf>,
+    /// Optional path to write the aggregated metrics report to
+    /// (`--metrics <path>`). Metrics never feed back into panel states, so
+    /// figure JSON stays byte-identical whether or not this is set.
+    pub metrics_path: Option<PathBuf>,
     /// Optional worker-thread count for the simulation pipeline
     /// (`None` = one worker per CPU).
     pub threads: Option<usize>,
@@ -176,6 +180,11 @@ impl RunOptions {
                 "--json" | "--out" => {
                     if let Some(path) = next_value(&mut iter, arg.as_str()) {
                         options.json_path = Some(PathBuf::from(path));
+                    }
+                }
+                "--metrics" => {
+                    if let Some(path) = next_value(&mut iter, "--metrics") {
+                        options.metrics_path = Some(PathBuf::from(path));
                     }
                 }
                 "--threads" => {
@@ -390,6 +399,29 @@ impl RunOptions {
             }
             std::fs::write(path, value.to_json().to_pretty_string())?;
             println!("wrote JSON series to {}", path.display());
+        }
+        Ok(())
+    }
+
+    /// Writes the aggregated metrics report for `metrics` to the
+    /// `--metrics` path, if one was given.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_metrics(
+        &self,
+        metrics: &crate::metrics::ShardMetrics,
+    ) -> Result<(), Box<dyn std::error::Error>> {
+        if let Some(path) = &self.metrics_path {
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)?;
+                }
+            }
+            let report = crate::metrics::metrics_report(metrics);
+            std::fs::write(path, report.to_pretty_string())?;
+            println!("wrote metrics report to {}", path.display());
         }
         Ok(())
     }
@@ -822,6 +854,18 @@ mod tests {
     fn out_is_an_alias_for_json() {
         let opts = RunOptions::parse(["--out", "results/x.json"].iter().map(|s| (*s).to_owned()));
         assert_eq!(opts.json_path, Some(PathBuf::from("results/x.json")));
+    }
+
+    #[test]
+    fn metrics_flag_records_the_report_path() {
+        let opts = RunOptions::parse(["--metrics", "m.json"].iter().map(|s| (*s).to_owned()));
+        assert_eq!(opts.metrics_path, Some(PathBuf::from("m.json")));
+        // The flag is independent of --json/--out and optional.
+        let opts = RunOptions::parse(["--out", "x.json"].iter().map(|s| (*s).to_owned()));
+        assert!(opts.metrics_path.is_none());
+        // A dangling --metrics is ignored like a dangling --json.
+        let opts = RunOptions::parse(["--metrics".to_owned()]);
+        assert!(opts.metrics_path.is_none());
     }
 
     #[test]

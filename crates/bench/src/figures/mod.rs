@@ -751,18 +751,39 @@ pub fn run_monolithic(name: &str) -> Result<(), FigureError> {
     check_tuning_flags(&options)?;
     let spec = figure.spec(&options);
     check_identity_flags(&spec, &options)?;
+    // The metrics recorder is installed only when --metrics asks for a
+    // report: panel states never read metrics, so the figure JSON is
+    // byte-identical either way, and the default run records nothing.
+    let recorder = options
+        .metrics_path
+        .as_ref()
+        .map(|_| std::sync::Arc::new(faultmit_obs::Recorder::new()));
+    let guard = recorder.as_ref().map(faultmit_obs::install);
+    let started = std::time::Instant::now();
     let run = figure.run_shard_tuned(
         &spec,
         options.tuning(),
         options.parallelism(),
         ShardSpec::solo(),
     )?;
+    let elapsed_seconds = started.elapsed().as_secs_f64();
+    drop(guard);
     let rendered = figure.render(&spec, options.parallelism(), run.panels)?;
     print!("{}", rendered.report);
     if let Some(generation_seconds) = run.generation_seconds {
         println!("generation time: {generation_seconds:.2}s CPU across all workers");
     }
     options.write_json(&rendered.document)?;
+    if let Some(recorder) = recorder {
+        let metrics = crate::metrics::ShardMetrics {
+            elapsed_seconds: Some(elapsed_seconds),
+            generation_seconds: run.generation_seconds,
+            kernel: figure.resolved_kernel_tuned(&spec, options.tuning()),
+            auto_threshold: options.auto_threshold,
+            snapshot: Some(recorder.snapshot()),
+        };
+        options.write_metrics(&metrics)?;
+    }
     Ok(())
 }
 

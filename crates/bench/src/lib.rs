@@ -24,6 +24,7 @@
 pub mod cli;
 pub mod figures;
 pub mod json;
+pub mod metrics;
 pub mod shard;
 
 pub use cli::RunOptions;

@@ -31,6 +31,7 @@
 
 use crate::figures::{FigureSpec, PanelState};
 use crate::json::{JsonValue, ToJson};
+use crate::metrics::ShardMetrics;
 use faultmit_analysis::{CatalogueAccumulator, CdfSketch, EmpiricalCdf};
 use faultmit_sim::{PairedSample, ShardSpec};
 use std::collections::BTreeMap;
@@ -40,8 +41,16 @@ use std::path::Path;
 /// Format tag of shard-state documents (bump on incompatible changes).
 ///
 /// `v2` replaced the fig5/fig7-only `v1` layout with the registry's
-/// panel-state union (catalogue / records / table).
-pub const SHARD_STATE_FORMAT: &str = "faultmit-shard-state/v2";
+/// panel-state union (catalogue / records / table); `v3` folded the four
+/// ad-hoc telemetry fields (`elapsed_seconds`, `kernel`,
+/// `generation_seconds`, `auto_threshold`) into one `metrics` section that
+/// also carries the observability snapshot. `v2` files still load — see
+/// [`ShardState::from_json`].
+pub const SHARD_STATE_FORMAT: &str = "faultmit-shard-state/v3";
+
+/// The previous format tag, still accepted by the loader: its top-level
+/// telemetry fields are folded into [`ShardState::metrics`] on read.
+pub const SHARD_STATE_FORMAT_V2: &str = "faultmit-shard-state/v2";
 
 /// Error reading or merging shard state.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,37 +95,14 @@ pub struct ShardState {
     pub shard: ShardSpec,
     /// Per-panel state, in panel order.
     pub panels: Vec<ShardPanelState>,
-    /// Wall-clock seconds the producing process spent evaluating this
-    /// shard (telemetry only — never part of the campaign identity, and
-    /// absent from checkpoints written before it existed). Campaign
-    /// drivers use it to report per-shard timing and size future splits to
-    /// the slowest host.
-    pub elapsed_seconds: Option<f64>,
-    /// Name of the evaluation kernel that produced this shard (`"scalar"`,
-    /// `"sparse"`, `"bitsliced"`, `"bitsliced256"`, or the density-resolved
-    /// `"auto:<kernel>"` telemetry of `--kernel auto`). Kernels are
-    /// bit-identical, so like [`ShardState::elapsed_seconds`] this exists to
-    /// make throughput numbers comparable across checkpoints, and it is
-    /// absent from files written before it existed — but unlike the timing
-    /// it must agree across a shard set: [`ShardState::merge`] refuses sets
-    /// whose shards report different kernels, since mixed checkpoints mean
-    /// the campaign was re-sharded with inconsistent flags.
-    pub kernel: Option<String>,
-    /// CPU seconds the producing process spent *generating* fault maps
-    /// (summed across worker threads, so it can exceed
-    /// [`ShardState::elapsed_seconds`] at worker counts above one).
-    /// Telemetry only, like the wall clock: absent from checkpoints written
-    /// before it existed, and figures whose engines do not time generation
-    /// record none.
-    pub generation_seconds: Option<f64>,
-    /// The `--auto-threshold` density override (expected faults per row)
-    /// the producing run resolved its `auto` kernel with; `None` = the
-    /// engine default (also absent from older checkpoints). Recorded next
-    /// to the resolved `auto:<kernel>` tag because the override can flip
-    /// the resolution, so like [`ShardState::kernel`] it must agree across
-    /// a shard set: [`ShardState::merge`] refuses sets whose shards record
-    /// different thresholds.
-    pub auto_threshold: Option<f64>,
+    /// The shard's telemetry section — wall/generation clocks, kernel
+    /// identity, the `--auto-threshold` override and the observability
+    /// snapshot (see [`ShardMetrics`]). Never part of the campaign
+    /// identity: panel states (and the rendered figure JSON) are
+    /// byte-identical whatever this records. [`ShardState::merge`]
+    /// validates the kernel/threshold identity across a shard set and
+    /// **aggregates** the rest (clocks and snapshots sum).
+    pub metrics: ShardMetrics,
 }
 
 impl ShardState {
@@ -127,6 +113,32 @@ impl ShardState {
         self.spec == *spec && self.shard == shard
     }
 
+    /// Wall-clock seconds the producing process spent evaluating this
+    /// shard (the `metrics` section's clock; summed across shards in a
+    /// merged state).
+    #[must_use]
+    pub fn elapsed_seconds(&self) -> Option<f64> {
+        self.metrics.elapsed_seconds
+    }
+
+    /// CPU seconds spent generating fault maps, summed across workers.
+    #[must_use]
+    pub fn generation_seconds(&self) -> Option<f64> {
+        self.metrics.generation_seconds
+    }
+
+    /// Name of the evaluation kernel that produced this state.
+    #[must_use]
+    pub fn kernel(&self) -> Option<&str> {
+        self.metrics.kernel.as_deref()
+    }
+
+    /// The `--auto-threshold` override the producing run resolved with.
+    #[must_use]
+    pub fn auto_threshold(&self) -> Option<f64> {
+        self.metrics.auto_threshold
+    }
+
     /// Serialises the state to the shard-file document.
     #[must_use]
     pub fn to_json(&self) -> JsonValue {
@@ -135,34 +147,7 @@ impl ShardState {
             ("spec", self.spec.to_json()),
             ("shard_index", self.shard.shard_index().to_json()),
             ("shard_count", self.shard.shard_count().to_json()),
-            (
-                "elapsed_seconds",
-                match self.elapsed_seconds {
-                    None => JsonValue::Null,
-                    Some(seconds) => JsonValue::Number(seconds),
-                },
-            ),
-            (
-                "kernel",
-                match &self.kernel {
-                    None => JsonValue::Null,
-                    Some(kernel) => kernel.to_json(),
-                },
-            ),
-            (
-                "generation_seconds",
-                match self.generation_seconds {
-                    None => JsonValue::Null,
-                    Some(seconds) => JsonValue::Number(seconds),
-                },
-            ),
-            (
-                "auto_threshold",
-                match self.auto_threshold {
-                    None => JsonValue::Null,
-                    Some(threshold) => JsonValue::Number(threshold),
-                },
-            ),
+            ("metrics", self.metrics.to_json()),
             (
                 "panels",
                 JsonValue::Array(
@@ -203,9 +188,11 @@ impl ShardState {
             .get("format")
             .and_then(JsonValue::as_str)
             .ok_or_else(|| ShardStateError::new("missing 'format' tag"))?;
-        if format != SHARD_STATE_FORMAT {
+        let legacy_v2 = format == SHARD_STATE_FORMAT_V2;
+        if format != SHARD_STATE_FORMAT && !legacy_v2 {
             return Err(ShardStateError::new(format!(
-                "unsupported shard-state format '{format}', expected '{SHARD_STATE_FORMAT}'"
+                "unsupported shard-state format '{format}', expected '{SHARD_STATE_FORMAT}' \
+                 (or the legacy '{SHARD_STATE_FORMAT_V2}')"
             )));
         }
         let spec = document
@@ -222,17 +209,30 @@ impl ShardState {
             .ok_or_else(|| ShardStateError::new("missing 'shard_count'"))?;
         let shard = ShardSpec::new(shard_index as usize, shard_count as usize)
             .map_err(|e| ShardStateError::new(e.to_string()))?;
-        // Telemetry is optional: files from before it existed (or merged
-        // states) simply carry none.
-        let elapsed_seconds = document.get("elapsed_seconds").and_then(JsonValue::as_f64);
-        let kernel = document
-            .get("kernel")
-            .and_then(JsonValue::as_str)
-            .map(str::to_owned);
-        let generation_seconds = document
-            .get("generation_seconds")
-            .and_then(JsonValue::as_f64);
-        let auto_threshold = document.get("auto_threshold").and_then(JsonValue::as_f64);
+        // Telemetry is optional: files from before it existed simply carry
+        // none. v2 checkpoints spread the fields over the document's top
+        // level; v3 folds them into the `metrics` section — either way they
+        // land in the same [`ShardMetrics`], so there is exactly one
+        // accessor path whatever produced the file.
+        let metrics = if legacy_v2 {
+            ShardMetrics {
+                elapsed_seconds: document.get("elapsed_seconds").and_then(JsonValue::as_f64),
+                kernel: document
+                    .get("kernel")
+                    .and_then(JsonValue::as_str)
+                    .map(str::to_owned),
+                generation_seconds: document
+                    .get("generation_seconds")
+                    .and_then(JsonValue::as_f64),
+                auto_threshold: document.get("auto_threshold").and_then(JsonValue::as_f64),
+                snapshot: None,
+            }
+        } else {
+            match document.get("metrics") {
+                None => ShardMetrics::default(),
+                Some(section) => ShardMetrics::from_json(section).map_err(ShardStateError::new)?,
+            }
+        };
         let panels = document
             .get("panels")
             .and_then(JsonValue::as_array)
@@ -259,10 +259,7 @@ impl ShardState {
             spec,
             shard,
             panels,
-            elapsed_seconds,
-            kernel,
-            generation_seconds,
-            auto_threshold,
+            metrics,
         })
     }
 
@@ -310,7 +307,7 @@ impl ShardState {
         // Legacy checkpoints without the field merge with anything.
         let mut kernels: Vec<String> = shards
             .iter()
-            .filter_map(|shard| shard.kernel.clone())
+            .filter_map(|shard| shard.metrics.kernel.clone())
             .collect();
         kernels.sort();
         kernels.dedup();
@@ -321,7 +318,7 @@ impl ShardState {
         // exact equality is the right notion.
         let mut thresholds: Vec<u64> = shards
             .iter()
-            .filter_map(|shard| shard.auto_threshold.map(f64::to_bits))
+            .filter_map(|shard| shard.metrics.auto_threshold.map(f64::to_bits))
             .collect();
         thresholds.sort_unstable();
         thresholds.dedup();
@@ -441,16 +438,14 @@ impl ShardState {
             for (into, from) in merged.panels.iter_mut().zip(shard.panels) {
                 into.state.merge(from.state).map_err(ShardStateError::new)?;
             }
+            // Telemetry aggregates across the set: clocks and snapshots
+            // sum (counter sums are the monolithic run's counters, since
+            // every chunk's contribution lands in exactly one shard); the
+            // kernel/threshold identity was validated consistent above and
+            // is kept.
+            merged.metrics.absorb(&shard.metrics);
         }
         merged.shard = ShardSpec::solo();
-        // Per-shard telemetry does not describe the merged whole. The
-        // kernel and threshold were verified consistent above, but they
-        // described how the shards were *produced*; the merged state is
-        // kernel-independent.
-        merged.elapsed_seconds = None;
-        merged.kernel = None;
-        merged.generation_seconds = None;
-        merged.auto_threshold = None;
         Ok(merged)
     }
 
@@ -944,10 +939,13 @@ mod tests {
                 label: "fig5".to_owned(),
                 state: one_panel_state(values),
             }],
-            elapsed_seconds: Some(0.25 + index as f64),
-            kernel: Some("sparse".to_owned()),
-            generation_seconds: Some(0.125 + index as f64 * 0.5),
-            auto_threshold: None,
+            metrics: ShardMetrics {
+                elapsed_seconds: Some(0.25 + index as f64),
+                kernel: Some("sparse".to_owned()),
+                generation_seconds: Some(0.125 + index as f64 * 0.5),
+                auto_threshold: None,
+                snapshot: None,
+            },
         }
     }
 
@@ -978,10 +976,7 @@ mod tests {
         let state = ShardState {
             spec: spec(),
             shard: ShardSpec::solo(),
-            elapsed_seconds: None,
-            kernel: None,
-            generation_seconds: None,
-            auto_threshold: None,
+            metrics: ShardMetrics::default(),
             panels: vec![
                 ShardPanelState {
                     label: "cat".to_owned(),
@@ -1005,31 +1000,76 @@ mod tests {
     fn elapsed_telemetry_round_trips_and_is_optional() {
         // Telemetry survives the round trip…
         let mut state = shard_with(1, 3, &[7.5]);
-        state.auto_threshold = Some(0.0625);
-        assert_eq!(state.elapsed_seconds, Some(1.25));
-        assert_eq!(state.kernel.as_deref(), Some("sparse"));
-        assert_eq!(state.generation_seconds, Some(0.625));
+        state.metrics.auto_threshold = Some(0.0625);
+        assert_eq!(state.elapsed_seconds(), Some(1.25));
+        assert_eq!(state.kernel(), Some("sparse"));
+        assert_eq!(state.generation_seconds(), Some(0.625));
         let round = ShardState::parse(&state.to_json().to_pretty_string()).unwrap();
-        assert_eq!(round.elapsed_seconds, Some(1.25));
-        assert_eq!(round.kernel.as_deref(), Some("sparse"));
-        assert_eq!(round.generation_seconds, Some(0.625));
-        assert_eq!(round.auto_threshold, Some(0.0625));
-        // …and files from before it existed (no fields) parse as None.
+        assert_eq!(round.elapsed_seconds(), Some(1.25));
+        assert_eq!(round.kernel(), Some("sparse"));
+        assert_eq!(round.generation_seconds(), Some(0.625));
+        assert_eq!(round.auto_threshold(), Some(0.0625));
+        // …and files without the `metrics` section parse as empty metrics.
         let mut document = state.to_json();
         if let JsonValue::Object(fields) = &mut document {
-            fields.retain(|(key, _)| {
-                key != "elapsed_seconds"
-                    && key != "kernel"
-                    && key != "generation_seconds"
-                    && key != "auto_threshold"
-            });
+            fields.retain(|(key, _)| key != "metrics");
         }
         let legacy = ShardState::from_json(&document).unwrap();
-        assert_eq!(legacy.elapsed_seconds, None);
-        assert_eq!(legacy.kernel, None);
-        assert_eq!(legacy.generation_seconds, None);
-        assert_eq!(legacy.auto_threshold, None);
+        assert!(legacy.metrics.is_empty());
+        assert_eq!(legacy.elapsed_seconds(), None);
+        assert_eq!(legacy.kernel(), None);
         assert!(legacy.matches(&spec(), ShardSpec::new(1, 3).unwrap()));
+    }
+
+    #[test]
+    fn legacy_v2_checkpoints_with_top_level_telemetry_still_parse() {
+        // A literal v2 document, exactly as `campaign_shard` wrote it before
+        // the `metrics` section existed: telemetry lives at the top level.
+        let mut document = shard_with(1, 3, &[7.5]).to_json();
+        let JsonValue::Object(fields) = &mut document else {
+            panic!("shard state serialises as an object");
+        };
+        fields.retain(|(key, _)| key != "metrics");
+        for (key, value) in fields.iter_mut() {
+            if key == "format" {
+                *value = JsonValue::String(SHARD_STATE_FORMAT_V2.to_owned());
+            }
+        }
+        fields.push(("elapsed_seconds".to_owned(), JsonValue::Number(1.25)));
+        fields.push(("kernel".to_owned(), JsonValue::String("sparse".to_owned())));
+        fields.push(("generation_seconds".to_owned(), JsonValue::Number(0.625)));
+        fields.push(("auto_threshold".to_owned(), JsonValue::Number(0.0625)));
+
+        let migrated = ShardState::from_json(&document).unwrap();
+        assert_eq!(migrated.elapsed_seconds(), Some(1.25));
+        assert_eq!(migrated.kernel(), Some("sparse"));
+        assert_eq!(migrated.generation_seconds(), Some(0.625));
+        assert_eq!(migrated.auto_threshold(), Some(0.0625));
+        assert!(migrated.metrics.snapshot.is_none());
+        // The migrated state re-serialises as v3 with a `metrics` section.
+        let round = ShardState::parse(&migrated.to_json().to_pretty_string()).unwrap();
+        assert_eq!(round, migrated);
+    }
+
+    #[test]
+    fn shard_state_round_trips_a_populated_metrics_snapshot() {
+        let recorder = faultmit_obs::Recorder::new();
+        {
+            let recorder = std::sync::Arc::new(recorder);
+            let _guard = faultmit_obs::install(&recorder);
+            faultmit_obs::count(faultmit_obs::Counter::SamplesEvaluated, 42);
+            faultmit_obs::record(faultmit_obs::Histogram::FaultsPerDie, 3);
+            faultmit_obs::add_stage(faultmit_obs::Stage::Generate, 1_000, 7);
+            let mut state = shard_with(0, 1, &[7.5]);
+            state.metrics.snapshot = Some(recorder.snapshot());
+            let round = ShardState::parse(&state.to_json().to_pretty_string()).unwrap();
+            assert_eq!(round, state);
+            let snapshot = round.metrics.snapshot.expect("snapshot survives");
+            assert_eq!(
+                snapshot.counter(faultmit_obs::Counter::SamplesEvaluated),
+                42
+            );
+        }
     }
 
     #[test]
@@ -1041,18 +1081,11 @@ mod tests {
         ])
         .unwrap();
         assert!(merged.shard.is_solo());
-        assert_eq!(
-            merged.elapsed_seconds, None,
-            "per-shard telemetry must not survive the merge"
-        );
-        assert_eq!(
-            merged.kernel, None,
-            "per-shard kernel telemetry must not survive the merge"
-        );
-        assert_eq!(
-            merged.generation_seconds, None,
-            "per-shard generation telemetry must not survive the merge"
-        );
+        // Telemetry aggregates: clocks sum across the set, the validated
+        // kernel identity is kept.
+        assert_eq!(merged.elapsed_seconds(), Some(0.25 + 1.25 + 2.25));
+        assert_eq!(merged.kernel(), Some("sparse"));
+        assert_eq!(merged.generation_seconds(), Some(0.125 + 0.625 + 1.125));
         let PanelState::Catalogue { accumulator, .. } = &merged.panels[0].state else {
             panic!("expected catalogue state");
         };
@@ -1068,9 +1101,9 @@ mod tests {
         // A disagreeing kernel is a re-sharded campaign with different
         // flags (or inconsistent auto resolutions) — refuse, naming both.
         let mut wide = shard_with(1, 2, &[2.0]);
-        wide.kernel = Some("auto:bitsliced256".to_owned());
+        wide.metrics.kernel = Some("auto:bitsliced256".to_owned());
         let mut sparse = shard_with(0, 2, &[1.0]);
-        sparse.kernel = Some("auto:sparse".to_owned());
+        sparse.metrics.kernel = Some("auto:sparse".to_owned());
         let error = ShardState::merge(vec![sparse, wide]).unwrap_err();
         assert!(
             error.reason.contains(
@@ -1080,18 +1113,20 @@ mod tests {
             "{error}"
         );
 
-        // Legacy checkpoints without the field merge with anything…
+        // Legacy checkpoints without the field merge with anything (the
+        // shard that did record a kernel supplies the merged identity)…
         let mut legacy = shard_with(0, 2, &[1.0]);
-        legacy.kernel = None;
+        legacy.metrics.kernel = None;
         let merged = ShardState::merge(vec![legacy, shard_with(1, 2, &[2.0])]).unwrap();
-        assert_eq!(merged.kernel, None);
+        assert_eq!(merged.kernel(), Some("sparse"));
 
         // …and an agreeing auto resolution merges like any fixed kernel.
         let mut a = shard_with(0, 2, &[1.0]);
         let mut b = shard_with(1, 2, &[2.0]);
-        a.kernel = Some("auto:sparse".to_owned());
-        b.kernel = Some("auto:sparse".to_owned());
-        assert!(ShardState::merge(vec![a, b]).is_ok());
+        a.metrics.kernel = Some("auto:sparse".to_owned());
+        b.metrics.kernel = Some("auto:sparse".to_owned());
+        let merged = ShardState::merge(vec![a, b]).unwrap();
+        assert_eq!(merged.kernel(), Some("auto:sparse"));
     }
 
     #[test]
@@ -1100,8 +1135,8 @@ mod tests {
         // with inconsistent --auto-threshold flags — refuse, naming both.
         let mut a = shard_with(0, 2, &[1.0]);
         let mut b = shard_with(1, 2, &[2.0]);
-        a.auto_threshold = Some(0.0625);
-        b.auto_threshold = Some(0.25);
+        a.metrics.auto_threshold = Some(0.0625);
+        b.metrics.auto_threshold = Some(0.25);
         let error = ShardState::merge(vec![a, b]).unwrap_err();
         assert!(
             error
@@ -1111,17 +1146,17 @@ mod tests {
         );
 
         // Legacy checkpoints without the field merge with anything, and an
-        // agreeing override merges — clearing the telemetry on the way out.
+        // agreeing override merges — keeping the validated threshold.
         let mut a = shard_with(0, 2, &[1.0]);
         let mut b = shard_with(1, 2, &[2.0]);
-        a.auto_threshold = Some(0.0625);
-        b.auto_threshold = Some(0.0625);
+        a.metrics.auto_threshold = Some(0.0625);
+        b.metrics.auto_threshold = Some(0.0625);
         let merged = ShardState::merge(vec![a, b]).unwrap();
-        assert_eq!(merged.auto_threshold, None);
+        assert_eq!(merged.auto_threshold(), Some(0.0625));
         let mut legacy = shard_with(0, 2, &[1.0]);
-        legacy.auto_threshold = None;
+        legacy.metrics.auto_threshold = None;
         let mut tuned = shard_with(1, 2, &[2.0]);
-        tuned.auto_threshold = Some(0.5);
+        tuned.metrics.auto_threshold = Some(0.5);
         assert!(ShardState::merge(vec![legacy, tuned]).is_ok());
     }
 

@@ -53,15 +53,14 @@ fn read(path: &str) -> String {
     std::fs::read_to_string(Path::new(path)).unwrap_or_else(|e| panic!("read {path}: {e}"))
 }
 
-/// Parses a shard checkpoint with its timing telemetry stripped: the
-/// recorded `elapsed_seconds`/`generation_seconds` vary run to run by
-/// design, so checkpoint equality means "same campaign state", not "same
-/// bytes".
+/// Parses a shard checkpoint with its metrics telemetry stripped: the
+/// recorded wall clocks (and the stage timers inside the snapshot) vary
+/// run to run by design, so checkpoint equality means "same campaign
+/// state", not "same bytes".
 fn state_of(path: &str) -> faultmit_bench::shard::ShardState {
     let mut state = faultmit_bench::shard::ShardState::parse(&read(path))
         .unwrap_or_else(|e| panic!("parse {path}: {e}"));
-    state.elapsed_seconds = None;
-    state.generation_seconds = None;
+    state.metrics = Default::default();
     state
 }
 

@@ -22,6 +22,7 @@ use faultmit_ecc::{HammingSecded, LaneCounter, SecdedCode};
 use faultmit_memsim::{
     corrupt_word, Fault, FaultKind, FaultMap, Lane, LaneCell, ResidualLanes, W256,
 };
+use faultmit_obs as obs;
 
 /// The word an application observes after a faulty read, plus whether the
 /// protection scheme still vouches for it.
@@ -453,7 +454,9 @@ impl Scheme {
                     // campaign densities; rebuild their sorted fault slice
                     // on the stack and reuse the scalar sparse path.
                     let mut scratch = [Fault::bit_flip(0, 0); 64];
+                    let mut fallback_dies = 0u64;
                     multi.for_each_die(|die| {
+                        fallback_dies += 1;
                         let mut len = 0;
                         for cell in cells {
                             if cell.presence().bit(die) != 0 {
@@ -478,6 +481,7 @@ impl Scheme {
                             residual.accumulate(col, L::lane_bit(die));
                         }
                     });
+                    obs::count(obs::Counter::ObserveFallbackDies, fallback_dies);
                 }
             }
         }

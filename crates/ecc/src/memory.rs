@@ -7,6 +7,7 @@ use crate::error::EccError;
 use crate::hamming::HammingSecded;
 use crate::pecc::PriorityEcc;
 use faultmit_memsim::{FaultMap, MemoryConfig, SramArray};
+use faultmit_obs as obs;
 
 /// A memory whose every word is protected by a full-word SECDED code.
 ///
@@ -106,8 +107,10 @@ impl EccMemory {
         let clean = !self.array.faults().row_has_fault(row);
         let codeword = self.array.read(row)?;
         if clean {
+            obs::count(obs::Counter::EccCleanDecodes, 1);
             self.code.decode_clean(codeword)
         } else {
+            obs::count(obs::Counter::EccFullDecodes, 1);
             self.code.decode(codeword)
         }
     }
@@ -189,8 +192,10 @@ impl PeccMemory {
         let clean = !self.array.faults().row_has_fault(row);
         let stored = self.array.read(row)?;
         if clean {
+            obs::count(obs::Counter::EccCleanDecodes, 1);
             self.pecc.decode_clean(stored)
         } else {
+            obs::count(obs::Counter::EccFullDecodes, 1);
             self.pecc.decode(stored)
         }
     }

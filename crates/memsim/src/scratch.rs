@@ -23,6 +23,7 @@ use crate::error::MemError;
 use crate::fault::FaultMap;
 use crate::seeder::{PlannedSample, StreamSeeder};
 use crate::widegen::WideGenScratch;
+use faultmit_obs as obs;
 use rand::rngs::StdRng;
 use std::collections::HashSet;
 
@@ -130,7 +131,11 @@ impl DieScratch {
         backend.sample_into(rng, n_faults, self)?;
         if self.capacity_signature() != before {
             self.realloc_events += 1;
+            obs::count(obs::Counter::ReallocEvents, 1);
         }
+        obs::count(obs::Counter::DiesGenerated, 1);
+        obs::count(obs::Counter::FaultsGenerated, n_faults as u64);
+        obs::record(obs::Histogram::FaultsPerDie, n_faults as u64);
         Ok(&self.map)
     }
 
@@ -158,7 +163,11 @@ impl DieScratch {
         }
         if self.capacity_signature() != before {
             self.realloc_events += 1;
+            obs::count(obs::Counter::ReallocEvents, 1);
         }
+        obs::count(obs::Counter::DiesGenerated, 1);
+        obs::count(obs::Counter::FaultsGenerated, n_faults as u64);
+        obs::record(obs::Histogram::FaultsPerDie, n_faults as u64);
         Ok(&self.map)
     }
 }
@@ -312,6 +321,7 @@ impl<L: Lane> BlockScratch<L> {
         };
         self.events = events;
         result?;
+        let transpose_span = obs::span(obs::Stage::Transpose);
         // Restore `(row, col, die)` order for transposition. Events arrive
         // die-major with each die already `(row, col)`-sorted, so a stable
         // two-pass counting sort on the `(row, col)` key reproduces the
@@ -343,8 +353,11 @@ impl<L: Lane> BlockScratch<L> {
             self.events.sort_unstable();
         }
         transpose_events(&self.events, &mut self.cells, &mut self.rows);
+        drop(transpose_span);
+        obs::count(obs::Counter::BlocksTransposed, 1);
         if self.capacity_signature() != before {
             self.realloc_events += 1;
+            obs::count(obs::Counter::ReallocEvents, 1);
         }
         Ok(DieBlock::new(
             &self.rows,
@@ -381,6 +394,10 @@ impl<L: Lane> BlockScratch<L> {
             for fault in self.scalar.map.iter() {
                 events.push(pack_event(fault.row, fault.col, die, fault.kind));
             }
+            let n_faults = planned.n_faults;
+            obs::count(obs::Counter::DiesGenerated, 1);
+            obs::count(obs::Counter::FaultsGenerated, n_faults);
+            obs::record(obs::Histogram::FaultsPerDie, n_faults);
         }
         Ok(())
     }

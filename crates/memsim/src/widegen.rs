@@ -52,6 +52,7 @@ use crate::dieblock::pack_event;
 use crate::error::MemError;
 use crate::fault::FaultKind;
 use crate::seeder::{PlannedSample, StreamSeeder};
+use faultmit_obs as obs;
 use rand::wide::WideXoshiro;
 use rand::Rng;
 
@@ -153,13 +154,24 @@ pub(crate) fn generate_block_events(
         }
     }
     scratch.ensure_lanes(WIDE_LANES);
+    // Chunk-local metrics arena: lane-utilisation slots are counted per
+    // lock-step Floyd step, so they are batched here and flushed once per
+    // block rather than resolving the recorder per step.
+    let mut arena = obs::MetricsArena::new();
+    for planned in plan {
+        arena.count(obs::Counter::DiesGenerated, 1);
+        arena.count(obs::Counter::FaultsGenerated, planned.n_faults);
+        arena.record(obs::Histogram::FaultsPerDie, planned.n_faults);
+    }
     for (chunk_index, chunk) in plan.chunks(WIDE_LANES).enumerate() {
         let base_die = chunk_index * WIDE_LANES;
-        generate_chunk::<WIDE_LANES>(spec, config, seeder, chunk, base_die, scratch);
+        arena.count(obs::Counter::WideGenChunks, 1);
+        generate_chunk::<WIDE_LANES>(spec, config, seeder, chunk, base_die, scratch, &mut arena);
         for lane_events in &scratch.events[..chunk.len()] {
             events.extend_from_slice(lane_events);
         }
     }
+    arena.flush();
     Ok(())
 }
 
@@ -172,6 +184,7 @@ fn generate_chunk<const N: usize>(
     chunk: &[PlannedSample],
     base_die: usize,
     scratch: &mut WideGenScratch,
+    arena: &mut obs::MetricsArena,
 ) {
     let lanes = chunk.len();
     debug_assert!(lanes <= N);
@@ -183,7 +196,7 @@ fn generate_chunk<const N: usize>(
         amounts[j] = planned.n_faults as usize;
     }
     let mut wide = WideXoshiro::<N>::from_seeds(&seeds);
-    wide_floyd(&mut wide, total, &amounts, lanes, scratch);
+    wide_floyd(&mut wide, total, &amounts, lanes, scratch, arena);
 
     // Restore each lane's `(row, col)` order — raw cell indices sort
     // exactly like the scalar map's `(row, col)` key — and pack the
@@ -282,6 +295,7 @@ fn wide_floyd<const N: usize>(
     amounts: &[usize; N],
     lanes: usize,
     scratch: &mut WideGenScratch,
+    arena: &mut obs::MetricsArena,
 ) {
     let mut use_set = [false; N];
     for j in 0..lanes {
@@ -312,6 +326,7 @@ fn wide_floyd<const N: usize>(
         if active_count == 1 {
             // Scalar drain: one divergent lane left — finish it serially at
             // its exact stream position.
+            arena.count(obs::Counter::WideGenScalarDrains, 1);
             let j = last_active;
             let mut rng = wide.lane_rng(j);
             for s in step..amounts[j] {
@@ -328,6 +343,8 @@ fn wide_floyd<const N: usize>(
             wide.store_lane(j, &rng);
             return;
         }
+        arena.count(obs::Counter::WideGenLaneSteps, N as u64);
+        arena.count(obs::Counter::WideGenLanesActive, active_count as u64);
         let draws = wide.gen_bounded_masked(&bounds, &active);
         for j in 0..lanes {
             if active[j] {

@@ -29,6 +29,7 @@ use faultmit_memsim::{
     BlockScratch, DieBatch, DieBlock, DieScratch, FailureCountDistribution, FaultBackend, FaultMap,
     ImageSpec, Lane, MemoryConfig, PlannedSample, SramVddBackend, StreamSeeder,
 };
+use faultmit_obs as obs;
 use std::convert::Infallible;
 use std::fmt;
 use std::ops::Range;
@@ -182,6 +183,12 @@ pub struct ShardStats {
     /// blocks), summed across worker threads — with more than one worker
     /// this is CPU time and can exceed the shard's elapsed time.
     pub generation_seconds: f64,
+    /// Everything the observability layer recorded during the run: the
+    /// delta of the calling thread's current [`faultmit_obs::Recorder`]
+    /// across the shard (zero when no recorder is installed). Counter
+    /// totals obey the same worker-count bit-identity contract as the
+    /// results; stage times and realloc events are host-dependent.
+    pub metrics: obs::MetricsSnapshot,
 }
 
 /// Which evaluation kernel a campaign drives. Every fixed kernel produces
@@ -769,6 +776,8 @@ impl<B: FaultBackend> Campaign<B> {
         E: Send,
     {
         let gen_nanos = AtomicU64::new(0);
+        let recorder = obs::current();
+        let before = recorder.as_ref().map(|r| r.snapshot());
         let accumulator = self.try_run_shard_timed(
             schemes,
             seed,
@@ -779,6 +788,10 @@ impl<B: FaultBackend> Campaign<B> {
         )?;
         let stats = ShardStats {
             generation_seconds: gen_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+            metrics: match (&recorder, &before) {
+                (Some(recorder), Some(before)) => recorder.snapshot().since(before),
+                _ => obs::MetricsSnapshot::default(),
+            },
         };
         Ok((accumulator, stats))
     }
@@ -809,6 +822,7 @@ impl<B: FaultBackend> Campaign<B> {
         A: Accumulator,
         E: Send,
     {
+        let plan_span = obs::span(obs::Stage::Plan);
         let distribution = self.config.failure_distribution()?;
         let samples_per_count = self.config.samples_per_count;
         let (plan, weights) = match self.config.exact_failures {
@@ -832,6 +846,7 @@ impl<B: FaultBackend> Campaign<B> {
                 (plan, weights)
             }
         };
+        drop(plan_span);
 
         let backend = &self.config.backend;
         let seeder = StreamSeeder::new(seed);
@@ -846,6 +861,12 @@ impl<B: FaultBackend> Campaign<B> {
         let map_policy = self.config.map_policy;
         let scratch_reuse = self.config.scratch_reuse;
 
+        // The calling thread's recorder (if any) is re-installed on every
+        // worker so hot-path counters land in one place regardless of the
+        // thread the chunk happens to run on.
+        let recorder = obs::current();
+        let timing = gen_timer.is_some() || recorder.is_some();
+
         // Per-worker scratch: a warm `DieScratch` arena plus a recycled
         // metrics buffer, both reused across every chunk the worker claims.
         // Scratch holds storage only — each chunk's result stays a pure
@@ -856,38 +877,49 @@ impl<B: FaultBackend> Campaign<B> {
             workers,
             || {
                 (
+                    recorder.as_ref().map(obs::install),
                     DieScratch::new(backend.config()),
                     Vec::<f64>::with_capacity(schemes.len()),
                 )
             },
-            |(scratch, metrics), local_index| {
+            |(_recorder_guard, scratch, metrics), local_index| {
                 let chunk_index = owned_chunks.start + local_index;
                 let start = chunk_index * chunk_size;
                 let end = (start + chunk_size).min(plan.len());
                 let mut accumulator = make_accumulator();
-                // Generation time is accumulated locally per chunk and
-                // flushed with one atomic add, so the (optional) timing
-                // costs two clock reads per die and nothing cross-thread.
+                // Timing is accumulated locally per chunk and flushed with
+                // one atomic add (and one arena flush), so the (optional)
+                // stage clocks cost a few reads per die and nothing
+                // cross-thread.
+                let mut arena = obs::MetricsArena::new();
                 let mut gen_nanos = 0u64;
+                let mut observe_nanos = 0u64;
+                let mut reduce_nanos = 0u64;
+                let evaluated = (end - start) as u64;
 
                 if scratch_reuse {
                     for planned in &plan[start..end] {
                         let mut rng = seeder.rng_for_sample(planned.index);
                         let n = planned.n_faults as usize;
-                        let gen_start = gen_timer.map(|_| Instant::now());
+                        let clock = timing.then(Instant::now);
                         let map = match map_policy {
                             MapPolicy::Unrestricted => scratch.generate(backend, &mut rng, n),
                             MapPolicy::SingleFaultPerRow { max_redraws } => scratch
                                 .generate_single_fault_per_row(backend, &mut rng, n, max_redraws),
                         }
                         .map_err(|e| RunError::Sim(SimError::from(e)))?;
-                        if let Some(gen_start) = gen_start {
-                            gen_nanos += gen_start.elapsed().as_nanos() as u64;
-                        }
+                        let clock = clock.map(|t| {
+                            gen_nanos += t.elapsed().as_nanos() as u64;
+                            Instant::now()
+                        });
                         metrics.clear();
                         for scheme in schemes {
                             metrics.push(evaluate(scheme, map).map_err(RunError::Eval)?);
                         }
+                        let clock = clock.map(|t| {
+                            observe_nanos += t.elapsed().as_nanos() as u64;
+                            Instant::now()
+                        });
                         let sample = PairedSample {
                             sample_index: planned.index,
                             n_faults: planned.n_faults,
@@ -897,59 +929,73 @@ impl<B: FaultBackend> Campaign<B> {
                         accumulator.record(&sample);
                         // Reclaim the metrics buffer for the next die.
                         *metrics = sample.metrics;
+                        if let Some(t) = clock {
+                            reduce_nanos += t.elapsed().as_nanos() as u64;
+                        }
                     }
-                    if let Some(timer) = gen_timer {
-                        timer.fetch_add(gen_nanos, Ordering::Relaxed);
+                } else {
+                    // Legacy fresh-allocation path: one `DieBatch` per chunk
+                    // — the reference the equivalence suite compares against
+                    // and the scalar baseline of the throughput benches.
+                    let clock = timing.then(Instant::now);
+                    let batch = match map_policy {
+                        MapPolicy::Unrestricted => {
+                            DieBatch::generate_with_backend(backend, &seeder, &plan[start..end])
+                        }
+                        MapPolicy::SingleFaultPerRow { max_redraws } => {
+                            DieBatch::generate_single_fault_per_row_with_backend(
+                                backend,
+                                &seeder,
+                                &plan[start..end],
+                                max_redraws,
+                            )
+                        }
                     }
-                    return Ok(accumulator);
-                }
-
-                // Legacy fresh-allocation path: one `DieBatch` per chunk —
-                // the reference the equivalence suite compares against and
-                // the scalar baseline of the throughput benches.
-                let gen_start = gen_timer.map(|_| Instant::now());
-                let batch = match map_policy {
-                    MapPolicy::Unrestricted => {
-                        DieBatch::generate_with_backend(backend, &seeder, &plan[start..end])
-                    }
-                    MapPolicy::SingleFaultPerRow { max_redraws } => {
-                        DieBatch::generate_single_fault_per_row_with_backend(
-                            backend,
-                            &seeder,
-                            &plan[start..end],
-                            max_redraws,
-                        )
-                    }
-                }
-                .map_err(|e| RunError::Sim(SimError::from(e)))?;
-                if let Some(gen_start) = gen_start {
-                    gen_nanos += gen_start.elapsed().as_nanos() as u64;
-                }
-
-                for (planned, map) in batch.iter() {
-                    let metrics = schemes
-                        .iter()
-                        .map(|scheme| evaluate(scheme, map))
-                        .collect::<Result<Vec<f64>, E>>()
-                        .map_err(RunError::Eval)?;
-                    accumulator.record(&PairedSample {
-                        sample_index: planned.index,
-                        n_faults: planned.n_faults,
-                        weight: weights[planned.n_faults as usize],
-                        metrics,
+                    .map_err(|e| RunError::Sim(SimError::from(e)))?;
+                    let clock = clock.map(|t| {
+                        gen_nanos += t.elapsed().as_nanos() as u64;
+                        Instant::now()
                     });
+
+                    for (planned, map) in batch.iter() {
+                        let metrics = schemes
+                            .iter()
+                            .map(|scheme| evaluate(scheme, map))
+                            .collect::<Result<Vec<f64>, E>>()
+                            .map_err(RunError::Eval)?;
+                        accumulator.record(&PairedSample {
+                            sample_index: planned.index,
+                            n_faults: planned.n_faults,
+                            weight: weights[planned.n_faults as usize],
+                            metrics,
+                        });
+                    }
+                    if let Some(t) = clock {
+                        observe_nanos += t.elapsed().as_nanos() as u64;
+                    }
                 }
+
                 if let Some(timer) = gen_timer {
                     timer.fetch_add(gen_nanos, Ordering::Relaxed);
                 }
+                arena.count(obs::Counter::ChunksExecuted, 1);
+                arena.count(obs::Counter::SamplesEvaluated, evaluated);
+                if timing {
+                    arena.add_stage(obs::Stage::Generate, gen_nanos, evaluated);
+                    arena.add_stage(obs::Stage::Observe, observe_nanos, evaluated);
+                    arena.add_stage(obs::Stage::Reduce, reduce_nanos, evaluated);
+                }
+                arena.flush();
                 Ok(accumulator)
             },
         );
 
+        let merge_span = obs::span(obs::Stage::Merge);
         let mut merged = make_accumulator();
         for result in chunk_results {
             merged.merge(result?);
         }
+        drop(merge_span);
         Ok(merged)
     }
 
@@ -1021,6 +1067,8 @@ impl<B: FaultBackend> Campaign<B> {
         A: Accumulator,
     {
         let gen_nanos = AtomicU64::new(0);
+        let recorder = obs::current();
+        let before = recorder.as_ref().map(|r| r.snapshot());
         let accumulator = self.run_shard_blocks_timed(
             schemes,
             seed,
@@ -1032,6 +1080,10 @@ impl<B: FaultBackend> Campaign<B> {
         )?;
         let stats = ShardStats {
             generation_seconds: gen_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+            metrics: match (&recorder, &before) {
+                (Some(recorder), Some(before)) => recorder.snapshot().since(before),
+                _ => obs::MetricsSnapshot::default(),
+            },
         };
         Ok((accumulator, stats))
     }
@@ -1060,6 +1112,7 @@ impl<B: FaultBackend> Campaign<B> {
         G: Fn(&S, &DieBlock<'_, L>, &mut [f64]) + Sync,
         A: Accumulator,
     {
+        let plan_span = obs::span(obs::Stage::Plan);
         let distribution = self.config.failure_distribution()?;
         let samples_per_count = self.config.samples_per_count;
         let (plan, weights) = match self.config.exact_failures {
@@ -1083,6 +1136,7 @@ impl<B: FaultBackend> Campaign<B> {
                 (plan, weights)
             }
         };
+        drop(plan_span);
 
         let backend = &self.config.backend;
         let seeder = StreamSeeder::new(seed);
@@ -1098,6 +1152,11 @@ impl<B: FaultBackend> Campaign<B> {
         };
         let wide_generation = self.config.wide_generation;
 
+        // Re-install the calling thread's recorder (if any) on every worker
+        // so block-kernel counters land in one place.
+        let recorder = obs::current();
+        let timing = gen_timer.is_some() || recorder.is_some();
+
         // Per-worker scratch: one warm arena (fault map + transposed block
         // buffers), a recycled per-die metrics vector, and the per-scheme
         // block output matrix (schemes × L::LANES lanes).
@@ -1108,18 +1167,23 @@ impl<B: FaultBackend> Campaign<B> {
                 let mut scratch = BlockScratch::<L>::new(backend.config());
                 scratch.set_wide_generation(wide_generation);
                 (
+                    recorder.as_ref().map(obs::install),
                     scratch,
                     Vec::<f64>::with_capacity(schemes.len()),
                     vec![0.0f64; schemes.len() * L::LANES],
                 )
             },
-            |(scratch, metrics, block_out), local_index| {
+            |(_recorder_guard, scratch, metrics, block_out), local_index| {
                 let chunk_index = owned_chunks.start + local_index;
                 let start = chunk_index * chunk_size;
                 let end = (start + chunk_size).min(plan.len());
                 let mut accumulator = make_accumulator();
                 // Per-chunk local accumulation, one atomic flush per chunk.
+                let mut arena = obs::MetricsArena::new();
                 let mut gen_nanos = 0u64;
+                let mut observe_nanos = 0u64;
+                let mut reduce_nanos = 0u64;
+                let evaluated = (end - start) as u64;
 
                 for group in plan[start..end].chunks(L::LANES) {
                     if let [planned] = group {
@@ -1128,7 +1192,7 @@ impl<B: FaultBackend> Campaign<B> {
                         let scalar = scratch.scalar_mut();
                         let mut rng = seeder.rng_for_sample(planned.index);
                         let n = planned.n_faults as usize;
-                        let gen_start = gen_timer.map(|_| Instant::now());
+                        let clock = timing.then(Instant::now);
                         let map = match max_redraws {
                             None => scalar.generate(backend, &mut rng, n),
                             Some(budget) => {
@@ -1136,13 +1200,18 @@ impl<B: FaultBackend> Campaign<B> {
                             }
                         }
                         .map_err(SimError::from)?;
-                        if let Some(gen_start) = gen_start {
-                            gen_nanos += gen_start.elapsed().as_nanos() as u64;
-                        }
+                        let clock = clock.map(|t| {
+                            gen_nanos += t.elapsed().as_nanos() as u64;
+                            Instant::now()
+                        });
                         metrics.clear();
                         for scheme in schemes {
                             metrics.push(evaluate_sample(scheme, map));
                         }
+                        let clock = clock.map(|t| {
+                            observe_nanos += t.elapsed().as_nanos() as u64;
+                            Instant::now()
+                        });
                         let sample = PairedSample {
                             sample_index: planned.index,
                             n_faults: planned.n_faults,
@@ -1151,16 +1220,20 @@ impl<B: FaultBackend> Campaign<B> {
                         };
                         accumulator.record(&sample);
                         *metrics = sample.metrics;
+                        if let Some(t) = clock {
+                            reduce_nanos += t.elapsed().as_nanos() as u64;
+                        }
                         continue;
                     }
 
-                    let gen_start = gen_timer.map(|_| Instant::now());
+                    let clock = timing.then(Instant::now);
                     let block = scratch
                         .generate_block(backend, &seeder, group, max_redraws)
                         .map_err(SimError::from)?;
-                    if let Some(gen_start) = gen_start {
-                        gen_nanos += gen_start.elapsed().as_nanos() as u64;
-                    }
+                    let clock = clock.map(|t| {
+                        gen_nanos += t.elapsed().as_nanos() as u64;
+                        Instant::now()
+                    });
                     for (s, scheme) in schemes.iter().enumerate() {
                         evaluate_block(
                             scheme,
@@ -1168,6 +1241,10 @@ impl<B: FaultBackend> Campaign<B> {
                             &mut block_out[s * L::LANES..(s + 1) * L::LANES],
                         );
                     }
+                    let clock = clock.map(|t| {
+                        observe_nanos += t.elapsed().as_nanos() as u64;
+                        Instant::now()
+                    });
                     for (j, planned) in group.iter().enumerate() {
                         metrics.clear();
                         for s in 0..schemes.len() {
@@ -1182,18 +1259,31 @@ impl<B: FaultBackend> Campaign<B> {
                         accumulator.record(&sample);
                         *metrics = sample.metrics;
                     }
+                    if let Some(t) = clock {
+                        reduce_nanos += t.elapsed().as_nanos() as u64;
+                    }
                 }
                 if let Some(timer) = gen_timer {
                     timer.fetch_add(gen_nanos, Ordering::Relaxed);
                 }
+                arena.count(obs::Counter::ChunksExecuted, 1);
+                arena.count(obs::Counter::SamplesEvaluated, evaluated);
+                if timing {
+                    arena.add_stage(obs::Stage::Generate, gen_nanos, evaluated);
+                    arena.add_stage(obs::Stage::Observe, observe_nanos, evaluated);
+                    arena.add_stage(obs::Stage::Reduce, reduce_nanos, evaluated);
+                }
+                arena.flush();
                 Ok(accumulator)
             },
         );
 
+        let merge_span = obs::span(obs::Stage::Merge);
         let mut merged = make_accumulator();
         for result in chunk_results {
             merged.merge(result?);
         }
+        drop(merge_span);
         Ok(merged)
     }
 }

@@ -14,6 +14,7 @@
 //!
 //! | crate | contents |
 //! |---|---|
+//! | [`obs`] | allocation-free observability: typed counters, fixed-bucket histograms, pipeline-stage spans and deterministic [`obs::MetricsSnapshot`]s |
 //! | [`memsim`] | SRAM functional model, fault maps, `P_cell(V_DD)` model, BIST, Monte-Carlo die sampling, stream-split seeding, and the [`memsim::backend`] fault-technology layer (SRAM voltage scaling, DRAM retention, MLC NVM) |
 //! | [`ecc`] | Hamming SECDED (H(39,32), H(22,16)) and priority-ECC baselines |
 //! | [`core`] | segment geometry, FM-LUT, barrel shifter, [`ShuffledMemory`], the [`Scheme`] catalogue |
@@ -64,6 +65,7 @@ pub use faultmit_core as core;
 pub use faultmit_ecc as ecc;
 pub use faultmit_hwmodel as hwmodel;
 pub use faultmit_memsim as memsim;
+pub use faultmit_obs as obs;
 pub use faultmit_sim as sim;
 
 pub use faultmit_core::{MitigationScheme, Scheme, SegmentGeometry, ShuffledMemory};

@@ -262,3 +262,60 @@ fn application_quality_campaign_is_bit_identical_serial_vs_threaded() {
         assert_eq!(a.cdf, b.cdf);
     }
 }
+
+#[test]
+fn metrics_counter_snapshots_are_bit_identical_serial_vs_threaded() {
+    // The observability gate: every deterministic counter (dies and faults
+    // generated, kernel dispatches, observe rows, ECC decodes — everything
+    // except the host-dependent realloc and wall-clock channels) must be
+    // bit-identical whether the campaign runs serially or on N workers,
+    // for every backend and evaluation kernel. Counter sums are
+    // order-independent u64 adds, so worker scheduling cannot move them.
+    use faultmit::obs;
+    use faultmit::sim::KernelKind;
+    let memory = MemoryConfig::new(256, 32).unwrap();
+    let schemes = [Scheme::unprotected32(), Scheme::shuffle32(2).unwrap()];
+    for kind in BackendKind::ALL {
+        for kernel in [
+            KernelKind::Scalar,
+            KernelKind::Sparse,
+            KernelKind::Bitsliced,
+            KernelKind::Bitsliced256,
+        ] {
+            let backend = Backend::at_p_cell(kind, memory, 1e-3).unwrap();
+            let run = |parallelism| {
+                let recorder = std::sync::Arc::new(obs::Recorder::new());
+                let guard = obs::install(&recorder);
+                MonteCarloEngine::new(
+                    MonteCarloConfig::for_backend(backend)
+                        .with_samples_per_count(10)
+                        .with_max_failures(8)
+                        .with_kernel(kernel)
+                        .with_parallelism(parallelism),
+                )
+                .run_catalogue(&schemes, SEED)
+                .unwrap();
+                drop(guard);
+                recorder.snapshot()
+            };
+            let serial = run(Parallelism::Serial);
+            assert!(
+                serial.counter(obs::Counter::SamplesEvaluated) > 0,
+                "{kind}/{kernel}: the pipeline must actually record samples"
+            );
+            for workers in [2usize, 4] {
+                let threaded = run(Parallelism::threads(workers));
+                assert_eq!(
+                    serial.deterministic_counters(),
+                    threaded.deterministic_counters(),
+                    "{kind}/{kernel}: {workers} workers"
+                );
+                // Histogram buckets are order-independent sums too.
+                assert_eq!(
+                    serial.histograms, threaded.histograms,
+                    "{kind}/{kernel}: {workers} workers"
+                );
+            }
+        }
+    }
+}

@@ -439,6 +439,37 @@ fn wide_block_generation_reaches_zero_allocation_steady_state() {
     block_zero_alloc_gate::<W256>("256-die W256 lanes", false);
 }
 
+/// The zero-allocation guarantee holds with metrics recording switched on:
+/// an installed recorder turns the hot-path counter hooks into relaxed
+/// atomic adds on preallocated slots, so steady-state generation still
+/// never touches the heap — and the recorder's realloc counter agrees with
+/// the arenas' own (only warm-up growth events, none in steady state).
+#[test]
+fn zero_allocation_steady_state_holds_with_metrics_recording_on() {
+    use faultmit::obs;
+    let recorder = std::sync::Arc::new(obs::Recorder::new());
+    let guard = obs::install(&recorder);
+
+    die_generation_reaches_zero_allocation_steady_state();
+    block_zero_alloc_gate::<u64>("64-die u64 lanes, metrics on", true);
+    block_zero_alloc_gate::<W256>("256-die W256 lanes, metrics on", true);
+
+    drop(guard);
+    let snapshot = recorder.snapshot();
+    // The gates really were recorded: dies flowed through the counters and
+    // the only realloc events are the warm-up growth the gates tolerate.
+    assert!(snapshot.counter(obs::Counter::DiesGenerated) > 0);
+    assert!(snapshot.counter(obs::Counter::WideGenLaneSteps) > 0);
+    assert!(snapshot.counter(obs::Counter::ReallocEvents) > 0);
+    assert!(
+        snapshot
+            .histogram(obs::Histogram::FaultsPerDie)
+            .iter()
+            .sum::<u64>()
+            > 0
+    );
+}
+
 /// `--kernel auto` resolves to the documented kernel at each benched
 /// operating point of `BENCH_pipeline.json`: the Fig. 5 / Fig. 9 densities
 /// (a 16 KB array simulated up to 24 faults per die) sit far below the
